@@ -1,0 +1,131 @@
+package concentrators
+
+// Public facade: the library's supported surface for importers of this
+// module. The implementation lives under internal/ (see doc.go for the
+// map); these aliases and wrappers re-export the pieces a downstream
+// user of the switches needs — construction, routing, bit-serial
+// simulation, and packaging reports — without exposing the substrates.
+
+import (
+	"math/rand"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/layout"
+	"concentrators/internal/switchsim"
+)
+
+// Concentrator is the uniform switch interface: Route performs the
+// setup cycle, EpsilonBound gives the Lemma 2 ε, and the remaining
+// methods report the §4/§5 cost model.
+type Concentrator = core.Concentrator
+
+// ValidBits is a fixed-length vector of valid bits presented at setup.
+type ValidBits = bitvec.Vector
+
+// NewValidBits returns an all-invalid pattern of n inputs.
+func NewValidBits(n int) *ValidBits { return bitvec.New(n) }
+
+// ParseValidBits builds a pattern from a '0'/'1' string.
+func ParseValidBits(s string) (*ValidBits, error) { return bitvec.Parse(s) }
+
+// Switch constructors — the paper's designs and baselines.
+var (
+	// NewPerfectSwitch is the single-chip n-by-m perfect concentrator
+	// (§1): Θ(n²) area, n+m pins, 2 lg n + O(1) gate delays.
+	NewPerfectSwitch = core.NewPerfectSwitch
+	// NewRevsortSwitch is the §4 three-stage multichip partial
+	// concentrator: n a perfect square with power-of-two side.
+	NewRevsortSwitch = core.NewRevsortSwitch
+	// NewColumnsortSwitch is the §5 two-stage multichip partial
+	// concentrator over an explicit r×s mesh (n = r·s, s | r).
+	NewColumnsortSwitch = core.NewColumnsortSwitch
+	// NewColumnsortSwitchBeta picks the r×s shape for a β ∈ [1/2, 1].
+	NewColumnsortSwitchBeta = core.NewColumnsortSwitchBeta
+	// NewFullRevsortHyper and NewFullColumnsortHyper are the §6
+	// multichip HYPERconcentrators (full sorting).
+	NewFullRevsortHyper    = core.NewFullRevsortHyper
+	NewFullColumnsortHyper = core.NewFullColumnsortHyper
+	// NewCrossbar is the naive single-chip baseline.
+	NewCrossbar = core.NewCrossbar
+)
+
+// LoadRatio returns α = 1 − ε/m (clamped at 0): the guaranteed-routing
+// fraction of the switch.
+func LoadRatio(c Concentrator) float64 { return core.LoadRatio(c) }
+
+// GuaranteeThreshold returns ⌊αm⌋ = m − ε: with k ≤ this many messages,
+// every message is routed.
+func GuaranteeThreshold(c Concentrator) int { return core.Threshold(c) }
+
+// Bit-serial message simulation (§2's message format).
+type (
+	// Message is a bit-serial message: a valid bit at setup, then
+	// Payload bits, one per clock.
+	Message = switchsim.Message
+	// Result reports one setup-and-stream round.
+	Result = switchsim.Result
+	// Delivery is one delivered message.
+	Delivery = switchsim.Delivery
+)
+
+// NewMessage builds a message whose payload encodes data MSB-first.
+func NewMessage(input int, data []byte) Message { return switchsim.NewMessage(input, data) }
+
+// DecodePayload reassembles bytes from a delivered bit stream.
+func DecodePayload(bits []byte) []byte { return switchsim.DecodePayload(bits) }
+
+// Run simulates one round: setup establishes paths, payloads stream.
+func Run(sw Concentrator, msgs []Message) (*Result, error) { return switchsim.Run(sw, msgs) }
+
+// CheckGuarantee verifies the §1 delivery guarantee and payload
+// integrity of a Result.
+func CheckGuarantee(sw Concentrator, msgs []Message, res *Result) error {
+	return switchsim.CheckGuarantee(sw, msgs, res)
+}
+
+// RandomMessages generates Bernoulli traffic: one message per input
+// with the given probability.
+func RandomMessages(rng *rand.Rand, n int, load float64, payloadBits int) []Message {
+	return switchsim.RandomMessages(rng, n, load, payloadBits)
+}
+
+// Congestion-control sessions (§1: buffer, misroute, or drop-and-resend).
+type (
+	// Policy selects the congestion-control discipline.
+	Policy = switchsim.Policy
+	// SessionConfig drives a multi-round session.
+	SessionConfig = switchsim.SessionConfig
+	// SessionStats summarizes a session.
+	SessionStats = switchsim.SessionStats
+)
+
+// The congestion-control policies.
+const (
+	Drop     = switchsim.Drop
+	Resend   = switchsim.Resend
+	Buffer   = switchsim.Buffer
+	Misroute = switchsim.Misroute
+)
+
+// RunSession simulates a multi-round message session under a policy.
+func RunSession(sw Concentrator, cfg SessionConfig) (*SessionStats, error) {
+	return switchsim.RunSession(sw, cfg)
+}
+
+// Packaging reports (Table 1, Figures 3/4/6/7).
+type (
+	// Package is a chips/boards/stacks/volume packaging summary.
+	Package = layout.Package
+	// Table1Row is one row of the paper's Table 1.
+	Table1Row = layout.Table1Row
+)
+
+// Packaging constructors and the Table 1 generator.
+var (
+	RevsortPackage    = layout.RevsortPackage
+	ColumnsortPackage = layout.ColumnsortPackage
+	PerfectPackage    = layout.PerfectPackage
+	Table1            = layout.Table1
+	FormatTable1      = layout.FormatTable1
+)

@@ -1,0 +1,134 @@
+package concentrators
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The public facade must be sufficient on its own: build the Figure 6
+// switch, stream messages, verify the guarantee, and print packaging —
+// using only root-package identifiers.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sw, err := NewColumnsortSwitch(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LoadRatio(sw) != 0.5 || GuaranteeThreshold(sw) != 9 {
+		t.Errorf("α = %v, threshold = %d", LoadRatio(sw), GuaranteeThreshold(sw))
+	}
+
+	msgs := []Message{
+		NewMessage(2, []byte("ab")),
+		NewMessage(17, []byte("cd")),
+	}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGuarantee(sw, msgs, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delivered) != 2 {
+		t.Fatalf("delivered %d", len(res.Delivered))
+	}
+	for _, d := range res.Delivered {
+		if got := string(DecodePayload(d.Payload)); got != "ab" && got != "cd" {
+			t.Errorf("payload %q", got)
+		}
+	}
+
+	pkg, err := ColumnsortPackage(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(pkg.String(), "columnsort") {
+		t.Error("packaging report wrong")
+	}
+}
+
+func TestPublicAPIValidBits(t *testing.T) {
+	v, err := ParseValidBits("0101")
+	if err != nil || v.Count() != 2 {
+		t.Fatalf("ParseValidBits: %v, %v", v, err)
+	}
+	if NewValidBits(8).Len() != 8 {
+		t.Error("NewValidBits wrong length")
+	}
+	sw, err := NewPerfectSwitch(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routed := 0
+	for _, o := range out {
+		if o >= 0 {
+			routed++
+		}
+	}
+	if routed != 2 {
+		t.Errorf("routed %d", routed)
+	}
+}
+
+func TestPublicAPISession(t *testing.T) {
+	sw, err := NewPerfectSwitch(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{Drop, Resend, Buffer, Misroute} {
+		stats, err := RunSession(sw, SessionConfig{
+			Policy: pol, Load: 0.5, Rounds: 30, PayloadBits: 4, Seed: 5, AckDelay: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Offered == 0 || stats.Delivered == 0 {
+			t.Fatalf("%v: no traffic", pol)
+		}
+	}
+}
+
+func TestPublicAPITable1(t *testing.T) {
+	rows, err := Table1(1024, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatTable1(rows)
+	if !strings.Contains(text, "Revsort") {
+		t.Error("Table 1 rendering wrong")
+	}
+}
+
+func TestPublicAPIAllConstructors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	builders := []func() (Concentrator, error){
+		func() (Concentrator, error) { return NewPerfectSwitch(64, 32) },
+		func() (Concentrator, error) { return NewCrossbar(64, 32) },
+		func() (Concentrator, error) { return NewRevsortSwitch(64, 32) },
+		func() (Concentrator, error) { return NewColumnsortSwitch(16, 4, 32) },
+		func() (Concentrator, error) { return NewColumnsortSwitchBeta(64, 32, 0.75) },
+		func() (Concentrator, error) { return NewFullRevsortHyper(64, 64) },
+		func() (Concentrator, error) { return NewFullColumnsortHyper(32, 2, 64) },
+	}
+	for i, mk := range builders {
+		sw, err := mk()
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		msgs := RandomMessages(rng, sw.Inputs(), 0.3, 8)
+		if len(msgs) == 0 {
+			continue
+		}
+		res, err := Run(sw, msgs)
+		if err != nil {
+			t.Fatalf("builder %d: %v", i, err)
+		}
+		if err := CheckGuarantee(sw, msgs, res); err != nil {
+			t.Fatalf("builder %d (%s): %v", i, sw.Name(), err)
+		}
+	}
+}

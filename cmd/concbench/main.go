@@ -1,0 +1,56 @@
+// Command concbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	concbench            # run every experiment
+//	concbench -list      # list experiment ids
+//	concbench -run F3    # run one experiment
+//
+// Experiment ids follow the per-experiment index in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"concentrators/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "run a single experiment by id (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *run != "" {
+		e, err := bench.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	failed := false
+	for _, e := range bench.All() {
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

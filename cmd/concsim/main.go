@@ -1,0 +1,153 @@
+// Command concsim simulates bit-serial message traffic through a
+// chosen concentrator switch and reports delivery statistics.
+//
+// Usage examples:
+//
+//	concsim -switch revsort -n 1024 -m 512 -load 0.4 -rounds 100
+//	concsim -switch columnsort -n 1024 -m 512 -beta 0.75 -load 0.9
+//	concsim -switch perfect -n 256 -m 64 -load 0.5 -payload 64
+//	concsim -switch full-revsort -n 4096 -load 0.7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"concentrators/internal/bitonic"
+	"concentrators/internal/core"
+	"concentrators/internal/switchsim"
+)
+
+func main() {
+	kind := flag.String("switch", "columnsort", "switch design: perfect | crossbar | revsort | columnsort | full-revsort | full-columnsort | bitonic")
+	n := flag.Int("n", 1024, "number of input wires")
+	m := flag.Int("m", 0, "number of output wires (default n/2; n for full sorters)")
+	beta := flag.Float64("beta", 0.5, "columnsort shape parameter β ∈ [1/2, 1]")
+	load := flag.Float64("load", 0.5, "per-input message probability")
+	payload := flag.Int("payload", 32, "payload length in bits")
+	rounds := flag.Int("rounds", 50, "number of setup-and-stream rounds")
+	seed := flag.Int64("seed", 1, "random seed")
+	policy := flag.String("policy", "", "run a multi-round congestion session instead: drop | resend | buffer | misroute")
+	ack := flag.Int("ack", 2, "ack round trip for the resend policy")
+	wave := flag.Bool("wave", false, "print the first round's output waveforms")
+	flag.Parse()
+
+	if *m == 0 {
+		*m = *n / 2
+		if *kind == "full-revsort" || *kind == "full-columnsort" {
+			*m = *n
+		}
+	}
+
+	sw, err := buildSwitch(*kind, *n, *m, *beta)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("switch: %s  n=%d m=%d ε=%d α=%.4f  delay=%d gate delays across %d chips (%d chips total)\n",
+		sw.Name(), sw.Inputs(), sw.Outputs(), sw.EpsilonBound(), core.LoadRatio(sw),
+		sw.GateDelays(), sw.ChipsTraversed(), sw.ChipCount())
+
+	if *policy != "" {
+		runSession(sw, *policy, *load, *rounds, *payload, *seed, *ack)
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var sent, delivered, droppedRounds, cycles int
+	for round := 0; round < *rounds; round++ {
+		msgs := switchsim.RandomMessages(rng, *n, *load, *payload)
+		if len(msgs) == 0 {
+			continue
+		}
+		res, err := switchsim.Run(sw, msgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := switchsim.CheckGuarantee(sw, msgs, res); err != nil {
+			fmt.Fprintf(os.Stderr, "guarantee violated: %v\n", err)
+			os.Exit(1)
+		}
+		if *wave && round == 0 {
+			if err := res.WriteWaveform(os.Stdout, 64); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		sent += len(msgs)
+		delivered += len(res.Delivered)
+		if len(res.DroppedInputs) > 0 {
+			droppedRounds++
+		}
+		cycles += res.Cycles
+	}
+	fmt.Printf("rounds: %d  messages sent: %d  delivered: %d (%.2f%%)  rounds with drops: %d  total cycles: %d\n",
+		*rounds, sent, delivered, 100*float64(delivered)/float64(max(sent, 1)), droppedRounds, cycles)
+	fmt.Printf("delivery guarantee (m−ε = %d per round) verified on every round\n", core.Threshold(sw))
+}
+
+func buildSwitch(kind string, n, m int, beta float64) (core.Concentrator, error) {
+	switch kind {
+	case "perfect":
+		return core.NewPerfectSwitch(n, m)
+	case "crossbar":
+		return core.NewCrossbar(n, m)
+	case "revsort":
+		return core.NewRevsortSwitch(n, m)
+	case "columnsort":
+		return core.NewColumnsortSwitchBeta(n, m, beta)
+	case "full-revsort":
+		return core.NewFullRevsortHyper(n, m)
+	case "full-columnsort":
+		r, s, err := core.ShapeForBeta(n, beta)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewFullColumnsortHyper(r, s, m)
+	case "bitonic":
+		return bitonic.NewSwitch(n, m)
+	default:
+		return nil, fmt.Errorf("unknown switch %q", kind)
+	}
+}
+
+// runSession executes the multi-round congestion-control mode.
+func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack int) {
+	var pol switchsim.Policy
+	switch policy {
+	case "drop":
+		pol = switchsim.Drop
+	case "resend":
+		pol = switchsim.Resend
+	case "buffer":
+		pol = switchsim.Buffer
+	case "misroute":
+		pol = switchsim.Misroute
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policy)
+		os.Exit(1)
+	}
+	stats, err := switchsim.RunSession(sw, switchsim.SessionConfig{
+		Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
+		Seed: seed, AckDelay: ack,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("session: policy=%s load=%.2f rounds=%d\n", pol, load, rounds)
+	fmt.Printf("  offered %d, delivered %d, lost %d, refused %d, retries %d\n",
+		stats.Offered, stats.Delivered, stats.Dropped, stats.Refused, stats.Retries)
+	fmt.Printf("  mean latency %.2f rounds, peak backlog %d\n", stats.MeanLatency(), stats.MaxBacklog)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

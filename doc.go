@@ -1,0 +1,36 @@
+// Package concentrators reproduces T. H. Cormen, "Efficient Multichip
+// Partial Concentrator Switches" (MIT-LCS-TM-322 / ICPP 1987): multichip
+// partial concentrator switches built from single-chip
+// hyperconcentrators via mesh-sorting algorithms (Revsort, Columnsort),
+// together with every substrate the constructions depend on.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core — the paper's switches (the public surface for
+//     programs in this module; see the examples/ directory)
+//   - internal/hyper, internal/banyan, internal/prefix, internal/logic —
+//     the single-chip hyperconcentrator, functionally and at gate level
+//   - internal/mesh, internal/nearsort, internal/bitvec — the sorting
+//     and ε-nearsorting substrate (Lemmas 1–2, Algorithms 1–2)
+//   - internal/switchsim — bit-serial clocked message simulation,
+//     congestion-control sessions, fault injection
+//   - internal/layout — pins / chips / boards / volume accounting
+//     (Table 1, Figures 3–8)
+//   - internal/shifter, internal/gatelevel, internal/seqhyper — the §4
+//     barrel shifter, flat multichip netlists, and the §1 sequential
+//     pipelined hyperconcentrator
+//   - internal/bdd — ROBDD engine for formal all-inputs proofs
+//   - internal/flow, internal/optroute — max flow and the omniscient
+//     routing oracle
+//   - internal/bitonic, internal/concgraph, internal/adversary,
+//     internal/knockout — baselines, graph concentrators, worst-case
+//     search, and the Knockout-switch application
+//   - internal/bench, internal/workload — experiment harness and
+//     traffic generators
+//
+// The root package (api.go) is the public facade for importers:
+// switch constructors, bit-serial simulation, congestion sessions, and
+// packaging reports. bench_test.go exposes one benchmark per table and
+// figure; DESIGN.md maps each experiment to its module and
+// EXPERIMENTS.md records paper-vs-measured outcomes.
+package concentrators

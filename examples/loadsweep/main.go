@@ -1,0 +1,95 @@
+// Loadsweep: sweep the offered load through each switch design and
+// print the delivered-fraction series — the "who wins, and where the
+// crossovers fall" view of the partial-concentrator tradeoff.
+//
+// Run with: go run ./examples/loadsweep [-n 1024] [-rounds 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"concentrators/internal/core"
+	"concentrators/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 1024, "switch inputs (power of 4)")
+	rounds := flag.Int("rounds", 40, "patterns per load point")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+	m := *n / 2
+
+	type entry struct {
+		sw  core.Concentrator
+		tag string
+	}
+	var entries []entry
+	if sw, err := core.NewPerfectSwitch(*n, m); err == nil {
+		entries = append(entries, entry{sw, "perfect (1 chip)"})
+	}
+	if sw, err := core.NewRevsortSwitch(*n, m); err == nil {
+		entries = append(entries, entry{sw, "revsort"})
+	} else {
+		log.Fatal(err)
+	}
+	for _, beta := range []float64{0.5, 0.625, 0.75} {
+		sw, err := core.NewColumnsortSwitchBeta(*n, m, beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, s := sw.Shape()
+		entries = append(entries, entry{sw, fmt.Sprintf("columnsort β=%.3f (r=%d,s=%d)", beta, r, s)})
+	}
+
+	loads := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	fmt.Printf("n=%d m=%d; cell = delivered / min(k, m), averaged over %d Bernoulli patterns\n\n", *n, m, *rounds)
+	fmt.Printf("%-34s", "design (α = guarantee threshold/m)")
+	for _, l := range loads {
+		fmt.Printf("%7.2f", l)
+	}
+	fmt.Println()
+
+	for _, e := range entries {
+		rng := rand.New(rand.NewSource(*seed))
+		fmt.Printf("%-34s", fmt.Sprintf("%s α=%.2f", e.tag, core.LoadRatio(e.sw)))
+		for _, load := range loads {
+			frac := measure(e.sw, rng, load, *rounds)
+			fmt.Printf("%7.3f", frac)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading: every design delivers 1.000 while k stays under its αm threshold;")
+	fmt.Println("cheaper shapes (smaller β ⇒ larger ε) sag first as the load crosses their ratio.")
+}
+
+func measure(sw core.Concentrator, rng *rand.Rand, load float64, rounds int) float64 {
+	g := workload.Bernoulli{Load: load}
+	total, delivered := 0, 0
+	for i := 0; i < rounds; i++ {
+		v := g.Pattern(rng, sw.Inputs())
+		k := v.Count()
+		if k == 0 {
+			continue
+		}
+		out, err := sw.Route(v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, o := range out {
+			if o >= 0 {
+				delivered++
+			}
+		}
+		if k > sw.Outputs() {
+			k = sw.Outputs()
+		}
+		total += k
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(delivered) / float64(total)
+}

@@ -1,0 +1,87 @@
+// Packaging: a design explorer for the paper's central engineering
+// question — given a packaging technology that offers p pins per chip,
+// which multichip concentrator design should you build, and how big a
+// switch can you reach?
+//
+// Run with: go run ./examples/packaging [-pins 256] [-n 4096]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"concentrators/internal/layout"
+)
+
+func main() {
+	pins := flag.Int("pins", 256, "pins available per chip")
+	n := flag.Int("n", 4096, "switch size to plan for (power of 4)")
+	flag.Parse()
+
+	m := *n / 2
+	fmt.Printf("planning an n=%d, m=%d concentrator with a %d-pin package budget\n\n", *n, m, *pins)
+
+	// The single-chip option and why it fails.
+	perfect, err := layout.PerfectPackage(*n, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single chip: needs %d pins and area %.0f — %s\n\n",
+		perfect.MaxPins(), perfect.Area2D, verdict(perfect.MaxPins() <= *pins))
+
+	// Table 1 for this n.
+	rows, err := layout.Table1(*n, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Table 1 candidates:")
+	fmt.Println(layout.FormatTable1(rows))
+
+	fmt.Printf("feasible under the %d-pin budget:\n", *pins)
+	for _, r := range rows {
+		fmt.Printf("  %-22s %d pins/chip: %s\n", r.Design, r.PinsPerChip, verdict(r.PinsPerChip <= *pins))
+	}
+
+	// The full β sweep: pick the fastest feasible design with a useful
+	// load ratio.
+	sweep, err := layout.BetaSweep(*n, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := -1
+	for i, r := range sweep {
+		if r.PinsPerChip <= *pins && r.LoadRatio >= 0.5 {
+			if best == -1 || r.GateDelays < sweep[best].GateDelays {
+				best = i
+			}
+		}
+	}
+	fmt.Println("\nβ sweep (columnsort shapes):")
+	fmt.Printf("%8s %12s %8s %10s %8s %14s\n", "β", "pins/chip", "chips", "load", "delays", "volume")
+	for i, r := range sweep {
+		marker := " "
+		if i == best {
+			marker = "← chosen"
+		}
+		fmt.Printf("%8.3f %12d %8d %10.4f %8d %14.0f %s\n",
+			r.Beta, r.PinsPerChip, r.ChipCount, r.LoadRatio, r.GateDelays, r.Volume, marker)
+	}
+	if best == -1 {
+		fmt.Println("no columnsort shape satisfies the budget with load ratio ≥ 0.5")
+	}
+
+	// How far can two stages reach as pin budgets grow?
+	fmt.Println("\ntwo-stage reach f(p) (the §6 open question, Columnsort construction):")
+	for _, p := range []int{*pins / 4, *pins / 2, *pins, *pins * 2, *pins * 4} {
+		reach, r, s := layout.TwoStageReach(p, 0.5)
+		fmt.Printf("  p=%6d: n=%10d (r=%6d, s=%5d)\n", p, reach, r, s)
+	}
+}
+
+func verdict(ok bool) string {
+	if ok {
+		return "FEASIBLE"
+	}
+	return "infeasible"
+}

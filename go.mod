@@ -1,0 +1,3 @@
+module concentrators
+
+go 1.22

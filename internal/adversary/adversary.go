@@ -1,0 +1,119 @@
+// Package adversary searches for worst-case valid-bit patterns: inputs
+// that minimize a switch's delivered fraction. Random and structured
+// traffic leave the paper's load-ratio bounds looking slack (T3/T4);
+// randomized hill climbing probes how bad the switches can actually be
+// made, giving a much tighter empirical floor.
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+)
+
+// Result is the outcome of a worst-pattern search.
+type Result struct {
+	// Pattern is the worst valid-bit pattern found.
+	Pattern *bitvec.Vector
+	// Ratio is its delivered fraction: routed / min(k, m).
+	Ratio float64
+	// Evaluations counts Route calls spent.
+	Evaluations int
+}
+
+// ratio computes routed / min(k, m); patterns with k = 0 score 1 (no
+// traffic, nothing to lose).
+func ratio(sw core.Concentrator, v *bitvec.Vector) (float64, error) {
+	k := v.Count()
+	if k == 0 {
+		return 1, nil
+	}
+	out, err := sw.Route(v)
+	if err != nil {
+		return 0, err
+	}
+	routed := 0
+	for _, o := range out {
+		if o >= 0 {
+			routed++
+		}
+	}
+	denom := k
+	if m := sw.Outputs(); m < denom {
+		denom = m
+	}
+	return float64(routed) / float64(denom), nil
+}
+
+// WorstPattern hill-climbs toward the pattern minimizing the delivered
+// fraction: from each of `restarts` random starts it tries `steps`
+// single-bit flips, keeping any flip that does not increase the ratio
+// (plateau walking included). It returns the worst pattern found.
+func WorstPattern(sw core.Concentrator, rng *rand.Rand, restarts, steps int) (*Result, error) {
+	if restarts < 1 || steps < 1 {
+		return nil, fmt.Errorf("adversary: restarts and steps must be ≥ 1")
+	}
+	n := sw.Inputs()
+	best := &Result{Ratio: 2}
+	for r := 0; r < restarts; r++ {
+		cur := bitvec.New(n)
+		load := rng.Float64()
+		for i := 0; i < n; i++ {
+			cur.Set(i, rng.Float64() < load)
+		}
+		curScore, err := ratio(sw, cur)
+		if err != nil {
+			return nil, err
+		}
+		best.Evaluations++
+		for s := 0; s < steps; s++ {
+			i := rng.Intn(n)
+			cand := cur.Clone()
+			cand.Set(i, !cand.Get(i))
+			cs, err := ratio(sw, cand)
+			if err != nil {
+				return nil, err
+			}
+			best.Evaluations++
+			if cs <= curScore {
+				cur, curScore = cand, cs
+			}
+		}
+		if curScore < best.Ratio {
+			best.Ratio = curScore
+			best.Pattern = cur
+		}
+	}
+	if best.Pattern == nil {
+		best.Pattern = bitvec.New(n)
+		best.Ratio = 1
+	}
+	return best, nil
+}
+
+// VerifyAgainstBound checks that the found worst ratio still respects
+// the switch's Lemma 2 guarantee: the switch must deliver at least
+// min(k, m−ε) messages, i.e. ratio ≥ (m−ε)/min(k, m) for the worst
+// pattern. It returns an error if the guarantee is violated.
+func VerifyAgainstBound(sw core.Concentrator, res *Result) error {
+	k := res.Pattern.Count()
+	if k == 0 {
+		return nil
+	}
+	need := core.Threshold(sw)
+	if k < need {
+		need = k
+	}
+	denom := k
+	if m := sw.Outputs(); m < denom {
+		denom = m
+	}
+	floor := float64(need) / float64(denom)
+	if res.Ratio < floor-1e-9 {
+		return fmt.Errorf("adversary: worst ratio %.4f violates guarantee floor %.4f (k=%d)",
+			res.Ratio, floor, k)
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package adversary
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+)
+
+func TestValidation(t *testing.T) {
+	sw, _ := core.NewPerfectSwitch(8, 4)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := WorstPattern(sw, rng, 0, 5); err == nil {
+		t.Error("accepted zero restarts")
+	}
+	if _, err := WorstPattern(sw, rng, 1, 0); err == nil {
+		t.Error("accepted zero steps")
+	}
+}
+
+// A perfect concentrator cannot be made to drop below ratio 1.
+func TestPerfectSwitchUnbreakable(t *testing.T) {
+	sw, err := core.NewPerfectSwitch(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	res, err := WorstPattern(sw, rng, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio != 1 {
+		t.Errorf("perfect switch worst ratio = %v, want 1", res.Ratio)
+	}
+	if err := VerifyAgainstBound(sw, res); err != nil {
+		t.Error(err)
+	}
+}
+
+// The adversary finds genuinely worse patterns than random sampling on
+// a partial concentrator whose ε bound bites.
+func TestAdversaryBeatsRandomOnColumnsort(t *testing.T) {
+	sw, err := core.NewColumnsortSwitch(16, 16, 128) // β=1/2 shape: ε=225 ≥ m
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Random baseline: best (lowest) ratio over the same eval budget.
+	randWorst := 1.0
+	for evals := 0; evals < 600; evals++ {
+		pat := randomPattern(rng, sw.Inputs())
+		r, err := ratio(sw, pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < randWorst {
+			randWorst = r
+		}
+	}
+	res, err := WorstPattern(sw, rng, 3, 199) // ≈ 600 evaluations
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio > randWorst {
+		t.Errorf("adversary (%.4f) did not beat random sampling (%.4f)", res.Ratio, randWorst)
+	}
+	if res.Ratio >= 1 {
+		t.Errorf("adversary found no loss at all on a lossy switch (ratio %v)", res.Ratio)
+	}
+	if err := VerifyAgainstBound(sw, res); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomPattern(rng *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}
+
+// The guarantee floor holds for every switch the adversary attacks —
+// Theorems 3 and 4 under adversarial search rather than random traffic.
+func TestGuaranteeHoldsUnderAttack(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	switches := []core.Concentrator{}
+	if sw, err := core.NewRevsortSwitch(256, 128); err == nil {
+		switches = append(switches, sw)
+	}
+	if sw, err := core.NewColumnsortSwitch(64, 4, 128); err == nil {
+		switches = append(switches, sw)
+	}
+	if sw, err := core.NewColumnsortSwitch(32, 8, 128); err == nil {
+		switches = append(switches, sw)
+	}
+	for _, sw := range switches {
+		res, err := WorstPattern(sw, rng, 4, 150)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyAgainstBound(sw, res); err != nil {
+			t.Errorf("%s: %v", sw.Name(), err)
+		}
+		if res.Evaluations < 4*150 {
+			t.Errorf("%s: evaluation accounting wrong: %d", sw.Name(), res.Evaluations)
+		}
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	sw, _ := core.NewColumnsortSwitch(16, 4, 32)
+	a, err := WorstPattern(sw, rand.New(rand.NewSource(5)), 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := WorstPattern(sw, rand.New(rand.NewSource(5)), 3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Ratio != b.Ratio || !a.Pattern.Equal(b.Pattern) {
+		t.Error("search not deterministic under a fixed seed")
+	}
+}

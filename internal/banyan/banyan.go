@@ -1,0 +1,300 @@
+// Package banyan implements butterfly-style multistage interconnection
+// networks and the self-routing concentration pattern they support.
+//
+// The single-chip hyperconcentrator of internal/hyper is built from a
+// parallel-prefix rank circuit followed by a banyan datapath, following
+// the alternative construction mentioned in §1 of the paper ("a
+// parallel prefix circuit and a butterfly network"). The key structural
+// fact, verified exhaustively in the tests, is that a butterfly routed
+// least-significant-destination-bit first realizes any concentration
+// (order-preserving routing of the valid inputs onto the output prefix
+// 0..k−1) with no switch conflicts.
+package banyan
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/logic"
+)
+
+// Topology selects the wiring pattern and routing-bit order of a
+// network.
+type Topology int
+
+const (
+	// ButterflyLSB pairs nodes i and i^2^ℓ at level ℓ and routes on
+	// destination bit ℓ. This is the orientation that concentrates
+	// without conflicts.
+	ButterflyLSB Topology = iota
+	// ButterflyMSB pairs nodes i and i^2^(q−1−ℓ) at level ℓ and routes
+	// on destination bit q−1−ℓ. Included as an ablation: it is NOT
+	// conflict-free for concentration.
+	ButterflyMSB
+	// Omega applies a perfect shuffle before each exchange level and
+	// routes on destination bits most-significant first. Also an
+	// ablation topology.
+	Omega
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case ButterflyLSB:
+		return "butterfly-lsb"
+	case ButterflyMSB:
+		return "butterfly-msb"
+	case Omega:
+		return "omega"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Network is an n-input, n-output multistage network with lg n levels
+// of n/2 two-by-two switches.
+type Network struct {
+	n, q int
+	topo Topology
+}
+
+// New returns a network of the given size, which must be a power of two
+// and at least 2.
+func New(n int, topo Topology) (*Network, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("banyan: size %d is not a power of two ≥ 2", n)
+	}
+	q := 0
+	for 1<<uint(q) < n {
+		q++
+	}
+	return &Network{n: n, q: q, topo: topo}, nil
+}
+
+// Size returns the number of inputs/outputs.
+func (nw *Network) Size() int { return nw.n }
+
+// Levels returns the number of switch levels (lg n).
+func (nw *Network) Levels() int { return nw.q }
+
+// SwitchCount returns the total number of 2×2 switches, (n/2)·lg n.
+func (nw *Network) SwitchCount() int { return nw.n / 2 * nw.q }
+
+// Route is the result of routing a request set through the network.
+type Route struct {
+	// Out[i] is the output reached by the packet injected at input i,
+	// or −1 if input i was idle or its packet was dropped by a
+	// conflict.
+	Out []int
+	// Conflicts is the number of switch conflicts encountered. A
+	// successful (non-blocking) route has zero.
+	Conflicts int
+}
+
+// RouteDests routes packets with explicit destinations: dest[i] is the
+// desired output of input i, or −1 for an idle input. On a switch
+// conflict the packet from the higher-numbered port is dropped and the
+// conflict counted. Destinations must be in range and, among non-idle
+// inputs, distinct.
+func (nw *Network) RouteDests(dest []int) (*Route, error) {
+	if len(dest) != nw.n {
+		return nil, fmt.Errorf("banyan: %d destinations for %d inputs", len(dest), nw.n)
+	}
+	seen := make([]bool, nw.n)
+	for i, d := range dest {
+		if d == -1 {
+			continue
+		}
+		if d < 0 || d >= nw.n {
+			return nil, fmt.Errorf("banyan: destination %d of input %d out of range", d, i)
+		}
+		if seen[d] {
+			return nil, fmt.Errorf("banyan: duplicate destination %d", d)
+		}
+		seen[d] = true
+	}
+
+	// pos[p] = destination of the packet currently at node p, −1 if none.
+	// src[p] = original input of that packet.
+	pos := append([]int(nil), dest...)
+	src := make([]int, nw.n)
+	for i := range src {
+		src[i] = i
+	}
+	if nw.topo == Omega {
+		// The omega network shuffles before every exchange level.
+		pos, src = nw.shuffle(pos), nw.shuffleInts(src)
+	}
+
+	rt := &Route{Out: make([]int, nw.n)}
+	for i := range rt.Out {
+		rt.Out[i] = -1
+	}
+	for lvl := 0; lvl < nw.q; lvl++ {
+		bit := nw.routeBit(lvl)
+		mask := nw.pairMask(lvl)
+		nextPos := make([]int, nw.n)
+		nextSrc := make([]int, nw.n)
+		for i := range nextPos {
+			nextPos[i] = -1
+			nextSrc[i] = -1
+		}
+		for lo := 0; lo < nw.n; lo++ {
+			hi := lo | mask
+			if lo&mask != 0 {
+				continue // visit each pair once, from its low node
+			}
+			place := func(p, s int) bool {
+				if p == -1 {
+					return true
+				}
+				tgt := lo
+				if p&(1<<uint(bit)) != 0 {
+					tgt = hi
+				}
+				if nextPos[tgt] != -1 {
+					rt.Conflicts++
+					return false
+				}
+				nextPos[tgt] = p
+				nextSrc[tgt] = s
+				return true
+			}
+			place(pos[lo], src[lo])
+			place(pos[hi], src[hi])
+		}
+		pos, src = nextPos, nextSrc
+		if nw.topo == Omega && lvl+1 < nw.q {
+			pos, src = nw.shuffle(pos), nw.shuffleInts(src)
+		}
+	}
+	for p := 0; p < nw.n; p++ {
+		if src[p] != -1 {
+			rt.Out[src[p]] = p
+		}
+	}
+	return rt, nil
+}
+
+// routeBit returns the destination bit examined at the given level.
+func (nw *Network) routeBit(lvl int) int {
+	switch nw.topo {
+	case ButterflyLSB:
+		return lvl
+	default: // ButterflyMSB, Omega
+		return nw.q - 1 - lvl
+	}
+}
+
+// pairMask returns the XOR mask pairing nodes at the given level.
+func (nw *Network) pairMask(lvl int) int {
+	switch nw.topo {
+	case ButterflyLSB:
+		return 1 << uint(lvl)
+	case ButterflyMSB:
+		return 1 << uint(nw.q-1-lvl)
+	default: // Omega exchanges adjacent nodes after each shuffle
+		return 1
+	}
+}
+
+// shuffle applies the perfect shuffle (rotate node index left by one
+// bit) to a per-node slice.
+func (nw *Network) shuffle(xs []int) []int {
+	out := make([]int, nw.n)
+	for i, x := range xs {
+		j := ((i << 1) | (i >> uint(nw.q-1))) & (nw.n - 1)
+		out[j] = x
+	}
+	return out
+}
+
+func (nw *Network) shuffleInts(xs []int) []int { return nw.shuffle(xs) }
+
+// RouteConcentration routes the valid inputs to the output prefix: the
+// j-th valid input (j = 1, 2, ...) is destined for output j−1. For the
+// ButterflyLSB topology this never conflicts (Theorem: concentration is
+// a monotone compact request set; see package comment).
+func (nw *Network) RouteConcentration(valid *bitvec.Vector) (*Route, error) {
+	if valid.Len() != nw.n {
+		return nil, fmt.Errorf("banyan: %d valid bits for %d inputs", valid.Len(), nw.n)
+	}
+	dest := make([]int, nw.n)
+	rank := 0
+	for i := 0; i < nw.n; i++ {
+		if valid.Get(i) {
+			dest[i] = rank
+			rank++
+		} else {
+			dest[i] = -1
+		}
+	}
+	return nw.RouteDests(dest)
+}
+
+// EmitSelfRouting appends to net a combinational self-routing datapath
+// for this network. Each input i carries a valid bit, a destination bus
+// (all buses must share a width ≥ Levels()), and a payload bit. The
+// switches derive their own control from the arriving valid bits and
+// destination bits, exactly as the setup cycle of §2 establishes
+// electrical paths. It returns the per-output valid and payload
+// signals.
+//
+// The emitted datapath assumes a conflict-free request set (as produced
+// by concentration on ButterflyLSB); under conflicts its behaviour
+// matches "the packet needing a cross takes priority", which is
+// well-defined but not a useful route. Only ButterflyLSB and
+// ButterflyMSB can be emitted; Omega's inter-level shuffles are pure
+// wiring and are folded into the pairing, so it is not needed.
+func (nw *Network) EmitSelfRouting(net *logic.Net, valid []logic.Signal, dest []logic.Bus, payload []logic.Signal) (validOut, payloadOut []logic.Signal, err error) {
+	if nw.topo == Omega {
+		return nil, nil, fmt.Errorf("banyan: EmitSelfRouting does not support omega topology")
+	}
+	if len(valid) != nw.n || len(dest) != nw.n || len(payload) != nw.n {
+		return nil, nil, fmt.Errorf("banyan: emit arity mismatch (valid %d, dest %d, payload %d, want %d)",
+			len(valid), len(dest), len(payload), nw.n)
+	}
+	for i, b := range dest {
+		if len(b) < nw.q {
+			return nil, nil, fmt.Errorf("banyan: destination bus %d has %d bits, need ≥ %d", i, len(b), nw.q)
+		}
+	}
+
+	v := append([]logic.Signal(nil), valid...)
+	p := append([]logic.Signal(nil), payload...)
+	d := make([]logic.Bus, nw.n)
+	for i := range d {
+		d[i] = append(logic.Bus(nil), dest[i]...)
+	}
+
+	for lvl := 0; lvl < nw.q; lvl++ {
+		bit := nw.routeBit(lvl)
+		mask := nw.pairMask(lvl)
+		nv := make([]logic.Signal, nw.n)
+		np := make([]logic.Signal, nw.n)
+		nd := make([]logic.Bus, nw.n)
+		for lo := 0; lo < nw.n; lo++ {
+			if lo&mask != 0 {
+				continue
+			}
+			hi := lo | mask
+			// cross = packet at lo wants hi, or packet at hi wants lo.
+			wantCrossLo := net.And(v[lo], d[lo][bit])
+			wantCrossHi := net.And(v[hi], net.Not(d[hi][bit]))
+			cross := net.Or(wantCrossLo, wantCrossHi)
+
+			nv[lo] = net.Mux(cross, v[hi], v[lo])
+			nv[hi] = net.Mux(cross, v[lo], v[hi])
+			np[lo] = net.Mux(cross, p[hi], p[lo])
+			np[hi] = net.Mux(cross, p[lo], p[hi])
+			nd[lo] = make(logic.Bus, nw.q)
+			nd[hi] = make(logic.Bus, nw.q)
+			for b := 0; b < nw.q; b++ {
+				nd[lo][b] = net.Mux(cross, d[hi][b], d[lo][b])
+				nd[hi][b] = net.Mux(cross, d[lo][b], d[hi][b])
+			}
+		}
+		v, p, d = nv, np, nd
+	}
+	return v, p, nil
+}

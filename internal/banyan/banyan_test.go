@@ -1,0 +1,315 @@
+package banyan
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/logic"
+	"concentrators/internal/prefix"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 6, 100} {
+		if _, err := New(n, ButterflyLSB); err == nil {
+			t.Errorf("New(%d) accepted a non-power-of-two", n)
+		}
+	}
+	nw, err := New(16, ButterflyLSB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.Size() != 16 || nw.Levels() != 4 || nw.SwitchCount() != 32 {
+		t.Errorf("size/levels/switches = %d/%d/%d", nw.Size(), nw.Levels(), nw.SwitchCount())
+	}
+}
+
+func TestRouteDestsValidation(t *testing.T) {
+	nw, _ := New(4, ButterflyLSB)
+	if _, err := nw.RouteDests([]int{0, 1}); err == nil {
+		t.Error("accepted wrong-length dest slice")
+	}
+	if _, err := nw.RouteDests([]int{0, 0, -1, -1}); err == nil {
+		t.Error("accepted duplicate destinations")
+	}
+	if _, err := nw.RouteDests([]int{4, -1, -1, -1}); err == nil {
+		t.Error("accepted out-of-range destination")
+	}
+}
+
+// The central structural fact: concentration on the LSB-first butterfly
+// is conflict-free and delivers the j-th valid input to output j−1.
+// Exhaustive over all valid-bit patterns for n = 2, 4, 8, 16.
+func TestConcentrationConflictFreeExhaustive(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		nw, err := New(n, ButterflyLSB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pat := 0; pat < 1<<uint(n); pat++ {
+			v := bitvec.New(n)
+			for i := 0; i < n; i++ {
+				v.Set(i, pat&(1<<uint(i)) != 0)
+			}
+			rt, err := nw.RouteConcentration(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.Conflicts != 0 {
+				t.Fatalf("n=%d pattern %0*b: %d conflicts", n, n, pat, rt.Conflicts)
+			}
+			rank := 0
+			for i := 0; i < n; i++ {
+				if v.Get(i) {
+					if rt.Out[i] != rank {
+						t.Fatalf("n=%d pattern %0*b: input %d routed to %d, want %d",
+							n, n, pat, i, rt.Out[i], rank)
+					}
+					rank++
+				} else if rt.Out[i] != -1 {
+					t.Fatalf("n=%d pattern %0*b: idle input %d routed to %d", n, n, pat, i, rt.Out[i])
+				}
+			}
+		}
+	}
+}
+
+func TestConcentrationRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{64, 256, 1024} {
+		nw, _ := New(n, ButterflyLSB)
+		for trial := 0; trial < 20; trial++ {
+			v := bitvec.New(n)
+			for i := 0; i < n; i++ {
+				v.Set(i, rng.Intn(2) == 1)
+			}
+			rt, err := nw.RouteConcentration(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rt.Conflicts != 0 {
+				t.Fatalf("n=%d: %d conflicts", n, rt.Conflicts)
+			}
+			rank := 0
+			for i := 0; i < n; i++ {
+				if v.Get(i) {
+					if rt.Out[i] != rank {
+						t.Fatalf("n=%d: input %d -> %d, want %d", n, i, rt.Out[i], rank)
+					}
+					rank++
+				}
+			}
+		}
+	}
+}
+
+// Ablation: the MSB-first butterfly does conflict on some concentration
+// patterns — this is why the orientation matters.
+func TestMSBOrientationConflicts(t *testing.T) {
+	n := 8
+	nw, _ := New(n, ButterflyMSB)
+	sawConflict := false
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, pat&(1<<uint(i)) != 0)
+		}
+		rt, err := nw.RouteConcentration(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Conflicts > 0 {
+			sawConflict = true
+			break
+		}
+	}
+	if !sawConflict {
+		t.Error("MSB-first butterfly never conflicted on concentration; ablation premise wrong")
+	}
+}
+
+// A single packet routes to its destination in every topology (banyan
+// networks are full-access).
+func TestSinglePacketFullAccess(t *testing.T) {
+	n := 16
+	for _, topo := range []Topology{ButterflyLSB, ButterflyMSB, Omega} {
+		nw, _ := New(n, topo)
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				dest := make([]int, n)
+				for i := range dest {
+					dest[i] = -1
+				}
+				dest[src] = dst
+				rt, err := nw.RouteDests(dest)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rt.Conflicts != 0 || rt.Out[src] != dst {
+					t.Fatalf("%v: %d->%d routed to %d with %d conflicts",
+						topo, src, dst, rt.Out[src], rt.Conflicts)
+				}
+			}
+		}
+	}
+}
+
+// Identity permutation is conflict-free on all topologies.
+func TestIdentityPermutation(t *testing.T) {
+	n := 32
+	for _, topo := range []Topology{ButterflyLSB, ButterflyMSB, Omega} {
+		nw, _ := New(n, topo)
+		dest := make([]int, n)
+		for i := range dest {
+			dest[i] = i
+		}
+		rt, err := nw.RouteDests(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Conflicts != 0 {
+			t.Errorf("%v: identity permutation had %d conflicts", topo, rt.Conflicts)
+		}
+		for i := range dest {
+			if rt.Out[i] != i {
+				t.Errorf("%v: input %d -> %d", topo, i, rt.Out[i])
+			}
+		}
+	}
+}
+
+func TestTopologyString(t *testing.T) {
+	if ButterflyLSB.String() != "butterfly-lsb" || Omega.String() != "omega" {
+		t.Error("topology names wrong")
+	}
+}
+
+// Gate-level datapath agrees with the functional route, exhaustively
+// for n=8 over all valid patterns with random payloads.
+func TestEmitSelfRoutingMatchesFunctional(t *testing.T) {
+	n := 8
+	nw, _ := New(n, ButterflyLSB)
+	net := logic.New()
+	valid := net.Inputs("v", n)
+	payload := net.Inputs("p", n)
+	// Destination = rank−1, computed by the prefix rank circuit; the
+	// "−1" is free because rank−1 for a valid input equals the count of
+	// earlier valid inputs, i.e. the exclusive prefix count.
+	ranks := prefix.RankCircuit(net, valid)
+	dest := make([]logic.Bus, n)
+	w := prefix.CountWidth(n)
+	zero := net.ConstBus(0, w)
+	for i := range dest {
+		if i == 0 {
+			dest[i] = zero
+		} else {
+			dest[i] = ranks[i-1]
+		}
+	}
+	vo, po, err := nw.EmitSelfRouting(net, valid, dest, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		net.MarkOutput("vo", vo[i])
+		net.MarkOutput("po", po[i])
+	}
+
+	rng := rand.New(rand.NewSource(22))
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := bitvec.New(n)
+		in := make([]bool, 2*n)
+		pay := make([]bool, n)
+		for i := 0; i < n; i++ {
+			b := pat&(1<<uint(i)) != 0
+			v.Set(i, b)
+			in[i] = b
+			pay[i] = rng.Intn(2) == 1
+			in[n+i] = pay[i]
+		}
+		out := net.Eval(in)
+		rt, err := nw.RouteConcentration(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			gotValid := out[2*i]
+			gotPay := out[2*i+1]
+			wantValid := i < v.Count()
+			if gotValid != wantValid {
+				t.Fatalf("pattern %08b output %d: valid = %v, want %v", pat, i, gotValid, wantValid)
+			}
+			if wantValid {
+				// Which input was routed here?
+				src := -1
+				for j := 0; j < n; j++ {
+					if rt.Out[j] == i {
+						src = j
+					}
+				}
+				if src == -1 {
+					t.Fatalf("pattern %08b: no source for output %d", pat, i)
+				}
+				if gotPay != pay[src] {
+					t.Fatalf("pattern %08b output %d: payload = %v, want %v (from input %d)",
+						pat, i, gotPay, pay[src], src)
+				}
+			}
+		}
+	}
+}
+
+func TestEmitValidation(t *testing.T) {
+	nw, _ := New(8, ButterflyLSB)
+	net := logic.New()
+	v := net.Inputs("v", 8)
+	p := net.Inputs("p", 8)
+	short := make([]logic.Bus, 8)
+	for i := range short {
+		short[i] = net.ConstBus(0, 2) // too narrow: need 3 bits
+	}
+	if _, _, err := nw.EmitSelfRouting(net, v, short, p); err == nil {
+		t.Error("accepted too-narrow destination buses")
+	}
+	if _, _, err := nw.EmitSelfRouting(net, v[:4], short, p); err == nil {
+		t.Error("accepted arity mismatch")
+	}
+	om, _ := New(8, Omega)
+	ok := make([]logic.Bus, 8)
+	for i := range ok {
+		ok[i] = net.ConstBus(0, 3)
+	}
+	if _, _, err := om.EmitSelfRouting(net, v, ok, p); err == nil {
+		t.Error("omega emission should be rejected")
+	}
+}
+
+// Depth of the emitted datapath is linear in lg n (a few gate delays
+// per level).
+func TestEmitDepthLinearInLevels(t *testing.T) {
+	depthFor := func(n int) int {
+		nw, _ := New(n, ButterflyLSB)
+		net := logic.New()
+		valid := net.Inputs("v", n)
+		payload := net.Inputs("p", n)
+		w := prefix.CountWidth(n)
+		dest := make([]logic.Bus, n)
+		for i := range dest {
+			dest[i] = net.InputBus("d", w)
+		}
+		vo, po, err := nw.EmitSelfRouting(net, valid, dest, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range vo {
+			net.MarkOutput("vo", vo[i])
+			net.MarkOutput("po", po[i])
+		}
+		return net.Depth()
+	}
+	d8, d64 := depthFor(8), depthFor(64)
+	// 3 levels vs 6 levels: depth should double, within rounding.
+	if d64 < d8 || d64 > 3*d8 {
+		t.Errorf("datapath depth: d(8)=%d d(64)=%d, expected roughly 2x growth", d8, d64)
+	}
+}

@@ -1,0 +1,240 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) with hash-consing and an ITE operation cache. The library
+// uses it to verify circuits FORMALLY — for all 2^n inputs at once —
+// where exhaustive simulation stops being feasible:
+//
+//   - the hyperconcentrator netlist's valid-bit outputs are proved
+//     equal to direct threshold ("at least k of n") specifications;
+//   - the logic optimizer is proved semantics-preserving on whole
+//     netlists.
+//
+// Threshold/rank functions are symmetric, so their BDDs have O(n²)
+// nodes — exactly why this works for concentrator circuits.
+package bdd
+
+import "fmt"
+
+// Ref is a node reference. The terminals are False = 0 and True = 1;
+// canonical ROBDDs make equivalence checking pointer equality.
+type Ref int32
+
+// Terminal references.
+const (
+	False Ref = 0
+	True  Ref = 1
+)
+
+type node struct {
+	level  int32 // variable index; terminals use ^0
+	lo, hi Ref
+}
+
+type triple struct{ f, g, h Ref }
+
+// Manager owns a BDD node pool over a fixed variable order
+// x0 < x1 < … < x{numVars−1}.
+type Manager struct {
+	numVars int
+	nodes   []node
+	unique  map[node]Ref
+	iteMemo map[triple]Ref
+}
+
+// New returns a manager for numVars variables.
+func New(numVars int) (*Manager, error) {
+	if numVars < 0 {
+		return nil, fmt.Errorf("bdd: negative variable count %d", numVars)
+	}
+	m := &Manager{
+		numVars: numVars,
+		nodes:   make([]node, 2, 1024),
+		unique:  map[node]Ref{},
+		iteMemo: map[triple]Ref{},
+	}
+	m.nodes[False] = node{level: -1}
+	m.nodes[True] = node{level: -1}
+	return m, nil
+}
+
+// NumVars returns the variable count.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// Size returns the number of live nodes (including the two terminals).
+func (m *Manager) Size() int { return len(m.nodes) }
+
+// Var returns the BDD of variable i.
+func (m *Manager) Var(i int) Ref {
+	if i < 0 || i >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", i, m.numVars))
+	}
+	return m.mk(int32(i), False, True)
+}
+
+// Const returns the terminal for v.
+func (m *Manager) Const(v bool) Ref {
+	if v {
+		return True
+	}
+	return False
+}
+
+// mk returns the canonical node (level, lo, hi), applying the
+// reduction rule lo == hi → lo.
+func (m *Manager) mk(level int32, lo, hi Ref) Ref {
+	if lo == hi {
+		return lo
+	}
+	key := node{level: level, lo: lo, hi: hi}
+	if r, ok := m.unique[key]; ok {
+		return r
+	}
+	m.nodes = append(m.nodes, key)
+	r := Ref(len(m.nodes) - 1)
+	m.unique[key] = r
+	return r
+}
+
+func (m *Manager) level(r Ref) int32 {
+	if r <= True {
+		return int32(m.numVars) // terminals sort below all variables
+	}
+	return m.nodes[r].level
+}
+
+// ITE computes if-then-else(f, g, h) — the universal connective.
+func (m *Manager) ITE(f, g, h Ref) Ref {
+	// Terminal cases.
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	}
+	key := triple{f, g, h}
+	if r, ok := m.iteMemo[key]; ok {
+		return r
+	}
+	// Split on the top variable.
+	top := m.level(f)
+	if l := m.level(g); l < top {
+		top = l
+	}
+	if l := m.level(h); l < top {
+		top = l
+	}
+	f0, f1 := m.cofactors(f, top)
+	g0, g1 := m.cofactors(g, top)
+	h0, h1 := m.cofactors(h, top)
+	lo := m.ITE(f0, g0, h0)
+	hi := m.ITE(f1, g1, h1)
+	r := m.mk(top, lo, hi)
+	m.iteMemo[key] = r
+	return r
+}
+
+func (m *Manager) cofactors(r Ref, level int32) (lo, hi Ref) {
+	if r <= True || m.nodes[r].level != level {
+		return r, r
+	}
+	return m.nodes[r].lo, m.nodes[r].hi
+}
+
+// Not returns ¬a.
+func (m *Manager) Not(a Ref) Ref { return m.ITE(a, False, True) }
+
+// And returns a ∧ b.
+func (m *Manager) And(a, b Ref) Ref { return m.ITE(a, b, False) }
+
+// Or returns a ∨ b.
+func (m *Manager) Or(a, b Ref) Ref { return m.ITE(a, True, b) }
+
+// Xor returns a ⊕ b.
+func (m *Manager) Xor(a, b Ref) Ref { return m.ITE(a, m.Not(b), b) }
+
+// Eval evaluates the function at a full variable assignment.
+func (m *Manager) Eval(r Ref, assignment []bool) bool {
+	if len(assignment) != m.numVars {
+		panic(fmt.Sprintf("bdd: assignment has %d vars, manager %d", len(assignment), m.numVars))
+	}
+	for r > True {
+		n := m.nodes[r]
+		if assignment[n.level] {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return r == True
+}
+
+// SatCount returns the number of satisfying assignments of r over all
+// numVars variables, as float64 (exact for < 2^53).
+func (m *Manager) SatCount(r Ref) float64 {
+	memo := map[Ref]float64{}
+	var count func(r Ref, level int32) float64
+	count = func(r Ref, level int32) float64 {
+		// Scale for skipped levels handled by caller multiplication.
+		if r == False {
+			return 0
+		}
+		if r == True {
+			return pow2(int32(m.numVars) - level)
+		}
+		if c, ok := memo[r]; ok {
+			return c * pow2(m.nodes[r].level-level)
+		}
+		n := m.nodes[r]
+		// #sat over variables [n.level, numVars): fixing x_{n.level}
+		// to 0 or 1 leaves the cofactor counted over the suffix.
+		c := count(n.lo, n.level+1) + count(n.hi, n.level+1)
+		memo[r] = c
+		return c * pow2(n.level-level)
+	}
+	return count(r, 0)
+}
+
+func pow2(e int32) float64 {
+	v := 1.0
+	for ; e > 0; e-- {
+		v *= 2
+	}
+	return v
+}
+
+// Threshold returns the BDD of the symmetric function
+// [at least k of the variables in vars are 1]. Its size is O(k·|vars|)
+// — the reason concentrator control logic verifies cheaply.
+func (m *Manager) Threshold(vars []int, k int) Ref {
+	if k <= 0 {
+		return True
+	}
+	if k > len(vars) {
+		return False
+	}
+	// Dynamic programming from the last variable backwards:
+	// f[j] = [at least j of the remaining suffix]. Process vars in
+	// manager order for canonical construction.
+	ordered := append([]int(nil), vars...)
+	// insertion sort (vars lists are short)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j] < ordered[j-1]; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	f := make([]Ref, k+1)
+	f[0] = True
+	for j := 1; j <= k; j++ {
+		f[j] = False
+	}
+	for idx := len(ordered) - 1; idx >= 0; idx-- {
+		x := m.Var(ordered[idx])
+		for j := k; j >= 1; j-- {
+			f[j] = m.ITE(x, f[j-1], f[j])
+		}
+	}
+	return f[k]
+}

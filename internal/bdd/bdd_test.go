@@ -1,0 +1,365 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/hyper"
+	"concentrators/internal/logic"
+	"concentrators/internal/shifter"
+)
+
+func TestTerminalsAndVars(t *testing.T) {
+	m, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Const(true) != True || m.Const(false) != False {
+		t.Error("terminals wrong")
+	}
+	x := m.Var(0)
+	if !m.Eval(x, []bool{true, false, false}) || m.Eval(x, []bool{false, true, true}) {
+		t.Error("Var evaluation wrong")
+	}
+	if m.NumVars() != 3 {
+		t.Error("NumVars wrong")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative var count accepted")
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	m, _ := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Var(2) did not panic")
+		}
+	}()
+	m.Var(2)
+}
+
+// Canonicity: boolean operations agree with truth tables, and equal
+// functions get equal refs.
+func TestBooleanOpsExhaustive(t *testing.T) {
+	m, _ := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	exprs := map[string]struct {
+		ref Ref
+		f   func(x, y, z bool) bool
+	}{
+		"and": {m.And(a, b), func(x, y, _ bool) bool { return x && y }},
+		"or":  {m.Or(a, b), func(x, y, _ bool) bool { return x || y }},
+		"xor": {m.Xor(a, c), func(x, _, z bool) bool { return x != z }},
+		"not": {m.Not(b), func(_, y, _ bool) bool { return !y }},
+		"ite": {m.ITE(a, b, c), func(x, y, z bool) bool {
+			if x {
+				return y
+			}
+			return z
+		}},
+		"demorgan": {m.Not(m.And(a, b)), func(x, y, _ bool) bool { return !(x && y) }},
+	}
+	for pat := 0; pat < 8; pat++ {
+		as := []bool{pat&1 != 0, pat&2 != 0, pat&4 != 0}
+		for name, e := range exprs {
+			if m.Eval(e.ref, as) != e.f(as[0], as[1], as[2]) {
+				t.Errorf("%s wrong at %v", name, as)
+			}
+		}
+	}
+	// Canonicity: ¬¬a == a; a∧b == b∧a structurally after ITE.
+	if m.Not(m.Not(a)) != a {
+		t.Error("double negation not canonical")
+	}
+	if m.And(a, b) != m.And(b, a) {
+		t.Error("commuted AND not canonical")
+	}
+	if m.Or(m.And(a, b), m.And(a, m.Not(b))) != a {
+		t.Error("Shannon expansion of a not canonical")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m, _ := New(4)
+	a, b := m.Var(0), m.Var(1)
+	cases := []struct {
+		ref  Ref
+		want float64
+	}{
+		{True, 16},
+		{False, 0},
+		{a, 8},
+		{m.And(a, b), 4},
+		{m.Or(a, b), 12},
+		{m.Xor(a, b), 8},
+		{m.Var(3), 8},
+	}
+	for i, c := range cases {
+		if got := m.SatCount(c.ref); got != c.want {
+			t.Errorf("case %d: SatCount = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	m, _ := New(5)
+	vars := []int{0, 1, 2, 3, 4}
+	for k := 0; k <= 6; k++ {
+		ref := m.Threshold(vars, k)
+		for pat := 0; pat < 32; pat++ {
+			as := make([]bool, 5)
+			ones := 0
+			for i := range as {
+				as[i] = pat&(1<<uint(i)) != 0
+				if as[i] {
+					ones++
+				}
+			}
+			if m.Eval(ref, as) != (ones >= k) {
+				t.Fatalf("Threshold k=%d wrong at %05b", k, pat)
+			}
+		}
+	}
+	// Symmetric-function size: threshold BDDs stay small.
+	big, _ := New(64)
+	all := make([]int, 64)
+	for i := range all {
+		all[i] = i
+	}
+	big.Threshold(all, 32)
+	if big.Size() > 64*33+2 {
+		t.Errorf("threshold(64,32) has %d nodes; symmetric bound exceeded", big.Size())
+	}
+}
+
+// FromNet agrees with concrete evaluation on random small netlists.
+func TestFromNetMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		net := logic.New()
+		in := net.Inputs("x", 6)
+		sigs := append([]logic.Signal(nil), in...)
+		for g := 0; g < 30; g++ {
+			a := sigs[rng.Intn(len(sigs))]
+			b := sigs[rng.Intn(len(sigs))]
+			switch rng.Intn(4) {
+			case 0:
+				sigs = append(sigs, net.And(a, b))
+			case 1:
+				sigs = append(sigs, net.Or(a, b))
+			case 2:
+				sigs = append(sigs, net.Xor(a, b))
+			default:
+				sigs = append(sigs, net.Not(a))
+			}
+		}
+		net.MarkOutput("y", sigs[len(sigs)-1])
+		m, _ := New(6)
+		refs, err := FromNet(m, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pat := 0; pat < 64; pat++ {
+			as := make([]bool, 6)
+			for i := range as {
+				as[i] = pat&(1<<uint(i)) != 0
+			}
+			if m.Eval(refs[0], as) != net.Eval(as)[0] {
+				t.Fatalf("trial %d: symbolic/concrete divergence at %06b", trial, pat)
+			}
+		}
+	}
+}
+
+// FORMAL proof that the optimizer preserves semantics, beyond sampling:
+// canonical BDDs of original and optimized netlists must coincide.
+func TestOptimizerFormallyEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 15; trial++ {
+		net := logic.New()
+		in := net.Inputs("x", 8)
+		sigs := append([]logic.Signal(nil), in...)
+		sigs = append(sigs, net.Const(true), net.Const(false))
+		for g := 0; g < 60; g++ {
+			a := sigs[rng.Intn(len(sigs))]
+			b := sigs[rng.Intn(len(sigs))]
+			switch rng.Intn(5) {
+			case 0:
+				sigs = append(sigs, net.And(a, b))
+			case 1:
+				sigs = append(sigs, net.Or(a, b))
+			case 2:
+				sigs = append(sigs, net.Xor(a, b))
+			case 3:
+				sigs = append(sigs, net.Not(a))
+			default:
+				sigs = append(sigs, net.Mux(a, b, sigs[rng.Intn(len(sigs))]))
+			}
+		}
+		for o := 0; o < 3; o++ {
+			net.MarkOutput("y", sigs[len(sigs)-1-o])
+		}
+		eq, err := Equivalent(net, net.Optimize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatal("optimizer changed semantics (formal check)")
+		}
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := logic.New()
+	x := a.Input("x")
+	y := a.Input("y")
+	a.MarkOutput("o", a.And(x, y))
+	b := logic.New()
+	x2 := b.Input("x")
+	y2 := b.Input("y")
+	b.MarkOutput("o", b.Or(x2, y2))
+	eq, err := Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Error("AND declared equivalent to OR")
+	}
+	c := logic.New()
+	c.Input("x")
+	c.MarkOutput("o", c.Const(true))
+	if _, err := Equivalent(a, c); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+// THE FORMAL HEADLINE: the hyperconcentrator netlist's valid-bit
+// outputs equal threshold functions — output o carries a valid message
+// iff at least o+1 inputs are valid — proved over ALL 2^n valid
+// patterns (with payload inputs fixed) for n = 32, far beyond
+// exhaustive simulation.
+func TestHyperValidOutputsAreThresholdsFormally(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		nl, err := hyper.BuildNetlist(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(2 * n) // valid vars then data vars
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs, err := FromNet(m, nl.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		validVars := make([]int, n)
+		for i := range validVars {
+			validVars[i] = i
+		}
+		for o := 0; o < n; o++ {
+			got := refs[2*o] // valid.o output
+			want := m.Threshold(validVars, o+1)
+			if got != want {
+				t.Fatalf("n=%d: output %d valid bit is NOT the ≥%d threshold", n, o, o+1)
+			}
+		}
+	}
+}
+
+// The hardwired shifter is formally the rotation permutation.
+func TestShifterFormallyARotation(t *testing.T) {
+	w, amount := 8, 3
+	hw, err := shifter.BuildHardwired(w, amount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(w)
+	refs, err := FromNet(m, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < w; j++ {
+		src := ((j-amount)%w + w) % w
+		if refs[j] != m.Var(src) {
+			t.Fatalf("output %d is not input %d", j, src)
+		}
+	}
+}
+
+// Cross-check SatCount against bitvec on a threshold function.
+func TestSatCountThreshold(t *testing.T) {
+	n, k := 10, 4
+	m, _ := New(n)
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = i
+	}
+	ref := m.Threshold(vars, k)
+	want := 0
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, pat&(1<<uint(i)) != 0)
+		}
+		if v.Count() >= k {
+			want++
+		}
+	}
+	if got := m.SatCount(ref); got != float64(want) {
+		t.Errorf("SatCount = %v, want %d", got, want)
+	}
+}
+
+// Full formal specification of the hyperconcentrator chip, payload path
+// included: output o's data line equals
+//
+//	OR_i ( valid_i ∧ [#valid among inputs 0..i−1 = o] ∧ data_i )
+//
+// — the stable-concentration contract — proved for every one of the
+// 2^{2n} (valid, data) combinations at n = 8 and 16.
+func TestHyperPayloadPathFormally(t *testing.T) {
+	for _, n := range []int{8, 16} {
+		nl, err := hyper.BuildNetlist(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := New(2 * n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs, err := FromNet(m, nl.Net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for o := 0; o < n; o++ {
+			spec := False
+			for i := 0; i < n; i++ {
+				prefix := make([]int, i)
+				for j := range prefix {
+					prefix[j] = j
+				}
+				// exactly o valids before input i
+				var exactlyO Ref
+				if i == 0 {
+					exactlyO = m.Const(o == 0)
+				} else {
+					atLeastO := m.Threshold(prefix, o)
+					atLeastO1 := m.Threshold(prefix, o+1)
+					exactlyO = m.And(atLeastO, m.Not(atLeastO1))
+				}
+				term := m.And(m.Var(i), m.And(exactlyO, m.Var(n+i)))
+				spec = m.Or(spec, term)
+			}
+			// The payload line is specified only while the output's
+			// valid bit is asserted (idle wires carry don't-cares), so
+			// compare gated by valid_out — note spec ⇒ valid_out, since
+			// a rank-o message exists iff k ≥ o+1.
+			gated := m.And(refs[2*o], refs[2*o+1])
+			if gated != spec {
+				t.Fatalf("n=%d: payload output %d does not match the stable-concentration spec", n, o)
+			}
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package bdd
+
+import (
+	"fmt"
+
+	"concentrators/internal/logic"
+)
+
+// FromNet symbolically evaluates a combinational netlist, returning one
+// BDD per marked output (in output order) over variables numbered like
+// the net's inputs. The manager must have at least net.NumInputs()
+// variables.
+func FromNet(m *Manager, net *logic.Net) ([]Ref, error) {
+	if net.NumInputs() > m.numVars {
+		return nil, fmt.Errorf("bdd: netlist has %d inputs, manager only %d vars",
+			net.NumInputs(), m.numVars)
+	}
+	vars := make([]Ref, net.NumInputs())
+	for i := range vars {
+		vars[i] = m.Var(i)
+	}
+	return logic.EvalSymbolic(
+		net, vars,
+		m.Const(false), m.Const(true),
+		func(a Ref) Ref { return m.Not(a) },
+		func(a, b Ref) Ref { return m.And(a, b) },
+		func(a, b Ref) Ref { return m.Or(a, b) },
+		func(a, b Ref) Ref { return m.Xor(a, b) },
+	), nil
+}
+
+// Equivalent proves two netlists compute identical functions (same
+// arity assumed) by canonical-BDD comparison — a FORMAL check over all
+// 2^n inputs.
+func Equivalent(a, b *logic.Net) (bool, error) {
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		return false, fmt.Errorf("bdd: arity mismatch (%d,%d) vs (%d,%d)",
+			a.NumInputs(), a.NumOutputs(), b.NumInputs(), b.NumOutputs())
+	}
+	m, err := New(a.NumInputs())
+	if err != nil {
+		return false, err
+	}
+	fa, err := FromNet(m, a)
+	if err != nil {
+		return false, err
+	}
+	fb, err := FromNet(m, b)
+	if err != nil {
+		return false, err
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}

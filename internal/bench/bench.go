@@ -1,0 +1,64 @@
+// Package bench is the experiment harness: one experiment per table or
+// figure of the paper (plus ablations), each regenerating the
+// corresponding rows/series with this library's implementations. The
+// experiments are deterministic (fixed seeds) and write textual reports
+// in the paper's shape; bench_test.go exposes each as a testing.B
+// benchmark and cmd/concbench as a CLI.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible table/figure regeneration.
+type Experiment struct {
+	// ID is the index key from DESIGN.md (e.g. "T1", "F4", "X2").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run writes the regenerated rows/series to w.
+	Run func(w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("bench: duplicate experiment id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids())
+	}
+	return e, nil
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func section(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", id, title)
+}

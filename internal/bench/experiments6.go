@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"concentrators/internal/bdd"
+	"concentrators/internal/hyper"
+	"concentrators/internal/shifter"
+)
+
+func init() {
+	register(Experiment{ID: "D3", Title: "Formal verification: BDD proofs of the chip netlist and optimizer", Run: runFormal})
+}
+
+func runFormal(w io.Writer) error {
+	section(w, "D3", "formal verification (BDDs)")
+	fmt.Fprintln(w, "reduced ordered BDDs make the circuit claims PROOFS over all inputs at once")
+	fmt.Fprintln(w, "(threshold/rank functions are symmetric, so the diagrams stay polynomial):")
+
+	// 1. Valid outputs are thresholds.
+	for _, n := range []int{8, 16, 32} {
+		nl, err := hyper.BuildNetlist(n)
+		if err != nil {
+			return err
+		}
+		m, err := bdd.New(2 * n)
+		if err != nil {
+			return err
+		}
+		refs, err := bdd.FromNet(m, nl.Net)
+		if err != nil {
+			return err
+		}
+		validVars := make([]int, n)
+		for i := range validVars {
+			validVars[i] = i
+		}
+		for o := 0; o < n; o++ {
+			if refs[2*o] != m.Threshold(validVars, o+1) {
+				return fmt.Errorf("threshold proof failed at n=%d output %d", n, o)
+			}
+		}
+		fmt.Fprintf(w, "  hyper[%2d] valid outputs ≡ thresholds [≥1..≥%d]: PROVED over all 2^%d patterns (%d BDD nodes)\n",
+			n, n, n, m.Size())
+	}
+
+	// 2. Optimizer equivalence on the real chip netlist.
+	nl, err := hyper.BuildNetlist(16)
+	if err != nil {
+		return err
+	}
+	eq, err := bdd.Equivalent(nl.Net, nl.Net.Optimize())
+	if err != nil {
+		return err
+	}
+	if !eq {
+		return fmt.Errorf("optimizer equivalence proof failed")
+	}
+	fmt.Fprintf(w, "  optimizer(hyper[16]): %d → %d gates, PROVED equivalent (all 2^32 input pairs)\n",
+		nl.Net.GateCount(), nl.Net.Optimize().GateCount())
+
+	// 3. Hardwired shifters are rotations.
+	for _, width := range []int{8, 16} {
+		for _, amount := range []int{1, width / 2, width - 1} {
+			hw, err := shifter.BuildHardwired(width, amount)
+			if err != nil {
+				return err
+			}
+			m, err := bdd.New(width)
+			if err != nil {
+				return err
+			}
+			refs, err := bdd.FromNet(m, hw)
+			if err != nil {
+				return err
+			}
+			for j := 0; j < width; j++ {
+				src := ((j-amount)%width + width) % width
+				if refs[j] != m.Var(src) {
+					return fmt.Errorf("shifter proof failed at w=%d amount=%d", width, amount)
+				}
+			}
+		}
+		fmt.Fprintf(w, "  hardwired shifter[%2d] ≡ rotation wiring: PROVED for amounts {1, w/2, w−1}\n", width)
+	}
+
+	fmt.Fprintln(w, "(the payload-path contract — gated stable concentration — is proved in")
+	fmt.Fprintln(w, " internal/bdd's tests at n = 8 and 16 over all 2^{2n} input combinations)")
+	return nil
+}

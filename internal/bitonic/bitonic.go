@@ -1,0 +1,245 @@
+// Package bitonic implements Batcher's bitonic sorting network as a
+// baseline concentrator. A comparator network that sorts the valid bits
+// (nonincreasing) IS a hyperconcentrator — this was the obvious
+// pre-CL86 way to build one — but it needs Θ(n lg² n) comparators and
+// Θ(lg² n) gate delays, against the CL86 chip's Θ(n²) area and 2 lg n
+// delays. The library includes it to make the paper's implicit design
+// choice ("use the CL86 hyperconcentrator as the building block")
+// quantitative.
+//
+// Both a functional switch (implementing core.Concentrator) and a
+// gate-level netlist are provided. On 0/1 keys a comparator is just an
+// OR/AND pair for the valid bits plus muxes for the payload.
+package bitonic
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/logic"
+)
+
+// Comparator is one compare-exchange element: positions A and B with
+// the larger key (valid bit) routed to A.
+type Comparator struct {
+	A, B int
+	// Level is the parallel stage index the comparator executes in.
+	Level int
+}
+
+// Network is a bitonic sorting network for n = 2^q wires, sorting
+// valid bits into nonincreasing order.
+type Network struct {
+	n      int
+	comps  []Comparator
+	levels int
+}
+
+// NewNetwork constructs the network. n must be a power of two ≥ 2.
+func NewNetwork(n int) (*Network, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("bitonic: size %d must be a power of two ≥ 2", n)
+	}
+	nw := &Network{n: n}
+	// Standard iterative bitonic sort; "ascending" blocks re-oriented
+	// so the global result is nonincreasing (max first).
+	level := 0
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			for i := 0; i < n; i++ {
+				l := i ^ j
+				if l <= i {
+					continue
+				}
+				// In the classical ascending network, block bit (i&k)
+				// decides direction; invert for nonincreasing output.
+				if i&k == 0 {
+					nw.comps = append(nw.comps, Comparator{A: i, B: l, Level: level})
+				} else {
+					nw.comps = append(nw.comps, Comparator{A: l, B: i, Level: level})
+				}
+			}
+			level++
+		}
+	}
+	nw.levels = level
+	return nw, nil
+}
+
+// Size returns n.
+func (nw *Network) Size() int { return nw.n }
+
+// Comparators returns the comparator count: n·lg n·(lg n+1)/4.
+func (nw *Network) Comparators() int { return len(nw.comps) }
+
+// Levels returns the number of parallel comparator stages:
+// lg n·(lg n+1)/2.
+func (nw *Network) Levels() int { return nw.levels }
+
+// SortValidBits returns the network's rearrangement of the valid bits
+// (nonincreasing — the hyperconcentrator condition).
+func (nw *Network) SortValidBits(valid *bitvec.Vector) (*bitvec.Vector, error) {
+	route, err := nw.Route(valid)
+	if err != nil {
+		return nil, err
+	}
+	out := bitvec.New(nw.n)
+	for _, o := range route {
+		if o >= 0 {
+			out.Set(o, true)
+		}
+	}
+	return out, nil
+}
+
+// Route tracks each valid input through the comparator network:
+// out[i] = final position of input i's message, or −1 for invalid
+// inputs. A comparator moves a lone valid message to its max side and
+// leaves two-valid / two-invalid pairs in place (a consistent tie
+// rule; comparators on equal keys are identities).
+func (nw *Network) Route(valid *bitvec.Vector) ([]int, error) {
+	if valid.Len() != nw.n {
+		return nil, fmt.Errorf("bitonic: %d valid bits on a %d-wire network", valid.Len(), nw.n)
+	}
+	cell := make([]int, nw.n) // message id or −1
+	for i := range cell {
+		if valid.Get(i) {
+			cell[i] = i
+		} else {
+			cell[i] = -1
+		}
+	}
+	for _, c := range nw.comps {
+		if cell[c.A] == -1 && cell[c.B] != -1 {
+			cell[c.A], cell[c.B] = cell[c.B], -1
+		}
+	}
+	out := make([]int, nw.n)
+	for i := range out {
+		out[i] = -1
+	}
+	for pos, id := range cell {
+		if id >= 0 {
+			out[id] = pos
+		}
+	}
+	return out, nil
+}
+
+// --- core.Concentrator adapter ------------------------------------------------
+
+// Switch is an n-by-m concentrator built from the bitonic network
+// (first m outputs), satisfying core.Concentrator.
+type Switch struct {
+	nw *Network
+	m  int
+}
+
+// NewSwitch builds the n-by-m bitonic concentrator switch.
+func NewSwitch(n, m int) (*Switch, error) {
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("bitonic: invalid m = %d for n = %d", m, n)
+	}
+	nw, err := NewNetwork(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Switch{nw: nw, m: m}, nil
+}
+
+// Name implements core.Concentrator.
+func (s *Switch) Name() string { return "bitonic (baseline)" }
+
+// Inputs implements core.Concentrator.
+func (s *Switch) Inputs() int { return s.nw.n }
+
+// Outputs implements core.Concentrator.
+func (s *Switch) Outputs() int { return s.m }
+
+// Route implements core.Concentrator.
+func (s *Switch) Route(valid *bitvec.Vector) ([]int, error) {
+	out, err := s.nw.Route(valid)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if out[i] >= s.m {
+			out[i] = -1
+		}
+	}
+	return out, nil
+}
+
+// EpsilonBound implements core.Concentrator: a sorting network fully
+// sorts, ε = 0.
+func (s *Switch) EpsilonBound() int { return 0 }
+
+// ComparatorDelay is the gate delay charged per comparator level
+// (OR/AND for the key plus a mux for the payload, evaluated in
+// parallel: 2 gate levels).
+const ComparatorDelay = 2
+
+// GateDelays implements core.Concentrator: levels × per-level delay —
+// Θ(lg² n) against the CL86 chip's 2 lg n.
+func (s *Switch) GateDelays() int { return s.nw.levels * ComparatorDelay }
+
+// ChipsTraversed implements core.Concentrator.
+func (s *Switch) ChipsTraversed() int { return 1 }
+
+// ChipCount implements core.Concentrator.
+func (s *Switch) ChipCount() int { return 1 }
+
+// DataPinsPerChip implements core.Concentrator.
+func (s *Switch) DataPinsPerChip() int { return s.nw.n + s.m }
+
+// --- netlist ---------------------------------------------------------------------
+
+// EmitNetlist appends the comparator network's datapath to net: valid
+// bits and payload bits in, sorted valid bits and routed payloads out.
+// Each comparator is OR/AND on the valid bits and a crossing mux on the
+// payloads.
+func (nw *Network) EmitNetlist(net *logic.Net, valid, payload []logic.Signal) (outValid, outPayload []logic.Signal, err error) {
+	if len(valid) != nw.n || len(payload) != nw.n {
+		return nil, nil, fmt.Errorf("bitonic: emit arity mismatch (%d/%d vs %d)", len(valid), len(payload), nw.n)
+	}
+	v := append([]logic.Signal(nil), valid...)
+	p := append([]logic.Signal(nil), payload...)
+	for _, c := range nw.comps {
+		va, vb := v[c.A], v[c.B]
+		pa, pb := p[c.A], p[c.B]
+		// Cross exactly when only B carries a message.
+		cross := net.And(net.Not(va), vb)
+		v[c.A] = net.Or(va, vb)
+		v[c.B] = net.And(va, vb)
+		p[c.A] = net.Mux(cross, pb, pa)
+		p[c.B] = net.Mux(cross, pa, pb)
+	}
+	return v, p, nil
+}
+
+// BuildNetlist emits a standalone netlist with inputs
+// valid.0..{n−1}, data.0..{n−1} and interleaved (valid, data) outputs.
+func BuildNetlist(n int) (*logic.Net, *Network, error) {
+	nw, err := NewNetwork(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	net := logic.New()
+	valid := make([]logic.Signal, n)
+	for i := range valid {
+		valid[i] = net.Input(fmt.Sprintf("valid.%d", i))
+	}
+	payload := make([]logic.Signal, n)
+	for i := range payload {
+		payload[i] = net.Input(fmt.Sprintf("data.%d", i))
+	}
+	ov, op, err := nw.EmitNetlist(net, valid, payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < n; i++ {
+		net.MarkOutput(fmt.Sprintf("valid.%d", i), ov[i])
+		net.MarkOutput(fmt.Sprintf("data.%d", i), op[i])
+	}
+	return net, nw, nil
+}

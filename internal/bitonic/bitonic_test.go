@@ -1,0 +1,207 @@
+package bitonic
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/hyper"
+	"concentrators/internal/logic"
+	"concentrators/internal/nearsort"
+)
+
+var _ core.Concentrator = (*Switch)(nil)
+
+func TestNewNetworkValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12} {
+		if _, err := NewNetwork(n); err == nil {
+			t.Errorf("NewNetwork(%d) accepted", n)
+		}
+	}
+}
+
+func TestNetworkCounts(t *testing.T) {
+	nw, err := NewNetwork(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lg n = 4: levels = 4·5/2 = 10, comparators = 16·10/2 = 80.
+	if nw.Levels() != 10 {
+		t.Errorf("Levels = %d, want 10", nw.Levels())
+	}
+	if nw.Comparators() != 80 {
+		t.Errorf("Comparators = %d, want 80", nw.Comparators())
+	}
+	if nw.Size() != 16 {
+		t.Errorf("Size = %d", nw.Size())
+	}
+}
+
+// The network must fully sort every 0/1 pattern (hyperconcentrator
+// condition) — exhaustive at n = 16.
+func TestSortsExhaustive16(t *testing.T) {
+	nw, err := NewNetwork(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat := 0; pat < 1<<16; pat++ {
+		v := bitvec.New(16)
+		for i := 0; i < 16; i++ {
+			v.Set(i, pat&(1<<uint(i)) != 0)
+		}
+		out, err := nw.SortValidBits(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.IsSorted() || out.Count() != v.Count() {
+			t.Fatalf("pattern %04x: output %s not a sorted copy of %s", pat, out, v)
+		}
+	}
+}
+
+func TestSortsRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, n := range []int{64, 256, 1024} {
+		nw, err := NewNetwork(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 30; trial++ {
+			v := bitvec.New(n)
+			for i := 0; i < n; i++ {
+				v.Set(i, rng.Intn(2) == 1)
+			}
+			out, err := nw.SortValidBits(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !out.IsSorted() || out.Count() != v.Count() {
+				t.Fatalf("n=%d: not sorted", n)
+			}
+		}
+	}
+}
+
+// Route must assign each valid message a distinct position in the
+// sorted prefix.
+func TestRouteDisjointPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	nw, _ := NewNetwork(64)
+	for trial := 0; trial < 50; trial++ {
+		v := bitvec.New(64)
+		for i := 0; i < 64; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		out, err := nw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := v.Count()
+		seen := make([]bool, 64)
+		for i, o := range out {
+			if v.Get(i) {
+				if o < 0 || o >= k || seen[o] {
+					t.Fatalf("input %d routed to %d (k=%d)", i, o, k)
+				}
+				seen[o] = true
+			} else if o != -1 {
+				t.Fatalf("invalid input %d routed", i)
+			}
+		}
+	}
+}
+
+func TestSwitchConcentratorContract(t *testing.T) {
+	sw, err := NewSwitch(32, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 100; trial++ {
+		v := bitvec.New(32)
+		for i := 0; i < 32; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		out, err := sw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nearsort.CheckPartialConcentration(v, out, 12, 0); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+	if _, err := NewSwitch(8, 9); err == nil {
+		t.Error("accepted m > n")
+	}
+}
+
+// The design-choice comparison the paper makes implicitly: the bitonic
+// baseline's Θ(lg² n) delay loses to the CL86 chip's 2 lg n, and the
+// gap widens with n.
+func TestDelayLosesToCL86(t *testing.T) {
+	for _, n := range []int{64, 1024, 4096} {
+		sw, err := NewSwitch(n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := hyper.GateDelays(n) + hyper.PadDelays
+		if sw.GateDelays() <= cl {
+			t.Errorf("n=%d: bitonic %d should exceed CL86 %d", n, sw.GateDelays(), cl)
+		}
+	}
+	// The gap grows: delays ratio at 4096 exceeds ratio at 64.
+	s64, _ := NewSwitch(64, 64)
+	s4096, _ := NewSwitch(4096, 4096)
+	r64 := float64(s64.GateDelays()) / float64(hyper.GateDelays(64)+hyper.PadDelays)
+	r4096 := float64(s4096.GateDelays()) / float64(hyper.GateDelays(4096)+hyper.PadDelays)
+	if r4096 <= r64 {
+		t.Errorf("delay gap should widen: %f vs %f", r64, r4096)
+	}
+}
+
+func TestNetlistMatchesFunctional(t *testing.T) {
+	n := 8
+	net, nw, err := BuildNetlist(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(84))
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := bitvec.New(n)
+		in := make([]bool, 2*n)
+		payload := make([]bool, n)
+		for i := 0; i < n; i++ {
+			b := pat&(1<<uint(i)) != 0
+			v.Set(i, b)
+			in[i] = b
+			payload[i] = rng.Intn(2) == 1
+			in[n+i] = payload[i]
+		}
+		out := net.Eval(in)
+		route, err := nw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := v.Count()
+		for o := 0; o < n; o++ {
+			if out[2*o] != (o < k) {
+				t.Fatalf("pattern %02x: output %d valid wrong", pat, o)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if route[i] >= 0 && out[2*route[i]+1] != payload[i] {
+				t.Fatalf("pattern %02x: payload of input %d corrupted", pat, i)
+			}
+		}
+	}
+}
+
+func TestEmitNetlistValidation(t *testing.T) {
+	nw, _ := NewNetwork(8)
+	net := logic.New()
+	v := net.Inputs("v", 4)
+	if _, _, err := nw.EmitNetlist(net, v, v); err == nil {
+		t.Error("accepted arity mismatch")
+	}
+}

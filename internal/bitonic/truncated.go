@@ -1,0 +1,125 @@
+package bitonic
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+)
+
+// Truncated returns a copy of the network containing only its first
+// `levels` comparator stages. A truncated sorting network no longer
+// sorts — it ε-NEARSORTS for some ε, which makes it raw material for
+// the paper's key lemma and a direct answer to its closing question:
+// "There may be ε-nearsorters based on networks other than the
+// two-dimensional mesh to which we can apply Lemma 2."
+func (nw *Network) Truncated(levels int) (*Network, error) {
+	if levels < 0 || levels > nw.levels {
+		return nil, fmt.Errorf("bitonic: truncation to %d levels out of [0,%d]", levels, nw.levels)
+	}
+	t := &Network{n: nw.n, levels: levels}
+	for _, c := range nw.comps {
+		if c.Level < levels {
+			t.comps = append(t.comps, c)
+		}
+	}
+	return t, nil
+}
+
+// WorstEpsilonExhaustive computes the exact worst-case nearsortedness
+// of the network's valid-bit rearrangement over ALL 2^n patterns.
+// Requires n ≤ 24.
+func (nw *Network) WorstEpsilonExhaustive() (int, error) {
+	if nw.n > 24 {
+		return 0, fmt.Errorf("bitonic: exhaustive ε infeasible for n = %d", nw.n)
+	}
+	worst := 0
+	for pat := 0; pat < 1<<uint(nw.n); pat++ {
+		v := bitvec.New(nw.n)
+		for i := 0; i < nw.n; i++ {
+			v.Set(i, pat&(1<<uint(i)) != 0)
+		}
+		out, err := nw.SortValidBits(v)
+		if err != nil {
+			return 0, err
+		}
+		if e := out.Nearsortedness(); e > worst {
+			worst = e
+		}
+	}
+	return worst, nil
+}
+
+// TruncatedSwitch is an (n, m, 1−ε/m) partial concentrator obtained by
+// applying Lemma 2 to a truncated bitonic network, with ε computed
+// EXACTLY (exhaustively) at construction — a new switch family in the
+// design space the paper opens.
+type TruncatedSwitch struct {
+	nw  *Network
+	m   int
+	eps int
+}
+
+// NewTruncatedSwitch builds the switch; n ≤ 24 (exact ε is computed
+// exhaustively), power of two.
+func NewTruncatedSwitch(n, m, levels int) (*TruncatedSwitch, error) {
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("bitonic: invalid m = %d for n = %d", m, n)
+	}
+	full, err := NewNetwork(n)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := full.Truncated(levels)
+	if err != nil {
+		return nil, err
+	}
+	eps, err := nw.WorstEpsilonExhaustive()
+	if err != nil {
+		return nil, err
+	}
+	return &TruncatedSwitch{nw: nw, m: m, eps: eps}, nil
+}
+
+// Name implements core.Concentrator.
+func (s *TruncatedSwitch) Name() string {
+	return fmt.Sprintf("truncated-bitonic (%d levels)", s.nw.levels)
+}
+
+// Inputs implements core.Concentrator.
+func (s *TruncatedSwitch) Inputs() int { return s.nw.n }
+
+// Outputs implements core.Concentrator.
+func (s *TruncatedSwitch) Outputs() int { return s.m }
+
+// Levels returns the retained comparator stages.
+func (s *TruncatedSwitch) Levels() int { return s.nw.levels }
+
+// Route implements core.Concentrator.
+func (s *TruncatedSwitch) Route(valid *bitvec.Vector) ([]int, error) {
+	out, err := s.nw.Route(valid)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if out[i] >= s.m {
+			out[i] = -1
+		}
+	}
+	return out, nil
+}
+
+// EpsilonBound implements core.Concentrator: the EXACT worst-case ε of
+// the truncated network (not an asymptotic bound).
+func (s *TruncatedSwitch) EpsilonBound() int { return s.eps }
+
+// GateDelays implements core.Concentrator.
+func (s *TruncatedSwitch) GateDelays() int { return s.nw.levels * ComparatorDelay }
+
+// ChipsTraversed implements core.Concentrator.
+func (s *TruncatedSwitch) ChipsTraversed() int { return 1 }
+
+// ChipCount implements core.Concentrator.
+func (s *TruncatedSwitch) ChipCount() int { return 1 }
+
+// DataPinsPerChip implements core.Concentrator.
+func (s *TruncatedSwitch) DataPinsPerChip() int { return s.nw.n + s.m }

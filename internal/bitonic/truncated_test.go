@@ -1,0 +1,145 @@
+package bitonic
+
+import (
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/nearsort"
+)
+
+var _ core.Concentrator = (*TruncatedSwitch)(nil)
+
+func TestTruncatedValidation(t *testing.T) {
+	nw, _ := NewNetwork(16)
+	if _, err := nw.Truncated(-1); err == nil {
+		t.Error("accepted negative levels")
+	}
+	if _, err := nw.Truncated(nw.Levels() + 1); err == nil {
+		t.Error("accepted levels beyond the network")
+	}
+}
+
+func TestTruncatedLevels(t *testing.T) {
+	nw, _ := NewNetwork(16)
+	tr, err := nw.Truncated(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Levels() != 3 {
+		t.Errorf("Levels = %d, want 3", tr.Levels())
+	}
+	for _, c := range tr.comps {
+		if c.Level >= 3 {
+			t.Fatalf("comparator at level %d survived truncation to 3", c.Level)
+		}
+	}
+	// Truncating to the full depth reproduces the whole network.
+	full, err := nw.Truncated(nw.Levels())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Comparators() != nw.Comparators() {
+		t.Error("full truncation lost comparators")
+	}
+}
+
+// ε decreases monotonically with retained levels, reaching 0 at full
+// depth (a sorted output) and n−1-ish at zero levels.
+func TestEpsilonMonotoneInLevels(t *testing.T) {
+	nw, _ := NewNetwork(16)
+	prev := 16
+	for lv := 0; lv <= nw.Levels(); lv++ {
+		tr, err := nw.Truncated(lv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps, err := tr.WorstEpsilonExhaustive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eps > prev {
+			t.Errorf("ε increased from %d to %d at level %d", prev, eps, lv)
+		}
+		prev = eps
+		if lv == 0 && eps < 8 {
+			t.Errorf("zero levels should leave large ε, got %d", eps)
+		}
+		if lv == nw.Levels() && eps != 0 {
+			t.Errorf("full network ε = %d, want 0", eps)
+		}
+	}
+}
+
+func TestWorstEpsilonLimits(t *testing.T) {
+	big, _ := NewNetwork(32)
+	if _, err := big.WorstEpsilonExhaustive(); err == nil {
+		t.Error("accepted n > 24")
+	}
+}
+
+// Lemma 2 applied to the truncated network: the switch must satisfy
+// partial concentration at its EXACT ε for every pattern.
+func TestTruncatedSwitchLemma2Exhaustive(t *testing.T) {
+	n, m := 16, 10
+	for _, levels := range []int{2, 4, 6, 8} {
+		sw, err := NewTruncatedSwitch(n, m, levels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := sw.EpsilonBound()
+		tight := false
+		for pat := 0; pat < 1<<uint(n); pat++ {
+			v := bitvec.New(n)
+			for i := 0; i < n; i++ {
+				v.Set(i, pat&(1<<uint(i)) != 0)
+			}
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nearsort.CheckPartialConcentration(v, out, m, eps); err != nil {
+				t.Fatalf("levels=%d pattern %04x: %v", levels, pat, err)
+			}
+			// Tightness of the exact ε: some pattern must realize it.
+			full, err := sw.nw.SortValidBits(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.Nearsortedness() == eps {
+				tight = true
+			}
+		}
+		if !tight {
+			t.Errorf("levels=%d: ε = %d never realized; not exact", levels, eps)
+		}
+	}
+}
+
+func TestTruncatedSwitchValidation(t *testing.T) {
+	if _, err := NewTruncatedSwitch(16, 0, 2); err == nil {
+		t.Error("accepted m = 0")
+	}
+	if _, err := NewTruncatedSwitch(12, 4, 2); err == nil {
+		t.Error("accepted non-power-of-two n")
+	}
+	if _, err := NewTruncatedSwitch(16, 4, 99); err == nil {
+		t.Error("accepted too many levels")
+	}
+}
+
+func TestTruncatedSwitchAccessors(t *testing.T) {
+	sw, err := NewTruncatedSwitch(16, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Inputs() != 16 || sw.Outputs() != 8 || sw.Levels() != 4 {
+		t.Error("accessors wrong")
+	}
+	if sw.GateDelays() != 4*ComparatorDelay {
+		t.Error("delay wrong")
+	}
+	if sw.Name() == "" || sw.ChipCount() != 1 || sw.ChipsTraversed() != 1 || sw.DataPinsPerChip() != 24 {
+		t.Error("cost accessors wrong")
+	}
+}

@@ -1,0 +1,315 @@
+// Package bitvec provides dense 0/1 vectors with the rank, sortedness,
+// and nearsortedness measurements used throughout the concentrator
+// library.
+//
+// Throughout this repository, following §2 of the paper, a 0/1 sequence
+// is "sorted" when it is in NONINCREASING order: all 1s (valid bits)
+// precede all 0s (invalid bits).
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Vector is a fixed-length dense vector of bits.
+// The zero value is an empty vector of length 0.
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+// New returns an all-zero vector of length n. It panics if n is negative.
+func New(n int) *Vector {
+	if n < 0 {
+		panic(fmt.Sprintf("bitvec: negative length %d", n))
+	}
+	return &Vector{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromBools builds a vector whose bit i is 1 iff bs[i] is true.
+func FromBools(bs []bool) *Vector {
+	v := New(len(bs))
+	for i, b := range bs {
+		if b {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FromBits builds a vector from a slice of 0/1 bytes. Any nonzero byte
+// counts as a 1.
+func FromBits(bs []byte) *Vector {
+	v := New(len(bs))
+	for i, b := range bs {
+		if b != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Parse builds a vector from a string of '0' and '1' characters.
+// It returns an error on any other character.
+func Parse(s string) (*Vector, error) {
+	v := New(len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			v.Set(i, true)
+		case '0':
+			// already zero
+		default:
+			return nil, fmt.Errorf("bitvec: invalid character %q at index %d", s[i], i)
+		}
+	}
+	return v, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and
+// constants.
+func MustParse(s string) *Vector {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Len reports the number of bits in v.
+func (v *Vector) Len() int { return v.n }
+
+// Get reports bit i. It panics if i is out of range.
+func (v *Vector) Get(i int) bool {
+	v.check(i)
+	return v.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Bit reports bit i as a byte (0 or 1).
+func (v *Vector) Bit(i int) byte {
+	if v.Get(i) {
+		return 1
+	}
+	return 0
+}
+
+// Set sets bit i to b. It panics if i is out of range.
+func (v *Vector) Set(i int, b bool) {
+	v.check(i)
+	if b {
+		v.words[i>>6] |= 1 << uint(i&63)
+	} else {
+		v.words[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+func (v *Vector) check(i int) {
+	if i < 0 || i >= v.n {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", i, v.n))
+	}
+}
+
+// Count returns the number of 1 bits (the k of the paper's lemmas).
+func (v *Vector) Count() int {
+	c := 0
+	for _, w := range v.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Rank returns the number of 1 bits in positions [0, i); Rank(Len())
+// equals Count().
+func (v *Vector) Rank(i int) int {
+	if i < 0 || i > v.n {
+		panic(fmt.Sprintf("bitvec: rank index %d out of range [0,%d]", i, v.n))
+	}
+	c := 0
+	full := i >> 6
+	for w := 0; w < full; w++ {
+		c += bits.OnesCount64(v.words[w])
+	}
+	if rem := i & 63; rem != 0 {
+		c += bits.OnesCount64(v.words[full] & ((1 << uint(rem)) - 1))
+	}
+	return c
+}
+
+// PrefixCounts returns the inclusive prefix-sum slice p with
+// p[i] = Rank(i+1); len(p) == Len(). For an empty vector it returns nil.
+func (v *Vector) PrefixCounts() []int {
+	if v.n == 0 {
+		return nil
+	}
+	p := make([]int, v.n)
+	c := 0
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			c++
+		}
+		p[i] = c
+	}
+	return p
+}
+
+// Ones returns the positions of the 1 bits in increasing order.
+func (v *Vector) Ones() []int {
+	ps := make([]int, 0, v.Count())
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			ps = append(ps, i)
+		}
+	}
+	return ps
+}
+
+// Clone returns a copy of v.
+func (v *Vector) Clone() *Vector {
+	w := New(v.n)
+	copy(w.words, v.words)
+	return w
+}
+
+// Equal reports whether v and w have the same length and bits.
+func (v *Vector) Equal(w *Vector) bool {
+	if v.n != w.n {
+		return false
+	}
+	for i := range v.words {
+		if v.words[i] != w.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the vector as a string of '0' and '1' characters.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	sb.Grow(v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Bits returns the vector as a slice of 0/1 bytes.
+func (v *Vector) Bits() []byte {
+	bs := make([]byte, v.n)
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			bs[i] = 1
+		}
+	}
+	return bs
+}
+
+// IsSorted reports whether the vector is in nonincreasing order, i.e.
+// all 1s precede all 0s — the "fully sorted" condition of §2.
+func (v *Vector) IsSorted() bool {
+	return v.Nearsortedness() == 0
+}
+
+// Nearsortedness returns the smallest ε for which the vector is
+// ε-nearsorted: matching the i-th 1 (in position order) to sorted slot
+// i−1 and the j-th 0 to sorted slot k+j−1, it is the maximum
+// displacement of any element. A fully sorted vector returns 0.
+func (v *Vector) Nearsortedness() int {
+	k := v.Count()
+	eps := 0
+	ones, zeros := 0, 0
+	for i := 0; i < v.n; i++ {
+		if v.Get(i) {
+			// The ones-th 1 (0-indexed) belongs at slot ones.
+			if d := i - ones; d > eps {
+				eps = d
+			}
+			ones++
+		} else {
+			// The zeros-th 0 (0-indexed) belongs at slot k+zeros.
+			if d := (k + zeros) - i; d > eps {
+				eps = d
+			}
+			zeros++
+		}
+	}
+	return eps
+}
+
+// DirtyWindow returns the half-open index range [lo, hi) of the minimal
+// window outside which the vector is clean: positions [0, lo) are all
+// 1s and positions [hi, Len()) are all 0s. A fully sorted vector has
+// lo == hi == Count(). An all-clean empty vector returns (0, 0).
+func (v *Vector) DirtyWindow() (lo, hi int) {
+	lo = 0
+	for lo < v.n && v.Get(lo) {
+		lo++
+	}
+	hi = v.n
+	for hi > lo && !v.Get(hi-1) {
+		hi--
+	}
+	return lo, hi
+}
+
+// DirtyLen returns hi−lo of DirtyWindow: the length of the dirty
+// region. Lemma 1 bounds this by 2ε for an ε-nearsorted vector.
+func (v *Vector) DirtyLen() int {
+	lo, hi := v.DirtyWindow()
+	return hi - lo
+}
+
+// Concat returns the concatenation of the given vectors.
+func Concat(vs ...*Vector) *Vector {
+	total := 0
+	for _, v := range vs {
+		total += v.n
+	}
+	out := New(total)
+	at := 0
+	for _, v := range vs {
+		for i := 0; i < v.n; i++ {
+			if v.Get(i) {
+				out.Set(at+i, true)
+			}
+		}
+		at += v.n
+	}
+	return out
+}
+
+// Sorted returns the fully sorted (nonincreasing) rearrangement of v:
+// Count() ones followed by zeros.
+func (v *Vector) Sorted() *Vector {
+	out := New(v.n)
+	for i, k := 0, v.Count(); i < k; i++ {
+		out.Set(i, true)
+	}
+	return out
+}
+
+// Permute returns the vector w with w[perm[i]] = v[i]. perm must be a
+// permutation of [0, Len()); it panics otherwise.
+func (v *Vector) Permute(perm []int) *Vector {
+	if len(perm) != v.n {
+		panic(fmt.Sprintf("bitvec: permutation length %d != vector length %d", len(perm), v.n))
+	}
+	out := New(v.n)
+	seen := make([]bool, v.n)
+	for i, p := range perm {
+		if p < 0 || p >= v.n || seen[p] {
+			panic(fmt.Sprintf("bitvec: perm is not a permutation (entry %d -> %d)", i, p))
+		}
+		seen[p] = true
+		if v.Get(i) {
+			out.Set(p, true)
+		}
+	}
+	return out
+}

@@ -1,0 +1,348 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndLen(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 127, 128, 1000} {
+		v := New(n)
+		if v.Len() != n {
+			t.Errorf("New(%d).Len() = %d", n, v.Len())
+		}
+		if v.Count() != 0 {
+			t.Errorf("New(%d).Count() = %d, want 0", n, v.Count())
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetGet(t *testing.T) {
+	v := New(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i, true)
+	}
+	for _, i := range idx {
+		if !v.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if v.Count() != len(idx) {
+		t.Errorf("Count = %d, want %d", v.Count(), len(idx))
+	}
+	for _, i := range idx {
+		v.Set(i, false)
+	}
+	if v.Count() != 0 {
+		t.Errorf("Count after clearing = %d, want 0", v.Count())
+	}
+}
+
+func TestGetOutOfRangePanics(t *testing.T) {
+	v := New(8)
+	for _, i := range []int{-1, 8, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) did not panic", i)
+				}
+			}()
+			v.Get(i)
+		}()
+	}
+}
+
+func TestParse(t *testing.T) {
+	v, err := Parse("10110")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true, true, false}
+	for i, w := range want {
+		if v.Get(i) != w {
+			t.Errorf("bit %d = %v, want %v", i, v.Get(i), w)
+		}
+	}
+	if _, err := Parse("10x"); err == nil {
+		t.Error("Parse accepted invalid character")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("2")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		w := MustParse(v.String())
+		if !v.Equal(w) {
+			t.Fatalf("round trip failed for %q", v.String())
+		}
+	}
+}
+
+func TestRank(t *testing.T) {
+	v := MustParse("1101001")
+	wantRank := []int{0, 1, 2, 2, 3, 3, 3, 4}
+	for i, w := range wantRank {
+		if got := v.Rank(i); got != w {
+			t.Errorf("Rank(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestRankMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(300)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		c := 0
+		for i := 0; i <= n; i++ {
+			if got := v.Rank(i); got != c {
+				t.Fatalf("Rank(%d) = %d, want %d", i, got, c)
+			}
+			if i < n && v.Get(i) {
+				c++
+			}
+		}
+	}
+}
+
+func TestPrefixCounts(t *testing.T) {
+	v := MustParse("01101")
+	want := []int{0, 1, 2, 2, 3}
+	got := v.PrefixCounts()
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("prefix[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if New(0).PrefixCounts() != nil {
+		t.Error("empty vector should return nil prefix counts")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	v := MustParse("0110010")
+	got := v.Ones()
+	want := []int{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Ones = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ones = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	cases := map[string]bool{
+		"":        true,
+		"0":       true,
+		"1":       true,
+		"10":      true,
+		"1110000": true,
+		"01":      false,
+		"1101":    false,
+		"0001":    false,
+	}
+	for s, want := range cases {
+		if got := MustParse(s).IsSorted(); got != want {
+			t.Errorf("IsSorted(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestNearsortedness(t *testing.T) {
+	cases := map[string]int{
+		"":         0,
+		"1":        0,
+		"0":        0,
+		"110":      0,
+		"101":      1, // the 0 belongs at slot 2, is at 1; the second 1 at slot 1, is at 2
+		"011":      2,
+		"0101":     2,
+		"0011":     2,
+		"00111":    3,
+		"01010101": 4,
+	}
+	for s, want := range cases {
+		if got := MustParse(s).Nearsortedness(); got != want {
+			t.Errorf("Nearsortedness(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+// TestNearsortednessPaperExample checks the paper's §3 example: the
+// sequence 5,3,6,1,4,2 is 2-nearsorted. We translate to 0/1 by
+// thresholding at each value, since a sequence of distinct keys is
+// ε-nearsorted iff each 0/1 threshold projection is (a standard 0-1
+// principle argument).
+func TestNearsortednessPaperExample(t *testing.T) {
+	seq := []int{5, 3, 6, 1, 4, 2}
+	maxEps := 0
+	for thr := 1; thr <= 6; thr++ {
+		v := New(len(seq))
+		for i, x := range seq {
+			v.Set(i, x >= thr)
+		}
+		if e := v.Nearsortedness(); e > maxEps {
+			maxEps = e
+		}
+	}
+	if maxEps != 2 {
+		t.Errorf("max threshold nearsortedness = %d, want 2", maxEps)
+	}
+}
+
+func TestDirtyWindow(t *testing.T) {
+	cases := []struct {
+		s      string
+		lo, hi int
+	}{
+		{"", 0, 0},
+		{"1100", 2, 2},
+		{"1010", 1, 3},
+		{"0011", 0, 4},
+		{"111", 3, 3},
+		{"000", 0, 0},
+		{"1101100", 2, 5},
+	}
+	for _, c := range cases {
+		lo, hi := MustParse(c.s).DirtyWindow()
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("DirtyWindow(%q) = (%d,%d), want (%d,%d)", c.s, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+// Property: DirtyLen ≤ 2·Nearsortedness (Lemma 1, forward direction)
+// and the clean prefix has ≥ k−ε ones.
+func TestLemma1Property(t *testing.T) {
+	f := func(raw []bool) bool {
+		v := FromBools(raw)
+		eps := v.Nearsortedness()
+		lo, hi := v.DirtyWindow()
+		k := v.Count()
+		if hi-lo > 2*eps {
+			return false
+		}
+		if lo < k-eps {
+			return false
+		}
+		if v.Len()-hi < v.Len()-k-eps {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSorted(t *testing.T) {
+	v := MustParse("010110")
+	s := v.Sorted()
+	if s.String() != "111000" {
+		t.Errorf("Sorted = %q, want 111000", s.String())
+	}
+	if !s.IsSorted() || s.Count() != v.Count() {
+		t.Error("Sorted output is not a sorted rearrangement")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	v := MustParse("1100")
+	w := v.Permute([]int{3, 2, 1, 0})
+	if w.String() != "0011" {
+		t.Errorf("Permute reverse = %q, want 0011", w.String())
+	}
+}
+
+func TestPermuteRejectsNonPermutation(t *testing.T) {
+	v := MustParse("10")
+	for _, perm := range [][]int{{0, 0}, {0, 2}, {0}, {-1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Permute(%v) did not panic", perm)
+				}
+			}()
+			v.Permute(perm)
+		}()
+	}
+}
+
+func TestConcat(t *testing.T) {
+	v := Concat(MustParse("10"), MustParse(""), MustParse("011"))
+	if v.String() != "10011" {
+		t.Errorf("Concat = %q, want 10011", v.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := MustParse("101")
+	w := v.Clone()
+	w.Set(1, true)
+	if v.Get(1) {
+		t.Error("Clone shares storage with original")
+	}
+	if !w.Get(1) {
+		t.Error("Clone did not accept Set")
+	}
+}
+
+func TestBitsAndFromBits(t *testing.T) {
+	v := MustParse("0101")
+	bs := v.Bits()
+	w := FromBits(bs)
+	if !v.Equal(w) {
+		t.Error("Bits/FromBits round trip failed")
+	}
+}
+
+// Property: Permute by a random permutation preserves Count and
+// Nearsortedness of the sorted vector is 0.
+func TestPermutePreservesCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		v := New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		perm := rng.Perm(n)
+		if got := v.Permute(perm).Count(); got != v.Count() {
+			t.Fatalf("Permute changed count: %d -> %d", v.Count(), got)
+		}
+	}
+}

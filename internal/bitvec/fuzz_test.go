@@ -1,0 +1,81 @@
+package bitvec
+
+import "testing"
+
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add("")
+	f.Add("0")
+	f.Add("10110")
+	f.Add("111000")
+	f.Add("x")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			return // invalid characters are fine to reject
+		}
+		if v.Len() != len(s) {
+			t.Fatalf("length %d != %d", v.Len(), len(s))
+		}
+		if v.String() != s {
+			t.Fatalf("round trip %q != %q", v.String(), s)
+		}
+		// Invariants tie together the measurement functions.
+		eps := v.Nearsortedness()
+		if err := checkLemma1Shape(v, eps); err != nil {
+			t.Fatal(err)
+		}
+		if v.IsSorted() != (eps == 0) {
+			t.Fatal("IsSorted disagrees with Nearsortedness")
+		}
+		if got := v.Sorted().Count(); got != v.Count() {
+			t.Fatal("Sorted changed count")
+		}
+	})
+}
+
+// checkLemma1Shape is the Lemma 1 structure predicate, local to avoid
+// an import cycle with nearsort.
+func checkLemma1Shape(v *Vector, eps int) error {
+	k := v.Count()
+	lo, hi := v.DirtyWindow()
+	switch {
+	case lo < k-eps:
+		return errShape
+	case hi-lo > 2*eps:
+		return errShape
+	case v.Len()-hi < v.Len()-k-eps:
+		return errShape
+	}
+	return nil
+}
+
+var errShape = &shapeErr{}
+
+type shapeErr struct{}
+
+func (*shapeErr) Error() string { return "Lemma 1 structure violated" }
+
+func FuzzRankConsistency(f *testing.F) {
+	f.Add([]byte{0xF0, 0x0F})
+	f.Add([]byte{})
+	f.Add([]byte{0xAA})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := New(len(raw) * 8)
+		for i := 0; i < v.Len(); i++ {
+			v.Set(i, raw[i/8]&(1<<uint(i%8)) != 0)
+		}
+		prefix := v.PrefixCounts()
+		for i := 0; i <= v.Len(); i++ {
+			want := 0
+			if i > 0 {
+				want = prefix[i-1]
+			}
+			if got := v.Rank(i); got != want {
+				t.Fatalf("Rank(%d) = %d, want %d", i, got, want)
+			}
+		}
+		if v.Len() > 0 && prefix[v.Len()-1] != v.Count() {
+			t.Fatal("final prefix != Count")
+		}
+	})
+}

@@ -1,0 +1,192 @@
+// Package concgraph implements concentrators as GRAPHS — the original
+// setting the paper's §2 cites (Pinsker 1973, Pippenger 1977, Valiant
+// 1976): a bipartite graph with n inputs and m outputs is an
+// (n, m, c)-concentrator when every set of k ≤ c inputs has k
+// vertex-disjoint edges to outputs (a matching saturating it).
+//
+// Graph concentrators prove EXISTENCE with only O(n) edges — far fewer
+// than any switch here uses — but they are non-constructive and give no
+// routing algorithm, let alone a combinational one; connecting them to
+// the paper's switches quantifies what the constructive designs pay
+// for being buildable and self-routing (experiment X9).
+package concgraph
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"concentrators/internal/flow"
+)
+
+// Graph is a bipartite graph from n inputs to m outputs.
+type Graph struct {
+	n, m int
+	adj  [][]int // adj[input] = sorted-ish list of outputs
+}
+
+// New returns an edgeless bipartite graph.
+func New(n, m int) (*Graph, error) {
+	if n < 1 || m < 1 {
+		return nil, fmt.Errorf("concgraph: invalid dimensions %d×%d", n, m)
+	}
+	return &Graph{n: n, m: m, adj: make([][]int, n)}, nil
+}
+
+// Inputs returns n.
+func (g *Graph) Inputs() int { return g.n }
+
+// Outputs returns m.
+func (g *Graph) Outputs() int { return g.m }
+
+// AddEdge connects input i to output o (duplicates are ignored).
+func (g *Graph) AddEdge(i, o int) error {
+	if i < 0 || i >= g.n || o < 0 || o >= g.m {
+		return fmt.Errorf("concgraph: edge (%d,%d) out of range %d×%d", i, o, g.n, g.m)
+	}
+	for _, x := range g.adj[i] {
+		if x == o {
+			return nil
+		}
+	}
+	g.adj[i] = append(g.adj[i], o)
+	return nil
+}
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int {
+	c := 0
+	for _, a := range g.adj {
+		c += len(a)
+	}
+	return c
+}
+
+// MaxDegree returns the largest input degree.
+func (g *Graph) MaxDegree() int {
+	d := 0
+	for _, a := range g.adj {
+		if len(a) > d {
+			d = len(a)
+		}
+	}
+	return d
+}
+
+// SaturatesSubset reports whether the given input subset has a matching
+// saturating it (computed by maximum bipartite matching).
+func (g *Graph) SaturatesSubset(subset []int) (bool, error) {
+	var pairs [][2]int
+	for li, i := range subset {
+		if i < 0 || i >= g.n {
+			return false, fmt.Errorf("concgraph: input %d out of range", i)
+		}
+		for _, o := range g.adj[i] {
+			pairs = append(pairs, [2]int{li, o})
+		}
+	}
+	return flow.MaxBipartiteMatching(len(subset), g.m, pairs) == len(subset), nil
+}
+
+// ExactCapacity returns the largest c such that g is an
+// (n, m, c)-concentrator, computed exactly by Hall's condition over all
+// input subsets. It requires n ≤ 24 and m ≤ 64.
+func (g *Graph) ExactCapacity() (int, error) {
+	if g.n > 24 {
+		return 0, fmt.Errorf("concgraph: exact capacity infeasible for n = %d (> 24)", g.n)
+	}
+	if g.m > 64 {
+		return 0, fmt.Errorf("concgraph: exact capacity needs m ≤ 64, got %d", g.m)
+	}
+	nb := make([]uint64, g.n)
+	for i, a := range g.adj {
+		for _, o := range a {
+			nb[i] |= 1 << uint(o)
+		}
+	}
+	// Hall: g is a c-concentrator iff no subset S with |S| ≤ c has
+	// |N(S)| < |S|. The capacity is (size of the smallest deficient
+	// subset) − 1, or n if none exists.
+	minDeficient := g.n + 1
+	for mask := 1; mask < 1<<uint(g.n); mask++ {
+		size := bits.OnesCount(uint(mask))
+		if size >= minDeficient {
+			continue
+		}
+		var nbh uint64
+		rest := mask
+		for rest != 0 {
+			i := bits.TrailingZeros(uint(rest))
+			rest &^= 1 << uint(i)
+			nbh |= nb[i]
+		}
+		if bits.OnesCount64(nbh) < size {
+			minDeficient = size
+		}
+	}
+	if minDeficient > g.n {
+		return g.n, nil
+	}
+	return minDeficient - 1, nil
+}
+
+// SampledCapacityLowerBoundFailure searches for a small deficient
+// subset by random sampling plus a greedy contraction heuristic and
+// returns the size of the smallest deficient subset found (or 0 if none
+// was found in the budget — evidence, not proof, that the capacity is
+// high). Use for graphs too large for ExactCapacity.
+func (g *Graph) SampledCapacityLowerBoundFailure(rng *rand.Rand, samplesPerSize int) (int, error) {
+	for size := 1; size <= g.n && size <= g.m+1; size++ {
+		for trial := 0; trial < samplesPerSize; trial++ {
+			subset := rng.Perm(g.n)[:size]
+			ok, err := g.SaturatesSubset(subset)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				return size, nil
+			}
+		}
+	}
+	return 0, nil
+}
+
+// RandomRegular builds a random bipartite graph where every input picks
+// d distinct random outputs — the Pinsker-style probabilistic
+// construction. (Pinsker: such graphs are good concentrators with high
+// probability for constant d.)
+func RandomRegular(n, m, d int, rng *rand.Rand) (*Graph, error) {
+	if d < 1 || d > m {
+		return nil, fmt.Errorf("concgraph: degree %d out of range [1,%d]", d, m)
+	}
+	g, err := New(n, m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for _, o := range rng.Perm(m)[:d] {
+			if err := g.AddEdge(i, o); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// Complete builds the complete bipartite graph K_{n,m}: the trivial
+// (n, m, m)-concentrator with n·m edges — what a full crossbar
+// realizes.
+func Complete(n, m int) (*Graph, error) {
+	g, err := New(n, m)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for o := 0; o < m; o++ {
+			if err := g.AddEdge(i, o); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}

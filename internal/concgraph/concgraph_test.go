@@ -1,0 +1,213 @@
+package concgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("accepted n = 0")
+	}
+	if _, err := New(3, 0); err == nil {
+		t.Error("accepted m = 0")
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g, _ := New(3, 3)
+	if err := g.AddEdge(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 0); err != nil {
+		t.Fatal(err) // duplicate is a no-op
+	}
+	if g.EdgeCount() != 1 {
+		t.Errorf("EdgeCount = %d, want 1 (duplicate ignored)", g.EdgeCount())
+	}
+	if err := g.AddEdge(3, 0); err == nil {
+		t.Error("accepted out-of-range input")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("accepted out-of-range output")
+	}
+}
+
+func TestCompleteGraphCapacity(t *testing.T) {
+	g, err := Complete(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 24 || g.MaxDegree() != 4 {
+		t.Errorf("edges=%d degree=%d", g.EdgeCount(), g.MaxDegree())
+	}
+	c, err := g.ExactCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 4 {
+		t.Errorf("K_{6,4} capacity = %d, want m = 4", c)
+	}
+}
+
+func TestEdgelessCapacityZero(t *testing.T) {
+	g, _ := New(4, 4)
+	c, err := g.ExactCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("edgeless capacity = %d, want 0", c)
+	}
+}
+
+func TestHandBuiltCapacity(t *testing.T) {
+	// Inputs 0,1,2 all adjacent only to output 0: {0,1} is deficient →
+	// capacity 1.
+	g, _ := New(3, 2)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := g.ExactCapacity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Errorf("capacity = %d, want 1", c)
+	}
+	// Add edge 2→1: now {0,1} still deficient (both see only {0}).
+	g.AddEdge(2, 1)
+	if c, _ = g.ExactCapacity(); c != 1 {
+		t.Errorf("capacity = %d, want 1", c)
+	}
+	// Add 1→1: smallest deficient set is now size 3 ({0,1,2} has
+	// |N| = 2): capacity 2 = m.
+	g.AddEdge(1, 1)
+	if c, _ = g.ExactCapacity(); c != 2 {
+		t.Errorf("capacity = %d, want 2", c)
+	}
+}
+
+func TestExactCapacityLimits(t *testing.T) {
+	g, _ := New(25, 4)
+	if _, err := g.ExactCapacity(); err == nil {
+		t.Error("accepted n > 24")
+	}
+	g2, _ := New(4, 65)
+	if _, err := g2.ExactCapacity(); err == nil {
+		t.Error("accepted m > 64")
+	}
+}
+
+func TestSaturatesSubsetMatchesHall(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 30; trial++ {
+		n, m := 6, 5
+		g, _ := New(n, m)
+		for i := 0; i < n; i++ {
+			for o := 0; o < m; o++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(i, o)
+				}
+			}
+		}
+		cap1, err := g.ExactCapacity()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every subset of size ≤ cap1 must saturate; find a deficient
+		// one of size cap1+1 if cap1 < n.
+		for mask := 1; mask < 1<<uint(n); mask++ {
+			var subset []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					subset = append(subset, i)
+				}
+			}
+			ok, err := g.SaturatesSubset(subset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(subset) <= cap1 && !ok {
+				t.Fatalf("capacity %d but subset %v of size %d unsaturated", cap1, subset, len(subset))
+			}
+		}
+	}
+}
+
+func TestRandomRegularValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	if _, err := RandomRegular(4, 4, 0, rng); err == nil {
+		t.Error("accepted degree 0")
+	}
+	if _, err := RandomRegular(4, 4, 5, rng); err == nil {
+		t.Error("accepted degree > m")
+	}
+	g, err := RandomRegular(8, 6, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 24 || g.MaxDegree() != 3 {
+		t.Errorf("edges=%d degree=%d", g.EdgeCount(), g.MaxDegree())
+	}
+}
+
+// Pinsker's phenomenon, empirically: degree-1 random graphs have tiny
+// capacity, degree-4 ones are near-perfect concentrators.
+func TestPinskerPhenomenon(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	n, m := 16, 8
+	avgCap := func(d int) float64 {
+		total := 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			g, err := RandomRegular(n, m, d, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := g.ExactCapacity()
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += c
+		}
+		return float64(total) / trials
+	}
+	c1, c4 := avgCap(1), avgCap(4)
+	if c1 >= c4 {
+		t.Errorf("degree 1 capacity %.2f should be far below degree 4's %.2f", c1, c4)
+	}
+	if c4 < 6 {
+		t.Errorf("degree-4 random graphs should be near-perfect (avg %.2f of max %d)", c4, m)
+	}
+	if c1 > 3 {
+		t.Errorf("degree-1 random graphs should have small capacity (avg %.2f)", c1)
+	}
+}
+
+func TestSampledFailureSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	// A graph with an obvious deficiency: 3 inputs sharing one output.
+	g, _ := New(10, 10)
+	for i := 0; i < 10; i++ {
+		g.AddEdge(i, 0)
+	}
+	size, err := g.SampledCapacityLowerBoundFailure(rng, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 2 {
+		t.Errorf("smallest deficient subset found = %d, want 2", size)
+	}
+	// The complete graph yields no failure.
+	k, _ := Complete(8, 8)
+	size, err = k.SampledCapacityLowerBoundFailure(rng, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 0 {
+		t.Errorf("complete graph reported deficiency of size %d", size)
+	}
+}

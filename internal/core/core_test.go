@@ -1,0 +1,565 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/mesh"
+	"concentrators/internal/nearsort"
+)
+
+// Compile-time interface checks.
+var (
+	_ Concentrator = (*PerfectSwitch)(nil)
+	_ Concentrator = (*Crossbar)(nil)
+	_ Concentrator = (*RevsortSwitch)(nil)
+	_ Concentrator = (*ColumnsortSwitch)(nil)
+	_ Concentrator = (*FullRevsortHyper)(nil)
+	_ Concentrator = (*FullColumnsortHyper)(nil)
+)
+
+func randomValid(rng *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}
+
+func patternValid(pat, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, pat&(1<<uint(i)) != 0)
+	}
+	return v
+}
+
+func TestLoadRatioAndThreshold(t *testing.T) {
+	sw, err := NewColumnsortSwitch(8, 4, 16) // n=32, ε=(4−1)²=9, m=16
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.EpsilonBound(); got != 9 {
+		t.Fatalf("ε = %d, want 9", got)
+	}
+	if got := LoadRatio(sw); got != 1-9.0/16 {
+		t.Errorf("LoadRatio = %v", got)
+	}
+	if got := Threshold(sw); got != 7 {
+		t.Errorf("Threshold = %d, want 7", got)
+	}
+}
+
+func TestLoadRatioClamped(t *testing.T) {
+	sw, err := NewColumnsortSwitch(8, 8, 4) // ε=49 > m=4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LoadRatio(sw); got != 0 {
+		t.Errorf("LoadRatio = %v, want 0", got)
+	}
+	if got := Threshold(sw); got != 0 {
+		t.Errorf("Threshold = %d, want 0", got)
+	}
+}
+
+// --- PerfectSwitch / Crossbar ------------------------------------------------
+
+func TestPerfectSwitchBasics(t *testing.T) {
+	if _, err := NewPerfectSwitch(4, 5); err == nil {
+		t.Error("accepted m > n")
+	}
+	if _, err := NewPerfectSwitch(0, 0); err == nil {
+		t.Error("accepted n = 0")
+	}
+	sw, err := NewPerfectSwitch(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Inputs() != 8 || sw.Outputs() != 4 || sw.EpsilonBound() != 0 {
+		t.Error("accessor values wrong")
+	}
+	if sw.ChipCount() != 1 || sw.ChipsTraversed() != 1 || sw.DataPinsPerChip() != 12 {
+		t.Error("cost values wrong")
+	}
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 100; trial++ {
+		v := randomValid(rng, 8)
+		out, err := sw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nearsort.CheckPartialConcentration(v, out, 4, 0); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+}
+
+func TestCrossbarBasics(t *testing.T) {
+	sw, err := NewCrossbar(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 100; trial++ {
+		v := randomValid(rng, 6)
+		out, err := sw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nearsort.CheckPartialConcentration(v, out, 3, 0); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	}
+	// The crossbar's linear grant chain loses to the hyperconcentrator's
+	// logarithmic depth once n grows.
+	bigXbar, _ := NewCrossbar(64, 32)
+	bigHyper, _ := NewPerfectSwitch(64, 32)
+	if bigXbar.GateDelays() <= bigHyper.GateDelays() {
+		t.Errorf("crossbar (%d delays) should be slower than the hyperconcentrator (%d) at n=64",
+			bigXbar.GateDelays(), bigHyper.GateDelays())
+	}
+}
+
+func TestRouteWrongLength(t *testing.T) {
+	sw, _ := NewPerfectSwitch(8, 4)
+	if _, err := sw.Route(bitvec.New(7)); err == nil {
+		t.Error("accepted wrong-length valid bits")
+	}
+}
+
+// --- RevsortSwitch ------------------------------------------------------------
+
+func TestNewRevsortSwitchValidation(t *testing.T) {
+	for _, n := range []int{5, 8, 36, 100} { // 36 = 6², side not pow2; 8 not square
+		if _, err := NewRevsortSwitch(n, 1); err == nil {
+			t.Errorf("accepted n = %d", n)
+		}
+	}
+	sw, err := NewRevsortSwitch(64, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Side() != 8 || sw.Inputs() != 64 || sw.Outputs() != 28 {
+		t.Error("accessors wrong")
+	}
+}
+
+// The switch's valid-bit rearrangement must equal Algorithm 1 exactly —
+// the multichip circuit computes the same function as the mesh
+// algorithm (the §4 equivalence).
+func TestRevsortRouteMatchesAlgorithm1(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		sw, err := NewRevsortSwitch(n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		side := sw.Side()
+		for trial := 0; trial < 50; trial++ {
+			v := randomValid(rng, n)
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := mesh.FromRowMajor(v, side, side)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mesh.Algorithm1(m); err != nil {
+				t.Fatal(err)
+			}
+			occupied := bitvec.New(n)
+			for i, o := range out {
+				if o >= 0 {
+					if !v.Get(i) {
+						t.Fatal("invalid input routed")
+					}
+					occupied.Set(o, true)
+				}
+			}
+			if !occupied.Equal(m.RowMajor()) {
+				t.Fatalf("n=%d: switch output pattern differs from Algorithm 1\nswitch: %s\nmesh:   %s",
+					n, occupied, m.RowMajor())
+			}
+		}
+	}
+}
+
+// Theorem 3, exhaustively for n=16: the switch is an
+// (n, m, 1−ε/m) partial concentrator with ε = (2⌈n^{1/4}⌉−1)√n for
+// every m and every valid pattern.
+func TestRevsortPartialConcentrationExhaustive(t *testing.T) {
+	n := 16
+	for _, m := range []int{1, 4, 7, 12, 16} {
+		sw, err := NewRevsortSwitch(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := sw.EpsilonBound()
+		for pat := 0; pat < 1<<uint(n); pat++ {
+			v := patternValid(pat, n)
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nearsort.CheckPartialConcentration(v, out, m, eps); err != nil {
+				t.Fatalf("m=%d pattern %04x: %v", m, pat, err)
+			}
+		}
+	}
+}
+
+func TestRevsortPartialConcentrationRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for _, n := range []int{64, 256, 1024, 4096} {
+		m := n / 2
+		sw, err := NewRevsortSwitch(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := sw.EpsilonBound()
+		for trial := 0; trial < 25; trial++ {
+			v := randomValid(rng, n)
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nearsort.CheckPartialConcentration(v, out, m, eps); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+		}
+	}
+}
+
+func TestRevsortCostModel(t *testing.T) {
+	sw, _ := NewRevsortSwitch(64, 28)
+	// 3 chips × (2·lg 8 + pads) + shifter = 3·8 + 1 = 25; the paper's
+	// 3 lg n + O(1) with lg n = 6 → 18 + constant.
+	if got := sw.GateDelays(); got != 25 {
+		t.Errorf("GateDelays = %d, want 25", got)
+	}
+	if sw.ChipsTraversed() != 4 {
+		t.Errorf("ChipsTraversed = %d", sw.ChipsTraversed())
+	}
+	if sw.HyperChipCount() != 24 || sw.BarrelShifterCount() != 8 || sw.ChipCount() != 32 {
+		t.Error("chip counts wrong")
+	}
+	// 2√n + ⌈(lg n)/2⌉ = 16 + 3 = 19.
+	if got := sw.DataPinsPerChip(); got != 19 {
+		t.Errorf("DataPinsPerChip = %d, want 19", got)
+	}
+}
+
+// --- ColumnsortSwitch ----------------------------------------------------------
+
+func TestNewColumnsortSwitchValidation(t *testing.T) {
+	if _, err := NewColumnsortSwitch(4, 8, 1); err == nil {
+		t.Error("accepted s > r")
+	}
+	if _, err := NewColumnsortSwitch(9, 4, 1); err == nil {
+		t.Error("accepted s ∤ r")
+	}
+	if _, err := NewColumnsortSwitch(8, 4, 33); err == nil {
+		t.Error("accepted m > n")
+	}
+	sw, err := NewColumnsortSwitch(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := sw.Shape()
+	if r != 8 || s != 4 || sw.Inputs() != 32 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestShapeForBeta(t *testing.T) {
+	cases := []struct {
+		n    int
+		beta float64
+		r, s int
+	}{
+		{4096, 0.5, 64, 64},
+		{4096, 1.0, 4096, 1},
+		{4096, 0.75, 512, 8},
+		{1024, 0.5, 32, 32},
+		{64, 0.625, 16, 4},
+	}
+	for _, c := range cases {
+		r, s, err := ShapeForBeta(c.n, c.beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != c.r || s != c.s {
+			t.Errorf("ShapeForBeta(%d, %v) = %d×%d, want %d×%d", c.n, c.beta, r, s, c.r, c.s)
+		}
+		if r*s != c.n || r%s != 0 {
+			t.Errorf("shape %d×%d invalid for n=%d", r, s, c.n)
+		}
+	}
+	if _, _, err := ShapeForBeta(100, 0.5); err == nil {
+		t.Error("accepted non-power-of-two n")
+	}
+	if _, _, err := ShapeForBeta(64, 0.3); err == nil {
+		t.Error("accepted β < 1/2")
+	}
+}
+
+func TestColumnsortRouteMatchesAlgorithm2(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	shapes := [][2]int{{4, 2}, {8, 4}, {16, 4}, {32, 8}, {64, 8}}
+	for _, sh := range shapes {
+		r, s := sh[0], sh[1]
+		n := r * s
+		sw, err := NewColumnsortSwitch(r, s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			v := randomValid(rng, n)
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := mesh.FromRowMajor(v, r, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mesh.Algorithm2(m); err != nil {
+				t.Fatal(err)
+			}
+			occupied := bitvec.New(n)
+			for i, o := range out {
+				if o >= 0 {
+					if !v.Get(i) {
+						t.Fatal("invalid input routed")
+					}
+					occupied.Set(o, true)
+				}
+			}
+			if !occupied.Equal(m.RowMajor()) {
+				t.Fatalf("%d×%d: switch output differs from Algorithm 2", r, s)
+			}
+		}
+	}
+}
+
+// Theorem 4, exhaustively for the 4×2 mesh with every m.
+func TestColumnsortPartialConcentrationExhaustive(t *testing.T) {
+	r, s := 4, 2
+	n := r * s
+	for m := 1; m <= n; m++ {
+		sw, err := NewColumnsortSwitch(r, s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := sw.EpsilonBound()
+		for pat := 0; pat < 1<<uint(n); pat++ {
+			v := patternValid(pat, n)
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nearsort.CheckPartialConcentration(v, out, m, eps); err != nil {
+				t.Fatalf("m=%d pattern %02x: %v", m, pat, err)
+			}
+		}
+	}
+}
+
+func TestColumnsortPartialConcentrationRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	shapes := [][2]int{{16, 4}, {64, 8}, {128, 16}, {256, 16}}
+	for _, sh := range shapes {
+		r, s := sh[0], sh[1]
+		n := r * s
+		m := n / 2
+		sw, err := NewColumnsortSwitch(r, s, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := sw.EpsilonBound()
+		for trial := 0; trial < 25; trial++ {
+			v := randomValid(rng, n)
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := nearsort.CheckPartialConcentration(v, out, m, eps); err != nil {
+				t.Fatalf("%d×%d: %v", r, s, err)
+			}
+		}
+	}
+}
+
+func TestColumnsortCostModel(t *testing.T) {
+	sw, _ := NewColumnsortSwitch(8, 4, 18) // the Figure 6 switch
+	// Two chips of size 8: 2·(2·3+2) = 16 gate delays; 4β lg n + O(1).
+	if got := sw.GateDelays(); got != 16 {
+		t.Errorf("GateDelays = %d, want 16", got)
+	}
+	if sw.ChipsTraversed() != 2 || sw.ChipCount() != 8 || sw.DataPinsPerChip() != 16 {
+		t.Error("cost values wrong")
+	}
+}
+
+// --- Full-sort hyperconcentrators (§6) -----------------------------------------
+
+func TestFullRevsortHyperExhaustive16(t *testing.T) {
+	n := 16
+	sw, err := NewFullRevsortHyper(n, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := patternValid(pat, n)
+		out, err := sw.Route(v)
+		if err != nil {
+			t.Fatalf("pattern %04x: %v", pat, err)
+		}
+		if err := checkHyper(v, out); err != nil {
+			t.Fatalf("pattern %04x: %v", pat, err)
+		}
+	}
+}
+
+// checkHyper verifies the hyperconcentrator property: the k valid
+// inputs occupy exactly outputs 0..k−1.
+func checkHyper(v *bitvec.Vector, out []int) error {
+	k := v.Count()
+	seen := make([]bool, v.Len())
+	for i, o := range out {
+		if v.Get(i) {
+			if o < 0 || o >= k || seen[o] {
+				return errf("valid input %d routed to %d (k=%d)", i, o, k)
+			}
+			seen[o] = true
+		} else if o != -1 {
+			return errf("invalid input %d routed to %d", i, o)
+		}
+	}
+	return nil
+}
+
+func TestFullRevsortHyperRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	for _, n := range []int{64, 256, 1024, 4096} {
+		sw, err := NewFullRevsortHyper(n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			v := randomValid(rng, n)
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := checkHyper(v, out); err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if sw.StagesLastRoute() > sw.ChipsTraversed() {
+				t.Errorf("n=%d: actual stages %d exceed worst-case budget %d",
+					n, sw.StagesLastRoute(), sw.ChipsTraversed())
+			}
+		}
+	}
+}
+
+func TestFullColumnsortHyperValidation(t *testing.T) {
+	if _, err := NewFullColumnsortHyper(16, 4, 1); err == nil {
+		t.Error("accepted r < 2(s−1)²")
+	}
+	if _, err := NewFullColumnsortHyper(9, 4, 1); err == nil {
+		t.Error("accepted s ∤ r")
+	}
+}
+
+func TestFullColumnsortHyperExhaustive16(t *testing.T) {
+	r, s := 8, 2
+	n := r * s
+	sw, err := NewFullColumnsortHyper(r, s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := patternValid(pat, n)
+		out, err := sw.Route(v)
+		if err != nil {
+			t.Fatalf("pattern %04x: %v", pat, err)
+		}
+		if err := checkHyper(v, out); err != nil {
+			t.Fatalf("pattern %04x: %v", pat, err)
+		}
+	}
+}
+
+func TestFullColumnsortHyperRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	shapes := [][2]int{{20, 4}, {64, 4}, {104, 8}, {128, 8}}
+	for _, sh := range shapes {
+		r, s := sh[0], sh[1]
+		n := r * s
+		sw, err := NewFullColumnsortHyper(r, s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			v := randomValid(rng, n)
+			out, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := checkHyper(v, out); err != nil {
+				t.Fatalf("%d×%d: %v", r, s, err)
+			}
+		}
+	}
+	// Cost checks.
+	sw, _ := NewFullColumnsortHyper(128, 8, 1024)
+	if sw.ChipsTraversed() != 4 {
+		t.Error("full Columnsort should traverse 4 chips")
+	}
+	if sw.GateDelays() != 4*(2*7+2) {
+		t.Errorf("GateDelays = %d", sw.GateDelays())
+	}
+}
+
+// The delay hierarchy of Table 1 and §6: partial concentrators are
+// faster than their full-sort counterparts; the Columnsort switch at
+// β=1/2 beats the Revsort switch.
+func TestDelayHierarchy(t *testing.T) {
+	n := 4096
+	rev, _ := NewRevsortSwitch(n, n/2)
+	colHalf, err := NewColumnsortSwitchBeta(n, n/2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullRev, _ := NewFullRevsortHyper(n, n)
+	// Full Columnsort needs r ≥ 2(s−1)², which β=1/2 cannot satisfy at
+	// this n — itself a finding the §6 text glosses over. Compare the
+	// full sorter against the partial switch of the same β=3/4 shape.
+	col34, err := NewColumnsortSwitchBeta(n, n/2, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, s := col34.Shape()
+	fullCol, err := NewFullColumnsortHyper(r, s, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(colHalf.GateDelays() < rev.GateDelays()) {
+		t.Errorf("β=1/2 Columnsort (%d) should beat Revsort (%d)", colHalf.GateDelays(), rev.GateDelays())
+	}
+	if !(rev.GateDelays() < fullRev.GateDelays()) {
+		t.Errorf("partial Revsort (%d) should beat full Revsort (%d)", rev.GateDelays(), fullRev.GateDelays())
+	}
+	if !(col34.GateDelays() < fullCol.GateDelays()) {
+		t.Errorf("partial Columnsort (%d) should beat full Columnsort (%d)", col34.GateDelays(), fullCol.GateDelays())
+	}
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/hyper"
+	"concentrators/internal/mesh"
+)
+
+// ---------------------------------------------------------------------------
+// FullRevsortHyper: §6, multichip hyperconcentrator from the full
+// Revsort algorithm plus Shearsort cleanup.
+
+// FullRevsortHyper is an n-by-n multichip HYPERconcentrator built by
+// simulating the full Revsort algorithm: ⌈lg lg √n⌉ repetitions of
+// stacks 1 and 2 of Figure 4, a column-sorting stack, then pairs of
+// Shearsort stacks, and a final row-sorting stack. A message passes
+// through 2 lg lg n + 4 ± O(1) chips and the switch uses
+// Θ(√n lg lg n) chips in volume Θ(n^{3/2} lg lg n).
+type FullRevsortHyper struct {
+	n, m, side int
+	lastStages int
+}
+
+// NewFullRevsortHyper builds the switch; n must be a perfect square
+// with power-of-two side, m ≤ n (m < n restricts the outputs, making
+// it an n-by-m perfect concentrator).
+func NewFullRevsortHyper(n, m int) (*FullRevsortHyper, error) {
+	if err := checkDims(n, m); err != nil {
+		return nil, err
+	}
+	side, ok := intSqrt(n)
+	if !ok || !isPow2(side) {
+		return nil, fmt.Errorf("core: full-Revsort hyperconcentrator requires square n with power-of-two side, got n=%d", n)
+	}
+	return &FullRevsortHyper{n: n, m: m, side: side}, nil
+}
+
+// Name implements Concentrator.
+func (s *FullRevsortHyper) Name() string { return "full-revsort hyper" }
+
+// Inputs implements Concentrator.
+func (s *FullRevsortHyper) Inputs() int { return s.n }
+
+// Outputs implements Concentrator.
+func (s *FullRevsortHyper) Outputs() int { return s.m }
+
+// Route implements Concentrator: it fully sorts the valid bits, so the
+// k messages exit on the first k row-major outputs.
+func (s *FullRevsortHyper) Route(valid *bitvec.Vector) ([]int, error) {
+	if err := checkValid(valid, s.n); err != nil {
+		return nil, err
+	}
+	t := newTracker(s.side, s.side)
+	t.loadRowMajor(valid.Get, s.n)
+	q := ceilLg(s.side)
+	stages := 0
+	phases := mesh.RevsortPhaseCount(s.side)
+	for p := 0; p < phases; p++ {
+		t.sortColumnsStable()
+		t.sortRowsStable()
+		for i := 0; i < s.side; i++ {
+			t.rotateRowRight(i, mesh.Rev(i, q))
+		}
+		stages += 2
+	}
+	t.sortColumnsStable()
+	stages++
+	for iter := 0; iter < s.side+3 && !s.snakeSorted(t); iter++ {
+		t.sortRowsSnake()
+		t.sortColumnsStable()
+		stages += 2
+	}
+	t.sortRowsStable()
+	stages++
+	s.lastStages = stages
+	out := t.outRowMajor(s.n, s.m)
+	// Hyperconcentrator postcondition: the valid bits are fully sorted.
+	if !s.sortedPrefix(t, valid.Count()) {
+		return nil, fmt.Errorf("core: full Revsort did not fully sort (internal error)")
+	}
+	return out, nil
+}
+
+func (s *FullRevsortHyper) snakeSorted(t *tracker) bool {
+	prev := true
+	for i := 0; i < t.rows; i++ {
+		for jj := 0; jj < t.cols; jj++ {
+			j := jj
+			if i%2 == 1 {
+				j = t.cols - 1 - jj
+			}
+			b := t.validAt(i, j)
+			if b && !prev {
+				return false
+			}
+			prev = b
+		}
+	}
+	return true
+}
+
+func (s *FullRevsortHyper) sortedPrefix(t *tracker, k int) bool {
+	for x := 0; x < s.n; x++ {
+		i, j := x/s.side, x%s.side
+		if t.validAt(i, j) != (x < k) {
+			return false
+		}
+	}
+	return true
+}
+
+// StagesLastRoute returns the number of chip stages the previous Route
+// call actually used (for comparison with ChipsTraversed's worst-case
+// formula).
+func (s *FullRevsortHyper) StagesLastRoute() int { return s.lastStages }
+
+// ChipsTraversed implements Concentrator with the §6 budget: two
+// stacks per Revsort phase, one column stack, three Shearsort
+// iterations (two stacks each), and a final row stack.
+func (s *FullRevsortHyper) ChipsTraversed() int {
+	return 2*mesh.RevsortPhaseCount(s.side) + 1 + 2*3 + 1
+}
+
+// EpsilonBound implements Concentrator: full sorting means ε = 0.
+func (s *FullRevsortHyper) EpsilonBound() int { return 0 }
+
+// GateDelays implements Concentrator: ChipsTraversed chips of size √n
+// — Θ(lg n lg lg n), the paper's 4 lg n lg lg n + 8 lg n + O(lg lg n)
+// shape.
+func (s *FullRevsortHyper) GateDelays() int {
+	return s.ChipsTraversed() * (hyper.GateDelays(s.side) + hyper.PadDelays)
+}
+
+// ChipCount implements Concentrator: √n chips per stack.
+func (s *FullRevsortHyper) ChipCount() int {
+	// Phase stacks also carry a barrel shifter per board.
+	phases := mesh.RevsortPhaseCount(s.side)
+	hyperChips := s.ChipsTraversed() * s.side
+	shifters := phases * s.side
+	return hyperChips + shifters
+}
+
+// DataPinsPerChip implements Concentrator.
+func (s *FullRevsortHyper) DataPinsPerChip() int {
+	return hyper.DataPins(s.side) + ceilLg(s.side)
+}
+
+// ---------------------------------------------------------------------------
+// FullColumnsortHyper: §6, multichip hyperconcentrator from all eight
+// Columnsort steps.
+
+// FullColumnsortHyper is an n-by-n multichip HYPERconcentrator built by
+// simulating all eight steps of Columnsort on an r×s mesh. A message
+// passes through four chips, incurring 8β lg n + O(1) gate delays; the
+// asymptotic chip count and volume match the two-stage partial
+// concentrator. Outputs are numbered in COLUMN-major order (Columnsort
+// sorts column-major).
+type FullColumnsortHyper struct {
+	n, m, r, s int
+}
+
+// NewFullColumnsortHyper builds the switch. Requires s | r and
+// r ≥ 2(s−1)² (Leighton's condition for full sorting).
+func NewFullColumnsortHyper(r, s, m int) (*FullColumnsortHyper, error) {
+	if r < 1 || s < 1 || s > r || r%s != 0 {
+		return nil, fmt.Errorf("core: full Columnsort requires r ≥ s ≥ 1 with s | r, got r=%d s=%d", r, s)
+	}
+	if r < 2*(s-1)*(s-1) {
+		return nil, fmt.Errorf("core: full Columnsort requires r ≥ 2(s−1)², got r=%d s=%d", r, s)
+	}
+	n := r * s
+	if err := checkDims(n, m); err != nil {
+		return nil, err
+	}
+	return &FullColumnsortHyper{n: n, m: m, r: r, s: s}, nil
+}
+
+// Name implements Concentrator.
+func (c *FullColumnsortHyper) Name() string { return "full-columnsort hyper" }
+
+// Inputs implements Concentrator.
+func (c *FullColumnsortHyper) Inputs() int { return c.n }
+
+// Outputs implements Concentrator.
+func (c *FullColumnsortHyper) Outputs() int { return c.m }
+
+// Route implements Concentrator: the k valid messages exit on the first
+// k column-major outputs.
+func (c *FullColumnsortHyper) Route(valid *bitvec.Vector) ([]int, error) {
+	if err := checkValid(valid, c.n); err != nil {
+		return nil, err
+	}
+	r, s := c.r, c.s
+	t := newTracker(r, s)
+	t.loadRowMajor(valid.Get, c.n)
+	// Steps 1–5.
+	t.sortColumnsStable()
+	t.reshapeCMtoRM()
+	t.sortColumnsStable()
+	t.reshapeRMtoCM()
+	t.sortColumnsStable()
+	// Steps 6–8: the shift stage. The padded mesh is r×(s+1); the
+	// front pad is r/2 hardwired always-valid dummy inputs occupying
+	// the lowest-numbered ports of the first padded column, the back
+	// pad is r/2 grounded (invalid) inputs. Because the
+	// hyperconcentrator chips are stable and the dummies sit on the
+	// lowest ports, the dummies exit on the first r/2 outputs of the
+	// first column and the unshift wiring drops exactly them.
+	h := r / 2
+	pt := newTracker(r, s+1)
+	for u := 0; u < r*(s+1); u++ {
+		var v int
+		switch {
+		case u < h:
+			v = cellPadOne
+		case u < h+c.n:
+			dt := u - h // data column-major index
+			i, j := dt%r, dt/r
+			v = t.at(i, j)
+		default:
+			v = cellEmpty
+		}
+		i, j := u%r, u/r
+		pt.set(i, j, v)
+	}
+	pt.sortColumnsStable() // step 7
+	// Step 8: unshift, dropping the pads.
+	for dt := 0; dt < c.n; dt++ {
+		u := h + dt
+		pi, pj := u%r, u/r
+		i, j := dt%r, dt/r
+		t.set(i, j, pt.at(pi, pj))
+	}
+	// Internal check: no dummy survived the unshift and the valid bits
+	// are fully sorted column-major.
+	k := valid.Count()
+	for x := 0; x < c.n; x++ {
+		i, j := x%r, x/r
+		v := t.at(i, j)
+		if v == cellPadOne {
+			return nil, fmt.Errorf("core: full Columnsort leaked a pad dummy (internal error)")
+		}
+		if (v >= 0) != (x < k) {
+			return nil, fmt.Errorf("core: full Columnsort did not fully sort (internal error)")
+		}
+	}
+	return t.outColMajor(c.n, c.m), nil
+}
+
+// EpsilonBound implements Concentrator: full sorting, ε = 0.
+func (c *FullColumnsortHyper) EpsilonBound() int { return 0 }
+
+// ChipsTraversed implements Concentrator: the four column-sort stages.
+func (c *FullColumnsortHyper) ChipsTraversed() int { return 4 }
+
+// GateDelays implements Concentrator: 8β lg n + O(1) (§6).
+func (c *FullColumnsortHyper) GateDelays() int {
+	return 4 * (hyper.GateDelays(c.r) + hyper.PadDelays)
+}
+
+// ChipCount implements Concentrator: four stages of s chips (the step-7
+// stage has s+1 columns).
+func (c *FullColumnsortHyper) ChipCount() int { return 3*c.s + (c.s + 1) }
+
+// DataPinsPerChip implements Concentrator.
+func (c *FullColumnsortHyper) DataPinsPerChip() int { return hyper.DataPins(c.r) }

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/mesh"
+	"concentrators/internal/nearsort"
+)
+
+// Fuzz the full verification chain on the Figure 6 switch: any byte
+// string becomes a valid pattern; the route must satisfy partial
+// concentration AND match the mesh algorithm exactly.
+func FuzzColumnsortRoute(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0x12, 0x34, 0x56, 0x78})
+	sw, err := NewColumnsortSwitch(8, 4, 18)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := bitvec.New(32)
+		for i := 0; i < 32; i++ {
+			if len(raw) > 0 && raw[i%len(raw)]&(1<<uint(i%8)) != 0 {
+				v.Set(i, true)
+			}
+		}
+		out, err := sw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nearsort.CheckPartialConcentration(v, out, 18, sw.EpsilonBound()); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		// Mesh equivalence.
+		m, err := mesh.FromRowMajor(v, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mesh.Algorithm2(m); err != nil {
+			t.Fatal(err)
+		}
+		occupied := bitvec.New(32)
+		for _, o := range out {
+			if o >= 0 {
+				occupied.Set(o, true)
+			}
+		}
+		rm := m.RowMajor()
+		for x := 0; x < 18; x++ {
+			if occupied.Get(x) != rm.Get(x) {
+				t.Fatalf("%s: switch/mesh divergence at output %d", v, x)
+			}
+		}
+	})
+}
+
+func FuzzRevsortRoute(f *testing.F) {
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF})
+	f.Add([]byte{0xA5, 0x5A})
+	sw, err := NewRevsortSwitch(16, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := bitvec.New(16)
+		for i := 0; i < 16; i++ {
+			if len(raw) > 0 && raw[i%len(raw)]&(1<<uint(i%8)) != 0 {
+				v.Set(i, true)
+			}
+		}
+		out, err := sw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nearsort.CheckPartialConcentration(v, out, 10, sw.EpsilonBound()); err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+	})
+}

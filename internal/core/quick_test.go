@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/nearsort"
+)
+
+// Property-based tests (testing/quick) on the core switch invariants.
+// Each property consumes raw random bytes and derives a switch
+// configuration plus a valid-bit pattern from them, so quick explores
+// sizes and loads jointly.
+
+// validFromBytes derives an n-bit pattern from quick's raw bytes.
+func validFromBytes(raw []byte, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if len(raw) > 0 && raw[i%len(raw)]&(1<<uint(i%8)) != 0 {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Property: every switch's Route output is a partial concentration at
+// its own ε bound — any size, any pattern, any m.
+func TestQuickRevsortIsPartialConcentrator(t *testing.T) {
+	sizes := []int{4, 16, 64, 256}
+	f := func(raw []byte, sizeIdx, mRaw uint8) bool {
+		n := sizes[int(sizeIdx)%len(sizes)]
+		m := 1 + int(mRaw)%n
+		sw, err := NewRevsortSwitch(n, m)
+		if err != nil {
+			return false
+		}
+		v := validFromBytes(raw, n)
+		out, err := sw.Route(v)
+		if err != nil {
+			return false
+		}
+		return nearsort.CheckPartialConcentration(v, out, m, sw.EpsilonBound()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickColumnsortIsPartialConcentrator(t *testing.T) {
+	shapes := [][2]int{{4, 2}, {8, 4}, {16, 4}, {32, 8}, {64, 8}}
+	f := func(raw []byte, shapeIdx, mRaw uint8) bool {
+		sh := shapes[int(shapeIdx)%len(shapes)]
+		n := sh[0] * sh[1]
+		m := 1 + int(mRaw)%n
+		sw, err := NewColumnsortSwitch(sh[0], sh[1], m)
+		if err != nil {
+			return false
+		}
+		v := validFromBytes(raw, n)
+		out, err := sw.Route(v)
+		if err != nil {
+			return false
+		}
+		return nearsort.CheckPartialConcentration(v, out, m, sw.EpsilonBound()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the full-sort hyperconcentrators put the k messages exactly
+// on outputs 0..k−1.
+func TestQuickFullSortersHyperconcentrate(t *testing.T) {
+	f := func(raw []byte, pick uint8) bool {
+		var sw Concentrator
+		var n int
+		if pick%2 == 0 {
+			n = 64
+			s, err := NewFullRevsortHyper(n, n)
+			if err != nil {
+				return false
+			}
+			sw = s
+		} else {
+			n = 128 // 32×4: r = 32 ≥ 2(s−1)² = 18
+			s, err := NewFullColumnsortHyper(32, 4, n)
+			if err != nil {
+				return false
+			}
+			sw = s
+		}
+		v := validFromBytes(raw, n)
+		out, err := sw.Route(v)
+		if err != nil {
+			return false
+		}
+		k := v.Count()
+		seen := make([]bool, n)
+		for i, o := range out {
+			if v.Get(i) {
+				if o < 0 || o >= k || seen[o] {
+					return false
+				}
+				seen[o] = true
+			} else if o != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Route is a pure function — repeated calls agree.
+func TestQuickRouteDeterministic(t *testing.T) {
+	f := func(raw []byte) bool {
+		sw, err := NewColumnsortSwitch(16, 4, 40)
+		if err != nil {
+			return false
+		}
+		v := validFromBytes(raw, 64)
+		a, err := sw.Route(v)
+		if err != nil {
+			return false
+		}
+		b, err := sw.Route(v)
+		if err != nil {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: monotonicity of guaranteed delivery — adding a message
+// never reduces the number of routed messages.
+func TestQuickDeliveryMonotonicity(t *testing.T) {
+	routed := func(sw Concentrator, v *bitvec.Vector) int {
+		out, err := sw.Route(v)
+		if err != nil {
+			return -1
+		}
+		c := 0
+		for _, o := range out {
+			if o >= 0 {
+				c++
+			}
+		}
+		return c
+	}
+	f := func(raw []byte, addIdx uint8) bool {
+		sw, err := NewRevsortSwitch(64, 28)
+		if err != nil {
+			return false
+		}
+		v := validFromBytes(raw, 64)
+		add := int(addIdx) % 64
+		if v.Get(add) {
+			return true // nothing to add
+		}
+		before := routed(sw, v)
+		v2 := v.Clone()
+		v2.Set(add, true)
+		after := routed(sw, v2)
+		if before < 0 || after < 0 {
+			return false
+		}
+		return after >= before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

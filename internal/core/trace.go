@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/mesh"
+)
+
+// Snapshot is the wire occupancy of the switch's underlying matrix at
+// one point of the setup: Cell[i·Cols+j] holds the id of the message on
+// the wire at row i, column j, or −1 for an idle wire. Snapshots are
+// what Figures 3 and 6 draw as heavy lines.
+type Snapshot struct {
+	Label      string
+	Rows, Cols int
+	Cell       []int
+}
+
+// Render draws the snapshot with one glyph per wire: '.' for idle
+// wires and a rotating alphabet for message ids.
+func (s Snapshot) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s:\n", s.Label)
+	for i := 0; i < s.Rows; i++ {
+		sb.WriteString("  ")
+		for j := 0; j < s.Cols; j++ {
+			sb.WriteByte(glyph(s.Cell[i*s.Cols+j]))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func glyph(id int) byte {
+	const alpha = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	if id < 0 {
+		return '.'
+	}
+	return alpha[id%len(alpha)]
+}
+
+func (t *tracker) snapshot(label string) Snapshot {
+	return Snapshot{
+		Label: label,
+		Rows:  t.rows,
+		Cols:  t.cols,
+		Cell:  append([]int(nil), t.cell...),
+	}
+}
+
+// Trace runs the Revsort switch's setup and returns the matrix
+// occupancy after every stage, plus the final routing — the executable
+// form of Figure 3's path drawing.
+func (s *RevsortSwitch) Trace(valid *bitvec.Vector) ([]Snapshot, []int, error) {
+	if err := checkValid(valid, s.n); err != nil {
+		return nil, nil, err
+	}
+	t := newTracker(s.side, s.side)
+	t.loadRowMajor(valid.Get, s.n)
+	q := ceilLg(s.side)
+	snaps := []Snapshot{t.snapshot("inputs (row-major matrix)")}
+	t.sortColumnsStable()
+	snaps = append(snaps, t.snapshot("after stage 1 (column chips)"))
+	t.sortRowsStable()
+	snaps = append(snaps, t.snapshot("after stage 2 chips (row sort)"))
+	for i := 0; i < s.side; i++ {
+		t.rotateRowRight(i, mesh.Rev(i, q))
+	}
+	snaps = append(snaps, t.snapshot("after rev(i) barrel shifters"))
+	t.sortColumnsStable()
+	snaps = append(snaps, t.snapshot("after stage 3 (column chips)"))
+	return snaps, t.outRowMajor(s.n, s.m), nil
+}
+
+// Trace runs the Columnsort switch's setup and returns the matrix
+// occupancy after every stage, plus the final routing — the executable
+// form of Figure 6's path drawing.
+func (c *ColumnsortSwitch) Trace(valid *bitvec.Vector) ([]Snapshot, []int, error) {
+	if err := checkValid(valid, c.n); err != nil {
+		return nil, nil, err
+	}
+	t := newTracker(c.r, c.s)
+	t.loadRowMajor(valid.Get, c.n)
+	snaps := []Snapshot{t.snapshot("inputs (row-major matrix)")}
+	t.sortColumnsStable()
+	snaps = append(snaps, t.snapshot("after stage 1 (column chips)"))
+	t.reshapeCMtoRM()
+	snaps = append(snaps, t.snapshot("after interstage wiring (CM→RM)"))
+	t.sortColumnsStable()
+	snaps = append(snaps, t.snapshot("after stage 2 (column chips)"))
+	return snaps, t.outRowMajor(c.n, c.m), nil
+}

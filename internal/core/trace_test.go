@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"concentrators/internal/bitvec"
+)
+
+func TestRevsortTraceConsistentWithRoute(t *testing.T) {
+	sw, err := NewRevsortSwitch(64, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		v := randomValid(rng, 64)
+		snaps, out, err := sw.Trace(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("Trace route differs from Route at input %d", i)
+			}
+		}
+		if len(snaps) != 5 {
+			t.Fatalf("snapshots = %d, want 5", len(snaps))
+		}
+		// Every snapshot preserves the message multiset.
+		k := v.Count()
+		for _, s := range snaps {
+			c := 0
+			for _, id := range s.Cell {
+				if id >= 0 {
+					c++
+				}
+			}
+			if c != k {
+				t.Fatalf("snapshot %q lost messages: %d != %d", s.Label, c, k)
+			}
+		}
+	}
+}
+
+func TestColumnsortTraceConsistentWithRoute(t *testing.T) {
+	sw, err := NewColumnsortSwitch(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 20; trial++ {
+		v := randomValid(rng, 32)
+		snaps, out, err := sw.Trace(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := sw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("Trace route differs from Route at input %d", i)
+			}
+		}
+		if len(snaps) != 4 {
+			t.Fatalf("snapshots = %d, want 4", len(snaps))
+		}
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	rsw, _ := NewRevsortSwitch(16, 8)
+	if _, _, err := rsw.Trace(bitvec.New(15)); err == nil {
+		t.Error("Revsort Trace accepted wrong length")
+	}
+	csw, _ := NewColumnsortSwitch(4, 2, 4)
+	if _, _, err := csw.Trace(bitvec.New(9)); err == nil {
+		t.Error("Columnsort Trace accepted wrong length")
+	}
+}
+
+func TestSnapshotRender(t *testing.T) {
+	s := Snapshot{Label: "test", Rows: 2, Cols: 2, Cell: []int{0, -1, -1, 27}}
+	r := s.Render()
+	if !strings.Contains(r, "test:") {
+		t.Error("label missing")
+	}
+	if !strings.Contains(r, "a.") || !strings.Contains(r, ".B") {
+		t.Errorf("glyphs wrong:\n%s", r)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import "fmt"
+
+// Cell contents of the path tracker. Non-negative values are message
+// ids (the switch input index that injected the message).
+const (
+	cellEmpty  = -1 // an invalid input / a 0 valid bit: no electrical path
+	cellPadOne = -2 // a hardwired always-valid dummy input (Columnsort step 6 pads)
+)
+
+// tracker follows every message's electrical path through the stages of
+// a multichip switch. Each hyperconcentrator chip performs a STABLE
+// concentration of the valid inputs on its ports (internal/hyper), so a
+// stage maps the messages of one row or column, in port order, onto the
+// first output ports; the wiring between stages permutes whole
+// rows/columns. The tracker is the executable form of "the valid bit
+// value of the wire in row i and column j equals the value of the
+// matrix element in the same position at the corresponding step of the
+// algorithm" (§4).
+type tracker struct {
+	rows, cols int
+	cell       []int // row-major; values: message id, cellEmpty, or cellPadOne
+}
+
+func newTracker(rows, cols int) *tracker {
+	t := &tracker{rows: rows, cols: cols, cell: make([]int, rows*cols)}
+	for i := range t.cell {
+		t.cell[i] = cellEmpty
+	}
+	return t
+}
+
+func (t *tracker) at(i, j int) int       { return t.cell[i*t.cols+j] }
+func (t *tracker) set(i, j, v int)       { t.cell[i*t.cols+j] = v }
+func (t *tracker) validAt(i, j int) bool { return t.at(i, j) != cellEmpty }
+
+// loadRowMajor places message id x at the matrix cell with row-major
+// index x for every valid input.
+func (t *tracker) loadRowMajor(validBits func(i int) bool, n int) {
+	if n != t.rows*t.cols {
+		panic(fmt.Sprintf("core: tracker size %d×%d cannot hold %d inputs", t.rows, t.cols, n))
+	}
+	for x := 0; x < n; x++ {
+		if validBits(x) {
+			t.cell[x] = x
+		}
+	}
+}
+
+// sortColumnsStable concentrates each column: valid entries move to the
+// top in port (row) order. This is what a stage of column-assigned
+// hyperconcentrator chips does during setup.
+func (t *tracker) sortColumnsStable() {
+	for j := 0; j < t.cols; j++ {
+		var occ []int
+		for i := 0; i < t.rows; i++ {
+			if v := t.at(i, j); v != cellEmpty {
+				occ = append(occ, v)
+			}
+		}
+		for i := 0; i < t.rows; i++ {
+			if i < len(occ) {
+				t.set(i, j, occ[i])
+			} else {
+				t.set(i, j, cellEmpty)
+			}
+		}
+	}
+}
+
+// sortRowStable concentrates row i: valid entries move leftward (1s to
+// the left) in port order when leftward is true, rightward otherwise.
+// A rightward sort is the same chip with its port wiring mirrored,
+// which costs no extra hardware (§6's Shearsort stacks).
+func (t *tracker) sortRowStable(i int, leftward bool) {
+	var occ []int
+	for j := 0; j < t.cols; j++ {
+		if v := t.at(i, j); v != cellEmpty {
+			occ = append(occ, v)
+		}
+	}
+	for j := 0; j < t.cols; j++ {
+		t.set(i, j, cellEmpty)
+	}
+	if leftward {
+		for x, v := range occ {
+			t.set(i, x, v)
+		}
+	} else {
+		for x, v := range occ {
+			t.set(i, t.cols-len(occ)+x, v)
+		}
+	}
+}
+
+// sortRowsStable concentrates every row leftward.
+func (t *tracker) sortRowsStable() {
+	for i := 0; i < t.rows; i++ {
+		t.sortRowStable(i, true)
+	}
+}
+
+// sortRowsSnake concentrates rows in alternating directions (even rows
+// leftward, odd rows rightward) — one Shearsort row phase.
+func (t *tracker) sortRowsSnake() {
+	for i := 0; i < t.rows; i++ {
+		t.sortRowStable(i, i%2 == 0)
+	}
+}
+
+// rotateRowRight cyclically rotates row i by k places to the right —
+// the barrel-shifter wiring of the Revsort switch's stage-2 boards.
+func (t *tracker) rotateRowRight(i, k int) {
+	c := t.cols
+	k = ((k % c) + c) % c
+	if k == 0 {
+		return
+	}
+	tmp := make([]int, c)
+	for j := 0; j < c; j++ {
+		tmp[(j+k)%c] = t.at(i, j)
+	}
+	for j := 0; j < c; j++ {
+		t.set(i, j, tmp[j])
+	}
+}
+
+// reshapeCMtoRM applies the Columnsort step-2 wiring: the element with
+// column-major index x moves to row-major index x.
+func (t *tracker) reshapeCMtoRM() {
+	out := make([]int, len(t.cell))
+	for j := 0; j < t.cols; j++ {
+		for i := 0; i < t.rows; i++ {
+			x := t.rows*j + i
+			out[x] = t.at(i, j)
+		}
+	}
+	t.cell = out
+}
+
+// reshapeRMtoCM is the inverse wiring (Columnsort step 4).
+func (t *tracker) reshapeRMtoCM() {
+	out := make([]int, len(t.cell))
+	for x := 0; x < len(t.cell); x++ {
+		i, j := x%t.rows, x/t.rows
+		out[i*t.cols+j] = t.cell[x]
+	}
+	t.cell = out
+}
+
+// outRowMajor produces the switch routing: out[id] = row-major position
+// of message id if < m, else −1. Pads are ignored. n is the number of
+// switch inputs.
+func (t *tracker) outRowMajor(n, m int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for x, v := range t.cell {
+		if v >= 0 && x < m {
+			out[v] = x
+		}
+	}
+	return out
+}
+
+// outColMajor is outRowMajor for column-major output numbering (the
+// full-Columnsort hyperconcentrator sorts into column-major order).
+func (t *tracker) outColMajor(n, m int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for i := 0; i < t.rows; i++ {
+		for j := 0; j < t.cols; j++ {
+			v := t.at(i, j)
+			x := t.rows*j + i
+			if v >= 0 && x < m {
+				out[v] = x
+			}
+		}
+	}
+	return out
+}
+
+// validMatrixString renders the valid bits for debugging.
+func (t *tracker) validMatrixString() string {
+	s := make([]byte, 0, t.rows*(t.cols+1))
+	for i := 0; i < t.rows; i++ {
+		for j := 0; j < t.cols; j++ {
+			if t.validAt(i, j) {
+				s = append(s, '1')
+			} else {
+				s = append(s, '0')
+			}
+		}
+		if i+1 < t.rows {
+			s = append(s, '\n')
+		}
+	}
+	return string(s)
+}

@@ -1,0 +1,213 @@
+package flow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivialFlows(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 5)
+	if f := g.MaxFlow(0, 1); f != 5 {
+		t.Errorf("single edge flow = %d, want 5", f)
+	}
+	if f := g.MaxFlow(1, 1); f != 0 {
+		t.Errorf("s==t flow = %d, want 0", f)
+	}
+}
+
+func TestSeriesParallel(t *testing.T) {
+	// s →(3)→ a →(2)→ t and s →(1)→ b →(4)→ t: max flow = 3.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 3)
+	g.AddEdge(1, 3, 2)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 4)
+	if f := g.MaxFlow(0, 3); f != 3 {
+		t.Errorf("flow = %d, want 3", f)
+	}
+}
+
+func TestClassicExample(t *testing.T) {
+	// The standard CLRS-style example with a 23 max flow.
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if f := g.MaxFlow(0, 5); f != 23 {
+		t.Errorf("flow = %d, want 23", f)
+	}
+}
+
+func TestFlowConservationAndCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := 8 + rng.Intn(12)
+		g := NewGraph(n)
+		type rec struct{ id, u, v, c int }
+		var recs []rec
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Intn(10)
+			recs = append(recs, rec{g.AddEdge(u, v, c), u, v, c})
+		}
+		total := g.MaxFlow(0, n-1)
+		net := make([]int, n)
+		for _, r := range recs {
+			f := g.Flow(r.id)
+			if f < 0 || f > r.c {
+				t.Fatalf("edge flow %d outside [0,%d]", f, r.c)
+			}
+			net[r.u] -= f
+			net[r.v] += f
+		}
+		for v := 1; v < n-1; v++ {
+			if net[v] != 0 {
+				t.Fatalf("conservation violated at node %d: %d", v, net[v])
+			}
+		}
+		if net[n-1] != total || net[0] != -total {
+			t.Fatalf("terminal imbalance: src %d sink %d total %d", net[0], net[n-1], total)
+		}
+	}
+}
+
+// Max-flow equals min-cut on random unit-capacity DAGs, checked against
+// a brute-force cut enumeration for small graphs.
+func TestMaxFlowMinCutSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(4)
+		type E struct{ u, v int }
+		var es []E
+		g := NewGraph(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(2) == 1 {
+					es = append(es, E{u, v})
+					g.AddEdge(u, v, 1)
+				}
+			}
+		}
+		got := g.MaxFlow(0, n-1)
+		// Brute-force min cut over subsets containing 0 but not n−1.
+		best := len(es) + 1
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			if mask&1 == 0 || mask&(1<<uint(n-1)) != 0 {
+				continue
+			}
+			cut := 0
+			for _, e := range es {
+				if mask&(1<<uint(e.u)) != 0 && mask&(1<<uint(e.v)) == 0 {
+					cut++
+				}
+			}
+			if cut < best {
+				best = cut
+			}
+		}
+		if got != best {
+			t.Fatalf("trial %d: maxflow %d != mincut %d", trial, got, best)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	g := NewGraph(2)
+	id := g.AddEdge(0, 1, 3)
+	g.MaxFlow(0, 1)
+	if g.Flow(id) != 3 {
+		t.Fatal("flow not recorded")
+	}
+	g.Reset()
+	if g.Flow(id) != 0 {
+		t.Fatal("Reset did not clear flow")
+	}
+	if f := g.MaxFlow(0, 1); f != 3 {
+		t.Fatalf("flow after reset = %d", f)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGraph(-1) },
+		func() { NewGraph(2).AddEdge(0, 2, 1) },
+		func() { NewGraph(2).AddEdge(0, 1, -1) },
+		func() { MaxBipartiteMatching(1, 1, [][2]int{{0, 5}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxBipartiteMatching(t *testing.T) {
+	// Perfect matching on K_{3,3}.
+	var pairs [][2]int
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			pairs = append(pairs, [2]int{i, j})
+		}
+	}
+	if m := MaxBipartiteMatching(3, 3, pairs); m != 3 {
+		t.Errorf("K33 matching = %d, want 3", m)
+	}
+	// A graph with a Hall violator: left {0,1,2} all only adjacent to
+	// right {0}.
+	if m := MaxBipartiteMatching(3, 2, [][2]int{{0, 0}, {1, 0}, {2, 0}}); m != 1 {
+		t.Errorf("starved matching = %d, want 1", m)
+	}
+}
+
+func TestMatchingAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 40; trial++ {
+		l, r := 2+rng.Intn(4), 2+rng.Intn(4)
+		var pairs [][2]int
+		adj := make([][]bool, l)
+		for i := range adj {
+			adj[i] = make([]bool, r)
+			for j := 0; j < r; j++ {
+				if rng.Intn(2) == 1 {
+					adj[i][j] = true
+					pairs = append(pairs, [2]int{i, j})
+				}
+			}
+		}
+		got := MaxBipartiteMatching(l, r, pairs)
+		want := bruteMatch(adj, 0, 0)
+		if got != want {
+			t.Fatalf("matching %d != brute force %d", got, want)
+		}
+	}
+}
+
+func bruteMatch(adj [][]bool, i int, used int) int {
+	if i == len(adj) {
+		return 0
+	}
+	best := bruteMatch(adj, i+1, used) // leave i unmatched
+	for j := range adj[i] {
+		if adj[i][j] && used&(1<<uint(j)) == 0 {
+			if v := 1 + bruteMatch(adj, i+1, used|1<<uint(j)); v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}

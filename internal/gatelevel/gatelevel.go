@@ -1,0 +1,330 @@
+// Package gatelevel composes whole multichip switches as single flat
+// gate-level netlists: every hyperconcentrator chip is an embedded
+// instance of the internal/hyper netlist, the interstage permutations
+// are pure wiring (signal re-indexing), and the Revsort stage-2 barrel
+// shifters are the hardwired, constant-folded instances of
+// internal/shifter.
+//
+// This is the most literal executable form of the paper's designs: one
+// combinational circuit per switch whose critical-path depth can be
+// measured and whose behaviour is verified bit-for-bit against the
+// functional models in internal/core.
+package gatelevel
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/hyper"
+	"concentrators/internal/logic"
+	"concentrators/internal/mesh"
+	"concentrators/internal/shifter"
+)
+
+// Switch is a flat gate-level concentrator switch netlist. Inputs are
+// ordered valid.0..valid.{n−1} then data.0..data.{n−1}; outputs are
+// interleaved (valid.o, data.o) for o = 0..m−1.
+type Switch struct {
+	Net  *logic.Net
+	N, M int
+	// Kind names the construction ("revsort" or "columnsort").
+	Kind string
+}
+
+// wirePair carries one matrix position's valid and data signals.
+type wirePair struct {
+	valid, data logic.Signal
+}
+
+// chipNetCache avoids re-emitting the per-size hyperconcentrator
+// netlist for every chip instance.
+type chipNetCache map[int]*logic.Net
+
+func (c chipNetCache) get(w int) (*logic.Net, error) {
+	if n, ok := c[w]; ok {
+		return n, nil
+	}
+	nl, err := hyper.BuildNetlist(w)
+	if err != nil {
+		return nil, err
+	}
+	// Optimizing the chip once here shrinks every embedded instance.
+	opt := nl.Net.Optimize()
+	c[w] = opt
+	return opt, nil
+}
+
+// embedChip instantiates one w-wide hyperconcentrator chip over the
+// given wire pairs and returns the chip's output pairs.
+func embedChip(net *logic.Net, cache chipNetCache, wires []wirePair) ([]wirePair, error) {
+	w := len(wires)
+	sub, err := cache.get(w)
+	if err != nil {
+		return nil, err
+	}
+	in := make([]logic.Signal, 0, 2*w)
+	for _, p := range wires {
+		in = append(in, p.valid)
+	}
+	for _, p := range wires {
+		in = append(in, p.data)
+	}
+	out, err := net.Embed(sub, in)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]wirePair, w)
+	for i := 0; i < w; i++ {
+		pairs[i] = wirePair{valid: out[2*i], data: out[2*i+1]}
+	}
+	return pairs, nil
+}
+
+// BuildRevsort emits the complete §4 switch: three stages of √n-by-√n
+// hyperconcentrator chips with transpose wiring and hardwired rev(i)
+// barrel shifters.
+func BuildRevsort(n, m int) (*Switch, error) {
+	side, q, err := squareSide(n)
+	if err != nil {
+		return nil, err
+	}
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("gatelevel: m = %d out of range for n = %d", m, n)
+	}
+	net := logic.New()
+	cells := make([]wirePair, n) // row-major matrix of wires
+	for x := 0; x < n; x++ {
+		cells[x].valid = net.Input(fmt.Sprintf("valid.%d", x))
+	}
+	for x := 0; x < n; x++ {
+		cells[x].data = net.Input(fmt.Sprintf("data.%d", x))
+	}
+	cache := chipNetCache{}
+
+	at := func(i, j int) *wirePair { return &cells[i*side+j] }
+
+	// Stage 1: one chip per column.
+	for j := 0; j < side; j++ {
+		col := make([]wirePair, side)
+		for i := 0; i < side; i++ {
+			col[i] = *at(i, j)
+		}
+		out, err := embedChip(net, cache, col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < side; i++ {
+			*at(i, j) = out[i]
+		}
+	}
+	// Stage 2: one chip per row, then the hardwired rev(i) shifter.
+	for i := 0; i < side; i++ {
+		row := make([]wirePair, side)
+		for j := 0; j < side; j++ {
+			row[j] = *at(i, j)
+		}
+		out, err := embedChip(net, cache, row)
+		if err != nil {
+			return nil, err
+		}
+		out, err = embedShifter(net, out, mesh.Rev(i, q))
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < side; j++ {
+			*at(i, j) = out[j]
+		}
+	}
+	// Stage 3: one chip per column.
+	for j := 0; j < side; j++ {
+		col := make([]wirePair, side)
+		for i := 0; i < side; i++ {
+			col[i] = *at(i, j)
+		}
+		out, err := embedChip(net, cache, col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < side; i++ {
+			*at(i, j) = out[i]
+		}
+	}
+	markOutputs(net, cells, m)
+	return &Switch{Net: net, N: n, M: m, Kind: "revsort"}, nil
+}
+
+// embedShifter rotates the wire pairs right by amount using two
+// hardwired barrel shifter instances (one for the valid lines, one for
+// the data lines), exactly as the stage-2 boards route both wire sets
+// through the shifter chip.
+func embedShifter(net *logic.Net, wires []wirePair, amount int) ([]wirePair, error) {
+	w := len(wires)
+	hw, err := shifter.BuildHardwired(w, amount)
+	if err != nil {
+		return nil, err
+	}
+	valids := make([]logic.Signal, w)
+	datas := make([]logic.Signal, w)
+	for i, p := range wires {
+		valids[i] = p.valid
+		datas[i] = p.data
+	}
+	vOut, err := net.Embed(hw, valids)
+	if err != nil {
+		return nil, err
+	}
+	dOut, err := net.Embed(hw, datas)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]wirePair, w)
+	for i := range out {
+		out[i] = wirePair{valid: vOut[i], data: dOut[i]}
+	}
+	return out, nil
+}
+
+// BuildColumnsort emits the complete §5 switch: two stages of r-by-r
+// hyperconcentrator chips with the column-major → row-major reshape
+// wiring between them.
+func BuildColumnsort(r, s, m int) (*Switch, error) {
+	if r < 1 || s < 1 || s > r || r%s != 0 {
+		return nil, fmt.Errorf("gatelevel: invalid Columnsort shape %d×%d", r, s)
+	}
+	n := r * s
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("gatelevel: m = %d out of range for n = %d", m, n)
+	}
+	net := logic.New()
+	cells := make([]wirePair, n)
+	for x := 0; x < n; x++ {
+		cells[x].valid = net.Input(fmt.Sprintf("valid.%d", x))
+	}
+	for x := 0; x < n; x++ {
+		cells[x].data = net.Input(fmt.Sprintf("data.%d", x))
+	}
+	cache := chipNetCache{}
+
+	sortColumns := func() error {
+		for j := 0; j < s; j++ {
+			col := make([]wirePair, r)
+			for i := 0; i < r; i++ {
+				col[i] = cells[i*s+j]
+			}
+			out, err := embedChip(net, cache, col)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < r; i++ {
+				cells[i*s+j] = out[i]
+			}
+		}
+		return nil
+	}
+
+	if err := sortColumns(); err != nil {
+		return nil, err
+	}
+	// Reshape wiring: column-major index x moves to row-major index x.
+	next := make([]wirePair, n)
+	for j := 0; j < s; j++ {
+		for i := 0; i < r; i++ {
+			x := r*j + i
+			next[x] = cells[i*s+j]
+		}
+	}
+	cells = next
+	if err := sortColumns(); err != nil {
+		return nil, err
+	}
+	markOutputs(net, cells, m)
+	return &Switch{Net: net, N: n, M: m, Kind: "columnsort"}, nil
+}
+
+func markOutputs(net *logic.Net, cells []wirePair, m int) {
+	for o := 0; o < m; o++ {
+		net.MarkOutput(fmt.Sprintf("valid.%d", o), cells[o].valid)
+		net.MarkOutput(fmt.Sprintf("data.%d", o), cells[o].data)
+	}
+}
+
+func squareSide(n int) (side, q int, err error) {
+	side = 0
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		return 0, 0, fmt.Errorf("gatelevel: n = %d is not a perfect square", n)
+	}
+	q = 0
+	for (1 << uint(q)) < side {
+		q++
+	}
+	if 1<<uint(q) != side {
+		return 0, 0, fmt.Errorf("gatelevel: side %d is not a power of two", side)
+	}
+	return side, q, nil
+}
+
+// Eval runs one combinational cycle: the (held) valid bits and the
+// current payload bits in, the per-output valid and payload bits out.
+func (s *Switch) Eval(valid *bitvec.Vector, payload []bool) (outValid *bitvec.Vector, outPayload []bool, err error) {
+	if valid.Len() != s.N || len(payload) != s.N {
+		return nil, nil, fmt.Errorf("gatelevel: eval arity mismatch (valid %d, payload %d, want %d)",
+			valid.Len(), len(payload), s.N)
+	}
+	in := make([]bool, 2*s.N)
+	for i := 0; i < s.N; i++ {
+		in[i] = valid.Get(i)
+		in[s.N+i] = payload[i]
+	}
+	raw := s.Net.Eval(in)
+	outValid = bitvec.New(s.M)
+	outPayload = make([]bool, s.M)
+	for o := 0; o < s.M; o++ {
+		outValid.Set(o, raw[2*o])
+		outPayload[o] = raw[2*o+1]
+	}
+	return outValid, outPayload, nil
+}
+
+// Stream performs a full bit-serial run: setup with the valid bits,
+// then len(payloads[i]) cycles of payload streaming. It returns, for
+// each output wire, the delivered bit stream (nil for outputs whose
+// valid bit is 0). All payloads must share one length.
+func (s *Switch) Stream(valid *bitvec.Vector, payloads map[int][]bool) (map[int][]bool, error) {
+	if valid.Len() != s.N {
+		return nil, fmt.Errorf("gatelevel: %d valid bits for %d inputs", valid.Len(), s.N)
+	}
+	length := -1
+	for in, p := range payloads {
+		if in < 0 || in >= s.N || !valid.Get(in) {
+			return nil, fmt.Errorf("gatelevel: payload on invalid or out-of-range input %d", in)
+		}
+		if length == -1 {
+			length = len(p)
+		} else if len(p) != length {
+			return nil, fmt.Errorf("gatelevel: payloads must share one length")
+		}
+	}
+	if length == -1 {
+		length = 0
+	}
+	streams := map[int][]bool{}
+	for c := 0; c < length; c++ {
+		cycle := make([]bool, s.N)
+		for in, p := range payloads {
+			cycle[in] = p[c]
+		}
+		ov, op, err := s.Eval(valid, cycle)
+		if err != nil {
+			return nil, err
+		}
+		for o := 0; o < s.M; o++ {
+			if ov.Get(o) {
+				streams[o] = append(streams[o], op[o])
+			}
+		}
+	}
+	return streams, nil
+}

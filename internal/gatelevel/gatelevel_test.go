@@ -1,0 +1,257 @@
+package gatelevel
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+)
+
+func patternValid(pat, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, pat&(1<<uint(i)) != 0)
+	}
+	return v
+}
+
+// routeOf extracts input→output mapping from a gate-level switch by
+// streaming a unique id per message and decoding it at the outputs.
+func routeOf(t *testing.T, sw *Switch, valid *bitvec.Vector) []int {
+	t.Helper()
+	idBits := 1
+	for (1 << uint(idBits)) < sw.N {
+		idBits++
+	}
+	payloads := map[int][]bool{}
+	for i := 0; i < sw.N; i++ {
+		if valid.Get(i) {
+			bits := make([]bool, idBits)
+			for b := 0; b < idBits; b++ {
+				bits[b] = i&(1<<uint(b)) != 0
+			}
+			payloads[i] = bits
+		}
+	}
+	streams, err := sw.Stream(valid, payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, sw.N)
+	for i := range out {
+		out[i] = -1
+	}
+	for o, bits := range streams {
+		id := 0
+		for b, bit := range bits {
+			if bit {
+				id |= 1 << uint(b)
+			}
+		}
+		if id < 0 || id >= sw.N || !valid.Get(id) {
+			t.Fatalf("output %d decoded bogus message id %d", o, id)
+		}
+		if out[id] != -1 {
+			t.Fatalf("message %d delivered twice", id)
+		}
+		out[id] = o
+	}
+	return out
+}
+
+func sameRoute(t *testing.T, tag string, got, want []int) {
+	t.Helper()
+	for i := range want {
+		g := got[i]
+		w := want[i]
+		if g != w {
+			t.Fatalf("%s: input %d routed to %d, functional model says %d", tag, i, g, w)
+		}
+	}
+}
+
+// The flat Revsort netlist must agree, message for message, with the
+// functional core switch — exhaustively at n=16.
+func TestRevsortNetlistMatchesFunctionalExhaustive(t *testing.T) {
+	n, m := 16, 12
+	gsw, err := BuildRevsort(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsw, err := core.NewRevsortSwitch(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := patternValid(pat, n)
+		want, err := fsw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := routeOf(t, gsw, v)
+		sameRoute(t, "revsort", got, want)
+	}
+}
+
+func TestRevsortNetlistMatchesFunctionalRandom64(t *testing.T) {
+	n, m := 64, 28
+	gsw, err := BuildRevsort(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsw, err := core.NewRevsortSwitch(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		want, err := fsw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := routeOf(t, gsw, v)
+		sameRoute(t, "revsort64", got, want)
+	}
+}
+
+func TestColumnsortNetlistMatchesFunctionalExhaustive(t *testing.T) {
+	r, s, m := 4, 2, 6
+	n := r * s
+	gsw, err := BuildColumnsort(r, s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsw, err := core.NewColumnsortSwitch(r, s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := patternValid(pat, n)
+		want, err := fsw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := routeOf(t, gsw, v)
+		sameRoute(t, "columnsort", got, want)
+	}
+}
+
+func TestColumnsortNetlistMatchesFunctionalRandom32(t *testing.T) {
+	r, s, m := 8, 4, 18 // the Figure 6 switch
+	n := r * s
+	gsw, err := BuildColumnsort(r, s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsw, err := core.NewColumnsortSwitch(r, s, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		want, err := fsw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := routeOf(t, gsw, v)
+		sameRoute(t, "columnsort32", got, want)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := BuildRevsort(15, 4); err == nil {
+		t.Error("accepted non-square n")
+	}
+	if _, err := BuildRevsort(36, 4); err == nil {
+		t.Error("accepted non-power-of-two side")
+	}
+	if _, err := BuildRevsort(16, 0); err == nil {
+		t.Error("accepted m = 0")
+	}
+	if _, err := BuildColumnsort(4, 8, 2); err == nil {
+		t.Error("accepted s > r")
+	}
+	if _, err := BuildColumnsort(9, 4, 2); err == nil {
+		t.Error("accepted s ∤ r")
+	}
+}
+
+func TestEvalValidation(t *testing.T) {
+	sw, err := BuildColumnsort(4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sw.Eval(bitvec.New(7), make([]bool, 8)); err == nil {
+		t.Error("accepted wrong valid width")
+	}
+	if _, err := sw.Stream(bitvec.New(8), map[int][]bool{3: {true}}); err == nil {
+		t.Error("accepted payload on invalid input")
+	}
+	v := bitvec.New(8)
+	v.Set(0, true)
+	v.Set(1, true)
+	if _, err := sw.Stream(v, map[int][]bool{0: {true}, 1: {true, false}}); err == nil {
+		t.Error("accepted ragged payload lengths")
+	}
+}
+
+// Depth accounting: the flat netlist's critical path grows with the
+// number of stages, and the hardwired shifters add nothing (they are
+// wiring after constant folding).
+func TestNetlistDepthComposition(t *testing.T) {
+	rev, err := BuildRevsort(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := BuildColumnsort(4, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dRev, dCol := rev.Net.Depth(), col.Net.Depth()
+	// Revsort has three chip stages, Columnsort two, with 4-wide chips
+	// in both: 3:2 ratio within slack.
+	if !(dCol < dRev) {
+		t.Errorf("columnsort depth %d should be below revsort depth %d", dCol, dRev)
+	}
+	if dRev > 3*dCol {
+		t.Errorf("revsort depth %d is out of proportion to columnsort depth %d", dRev, dCol)
+	}
+}
+
+// The optimizer should leave the composed switch functionally intact.
+func TestOptimizedSwitchEquivalent(t *testing.T) {
+	sw, err := BuildColumnsort(4, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sw.Net.Optimize()
+	if opt.NumInputs() != sw.Net.NumInputs() || opt.NumOutputs() != sw.Net.NumOutputs() {
+		t.Fatal("optimizer changed arity")
+	}
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		in := make([]bool, sw.Net.NumInputs())
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		a := sw.Net.Eval(in)
+		b := opt.Eval(in)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("optimized switch differs")
+			}
+		}
+	}
+	if opt.GateCount() > sw.Net.GateCount() {
+		t.Error("optimizer increased gate count")
+	}
+}

@@ -1,0 +1,243 @@
+// Package hyper implements the single-chip n-by-n hyperconcentrator
+// switch that every multichip construction in the paper uses as its
+// building block (Cormen 1986; Cormen & Leiserson, "A hyperconcentrator
+// switch for routing bit-serial messages", ICPP 1986).
+//
+// A hyperconcentrator establishes disjoint electrical paths from any k
+// valid inputs to the first k outputs. Two models are provided:
+//
+//   - Chip: a functional, cycle-exact model used inside the multichip
+//     switch simulator. It carries the published cost figures of the
+//     CL86 design (2·lg n gate delays, Θ(n²) area, 2n data pins).
+//   - BuildNetlist: a real gate-level netlist (parallel-prefix rank
+//     circuit + LSB-first butterfly datapath) with measurable depth and
+//     gate count, functionally verified against Chip.
+//
+// The functional model is stable: the j-th valid input (in input
+// order) exits on output j−1. Stability is stronger than the paper
+// requires but lets the bit-serial simulator check message integrity.
+package hyper
+
+import (
+	"fmt"
+
+	"concentrators/internal/banyan"
+	"concentrators/internal/bitvec"
+	"concentrators/internal/logic"
+	"concentrators/internal/prefix"
+)
+
+// Chip is a functional n-by-n hyperconcentrator switch.
+type Chip struct {
+	n int
+}
+
+// NewChip returns a hyperconcentrator with n inputs and n outputs.
+func NewChip(n int) (*Chip, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hyper: chip size %d must be ≥ 1", n)
+	}
+	return &Chip{n: n}, nil
+}
+
+// MustChip is NewChip but panics on error.
+func MustChip(n int) *Chip {
+	c, err := NewChip(n)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Size returns the number of inputs (= outputs).
+func (c *Chip) Size() int { return c.n }
+
+// Setup performs the setup cycle: given the valid bits on the inputs,
+// it returns out with out[i] the output wire to which input i's
+// electrical path is established, or −1 for invalid inputs. The j-th
+// valid input maps to output j−1 (stable concentration).
+func (c *Chip) Setup(valid *bitvec.Vector) ([]int, error) {
+	if valid.Len() != c.n {
+		return nil, fmt.Errorf("hyper: %d valid bits on a %d-input chip", valid.Len(), c.n)
+	}
+	out := make([]int, c.n)
+	rank := 0
+	for i := 0; i < c.n; i++ {
+		if valid.Get(i) {
+			out[i] = rank
+			rank++
+		} else {
+			out[i] = -1
+		}
+	}
+	return out, nil
+}
+
+// SortValidBits returns the valid bits as they appear on the output
+// wires during setup: the fully sorted (nonincreasing) rearrangement.
+// This is the view the multichip constructions use — each chip "fully
+// sorts" a row or column of the underlying matrix.
+func (c *Chip) SortValidBits(valid *bitvec.Vector) (*bitvec.Vector, error) {
+	if valid.Len() != c.n {
+		return nil, fmt.Errorf("hyper: %d valid bits on a %d-input chip", valid.Len(), c.n)
+	}
+	return valid.Sorted(), nil
+}
+
+// GateDelays returns the number of gate delays a signal incurs through
+// a w-input hyperconcentrator chip per CL86: 2⌈lg w⌉, plus PadDelays
+// for the I/O pad circuitry (the paper's "+O(1)").
+func GateDelays(w int) int { return 2 * ceilLg(w) }
+
+// PadDelays is the constant charged for I/O pad circuitry when a
+// signal enters and leaves a chip (the O(1) term in §4 and §5).
+const PadDelays = 2
+
+// DataPins returns the number of data pins of a w-by-w
+// hyperconcentrator chip: w inputs + w outputs.
+func DataPins(w int) int { return 2 * w }
+
+// Area returns the area of a w-by-w hyperconcentrator chip in
+// normalized units (Θ(w²) per CL86, unit constant).
+func Area(w int) float64 { return float64(w) * float64(w) }
+
+func ceilLg(n int) int {
+	l := 0
+	for (1 << uint(l)) < n {
+		l++
+	}
+	return l
+}
+
+// ceilPow2 returns the smallest power of two ≥ n (and ≥ 2).
+func ceilPow2(n int) int {
+	p := 2
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Netlist bundles an emitted gate-level hyperconcentrator with its
+// port bookkeeping. Inputs are ordered: n valid bits then n payload
+// bits; outputs are interleaved (valid.i, data.i) for i = 0..n−1.
+type Netlist struct {
+	Net *logic.Net
+	N   int
+}
+
+// BuildNetlist emits a gate-level n-input hyperconcentrator: a
+// parallel-prefix rank circuit computes each input's destination
+// (its exclusive prefix count of valid bits) and an LSB-first
+// butterfly datapath self-routes valid bits and payload to the output
+// prefix. Sizes that are not powers of two are padded internally with
+// always-invalid inputs.
+func BuildNetlist(n int) (*Netlist, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hyper: netlist size %d must be ≥ 1", n)
+	}
+	p := ceilPow2(n)
+	net := logic.New()
+	valid := net.Inputs("valid", n)
+	payload := net.Inputs("data", n)
+
+	fullValid := make([]logic.Signal, p)
+	fullPayload := make([]logic.Signal, p)
+	copy(fullValid, valid)
+	copy(fullPayload, payload)
+	for i := n; i < p; i++ {
+		fullValid[i] = net.Const(false)
+		fullPayload[i] = net.Const(false)
+	}
+
+	ranks := prefix.RankCircuit(net, fullValid)
+	w := prefix.CountWidth(p)
+	dest := make([]logic.Bus, p)
+	for i := range dest {
+		if i == 0 {
+			dest[i] = net.ConstBus(0, w)
+		} else {
+			dest[i] = ranks[i-1] // exclusive prefix count = rank−1 for valid inputs
+		}
+	}
+
+	nw, err := banyan.New(p, banyan.ButterflyLSB)
+	if err != nil {
+		return nil, err
+	}
+	vo, po, err := nw.EmitSelfRouting(net, fullValid, dest, fullPayload)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		net.MarkOutput(fmt.Sprintf("valid.%d", i), vo[i])
+		net.MarkOutput(fmt.Sprintf("data.%d", i), po[i])
+	}
+	return &Netlist{Net: net, N: n}, nil
+}
+
+// Eval runs the netlist for one cycle: valid bits (held from setup) and
+// the current payload bits go in; the output valid bits and payload
+// bits come out.
+func (nl *Netlist) Eval(valid *bitvec.Vector, payload []bool) (outValid *bitvec.Vector, outPayload []bool, err error) {
+	if valid.Len() != nl.N || len(payload) != nl.N {
+		return nil, nil, fmt.Errorf("hyper: netlist eval arity mismatch (valid %d, payload %d, want %d)",
+			valid.Len(), len(payload), nl.N)
+	}
+	in := make([]bool, 2*nl.N)
+	for i := 0; i < nl.N; i++ {
+		in[i] = valid.Get(i)
+		in[nl.N+i] = payload[i]
+	}
+	raw := nl.Net.Eval(in)
+	outValid = bitvec.New(nl.N)
+	outPayload = make([]bool, nl.N)
+	for i := 0; i < nl.N; i++ {
+		outValid.Set(i, raw[2*i])
+		outPayload[i] = raw[2*i+1]
+	}
+	return outValid, outPayload, nil
+}
+
+// Perfect is an n-by-m perfect concentrator switch built, as in §1 of
+// the paper, by taking the first m outputs of an n-by-n
+// hyperconcentrator.
+type Perfect struct {
+	chip *Chip
+	m    int
+}
+
+// NewPerfect returns an n-by-m perfect concentrator. It requires
+// 1 ≤ m ≤ n.
+func NewPerfect(n, m int) (*Perfect, error) {
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("hyper: invalid perfect concentrator %d-by-%d", n, m)
+	}
+	c, err := NewChip(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Perfect{chip: c, m: m}, nil
+}
+
+// Inputs returns n.
+func (p *Perfect) Inputs() int { return p.chip.n }
+
+// Outputs returns m.
+func (p *Perfect) Outputs() int { return p.m }
+
+// Setup routes the valid inputs: out[i] is the output of input i, or −1
+// if input i is invalid or dropped (when k > m, the excess lowest-
+// priority messages are dropped — they fall off outputs ≥ m).
+func (p *Perfect) Setup(valid *bitvec.Vector) ([]int, error) {
+	out, err := p.chip.Setup(valid)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		if out[i] >= p.m {
+			out[i] = -1
+		}
+	}
+	return out, nil
+}

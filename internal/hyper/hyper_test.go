@@ -1,0 +1,308 @@
+package hyper
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"concentrators/internal/bitvec"
+)
+
+func TestNewChipValidation(t *testing.T) {
+	if _, err := NewChip(0); err == nil {
+		t.Error("NewChip(0) accepted")
+	}
+	if _, err := NewChip(-3); err == nil {
+		t.Error("NewChip(-3) accepted")
+	}
+	c, err := NewChip(7)
+	if err != nil || c.Size() != 7 {
+		t.Errorf("NewChip(7) = %v, %v", c, err)
+	}
+}
+
+func TestMustChipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustChip(0) did not panic")
+		}
+	}()
+	MustChip(0)
+}
+
+func TestSetupStableConcentration(t *testing.T) {
+	c := MustChip(8)
+	v := bitvec.MustParse("01100101")
+	out, err := c.Setup(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{-1, 0, 1, -1, -1, 2, -1, 3}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestSetupWrongLength(t *testing.T) {
+	c := MustChip(4)
+	if _, err := c.Setup(bitvec.New(5)); err == nil {
+		t.Error("Setup accepted wrong-length valid bits")
+	}
+}
+
+// Hyperconcentrator definition: k valid inputs → first k outputs,
+// disjoint paths. Property-checked.
+func TestHyperconcentratorProperty(t *testing.T) {
+	f := func(raw []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := bitvec.FromBools(raw)
+		c := MustChip(v.Len())
+		out, err := c.Setup(v)
+		if err != nil {
+			return false
+		}
+		k := v.Count()
+		used := make([]bool, v.Len())
+		for i := 0; i < v.Len(); i++ {
+			if v.Get(i) {
+				if out[i] < 0 || out[i] >= k || used[out[i]] {
+					return false
+				}
+				used[out[i]] = true
+			} else if out[i] != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortValidBits(t *testing.T) {
+	c := MustChip(6)
+	v := bitvec.MustParse("010110")
+	s, err := c.SortValidBits(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.String() != "111000" {
+		t.Errorf("SortValidBits = %q", s.String())
+	}
+	if _, err := c.SortValidBits(bitvec.New(5)); err == nil {
+		t.Error("accepted wrong length")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	if GateDelays(8) != 6 || GateDelays(16) != 8 || GateDelays(1) != 0 {
+		t.Errorf("GateDelays: %d %d %d", GateDelays(8), GateDelays(16), GateDelays(1))
+	}
+	// Non-power-of-two rounds up.
+	if GateDelays(9) != 8 {
+		t.Errorf("GateDelays(9) = %d, want 8", GateDelays(9))
+	}
+	if DataPins(64) != 128 {
+		t.Errorf("DataPins(64) = %d", DataPins(64))
+	}
+	if Area(10) != 100 {
+		t.Errorf("Area(10) = %v", Area(10))
+	}
+}
+
+func TestNetlistMatchesFunctionalExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{1, 2, 3, 4, 6, 8} {
+		nl, err := BuildNetlist(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := MustChip(n)
+		for pat := 0; pat < 1<<uint(n); pat++ {
+			v := bitvec.New(n)
+			payload := make([]bool, n)
+			for i := 0; i < n; i++ {
+				v.Set(i, pat&(1<<uint(i)) != 0)
+				payload[i] = rng.Intn(2) == 1
+			}
+			ov, op, err := nl.Eval(v, payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			route, _ := c.Setup(v)
+			k := v.Count()
+			for o := 0; o < n; o++ {
+				if ov.Get(o) != (o < k) {
+					t.Fatalf("n=%d pat=%0*b: output %d valid=%v, want %v", n, n, pat, o, ov.Get(o), o < k)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if route[i] >= 0 {
+					if op[route[i]] != payload[i] {
+						t.Fatalf("n=%d pat=%0*b: payload of input %d mangled", n, n, pat, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNetlistRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	n := 32
+	nl, err := BuildNetlist(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustChip(n)
+	for trial := 0; trial < 50; trial++ {
+		v := bitvec.New(n)
+		payload := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+			payload[i] = rng.Intn(2) == 1
+		}
+		ov, op, err := nl.Eval(v, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		route, _ := c.Setup(v)
+		for i := 0; i < n; i++ {
+			if route[i] >= 0 && op[route[i]] != payload[i] {
+				t.Fatal("payload mangled")
+			}
+		}
+		if ov.Count() != v.Count() || !ov.IsSorted() {
+			t.Fatal("output valid bits not a sorted copy of the input valid bits")
+		}
+	}
+}
+
+func TestNetlistDepthThetaLg(t *testing.T) {
+	depth := func(n int) int {
+		nl, err := BuildNetlist(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return nl.Net.Depth()
+	}
+	d16, d64, d256 := depth(16), depth(64), depth(256)
+	if !(d16 < d64 && d64 < d256) {
+		t.Errorf("netlist depth not increasing: %d %d %d", d16, d64, d256)
+	}
+	// Polylogarithmic check: quadrupling n should not quadruple depth.
+	if d256 >= 4*d16 {
+		t.Errorf("depth growth looks polynomial: d(16)=%d, d(256)=%d", d16, d256)
+	}
+}
+
+func TestNetlistEvalValidation(t *testing.T) {
+	nl, err := BuildNetlist(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := nl.Eval(bitvec.New(5), make([]bool, 4)); err == nil {
+		t.Error("accepted wrong valid length")
+	}
+	if _, _, err := nl.Eval(bitvec.New(4), make([]bool, 3)); err == nil {
+		t.Error("accepted wrong payload length")
+	}
+	if _, err := BuildNetlist(0); err == nil {
+		t.Error("BuildNetlist(0) accepted")
+	}
+}
+
+func TestPerfectValidation(t *testing.T) {
+	if _, err := NewPerfect(4, 5); err == nil {
+		t.Error("accepted m > n")
+	}
+	if _, err := NewPerfect(4, 0); err == nil {
+		t.Error("accepted m = 0")
+	}
+	p, err := NewPerfect(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Inputs() != 8 || p.Outputs() != 3 {
+		t.Errorf("dims = %d-by-%d", p.Inputs(), p.Outputs())
+	}
+}
+
+// §1: the two defining cases of a perfect concentrator switch.
+func TestPerfectConcentratorCases(t *testing.T) {
+	p, _ := NewPerfect(8, 3)
+
+	// Case k ≤ m: every message routed.
+	v := bitvec.MustParse("01000100")
+	out, err := p.Setup(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if v.Get(i) && out[i] == -1 {
+			t.Errorf("k≤m: message at input %d dropped", i)
+		}
+	}
+
+	// Case k > m: every output carries a message.
+	v = bitvec.MustParse("11011011")
+	out, err = p.Setup(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := make([]bool, 3)
+	for i := 0; i < 8; i++ {
+		if out[i] >= 0 {
+			used[out[i]] = true
+		}
+	}
+	for o, u := range used {
+		if !u {
+			t.Errorf("k>m: output %d idle", o)
+		}
+	}
+}
+
+func TestPerfectPropertyQuick(t *testing.T) {
+	f := func(raw []bool, mRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		n := len(raw)
+		m := 1 + int(mRaw)%n
+		v := bitvec.FromBools(raw)
+		p, err := NewPerfect(n, m)
+		if err != nil {
+			return false
+		}
+		out, err := p.Setup(v)
+		if err != nil {
+			return false
+		}
+		routed := 0
+		used := make(map[int]bool)
+		for i := range out {
+			if out[i] >= 0 {
+				if out[i] >= m || used[out[i]] || !v.Get(i) {
+					return false
+				}
+				used[out[i]] = true
+				routed++
+			}
+		}
+		k := v.Count()
+		want := k
+		if k > m {
+			want = m
+		}
+		return routed == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,170 @@
+// Package knockout implements a Knockout-style packet switch (Yeh,
+// Hluchyj & Acampora, 1987 — contemporaneous with the paper): an N×N
+// switch where every output port listens to all N inputs and uses an
+// N-to-L CONCENTRATOR to accept up to L simultaneous packets, knocking
+// out the excess. It is the canonical application of the paper's
+// subject — one concentrator per output port — and lets the library
+// measure the classic engineering result that small L (≈8) already
+// makes knockout loss negligible, as well as the extra loss incurred
+// when the per-output concentrator is one of the paper's PARTIAL
+// concentrators instead of a perfect one.
+package knockout
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+)
+
+// ConcentratorFactory builds the n-to-l concentrator used at each
+// output port.
+type ConcentratorFactory func(n, l int) (core.Concentrator, error)
+
+// PerfectFactory uses the single-chip perfect concentrator.
+func PerfectFactory(n, l int) (core.Concentrator, error) { return core.NewPerfectSwitch(n, l) }
+
+// Switch is an N×N knockout switch with L accept lines per output.
+type Switch struct {
+	n, l  int
+	ports []core.Concentrator
+}
+
+// New builds the switch with one concentrator per output port.
+func New(n, l int, factory ConcentratorFactory) (*Switch, error) {
+	if n < 1 || l < 1 || l > n {
+		return nil, fmt.Errorf("knockout: invalid N=%d L=%d", n, l)
+	}
+	s := &Switch{n: n, l: l}
+	for j := 0; j < n; j++ {
+		c, err := factory(n, l)
+		if err != nil {
+			return nil, fmt.Errorf("knockout: output %d: %w", j, err)
+		}
+		if c.Inputs() != n || c.Outputs() != l {
+			return nil, fmt.Errorf("knockout: factory built a %d-by-%d concentrator, want %d-by-%d",
+				c.Inputs(), c.Outputs(), n, l)
+		}
+		s.ports = append(s.ports, c)
+	}
+	return s, nil
+}
+
+// Inputs returns N.
+func (s *Switch) Inputs() int { return s.n }
+
+// AcceptLines returns L.
+func (s *Switch) AcceptLines() int { return s.l }
+
+// Slot switches one time slot: dest[i] is input i's destination output
+// (−1 for idle inputs). It returns accepted[i] = true when input i's
+// packet won an accept line at its destination, and the per-output
+// accepted counts.
+func (s *Switch) Slot(dest []int) (accepted []bool, perOutput []int, err error) {
+	if len(dest) != s.n {
+		return nil, nil, fmt.Errorf("knockout: %d destinations for %d inputs", len(dest), s.n)
+	}
+	accepted = make([]bool, s.n)
+	perOutput = make([]int, s.n)
+	for j := 0; j < s.n; j++ {
+		valid := bitvec.New(s.n)
+		any := false
+		for i, d := range dest {
+			if d == j {
+				valid.Set(i, true)
+				any = true
+			} else if d != -1 && (d < 0 || d >= s.n) {
+				return nil, nil, fmt.Errorf("knockout: destination %d out of range", d)
+			}
+		}
+		if !any {
+			continue
+		}
+		out, err := s.ports[j].Route(valid)
+		if err != nil {
+			return nil, nil, err
+		}
+		for i, o := range out {
+			if o >= 0 {
+				accepted[i] = true
+				perOutput[j]++
+			}
+		}
+	}
+	return accepted, perOutput, nil
+}
+
+// Stats aggregates a multi-slot simulation.
+type Stats struct {
+	Slots    int
+	Offered  int
+	Accepted int
+}
+
+// LossProbability returns the fraction of offered packets knocked out.
+func (st Stats) LossProbability() float64 {
+	if st.Offered == 0 {
+		return 0
+	}
+	return float64(st.Offered-st.Accepted) / float64(st.Offered)
+}
+
+// Simulate runs `slots` time slots of uniform traffic: each input holds
+// a packet with probability load, addressed to a uniformly random
+// output.
+func (s *Switch) Simulate(rng *rand.Rand, load float64, slots int) (*Stats, error) {
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("knockout: load %v out of [0,1]", load)
+	}
+	st := &Stats{Slots: slots}
+	dest := make([]int, s.n)
+	for slot := 0; slot < slots; slot++ {
+		for i := range dest {
+			if rng.Float64() < load {
+				dest[i] = rng.Intn(s.n)
+				st.Offered++
+			} else {
+				dest[i] = -1
+			}
+		}
+		accepted, _, err := s.Slot(dest)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range accepted {
+			if a {
+				st.Accepted++
+			}
+		}
+	}
+	return st, nil
+}
+
+// AnalyticLoss returns the knockout paper's analytic loss probability
+// for a PERFECT n-to-l concentrator under uniform load ρ: the expected
+// excess of a Binomial(n, ρ/n) arrival count over l, normalized by the
+// expected arrivals:
+//
+//	P_loss = (1/ρ) · Σ_{k=l+1..n} (k−l)·C(n,k)(ρ/n)^k (1−ρ/n)^{n−k}
+func AnalyticLoss(n, l int, load float64) float64 {
+	if load == 0 {
+		return 0
+	}
+	p := load / float64(n)
+	expectedExcess := 0.0
+	for k := l + 1; k <= n; k++ {
+		expectedExcess += float64(k-l) * binomPMF(n, k, p)
+	}
+	return expectedExcess / load
+}
+
+func binomPMF(n, k int, p float64) float64 {
+	// exp(lnC(n,k) + k ln p + (n−k) ln(1−p)) via lgamma for stability.
+	lg, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	logC := lg - lk - lnk
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log1p(-p))
+}

@@ -1,0 +1,174 @@
+package knockout
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/core"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, PerfectFactory); err == nil {
+		t.Error("accepted N = 0")
+	}
+	if _, err := New(8, 0, PerfectFactory); err == nil {
+		t.Error("accepted L = 0")
+	}
+	if _, err := New(8, 9, PerfectFactory); err == nil {
+		t.Error("accepted L > N")
+	}
+	bad := func(n, l int) (core.Concentrator, error) { return core.NewPerfectSwitch(n, 1) }
+	if _, err := New(8, 4, bad); err == nil {
+		t.Error("accepted wrong-shaped factory output")
+	}
+}
+
+func TestSlotBasics(t *testing.T) {
+	s, err := New(8, 2, PerfectFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Inputs() != 8 || s.AcceptLines() != 2 {
+		t.Error("accessors wrong")
+	}
+	// Three packets to output 5, one to output 0: output 5 knocks one
+	// out, output 0 accepts its packet.
+	dest := []int{5, -1, 5, -1, 0, 5, -1, -1}
+	accepted, perOut, err := s.Slot(dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perOut[5] != 2 || perOut[0] != 1 {
+		t.Errorf("perOutput = %v", perOut)
+	}
+	got := 0
+	for i, a := range accepted {
+		if a {
+			got++
+			if dest[i] == -1 {
+				t.Errorf("idle input %d accepted", i)
+			}
+		}
+	}
+	if got != 3 {
+		t.Errorf("accepted %d, want 3", got)
+	}
+	if _, _, err := s.Slot([]int{1}); err == nil {
+		t.Error("accepted wrong-length dest")
+	}
+	if _, _, err := s.Slot([]int{9, -1, -1, -1, -1, -1, -1, -1}); err == nil {
+		t.Error("accepted out-of-range destination")
+	}
+}
+
+// Conservation and capacity: per output, accepted = min(addressed, L).
+func TestSlotCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s, err := New(16, 4, PerfectFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		dest := make([]int, 16)
+		want := map[int]int{}
+		for i := range dest {
+			if rng.Intn(3) == 0 {
+				dest[i] = -1
+			} else {
+				dest[i] = rng.Intn(16)
+				want[dest[i]]++
+			}
+		}
+		_, perOut, err := s.Slot(dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 16; j++ {
+			expect := want[j]
+			if expect > 4 {
+				expect = 4
+			}
+			if perOut[j] != expect {
+				t.Fatalf("output %d accepted %d, want %d", j, perOut[j], expect)
+			}
+		}
+	}
+}
+
+// The classic knockout curve: with a perfect concentrator the simulated
+// loss matches the binomial analytic formula, and L = 8 at full load
+// drives loss below 1e-5 even for modest N.
+func TestLossMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n := 32
+	load := 0.9
+	for _, l := range []int{1, 2, 4} {
+		s, err := New(n, l, PerfectFactory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Simulate(rng, load, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := st.LossProbability()
+		ana := AnalyticLoss(n, l, load)
+		if math.Abs(sim-ana) > 0.02+0.3*ana {
+			t.Errorf("L=%d: simulated loss %.4f vs analytic %.4f", l, sim, ana)
+		}
+	}
+	if ana := AnalyticLoss(n, 8, 1.0); ana > 1e-5 {
+		t.Errorf("L=8 analytic loss %.2e should be < 1e-5", ana)
+	}
+	if AnalyticLoss(n, 8, 0) != 0 {
+		t.Error("zero load should have zero loss")
+	}
+}
+
+// Partial concentrators slot straight in as the per-output N-to-L
+// stage; their ε only bites when more than αL packets collide on one
+// output.
+func TestPartialConcentratorPorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	n := 32
+	l := 16
+	colFactory := func(nn, ll int) (core.Concentrator, error) {
+		return core.NewColumnsortSwitch(8, 4, ll) // 32-input, ε = 9
+	}
+	s, err := New(n, l, colFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Simulate(rng, 0.5, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With αL = 7 accept lines guaranteed per output and uniform load
+	// 0.5 over 32 outputs, collisions beyond 7 are vanishingly rare:
+	// loss should stay tiny.
+	if st.LossProbability() > 0.01 {
+		t.Errorf("partial-concentrator knockout loss %.4f too high", st.LossProbability())
+	}
+	if st.Offered == 0 || st.Accepted == 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s, _ := New(4, 2, PerfectFactory)
+	if _, err := s.Simulate(rand.New(rand.NewSource(1)), 1.5, 10); err == nil {
+		t.Error("accepted load > 1")
+	}
+}
+
+func TestBinomPMFSums(t *testing.T) {
+	n, p := 20, 0.3
+	sum := 0.0
+	for k := 0; k <= n; k++ {
+		sum += binomPMF(n, k, p)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("binomial PMF sums to %v", sum)
+	}
+}

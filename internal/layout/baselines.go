@@ -1,0 +1,81 @@
+package layout
+
+import (
+	"concentrators/internal/bitonic"
+	"concentrators/internal/hyper"
+	"concentrators/internal/seqhyper"
+)
+
+// SeqHyperPackage models the §1 sequential prefix+butterfly
+// hyperconcentrator's packaging: O(n lg n) four-pin chips (one 2×2
+// switch element or prefix node each) in Θ(n^{3/2}) volume.
+func SeqHyperPackage(n int) (*Package, error) {
+	s, err := seqhyper.New(n)
+	if err != nil {
+		return nil, err
+	}
+	lgn := ceilLg(n)
+	element := ChipSpec{
+		Kind:     "switch-element",
+		Width:    2,
+		DataPins: seqhyper.PinsPerChip(),
+		Area:     4, // constant-size die
+		Count:    n / 2 * lgn,
+	}
+	prefixNode := ChipSpec{
+		Kind:        "prefix-node",
+		Width:       2,
+		DataPins:    seqhyper.PinsPerChip(),
+		ControlPins: 1, // clock
+		Area:        4,
+		Count:       n - 1,
+	}
+	return &Package{
+		Name: "seq prefix+butterfly hyper", N: n, M: n,
+		Chips: []ChipSpec{element, prefixNode},
+		Stacks: []Stack{
+			{Kind: "butterfly levels", Boards: lgn, BoardArea: float64(n) * 4},
+			{Kind: "prefix tree", Boards: lgn, BoardArea: float64(n) * 2},
+		},
+		BoardTypes:     2,
+		Area2D:         seqhyper.Volume(n),           // the §1 claim reused as the planar budget
+		GateDelays:     s.SetupCycles() + s.Levels(), // in CYCLES, not gate delays: sequential
+		ChipsTraversed: lgn,
+		EpsilonBound:   0,
+		LoadRatio:      1,
+	}, nil
+}
+
+// BitonicPackage models the single-chip bitonic sorting-network
+// concentrator: Θ(n lg² n) comparators on one die.
+func BitonicPackage(n, m int) (*Package, error) {
+	sw, err := bitonic.NewSwitch(n, m)
+	if err != nil {
+		return nil, err
+	}
+	nw, err := bitonic.NewNetwork(n)
+	if err != nil {
+		return nil, err
+	}
+	chip := ChipSpec{
+		Kind:     "bitonic-sorter",
+		Width:    n,
+		DataPins: n + m,
+		Area:     float64(nw.Comparators()) * 4, // 4 area units per comparator
+		Count:    1,
+	}
+	return &Package{
+		Name: "bitonic (single chip)", N: n, M: m,
+		Chips:          []ChipSpec{chip},
+		Stacks:         []Stack{{Kind: "single board", Boards: 1, BoardArea: chip.Area}},
+		BoardTypes:     1,
+		Area2D:         chip.Area,
+		GateDelays:     sw.GateDelays(),
+		ChipsTraversed: 1,
+		EpsilonBound:   0,
+		LoadRatio:      1,
+	}, nil
+}
+
+// HyperChipArea re-exports the CL86 area figure for comparisons.
+func HyperChipArea(n int) float64 { return hyper.Area(n) }

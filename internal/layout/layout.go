@@ -1,0 +1,316 @@
+// Package layout models the physical packaging of the multichip
+// switches: chips, boards, stacks, pins, two-dimensional crossbar-wired
+// area and three-dimensional stacked volume. It reproduces the resource
+// accounting of Table 1 and the packaging of Figures 3, 4, 6, 7 and 8.
+//
+// Units: chip area is measured in wire-pitch² with a w-by-w
+// hyperconcentrator chip occupying w² (the Θ(n²) of CL86 with unit
+// constant); board pitch is 1, so a stack of b boards of area a has
+// volume b·a.
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"concentrators/internal/core"
+	"concentrators/internal/hyper"
+)
+
+// ChipSpec describes one chip type used by a switch package.
+type ChipSpec struct {
+	Kind        string  // e.g. "hyperconcentrator", "barrel-shifter"
+	Width       int     // port width (inputs = outputs = Width)
+	DataPins    int     // input + output data pins
+	ControlPins int     // hardwired control pins (barrel shifter amount)
+	Area        float64 // in wire-pitch²
+	Count       int     // how many of this chip the switch uses
+}
+
+// Pins returns the total pin requirement of the chip type.
+func (c ChipSpec) Pins() int { return c.DataPins + c.ControlPins }
+
+// Stack is one stack of identical boards in the 3D packaging.
+type Stack struct {
+	Kind      string
+	Boards    int
+	BoardArea float64
+}
+
+// Volume returns the stack volume (board pitch 1).
+func (s Stack) Volume() float64 { return float64(s.Boards) * s.BoardArea }
+
+// Package is the complete packaging summary of one switch design.
+type Package struct {
+	Name       string
+	N, M       int
+	Chips      []ChipSpec
+	Stacks     []Stack
+	BoardTypes int
+	// Connectors counts passive interstack wiring connectors (the
+	// Figure 7/8 transposers) and their total volume.
+	Connectors      int
+	ConnectorVolume float64
+	Area2D          float64 // two-dimensional layout area (crossbar wiring)
+	GateDelays      int
+	ChipsTraversed  int
+	EpsilonBound    int
+	LoadRatio       float64
+}
+
+// TotalChips sums the chip counts.
+func (p *Package) TotalChips() int {
+	t := 0
+	for _, c := range p.Chips {
+		t += c.Count
+	}
+	return t
+}
+
+// ChipTypes returns the number of distinct chip types.
+func (p *Package) ChipTypes() int { return len(p.Chips) }
+
+// MaxPins returns the worst pin requirement over chip types.
+func (p *Package) MaxPins() int {
+	m := 0
+	for _, c := range p.Chips {
+		if pins := c.Pins(); pins > m {
+			m = pins
+		}
+	}
+	return m
+}
+
+// Volume3D returns the total 3D packaging volume: stacks plus passive
+// connectors.
+func (p *Package) Volume3D() float64 {
+	v := p.ConnectorVolume
+	for _, s := range p.Stacks {
+		v += s.Volume()
+	}
+	return v
+}
+
+// String renders a one-package report in the style of the paper's
+// packaging figures.
+func (p *Package) String() string {
+	out := fmt.Sprintf("%s  (n=%d, m=%d)\n", p.Name, p.N, p.M)
+	out += fmt.Sprintf("  chips: %d total, %d types (max %d pins)\n", p.TotalChips(), p.ChipTypes(), p.MaxPins())
+	for _, c := range p.Chips {
+		out += fmt.Sprintf("    %3d × %s[%d] (%d data + %d control pins, area %.0f)\n",
+			c.Count, c.Kind, c.Width, c.DataPins, c.ControlPins, c.Area)
+	}
+	out += fmt.Sprintf("  stacks: %d (board types: %d)\n", len(p.Stacks), p.BoardTypes)
+	for _, s := range p.Stacks {
+		out += fmt.Sprintf("    %s: %d boards × area %.0f = volume %.0f\n", s.Kind, s.Boards, s.BoardArea, s.Volume())
+	}
+	if p.Connectors > 0 {
+		out += fmt.Sprintf("  connectors: %d (volume %.0f)\n", p.Connectors, p.ConnectorVolume)
+	}
+	out += fmt.Sprintf("  volume(3D) = %.0f, area(2D) = %.0f\n", p.Volume3D(), p.Area2D)
+	out += fmt.Sprintf("  delay = %d gate delays across %d chips; ε = %d, load ratio = %.4f\n",
+		p.GateDelays, p.ChipsTraversed, p.EpsilonBound, p.LoadRatio)
+	return out
+}
+
+// TransposerVolume returns the volume of the Figure 8 connector that
+// turns w vertically-aligned wires into w horizontally-aligned wires:
+// Θ(w²) with unit constant.
+func TransposerVolume(w int) float64 { return float64(w) * float64(w) }
+
+// ceilLg returns ⌈lg n⌉.
+func ceilLg(n int) int {
+	l := 0
+	for (1 << uint(l)) < n {
+		l++
+	}
+	return l
+}
+
+// RevsortPackage computes the §4 packaging (Figures 3 and 4) for an
+// n-input, m-output Revsort switch.
+func RevsortPackage(n, m int) (*Package, error) {
+	sw, err := core.NewRevsortSwitch(n, m)
+	if err != nil {
+		return nil, err
+	}
+	side := sw.Side()
+	hyperChip := ChipSpec{
+		Kind:     "hyperconcentrator",
+		Width:    side,
+		DataPins: hyper.DataPins(side),
+		Area:     hyper.Area(side),
+		Count:    3 * side,
+	}
+	shifter := ChipSpec{
+		Kind:        "barrel-shifter",
+		Width:       side,
+		DataPins:    hyper.DataPins(side),
+		ControlPins: ceilLg(side), // hardwired rev(i) amount: ⌈(lg n)/2⌉
+		Area:        hyper.Area(side),
+		Count:       side,
+	}
+	stage13Board := hyperChip.Area
+	stage2Board := hyperChip.Area + shifter.Area
+	p := &Package{
+		Name: "revsort", N: n, M: m,
+		Chips: []ChipSpec{hyperChip, shifter},
+		Stacks: []Stack{
+			{Kind: "stage 1 (column sort)", Boards: side, BoardArea: stage13Board},
+			{Kind: "stage 2 (row sort + rev shift)", Boards: side, BoardArea: stage2Board},
+			{Kind: "stage 3 (column sort)", Boards: side, BoardArea: stage13Board},
+		},
+		BoardTypes: 2,
+		// 2D layout: two n×n crossbar wiring fields between the three
+		// stages dominate (Θ(n²)); the chips add 3·side·side².
+		Area2D:         2*float64(n)*float64(n) + 3*float64(side)*hyper.Area(side),
+		GateDelays:     sw.GateDelays(),
+		ChipsTraversed: sw.ChipsTraversed(),
+		EpsilonBound:   sw.EpsilonBound(),
+		LoadRatio:      core.LoadRatio(sw),
+	}
+	return p, nil
+}
+
+// ColumnsortPackage computes the §5 packaging (Figures 6 and 7) for an
+// r×s-shaped Columnsort switch with m outputs.
+func ColumnsortPackage(r, s, m int) (*Package, error) {
+	sw, err := core.NewColumnsortSwitch(r, s, m)
+	if err != nil {
+		return nil, err
+	}
+	n := r * s
+	hyperChip := ChipSpec{
+		Kind:     "hyperconcentrator",
+		Width:    r,
+		DataPins: hyper.DataPins(r),
+		Area:     hyper.Area(r),
+		Count:    2 * s,
+	}
+	p := &Package{
+		Name: "columnsort", N: n, M: m,
+		Chips: []ChipSpec{hyperChip},
+		Stacks: []Stack{
+			{Kind: "stage 1 (column sort)", Boards: s, BoardArea: hyperChip.Area},
+			{Kind: "stage 2 (column sort)", Boards: s, BoardArea: hyperChip.Area},
+		},
+		BoardTypes: 1,
+		// s² interstack transposers of r/s wires each (Figure 7/8).
+		Connectors:      s * s,
+		ConnectorVolume: float64(s*s) * TransposerVolume(r/s),
+		// 2D layout: one n×n crossbar between the stages.
+		Area2D:         float64(n)*float64(n) + 2*float64(s)*hyper.Area(r),
+		GateDelays:     sw.GateDelays(),
+		ChipsTraversed: sw.ChipsTraversed(),
+		EpsilonBound:   sw.EpsilonBound(),
+		LoadRatio:      core.LoadRatio(sw),
+	}
+	return p, nil
+}
+
+// PerfectPackage is the single-chip baseline: one n-by-n
+// hyperconcentrator die restricted to m outputs.
+func PerfectPackage(n, m int) (*Package, error) {
+	sw, err := core.NewPerfectSwitch(n, m)
+	if err != nil {
+		return nil, err
+	}
+	chip := ChipSpec{
+		Kind:     "hyperconcentrator",
+		Width:    n,
+		DataPins: n + m,
+		Area:     hyper.Area(n),
+		Count:    1,
+	}
+	return &Package{
+		Name: "perfect (single chip)", N: n, M: m,
+		Chips:          []ChipSpec{chip},
+		Stacks:         []Stack{{Kind: "single board", Boards: 1, BoardArea: chip.Area}},
+		BoardTypes:     1,
+		Area2D:         chip.Area,
+		GateDelays:     sw.GateDelays(),
+		ChipsTraversed: 1,
+		EpsilonBound:   0,
+		LoadRatio:      1,
+	}, nil
+}
+
+// FullRevsortPackage computes the §6 packaging of the full-Revsort
+// multichip hyperconcentrator: ⌈lg lg √n⌉ repetitions of stacks 1 and
+// 2 of Figure 4 followed by Shearsort stacks.
+func FullRevsortPackage(n int) (*Package, error) {
+	sw, err := core.NewFullRevsortHyper(n, n)
+	if err != nil {
+		return nil, err
+	}
+	side := int(math.Sqrt(float64(n)))
+	stacks := sw.ChipsTraversed() // one stack per chip on the path
+	// Half the phase stacks carry barrel shifters.
+	shifterStacks := (stacks - 8) / 2 // phase row stacks
+	if shifterStacks < 0 {
+		shifterStacks = 0
+	}
+	hyperChip := ChipSpec{
+		Kind:     "hyperconcentrator",
+		Width:    side,
+		DataPins: hyper.DataPins(side),
+		Area:     hyper.Area(side),
+		Count:    stacks * side,
+	}
+	shifter := ChipSpec{
+		Kind:        "barrel-shifter",
+		Width:       side,
+		DataPins:    hyper.DataPins(side),
+		ControlPins: ceilLg(side),
+		Area:        hyper.Area(side),
+		Count:       shifterStacks * side,
+	}
+	p := &Package{
+		Name: "full-revsort hyper", N: n, M: n,
+		Chips: []ChipSpec{hyperChip, shifter},
+		Stacks: []Stack{
+			{Kind: "plain stacks", Boards: (stacks - shifterStacks) * side, BoardArea: hyperChip.Area},
+			{Kind: "shifter stacks", Boards: shifterStacks * side, BoardArea: 2 * hyperChip.Area},
+		},
+		BoardTypes:     2,
+		Area2D:         float64(stacks-1)*float64(n)*float64(n) + float64(stacks)*float64(side)*hyper.Area(side),
+		GateDelays:     sw.GateDelays(),
+		ChipsTraversed: sw.ChipsTraversed(),
+		EpsilonBound:   0,
+		LoadRatio:      1,
+	}
+	return p, nil
+}
+
+// FullColumnsortPackage computes the §6 packaging of the full
+// eight-step Columnsort multichip hyperconcentrator.
+func FullColumnsortPackage(r, s int) (*Package, error) {
+	sw, err := core.NewFullColumnsortHyper(r, s, r*s)
+	if err != nil {
+		return nil, err
+	}
+	n := r * s
+	hyperChip := ChipSpec{
+		Kind:     "hyperconcentrator",
+		Width:    r,
+		DataPins: hyper.DataPins(r),
+		Area:     hyper.Area(r),
+		Count:    sw.ChipCount(),
+	}
+	p := &Package{
+		Name: "full-columnsort hyper", N: n, M: n,
+		Chips: []ChipSpec{hyperChip},
+		Stacks: []Stack{
+			{Kind: "four column-sort stacks", Boards: sw.ChipCount(), BoardArea: hyperChip.Area},
+		},
+		BoardTypes:      1,
+		Connectors:      3 * s * s,
+		ConnectorVolume: float64(3*s*s) * TransposerVolume(r/s),
+		Area2D:          3*float64(n)*float64(n) + float64(sw.ChipCount())*hyper.Area(r),
+		GateDelays:      sw.GateDelays(),
+		ChipsTraversed:  sw.ChipsTraversed(),
+		EpsilonBound:    0,
+		LoadRatio:       1,
+	}
+	return p, nil
+}

@@ -1,0 +1,296 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRevsortPackageFigure4(t *testing.T) {
+	// The Figure 4 instance: n = 64, √n = 8.
+	p, err := RevsortPackage(64, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalChips() != 32 { // 24 hyper + 8 shifters
+		t.Errorf("TotalChips = %d, want 32", p.TotalChips())
+	}
+	if p.ChipTypes() != 2 || p.BoardTypes != 2 {
+		t.Errorf("types = %d chips / %d boards, want 2/2", p.ChipTypes(), p.BoardTypes)
+	}
+	if len(p.Stacks) != 3 {
+		t.Fatalf("stacks = %d, want 3", len(p.Stacks))
+	}
+	for _, s := range p.Stacks {
+		if s.Boards != 8 {
+			t.Errorf("stack %q has %d boards, want 8 (=√n)", s.Kind, s.Boards)
+		}
+	}
+	// Pins: barrel shifter 2√n + ⌈(lg n)/2⌉ = 16+3 = 19 dominates.
+	if p.MaxPins() != 19 {
+		t.Errorf("MaxPins = %d, want 19", p.MaxPins())
+	}
+	// Volume = 8·64 + 8·128 + 8·64 = 2048 = 4·n^{3/2}/... concrete.
+	if p.Volume3D() != 2048 {
+		t.Errorf("Volume3D = %v, want 2048", p.Volume3D())
+	}
+	if !strings.Contains(p.String(), "revsort") {
+		t.Error("String() missing design name")
+	}
+}
+
+func TestRevsortVolumeScalesN32(t *testing.T) {
+	p1, err := RevsortPackage(256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := RevsortPackage(4096, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := VolumeExponent(256, p1.Volume3D(), 4096, p2.Volume3D())
+	if math.Abs(exp-1.5) > 0.01 {
+		t.Errorf("Revsort volume exponent = %.3f, want 1.5", exp)
+	}
+	// 2D area is Θ(n²).
+	exp2 := VolumeExponent(256, p1.Area2D, 4096, p2.Area2D)
+	if math.Abs(exp2-2.0) > 0.1 {
+		t.Errorf("Revsort 2D area exponent = %.3f, want ≈2", exp2)
+	}
+}
+
+func TestColumnsortPackageFigure7(t *testing.T) {
+	// The Figure 6/7 instance: r = 8, s = 4, n = 32, m = 18.
+	p, err := ColumnsortPackage(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalChips() != 8 { // 2s
+		t.Errorf("TotalChips = %d, want 8", p.TotalChips())
+	}
+	if p.ChipTypes() != 1 || p.BoardTypes != 1 {
+		t.Error("Columnsort should use one chip type and one board type")
+	}
+	if p.Connectors != 16 { // s²
+		t.Errorf("Connectors = %d, want 16", p.Connectors)
+	}
+	// Connector volume: s²·(r/s)² = 16·4 = 64.
+	if p.ConnectorVolume != 64 {
+		t.Errorf("ConnectorVolume = %v, want 64", p.ConnectorVolume)
+	}
+	if p.MaxPins() != 16 { // 2r
+		t.Errorf("MaxPins = %d, want 16", p.MaxPins())
+	}
+}
+
+func TestColumnsortVolumeScalesBeta(t *testing.T) {
+	// β = 3/4 at n = 256 vs n = 4096: volume exponent ≈ 1+β = 1.75.
+	p1, err := ColumnsortPackage(64, 4, 128) // n=256, r=n^{3/4}
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ColumnsortPackage(512, 8, 2048) // n=4096, r=n^{3/4}
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := VolumeExponent(256, p1.Volume3D(), 4096, p2.Volume3D())
+	if math.Abs(exp-1.75) > 0.05 {
+		t.Errorf("Columnsort β=3/4 volume exponent = %.3f, want ≈1.75", exp)
+	}
+}
+
+func TestTransposerVolumeQuadratic(t *testing.T) {
+	if TransposerVolume(4) != 16 || TransposerVolume(10) != 100 {
+		t.Error("transposer volume should be w²")
+	}
+}
+
+func TestPerfectPackage(t *testing.T) {
+	p, err := PerfectPackage(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalChips() != 1 || p.MaxPins() != 96 {
+		t.Errorf("chips=%d pins=%d", p.TotalChips(), p.MaxPins())
+	}
+	if p.Area2D != 4096 {
+		t.Errorf("area = %v, want n² = 4096", p.Area2D)
+	}
+}
+
+func TestFullRevsortPackage(t *testing.T) {
+	p, err := FullRevsortPackage(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// √n = 64, phases = ⌈lg lg 64⌉ = 3 → chips traversed = 2·3+8 = 14.
+	if p.ChipsTraversed != 14 {
+		t.Errorf("ChipsTraversed = %d, want 14", p.ChipsTraversed)
+	}
+	if p.TotalChips() <= 14*64-1 {
+		t.Errorf("TotalChips = %d, expected ≥ stacks·√n", p.TotalChips())
+	}
+	partial, _ := RevsortPackage(4096, 2048)
+	if p.Volume3D() <= partial.Volume3D() {
+		t.Error("full sorter should cost more volume than the partial switch")
+	}
+}
+
+func TestFullColumnsortPackage(t *testing.T) {
+	p, err := FullColumnsortPackage(128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ChipsTraversed != 4 {
+		t.Errorf("ChipsTraversed = %d, want 4", p.ChipsTraversed)
+	}
+	if p.TotalChips() != 3*8+9 {
+		t.Errorf("TotalChips = %d, want 33", p.TotalChips())
+	}
+	if _, err := FullColumnsortPackage(16, 4); err == nil {
+		t.Error("accepted r < 2(s−1)²")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(4096, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	rev, colHalf, col58, col34 := rows[0], rows[1], rows[2], rows[3]
+
+	// Table 1's qualitative content at β = 1/2: Columnsort matches the
+	// Revsort switch's pins and chips asymptotically but beats its
+	// delay (2 lg n vs 3 lg n) and ties volume.
+	if colHalf.GateDelays >= rev.GateDelays {
+		t.Errorf("β=1/2 delay %d should beat Revsort %d", colHalf.GateDelays, rev.GateDelays)
+	}
+	// As β grows: pins/chip grow, chip count shrinks, delay grows,
+	// volume grows, ε (hence load penalty) shrinks.
+	if !(colHalf.PinsPerChip < col58.PinsPerChip && col58.PinsPerChip < col34.PinsPerChip) {
+		t.Error("pins/chip should grow with β")
+	}
+	if !(colHalf.ChipCount > col58.ChipCount && col58.ChipCount > col34.ChipCount) {
+		t.Error("chip count should shrink with β")
+	}
+	if !(colHalf.GateDelays < col58.GateDelays && col58.GateDelays < col34.GateDelays) {
+		t.Error("delay should grow with β")
+	}
+	if !(colHalf.Volume < col58.Volume && col58.Volume < col34.Volume) {
+		t.Error("volume should grow with β")
+	}
+	if !(colHalf.Epsilon > col58.Epsilon && col58.Epsilon > col34.Epsilon) {
+		t.Error("ε should shrink with β")
+	}
+	if !(colHalf.LoadRatio < col34.LoadRatio) {
+		t.Error("load ratio should improve with β")
+	}
+
+	text := FormatTable1(rows)
+	for _, want := range []string{"Revsort", "β=1/2", "β=5/8", "β=3/4", "Θ(n^{3/2})"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatTable1 missing %q", want)
+		}
+	}
+}
+
+func TestTable1RejectsBadN(t *testing.T) {
+	if _, err := Table1(100, 50); err == nil {
+		t.Error("accepted non-square n")
+	}
+}
+
+func TestBetaSweep(t *testing.T) {
+	rows, err := BetaSweep(4096, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // lgR from 6 to 12
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Beta <= rows[i-1].Beta {
+			t.Error("β not increasing")
+		}
+		if rows[i].PinsPerChip <= rows[i-1].PinsPerChip {
+			t.Error("pins not increasing with β")
+		}
+	}
+	if _, err := BetaSweep(100, 50); err == nil {
+		t.Error("accepted non-power-of-two n")
+	}
+}
+
+func TestTwoStageReach(t *testing.T) {
+	n, r, s := TwoStageReach(128, 0.5)
+	if r != 64 {
+		t.Errorf("r = %d, want 64 (2r ≤ 128)", r)
+	}
+	if n != r*s || s < 1 {
+		t.Errorf("inconsistent reach n=%d r=%d s=%d", n, r, s)
+	}
+	// ε = (s−1)² ≤ 0.5·(n/2).
+	if eps := (s - 1) * (s - 1); float64(eps) > 0.5*float64(n/2) {
+		t.Errorf("reach violates ε constraint: s=%d n=%d", s, n)
+	}
+	// Monotonic in p.
+	n2, _, _ := TwoStageReach(512, 0.5)
+	if n2 <= n {
+		t.Errorf("reach should grow with pins: f(128)=%d f(512)=%d", n, n2)
+	}
+	// Superlinear in p (the paper: f(p) = p^{2−δ}).
+	if float64(n2)/float64(n) < 3.9 {
+		t.Errorf("reach growth %v looks linear", float64(n2)/float64(n))
+	}
+}
+
+func TestVolumeExponent(t *testing.T) {
+	if got := VolumeExponent(2, 8, 4, 64); math.Abs(got-3) > 1e-9 {
+		t.Errorf("exponent = %v, want 3", got)
+	}
+}
+
+func TestSeqHyperPackage(t *testing.T) {
+	p, err := SeqHyperPackage(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxPins() != 5 { // 4 data + 1 clock on the prefix node
+		t.Errorf("MaxPins = %d, want 5", p.MaxPins())
+	}
+	// O(n lg n) chips: 512·10 + 1023.
+	if p.TotalChips() != 512*10+1023 {
+		t.Errorf("TotalChips = %d", p.TotalChips())
+	}
+	if _, err := SeqHyperPackage(12); err == nil {
+		t.Error("accepted non-power-of-two n")
+	}
+}
+
+func TestBitonicPackage(t *testing.T) {
+	p, err := BitonicPackage(256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalChips() != 1 || p.MaxPins() != 384 {
+		t.Errorf("chips=%d pins=%d", p.TotalChips(), p.MaxPins())
+	}
+	// Area grows superlinearly vs the CL86 chip only at large n; at
+	// moderate n the comparator count 4·n·lg n(lg n+1)/4 is actually
+	// smaller than n² — the sorter loses on DELAY, not area.
+	if p.GateDelays <= 2*8+2 {
+		t.Errorf("bitonic delay %d should exceed CL86's", p.GateDelays)
+	}
+	if _, err := BitonicPackage(256, 0); err == nil {
+		t.Error("accepted m = 0")
+	}
+}
+
+func TestHyperChipArea(t *testing.T) {
+	if HyperChipArea(16) != 256 {
+		t.Error("area passthrough wrong")
+	}
+}

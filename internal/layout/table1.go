@@ -1,0 +1,196 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"concentrators/internal/core"
+)
+
+// Table1Row is one column of the paper's Table 1 (we transpose it into
+// rows per design), carrying both the asymptotic expression the paper
+// prints and the concrete value measured from the constructed switch.
+type Table1Row struct {
+	Design        string
+	Beta          float64 // 0 for the Revsort switch
+	PinsPerChip   int
+	PinsExpr      string
+	ChipCount     int
+	ChipsExpr     string
+	Epsilon       int
+	LoadRatio     float64
+	LoadRatioExpr string
+	GateDelays    int
+	DelayExpr     string
+	Volume        float64
+	VolumeExpr    string
+}
+
+// Table1 reproduces the paper's Table 1 for concrete n and m: resource
+// measures for the Revsort-based switch and the Columnsort-based
+// switch at β = 1/2, 5/8 and 3/4. n must be a power of four so that
+// every design is constructible (√n and all β shapes are integral).
+func Table1(n, m int) ([]Table1Row, error) {
+	rows := make([]Table1Row, 0, 4)
+
+	rev, err := RevsortPackage(n, m)
+	if err != nil {
+		return nil, fmt.Errorf("layout: Table 1 requires a Revsort-constructible n: %w", err)
+	}
+	revSw, _ := core.NewRevsortSwitch(n, m)
+	rows = append(rows, Table1Row{
+		Design:        "Revsort",
+		PinsPerChip:   rev.MaxPins(),
+		PinsExpr:      "Θ(n^{1/2})",
+		ChipCount:     rev.TotalChips(),
+		ChipsExpr:     "Θ(n^{1/2})",
+		Epsilon:       revSw.EpsilonBound(),
+		LoadRatio:     core.LoadRatio(revSw),
+		LoadRatioExpr: "1 − O(n^{3/4}/m)",
+		GateDelays:    rev.GateDelays,
+		DelayExpr:     "3 lg n + O(1)",
+		Volume:        rev.Volume3D(),
+		VolumeExpr:    "Θ(n^{3/2})",
+	})
+
+	for _, beta := range []float64{0.5, 0.625, 0.75} {
+		row, err := columnsortRow(n, m, beta)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func columnsortRow(n, m int, beta float64) (Table1Row, error) {
+	r, s, err := core.ShapeForBeta(n, beta)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	pkg, err := ColumnsortPackage(r, s, m)
+	if err != nil {
+		return Table1Row{}, err
+	}
+	sw, _ := core.NewColumnsortSwitch(r, s, m)
+	b := betaLabel(beta)
+	return Table1Row{
+		Design:        fmt.Sprintf("Columnsort β=%s", b),
+		Beta:          beta,
+		PinsPerChip:   pkg.MaxPins(),
+		PinsExpr:      fmt.Sprintf("Θ(n^{%s})", b),
+		ChipCount:     pkg.TotalChips(),
+		ChipsExpr:     fmt.Sprintf("Θ(n^{1−%s})", b),
+		Epsilon:       sw.EpsilonBound(),
+		LoadRatio:     core.LoadRatio(sw),
+		LoadRatioExpr: fmt.Sprintf("1 − O(n^{2−2·%s}/m)", b),
+		GateDelays:    pkg.GateDelays,
+		DelayExpr:     fmt.Sprintf("4·%s·lg n + O(1)", b),
+		Volume:        pkg.Volume3D(),
+		VolumeExpr:    fmt.Sprintf("Θ(n^{1+%s})", b),
+	}, nil
+}
+
+func betaLabel(beta float64) string {
+	switch beta {
+	case 0.5:
+		return "1/2"
+	case 0.625:
+		return "5/8"
+	case 0.75:
+		return "3/4"
+	case 1:
+		return "1"
+	default:
+		return fmt.Sprintf("%.3f", beta)
+	}
+}
+
+// FormatTable1 renders rows as an aligned text table mirroring the
+// paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %12s %8s %8s %10s %8s %12s\n",
+		"design", "pins/chip", "chips", "ε", "load", "delays", "volume")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-20s %12d %8d %8d %10.4f %8d %12.0f\n",
+			r.Design, r.PinsPerChip, r.ChipCount, r.Epsilon, r.LoadRatio, r.GateDelays, r.Volume)
+	}
+	sb.WriteString("asymptotics:\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-20s pins %-12s chips %-12s load %-22s delay %-20s volume %s\n",
+			r.Design, r.PinsExpr, r.ChipsExpr, r.LoadRatioExpr, r.DelayExpr, r.VolumeExpr)
+	}
+	return sb.String()
+}
+
+// BetaSweep computes the §5 tradeoff continuum: one Table1Row per
+// admissible power-of-two shape r = 2^i with √n ≤ r ≤ n.
+func BetaSweep(n, m int) ([]Table1Row, error) {
+	rows := []Table1Row{}
+	lgN := 0
+	for (1 << uint(lgN)) < n {
+		lgN++
+	}
+	if 1<<uint(lgN) != n {
+		return nil, fmt.Errorf("layout: BetaSweep requires power-of-two n, got %d", n)
+	}
+	for lgR := (lgN + 1) / 2; lgR <= lgN; lgR++ {
+		beta := float64(lgR) / float64(lgN)
+		r := 1 << uint(lgR)
+		s := n / r
+		pkg, err := ColumnsortPackage(r, s, m)
+		if err != nil {
+			return nil, err
+		}
+		sw, _ := core.NewColumnsortSwitch(r, s, m)
+		rows = append(rows, Table1Row{
+			Design:      fmt.Sprintf("columnsort r=%d s=%d", r, s),
+			Beta:        beta,
+			PinsPerChip: pkg.MaxPins(),
+			ChipCount:   pkg.TotalChips(),
+			Epsilon:     sw.EpsilonBound(),
+			LoadRatio:   core.LoadRatio(sw),
+			GateDelays:  pkg.GateDelays,
+			Volume:      pkg.Volume3D(),
+		})
+	}
+	return rows, nil
+}
+
+// TwoStageReach answers the §6 open question empirically for the
+// Columnsort construction: given chips with p pins, the largest n for
+// which a two-stage switch exists. With 2r ≤ p and the load-ratio
+// usefulness condition ε = (s−1)² < m ≤ n, the construction reaches
+// n = r·s for any s ≤ r, i.e. f(p) = Θ(p^{2−δ}) for load ratio
+// 1 − o(p/m) (the paper: f(p) = p^{2−ε} for any 0 < ε ≤ 1).
+//
+// It returns the largest usable n = r·s (power-of-two shapes) with
+// s chosen so that ε ≤ εmax·m for m = n/2.
+func TwoStageReach(p int, epsFrac float64) (n, r, s int) {
+	// Largest power-of-two r with 2r ≤ p.
+	r = 1
+	for 2*(r<<1) <= p {
+		r <<= 1
+	}
+	best := 0
+	bestR, bestS := r, 1
+	for sTry := 1; sTry <= r; sTry <<= 1 {
+		nTry := r * sTry
+		m := nTry / 2
+		eps := (sTry - 1) * (sTry - 1)
+		if float64(eps) <= epsFrac*float64(m) && nTry > best {
+			best = nTry
+			bestR, bestS = r, sTry
+		}
+	}
+	return best, bestR, bestS
+}
+
+// VolumeExponent estimates the observed scaling exponent of a volume
+// function between two sizes: log(v2/v1) / log(n2/n1). The benches use
+// it to confirm Θ(n^{3/2}) and Θ(n^{1+β}).
+func VolumeExponent(n1 int, v1 float64, n2 int, v2 float64) float64 {
+	return math.Log(v2/v1) / math.Log(float64(n2)/float64(n1))
+}

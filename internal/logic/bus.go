@@ -1,0 +1,181 @@
+package logic
+
+import "fmt"
+
+// A Bus is an ordered collection of signals interpreted, where
+// arithmetic applies, as an unsigned little-endian binary number:
+// element 0 is the least significant bit.
+type Bus []Signal
+
+// InputBus creates width named inputs prefix.0 .. prefix.<width-1>.
+func (n *Net) InputBus(prefix string, width int) Bus {
+	b := make(Bus, width)
+	for i := range b {
+		b[i] = n.Input(fmt.Sprintf("%s.%d", prefix, i))
+	}
+	return b
+}
+
+// ConstBus returns a width-bit bus holding the constant value v.
+// It panics if v does not fit in width bits.
+func (n *Net) ConstBus(v uint64, width int) Bus {
+	if width < 64 && v>>uint(width) != 0 {
+		panic(fmt.Sprintf("logic: constant %d does not fit in %d bits", v, width))
+	}
+	b := make(Bus, width)
+	for i := range b {
+		b[i] = n.Const(v&(1<<uint(i)) != 0)
+	}
+	return b
+}
+
+// MarkOutputBus registers each bit of the bus as an output named
+// prefix.0 .. prefix.<len-1>.
+func (n *Net) MarkOutputBus(prefix string, b Bus) {
+	for i, s := range b {
+		n.MarkOutput(fmt.Sprintf("%s.%d", prefix, i), s)
+	}
+}
+
+// halfAdd returns (sum, carry) of two bits.
+func (n *Net) halfAdd(a, b Signal) (sum, carry Signal) {
+	return n.Xor(a, b), n.bin(KindAnd, a, b)
+}
+
+// fullAdd returns (sum, carry) of three bits.
+func (n *Net) fullAdd(a, b, c Signal) (sum, carry Signal) {
+	s1, c1 := n.halfAdd(a, b)
+	s2, c2 := n.halfAdd(s1, c)
+	return s2, n.bin(KindOr, c1, c2)
+}
+
+// Add returns a+b as a bus of max(len(a),len(b))+1 bits (ripple-carry).
+// Shorter operands are zero-extended.
+func (n *Net) Add(a, b Bus) Bus {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	a = n.extend(a, w)
+	b = n.extend(b, w)
+	out := make(Bus, w+1)
+	carry := n.Const(false)
+	for i := 0; i < w; i++ {
+		out[i], carry = n.fullAdd(a[i], b[i], carry)
+	}
+	out[w] = carry
+	return out
+}
+
+func (n *Net) extend(b Bus, w int) Bus {
+	for len(b) < w {
+		b = append(b, n.Const(false))
+	}
+	return b
+}
+
+// AddFast returns a+b as a bus of max(len(a),len(b))+1 bits using a
+// Kogge–Stone carry-lookahead structure: Θ(lg w) depth instead of the
+// ripple adder's Θ(w), at Θ(w lg w) gates. Shorter operands are
+// zero-extended.
+func (n *Net) AddFast(a, b Bus) Bus {
+	w := len(a)
+	if len(b) > w {
+		w = len(b)
+	}
+	if w == 0 {
+		return Bus{n.Const(false)}
+	}
+	a = n.extend(a, w)
+	b = n.extend(b, w)
+	// Generate/propagate per bit.
+	g := make([]Signal, w)
+	p := make([]Signal, w)
+	for i := 0; i < w; i++ {
+		g[i] = n.bin(KindAnd, a[i], b[i])
+		p[i] = n.Xor(a[i], b[i])
+	}
+	// Kogge–Stone prefix of the carry operator:
+	// (g,p) ∘ (g',p') = (g ∨ p·g', p·p'), combining toward the LSB.
+	G := append([]Signal(nil), g...)
+	P := append([]Signal(nil), p...)
+	for d := 1; d < w; d <<= 1 {
+		nextG := append([]Signal(nil), G...)
+		nextP := append([]Signal(nil), P...)
+		for i := d; i < w; i++ {
+			nextG[i] = n.bin(KindOr, G[i], n.bin(KindAnd, P[i], G[i-d]))
+			nextP[i] = n.bin(KindAnd, P[i], P[i-d])
+		}
+		G, P = nextG, nextP
+	}
+	// G[i] is now the carry OUT of bit i (with carry-in 0).
+	out := make(Bus, w+1)
+	out[0] = p[0]
+	for i := 1; i < w; i++ {
+		out[i] = n.Xor(p[i], G[i-1])
+	}
+	out[w] = G[w-1]
+	return out
+}
+
+// Truncate returns the low w bits of b, zero-extending if b is shorter.
+func (n *Net) Truncate(b Bus, w int) Bus {
+	if len(b) >= w {
+		return b[:w]
+	}
+	return n.extend(append(Bus(nil), b...), w)
+}
+
+// EqualConst returns a signal that is 1 iff bus b equals the constant
+// v (comparing exactly len(b) bits).
+func (n *Net) EqualConst(b Bus, v uint64) Signal {
+	if len(b) == 0 {
+		panic("logic: EqualConst on empty bus")
+	}
+	terms := make([]Signal, len(b))
+	for i, s := range b {
+		if v&(1<<uint(i)) != 0 {
+			terms[i] = s
+		} else {
+			terms[i] = n.Not(s)
+		}
+	}
+	return n.And(terms...)
+}
+
+// BusValue interprets a slice of evaluated bit values as an unsigned
+// little-endian integer. It is a convenience for reading Eval results.
+func BusValue(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// PopCount returns a bus holding the number of 1s among the given
+// signals, using a balanced tree of ripple adders. The result has
+// ceil(lg(len(ss)+1)) bits. It panics on an empty slice.
+func (n *Net) PopCount(ss []Signal) Bus {
+	if len(ss) == 0 {
+		panic("logic: PopCount of no signals")
+	}
+	// Start with 1-bit buses and pairwise add.
+	buses := make([]Bus, len(ss))
+	for i, s := range ss {
+		buses[i] = Bus{s}
+	}
+	for len(buses) > 1 {
+		var next []Bus
+		for i := 0; i+1 < len(buses); i += 2 {
+			next = append(next, n.Add(buses[i], buses[i+1]))
+		}
+		if len(buses)%2 == 1 {
+			next = append(next, buses[len(buses)-1])
+		}
+		buses = next
+	}
+	return buses[0]
+}

@@ -1,0 +1,82 @@
+package logic
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the netlist in Graphviz DOT format: inputs as boxes,
+// constants as diamonds, gates as ellipses labelled with their kind,
+// outputs as double octagons. Intended for inspecting small circuits
+// (the Figure 6 switch renders to a few thousand nodes; a full
+// hyperconcentrator chip is best optimized first).
+func (n *Net) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=LR;\n", title); err != nil {
+		return err
+	}
+	nextIn := 0
+	for i, g := range n.gates {
+		var attrs string
+		switch g.kind {
+		case KindInput:
+			attrs = fmt.Sprintf("shape=box,label=%q", n.inNames[nextIn])
+			nextIn++
+		case KindConst:
+			v := "0"
+			if g.val {
+				v = "1"
+			}
+			attrs = fmt.Sprintf("shape=diamond,label=%q", v)
+		default:
+			attrs = fmt.Sprintf("shape=ellipse,label=%q", g.kind.String())
+		}
+		if _, err := fmt.Fprintf(w, "  g%d [%s];\n", i, attrs); err != nil {
+			return err
+		}
+		switch g.kind {
+		case KindInput, KindConst:
+		case KindNot, KindBuf:
+			if _, err := fmt.Fprintf(w, "  g%d -> g%d;\n", g.a, i); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "  g%d -> g%d;\n  g%d -> g%d;\n", g.a, i, g.b, i); err != nil {
+				return err
+			}
+		}
+	}
+	for oi, s := range n.outputs {
+		if _, err := fmt.Fprintf(w, "  o%d [shape=doubleoctagon,label=%q];\n  g%d -> o%d;\n",
+			oi, n.outName[oi], s, oi); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Stats summarizes a netlist for reports.
+type Stats struct {
+	Inputs, Outputs int
+	Gates           int
+	Depth           int
+	ByKind          map[Kind]int
+}
+
+// NetStats collects size and depth statistics.
+func (n *Net) NetStats() Stats {
+	return Stats{
+		Inputs:  n.NumInputs(),
+		Outputs: n.NumOutputs(),
+		Gates:   n.GateCount(),
+		Depth:   n.Depth(),
+		ByKind:  n.CountByKind(),
+	}
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d in, %d out, %d gates (AND %d, OR %d, XOR %d, NOT %d), depth %d",
+		s.Inputs, s.Outputs, s.Gates,
+		s.ByKind[KindAnd], s.ByKind[KindOr], s.ByKind[KindXor], s.ByKind[KindNot], s.Depth)
+}

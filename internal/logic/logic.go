@@ -1,0 +1,368 @@
+// Package logic provides a small combinational gate-level netlist
+// builder and simulator. It is the circuit substrate of the library:
+// the single-chip hyperconcentrator (internal/hyper) is emitted as a
+// logic.Net so that its gate count, area, and critical-path depth (the
+// "gate delays" of the paper) can be measured rather than asserted.
+//
+// Netlists are built through the builder methods (Input, And, Or, Not,
+// Xor, Mux, ...). Because every gate may only reference
+// previously-created signals, a Net is acyclic and topologically
+// ordered by construction; evaluation and depth computation are single
+// linear passes.
+package logic
+
+import "fmt"
+
+// Kind identifies a primitive gate type.
+type Kind uint8
+
+// Primitive gate kinds. And/Or/Xor are strictly 2-input at the
+// primitive level; the builder expands wider gates into balanced trees.
+const (
+	KindInput Kind = iota
+	KindConst
+	KindNot
+	KindAnd
+	KindOr
+	KindXor
+	KindBuf
+)
+
+// String returns the conventional name of the gate kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInput:
+		return "INPUT"
+	case KindConst:
+		return "CONST"
+	case KindNot:
+		return "NOT"
+	case KindAnd:
+		return "AND"
+	case KindOr:
+		return "OR"
+	case KindXor:
+		return "XOR"
+	case KindBuf:
+		return "BUF"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Signal is a handle to the output of a gate in a particular Net.
+type Signal int32
+
+type gate struct {
+	kind Kind
+	a, b Signal // fanins; b unused for NOT/BUF; both unused for INPUT/CONST
+	val  bool   // constant value for KindConst
+}
+
+// Net is a combinational netlist under construction or simulation.
+// The zero value is an empty netlist ready for use.
+type Net struct {
+	gates   []gate
+	inputs  []Signal
+	inNames []string
+	outputs []Signal
+	outName []string
+
+	// memoized structural constants
+	constTrue, constFalse Signal
+	haveTrue, haveFalse   bool
+}
+
+// New returns an empty netlist.
+func New() *Net { return &Net{} }
+
+func (n *Net) add(g gate) Signal {
+	n.gates = append(n.gates, g)
+	return Signal(len(n.gates) - 1)
+}
+
+func (n *Net) checkSig(s Signal) {
+	if s < 0 || int(s) >= len(n.gates) {
+		panic(fmt.Sprintf("logic: signal %d out of range [0,%d)", s, len(n.gates)))
+	}
+}
+
+// Input creates a new primary input with the given name and returns its
+// signal.
+func (n *Net) Input(name string) Signal {
+	s := n.add(gate{kind: KindInput})
+	n.inputs = append(n.inputs, s)
+	n.inNames = append(n.inNames, name)
+	return s
+}
+
+// Inputs creates count inputs named prefix0..prefix<count-1>.
+func (n *Net) Inputs(prefix string, count int) []Signal {
+	ss := make([]Signal, count)
+	for i := range ss {
+		ss[i] = n.Input(fmt.Sprintf("%s%d", prefix, i))
+	}
+	return ss
+}
+
+// Const returns a signal with the fixed value v. Repeated calls with
+// the same value return the same signal.
+func (n *Net) Const(v bool) Signal {
+	if v {
+		if !n.haveTrue {
+			n.constTrue = n.add(gate{kind: KindConst, val: true})
+			n.haveTrue = true
+		}
+		return n.constTrue
+	}
+	if !n.haveFalse {
+		n.constFalse = n.add(gate{kind: KindConst, val: false})
+		n.haveFalse = true
+	}
+	return n.constFalse
+}
+
+// Not returns the negation of a.
+func (n *Net) Not(a Signal) Signal {
+	n.checkSig(a)
+	return n.add(gate{kind: KindNot, a: a})
+}
+
+// Buf returns a buffer of a (identity, one gate delay). Buffers model
+// the I/O pad circuitry that the paper charges O(1) delays for.
+func (n *Net) Buf(a Signal) Signal {
+	n.checkSig(a)
+	return n.add(gate{kind: KindBuf, a: a})
+}
+
+func (n *Net) bin(k Kind, a, b Signal) Signal {
+	n.checkSig(a)
+	n.checkSig(b)
+	return n.add(gate{kind: k, a: a, b: b})
+}
+
+// And returns the conjunction of the given signals as a balanced tree
+// of 2-input AND gates. It panics if no signals are given.
+func (n *Net) And(ss ...Signal) Signal { return n.tree(KindAnd, ss) }
+
+// Or returns the disjunction of the given signals as a balanced tree
+// of 2-input OR gates. It panics if no signals are given.
+func (n *Net) Or(ss ...Signal) Signal { return n.tree(KindOr, ss) }
+
+// Xor returns the exclusive-or of the given signals as a balanced tree
+// of 2-input XOR gates. It panics if no signals are given.
+func (n *Net) Xor(ss ...Signal) Signal { return n.tree(KindXor, ss) }
+
+func (n *Net) tree(k Kind, ss []Signal) Signal {
+	switch len(ss) {
+	case 0:
+		panic("logic: gate tree needs at least one signal")
+	case 1:
+		n.checkSig(ss[0])
+		return ss[0]
+	}
+	// Balanced reduction: halve the list until one signal remains.
+	cur := append([]Signal(nil), ss...)
+	for len(cur) > 1 {
+		next := cur[:0:len(cur)]
+		next = nil
+		for i := 0; i+1 < len(cur); i += 2 {
+			next = append(next, n.bin(k, cur[i], cur[i+1]))
+		}
+		if len(cur)%2 == 1 {
+			next = append(next, cur[len(cur)-1])
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+// Mux returns sel ? a : b, built from primitive gates
+// (sel∧a) ∨ (¬sel∧b).
+func (n *Net) Mux(sel, a, b Signal) Signal {
+	return n.Or(n.bin(KindAnd, sel, a), n.bin(KindAnd, n.Not(sel), b))
+}
+
+// MarkOutput registers s as a primary output with the given name.
+// Outputs are reported by Eval in registration order.
+func (n *Net) MarkOutput(name string, s Signal) {
+	n.checkSig(s)
+	n.outputs = append(n.outputs, s)
+	n.outName = append(n.outName, name)
+}
+
+// NumInputs returns the number of primary inputs.
+func (n *Net) NumInputs() int { return len(n.inputs) }
+
+// NumOutputs returns the number of registered primary outputs.
+func (n *Net) NumOutputs() int { return len(n.outputs) }
+
+// InputNames returns the primary input names in creation order.
+func (n *Net) InputNames() []string { return append([]string(nil), n.inNames...) }
+
+// OutputNames returns the primary output names in registration order.
+func (n *Net) OutputNames() []string { return append([]string(nil), n.outName...) }
+
+// Eval evaluates the netlist on the given input values, which must be
+// in input creation order, and returns the output values in output
+// registration order.
+func (n *Net) Eval(in []bool) []bool {
+	if len(in) != len(n.inputs) {
+		panic(fmt.Sprintf("logic: Eval got %d inputs, netlist has %d", len(in), len(n.inputs)))
+	}
+	vals := make([]bool, len(n.gates))
+	nextIn := 0
+	for i, g := range n.gates {
+		switch g.kind {
+		case KindInput:
+			vals[i] = in[nextIn]
+			nextIn++
+		case KindConst:
+			vals[i] = g.val
+		case KindNot:
+			vals[i] = !vals[g.a]
+		case KindBuf:
+			vals[i] = vals[g.a]
+		case KindAnd:
+			vals[i] = vals[g.a] && vals[g.b]
+		case KindOr:
+			vals[i] = vals[g.a] || vals[g.b]
+		case KindXor:
+			vals[i] = vals[g.a] != vals[g.b]
+		default:
+			panic("logic: unknown gate kind")
+		}
+	}
+	out := make([]bool, len(n.outputs))
+	for i, s := range n.outputs {
+		out[i] = vals[s]
+	}
+	return out
+}
+
+// GateCount returns the number of logic gates (excluding inputs and
+// constants) — a proxy for the paper's component counts.
+func (n *Net) GateCount() int {
+	c := 0
+	for _, g := range n.gates {
+		switch g.kind {
+		case KindInput, KindConst:
+		default:
+			c++
+		}
+	}
+	return c
+}
+
+// CountByKind returns the number of gates of each kind.
+func (n *Net) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, g := range n.gates {
+		m[g.kind]++
+	}
+	return m
+}
+
+// Depth returns the critical-path depth over all registered outputs:
+// the maximum number of gates (each primitive counting one gate delay,
+// inputs and constants counting zero) on any input→output path. This
+// is the quantity the paper calls "gate delays".
+func (n *Net) Depth() int {
+	depths := n.depths()
+	max := 0
+	for _, s := range n.outputs {
+		if d := depths[s]; d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SignalDepth returns the gate-delay depth of an individual signal.
+func (n *Net) SignalDepth(s Signal) int {
+	n.checkSig(s)
+	return n.depths()[s]
+}
+
+func (n *Net) depths() []int {
+	depths := make([]int, len(n.gates))
+	for i, g := range n.gates {
+		switch g.kind {
+		case KindInput, KindConst:
+			depths[i] = 0
+		case KindNot, KindBuf:
+			depths[i] = depths[g.a] + 1
+		default:
+			da, db := depths[g.a], depths[g.b]
+			if db > da {
+				da = db
+			}
+			depths[i] = da + 1
+		}
+	}
+	return depths
+}
+
+// EvalSymbolic evaluates the netlist over an arbitrary value domain T —
+// abstract interpretation of the circuit. Inputs are bound to `in` (in
+// creation order); constants map to falseV/trueV; each gate applies the
+// corresponding operator; buffers are identity. It returns one T per
+// marked output. The BDD engine uses this for formal verification.
+func EvalSymbolic[T any](n *Net, in []T, falseV, trueV T,
+	not func(T) T, and, or, xor func(T, T) T) []T {
+	if len(in) != len(n.inputs) {
+		panic(fmt.Sprintf("logic: EvalSymbolic got %d inputs, netlist has %d", len(in), len(n.inputs)))
+	}
+	vals := make([]T, len(n.gates))
+	nextIn := 0
+	for i, g := range n.gates {
+		switch g.kind {
+		case KindInput:
+			vals[i] = in[nextIn]
+			nextIn++
+		case KindConst:
+			if g.val {
+				vals[i] = trueV
+			} else {
+				vals[i] = falseV
+			}
+		case KindNot:
+			vals[i] = not(vals[g.a])
+		case KindBuf:
+			vals[i] = vals[g.a]
+		case KindAnd:
+			vals[i] = and(vals[g.a], vals[g.b])
+		case KindOr:
+			vals[i] = or(vals[g.a], vals[g.b])
+		case KindXor:
+			vals[i] = xor(vals[g.a], vals[g.b])
+		default:
+			panic("logic: unknown gate kind")
+		}
+	}
+	out := make([]T, len(n.outputs))
+	for i, s := range n.outputs {
+		out[i] = vals[s]
+	}
+	return out
+}
+
+// TruthTable exhaustively evaluates a netlist with at most 20 inputs
+// and returns one output row per input assignment; row i corresponds
+// to the assignment whose bit j (of i) drives input j. It panics on
+// netlists with more than 20 inputs.
+func (n *Net) TruthTable() [][]bool {
+	ni := len(n.inputs)
+	if ni > 20 {
+		panic(fmt.Sprintf("logic: TruthTable on %d inputs is too large", ni))
+	}
+	rows := make([][]bool, 1<<uint(ni))
+	in := make([]bool, ni)
+	for a := range rows {
+		for j := 0; j < ni; j++ {
+			in[j] = a&(1<<uint(j)) != 0
+		}
+		rows[a] = n.Eval(in)
+	}
+	return rows
+}

@@ -1,0 +1,323 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPrimitiveGates(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	n.MarkOutput("and", n.And(a, b))
+	n.MarkOutput("or", n.Or(a, b))
+	n.MarkOutput("xor", n.Xor(a, b))
+	n.MarkOutput("nota", n.Not(a))
+	n.MarkOutput("bufb", n.Buf(b))
+	cases := []struct {
+		a, b bool
+		want []bool // and, or, xor, nota, bufb
+	}{
+		{false, false, []bool{false, false, false, true, false}},
+		{false, true, []bool{false, true, true, true, true}},
+		{true, false, []bool{false, true, true, false, false}},
+		{true, true, []bool{true, true, false, false, true}},
+	}
+	for _, c := range cases {
+		got := n.Eval([]bool{c.a, c.b})
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("a=%v b=%v output %d = %v, want %v", c.a, c.b, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestConstSharing(t *testing.T) {
+	n := New()
+	t1 := n.Const(true)
+	t2 := n.Const(true)
+	f1 := n.Const(false)
+	f2 := n.Const(false)
+	if t1 != t2 || f1 != f2 {
+		t.Error("constants not shared")
+	}
+	if t1 == f1 {
+		t.Error("true and false share a signal")
+	}
+	n.MarkOutput("t", t1)
+	n.MarkOutput("f", f1)
+	out := n.Eval(nil)
+	if !out[0] || out[1] {
+		t.Errorf("constants evaluate to %v", out)
+	}
+}
+
+func TestWideGates(t *testing.T) {
+	n := New()
+	in := n.Inputs("x", 7)
+	n.MarkOutput("and", n.And(in...))
+	n.MarkOutput("or", n.Or(in...))
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		vals := make([]bool, 7)
+		allTrue, anyTrue := true, false
+		for i := range vals {
+			vals[i] = rng.Intn(2) == 1
+			allTrue = allTrue && vals[i]
+			anyTrue = anyTrue || vals[i]
+		}
+		out := n.Eval(vals)
+		if out[0] != allTrue || out[1] != anyTrue {
+			t.Fatalf("wide gate mismatch for %v: got %v", vals, out)
+		}
+	}
+}
+
+func TestWideGateDepthLogarithmic(t *testing.T) {
+	n := New()
+	in := n.Inputs("x", 64)
+	n.MarkOutput("and", n.And(in...))
+	if d := n.Depth(); d != 6 {
+		t.Errorf("64-input AND tree depth = %d, want 6", d)
+	}
+}
+
+func TestMux(t *testing.T) {
+	n := New()
+	sel := n.Input("sel")
+	a := n.Input("a")
+	b := n.Input("b")
+	n.MarkOutput("y", n.Mux(sel, a, b))
+	for _, c := range []struct{ sel, a, b, want bool }{
+		{false, true, false, false},
+		{false, false, true, true},
+		{true, true, false, true},
+		{true, false, true, false},
+	} {
+		if got := n.Eval([]bool{c.sel, c.a, c.b})[0]; got != c.want {
+			t.Errorf("Mux(%v,%v,%v) = %v, want %v", c.sel, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDepth(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.And(a, b) // depth 1
+	y := n.Not(x)    // depth 2
+	z := n.Or(y, a)  // depth 3
+	n.MarkOutput("z", z)
+	if d := n.Depth(); d != 3 {
+		t.Errorf("Depth = %d, want 3", d)
+	}
+	if d := n.SignalDepth(x); d != 1 {
+		t.Errorf("SignalDepth(x) = %d, want 1", d)
+	}
+}
+
+func TestGateCount(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	_ = n.Const(true)
+	n.MarkOutput("y", n.And(a, b))
+	if c := n.GateCount(); c != 1 {
+		t.Errorf("GateCount = %d, want 1 (inputs/constants excluded)", c)
+	}
+	byKind := n.CountByKind()
+	if byKind[KindInput] != 2 || byKind[KindConst] != 1 || byKind[KindAnd] != 1 {
+		t.Errorf("CountByKind = %v", byKind)
+	}
+}
+
+func TestEvalWrongArityPanics(t *testing.T) {
+	n := New()
+	n.Input("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval with wrong arity did not panic")
+		}
+	}()
+	n.Eval([]bool{true, false})
+}
+
+func TestAdd(t *testing.T) {
+	n := New()
+	a := n.InputBus("a", 4)
+	b := n.InputBus("b", 4)
+	n.MarkOutputBus("sum", n.Add(a, b))
+	for x := uint64(0); x < 16; x++ {
+		for y := uint64(0); y < 16; y++ {
+			in := make([]bool, 8)
+			for i := 0; i < 4; i++ {
+				in[i] = x&(1<<uint(i)) != 0
+				in[4+i] = y&(1<<uint(i)) != 0
+			}
+			got := BusValue(n.Eval(in))
+			if got != x+y {
+				t.Fatalf("%d+%d = %d, want %d", x, y, got, x+y)
+			}
+		}
+	}
+}
+
+func TestAddMixedWidths(t *testing.T) {
+	n := New()
+	a := n.InputBus("a", 2)
+	b := n.InputBus("b", 5)
+	sum := n.Add(a, b)
+	if len(sum) != 6 {
+		t.Fatalf("sum width = %d, want 6", len(sum))
+	}
+	n.MarkOutputBus("sum", sum)
+	in := []bool{true, true, true, false, true, false, true} // a=3, b=0b10101=21 (LSB first)
+	if got := BusValue(n.Eval(in)); got != 24 {
+		t.Errorf("3+21 = %d, want 24", got)
+	}
+}
+
+func TestEqualConst(t *testing.T) {
+	n := New()
+	b := n.InputBus("b", 3)
+	n.MarkOutput("eq5", n.EqualConst(b, 5))
+	for v := uint64(0); v < 8; v++ {
+		in := make([]bool, 3)
+		for i := 0; i < 3; i++ {
+			in[i] = v&(1<<uint(i)) != 0
+		}
+		got := n.Eval(in)[0]
+		if got != (v == 5) {
+			t.Errorf("EqualConst(5) on %d = %v", v, got)
+		}
+	}
+}
+
+func TestConstBus(t *testing.T) {
+	n := New()
+	n.MarkOutputBus("c", n.ConstBus(13, 5))
+	if got := BusValue(n.Eval(nil)); got != 13 {
+		t.Errorf("ConstBus(13) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ConstBus overflow did not panic")
+		}
+	}()
+	n.ConstBus(16, 4)
+}
+
+func TestPopCountExhaustive(t *testing.T) {
+	for _, width := range []int{1, 2, 3, 5, 8} {
+		n := New()
+		in := n.Inputs("x", width)
+		n.MarkOutputBus("count", n.PopCount(in))
+		for a := 0; a < 1<<uint(width); a++ {
+			vals := make([]bool, width)
+			want := uint64(0)
+			for i := range vals {
+				vals[i] = a&(1<<uint(i)) != 0
+				if vals[i] {
+					want++
+				}
+			}
+			if got := BusValue(n.Eval(vals)); got != want {
+				t.Fatalf("width %d: PopCount(%0*b) = %d, want %d", width, width, a, got, want)
+			}
+		}
+	}
+}
+
+func TestTruthTable(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	n.MarkOutput("xor", n.Xor(a, b))
+	tt := n.TruthTable()
+	want := []bool{false, true, true, false}
+	for i, w := range want {
+		if tt[i][0] != w {
+			t.Errorf("row %d = %v, want %v", i, tt[i][0], w)
+		}
+	}
+}
+
+func TestNamesAndArity(t *testing.T) {
+	n := New()
+	n.Input("a")
+	n.Input("b")
+	n.MarkOutput("o", n.Const(true))
+	if n.NumInputs() != 2 || n.NumOutputs() != 1 {
+		t.Errorf("arity = (%d,%d)", n.NumInputs(), n.NumOutputs())
+	}
+	in := n.InputNames()
+	if len(in) != 2 || in[0] != "a" || in[1] != "b" {
+		t.Errorf("InputNames = %v", in)
+	}
+	out := n.OutputNames()
+	if len(out) != 1 || out[0] != "o" {
+		t.Errorf("OutputNames = %v", out)
+	}
+}
+
+func TestForeignSignalPanics(t *testing.T) {
+	n := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("using an out-of-range signal did not panic")
+		}
+	}()
+	n.Not(Signal(99))
+}
+
+// Fuzz-style test: random DAGs evaluated against a reference
+// interpreter built alongside.
+func TestRandomNetlistsAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := New()
+		nin := 1 + rng.Intn(6)
+		sigs := make([]Signal, 0, 64)
+		type ref func(in []bool) bool
+		refs := make([]ref, 0, 64)
+		for i := 0; i < nin; i++ {
+			i := i
+			sigs = append(sigs, n.Input("in"))
+			refs = append(refs, func(in []bool) bool { return in[i] })
+		}
+		for g := 0; g < 40; g++ {
+			a := rng.Intn(len(sigs))
+			b := rng.Intn(len(sigs))
+			switch rng.Intn(4) {
+			case 0:
+				sigs = append(sigs, n.bin(KindAnd, sigs[a], sigs[b]))
+				ra, rb := refs[a], refs[b]
+				refs = append(refs, func(in []bool) bool { return ra(in) && rb(in) })
+			case 1:
+				sigs = append(sigs, n.bin(KindOr, sigs[a], sigs[b]))
+				ra, rb := refs[a], refs[b]
+				refs = append(refs, func(in []bool) bool { return ra(in) || rb(in) })
+			case 2:
+				sigs = append(sigs, n.bin(KindXor, sigs[a], sigs[b]))
+				ra, rb := refs[a], refs[b]
+				refs = append(refs, func(in []bool) bool { return ra(in) != rb(in) })
+			default:
+				sigs = append(sigs, n.Not(sigs[a]))
+				ra := refs[a]
+				refs = append(refs, func(in []bool) bool { return !ra(in) })
+			}
+		}
+		last := len(sigs) - 1
+		n.MarkOutput("y", sigs[last])
+		for rep := 0; rep < 20; rep++ {
+			in := make([]bool, nin)
+			for i := range in {
+				in[i] = rng.Intn(2) == 1
+			}
+			if got, want := n.Eval(in)[0], refs[last](in); got != want {
+				t.Fatalf("trial %d: got %v, want %v", trial, got, want)
+			}
+		}
+	}
+}

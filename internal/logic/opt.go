@@ -1,0 +1,228 @@
+package logic
+
+import "fmt"
+
+// Optimize returns a semantically equivalent netlist with constants
+// folded, identities simplified, structurally identical gates shared
+// (CSE), and gates unreachable from any output removed.
+//
+// This pass is what makes the paper's §4 claim executable: "since the
+// barrel shift amounts are hardwired and never change, the barrel
+// shifters introduce only a constant number of gate delays" — a mux
+// tree whose select bits are constants folds down to plain wiring.
+func (n *Net) Optimize() *Net {
+	out := New()
+	// map from old signal to new signal
+	newSig := make([]Signal, len(n.gates))
+	// Structural hashing table: key → new signal.
+	type key struct {
+		kind Kind
+		a, b Signal
+	}
+	hash := map[key]Signal{}
+
+	// constOf reports whether a NEW signal is a known constant.
+	constOf := func(s Signal) (bool, bool) {
+		if out.haveTrue && s == out.constTrue {
+			return true, true
+		}
+		if out.haveFalse && s == out.constFalse {
+			return false, true
+		}
+		return false, false
+	}
+
+	mk := func(kind Kind, a, b Signal) Signal {
+		// Normalize commutative operand order for better sharing.
+		switch kind {
+		case KindAnd, KindOr, KindXor:
+			if b < a {
+				a, b = b, a
+			}
+		}
+		k := key{kind, a, b}
+		if s, ok := hash[k]; ok {
+			return s
+		}
+		s := out.add(gate{kind: kind, a: a, b: b})
+		hash[k] = s
+		return s
+	}
+
+	nextIn := 0
+	for i, g := range n.gates {
+		switch g.kind {
+		case KindInput:
+			s := out.add(gate{kind: KindInput})
+			out.inputs = append(out.inputs, s)
+			out.inNames = append(out.inNames, n.inNames[nextIn])
+			nextIn++
+			newSig[i] = s
+		case KindConst:
+			newSig[i] = out.Const(g.val)
+		case KindBuf:
+			// Buffers are pure delay modeling; the optimizer treats
+			// them as wire and drops them.
+			newSig[i] = newSig[g.a]
+		case KindNot:
+			a := newSig[g.a]
+			if v, ok := constOf(a); ok {
+				newSig[i] = out.Const(!v)
+			} else if out.gates[a].kind == KindNot {
+				// NOT(NOT(x)) → x, peeling through the new structure.
+				newSig[i] = out.gates[a].a
+			} else {
+				newSig[i] = mk(KindNot, a, 0)
+			}
+		case KindAnd:
+			a, b := newSig[g.a], newSig[g.b]
+			av, aok := constOf(a)
+			bv, bok := constOf(b)
+			switch {
+			case aok && !av, bok && !bv:
+				newSig[i] = out.Const(false)
+			case aok && av:
+				newSig[i] = b
+			case bok && bv:
+				newSig[i] = a
+			case a == b:
+				newSig[i] = a
+			default:
+				newSig[i] = mk(KindAnd, a, b)
+			}
+		case KindOr:
+			a, b := newSig[g.a], newSig[g.b]
+			av, aok := constOf(a)
+			bv, bok := constOf(b)
+			switch {
+			case aok && av, bok && bv:
+				newSig[i] = out.Const(true)
+			case aok && !av:
+				newSig[i] = b
+			case bok && !bv:
+				newSig[i] = a
+			case a == b:
+				newSig[i] = a
+			default:
+				newSig[i] = mk(KindOr, a, b)
+			}
+		case KindXor:
+			a, b := newSig[g.a], newSig[g.b]
+			av, aok := constOf(a)
+			bv, bok := constOf(b)
+			switch {
+			case aok && bok:
+				newSig[i] = out.Const(av != bv)
+			case aok && !av:
+				newSig[i] = b
+			case bok && !bv:
+				newSig[i] = a
+			case aok && av:
+				newSig[i] = mk(KindNot, b, 0)
+			case bok && bv:
+				newSig[i] = mk(KindNot, a, 0)
+			case a == b:
+				newSig[i] = out.Const(false)
+			default:
+				newSig[i] = mk(KindXor, a, b)
+			}
+		default:
+			panic(fmt.Sprintf("logic: Optimize: unknown gate kind %v", g.kind))
+		}
+	}
+	for oi, s := range n.outputs {
+		out.MarkOutput(n.outName[oi], newSig[s])
+	}
+	return out.pruneDead()
+}
+
+// pruneDead removes gates not reachable from any output, preserving
+// all inputs (so Eval arity is unchanged) and output order.
+func (n *Net) pruneDead() *Net {
+	live := make([]bool, len(n.gates))
+	var mark func(s Signal)
+	mark = func(s Signal) {
+		if live[s] {
+			return
+		}
+		live[s] = true
+		g := n.gates[s]
+		switch g.kind {
+		case KindInput, KindConst:
+		case KindNot, KindBuf:
+			mark(g.a)
+		default:
+			mark(g.a)
+			mark(g.b)
+		}
+	}
+	for _, s := range n.outputs {
+		mark(s)
+	}
+	for _, s := range n.inputs {
+		live[s] = true // inputs always survive
+	}
+
+	out := New()
+	newSig := make([]Signal, len(n.gates))
+	nextIn := 0
+	for i, g := range n.gates {
+		if g.kind == KindInput {
+			// consume the name in order even if dead (inputs are kept)
+			s := out.add(gate{kind: KindInput})
+			out.inputs = append(out.inputs, s)
+			out.inNames = append(out.inNames, n.inNames[nextIn])
+			nextIn++
+			newSig[i] = s
+			continue
+		}
+		if !live[i] {
+			continue
+		}
+		switch g.kind {
+		case KindConst:
+			newSig[i] = out.Const(g.val)
+		case KindNot, KindBuf:
+			newSig[i] = out.add(gate{kind: g.kind, a: newSig[g.a]})
+		default:
+			newSig[i] = out.add(gate{kind: g.kind, a: newSig[g.a], b: newSig[g.b]})
+		}
+	}
+	for oi, s := range n.outputs {
+		out.MarkOutput(n.outName[oi], newSig[s])
+	}
+	return out
+}
+
+// Embed instantiates sub as a subcircuit of n: the i-th primary input
+// of sub is driven by inputs[i], and the returned slice holds the
+// signals in n corresponding to sub's outputs (in output order). sub is
+// not modified; constants are shared with n's constant pool.
+func (n *Net) Embed(sub *Net, inputs []Signal) ([]Signal, error) {
+	if len(inputs) != len(sub.inputs) {
+		return nil, fmt.Errorf("logic: Embed got %d inputs, subcircuit has %d", len(inputs), len(sub.inputs))
+	}
+	for _, s := range inputs {
+		n.checkSig(s)
+	}
+	newSig := make([]Signal, len(sub.gates))
+	nextIn := 0
+	for i, g := range sub.gates {
+		switch g.kind {
+		case KindInput:
+			newSig[i] = inputs[nextIn]
+			nextIn++
+		case KindConst:
+			newSig[i] = n.Const(g.val)
+		case KindNot, KindBuf:
+			newSig[i] = n.add(gate{kind: g.kind, a: newSig[g.a]})
+		default:
+			newSig[i] = n.add(gate{kind: g.kind, a: newSig[g.a], b: newSig[g.b]})
+		}
+	}
+	outs := make([]Signal, len(sub.outputs))
+	for i, s := range sub.outputs {
+		outs[i] = newSig[s]
+	}
+	return outs, nil
+}

@@ -1,0 +1,288 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// equivalent checks two netlists agree on count random input vectors
+// (and exhaustively when inputs ≤ 12).
+func equivalent(t *testing.T, a, b *Net, count int) {
+	t.Helper()
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() {
+		t.Fatalf("arity mismatch: (%d,%d) vs (%d,%d)",
+			a.NumInputs(), a.NumOutputs(), b.NumInputs(), b.NumOutputs())
+	}
+	ni := a.NumInputs()
+	check := func(in []bool) {
+		ga, gb := a.Eval(in), b.Eval(in)
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("netlists differ at input %v, output %d: %v vs %v", in, i, ga[i], gb[i])
+			}
+		}
+	}
+	if ni <= 12 {
+		for pat := 0; pat < 1<<uint(ni); pat++ {
+			in := make([]bool, ni)
+			for i := range in {
+				in[i] = pat&(1<<uint(i)) != 0
+			}
+			check(in)
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(int64(ni)))
+	for trial := 0; trial < count; trial++ {
+		in := make([]bool, ni)
+		for i := range in {
+			in[i] = rng.Intn(2) == 1
+		}
+		check(in)
+	}
+}
+
+func TestOptimizeConstantFolding(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	tru := n.Const(true)
+	fls := n.Const(false)
+	n.MarkOutput("and_t", n.And(a, tru))           // → a
+	n.MarkOutput("and_f", n.And(a, fls))           // → 0
+	n.MarkOutput("or_t", n.Or(a, tru))             // → 1
+	n.MarkOutput("or_f", n.Or(a, fls))             // → a
+	n.MarkOutput("xor_t", n.Xor(a, tru))           // → ¬a
+	n.MarkOutput("xor_f", n.Xor(a, fls))           // → a
+	n.MarkOutput("not_t", n.Not(tru))              // → 0
+	n.MarkOutput("notnot", n.Not(n.Not(a)))        // → a
+	n.MarkOutput("self_and", n.bin(KindAnd, a, a)) // → a
+	n.MarkOutput("self_xor", n.bin(KindXor, a, a)) // → 0
+	opt := n.Optimize()
+	equivalent(t, n, opt, 0)
+	if opt.GateCount() > 1 { // only the ¬a should survive
+		t.Errorf("optimized gate count = %d, want ≤ 1", opt.GateCount())
+	}
+}
+
+func TestOptimizeCSE(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	x := n.bin(KindAnd, a, b)
+	y := n.bin(KindAnd, b, a) // same gate, commuted
+	n.MarkOutput("o", n.bin(KindOr, x, y))
+	opt := n.Optimize()
+	equivalent(t, n, opt, 0)
+	// OR(x, x) → x, so only one AND gate should remain.
+	if opt.GateCount() != 1 {
+		t.Errorf("gate count = %d, want 1", opt.GateCount())
+	}
+}
+
+func TestOptimizeDeadCodeElimination(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	_ = n.And(a, b) // dead
+	_ = n.Xor(a, b) // dead
+	n.MarkOutput("o", n.Not(a))
+	opt := n.Optimize()
+	equivalent(t, n, opt, 0)
+	if opt.GateCount() != 1 {
+		t.Errorf("gate count = %d, want 1 (dead gates kept)", opt.GateCount())
+	}
+	if opt.NumInputs() != 2 {
+		t.Error("inputs must be preserved for Eval arity")
+	}
+}
+
+func TestOptimizeBufferRemoval(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	n.MarkOutput("o", n.Buf(n.Buf(a)))
+	opt := n.Optimize()
+	equivalent(t, n, opt, 0)
+	if opt.GateCount() != 0 {
+		t.Errorf("buffers not removed: %d gates", opt.GateCount())
+	}
+	if opt.Depth() != 0 {
+		t.Errorf("depth = %d, want 0", opt.Depth())
+	}
+}
+
+func TestOptimizePreservesRandomNetlists(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := New()
+		nin := 3 + rng.Intn(5)
+		sigs := append([]Signal(nil), n.Inputs("x", nin)...)
+		sigs = append(sigs, n.Const(true), n.Const(false))
+		for g := 0; g < 60; g++ {
+			a := sigs[rng.Intn(len(sigs))]
+			b := sigs[rng.Intn(len(sigs))]
+			switch rng.Intn(5) {
+			case 0:
+				sigs = append(sigs, n.bin(KindAnd, a, b))
+			case 1:
+				sigs = append(sigs, n.bin(KindOr, a, b))
+			case 2:
+				sigs = append(sigs, n.bin(KindXor, a, b))
+			case 3:
+				sigs = append(sigs, n.Not(a))
+			default:
+				sigs = append(sigs, n.Mux(a, b, sigs[rng.Intn(len(sigs))]))
+			}
+		}
+		for o := 0; o < 4; o++ {
+			n.MarkOutput("o", sigs[len(sigs)-1-o])
+		}
+		opt := n.Optimize()
+		equivalent(t, n, opt, 50)
+		if opt.GateCount() > n.GateCount() {
+			t.Error("optimization increased gate count")
+		}
+		if opt.Depth() > n.Depth() {
+			t.Error("optimization increased depth")
+		}
+	}
+}
+
+func TestOptimizeIdempotent(t *testing.T) {
+	n := New()
+	in := n.InputBus("a", 6)
+	n.MarkOutputBus("c", n.PopCount(in))
+	o1 := n.Optimize()
+	o2 := o1.Optimize()
+	if o2.GateCount() != o1.GateCount() || o2.Depth() != o1.Depth() {
+		t.Errorf("second optimize changed netlist: %d/%d vs %d/%d gates/depth",
+			o1.GateCount(), o1.Depth(), o2.GateCount(), o2.Depth())
+	}
+	equivalent(t, n, o2, 0)
+}
+
+func TestEmbed(t *testing.T) {
+	// Subcircuit: full adder.
+	sub := New()
+	sa := sub.Input("a")
+	sb := sub.Input("b")
+	sc := sub.Input("c")
+	sum, carry := sub.fullAdd(sa, sb, sc)
+	sub.MarkOutput("sum", sum)
+	sub.MarkOutput("carry", carry)
+
+	// Parent: two chained adders.
+	n := New()
+	in := n.Inputs("x", 4)
+	o1, err := n.Embed(sub, []Signal{in[0], in[1], n.Const(false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := n.Embed(sub, []Signal{o1[0], in[2], in[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.MarkOutput("s", o2[0])
+	n.MarkOutput("c1", o1[1])
+	n.MarkOutput("c2", o2[1])
+
+	for pat := 0; pat < 16; pat++ {
+		in := make([]bool, 4)
+		v := make([]int, 4)
+		for i := range in {
+			in[i] = pat&(1<<uint(i)) != 0
+			if in[i] {
+				v[i] = 1
+			}
+		}
+		got := n.Eval(in)
+		s1 := v[0] + v[1]
+		s2 := (s1 % 2) + v[2] + v[3]
+		if got[0] != (s2%2 == 1) || got[1] != (s1 >= 2) || got[2] != (s2 >= 2) {
+			t.Fatalf("pattern %04b: got %v", pat, got)
+		}
+	}
+}
+
+func TestEmbedValidation(t *testing.T) {
+	sub := New()
+	sub.Input("a")
+	n := New()
+	if _, err := n.Embed(sub, nil); err == nil {
+		t.Error("accepted wrong input count")
+	}
+}
+
+func TestEmbedSharesConstants(t *testing.T) {
+	sub := New()
+	sub.MarkOutput("t", sub.Const(true))
+	n := New()
+	_ = n.Const(true)
+	before := len(n.gates)
+	if _, err := n.Embed(sub, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.gates) != before {
+		t.Error("embedding duplicated the constant")
+	}
+}
+
+func TestAddFastExhaustive(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 4, 5} {
+		n := New()
+		a := n.InputBus("a", w)
+		b := n.InputBus("b", w)
+		n.MarkOutputBus("sum", n.AddFast(a, b))
+		for x := uint64(0); x < 1<<uint(w); x++ {
+			for y := uint64(0); y < 1<<uint(w); y++ {
+				in := make([]bool, 2*w)
+				for i := 0; i < w; i++ {
+					in[i] = x&(1<<uint(i)) != 0
+					in[w+i] = y&(1<<uint(i)) != 0
+				}
+				if got := BusValue(n.Eval(in)); got != x+y {
+					t.Fatalf("w=%d: %d+%d = %d", w, x, y, got)
+				}
+			}
+		}
+	}
+}
+
+func TestAddFastMixedWidthsAndDepth(t *testing.T) {
+	n := New()
+	a := n.InputBus("a", 3)
+	b := n.InputBus("b", 16)
+	sum := n.AddFast(a, b)
+	if len(sum) != 17 {
+		t.Fatalf("width = %d, want 17", len(sum))
+	}
+	n.MarkOutputBus("s", sum)
+	in := make([]bool, 19)
+	in[0], in[1] = true, true // a = 3
+	in[3+15] = true           // b = 1<<15
+	if got := BusValue(n.Eval(in)); got != 3+(1<<15) {
+		t.Fatalf("got %d", got)
+	}
+
+	// Depth comparison at width 32: lookahead beats ripple decisively.
+	slow := New()
+	sa := slow.InputBus("a", 32)
+	sb := slow.InputBus("b", 32)
+	slow.MarkOutputBus("s", slow.Add(sa, sb))
+	fast := New()
+	fa := fast.InputBus("a", 32)
+	fb := fast.InputBus("b", 32)
+	fast.MarkOutputBus("s", fast.AddFast(fa, fb))
+	if fast.Depth() >= slow.Depth()/2 {
+		t.Errorf("AddFast depth %d vs ripple %d: expected a >2x win at width 32",
+			fast.Depth(), slow.Depth())
+	}
+}
+
+func TestAddFastEmpty(t *testing.T) {
+	n := New()
+	s := n.AddFast(Bus{}, Bus{})
+	n.MarkOutputBus("s", s)
+	if got := BusValue(n.Eval(nil)); got != 0 {
+		t.Errorf("empty sum = %d", got)
+	}
+}

@@ -1,0 +1,158 @@
+package logic
+
+import "fmt"
+
+// SeqNet is a synchronous sequential circuit: a combinational netlist
+// plus edge-triggered registers. Register outputs appear to the
+// combinational logic as extra inputs; register inputs (the D pins) are
+// captured on every Step. This is the substrate for pipelined designs
+// such as the §1 sequential hyperconcentrator, whose clock period is
+// set by one pipeline stage's combinational depth rather than the whole
+// datapath's.
+type SeqNet struct {
+	comb *Net
+
+	primaryIn   []Signal // user-declared inputs, in order
+	userOutputs []Signal
+	userOutName []string
+
+	regQ    []Signal // register output signals (inputs of comb)
+	regD    []Signal // register data signals (−1 until connected)
+	regInit []bool
+	state   []bool
+
+	sealed bool
+}
+
+// NewSeq returns an empty sequential netlist.
+func NewSeq() *SeqNet {
+	return &SeqNet{comb: New()}
+}
+
+// Comb exposes the underlying combinational builder for gate
+// construction (And, Or, Mux, Embed, ...). Inputs and outputs must be
+// declared through SeqNet, not directly on Comb.
+func (s *SeqNet) Comb() *Net { return s.comb }
+
+// Input declares a primary input.
+func (s *SeqNet) Input(name string) Signal {
+	s.mustNotBeSealed()
+	sig := s.comb.Input(name)
+	s.primaryIn = append(s.primaryIn, sig)
+	return sig
+}
+
+// Register declares an edge-triggered register with the given reset
+// value and returns its output (Q) signal. Connect its data input with
+// ConnectRegister before the first Step.
+func (s *SeqNet) Register(name string, init bool) Signal {
+	s.mustNotBeSealed()
+	q := s.comb.Input("reg." + name)
+	s.regQ = append(s.regQ, q)
+	s.regD = append(s.regD, -1)
+	s.regInit = append(s.regInit, init)
+	return q
+}
+
+// ConnectRegister wires d as the data input of the register whose
+// output is q.
+func (s *SeqNet) ConnectRegister(q, d Signal) error {
+	s.mustNotBeSealed()
+	for i, rq := range s.regQ {
+		if rq == q {
+			s.regD[i] = d
+			return nil
+		}
+	}
+	return fmt.Errorf("logic: signal %d is not a register output", q)
+}
+
+// MarkOutput declares a primary output.
+func (s *SeqNet) MarkOutput(name string, sig Signal) {
+	s.mustNotBeSealed()
+	s.userOutputs = append(s.userOutputs, sig)
+	s.userOutName = append(s.userOutName, name)
+}
+
+func (s *SeqNet) mustNotBeSealed() {
+	if s.sealed {
+		panic("logic: SeqNet modified after first Step")
+	}
+}
+
+// seal finalizes output ordering: user outputs first, then register D
+// pins (hidden), and initializes state.
+func (s *SeqNet) seal() error {
+	if s.sealed {
+		return nil
+	}
+	for i, d := range s.regD {
+		if d == -1 {
+			return fmt.Errorf("logic: register %d has no data input", i)
+		}
+	}
+	for i, sig := range s.userOutputs {
+		s.comb.MarkOutput(s.userOutName[i], sig)
+	}
+	for i, d := range s.regD {
+		s.comb.MarkOutput(fmt.Sprintf("regD.%d", i), d)
+	}
+	s.state = append([]bool(nil), s.regInit...)
+	s.sealed = true
+	return nil
+}
+
+// Reset restores every register to its initial value.
+func (s *SeqNet) Reset() {
+	if s.sealed {
+		copy(s.state, s.regInit)
+	}
+}
+
+// Step evaluates one clock cycle: primary inputs in (in declaration
+// order) plus the current register state drive the combinational
+// logic; the user outputs are returned and the registers capture their
+// D values.
+func (s *SeqNet) Step(in []bool) ([]bool, error) {
+	if err := s.seal(); err != nil {
+		return nil, err
+	}
+	if len(in) != len(s.primaryIn) {
+		return nil, fmt.Errorf("logic: Step got %d inputs, circuit has %d", len(in), len(s.primaryIn))
+	}
+	// Assemble combinational inputs in creation order: inputs and
+	// registers were interleaved at creation, so replay that order.
+	full := make([]bool, s.comb.NumInputs())
+	pi, ri := 0, 0
+	for idx := range full {
+		// comb input idx corresponds to the idx-th Input() call on comb;
+		// determine whether it was a primary input or a register.
+		if pi < len(s.primaryIn) && s.primaryIn[pi] == s.comb.inputs[idx] {
+			full[idx] = in[pi]
+			pi++
+		} else if ri < len(s.regQ) && s.regQ[ri] == s.comb.inputs[idx] {
+			full[idx] = s.state[ri]
+			ri++
+		} else {
+			return nil, fmt.Errorf("logic: internal input bookkeeping error at %d", idx)
+		}
+	}
+	raw := s.comb.Eval(full)
+	out := append([]bool(nil), raw[:len(s.userOutputs)]...)
+	copy(s.state, raw[len(s.userOutputs):])
+	return out, nil
+}
+
+// ClockPeriodDepth returns the critical combinational depth of one
+// clock cycle — the longest register/input → register/output path.
+// This, not the total datapath depth, bounds the clock rate of a
+// pipelined circuit.
+func (s *SeqNet) ClockPeriodDepth() (int, error) {
+	if err := s.seal(); err != nil {
+		return 0, err
+	}
+	return s.comb.Depth(), nil
+}
+
+// Registers returns the number of registers.
+func (s *SeqNet) Registers() int { return len(s.regQ) }

@@ -1,0 +1,186 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+// A toggle flip-flop: q' = q XOR enable.
+func TestSeqToggle(t *testing.T) {
+	s := NewSeq()
+	en := s.Input("en")
+	q := s.Register("q", false)
+	s.ConnectRegister(q, s.Comb().Xor(q, en))
+	s.MarkOutput("q", q)
+
+	want := []bool{false, true, true, false, true} // outputs BEFORE each edge
+	ins := []bool{true, false, true, true, false}
+	for i, e := range ins {
+		out, err := s.Step([]bool{e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[0] != want[i] {
+			t.Fatalf("cycle %d: q = %v, want %v", i, out[0], want[i])
+		}
+	}
+}
+
+// A 3-stage shift register: output is the input delayed 3 cycles.
+func TestSeqShiftRegister(t *testing.T) {
+	s := NewSeq()
+	in := s.Input("in")
+	r1 := s.Register("r1", false)
+	r2 := s.Register("r2", false)
+	r3 := s.Register("r3", false)
+	s.ConnectRegister(r1, in)
+	s.ConnectRegister(r2, r1)
+	s.ConnectRegister(r3, r2)
+	s.MarkOutput("out", r3)
+
+	pattern := []bool{true, false, true, true, false, false, true, false}
+	var got []bool
+	for _, b := range pattern {
+		out, err := s.Step([]bool{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, out[0])
+	}
+	for i := 3; i < len(pattern); i++ {
+		if got[i] != pattern[i-3] {
+			t.Fatalf("cycle %d: out = %v, want delayed input %v", i, got[i], pattern[i-3])
+		}
+	}
+	// Clock period depth of a pure shift register is 0 (wire only).
+	d, err := s.ClockPeriodDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("shift register clock depth = %d, want 0", d)
+	}
+	if s.Registers() != 3 {
+		t.Errorf("Registers = %d", s.Registers())
+	}
+}
+
+// A 2-bit counter built from registers and an adder.
+func TestSeqCounter(t *testing.T) {
+	s := NewSeq()
+	b0 := s.Register("b0", false)
+	b1 := s.Register("b1", false)
+	c := s.Comb()
+	s.ConnectRegister(b0, c.Not(b0))
+	s.ConnectRegister(b1, c.Xor(b1, b0))
+	s.MarkOutput("b0", b0)
+	s.MarkOutput("b1", b1)
+	for cycle := 0; cycle < 8; cycle++ {
+		out, err := s.Step(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		if out[0] {
+			got |= 1
+		}
+		if out[1] {
+			got |= 2
+		}
+		if got != cycle%4 {
+			t.Fatalf("cycle %d: counter = %d", cycle, got)
+		}
+	}
+	s.Reset()
+	out, _ := s.Step(nil)
+	if out[0] || out[1] {
+		t.Error("Reset did not restore initial state")
+	}
+}
+
+func TestSeqValidation(t *testing.T) {
+	s := NewSeq()
+	s.Register("q", false)
+	if _, err := s.Step(nil); err == nil {
+		t.Error("Step with unconnected register accepted")
+	}
+
+	s2 := NewSeq()
+	s2.Input("a")
+	q := s2.Register("q", true)
+	s2.ConnectRegister(q, q)
+	s2.MarkOutput("q", q)
+	if _, err := s2.Step([]bool{true, false}); err == nil {
+		t.Error("wrong input arity accepted")
+	}
+	if _, err := s2.Step([]bool{true}); err != nil {
+		t.Fatal(err)
+	}
+	// Sealed: further construction panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("construction after Step did not panic")
+			}
+		}()
+		s2.Input("late")
+	}()
+}
+
+func TestConnectRegisterRejectsNonRegister(t *testing.T) {
+	s := NewSeq()
+	a := s.Input("a")
+	if err := s.ConnectRegister(a, a); err == nil {
+		t.Error("connected a non-register signal")
+	}
+}
+
+func TestRegisterInitialValues(t *testing.T) {
+	s := NewSeq()
+	q := s.Register("q", true)
+	s.ConnectRegister(q, s.Comb().Const(false))
+	s.MarkOutput("q", q)
+	out, err := s.Step(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0] {
+		t.Error("initial register value not presented on first cycle")
+	}
+	out, _ = s.Step(nil)
+	if out[0] {
+		t.Error("register did not capture new value")
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	_ = n.Const(true)
+	n.MarkOutput("y", n.Or(n.And(a, b), n.Not(a)))
+	var sb strings.Builder
+	if err := n.WriteDOT(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	dot := sb.String()
+	for _, want := range []string{"digraph", "shape=box", "shape=diamond", "AND", "OR", "NOT", "doubleoctagon", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestNetStats(t *testing.T) {
+	n := New()
+	a := n.Input("a")
+	b := n.Input("b")
+	n.MarkOutput("y", n.Xor(n.And(a, b), n.Not(a)))
+	st := n.NetStats()
+	if st.Inputs != 2 || st.Outputs != 1 || st.Gates != 3 || st.Depth != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "3 gates") {
+		t.Errorf("String = %q", st.String())
+	}
+}

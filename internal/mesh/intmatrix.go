@@ -1,0 +1,269 @@
+package mesh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"concentrators/internal/bitvec"
+)
+
+// IntMatrix is an r×c matrix of integer keys. The 0/1 Matrix type is
+// what the switches need (valid bits), but the mesh ALGORITHMS —
+// Revsort, Shearsort, Columnsort — are general sorting algorithms whose
+// 0/1 behaviour follows from the 0-1 principle: every comparison-based
+// oblivious algorithm sorts arbitrary keys iff it sorts all 0/1 inputs,
+// because sorting commutes with monotone maps. IntMatrix carries the
+// general form so that the principle itself is testable (the threshold
+// projections of an IntMatrix run must equal the Matrix runs), grounding
+// the paper's reliance on "fully sort" chips.
+type IntMatrix struct {
+	rows, cols int
+	vals       []int // row-major
+}
+
+// NewIntMatrix returns an all-zero rows×cols integer matrix.
+func NewIntMatrix(rows, cols int) *IntMatrix {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("mesh: invalid matrix dimensions %d×%d", rows, cols))
+	}
+	return &IntMatrix{rows: rows, cols: cols, vals: make([]int, rows*cols)}
+}
+
+// IntFromRowMajor builds a matrix from row-major values.
+func IntFromRowMajor(vals []int, rows, cols int) (*IntMatrix, error) {
+	if len(vals) != rows*cols {
+		return nil, fmt.Errorf("mesh: %d values for %d×%d matrix", len(vals), rows, cols)
+	}
+	m := NewIntMatrix(rows, cols)
+	copy(m.vals, vals)
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m *IntMatrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *IntMatrix) Cols() int { return m.cols }
+
+// Get returns the key at row i, column j.
+func (m *IntMatrix) Get(i, j int) int {
+	m.check(i, j)
+	return m.vals[i*m.cols+j]
+}
+
+// Set stores v at row i, column j.
+func (m *IntMatrix) Set(i, j, v int) {
+	m.check(i, j)
+	m.vals[i*m.cols+j] = v
+}
+
+func (m *IntMatrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("mesh: index (%d,%d) out of range %d×%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *IntMatrix) Clone() *IntMatrix {
+	c := NewIntMatrix(m.rows, m.cols)
+	copy(c.vals, m.vals)
+	return c
+}
+
+// RowMajor returns the row-major reading.
+func (m *IntMatrix) RowMajor() []int { return append([]int(nil), m.vals...) }
+
+// ColMajor returns the column-major reading.
+func (m *IntMatrix) ColMajor() []int {
+	out := make([]int, 0, m.rows*m.cols)
+	for j := 0; j < m.cols; j++ {
+		for i := 0; i < m.rows; i++ {
+			out = append(out, m.vals[i*m.cols+j])
+		}
+	}
+	return out
+}
+
+// Threshold projects the matrix to 0/1 at threshold t: cell → 1 iff
+// key ≥ t.
+func (m *IntMatrix) Threshold(t int) *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if m.Get(i, j) >= t {
+				out.Set(i, j, 1)
+			}
+		}
+	}
+	return out
+}
+
+// SortRow sorts row i nonincreasing.
+func (m *IntMatrix) SortRow(i int) {
+	row := m.vals[i*m.cols : (i+1)*m.cols]
+	sort.Sort(sort.Reverse(sort.IntSlice(row)))
+}
+
+// SortRowAscending sorts row i nondecreasing.
+func (m *IntMatrix) SortRowAscending(i int) {
+	row := m.vals[i*m.cols : (i+1)*m.cols]
+	sort.Ints(row)
+}
+
+// SortColumn sorts column j nonincreasing.
+func (m *IntMatrix) SortColumn(j int) {
+	col := make([]int, m.rows)
+	for i := 0; i < m.rows; i++ {
+		col[i] = m.vals[i*m.cols+j]
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(col)))
+	for i := 0; i < m.rows; i++ {
+		m.vals[i*m.cols+j] = col[i]
+	}
+}
+
+// SortRows sorts every row nonincreasing.
+func (m *IntMatrix) SortRows() {
+	for i := 0; i < m.rows; i++ {
+		m.SortRow(i)
+	}
+}
+
+// SortColumns sorts every column nonincreasing.
+func (m *IntMatrix) SortColumns() {
+	for j := 0; j < m.cols; j++ {
+		m.SortColumn(j)
+	}
+}
+
+// RotateRowRight cyclically rotates row i by k places to the right.
+func (m *IntMatrix) RotateRowRight(i, k int) {
+	c := m.cols
+	k = ((k % c) + c) % c
+	if k == 0 {
+		return
+	}
+	base := i * c
+	tmp := make([]int, c)
+	for j := 0; j < c; j++ {
+		tmp[(j+k)%c] = m.vals[base+j]
+	}
+	copy(m.vals[base:base+c], tmp)
+}
+
+// Algorithm1Int is Algorithm 1 on integer keys.
+func Algorithm1Int(m *IntMatrix) error {
+	if m.rows != m.cols {
+		return fmt.Errorf("mesh: Algorithm 1 requires a square matrix, got %d×%d", m.rows, m.cols)
+	}
+	q, err := sideLg(m.rows)
+	if err != nil {
+		return err
+	}
+	m.SortColumns()
+	m.SortRows()
+	for i := 0; i < m.rows; i++ {
+		m.RotateRowRight(i, Rev(i, q))
+	}
+	m.SortColumns()
+	return nil
+}
+
+// Algorithm2Int is Algorithm 2 (Columnsort steps 1–3) on integer keys.
+func Algorithm2Int(m *IntMatrix) error {
+	if m.cols > m.rows || m.rows%m.cols != 0 {
+		return fmt.Errorf("mesh: Columnsort requires s | r with r ≥ s, got %d×%d", m.rows, m.cols)
+	}
+	m.SortColumns()
+	reshapeIntCMtoRM(m)
+	m.SortColumns()
+	return nil
+}
+
+func reshapeIntCMtoRM(m *IntMatrix) {
+	r, s := m.rows, m.cols
+	out := make([]int, r*s)
+	for j := 0; j < s; j++ {
+		for i := 0; i < r; i++ {
+			out[r*j+i] = m.vals[i*s+j]
+		}
+	}
+	m.vals = out
+}
+
+func reshapeIntRMtoCM(m *IntMatrix) {
+	r, s := m.rows, m.cols
+	out := make([]int, r*s)
+	for x := 0; x < r*s; x++ {
+		i, j := x%r, x/r
+		out[i*s+j] = m.vals[x]
+	}
+	m.vals = out
+}
+
+// FullColumnsortInt runs all eight Columnsort steps on integer keys,
+// sorting into column-major nonincreasing order. Requires r ≥ 2(s−1)².
+func FullColumnsortInt(m *IntMatrix) error {
+	r, s := m.rows, m.cols
+	if s > r || r%s != 0 {
+		return fmt.Errorf("mesh: Columnsort requires s | r with r ≥ s, got %d×%d", r, s)
+	}
+	if r < 2*(s-1)*(s-1) {
+		return fmt.Errorf("mesh: FullColumnsort requires r ≥ 2(s−1)²: r=%d, s=%d", r, s)
+	}
+	m.SortColumns()
+	reshapeIntCMtoRM(m)
+	m.SortColumns()
+	reshapeIntRMtoCM(m)
+	m.SortColumns()
+	// Steps 6–8 with ±∞ pads.
+	h := r / 2
+	padded := make([]int, r*s+r)
+	for t := 0; t < h; t++ {
+		padded[t] = math.MaxInt
+	}
+	cm := m.ColMajor()
+	copy(padded[h:], cm)
+	for t := h + r*s; t < len(padded); t++ {
+		padded[t] = math.MinInt
+	}
+	for j := 0; j <= s; j++ {
+		col := padded[j*r : (j+1)*r]
+		sort.Sort(sort.Reverse(sort.IntSlice(col)))
+	}
+	for t := 0; t < r*s; t++ {
+		i, j := t%r, t/r
+		m.vals[i*s+j] = padded[h+t]
+	}
+	out := m.ColMajor()
+	if !sort.IsSorted(sort.Reverse(sort.IntSlice(out))) {
+		return fmt.Errorf("mesh: FullColumnsortInt produced an unsorted matrix")
+	}
+	return nil
+}
+
+// IntNearsortedness returns the smallest ε for which the sequence is
+// ε-nearsorted (nonincreasing target). With duplicates, the optimal
+// matching displacement equals the maximum over threshold projections
+// of the 0/1 nearsortedness (the 0-1 principle for nearsorting).
+func IntNearsortedness(seq []int) int {
+	if len(seq) == 0 {
+		return 0
+	}
+	distinct := map[int]bool{}
+	for _, v := range seq {
+		distinct[v] = true
+	}
+	eps := 0
+	for t := range distinct {
+		v := bitvec.New(len(seq))
+		for i, x := range seq {
+			v.Set(i, x >= t)
+		}
+		if e := v.Nearsortedness(); e > eps {
+			eps = e
+		}
+	}
+	return eps
+}

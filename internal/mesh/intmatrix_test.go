@@ -1,0 +1,210 @@
+package mesh
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func randomIntMatrix(rng *rand.Rand, rows, cols, valRange int) *IntMatrix {
+	m := NewIntMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.Intn(valRange))
+		}
+	}
+	return m
+}
+
+func TestIntMatrixBasics(t *testing.T) {
+	m, err := IntFromRowMajor([]int{3, 1, 4, 1, 5, 9}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 2 || m.Cols() != 3 || m.Get(1, 2) != 9 {
+		t.Error("accessors wrong")
+	}
+	m.Set(0, 0, 7)
+	if m.Get(0, 0) != 7 {
+		t.Error("Set failed")
+	}
+	rm := m.RowMajor()
+	if rm[0] != 7 || rm[5] != 9 {
+		t.Error("RowMajor wrong")
+	}
+	cm := m.ColMajor()
+	if cm[0] != 7 || cm[1] != 1 || cm[2] != 1 {
+		t.Errorf("ColMajor wrong: %v", cm)
+	}
+	if _, err := IntFromRowMajor([]int{1}, 2, 3); err == nil {
+		t.Error("accepted wrong length")
+	}
+}
+
+func TestIntSorts(t *testing.T) {
+	m, _ := IntFromRowMajor([]int{1, 3, 2, 9, 5, 7}, 2, 3)
+	m.SortRows()
+	want := []int{3, 2, 1, 9, 7, 5}
+	for i, w := range want {
+		if m.RowMajor()[i] != w {
+			t.Fatalf("SortRows: %v", m.RowMajor())
+		}
+	}
+	m.SortColumns()
+	if m.Get(0, 0) != 9 || m.Get(1, 0) != 3 {
+		t.Errorf("SortColumns: %v", m.RowMajor())
+	}
+	m.SortRowAscending(0)
+	if m.Get(0, 0) > m.Get(0, 1) || m.Get(0, 1) > m.Get(0, 2) {
+		t.Error("SortRowAscending failed")
+	}
+}
+
+func TestIntRotate(t *testing.T) {
+	m, _ := IntFromRowMajor([]int{1, 2, 3, 4}, 1, 4)
+	m.RotateRowRight(0, 1)
+	want := []int{4, 1, 2, 3}
+	for i, w := range want {
+		if m.RowMajor()[i] != w {
+			t.Fatalf("rotate: %v", m.RowMajor())
+		}
+	}
+}
+
+// THE 0-1 PRINCIPLE, executable: thresholding commutes with the mesh
+// algorithms — running Algorithm 1 (or 2) on integer keys and then
+// projecting at any threshold equals projecting first and running the
+// 0/1 algorithm.
+func TestZeroOnePrincipleAlgorithm1(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		side := []int{4, 8, 16}[rng.Intn(3)]
+		m := randomIntMatrix(rng, side, side, 10)
+		for thr := 0; thr <= 10; thr++ {
+			proj := m.Threshold(thr)
+			if err := Algorithm1(proj); err != nil {
+				t.Fatal(err)
+			}
+			mi := m.Clone()
+			if err := Algorithm1Int(mi); err != nil {
+				t.Fatal(err)
+			}
+			if !mi.Threshold(thr).Equal(proj) {
+				t.Fatalf("side %d thr %d: threshold does not commute with Algorithm 1", side, thr)
+			}
+		}
+	}
+}
+
+func TestZeroOnePrincipleAlgorithm2(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	shapes := [][2]int{{4, 2}, {8, 4}, {16, 4}}
+	for trial := 0; trial < 60; trial++ {
+		sh := shapes[rng.Intn(len(shapes))]
+		m := randomIntMatrix(rng, sh[0], sh[1], 8)
+		for thr := 0; thr <= 8; thr++ {
+			proj := m.Threshold(thr)
+			if err := Algorithm2(proj); err != nil {
+				t.Fatal(err)
+			}
+			mi := m.Clone()
+			if err := Algorithm2Int(mi); err != nil {
+				t.Fatal(err)
+			}
+			if !mi.Threshold(thr).Equal(proj) {
+				t.Fatalf("%v thr %d: threshold does not commute with Algorithm 2", sh, thr)
+			}
+		}
+	}
+}
+
+// Theorem 4 extended to keys via the 0-1 principle: Algorithm 2 on
+// integer keys is (s−1)²-nearsorted.
+func TestAlgorithm2IntNearsorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	shapes := [][2]int{{8, 2}, {16, 4}, {32, 8}}
+	for _, sh := range shapes {
+		bound := Algorithm2Bound(sh[1])
+		for trial := 0; trial < 40; trial++ {
+			m := randomIntMatrix(rng, sh[0], sh[1], 100)
+			if err := Algorithm2Int(m); err != nil {
+				t.Fatal(err)
+			}
+			if eps := IntNearsortedness(m.RowMajor()); eps > bound {
+				t.Fatalf("%v: ε = %d > (s−1)² = %d", sh, eps, bound)
+			}
+		}
+	}
+}
+
+func TestFullColumnsortIntSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	shapes := [][2]int{{4, 2}, {8, 2}, {20, 4}, {32, 4}, {104, 8}}
+	for _, sh := range shapes {
+		for trial := 0; trial < 25; trial++ {
+			m := randomIntMatrix(rng, sh[0], sh[1], 50)
+			orig := append([]int(nil), m.RowMajor()...)
+			if err := FullColumnsortInt(m); err != nil {
+				t.Fatalf("%v: %v", sh, err)
+			}
+			out := m.ColMajor()
+			if !sort.IsSorted(sort.Reverse(sort.IntSlice(out))) {
+				t.Fatalf("%v: not sorted: %v", sh, out)
+			}
+			// Multiset preserved.
+			sort.Ints(orig)
+			cpy := append([]int(nil), out...)
+			sort.Ints(cpy)
+			for i := range orig {
+				if orig[i] != cpy[i] {
+					t.Fatalf("%v: multiset changed", sh)
+				}
+			}
+		}
+	}
+	if err := FullColumnsortInt(NewIntMatrix(16, 4)); err == nil {
+		t.Error("accepted r < 2(s−1)²")
+	}
+}
+
+func TestIntNearsortedness(t *testing.T) {
+	if IntNearsortedness(nil) != 0 {
+		t.Error("empty sequence ε != 0")
+	}
+	if IntNearsortedness([]int{9, 5, 3, 1}) != 0 {
+		t.Error("sorted sequence ε != 0")
+	}
+	// The paper's §3 example: 5,3,6,1,4,2 is 2-nearsorted.
+	if got := IntNearsortedness([]int{5, 3, 6, 1, 4, 2}); got != 2 {
+		t.Errorf("paper example ε = %d, want 2", got)
+	}
+}
+
+// Property: IntNearsortedness is zero iff nonincreasing.
+func TestIntNearsortednessZeroIffSorted(t *testing.T) {
+	f := func(raw []int8) bool {
+		seq := make([]int, len(raw))
+		for i, v := range raw {
+			seq[i] = int(v)
+		}
+		eps := IntNearsortedness(seq)
+		sorted := sort.IsSorted(sort.Reverse(sort.IntSlice(seq)))
+		return (eps == 0) == sorted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlgorithmIntValidation(t *testing.T) {
+	if err := Algorithm1Int(NewIntMatrix(4, 8)); err == nil {
+		t.Error("Algorithm1Int accepted non-square")
+	}
+	if err := Algorithm1Int(NewIntMatrix(6, 6)); err == nil {
+		t.Error("Algorithm1Int accepted non-power-of-two side")
+	}
+	if err := Algorithm2Int(NewIntMatrix(4, 8)); err == nil {
+		t.Error("Algorithm2Int accepted s > r")
+	}
+}

@@ -1,0 +1,177 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+)
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Intn(2) == 1 {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	return m
+}
+
+func mustFromRows(t *testing.T, rows ...string) *Matrix {
+	t.Helper()
+	joined := ""
+	for _, r := range rows {
+		joined += r
+	}
+	m, err := FromRowMajor(bitvec.MustParse(joined), len(rows), len(rows[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	for _, d := range [][2]int{{0, 3}, {3, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatrix(%d,%d) did not panic", d[0], d[1])
+				}
+			}()
+			NewMatrix(d[0], d[1])
+		}()
+	}
+}
+
+func TestFromRowMajorValidation(t *testing.T) {
+	if _, err := FromRowMajor(bitvec.New(5), 2, 3); err == nil {
+		t.Error("accepted mismatched vector length")
+	}
+}
+
+func TestGetSetString(t *testing.T) {
+	m := mustFromRows(t, "101", "010")
+	if m.Get(0, 0) != 1 || m.Get(0, 1) != 0 || m.Get(1, 1) != 1 {
+		t.Error("Get returned wrong values")
+	}
+	m.Set(1, 2, 1)
+	if m.String() != "101\n011" {
+		t.Errorf("String = %q", m.String())
+	}
+	if m.Rows() != 2 || m.Cols() != 3 || m.Size() != 6 {
+		t.Error("dimension accessors wrong")
+	}
+}
+
+func TestRowColMajor(t *testing.T) {
+	m := mustFromRows(t, "10", "01", "11")
+	if m.RowMajor().String() != "100111" {
+		t.Errorf("RowMajor = %q", m.RowMajor().String())
+	}
+	if m.ColMajor().String() != "101011" {
+		t.Errorf("ColMajor = %q", m.ColMajor().String())
+	}
+}
+
+func TestSortRowAndColumn(t *testing.T) {
+	m := mustFromRows(t, "0101", "0011", "1110", "0000")
+	m.SortRows()
+	if m.String() != "1100\n1100\n1110\n0000" {
+		t.Errorf("SortRows:\n%s", m.String())
+	}
+	m = mustFromRows(t, "0101", "0011", "1110", "0000")
+	m.SortColumns()
+	if m.String() != "1111\n0111\n0000\n0000" {
+		t.Errorf("SortColumns:\n%s", m.String())
+	}
+}
+
+func TestSortRowAscending(t *testing.T) {
+	m := mustFromRows(t, "1010")
+	m.SortRowAscending(0)
+	if m.String() != "0011" {
+		t.Errorf("SortRowAscending = %q", m.String())
+	}
+}
+
+func TestSortsPreserveCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		m := randomMatrix(rng, 1+rng.Intn(10), 1+rng.Intn(10))
+		k := m.Count()
+		m.SortRows()
+		m.SortColumns()
+		if m.Count() != k {
+			t.Fatal("sorting changed the number of 1s")
+		}
+	}
+}
+
+func TestRotateRowRight(t *testing.T) {
+	m := mustFromRows(t, "1100")
+	m.RotateRowRight(0, 1)
+	if m.String() != "0110" {
+		t.Errorf("rotate 1 = %q", m.String())
+	}
+	m.RotateRowRight(0, 4) // full cycle: no-op
+	if m.String() != "0110" {
+		t.Errorf("rotate 4 = %q", m.String())
+	}
+	m.RotateRowRight(0, -1) // negative wraps
+	if m.String() != "1100" {
+		t.Errorf("rotate -1 = %q", m.String())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := mustFromRows(t, "10", "01", "11")
+	tr := m.Transpose()
+	if tr.Rows() != 2 || tr.Cols() != 3 {
+		t.Fatalf("transpose dims = %d×%d", tr.Rows(), tr.Cols())
+	}
+	if tr.String() != "101\n011" {
+		t.Errorf("Transpose:\n%s", tr.String())
+	}
+	if !tr.Transpose().Equal(m) {
+		t.Error("double transpose != identity")
+	}
+}
+
+func TestDirtyRows(t *testing.T) {
+	cases := []struct {
+		rows []string
+		want int
+	}{
+		{[]string{"11", "11"}, 0},
+		{[]string{"00", "00"}, 0},
+		{[]string{"11", "00"}, 0},
+		{[]string{"11", "10", "00"}, 1},
+		{[]string{"10", "11", "00"}, 2},
+		{[]string{"00", "11"}, 2},
+		{[]string{"01", "10", "01"}, 3},
+	}
+	for _, c := range cases {
+		m := mustFromRows(t, c.rows...)
+		if got := m.DirtyRows(); got != c.want {
+			t.Errorf("DirtyRows(%v) = %d, want %d", c.rows, got, c.want)
+		}
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := randomMatrix(rng, 5, 7)
+	c := m.Clone()
+	if !c.Equal(m) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(0, 0, 1-c.Get(0, 0))
+	if c.Equal(m) {
+		t.Fatal("clone shares storage")
+	}
+	if m.Equal(NewMatrix(5, 6)) {
+		t.Fatal("Equal ignored shape")
+	}
+}

@@ -1,0 +1,63 @@
+package mesh
+
+// ShearsortIteration runs one iteration of Shearsort [Scherson, Sen &
+// Shamir 1986] adapted to the nonincreasing convention: rows are sorted
+// in alternating ("snake") directions — even rows with 1s to the left,
+// odd rows with 1s to the right — and then all columns are sorted with
+// 1s to the top. On a 0/1 matrix each iteration at least halves the
+// dirty band (the classical Shearsort argument), which is how §6's
+// full-Revsort hyperconcentrator clears its last eight dirty rows.
+func ShearsortIteration(m *Matrix) {
+	for i := 0; i < m.rows; i++ {
+		if i%2 == 0 {
+			m.SortRow(i)
+		} else {
+			m.SortRowAscending(i)
+		}
+	}
+	m.SortColumns()
+}
+
+// Shearsort runs iterations until the matrix is sorted in snake order
+// and then straightens the snake with a final row sort, leaving the
+// row-major reading fully sorted (nonincreasing). It returns the number
+// of iterations used (excluding the final straightening pass).
+func Shearsort(m *Matrix) int {
+	iters := 0
+	for limit := 2*lg2ceil(m.rows) + 2; iters < limit; iters++ {
+		if m.snakeSorted() {
+			break
+		}
+		ShearsortIteration(m)
+	}
+	m.SortRows()
+	return iters
+}
+
+// snakeSorted reports whether the matrix, read in boustrophedon order
+// (even rows left→right, odd rows right→left), is nonincreasing.
+func (m *Matrix) snakeSorted() bool {
+	prev := byte(1)
+	for i := 0; i < m.rows; i++ {
+		for jj := 0; jj < m.cols; jj++ {
+			j := jj
+			if i%2 == 1 {
+				j = m.cols - 1 - jj
+			}
+			b := m.Get(i, j)
+			if b > prev {
+				return false
+			}
+			prev = b
+		}
+	}
+	return true
+}
+
+func lg2ceil(n int) int {
+	l := 0
+	for 1<<uint(l) < n {
+		l++
+	}
+	return l
+}

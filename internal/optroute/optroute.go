@@ -1,0 +1,172 @@
+// Package optroute computes the omniscient-routing upper bound for the
+// multichip switch topologies: model every hyperconcentrator chip as a
+// full crossbar (anything a chip COULD physically connect, were its
+// control unconstrained) and ask, via maximum flow, how many of the
+// offered messages an all-knowing controller could deliver to the first
+// m outputs through the same wiring.
+//
+// Comparing this bound with what the actual combinational switches
+// achieve separates two effects the paper folds together: how much
+// routing capability the TOPOLOGY gives up (two stages of column chips
+// simply cannot always deliver min(k, m)) versus how much the cheap
+// oblivious CONTROL (the 1½-pass Revsort / 3-step Columnsort sorting
+// discipline) gives up on top of that.
+package optroute
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/flow"
+	"concentrators/internal/mesh"
+)
+
+// Stage describes one stage of chips as a partition of the n wire
+// positions: Group[p] is the chip id owning position p at that stage.
+// Wiring[p] gives the position that stage's output p is wired to at the
+// NEXT stage's input (identity if nil).
+type Stage struct {
+	Group  []int
+	Wiring []int
+}
+
+// Topology is a multichip switch topology: an ordered list of chip
+// stages over n wire positions, with the first m final positions being
+// the switch outputs.
+type Topology struct {
+	Name string
+	N, M int
+	Sts  []Stage
+}
+
+// RevsortTopology returns the §4 three-stage topology (column chips,
+// row chips + rev rotation wiring, column chips) for n = side².
+func RevsortTopology(n, m int) (*Topology, error) {
+	side := 0
+	for side*side < n {
+		side++
+	}
+	if side*side != n {
+		return nil, fmt.Errorf("optroute: n = %d is not a perfect square", n)
+	}
+	q := 0
+	for 1<<uint(q) < side {
+		q++
+	}
+	if 1<<uint(q) != side {
+		return nil, fmt.Errorf("optroute: side %d is not a power of two", side)
+	}
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("optroute: invalid m = %d", m)
+	}
+	colGroups := make([]int, n)
+	rowGroups := make([]int, n)
+	revWiring := make([]int, n)
+	for p := 0; p < n; p++ {
+		i, j := p/side, p%side
+		colGroups[p] = j
+		rowGroups[p] = i
+		revWiring[p] = i*side + (j+mesh.Rev(i, q))%side
+	}
+	return &Topology{
+		Name: "revsort",
+		N:    n, M: m,
+		Sts: []Stage{
+			{Group: colGroups},
+			{Group: rowGroups, Wiring: revWiring},
+			{Group: colGroups},
+		},
+	}, nil
+}
+
+// ColumnsortTopology returns the §5 two-stage topology (column chips,
+// CM→RM reshape wiring, column chips) for an r×s mesh.
+func ColumnsortTopology(r, s, m int) (*Topology, error) {
+	if r < 1 || s < 1 || s > r || r%s != 0 {
+		return nil, fmt.Errorf("optroute: invalid shape %d×%d", r, s)
+	}
+	n := r * s
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("optroute: invalid m = %d", m)
+	}
+	colGroups := make([]int, n)
+	reshape := make([]int, n)
+	for p := 0; p < n; p++ {
+		j := p % s
+		colGroups[p] = j
+		i := p / s
+		reshape[p] = r*j + i // CM index of (i,j) = new RM position
+	}
+	return &Topology{
+		Name: "columnsort",
+		N:    n, M: m,
+		Sts: []Stage{
+			{Group: colGroups, Wiring: reshape},
+			{Group: colGroups},
+		},
+	}, nil
+}
+
+// MaxRoutable returns the maximum number of the valid messages that ANY
+// controller could deliver to the first M outputs through this
+// topology, treating each chip as a crossbar with unit capacity per
+// port.
+func (tp *Topology) MaxRoutable(valid *bitvec.Vector) (int, error) {
+	if valid.Len() != tp.N {
+		return 0, fmt.Errorf("optroute: %d valid bits for %d inputs", valid.Len(), tp.N)
+	}
+	n := tp.N
+	stages := len(tp.Sts)
+	// Node layout: boundary b ∈ [0, stages] × position p ∈ [0, n),
+	// each split into (in, out) halves for unit vertex capacity,
+	// plus source and sink.
+	nodesPerBoundary := 2 * n
+	nodeIn := func(b, p int) int { return b*nodesPerBoundary + 2*p }
+	nodeOut := func(b, p int) int { return b*nodesPerBoundary + 2*p + 1 }
+	total := (stages+1)*nodesPerBoundary + 2
+	src := total - 2
+	sink := total - 1
+	g := flow.NewGraph(total)
+
+	// Vertex capacities.
+	for b := 0; b <= stages; b++ {
+		for p := 0; p < n; p++ {
+			g.AddEdge(nodeIn(b, p), nodeOut(b, p), 1)
+		}
+	}
+	// Source → valid inputs at boundary 0.
+	for p := 0; p < n; p++ {
+		if valid.Get(p) {
+			g.AddEdge(src, nodeIn(0, p), 1)
+		}
+	}
+	// Chips: boundary b positions → boundary b+1 positions within the
+	// same group, then the stage's wiring to reach boundary b+1
+	// positions. Fold the wiring into the chip edges: chip output port
+	// p lands on next-boundary position Wiring[p].
+	for b, st := range tp.Sts {
+		// Partition positions by group.
+		groups := map[int][]int{}
+		for p, gid := range st.Group {
+			groups[gid] = append(groups[gid], p)
+		}
+		wire := func(p int) int {
+			if st.Wiring == nil {
+				return p
+			}
+			return st.Wiring[p]
+		}
+		for _, ports := range groups {
+			for _, u := range ports {
+				for _, v := range ports {
+					g.AddEdge(nodeOut(b, u), nodeIn(b+1, wire(v)), 1)
+				}
+			}
+		}
+	}
+	// First M final positions → sink.
+	for p := 0; p < tp.M; p++ {
+		g.AddEdge(nodeOut(stages, p), sink, 1)
+	}
+	return g.MaxFlow(src, sink), nil
+}

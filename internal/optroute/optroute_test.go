@@ -1,0 +1,210 @@
+package optroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+)
+
+func randomValid(rng *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Intn(2) == 1)
+	}
+	return v
+}
+
+func routedCount(out []int) int {
+	c := 0
+	for _, o := range out {
+		if o >= 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestTopologyValidation(t *testing.T) {
+	if _, err := RevsortTopology(15, 4); err == nil {
+		t.Error("accepted non-square n")
+	}
+	if _, err := RevsortTopology(36, 4); err == nil {
+		t.Error("accepted non-power-of-two side")
+	}
+	if _, err := RevsortTopology(16, 0); err == nil {
+		t.Error("accepted m = 0")
+	}
+	if _, err := ColumnsortTopology(4, 8, 2); err == nil {
+		t.Error("accepted s > r")
+	}
+	tp, err := ColumnsortTopology(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tp.MaxRoutable(bitvec.New(31)); err == nil {
+		t.Error("accepted wrong-length valid bits")
+	}
+}
+
+// The Revsort column/row/column topology is rearrangeable for
+// concentration: an omniscient controller always delivers min(k, m).
+// (Classic three-phase mesh routing.)
+func TestRevsortTopologyIsRearrangeable(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{16, 64, 256} {
+		for _, m := range []int{n / 4, n / 2, n} {
+			tp, err := RevsortTopology(n, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				v := randomValid(rng, n)
+				got, err := tp.MaxRoutable(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := minInt(v.Count(), m)
+				if got != want {
+					t.Fatalf("n=%d m=%d k=%d: omniscient routes %d, want %d", n, m, v.Count(), got, want)
+				}
+			}
+		}
+	}
+}
+
+// A finding this reproduction adds to the paper: even the TWO-stage
+// Columnsort topology is rearrangeable for concentration — with
+// crossbar chips, an omniscient controller always delivers min(k, m).
+// (Each input column's band of r/s rows spans every output column, so
+// a Hall-condition argument goes through.) Hence the ENTIRE load-ratio
+// loss 1−(s−1)²/m of the real switch is the price of combinational,
+// oblivious control — none of it is wiring. Checked exhaustively over
+// several shapes and every m.
+func TestColumnsortTopologyIsRearrangeable(t *testing.T) {
+	shapes := [][2]int{{4, 2}, {4, 4}, {8, 2}}
+	if testing.Short() {
+		shapes = shapes[:1]
+	}
+	for _, sh := range shapes {
+		r, s := sh[0], sh[1]
+		n := r * s
+		ms := []int{1, 2, n / 2, n - 1, n}
+		if n > 8 {
+			ms = []int{1, n / 2, n}
+		}
+		for _, m := range ms {
+			if m < 1 {
+				continue
+			}
+			tp, err := ColumnsortTopology(r, s, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pat := 0; pat < 1<<uint(n); pat++ {
+				v := bitvec.New(n)
+				for b := 0; b < n; b++ {
+					v.Set(b, pat&(1<<uint(b)) != 0)
+				}
+				if v.Count() == 0 {
+					continue
+				}
+				got, err := tp.MaxRoutable(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := minInt(v.Count(), m)
+				if got != want {
+					t.Fatalf("r=%d s=%d m=%d pattern %x: omniscient routes %d, want %d",
+						r, s, m, pat, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The actual combinational switches never beat the omniscient bound,
+// and the Revsort switch's shortfall against it is entirely due to its
+// oblivious control (the topology itself is perfect).
+func TestSwitchesRespectOmniscientBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+
+	n, m := 64, 28
+	rsw, err := core.NewRevsortSwitch(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtp, err := RevsortTopology(n, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		v := randomValid(rng, n)
+		out, err := rsw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := rtp.MaxRoutable(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if routedCount(out) > bound {
+			t.Fatalf("revsort routed %d > omniscient %d", routedCount(out), bound)
+		}
+		if bound != minInt(v.Count(), m) {
+			t.Fatalf("revsort topology should be rearrangeable")
+		}
+	}
+
+	r, s, cm := 8, 4, 18
+	csw, err := core.NewColumnsortSwitch(r, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctp, err := ColumnsortTopology(r, s, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		v := randomValid(rng, r*s)
+		out, err := csw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := ctp.MaxRoutable(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if routedCount(out) > bound {
+			t.Fatalf("columnsort routed %d > omniscient %d", routedCount(out), bound)
+		}
+	}
+}
+
+// Sanity at tiny scale: with a single message, every topology delivers
+// it (full access).
+func TestSingleMessageAlwaysRoutable(t *testing.T) {
+	tp, err := RevsortTopology(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 16; p++ {
+		v := bitvec.New(16)
+		v.Set(p, true)
+		got, err := tp.MaxRoutable(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1 {
+			t.Fatalf("message at %d not routable", p)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package prefix implements parallel-prefix (scan) computation, both as
+// generic algorithms over any associative operator and as a gate-level
+// rank circuit.
+//
+// The paper's §1 mentions an alternative hyperconcentrator "comprised of
+// a parallel prefix circuit and a butterfly network"; this package is
+// that prefix substrate. The rank circuit computes, combinationally,
+// the inclusive prefix count of the valid bits — exactly the quantity a
+// hyperconcentrator needs to know each message's destination output.
+package prefix
+
+import (
+	"fmt"
+
+	"concentrators/internal/logic"
+)
+
+// Stats describes the combine DAG of a prefix computation: Ops is the
+// number of applications of the associative operator (work) and Span is
+// the length of the longest chain of dependent applications (depth).
+type Stats struct {
+	Ops  int
+	Span int
+}
+
+// Serial computes the inclusive prefix of xs under op by a left-to-right
+// scan. It is the reference implementation: Ops = n−1, Span = n−1.
+func Serial[T any](xs []T, op func(a, b T) T) ([]T, Stats) {
+	out := make([]T, len(xs))
+	copy(out, xs)
+	st := Stats{}
+	for i := 1; i < len(out); i++ {
+		out[i] = op(out[i-1], out[i])
+		st.Ops++
+	}
+	st.Span = st.Ops
+	return out, st
+}
+
+// Sklansky computes the inclusive prefix of xs under op using the
+// minimum-depth Sklansky (divide-and-conquer) network:
+// Span = ⌈lg n⌉, Ops = Θ(n lg n).
+func Sklansky[T any](xs []T, op func(a, b T) T) ([]T, Stats) {
+	n := len(xs)
+	out := make([]T, n)
+	copy(out, xs)
+	depth := make([]int, n)
+	st := Stats{}
+	for d := 1; d < n; d <<= 1 {
+		for i := 0; i < n; i++ {
+			if i&d != 0 {
+				j := (i &^ (d - 1)) - 1 // last index of the left half-block
+				out[i] = op(out[j], out[i])
+				st.Ops++
+				dj := depth[j]
+				if depth[i] > dj {
+					dj = depth[i]
+				}
+				depth[i] = dj + 1
+			}
+		}
+	}
+	for _, d := range depth {
+		if d > st.Span {
+			st.Span = d
+		}
+	}
+	return out, st
+}
+
+// BrentKung computes the inclusive prefix of xs under op using the
+// work-efficient Brent–Kung network: Ops < 2n, Span ≤ 2⌈lg n⌉ − 1.
+func BrentKung[T any](xs []T, op func(a, b T) T) ([]T, Stats) {
+	n := len(xs)
+	out := make([]T, n)
+	copy(out, xs)
+	depth := make([]int, n)
+	st := Stats{}
+	combine := func(j, i int) {
+		out[i] = op(out[j], out[i])
+		st.Ops++
+		dj := depth[j]
+		if depth[i] > dj {
+			dj = depth[i]
+		}
+		depth[i] = dj + 1
+	}
+	// Up-sweep.
+	top := 1
+	for d := 1; d < n; d <<= 1 {
+		for i := 2*d - 1; i < n; i += 2 * d {
+			combine(i-d, i)
+		}
+		top = d
+	}
+	// Down-sweep.
+	for d := top / 2; d >= 1; d /= 2 {
+		for i := 3*d - 1; i < n; i += 2 * d {
+			combine(i-d, i)
+		}
+	}
+	for _, d := range depth {
+		if d > st.Span {
+			st.Span = d
+		}
+	}
+	return out, st
+}
+
+// CountWidth returns the number of bits needed to represent counts in
+// [0, n], i.e. ⌈lg(n+1)⌉ (and 1 for n == 0).
+func CountWidth(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("prefix: negative count bound %d", n))
+	}
+	w := 1
+	for (1 << uint(w)) <= n {
+		w++
+	}
+	return w
+}
+
+// RankCircuit appends to net a combinational circuit computing the
+// inclusive prefix counts of the given signals: result[i] is a bus
+// holding the number of 1s among in[0..i]. The circuit has Sklansky
+// topology (⌈lg n⌉ adder levels) over Kogge–Stone carry-lookahead
+// adders of width ⌈lg(n+1)⌉, for Θ(lg n · lg lg n) gate depth. It
+// panics on empty input.
+func RankCircuit(net *logic.Net, in []logic.Signal) []logic.Bus {
+	n := len(in)
+	if n == 0 {
+		panic("prefix: RankCircuit of no signals")
+	}
+	w := CountWidth(n)
+	buses := make([]logic.Bus, n)
+	for i, s := range in {
+		buses[i] = logic.Bus{s}
+	}
+	for d := 1; d < n; d <<= 1 {
+		for i := 0; i < n; i++ {
+			if i&d != 0 {
+				j := (i &^ (d - 1)) - 1
+				sum := net.AddFast(buses[j], buses[i])
+				buses[i] = net.Truncate(sum, w)
+			}
+		}
+	}
+	for i := range buses {
+		buses[i] = net.Truncate(buses[i], w)
+	}
+	return buses
+}

@@ -1,0 +1,212 @@
+package prefix
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/logic"
+)
+
+func intAdd(a, b int) int { return a + b }
+
+func intMax(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// concat is associative but not commutative; it detects operand-order
+// bugs in the prefix networks.
+func concat(a, b string) string { return a + b }
+
+func randomInts(rng *rand.Rand, n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = rng.Intn(100)
+	}
+	return xs
+}
+
+func TestAlgorithmsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	algos := map[string]func([]int, func(a, b int) int) ([]int, Stats){
+		"sklansky":  Sklansky[int],
+		"brentkung": BrentKung[int],
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13, 16, 31, 32, 33, 100, 256} {
+		xs := randomInts(rng, n)
+		for _, op := range []func(a, b int) int{intAdd, intMax} {
+			want, _ := Serial(xs, op)
+			for name, algo := range algos {
+				got, _ := algo(xs, op)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s n=%d: prefix[%d] = %d, want %d", name, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNonCommutativeOperator(t *testing.T) {
+	xs := []string{"a", "b", "c", "d", "e", "f", "g"}
+	want, _ := Serial(xs, concat)
+	for name, algo := range map[string]func([]string, func(a, b string) string) ([]string, Stats){
+		"sklansky":  Sklansky[string],
+		"brentkung": BrentKung[string],
+	} {
+		got, _ := algo(xs, concat)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: prefix[%d] = %q, want %q", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInputNotMutated(t *testing.T) {
+	xs := []int{3, 1, 4, 1, 5}
+	orig := append([]int(nil), xs...)
+	Sklansky(xs, intAdd)
+	BrentKung(xs, intAdd)
+	Serial(xs, intAdd)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatal("prefix mutated its input")
+		}
+	}
+}
+
+func lg(n int) int {
+	l := 0
+	for (1 << uint(l)) < n {
+		l++
+	}
+	return l
+}
+
+func TestSklanskySpanIsCeilLg(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 3, 4, 8, 9, 16, 17, 64, 100, 128} {
+		_, st := Sklansky(randomInts(rng, n), intAdd)
+		if st.Span != lg(n) {
+			t.Errorf("n=%d: Sklansky span = %d, want %d", n, st.Span, lg(n))
+		}
+	}
+}
+
+func TestBrentKungBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 3, 4, 8, 16, 17, 64, 100, 128, 1000} {
+		_, st := BrentKung(randomInts(rng, n), intAdd)
+		if st.Ops >= 2*n && n > 1 {
+			t.Errorf("n=%d: BrentKung ops = %d, want < %d", n, st.Ops, 2*n)
+		}
+		if maxSpan := 2*lg(n) - 1; n > 1 && st.Span > maxSpan {
+			t.Errorf("n=%d: BrentKung span = %d, want ≤ %d", n, st.Span, maxSpan)
+		}
+	}
+}
+
+func TestSerialStats(t *testing.T) {
+	_, st := Serial([]int{1, 2, 3, 4}, intAdd)
+	if st.Ops != 3 || st.Span != 3 {
+		t.Errorf("Serial stats = %+v, want {3 3}", st)
+	}
+}
+
+func TestCountWidth(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 7: 3, 8: 4, 15: 4, 16: 5, 63: 6, 64: 7}
+	for n, want := range cases {
+		if got := CountWidth(n); got != want {
+			t.Errorf("CountWidth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestRankCircuitExhaustive(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8} {
+		net := logic.New()
+		in := net.Inputs("v", n)
+		ranks := RankCircuit(net, in)
+		for i, b := range ranks {
+			net.MarkOutputBus("r", b)
+			_ = i
+		}
+		w := CountWidth(n)
+		for a := 0; a < 1<<uint(n); a++ {
+			vals := make([]bool, n)
+			v := bitvec.New(n)
+			for i := range vals {
+				vals[i] = a&(1<<uint(i)) != 0
+				v.Set(i, vals[i])
+			}
+			out := net.Eval(vals)
+			for i := 0; i < n; i++ {
+				got := logic.BusValue(out[i*w : (i+1)*w])
+				want := uint64(v.Rank(i + 1))
+				if got != want {
+					t.Fatalf("n=%d pattern %0*b: rank[%d] = %d, want %d", n, n, a, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRankCircuitRandomLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	n := 64
+	net := logic.New()
+	in := net.Inputs("v", n)
+	for _, b := range RankCircuit(net, in) {
+		net.MarkOutputBus("r", b)
+	}
+	w := CountWidth(n)
+	for trial := 0; trial < 30; trial++ {
+		vals := make([]bool, n)
+		v := bitvec.New(n)
+		for i := range vals {
+			vals[i] = rng.Intn(2) == 1
+			v.Set(i, vals[i])
+		}
+		out := net.Eval(vals)
+		for i := 0; i < n; i++ {
+			got := logic.BusValue(out[i*w : (i+1)*w])
+			if got != uint64(v.Rank(i+1)) {
+				t.Fatalf("rank[%d] = %d, want %d", i, got, v.Rank(i+1))
+			}
+		}
+	}
+}
+
+func TestRankCircuitDepthGrowsLogarithmically(t *testing.T) {
+	depth := func(n int) int {
+		net := logic.New()
+		in := net.Inputs("v", n)
+		for _, b := range RankCircuit(net, in) {
+			net.MarkOutputBus("r", b)
+		}
+		return net.Depth()
+	}
+	d16, d64, d256 := depth(16), depth(64), depth(256)
+	if !(d16 < d64 && d64 < d256) {
+		t.Errorf("depths not increasing: %d, %d, %d", d16, d64, d256)
+	}
+	// Θ(lg² n) with ripple adders: going from n to n⁴ should far less
+	// than quadruple the depth of a linear-depth circuit would.
+	if d256 > 8*d16 {
+		t.Errorf("depth growth looks superpolylogarithmic: d(16)=%d d(256)=%d", d16, d256)
+	}
+}
+
+func TestRankCircuitEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RankCircuit(nil) did not panic")
+		}
+	}()
+	RankCircuit(logic.New(), nil)
+}

@@ -1,0 +1,286 @@
+package seqhyper
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/logic"
+	"concentrators/internal/prefix"
+)
+
+// RegNetlist is the gate-level, fully registered realization of the §1
+// sequential hyperconcentrator. Unlike the combinational chip
+// (internal/hyper), every stage is separated by edge-triggered
+// registers, so the CLOCK PERIOD is bounded by one stage's logic rather
+// than the whole datapath:
+//
+//   - a pipelined Sklansky rank unit (lg n register stages, one combine
+//     level of adders each) computes each input's destination;
+//   - a setup wave then traverses the lg n butterfly levels, latching
+//     each level's crossbar setting as it passes;
+//   - payload bits stream behind the wave, one butterfly level per
+//     cycle, routed by the latched settings.
+//
+// Setup latency is 2·lg n cycles (rank pipeline + wave), streaming
+// latency lg n cycles — the "sequential control [that] is not very
+// complex, but ... not as simple as that of a combinational circuit".
+type RegNetlist struct {
+	seq  *logic.SeqNet
+	n, q int
+
+	inValid []logic.Signal
+	inData  []logic.Signal
+
+	outValid []int // indices into Step output
+	outData  []int
+}
+
+// BuildRegistered emits the registered netlist for n a power of two ≥ 2.
+func BuildRegistered(n int) (*RegNetlist, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("seqhyper: registered netlist needs power-of-two n ≥ 2, got %d", n)
+	}
+	q := 0
+	for 1<<uint(q) < n {
+		q++
+	}
+	w := prefix.CountWidth(n)
+
+	s := logic.NewSeq()
+	c := s.Comb()
+	r := &RegNetlist{seq: s, n: n, q: q}
+	for i := 0; i < n; i++ {
+		r.inValid = append(r.inValid, s.Input(fmt.Sprintf("valid.%d", i)))
+	}
+	for i := 0; i < n; i++ {
+		r.inData = append(r.inData, s.Input(fmt.Sprintf("data.%d", i)))
+	}
+
+	// --- Stage A: pipelined Sklansky rank unit --------------------------
+	// Each of the q register stages performs one Sklansky combine level;
+	// the valid wave is delayed alongside so it arrives with its ranks.
+	mkRegBus := func(name string, width int) logic.Bus {
+		bus := make(logic.Bus, width)
+		for b := range bus {
+			bus[b] = s.Register(fmt.Sprintf("%s.%d", name, b), false)
+		}
+		return bus
+	}
+	connectBus := func(q logic.Bus, d logic.Bus) {
+		for b := range q {
+			if err := s.ConnectRegister(q[b], d[b]); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// counts[i] starts as the 1-bit valid; after the pipeline it is the
+	// inclusive prefix count.
+	counts := make([]logic.Bus, n)
+	waveV := make([]logic.Signal, n)
+	for i := 0; i < n; i++ {
+		counts[i] = c.Truncate(logic.Bus{r.inValid[i]}, w)
+		waveV[i] = r.inValid[i]
+	}
+	for lvl := 0; lvl < q; lvl++ {
+		d := 1 << uint(lvl)
+		nextCounts := make([]logic.Bus, n)
+		for i := 0; i < n; i++ {
+			if i&d != 0 {
+				j := (i &^ (d - 1)) - 1
+				nextCounts[i] = c.Truncate(c.Add(counts[j], counts[i]), w)
+			} else {
+				nextCounts[i] = counts[i]
+			}
+		}
+		// Register boundary.
+		for i := 0; i < n; i++ {
+			qb := mkRegBus(fmt.Sprintf("rank.%d.%d", lvl, i), w)
+			connectBus(qb, nextCounts[i])
+			counts[i] = qb
+			qv := s.Register(fmt.Sprintf("rankv.%d.%d", lvl, i), false)
+			if err := s.ConnectRegister(qv, waveV[i]); err != nil {
+				return nil, err
+			}
+			waveV[i] = qv
+		}
+	}
+	// Destination of input i = exclusive prefix = inclusive(i−1); for
+	// i = 0 it is zero. Realized by pairing count[i−1] with wave i.
+	dests := make([]logic.Bus, n)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			dests[i] = c.ConstBus(0, w)
+		} else {
+			dests[i] = counts[i-1]
+		}
+	}
+
+	// --- Stage B: butterfly with latched crossbars ----------------------
+	// The wave (waveV, dests) traverses one level per cycle, latching
+	// cross settings; payload (injected q cycles after the valid bits,
+	// i.e. right behind the wave) follows the latched settings.
+	payload := make([]logic.Signal, n)
+	for i := 0; i < n; i++ {
+		payload[i] = r.inData[i]
+	}
+
+	wv := waveV
+	wd := dests
+	for lvl := 0; lvl < q; lvl++ {
+		mask := 1 << uint(lvl)
+		nwv := make([]logic.Signal, n)
+		nwd := make([]logic.Bus, n)
+		np := make([]logic.Signal, n)
+		for lo := 0; lo < n; lo++ {
+			if lo&mask != 0 {
+				continue
+			}
+			hi := lo | mask
+			// Wave routing and cross latching.
+			crossNow := c.Or(c.And(wv[lo], wd[lo][lvl]), c.And(wv[hi], c.Not(wd[hi][lvl])))
+			latchEn := c.Or(wv[lo], wv[hi])
+			crossReg := s.Register(fmt.Sprintf("cross.%d.%d", lvl, lo), false)
+			if err := s.ConnectRegister(crossReg, c.Mux(latchEn, crossNow, crossReg)); err != nil {
+				return nil, err
+			}
+
+			routeSig := func(a, b logic.Signal, cross logic.Signal) (outLo, outHi logic.Signal) {
+				return c.Mux(cross, b, a), c.Mux(cross, a, b)
+			}
+			vLo, vHi := routeSig(wv[lo], wv[hi], crossNow)
+			dLo := make(logic.Bus, w)
+			dHi := make(logic.Bus, w)
+			for b := 0; b < w; b++ {
+				dLo[b], dHi[b] = routeSig(wd[lo][b], wd[hi][b], crossNow)
+			}
+			// Payload routed by the LATCHED setting.
+			pLo, pHi := routeSig(payload[lo], payload[hi], crossReg)
+
+			// Register boundary for wave and payload.
+			regV := func(name string, d logic.Signal) logic.Signal {
+				qr := s.Register(name, false)
+				if err := s.ConnectRegister(qr, d); err != nil {
+					panic(err)
+				}
+				return qr
+			}
+			nwv[lo] = regV(fmt.Sprintf("wv.%d.%d", lvl, lo), vLo)
+			nwv[hi] = regV(fmt.Sprintf("wv.%d.%d", lvl, hi), vHi)
+			nwd[lo] = mkRegBus(fmt.Sprintf("wd.%d.%d", lvl, lo), w)
+			connectBus(nwd[lo], dLo)
+			nwd[hi] = mkRegBus(fmt.Sprintf("wd.%d.%d", lvl, hi), w)
+			connectBus(nwd[hi], dHi)
+			np[lo] = regV(fmt.Sprintf("pp.%d.%d", lvl, lo), pLo)
+			np[hi] = regV(fmt.Sprintf("pp.%d.%d", lvl, hi), pHi)
+		}
+		wv, wd, payload = nwv, nwd, np
+	}
+
+	// Output valid flags latch as the wave arrives at the outputs
+	// (sticky until reset).
+	for o := 0; o < n; o++ {
+		sticky := s.Register(fmt.Sprintf("ov.%d", o), false)
+		if err := s.ConnectRegister(sticky, c.Or(sticky, wv[o])); err != nil {
+			return nil, err
+		}
+		s.MarkOutput(fmt.Sprintf("outValid.%d", o), sticky)
+		s.MarkOutput(fmt.Sprintf("outData.%d", o), payload[o])
+		r.outValid = append(r.outValid, 2*o)
+		r.outData = append(r.outData, 2*o+1)
+	}
+	return r, nil
+}
+
+// SetupLatency returns the cycles between presenting the valid bits and
+// the first cycle payload may be injected: the rank pipeline (q cycles)
+// plus one cycle for the wave to latch the first butterfly level's
+// crossbars; payload then trails the wave level by level.
+func (r *RegNetlist) SetupLatency() int { return r.q + 1 }
+
+// StreamLatency returns the cycles from a payload bit's injection to
+// its appearance at the output registers: the q butterfly levels.
+func (r *RegNetlist) StreamLatency() int { return r.q }
+
+// ClockPeriodDepth returns the critical combinational depth of one
+// clock cycle.
+func (r *RegNetlist) ClockPeriodDepth() (int, error) { return r.seq.ClockPeriodDepth() }
+
+// Registers returns the total register count (the area price of
+// pipelining).
+func (r *RegNetlist) Registers() int { return r.seq.Registers() }
+
+// Run performs a complete operation: setup with the valid bits, then
+// stream the given equal-length payloads (keyed by input). It returns
+// the delivered stream per output and the total cycle count.
+func (r *RegNetlist) Run(valid *bitvec.Vector, payloads map[int][]bool) (map[int][]bool, int, error) {
+	if valid.Len() != r.n {
+		return nil, 0, fmt.Errorf("seqhyper: %d valid bits for %d inputs", valid.Len(), r.n)
+	}
+	length := 0
+	for i, p := range payloads {
+		if i < 0 || i >= r.n || !valid.Get(i) {
+			return nil, 0, fmt.Errorf("seqhyper: payload on invalid input %d", i)
+		}
+		if length == 0 {
+			length = len(p)
+		} else if len(p) != length {
+			return nil, 0, fmt.Errorf("seqhyper: payloads must share one length")
+		}
+	}
+	step := func(validBits *bitvec.Vector, data map[int]bool) ([]bool, error) {
+		in := make([]bool, 2*r.n)
+		if validBits != nil {
+			for i := 0; i < r.n; i++ {
+				in[i] = validBits.Get(i)
+			}
+		}
+		for i, b := range data {
+			in[r.n+i] = b
+		}
+		return r.seq.Step(in)
+	}
+
+	cycles := 0
+	// Cycle 0: inject the valid wave (and nothing else).
+	if _, err := step(valid, nil); err != nil {
+		return nil, 0, err
+	}
+	cycles++
+	// Cycles 1..q−1: the wave rides the rank pipeline.
+	for cyc := 1; cyc < r.SetupLatency(); cyc++ {
+		if _, err := step(nil, nil); err != nil {
+			return nil, 0, err
+		}
+		cycles++
+	}
+	// Payload injection: bit c at cycle q+c, collected at the outputs
+	// when it emerges 2q cycles later.
+	streams := map[int][]bool{}
+	total := length + r.StreamLatency()
+	firstOut := r.StreamLatency()
+	for cyc := 0; cyc < total; cyc++ {
+		data := map[int]bool{}
+		if cyc < length {
+			for i, p := range payloads {
+				data[i] = p[cyc]
+			}
+		}
+		out, err := step(nil, data)
+		if err != nil {
+			return nil, 0, err
+		}
+		cycles++
+		if cyc >= firstOut {
+			for o := 0; o < r.n; o++ {
+				if out[r.outValid[o]] {
+					streams[o] = append(streams[o], out[r.outData[o]])
+				}
+			}
+		}
+	}
+	return streams, cycles, nil
+}
+
+// Reset clears all pipeline state for a fresh Run.
+func (r *RegNetlist) Reset() { r.seq.Reset() }

@@ -1,0 +1,161 @@
+package seqhyper
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/hyper"
+)
+
+func TestBuildRegisteredValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12} {
+		if _, err := BuildRegistered(n); err == nil {
+			t.Errorf("BuildRegistered(%d) accepted", n)
+		}
+	}
+}
+
+// The registered pipeline must deliver every payload intact on the
+// outputs the stable concentration assigns — exhaustive over all valid
+// patterns at n = 8.
+func TestRegisteredMatchesFunctionalExhaustive8(t *testing.T) {
+	n := 8
+	r, err := BuildRegistered(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hyper.MustChip(n)
+	rng := rand.New(rand.NewSource(61))
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		r.Reset()
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, pat&(1<<uint(i)) != 0)
+		}
+		payloads := map[int][]bool{}
+		const length = 6
+		for i := 0; i < n; i++ {
+			if v.Get(i) {
+				p := make([]bool, length)
+				for b := range p {
+					p[b] = rng.Intn(2) == 1
+				}
+				payloads[i] = p
+			}
+		}
+		streams, cycles, err := r.Run(v, payloads)
+		if err != nil {
+			t.Fatalf("pattern %02x: %v", pat, err)
+		}
+		route, _ := c.Setup(v)
+		for i, p := range payloads {
+			o := route[i]
+			got := streams[o]
+			if len(got) != length {
+				t.Fatalf("pattern %02x: output %d got %d bits, want %d", pat, o, len(got), length)
+			}
+			for b := range p {
+				if got[b] != p[b] {
+					t.Fatalf("pattern %02x: payload of input %d corrupted at bit %d", pat, i, b)
+				}
+			}
+		}
+		if len(payloads) > 0 {
+			wantCycles := r.SetupLatency() + length + r.StreamLatency()
+			if cycles != wantCycles {
+				t.Fatalf("pattern %02x: cycles = %d, want %d", pat, cycles, wantCycles)
+			}
+		}
+	}
+}
+
+func TestRegisteredRandom16(t *testing.T) {
+	n := 16
+	r, err := BuildRegistered(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hyper.MustChip(n)
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 15; trial++ {
+		r.Reset()
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		payloads := map[int][]bool{}
+		for i := 0; i < n; i++ {
+			if v.Get(i) {
+				p := make([]bool, 10)
+				for b := range p {
+					p[b] = rng.Intn(2) == 1
+				}
+				payloads[i] = p
+			}
+		}
+		streams, _, err := r.Run(v, payloads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		route, _ := c.Setup(v)
+		for i, p := range payloads {
+			got := streams[route[i]]
+			for b := range p {
+				if b >= len(got) || got[b] != p[b] {
+					t.Fatalf("trial %d: payload of input %d corrupted", trial, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRegisteredRunValidation(t *testing.T) {
+	r, err := BuildRegistered(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Run(bitvec.New(9), nil); err == nil {
+		t.Error("accepted wrong valid length")
+	}
+	v := bitvec.New(8)
+	if _, _, err := r.Run(v, map[int][]bool{3: {true}}); err == nil {
+		t.Error("accepted payload on invalid input")
+	}
+	v.Set(1, true)
+	v.Set(2, true)
+	r.Reset()
+	if _, _, err := r.Run(v, map[int][]bool{1: {true}, 2: {true, false}}); err == nil {
+		t.Error("accepted ragged payloads")
+	}
+}
+
+// The point of pipelining: the registered design's CLOCK PERIOD depth
+// is far below the combinational chip's full-datapath depth, at the
+// price of registers and latency.
+func TestRegisteredClockPeriodBeatsCombinationalDepth(t *testing.T) {
+	for _, n := range []int{16, 64} {
+		r, err := BuildRegistered(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clk, err := r.ClockPeriodDepth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		comb, err := hyper.BuildNetlist(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := comb.Net.Depth()
+		if clk >= full {
+			t.Errorf("n=%d: clock-period depth %d should beat full combinational depth %d", n, clk, full)
+		}
+		if r.Registers() == 0 {
+			t.Error("pipelined design should have registers")
+		}
+		if r.SetupLatency() <= 1 || r.StreamLatency() < 1 {
+			t.Error("latencies implausible")
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Package seqhyper implements the OTHER hyperconcentrator §1 of the
+// paper mentions: "a different hyperconcentrator switch, comprised of a
+// parallel prefix circuit and a butterfly network, can be built in
+// volume Θ(n^{3/2}) with O(n lg n) chips and as few as four data pins
+// per chip, but this switch is not combinational."
+//
+// The model here is cycle-accurate and registered: the setup phase runs
+// the prefix tree (an up-sweep and a down-sweep, one tree level per
+// clock) and then configures the butterfly one level per clock; the
+// streaming phase pushes payload bits through the lg n butterfly
+// register stages, one level per cycle, fully pipelined (throughput one
+// bit per cycle per path after the pipeline fills).
+//
+// It exists as the paper's own baseline: the partial concentrator
+// switches of §4/§5 are COMBINATIONAL (a bit crosses the whole switch
+// within one cycle, costing only gate delays); this design needs
+// multi-cycle setup and per-level registers but gets away with tiny
+// chips.
+package seqhyper
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+)
+
+// Switch is a sequential n-by-n hyperconcentrator (n a power of two).
+type Switch struct {
+	n, q int
+
+	// configured state after Setup:
+	levelNext [][]int // levelNext[ℓ][node] = node at level ℓ+1, or −1
+	routing   []int   // input → output (−1 for invalid inputs)
+
+	// pipeline registers: regs[ℓ][node] holds the bit in flight between
+	// level ℓ and ℓ+1 (valid flag + value).
+	regs  [][]regBit
+	ticks int
+}
+
+type regBit struct {
+	valid bool
+	bit   bool
+}
+
+// New returns a sequential hyperconcentrator of size n (power of two ≥ 2).
+func New(n int) (*Switch, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("seqhyper: size %d must be a power of two ≥ 2", n)
+	}
+	q := 0
+	for 1<<uint(q) < n {
+		q++
+	}
+	return &Switch{n: n, q: q}, nil
+}
+
+// Size returns n.
+func (s *Switch) Size() int { return s.n }
+
+// Levels returns lg n, the butterfly depth (= streaming latency in
+// cycles).
+func (s *Switch) Levels() int { return s.q }
+
+// SetupCycles returns the number of clock cycles the setup phase
+// consumes: an up-sweep and down-sweep of the prefix tree (2 lg n) plus
+// one configuration wave through the butterfly (lg n).
+func (s *Switch) SetupCycles() int { return 3 * s.q }
+
+// Setup computes ranks with the prefix tree and configures the
+// butterfly levels. It returns the input→output routing (stable
+// concentration) and resets the streaming pipeline.
+func (s *Switch) Setup(valid *bitvec.Vector) ([]int, error) {
+	if valid.Len() != s.n {
+		return nil, fmt.Errorf("seqhyper: %d valid bits on a %d-input switch", valid.Len(), s.n)
+	}
+	// Destination of input i = exclusive prefix count of valid bits
+	// (what the parallel prefix circuit computes during setup).
+	dest := make([]int, s.n)
+	rank := 0
+	for i := 0; i < s.n; i++ {
+		if valid.Get(i) {
+			dest[i] = rank
+			rank++
+		} else {
+			dest[i] = -1
+		}
+	}
+	// Configure the LSB-first butterfly level by level (the
+	// configuration wave). This routing is conflict-free for
+	// concentration (see internal/banyan).
+	s.levelNext = make([][]int, s.q)
+	pos := append([]int(nil), dest...) // pos[node] = destination of packet at node
+	s.routing = make([]int, s.n)
+	for i := range s.routing {
+		s.routing[i] = -1
+	}
+	src := make([]int, s.n)
+	for i := range src {
+		src[i] = i
+	}
+	for lvl := 0; lvl < s.q; lvl++ {
+		next := make([]int, s.n)
+		nextSrc := make([]int, s.n)
+		for i := range next {
+			next[i] = -1
+			nextSrc[i] = -1
+		}
+		s.levelNext[lvl] = make([]int, s.n)
+		for i := range s.levelNext[lvl] {
+			s.levelNext[lvl][i] = -1
+		}
+		mask := 1 << uint(lvl)
+		for node := 0; node < s.n; node++ {
+			d := pos[node]
+			if d == -1 {
+				continue
+			}
+			tgt := node &^ mask
+			if d&mask != 0 {
+				tgt = node | mask
+			}
+			if next[tgt] != -1 {
+				return nil, fmt.Errorf("seqhyper: internal conflict at level %d node %d", lvl, node)
+			}
+			next[tgt] = d
+			nextSrc[tgt] = src[node]
+			s.levelNext[lvl][node] = tgt
+		}
+		pos = next
+		src = nextSrc
+	}
+	for node := 0; node < s.n; node++ {
+		if src[node] != -1 {
+			s.routing[src[node]] = node
+		}
+	}
+	// Reset the streaming pipeline.
+	s.regs = make([][]regBit, s.q)
+	for l := range s.regs {
+		s.regs[l] = make([]regBit, s.n)
+	}
+	s.ticks = 0
+	return append([]int(nil), s.routing...), nil
+}
+
+// Tick advances the streaming pipeline one clock cycle: in[i] is the
+// payload bit presented at input i this cycle (only inputs that were
+// valid at setup drive bits; others are ignored). It returns the bits
+// emerging at the outputs this cycle: out[o] is non-nil when output o's
+// register delivered a bit.
+func (s *Switch) Tick(in map[int]bool) (map[int]bool, error) {
+	if s.levelNext == nil {
+		return nil, fmt.Errorf("seqhyper: Tick before Setup")
+	}
+	// Drain the last level first.
+	out := map[int]bool{}
+	for node, rb := range s.regs[s.q-1] {
+		if rb.valid {
+			out[node] = rb.bit
+		}
+	}
+	// Shift levels back to front.
+	for l := s.q - 1; l >= 1; l-- {
+		dst := make([]regBit, s.n)
+		for node, rb := range s.regs[l-1] {
+			if !rb.valid {
+				continue
+			}
+			tgt := s.levelNext[l][node]
+			if tgt == -1 {
+				return nil, fmt.Errorf("seqhyper: bit stranded at level %d node %d", l, node)
+			}
+			dst[tgt] = regBit{valid: true, bit: rb.bit}
+		}
+		s.regs[l] = dst
+	}
+	// Inject new bits through level 0.
+	first := make([]regBit, s.n)
+	for i, b := range in {
+		if i < 0 || i >= s.n {
+			return nil, fmt.Errorf("seqhyper: input %d out of range", i)
+		}
+		tgt := s.levelNext[0][i]
+		if tgt == -1 {
+			continue // input was invalid at setup: bit dropped at the door
+		}
+		first[tgt] = regBit{valid: true, bit: b}
+	}
+	s.regs[0] = first
+	s.ticks++
+	return out, nil
+}
+
+// Stream pushes equal-length payloads through the pipeline and returns
+// the per-output delivered streams. Total cycles = len + Levels()
+// (pipeline fill), on top of SetupCycles() consumed conceptually by
+// Setup.
+func (s *Switch) Stream(payloads map[int][]bool) (map[int][]bool, int, error) {
+	length := -1
+	for i, p := range payloads {
+		if s.routing == nil || i < 0 || i >= s.n || s.routing[i] == -1 {
+			return nil, 0, fmt.Errorf("seqhyper: payload on unrouted input %d", i)
+		}
+		if length == -1 {
+			length = len(p)
+		} else if len(p) != length {
+			return nil, 0, fmt.Errorf("seqhyper: payloads must share one length")
+		}
+	}
+	if length == -1 {
+		return map[int][]bool{}, 0, nil
+	}
+	streams := map[int][]bool{}
+	cycles := 0
+	for c := 0; c < length+s.q; c++ {
+		in := map[int]bool{}
+		if c < length {
+			for i, p := range payloads {
+				in[i] = p[c]
+			}
+		}
+		out, err := s.Tick(in)
+		if err != nil {
+			return nil, 0, err
+		}
+		for o, b := range out {
+			streams[o] = append(streams[o], b)
+		}
+		cycles++
+	}
+	return streams, cycles, nil
+}
+
+// --- §1 cost model -----------------------------------------------------------
+
+// PinsPerChip returns the data pin count of the smallest chip
+// partitioning: one 2×2 butterfly switch element per chip, four data
+// pins ("as few as four data pins per chip").
+func PinsPerChip() int { return 4 }
+
+// ChipCount returns the O(n lg n) chip count: (n/2)·lg n butterfly
+// elements plus n−1 prefix tree nodes.
+func ChipCount(n int) int {
+	q := 0
+	for 1<<uint(q) < n {
+		q++
+	}
+	return n/2*q + (n - 1)
+}
+
+// Volume returns the Θ(n^{3/2}) packaging volume of §1's claim (unit
+// constant).
+func Volume(n int) float64 {
+	f := float64(n)
+	r := 1.0
+	for r*r < f {
+		r++
+	}
+	return f * r // n · √n
+}

@@ -1,0 +1,205 @@
+package seqhyper
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/hyper"
+)
+
+func TestNewValidation(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 12} {
+		if _, err := New(n); err == nil {
+			t.Errorf("New(%d) accepted", n)
+		}
+	}
+	s, err := New(16)
+	if err != nil || s.Size() != 16 || s.Levels() != 4 {
+		t.Fatalf("New(16) = %v, %v", s, err)
+	}
+	if s.SetupCycles() != 12 {
+		t.Errorf("SetupCycles = %d, want 12 (= 3 lg n)", s.SetupCycles())
+	}
+}
+
+// Setup must realize exactly the stable concentration of the
+// single-chip hyperconcentrator, for every pattern at n = 16.
+func TestSetupMatchesHyperChipExhaustive(t *testing.T) {
+	n := 16
+	s, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := hyper.MustChip(n)
+	for pat := 0; pat < 1<<uint(n); pat++ {
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, pat&(1<<uint(i)) != 0)
+		}
+		got, err := s.Setup(v)
+		if err != nil {
+			t.Fatalf("pattern %04x: %v", pat, err)
+		}
+		want, _ := c.Setup(v)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pattern %04x input %d: %d vs %d", pat, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSetupWrongLength(t *testing.T) {
+	s, _ := New(8)
+	if _, err := s.Setup(bitvec.New(9)); err == nil {
+		t.Error("accepted wrong valid length")
+	}
+}
+
+func TestTickBeforeSetup(t *testing.T) {
+	s, _ := New(8)
+	if _, err := s.Tick(nil); err == nil {
+		t.Error("Tick before Setup accepted")
+	}
+}
+
+func TestStreamDeliversPayloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{4, 16, 64, 256} {
+		s, err := New(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			v := bitvec.New(n)
+			for i := 0; i < n; i++ {
+				v.Set(i, rng.Intn(2) == 1)
+			}
+			routing, err := s.Setup(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payloads := map[int][]bool{}
+			length := 8
+			for i := 0; i < n; i++ {
+				if v.Get(i) {
+					p := make([]bool, length)
+					for b := range p {
+						p[b] = rng.Intn(2) == 1
+					}
+					payloads[i] = p
+				}
+			}
+			streams, cycles, err := s.Stream(payloads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(payloads) > 0 && cycles != length+s.Levels() {
+				t.Fatalf("n=%d: cycles = %d, want %d (payload + pipeline fill)", n, cycles, length+s.Levels())
+			}
+			for i, p := range payloads {
+				o := routing[i]
+				got := streams[o]
+				if len(got) != length {
+					t.Fatalf("n=%d: output %d received %d bits, want %d", n, o, len(got), length)
+				}
+				for b := range p {
+					if got[b] != p[b] {
+						t.Fatalf("n=%d: payload of input %d corrupted at bit %d", n, i, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	s, _ := New(8)
+	v := bitvec.New(8)
+	v.Set(2, true)
+	if _, err := s.Setup(v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Stream(map[int][]bool{3: {true}}); err == nil {
+		t.Error("accepted payload on unrouted input")
+	}
+	if _, _, err := s.Stream(map[int][]bool{2: {true}}); err != nil {
+		t.Errorf("rejected valid stream: %v", err)
+	}
+	v.Set(3, true)
+	if _, err := s.Setup(v); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Stream(map[int][]bool{2: {true}, 3: {true, false}}); err == nil {
+		t.Error("accepted ragged payloads")
+	}
+}
+
+// Pipelining: after the lg n fill, one bit per cycle per path emerges —
+// bit latency equals Levels().
+func TestPipelineLatency(t *testing.T) {
+	n := 16
+	s, _ := New(n)
+	v := bitvec.New(n)
+	v.Set(5, true)
+	routing, err := s.Setup(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := routing[5]
+	// Feed one bit, then idle; it must appear exactly Levels() cycles
+	// later.
+	if out, err := s.Tick(map[int]bool{5: true}); err != nil || len(out) != 0 {
+		t.Fatalf("cycle 0: out = %v, err = %v", out, err)
+	}
+	for c := 1; c < s.Levels(); c++ {
+		out, err := s.Tick(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("bit emerged early at cycle %d", c)
+		}
+	}
+	out, err := s.Tick(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := out[o]
+	if !ok || !b {
+		t.Fatalf("bit did not emerge at output %d after %d cycles: %v", o, s.Levels(), out)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	if PinsPerChip() != 4 {
+		t.Error("the §1 claim is four data pins per chip")
+	}
+	// n=1024: (512·10) + 1023 = 6143 chips — O(n lg n).
+	if got := ChipCount(1024); got != 6143 {
+		t.Errorf("ChipCount(1024) = %d, want 6143", got)
+	}
+	// Volume Θ(n^{3/2}).
+	if v := Volume(1024); v != 1024*32 {
+		t.Errorf("Volume(1024) = %v, want 32768", v)
+	}
+}
+
+// The paper's comparison: the sequential design has tiny chips but
+// multi-cycle latency, while the combinational partial concentrators
+// cross in one cycle. Check the structural facts that comparison rests
+// on.
+func TestSequentialVsCombinationalTradeoff(t *testing.T) {
+	n := 4096
+	s, _ := New(n)
+	if s.SetupCycles() < 3 {
+		t.Error("setup should take multiple cycles")
+	}
+	if PinsPerChip() >= hyper.DataPins(64) {
+		t.Error("sequential chips should need far fewer pins than a 64-wide hyperconcentrator chip")
+	}
+	if ChipCount(n) <= 4*64 /* revsort chips at n=4096 */ {
+		t.Error("the sequential design should need many more chips")
+	}
+}

@@ -1,0 +1,112 @@
+// Package shifter implements the √n-bit barrel shifter chip of §4: the
+// stage-2 boards of the Revsort switch follow each hyperconcentrator
+// chip with a barrel shifter whose ⌈lg √n⌉ control bits are HARDWIRED
+// to rev(i) after board fabrication.
+//
+// Two gate-level artifacts are provided: the general shifter (a mux
+// tree, Θ(lg w) gate delays) and the hardwired instance, which — after
+// constant propagation (logic.Optimize) — collapses to pure wiring,
+// making the paper's "the barrel shifters introduce only a constant
+// number of gate delays" claim directly measurable.
+package shifter
+
+import (
+	"fmt"
+
+	"concentrators/internal/logic"
+)
+
+// ControlBits returns the number of control bits of a w-bit shifter:
+// ⌈lg w⌉.
+func ControlBits(w int) int {
+	c := 0
+	for (1 << uint(c)) < w {
+		c++
+	}
+	return c
+}
+
+// Build emits a w-bit right-rotating barrel shifter into a fresh
+// netlist. Inputs: d.0..d.{w−1} (data), then c.0..c.{cb−1} (rotation
+// amount, LSB first). Outputs: o.0..o.{w−1} with
+// o[(j+amount) mod w] = d[j].
+func Build(w int) (*logic.Net, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("shifter: width %d must be ≥ 1", w)
+	}
+	net := logic.New()
+	data := make([]logic.Signal, w)
+	for i := range data {
+		data[i] = net.Input(fmt.Sprintf("d.%d", i))
+	}
+	cb := ControlBits(w)
+	ctrl := make([]logic.Signal, cb)
+	for i := range ctrl {
+		ctrl[i] = net.Input(fmt.Sprintf("c.%d", i))
+	}
+	out := emit(net, data, ctrl, w)
+	for i, s := range out {
+		net.MarkOutput(fmt.Sprintf("o.%d", i), s)
+	}
+	return net, nil
+}
+
+// emit appends the shifter logic: stage k conditionally rotates right
+// by 2^k under ctrl[k].
+func emit(net *logic.Net, data, ctrl []logic.Signal, w int) []logic.Signal {
+	cur := append([]logic.Signal(nil), data...)
+	for k, sel := range ctrl {
+		step := 1 << uint(k) % w
+		next := make([]logic.Signal, w)
+		for j := 0; j < w; j++ {
+			// Rotated: output j receives input (j − step) mod w.
+			src := ((j-step)%w + w) % w
+			next[j] = net.Mux(sel, cur[src], cur[j])
+		}
+		cur = next
+	}
+	return cur
+}
+
+// BuildHardwired emits a w-bit shifter with the rotation amount
+// hardwired (the control pins tied to constants, as on the fabricated
+// stage-2 boards) and constant-folds it. The result rotates right by
+// amount with ZERO gate delays — it is pure wiring.
+func BuildHardwired(w, amount int) (*logic.Net, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("shifter: width %d must be ≥ 1", w)
+	}
+	amount = ((amount % w) + w) % w
+	if cb := ControlBits(w); amount >= 1<<uint(cb) && amount != 0 {
+		return nil, fmt.Errorf("shifter: amount %d not encodable in %d control bits", amount, cb)
+	}
+	net := logic.New()
+	data := make([]logic.Signal, w)
+	for i := range data {
+		data[i] = net.Input(fmt.Sprintf("d.%d", i))
+	}
+	cb := ControlBits(w)
+	ctrl := make([]logic.Signal, cb)
+	for k := range ctrl {
+		ctrl[k] = net.Const(amount&(1<<uint(k)) != 0)
+	}
+	out := emit(net, data, ctrl, w)
+	for i, s := range out {
+		net.MarkOutput(fmt.Sprintf("o.%d", i), s)
+	}
+	return net.Optimize(), nil
+}
+
+// Rotate is the functional reference: rotate the bits right by amount.
+func Rotate(bits []bool, amount int) []bool {
+	w := len(bits)
+	if w == 0 {
+		return nil
+	}
+	amount = ((amount % w) + w) % w
+	out := make([]bool, w)
+	for j, b := range bits {
+		out[(j+amount)%w] = b
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package shifter
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/logic"
+)
+
+func TestControlBits(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 8: 3, 9: 4, 16: 4}
+	for w, want := range cases {
+		if got := ControlBits(w); got != want {
+			t.Errorf("ControlBits(%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestRotateReference(t *testing.T) {
+	bits := []bool{true, false, false, true}
+	got := Rotate(bits, 1)
+	want := []bool{true, true, false, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Rotate = %v, want %v", got, want)
+		}
+	}
+	if r := Rotate(bits, -3); r[0] != got[0] || r[1] != got[1] {
+		t.Error("negative amount should wrap")
+	}
+	if Rotate(nil, 5) != nil {
+		t.Error("empty rotate should be nil")
+	}
+}
+
+func TestBuildShifterExhaustive(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		net, err := Build(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb := ControlBits(w)
+		for amount := 0; amount < w; amount++ {
+			for pat := 0; pat < 1<<uint(w); pat++ {
+				in := make([]bool, w+cb)
+				data := make([]bool, w)
+				for i := 0; i < w; i++ {
+					data[i] = pat&(1<<uint(i)) != 0
+					in[i] = data[i]
+				}
+				for k := 0; k < cb; k++ {
+					in[w+k] = amount&(1<<uint(k)) != 0
+				}
+				got := net.Eval(in)
+				want := Rotate(data, amount)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("w=%d amount=%d pattern %0*b: output %d wrong", w, amount, w, pat, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(0); err == nil {
+		t.Error("Build(0) accepted")
+	}
+	if _, err := BuildHardwired(0, 0); err == nil {
+		t.Error("BuildHardwired(0,0) accepted")
+	}
+}
+
+// The §4 claim: the hardwired shifter is pure wiring — zero gate
+// delays, zero gates — while the general shifter has Θ(lg w) depth.
+func TestHardwiredShifterIsPureWiring(t *testing.T) {
+	for _, w := range []int{4, 8, 16, 64} {
+		general, err := Build(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := general.Depth(); d < ControlBits(w) {
+			t.Errorf("w=%d: general shifter depth %d below lg w", w, d)
+		}
+		for _, amount := range []int{0, 1, w / 2, w - 1} {
+			hw, err := BuildHardwired(w, amount)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hw.Depth() != 0 {
+				t.Errorf("w=%d amount=%d: hardwired depth = %d, want 0", w, amount, hw.Depth())
+			}
+			if hw.GateCount() != 0 {
+				t.Errorf("w=%d amount=%d: hardwired gates = %d, want 0", w, amount, hw.GateCount())
+			}
+		}
+	}
+}
+
+func TestHardwiredShifterFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, w := range []int{3, 8, 16} {
+		for amount := 0; amount < w; amount++ {
+			net, err := BuildHardwired(w, amount)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 20; trial++ {
+				data := make([]bool, w)
+				for i := range data {
+					data[i] = rng.Intn(2) == 1
+				}
+				got := net.Eval(data)
+				want := Rotate(data, amount)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("w=%d amount=%d: mismatch at %d", w, amount, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// The shifter embeds cleanly into a larger netlist (as on the stage-2
+// boards, where it follows the hyperconcentrator chip).
+func TestShifterEmbeds(t *testing.T) {
+	hw, err := BuildHardwired(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := logic.New()
+	in := n.Inputs("x", 4)
+	out, err := n.Embed(hw, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range out {
+		n.MarkOutput("o", s)
+		_ = i
+	}
+	got := n.Eval([]bool{true, false, false, false})
+	if !got[1] || got[0] || got[2] || got[3] {
+		t.Errorf("embedded shifter wrong: %v", got)
+	}
+}

@@ -1,0 +1,148 @@
+package switchsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+)
+
+// FaultKind selects a failure mode for FaultySwitch.
+type FaultKind int
+
+// The modelled chip/wiring failure modes.
+const (
+	// FaultNone passes routes through unchanged.
+	FaultNone FaultKind = iota
+	// FaultDropOutput makes one output wire dead: messages routed to it
+	// vanish (a broken pin or wire).
+	FaultDropOutput
+	// FaultStuckOutput makes one output carry a constant 1 regardless
+	// of routing (a stuck-at fault): a phantom "message" occupies it.
+	FaultStuckOutput
+	// FaultSwapOutputs crosses two output wires (a wiring error on a
+	// board): messages destined for one exit on the other.
+	FaultSwapOutputs
+	// FaultDuplicate routes one message to two outputs (a shorted pass
+	// transistor bridging crossbar rows).
+	FaultDuplicate
+)
+
+// String names the fault kind.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultDropOutput:
+		return "drop-output"
+	case FaultStuckOutput:
+		return "stuck-output"
+	case FaultSwapOutputs:
+		return "swap-outputs"
+	case FaultDuplicate:
+		return "duplicate"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// FaultySwitch wraps a Concentrator and injects one physical fault into
+// its routing. It exists to validate the verification layer: a correct
+// checker (CheckGuarantee, nearsort.CheckPartialConcentration) must
+// flag every fault kind that violates the concentrator contract —
+// mutation testing for the oracles.
+type FaultySwitch struct {
+	core.Concentrator
+	Kind FaultKind
+	// A and B are the affected output wires (B used by SwapOutputs).
+	A, B int
+}
+
+// NewFaultySwitch wraps sw with the given fault on outputs a (and b for
+// swaps).
+func NewFaultySwitch(sw core.Concentrator, kind FaultKind, a, b int) (*FaultySwitch, error) {
+	m := sw.Outputs()
+	if a < 0 || a >= m || (kind == FaultSwapOutputs && (b < 0 || b >= m || b == a)) {
+		return nil, fmt.Errorf("switchsim: fault outputs (%d,%d) invalid for m=%d", a, b, m)
+	}
+	return &FaultySwitch{Concentrator: sw, Kind: kind, A: a, B: b}, nil
+}
+
+// Route implements core.Concentrator with the fault applied.
+func (f *FaultySwitch) Route(valid *bitvec.Vector) ([]int, error) {
+	out, err := f.Concentrator.Route(valid)
+	if err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case FaultNone:
+	case FaultDropOutput:
+		for i := range out {
+			if out[i] == f.A {
+				out[i] = -1
+			}
+		}
+	case FaultStuckOutput:
+		// The stuck output asserts valid even with no message; model:
+		// the message on A (if any) is destroyed, and to surface the
+		// phantom we misattribute A to the first invalid input, which
+		// a checker must reject ("invalid input was routed").
+		for i := range out {
+			if out[i] == f.A {
+				out[i] = -1
+			}
+		}
+		for i := 0; i < valid.Len(); i++ {
+			if !valid.Get(i) {
+				out[i] = f.A
+				break
+			}
+		}
+	case FaultSwapOutputs:
+		for i := range out {
+			switch out[i] {
+			case f.A:
+				out[i] = f.B
+			case f.B:
+				out[i] = f.A
+			}
+		}
+	case FaultDuplicate:
+		// The message on A also appears on B: model by moving another
+		// input's route onto B's owner... the defining symptom is two
+		// inputs sharing an output; emulate by pointing the next routed
+		// input at A as well.
+		first := -1
+		for i := range out {
+			if out[i] == f.A {
+				first = i
+				break
+			}
+		}
+		if first >= 0 {
+			for i := range out {
+				if i != first && out[i] >= 0 {
+					out[i] = f.A
+					break
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// RandomFault draws a random non-trivial fault configuration for sw.
+func RandomFault(rng *rand.Rand, sw core.Concentrator) (*FaultySwitch, error) {
+	kinds := []FaultKind{FaultDropOutput, FaultStuckOutput, FaultSwapOutputs, FaultDuplicate}
+	kind := kinds[rng.Intn(len(kinds))]
+	m := sw.Outputs()
+	a := rng.Intn(m)
+	b := a
+	if m > 1 {
+		for b == a {
+			b = rng.Intn(m)
+		}
+	}
+	return NewFaultySwitch(sw, kind, a, b)
+}

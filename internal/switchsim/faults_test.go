@@ -1,0 +1,171 @@
+package switchsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/nearsort"
+)
+
+// Mutation testing of the verification layer: each injected physical
+// fault that violates the §1 concentrator contract must be caught by
+// CheckPartialConcentration on some input; benign faults must pass.
+
+func perfect16(t *testing.T) core.Concentrator {
+	t.Helper()
+	sw, err := core.NewPerfectSwitch(16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func fullLoad(n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n/2; i++ {
+		v.Set(i, true)
+	}
+	return v
+}
+
+func TestFaultKindString(t *testing.T) {
+	for k, want := range map[FaultKind]string{
+		FaultNone: "none", FaultDropOutput: "drop-output",
+		FaultStuckOutput: "stuck-output", FaultSwapOutputs: "swap-outputs",
+		FaultDuplicate: "duplicate",
+	} {
+		if k.String() != want {
+			t.Errorf("FaultKind %d = %q", k, k.String())
+		}
+	}
+}
+
+func TestNewFaultySwitchValidation(t *testing.T) {
+	sw := perfect16(t)
+	if _, err := NewFaultySwitch(sw, FaultDropOutput, 8, 0); err == nil {
+		t.Error("accepted out-of-range output")
+	}
+	if _, err := NewFaultySwitch(sw, FaultSwapOutputs, 2, 2); err == nil {
+		t.Error("accepted swap with a == b")
+	}
+}
+
+func TestFaultNoneIsTransparent(t *testing.T) {
+	sw := perfect16(t)
+	f, err := NewFaultySwitch(sw, FaultNone, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := fullLoad(16)
+	out, err := f.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nearsort.CheckPartialConcentration(v, out, 8, 0); err != nil {
+		t.Errorf("transparent fault flagged: %v", err)
+	}
+}
+
+func TestDropOutputFaultDetected(t *testing.T) {
+	sw := perfect16(t)
+	f, _ := NewFaultySwitch(sw, FaultDropOutput, 3, 0)
+	v := fullLoad(16) // k = 8 = m: every output must carry a message
+	out, err := f.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nearsort.CheckPartialConcentration(v, out, 8, 0); err == nil {
+		t.Error("dead output wire not detected")
+	}
+}
+
+func TestStuckOutputFaultDetected(t *testing.T) {
+	sw := perfect16(t)
+	f, _ := NewFaultySwitch(sw, FaultStuckOutput, 2, 0)
+	v := fullLoad(16)
+	out, err := f.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nearsort.CheckPartialConcentration(v, out, 8, 0); err == nil {
+		t.Error("stuck-at output not detected")
+	}
+}
+
+func TestDuplicateFaultDetected(t *testing.T) {
+	sw := perfect16(t)
+	f, _ := NewFaultySwitch(sw, FaultDuplicate, 0, 0)
+	v := fullLoad(16)
+	out, err := f.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nearsort.CheckPartialConcentration(v, out, 8, 0); err == nil {
+		t.Error("duplicated output not detected")
+	}
+}
+
+// A swap of two output wires does NOT violate the §1 contract: the
+// messages still occupy distinct outputs. The checker must treat it as
+// benign — concentrators don't promise WHICH output a message exits on.
+func TestSwapFaultIsBenign(t *testing.T) {
+	sw := perfect16(t)
+	f, _ := NewFaultySwitch(sw, FaultSwapOutputs, 1, 5)
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		v := bitvec.New(16)
+		for i := 0; i < 16; i++ {
+			v.Set(i, rng.Intn(2) == 1)
+		}
+		out, err := f.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nearsort.CheckPartialConcentration(v, out, 8, 0); err != nil {
+			t.Fatalf("benign swap flagged: %v", err)
+		}
+	}
+}
+
+// The end-to-end guarantee checker also catches faults through the
+// bit-serial simulation path.
+func TestCheckGuaranteeCatchesFaults(t *testing.T) {
+	sw := perfect16(t)
+	f, _ := NewFaultySwitch(sw, FaultDropOutput, 0, 0)
+	var msgs []Message
+	for i := 0; i < 8; i++ {
+		msgs = append(msgs, NewMessage(i, []byte{byte(i)}))
+	}
+	res, err := Run(f, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGuarantee(f, msgs, res); err == nil {
+		t.Error("CheckGuarantee missed a dead output under full load")
+	}
+}
+
+// Random fault sampling: every generated fault either passes the
+// checker on all patterns (benign) or is caught on at least one
+// pattern; no fault may crash the route.
+func TestRandomFaultsNeverCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	sw := perfect16(t)
+	for trial := 0; trial < 60; trial++ {
+		f, err := RandomFault(rng, sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rep := 0; rep < 10; rep++ {
+			v := bitvec.New(16)
+			for i := 0; i < 16; i++ {
+				v.Set(i, rng.Intn(2) == 1)
+			}
+			if _, err := f.Route(v); err != nil {
+				t.Fatalf("%v fault crashed: %v", f.Kind, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package switchsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"concentrators/internal/core"
+)
+
+// Policy is a congestion-control discipline for messages that a
+// congested switch could not route — the three options §1 of the paper
+// names: "to buffer them, to misroute them, or to simply drop them and
+// rely on a higher-level acknowledgment protocol to detect this
+// situation and resend them."
+type Policy int
+
+// The congestion-control policies of §1.
+const (
+	// Drop discards unrouted messages permanently.
+	Drop Policy = iota
+	// Resend re-offers unrouted messages in the next round (the
+	// acknowledgment-protocol model: the sender learns of the drop
+	// after the round and retries).
+	Resend
+	// Buffer holds unrouted messages at their input wire; the input
+	// cannot accept a new message until its buffered one departs.
+	Buffer
+	// Misroute deflects unrouted messages: they wander the network for
+	// a round and re-enter at a random free input next round. The
+	// original input is NOT blocked (the message has left the sender),
+	// but a deflected message may displace nothing — if no input is
+	// free it keeps wandering.
+	Misroute
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case Drop:
+		return "drop"
+	case Resend:
+		return "resend"
+	case Buffer:
+		return "buffer"
+	case Misroute:
+		return "misroute"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// SessionConfig drives a multi-round Session.
+type SessionConfig struct {
+	Policy Policy
+	// Load is the per-input probability of a new message each round.
+	Load float64
+	// Rounds is the number of setup-and-stream rounds to simulate.
+	Rounds int
+	// PayloadBits is the payload length of each message.
+	PayloadBits int
+	// Seed feeds the traffic generator.
+	Seed int64
+	// AckDelay (Resend policy only) is the extra rounds before the
+	// sender learns of a drop and retries — the acknowledgment
+	// protocol's round trip. Zero means retry the very next round,
+	// which makes Resend behave like Buffer; a real ack protocol has
+	// AckDelay ≥ 1.
+	AckDelay int
+}
+
+// SessionStats summarizes a Session run.
+type SessionStats struct {
+	Policy    Policy
+	Offered   int // messages generated
+	Delivered int
+	Dropped   int // permanently lost (Drop policy only)
+	Refused   int // arrivals refused because the input was occupied (Buffer)
+	Retries   int // re-offered attempts (Resend/Buffer)
+	// LatencyHistogram[r] counts messages delivered r rounds after
+	// their first offer (0 = same round).
+	LatencyHistogram map[int]int
+	// MaxBacklog is the peak number of waiting messages.
+	MaxBacklog int
+}
+
+// MeanLatency returns the average delivery latency in rounds.
+func (s SessionStats) MeanLatency() float64 {
+	total, count := 0, 0
+	for r, c := range s.LatencyHistogram {
+		total += r * c
+		count += c
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(total) / float64(count)
+}
+
+type pendingMsg struct {
+	input      int
+	firstRound int
+	// eligible is the first round this message may be (re-)offered.
+	eligible int
+}
+
+// RunSession simulates a multi-round message session through the switch
+// under the configured congestion-control policy. Each round: pending
+// and newly generated messages are offered (one per input wire), the
+// switch routes, and unrouted messages are handled per policy.
+func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) {
+	if cfg.Rounds < 1 {
+		return nil, fmt.Errorf("switchsim: session needs ≥ 1 round")
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return nil, fmt.Errorf("switchsim: load %v out of [0,1]", cfg.Load)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := sw.Inputs()
+	stats := &SessionStats{Policy: cfg.Policy, LatencyHistogram: map[int]int{}}
+
+	// waiting[input] = message occupying that input (Buffer), or the
+	// retry pool (Resend).
+	buffered := make(map[int]*pendingMsg) // Buffer policy: keyed by input
+	var retryPool []*pendingMsg           // Resend policy
+
+	for round := 0; round < cfg.Rounds; round++ {
+		offered := map[int]*pendingMsg{}
+		// busy marks inputs whose sender is still blocked on an
+		// unacknowledged message that is not yet eligible to retry.
+		busy := map[int]bool{}
+
+		switch cfg.Policy {
+		case Buffer:
+			for in, pm := range buffered {
+				offered[in] = pm
+				stats.Retries++
+			}
+		case Misroute:
+			// Deflected messages re-enter at random free inputs; with
+			// every input occupied they keep wandering another round.
+			var wandering []*pendingMsg
+			for _, pm := range retryPool {
+				in := -1
+				for _, cand := range rng.Perm(n) {
+					if offered[cand] == nil {
+						in = cand
+						break
+					}
+				}
+				if in == -1 {
+					wandering = append(wandering, pm)
+					continue
+				}
+				pm.input = in
+				offered[in] = pm
+				stats.Retries++
+			}
+			retryPool = wandering
+
+		case Resend:
+			// Retried messages re-enter on their original inputs once
+			// the ack round trip elapses; if a new arrival also wants
+			// the input, the retry wins (the sender is still blocked).
+			var stillWaiting []*pendingMsg
+			for _, pm := range retryPool {
+				if pm.eligible > round {
+					stillWaiting = append(stillWaiting, pm)
+					busy[pm.input] = true
+					continue
+				}
+				if offered[pm.input] != nil {
+					// Two retries for one input cannot happen: the pool
+					// holds at most one per input.
+					return nil, fmt.Errorf("switchsim: duplicate retry for input %d", pm.input)
+				}
+				offered[pm.input] = pm
+				stats.Retries++
+			}
+			retryPool = stillWaiting
+		}
+
+		// New arrivals.
+		for in := 0; in < n; in++ {
+			if rng.Float64() >= cfg.Load {
+				continue
+			}
+			if offered[in] != nil || busy[in] {
+				stats.Refused++
+				continue
+			}
+			offered[in] = &pendingMsg{input: in, firstRound: round}
+			stats.Offered++
+		}
+
+		if len(offered) > stats.MaxBacklog {
+			stats.MaxBacklog = len(offered)
+		}
+		if len(offered) == 0 {
+			continue
+		}
+
+		var msgs []Message
+		for in := range offered {
+			payload := make([]byte, cfg.PayloadBits)
+			for b := range payload {
+				payload[b] = byte(rng.Intn(2))
+			}
+			msgs = append(msgs, Message{Input: in, Payload: payload})
+		}
+		res, err := Run(sw, msgs)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range res.Delivered {
+			pm := offered[d.Input]
+			stats.Delivered++
+			stats.LatencyHistogram[round-pm.firstRound]++
+		}
+		buffered = map[int]*pendingMsg{}
+		for _, in := range res.DroppedInputs {
+			pm := offered[in]
+			switch cfg.Policy {
+			case Drop:
+				stats.Dropped++
+			case Resend:
+				pm.eligible = round + 1 + cfg.AckDelay
+				retryPool = append(retryPool, pm)
+			case Misroute:
+				retryPool = append(retryPool, pm)
+			case Buffer:
+				buffered[in] = pm
+			}
+		}
+	}
+	return stats, nil
+}

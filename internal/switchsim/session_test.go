@@ -1,0 +1,217 @@
+package switchsim
+
+import (
+	"testing"
+
+	"concentrators/internal/core"
+)
+
+func smallSwitch(t *testing.T) core.Concentrator {
+	t.Helper()
+	sw, err := core.NewPerfectSwitch(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestRunSessionValidation(t *testing.T) {
+	sw := smallSwitch(t)
+	if _, err := RunSession(sw, SessionConfig{Rounds: 0}); err == nil {
+		t.Error("accepted zero rounds")
+	}
+	if _, err := RunSession(sw, SessionConfig{Rounds: 1, Load: 1.5}); err == nil {
+		t.Error("accepted load > 1")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Drop.String() != "drop" || Resend.String() != "resend" ||
+		Buffer.String() != "buffer" || Misroute.String() != "misroute" {
+		t.Error("policy names wrong")
+	}
+}
+
+// Misroute (deflection): nothing is lost, the sender's input is not
+// blocked, and deflected messages pay latency.
+func TestSessionMisroute(t *testing.T) {
+	sw := smallSwitch(t)
+	stats, err := RunSession(sw, SessionConfig{
+		Policy: Misroute, Load: 0.9, Rounds: 200, PayloadBits: 4, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Dropped != 0 {
+		t.Error("misroute should not permanently drop")
+	}
+	if stats.Retries == 0 {
+		t.Error("overloaded misroute should deflect")
+	}
+	if stats.MeanLatency() <= 0 {
+		t.Error("deflection should pay latency")
+	}
+	// Conservation.
+	pending := stats.Offered - stats.Delivered
+	if pending < 0 {
+		t.Errorf("negative pending: %d", pending)
+	}
+	// Throughput still capped at m per round.
+	if stats.Delivered > 200*4 {
+		t.Errorf("delivered %d exceeds capacity", stats.Delivered)
+	}
+}
+
+// Conservation: offered messages are exactly delivered + dropped +
+// still pending at the end.
+func TestSessionConservation(t *testing.T) {
+	sw := smallSwitch(t)
+	for _, pol := range []Policy{Drop, Resend, Buffer} {
+		stats, err := RunSession(sw, SessionConfig{
+			Policy: pol, Load: 0.8, Rounds: 50, PayloadBits: 4, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pendingAtEnd := stats.Offered - stats.Delivered - stats.Dropped
+		if pendingAtEnd < 0 {
+			t.Fatalf("%v: negative pending (%d)", pol, pendingAtEnd)
+		}
+		if pol == Drop && pendingAtEnd != 0 {
+			t.Fatalf("drop policy should leave nothing pending, got %d", pendingAtEnd)
+		}
+		if pol != Drop && stats.Dropped != 0 {
+			t.Fatalf("%v: should never permanently drop, got %d", pol, stats.Dropped)
+		}
+		delivered := 0
+		for _, c := range stats.LatencyHistogram {
+			delivered += c
+		}
+		if delivered != stats.Delivered {
+			t.Fatalf("%v: latency histogram sums to %d, delivered %d", pol, delivered, stats.Delivered)
+		}
+	}
+}
+
+// Under light load every policy behaves identically: everything
+// delivered in the same round.
+func TestSessionLightLoadAllSame(t *testing.T) {
+	sw := smallSwitch(t)
+	for _, pol := range []Policy{Drop, Resend, Buffer} {
+		stats, err := RunSession(sw, SessionConfig{
+			Policy: pol, Load: 0.05, Rounds: 100, PayloadBits: 4, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Offered == 0 {
+			t.Fatalf("%v: no traffic generated", pol)
+		}
+		sameRound := stats.LatencyHistogram[0]
+		if float64(sameRound) < 0.95*float64(stats.Delivered) {
+			t.Errorf("%v: light load should deliver almost everything immediately (%d of %d)",
+				pol, sameRound, stats.Delivered)
+		}
+	}
+}
+
+// Under overload the §1 tradeoff appears: Drop loses messages with zero
+// latency; Resend/Buffer lose nothing permanently but pay latency.
+func TestSessionOverloadTradeoffs(t *testing.T) {
+	sw := smallSwitch(t) // 16 inputs, 4 outputs: heavily oversubscribed
+	cfg := SessionConfig{Load: 0.9, Rounds: 200, PayloadBits: 4, Seed: 11}
+
+	cfg.Policy = Drop
+	drop, err := RunSession(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop.Dropped == 0 {
+		t.Error("overloaded drop policy should drop")
+	}
+	if drop.MeanLatency() != 0 {
+		t.Errorf("drop policy latency = %v, want 0", drop.MeanLatency())
+	}
+
+	cfg.Policy = Resend
+	resend, err := RunSession(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resend.Retries == 0 {
+		t.Error("overloaded resend policy should retry")
+	}
+	if resend.MeanLatency() <= 0 {
+		t.Error("resend policy should pay latency under overload")
+	}
+
+	cfg.Policy = Buffer
+	buffer, err := RunSession(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buffer.Refused == 0 {
+		t.Error("overloaded buffer policy should refuse arrivals at occupied inputs")
+	}
+	if buffer.MeanLatency() <= 0 {
+		t.Error("buffer policy should pay latency under overload")
+	}
+
+	// With a positive ack delay, resend pays strictly more latency than
+	// buffer (the §1 distinction between in-network buffering and the
+	// acknowledgment protocol).
+	cfg.Policy = Resend
+	cfg.AckDelay = 3
+	resendAck, err := RunSession(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resendAck.MeanLatency() <= buffer.MeanLatency() {
+		t.Errorf("resend with ack delay (%.2f) should exceed buffer latency (%.2f)",
+			resendAck.MeanLatency(), buffer.MeanLatency())
+	}
+	cfg.AckDelay = 0
+
+	// Throughput is capped by m per round in all cases; none can exceed
+	// rounds·m.
+	capacity := 200 * 4
+	for _, s := range []*SessionStats{drop, resend, buffer} {
+		if s.Delivered > capacity {
+			t.Errorf("%v delivered %d > capacity %d", s.Policy, s.Delivered, capacity)
+		}
+	}
+	// All policies saturate: delivered ≈ capacity under heavy load.
+	for _, s := range []*SessionStats{drop, resend, buffer} {
+		if float64(s.Delivered) < 0.9*float64(capacity) {
+			t.Errorf("%v delivered %d, expected near capacity %d", s.Policy, s.Delivered, capacity)
+		}
+	}
+}
+
+// The session machinery also works with a partial concentrator, whose
+// guarantee threshold (not m) governs the loss onset.
+func TestSessionWithPartialConcentrator(t *testing.T) {
+	sw, err := core.NewColumnsortSwitch(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunSession(sw, SessionConfig{
+		Policy: Resend, Load: 0.5, Rounds: 100, PayloadBits: 4, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered == 0 || stats.Offered == 0 {
+		t.Fatal("no traffic flowed")
+	}
+	if stats.Dropped != 0 {
+		t.Error("resend should not permanently drop")
+	}
+}
+
+func TestMeanLatencyEmpty(t *testing.T) {
+	s := SessionStats{LatencyHistogram: map[int]int{}}
+	if s.MeanLatency() != 0 {
+		t.Error("empty histogram should have zero mean")
+	}
+}

@@ -1,0 +1,282 @@
+// Package switchsim simulates bit-serial message routing through the
+// concentrator switches, following the message format of §2 of the
+// paper: during the setup cycle each input wire presents a valid bit;
+// the valid bits establish electrical paths inside the (combinational)
+// switch; message bits arriving on subsequent cycles follow those
+// paths, one bit per clock cycle.
+//
+// The simulator makes the paper's guarantees observable end to end: it
+// streams real payloads, records which messages were delivered or
+// dropped under congestion, and exposes per-cycle output wire states.
+package switchsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/nearsort"
+)
+
+// Message is a bit-serial message presented at an input wire.
+type Message struct {
+	// Input is the input wire index.
+	Input int
+	// Payload is the bit stream following the valid bit (values 0/1).
+	Payload []byte
+}
+
+// NewMessage builds a message whose payload encodes the given bytes
+// MSB-first, 8 bits per byte.
+func NewMessage(input int, data []byte) Message {
+	payload := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for bit := 7; bit >= 0; bit-- {
+			payload = append(payload, (b>>uint(bit))&1)
+		}
+	}
+	return Message{Input: input, Payload: payload}
+}
+
+// DecodePayload reassembles bytes from an MSB-first bit stream,
+// ignoring a trailing partial byte.
+func DecodePayload(bits []byte) []byte {
+	out := make([]byte, 0, len(bits)/8)
+	for i := 0; i+8 <= len(bits); i += 8 {
+		var b byte
+		for j := 0; j < 8; j++ {
+			b = b<<1 | (bits[i+j] & 1)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// Delivery records one delivered message.
+type Delivery struct {
+	Input   int
+	Output  int
+	Payload []byte
+}
+
+// Result is the outcome of one setup-and-stream simulation.
+type Result struct {
+	// Delivered lists successfully routed messages, in input order.
+	Delivered []Delivery
+	// DroppedInputs lists input wires whose messages found no output
+	// (switch congestion: k exceeded the switch's capability).
+	DroppedInputs []int
+	// Cycles is the total clock count: 1 setup cycle plus the longest
+	// payload.
+	Cycles int
+	// OutputStream[o][c] is the bit on output wire o at payload cycle
+	// c; wires with no established path idle at 0.
+	OutputStream [][]byte
+	// Valid is the valid-bit pattern presented at setup.
+	Valid *bitvec.Vector
+	// Routing is the raw out mapping from the switch's setup.
+	Routing []int
+}
+
+// Run simulates the given messages through the switch: one setup cycle
+// establishes paths, then payload bits stream along them. Messages may
+// have different lengths; shorter streams idle at 0 after their last
+// bit, exactly as a real wire would.
+func Run(sw core.Concentrator, msgs []Message) (*Result, error) {
+	n, m := sw.Inputs(), sw.Outputs()
+	valid := bitvec.New(n)
+	byInput := make(map[int]*Message, len(msgs))
+	maxLen := 0
+	for i := range msgs {
+		msg := &msgs[i]
+		if msg.Input < 0 || msg.Input >= n {
+			return nil, fmt.Errorf("switchsim: message input %d out of range [0,%d)", msg.Input, n)
+		}
+		if byInput[msg.Input] != nil {
+			return nil, fmt.Errorf("switchsim: two messages on input %d", msg.Input)
+		}
+		byInput[msg.Input] = msg
+		valid.Set(msg.Input, true)
+		if len(msg.Payload) > maxLen {
+			maxLen = len(msg.Payload)
+		}
+	}
+
+	routing, err := sw.Route(valid)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Cycles:       1 + maxLen,
+		OutputStream: make([][]byte, m),
+		Valid:        valid,
+		Routing:      routing,
+	}
+	for o := range res.OutputStream {
+		res.OutputStream[o] = make([]byte, maxLen)
+	}
+
+	// Stream payload bits cycle by cycle along the established paths.
+	for c := 0; c < maxLen; c++ {
+		for in, msg := range byInput {
+			o := routing[in]
+			if o < 0 || c >= len(msg.Payload) {
+				continue
+			}
+			res.OutputStream[o][c] = msg.Payload[c] & 1
+		}
+	}
+
+	for i := range msgs {
+		msg := &msgs[i]
+		if o := routing[msg.Input]; o >= 0 {
+			res.Delivered = append(res.Delivered, Delivery{
+				Input:   msg.Input,
+				Output:  o,
+				Payload: res.OutputStream[o][:len(msg.Payload)],
+			})
+		} else {
+			res.DroppedInputs = append(res.DroppedInputs, msg.Input)
+		}
+	}
+	return res, nil
+}
+
+// CheckGuarantee verifies the §1 partial-concentrator delivery
+// guarantee on a Result obtained from the given switch: with k entering
+// messages it must deliver min(k, m−ε) of them, with disjoint output
+// paths and intact payloads.
+func CheckGuarantee(sw core.Concentrator, msgs []Message, res *Result) error {
+	if err := nearsort.CheckPartialConcentration(res.Valid, res.Routing, sw.Outputs(), sw.EpsilonBound()); err != nil {
+		return err
+	}
+	byInput := make(map[int][]byte, len(msgs))
+	for _, msg := range msgs {
+		byInput[msg.Input] = msg.Payload
+	}
+	for _, d := range res.Delivered {
+		want := byInput[d.Input]
+		if len(d.Payload) != len(want) {
+			return fmt.Errorf("switchsim: message from input %d delivered %d bits, sent %d",
+				d.Input, len(d.Payload), len(want))
+		}
+		for c := range want {
+			if d.Payload[c] != want[c]&1 {
+				return fmt.Errorf("switchsim: message from input %d corrupted at cycle %d", d.Input, c)
+			}
+		}
+	}
+	if len(res.Delivered)+len(res.DroppedInputs) != len(msgs) {
+		return fmt.Errorf("switchsim: %d delivered + %d dropped != %d sent",
+			len(res.Delivered), len(res.DroppedInputs), len(msgs))
+	}
+	return nil
+}
+
+// RandomMessages generates one message per input with independent
+// probability load, each with a payloadBits-bit random payload.
+func RandomMessages(rng *rand.Rand, n int, load float64, payloadBits int) []Message {
+	var msgs []Message
+	for i := 0; i < n; i++ {
+		if rng.Float64() < load {
+			p := make([]byte, payloadBits)
+			for b := range p {
+				p[b] = byte(rng.Intn(2))
+			}
+			msgs = append(msgs, Message{Input: i, Payload: p})
+		}
+	}
+	return msgs
+}
+
+// Pipeline chains concentrator switches: stage i's output wire o feeds
+// stage i+1's input wire o. This is how a routing network composes
+// concentrators (§1: "the switches that route these messages").
+type Pipeline struct {
+	stages []core.Concentrator
+}
+
+// NewPipeline validates that adjacent stages have compatible widths
+// (stage i's Outputs ≥ ... precisely, stage i+1 must have at least as
+// many inputs as stage i has outputs; extra inputs idle).
+func NewPipeline(stages ...core.Concentrator) (*Pipeline, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("switchsim: empty pipeline")
+	}
+	for i := 0; i+1 < len(stages); i++ {
+		if stages[i+1].Inputs() < stages[i].Outputs() {
+			return nil, fmt.Errorf("switchsim: stage %d has %d outputs but stage %d only %d inputs",
+				i, stages[i].Outputs(), i+1, stages[i+1].Inputs())
+		}
+	}
+	return &Pipeline{stages: append([]core.Concentrator(nil), stages...)}, nil
+}
+
+// Stages returns the number of stages.
+func (p *Pipeline) Stages() int { return len(p.stages) }
+
+// Inputs returns the first stage's input count.
+func (p *Pipeline) Inputs() int { return p.stages[0].Inputs() }
+
+// Outputs returns the last stage's output count.
+func (p *Pipeline) Outputs() int { return p.stages[len(p.stages)-1].Outputs() }
+
+// GateDelays sums the stage delays.
+func (p *Pipeline) GateDelays() int {
+	d := 0
+	for _, s := range p.stages {
+		d += s.GateDelays()
+	}
+	return d
+}
+
+// PipelineResult describes an end-to-end pipeline run.
+type PipelineResult struct {
+	// Delivered maps original input wire → final output wire.
+	Delivered map[int]int
+	// DroppedAtStage[i] lists original inputs dropped at stage i.
+	DroppedAtStage [][]int
+	// PerStage holds each stage's Result.
+	PerStage []*Result
+}
+
+// Run streams messages through every stage. Message identity is
+// tracked across stages by payload position; a message dropped at any
+// stage is recorded against that stage.
+func (p *Pipeline) Run(msgs []Message) (*PipelineResult, error) {
+	pr := &PipelineResult{
+		Delivered:      make(map[int]int),
+		DroppedAtStage: make([][]int, len(p.stages)),
+	}
+	// origin[input wire of current stage] = original input index
+	origin := make(map[int]int, len(msgs))
+	cur := make([]Message, len(msgs))
+	copy(cur, msgs)
+	for i := range cur {
+		origin[cur[i].Input] = cur[i].Input
+	}
+	for si, sw := range p.stages {
+		res, err := Run(sw, cur)
+		if err != nil {
+			return nil, fmt.Errorf("switchsim: stage %d: %w", si, err)
+		}
+		pr.PerStage = append(pr.PerStage, res)
+		for _, in := range res.DroppedInputs {
+			pr.DroppedAtStage[si] = append(pr.DroppedAtStage[si], origin[in])
+		}
+		nextOrigin := make(map[int]int, len(res.Delivered))
+		var next []Message
+		for _, d := range res.Delivered {
+			nextOrigin[d.Output] = origin[d.Input]
+			next = append(next, Message{Input: d.Output, Payload: d.Payload})
+		}
+		origin = nextOrigin
+		cur = next
+	}
+	for out, orig := range origin {
+		pr.Delivered[orig] = out
+	}
+	return pr, nil
+}

@@ -1,0 +1,315 @@
+package switchsim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/core"
+)
+
+func TestNewMessageAndDecode(t *testing.T) {
+	m := NewMessage(3, []byte("Hi"))
+	if m.Input != 3 || len(m.Payload) != 16 {
+		t.Fatalf("message = %+v", m)
+	}
+	if got := DecodePayload(m.Payload); !bytes.Equal(got, []byte("Hi")) {
+		t.Errorf("decode = %q", got)
+	}
+	// Trailing partial byte ignored.
+	if got := DecodePayload(m.Payload[:12]); !bytes.Equal(got, []byte("H")) {
+		t.Errorf("partial decode = %q", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	sw, _ := core.NewPerfectSwitch(4, 2)
+	if _, err := Run(sw, []Message{{Input: 4}}); err == nil {
+		t.Error("accepted out-of-range input")
+	}
+	if _, err := Run(sw, []Message{{Input: 1}, {Input: 1}}); err == nil {
+		t.Error("accepted duplicate input")
+	}
+}
+
+func TestRunDeliversIntactPayloads(t *testing.T) {
+	sw, _ := core.NewPerfectSwitch(8, 8)
+	msgs := []Message{
+		NewMessage(1, []byte("alpha")),
+		NewMessage(4, []byte("beta")),
+		NewMessage(7, []byte("c")),
+	}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGuarantee(sw, msgs, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delivered) != 3 || len(res.DroppedInputs) != 0 {
+		t.Fatalf("delivered %d, dropped %d", len(res.Delivered), len(res.DroppedInputs))
+	}
+	// Stable hyperconcentrator: messages exit on outputs 0,1,2 in input
+	// order.
+	texts := map[int]string{0: "alpha", 1: "beta", 2: "c"}
+	for _, d := range res.Delivered {
+		if got := string(DecodePayload(d.Payload)); got != texts[d.Output] {
+			t.Errorf("output %d carries %q, want %q", d.Output, got, texts[d.Output])
+		}
+	}
+	if res.Cycles != 1+5*8 {
+		t.Errorf("Cycles = %d, want %d", res.Cycles, 1+40)
+	}
+}
+
+func TestRunCongestionDropsExcess(t *testing.T) {
+	sw, _ := core.NewPerfectSwitch(8, 2)
+	var msgs []Message
+	for i := 0; i < 5; i++ {
+		msgs = append(msgs, NewMessage(i, []byte{byte(i)}))
+	}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delivered) != 2 || len(res.DroppedInputs) != 3 {
+		t.Fatalf("delivered %d, dropped %d; want 2, 3", len(res.Delivered), len(res.DroppedInputs))
+	}
+	if err := CheckGuarantee(sw, msgs, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIdleOutputsStayLow(t *testing.T) {
+	sw, _ := core.NewPerfectSwitch(4, 4)
+	msgs := []Message{{Input: 2, Payload: []byte{1, 1, 1}}}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 1; o < 4; o++ {
+		for _, b := range res.OutputStream[o] {
+			if b != 0 {
+				t.Fatalf("idle output %d carried a 1", o)
+			}
+		}
+	}
+	for _, b := range res.OutputStream[0] {
+		if b != 1 {
+			t.Fatal("routed payload corrupted")
+		}
+	}
+}
+
+func TestMixedLengthPayloads(t *testing.T) {
+	sw, _ := core.NewPerfectSwitch(4, 4)
+	msgs := []Message{
+		{Input: 0, Payload: []byte{1}},
+		{Input: 1, Payload: []byte{1, 0, 1, 1}},
+	}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 5 {
+		t.Errorf("Cycles = %d, want 5", res.Cycles)
+	}
+	if err := CheckGuarantee(sw, msgs, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Bit-serial streaming through the actual multichip switches, with the
+// guarantee checker. This is the paper's Figure 3 / Figure 6 scenario
+// made executable.
+func TestMultichipSwitchesEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	rev, err := core.NewRevsortSwitch(64, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := core.NewColumnsortSwitch(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sw := range []core.Concentrator{rev, col} {
+		for trial := 0; trial < 40; trial++ {
+			load := rng.Float64()
+			msgs := RandomMessages(rng, sw.Inputs(), load, 16)
+			res, err := Run(sw, msgs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckGuarantee(sw, msgs, res); err != nil {
+				t.Fatalf("%s: %v", sw.Name(), err)
+			}
+		}
+	}
+}
+
+// The exact Figure 3 scenario: n=64, m=28, 24 valid messages — all 24
+// must be routed (24 ≤ αm).
+func TestFigure3Scenario(t *testing.T) {
+	sw, err := core.NewRevsortSwitch(64, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ε for n=64 is (2·⌈64^{1/4}⌉−1)·8 = 5·8 = 40 > m = 28: the
+	// worst-case bound is vacuous at the figure's size, yet the figure
+	// shows all 24 routed for its particular pattern. Check the real
+	// switch over many 24-message patterns: it must never fall far
+	// short, and full delivery must occur for some patterns (the
+	// figure's situation).
+	rng := rand.New(rand.NewSource(92))
+	sawFull := false
+	worst := 24
+	for trial := 0; trial < 100; trial++ {
+		perm := rng.Perm(64)[:24]
+		var msgs []Message
+		for _, in := range perm {
+			msgs = append(msgs, NewMessage(in, []byte{byte(in)}))
+		}
+		res, err := Run(sw, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Delivered) == 24 {
+			sawFull = true
+		}
+		if len(res.Delivered) < worst {
+			worst = len(res.Delivered)
+		}
+	}
+	if !sawFull {
+		t.Error("Figure 3: no 24-message pattern was fully routed")
+	}
+	if worst < 20 {
+		t.Errorf("Figure 3: worst delivery %d of 24 is implausibly low", worst)
+	}
+}
+
+// The exact Figure 6 scenario: r=8, s=4 (n=32), m=18, 14 valid
+// messages: αm = 18−9 = 9 guaranteed; the figure shows all 14 routed.
+func TestFigure6Scenario(t *testing.T) {
+	sw, err := core.NewColumnsortSwitch(8, 4, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(93))
+	perm := rng.Perm(32)[:14]
+	var msgs []Message
+	for _, in := range perm {
+		msgs = append(msgs, NewMessage(in, []byte{byte(in)}))
+	}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckGuarantee(sw, msgs, res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Delivered) != 14 {
+		t.Errorf("Figure 6: delivered %d of 14 messages", len(res.Delivered))
+	}
+}
+
+func TestRandomMessagesLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	msgs := RandomMessages(rng, 1000, 0.3, 8)
+	if len(msgs) < 200 || len(msgs) > 400 {
+		t.Errorf("load 0.3 over 1000 inputs produced %d messages", len(msgs))
+	}
+	seen := map[int]bool{}
+	for _, m := range msgs {
+		if seen[m.Input] {
+			t.Fatal("duplicate input")
+		}
+		seen[m.Input] = true
+		if len(m.Payload) != 8 {
+			t.Fatal("wrong payload length")
+		}
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if _, err := NewPipeline(); err == nil {
+		t.Error("accepted empty pipeline")
+	}
+	a, _ := core.NewPerfectSwitch(8, 6)
+	b, _ := core.NewPerfectSwitch(4, 2)
+	if _, err := NewPipeline(a, b); err == nil {
+		t.Error("accepted incompatible stages")
+	}
+}
+
+func TestPipelineTwoStage(t *testing.T) {
+	// 32 → 16 → 4: two perfect concentrators in series.
+	a, _ := core.NewPerfectSwitch(32, 16)
+	b, _ := core.NewPerfectSwitch(16, 4)
+	p, err := NewPipeline(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Stages() != 2 || p.Inputs() != 32 || p.Outputs() != 4 {
+		t.Error("pipeline accessors wrong")
+	}
+	if p.GateDelays() != a.GateDelays()+b.GateDelays() {
+		t.Error("pipeline delay should sum stages")
+	}
+	rng := rand.New(rand.NewSource(95))
+	msgs := RandomMessages(rng, 32, 0.5, 8)
+	pr, err := p.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelivered := len(msgs)
+	if wantDelivered > 4 {
+		wantDelivered = 4
+	}
+	if len(pr.Delivered) != wantDelivered {
+		t.Errorf("delivered %d, want %d", len(pr.Delivered), wantDelivered)
+	}
+	totalDropped := 0
+	for _, ds := range pr.DroppedAtStage {
+		totalDropped += len(ds)
+	}
+	if len(pr.Delivered)+totalDropped != len(msgs) {
+		t.Error("messages unaccounted for")
+	}
+	// Outputs distinct and in range.
+	used := map[int]bool{}
+	for orig, out := range pr.Delivered {
+		if out < 0 || out >= 4 || used[out] {
+			t.Fatalf("bad final output %d for input %d", out, orig)
+		}
+		used[out] = true
+	}
+}
+
+// A pipeline mixing multichip partial concentrators: the §1 usage where
+// an (n/α, m/α, α) partial concentrator replaces an n-by-m perfect one.
+func TestPipelineWithPartialConcentrators(t *testing.T) {
+	col, err := core.NewColumnsortSwitch(16, 4, 32) // 64 → 32, ε=9
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, _ := core.NewPerfectSwitch(32, 8)
+	p, err := NewPipeline(col, post)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(96))
+	for trial := 0; trial < 20; trial++ {
+		msgs := RandomMessages(rng, 64, 0.25, 8)
+		pr, err := p.Run(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With k ≈ 16 ≤ αm = 23 at stage 1, the partial concentrator
+		// must not drop anything; stage 2 keeps min(k, 8).
+		k := len(msgs)
+		if k <= 23 && len(pr.DroppedAtStage[0]) > 0 {
+			t.Fatalf("stage 1 dropped %d messages with k=%d ≤ αm", len(pr.DroppedAtStage[0]), k)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package switchsim
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteWaveform renders the output wires' bit streams as ASCII
+// waveforms, one row per output wire, logic-analyzer style:
+//
+//	out  0  ‾‾‾__‾‾ 10110
+//	out  1  ________ (idle)
+//
+// '‾' is a 1, '_' is a 0; idle wires (no established path) are marked.
+// maxCycles truncates long payloads (0 = all).
+func (r *Result) WriteWaveform(w io.Writer, maxCycles int) error {
+	cycles := 0
+	if len(r.OutputStream) > 0 {
+		cycles = len(r.OutputStream[0])
+	}
+	if maxCycles > 0 && cycles > maxCycles {
+		cycles = maxCycles
+	}
+	routedTo := make([]int, len(r.OutputStream))
+	for i := range routedTo {
+		routedTo[i] = -1
+	}
+	for in, o := range r.Routing {
+		if o >= 0 {
+			routedTo[o] = in
+		}
+	}
+	if _, err := fmt.Fprintf(w, "setup: valid=%s  (then %d payload cycles%s)\n",
+		r.Valid, cycles, truncNote(maxCycles, r)); err != nil {
+		return err
+	}
+	for o, stream := range r.OutputStream {
+		line := make([]byte, 0, cycles)
+		for c := 0; c < cycles && c < len(stream); c++ {
+			if stream[c] != 0 {
+				line = append(line, '1')
+			} else {
+				line = append(line, '_')
+			}
+		}
+		tag := "(idle)"
+		if routedTo[o] >= 0 {
+			tag = fmt.Sprintf("<- input %d", routedTo[o])
+		}
+		if _, err := fmt.Fprintf(w, "out %3d  %s %s\n", o, string(line), tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func truncNote(maxCycles int, r *Result) string {
+	if maxCycles > 0 && len(r.OutputStream) > 0 && len(r.OutputStream[0]) > maxCycles {
+		return ", truncated"
+	}
+	return ""
+}

@@ -1,0 +1,55 @@
+package switchsim
+
+import (
+	"strings"
+	"testing"
+
+	"concentrators/internal/core"
+)
+
+func TestWriteWaveform(t *testing.T) {
+	sw, _ := core.NewPerfectSwitch(4, 4)
+	msgs := []Message{
+		{Input: 1, Payload: []byte{1, 0, 1, 1}},
+		{Input: 3, Payload: []byte{0, 1, 0, 0}},
+	}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteWaveform(&sb, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "valid=0101") {
+		t.Errorf("missing valid bits:\n%s", out)
+	}
+	if !strings.Contains(out, "1_11 <- input 1") {
+		t.Errorf("missing routed waveform:\n%s", out)
+	}
+	if !strings.Contains(out, "(idle)") {
+		t.Errorf("missing idle marker:\n%s", out)
+	}
+}
+
+func TestWriteWaveformTruncation(t *testing.T) {
+	sw, _ := core.NewPerfectSwitch(2, 2)
+	msgs := []Message{{Input: 0, Payload: make([]byte, 50)}}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteWaveform(&sb, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "truncated") {
+		t.Error("missing truncation note")
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "out") && len(line) > 30 {
+			t.Errorf("line not truncated: %q", line)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package workload generates valid-bit patterns ("offered traffic") for
+// exercising concentrator switches. The paper's guarantees are
+// worst-case over all patterns; the generators cover random
+// (Bernoulli), fixed-load, bursty, and structured adversarial traffic,
+// plus exhaustive enumeration for small n.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"concentrators/internal/bitvec"
+)
+
+// Generator produces valid-bit patterns for n-input switches.
+type Generator interface {
+	// Name identifies the generator in reports.
+	Name() string
+	// Pattern returns one n-bit valid pattern.
+	Pattern(rng *rand.Rand, n int) *bitvec.Vector
+}
+
+// Bernoulli sets each valid bit independently with probability Load.
+type Bernoulli struct {
+	Load float64
+}
+
+// Name implements Generator.
+func (b Bernoulli) Name() string { return fmt.Sprintf("bernoulli(%.2f)", b.Load) }
+
+// Pattern implements Generator.
+func (b Bernoulli) Pattern(rng *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Float64() < b.Load)
+	}
+	return v
+}
+
+// FixedCount places exactly K messages on uniformly random inputs
+// (clamped to n).
+type FixedCount struct {
+	K int
+}
+
+// Name implements Generator.
+func (f FixedCount) Name() string { return fmt.Sprintf("fixed(k=%d)", f.K) }
+
+// Pattern implements Generator.
+func (f FixedCount) Pattern(rng *rand.Rand, n int) *bitvec.Vector {
+	k := f.K
+	if k > n {
+		k = n
+	}
+	v := bitvec.New(n)
+	for _, i := range rng.Perm(n)[:k] {
+		v.Set(i, true)
+	}
+	return v
+}
+
+// Bursty produces contiguous runs of valid bits: processors that issue
+// messages in batches. Runs of geometric mean length BurstLen are
+// placed until the target Load fraction is reached.
+type Bursty struct {
+	Load     float64
+	BurstLen int
+}
+
+// Name implements Generator.
+func (b Bursty) Name() string { return fmt.Sprintf("bursty(%.2f,len=%d)", b.Load, b.BurstLen) }
+
+// Pattern implements Generator.
+func (b Bursty) Pattern(rng *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	target := int(b.Load * float64(n))
+	placed := 0
+	burst := b.BurstLen
+	if burst < 1 {
+		burst = 1
+	}
+	for guard := 0; placed < target && guard < 4*n; guard++ {
+		start := rng.Intn(n)
+		length := 1 + rng.Intn(2*burst)
+		for j := 0; j < length && placed < target; j++ {
+			i := (start + j) % n
+			if !v.Get(i) {
+				v.Set(i, true)
+				placed++
+			}
+		}
+	}
+	return v
+}
+
+// Structured adversarial patterns. These stress the mesh
+// constructions: traffic concentrated in a few input columns or rows of
+// the underlying matrix is what produces the dirty bands.
+type Structured struct {
+	Kind StructuredKind
+	// Param is pattern-specific: stripe period, block fraction
+	// numerator out of 8, etc.
+	Param int
+}
+
+// StructuredKind enumerates the structured patterns.
+type StructuredKind int
+
+// The structured pattern kinds.
+const (
+	// Checker sets every Param-th bit (period ≥ 2).
+	Checker StructuredKind = iota
+	// FrontBlock sets the first Param/8 fraction of inputs.
+	FrontBlock
+	// BackBlock sets the last Param/8 fraction of inputs.
+	BackBlock
+	// Stripes sets alternating runs of length Param.
+	Stripes
+	// SingleColumn emulates all traffic entering one column of a
+	// √n×√n mesh: bits i with i mod √n < Param.
+	SingleColumn
+)
+
+// Name implements Generator.
+func (s Structured) Name() string {
+	switch s.Kind {
+	case Checker:
+		return fmt.Sprintf("checker(%d)", s.Param)
+	case FrontBlock:
+		return fmt.Sprintf("front-block(%d/8)", s.Param)
+	case BackBlock:
+		return fmt.Sprintf("back-block(%d/8)", s.Param)
+	case Stripes:
+		return fmt.Sprintf("stripes(%d)", s.Param)
+	case SingleColumn:
+		return fmt.Sprintf("columns(<%d)", s.Param)
+	default:
+		return "structured(?)"
+	}
+}
+
+// Pattern implements Generator. The rng is unused: structured patterns
+// are deterministic.
+func (s Structured) Pattern(_ *rand.Rand, n int) *bitvec.Vector {
+	v := bitvec.New(n)
+	switch s.Kind {
+	case Checker:
+		p := s.Param
+		if p < 2 {
+			p = 2
+		}
+		for i := 0; i < n; i += p {
+			v.Set(i, true)
+		}
+	case FrontBlock:
+		for i := 0; i < n*s.Param/8; i++ {
+			v.Set(i, true)
+		}
+	case BackBlock:
+		for i := n - n*s.Param/8; i < n; i++ {
+			v.Set(i, true)
+		}
+	case Stripes:
+		p := s.Param
+		if p < 1 {
+			p = 1
+		}
+		for i := 0; i < n; i++ {
+			if (i/p)%2 == 0 {
+				v.Set(i, true)
+			}
+		}
+	case SingleColumn:
+		side := 1
+		for side*side < n {
+			side++
+		}
+		for i := 0; i < n; i++ {
+			if i%side < s.Param {
+				v.Set(i, true)
+			}
+		}
+	}
+	return v
+}
+
+// AdversarialSuite returns the standard set of structured patterns used
+// by the benches.
+func AdversarialSuite() []Generator {
+	return []Generator{
+		Structured{Kind: Checker, Param: 2},
+		Structured{Kind: Checker, Param: 3},
+		Structured{Kind: FrontBlock, Param: 4},
+		Structured{Kind: BackBlock, Param: 4},
+		Structured{Kind: BackBlock, Param: 2},
+		Structured{Kind: Stripes, Param: 4},
+		Structured{Kind: SingleColumn, Param: 1},
+		Structured{Kind: SingleColumn, Param: 2},
+	}
+}
+
+// Exhaustive enumerates every n-bit pattern; use only for small n.
+// It returns the number of patterns and a function mapping index →
+// pattern.
+func Exhaustive(n int) (count int, pattern func(idx int) *bitvec.Vector, err error) {
+	if n < 0 || n > 24 {
+		return 0, nil, fmt.Errorf("workload: exhaustive enumeration of %d bits is infeasible", n)
+	}
+	return 1 << uint(n), func(idx int) *bitvec.Vector {
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, idx&(1<<uint(i)) != 0)
+		}
+		return v
+	}, nil
+}
+
+// Collect draws count patterns from a generator.
+func Collect(g Generator, rng *rand.Rand, n, count int) []*bitvec.Vector {
+	out := make([]*bitvec.Vector, count)
+	for i := range out {
+		out[i] = g.Pattern(rng, n)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBernoulliLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Bernoulli{Load: 0.25}
+	total := 0
+	const n, trials = 1000, 20
+	for trial := 0; trial < trials; trial++ {
+		total += g.Pattern(rng, n).Count()
+	}
+	avg := float64(total) / trials / n
+	if avg < 0.2 || avg > 0.3 {
+		t.Errorf("bernoulli(0.25) produced average load %.3f", avg)
+	}
+	if g.Name() != "bernoulli(0.25)" {
+		t.Errorf("Name = %q", g.Name())
+	}
+}
+
+func TestFixedCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := FixedCount{K: 7}
+	for trial := 0; trial < 20; trial++ {
+		if got := g.Pattern(rng, 32).Count(); got != 7 {
+			t.Fatalf("count = %d, want 7", got)
+		}
+	}
+	// Clamped at n.
+	if got := (FixedCount{K: 100}).Pattern(rng, 8).Count(); got != 8 {
+		t.Errorf("clamped count = %d, want 8", got)
+	}
+}
+
+func TestBurstyApproximatesLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := Bursty{Load: 0.5, BurstLen: 8}
+	v := g.Pattern(rng, 1024)
+	k := v.Count()
+	if k < 400 || k > 520 {
+		t.Errorf("bursty(0.5) produced %d of 1024", k)
+	}
+	// Burstiness: the number of 0→1 boundaries should be far below k
+	// (i.e. the 1s are contiguous runs, not scattered).
+	boundaries := 0
+	for i := 1; i < v.Len(); i++ {
+		if v.Get(i) && !v.Get(i-1) {
+			boundaries++
+		}
+	}
+	if boundaries >= k/2 {
+		t.Errorf("bursty pattern has %d run starts for %d ones; not bursty", boundaries, k)
+	}
+}
+
+func TestStructuredPatterns(t *testing.T) {
+	n := 64
+	cases := []struct {
+		g     Structured
+		check func(v interface{ Get(int) bool }) bool
+	}{
+		{Structured{Kind: Checker, Param: 2}, func(v interface{ Get(int) bool }) bool {
+			return v.Get(0) && !v.Get(1) && v.Get(2)
+		}},
+		{Structured{Kind: FrontBlock, Param: 4}, func(v interface{ Get(int) bool }) bool {
+			return v.Get(0) && v.Get(31) && !v.Get(32)
+		}},
+		{Structured{Kind: BackBlock, Param: 4}, func(v interface{ Get(int) bool }) bool {
+			return !v.Get(31) && v.Get(32) && v.Get(63)
+		}},
+		{Structured{Kind: Stripes, Param: 4}, func(v interface{ Get(int) bool }) bool {
+			return v.Get(0) && v.Get(3) && !v.Get(4) && !v.Get(7) && v.Get(8)
+		}},
+		{Structured{Kind: SingleColumn, Param: 1}, func(v interface{ Get(int) bool }) bool {
+			return v.Get(0) && !v.Get(1) && v.Get(8) && v.Get(16)
+		}},
+	}
+	for _, c := range cases {
+		v := c.g.Pattern(nil, n)
+		if !c.check(v) {
+			t.Errorf("%s: unexpected pattern %v", c.g.Name(), v)
+		}
+		if c.g.Name() == "" {
+			t.Error("empty name")
+		}
+	}
+}
+
+func TestStructuredDeterministic(t *testing.T) {
+	g := Structured{Kind: Stripes, Param: 3}
+	a := g.Pattern(nil, 100)
+	b := g.Pattern(nil, 100)
+	if !a.Equal(b) {
+		t.Error("structured pattern not deterministic")
+	}
+}
+
+func TestAdversarialSuite(t *testing.T) {
+	suite := AdversarialSuite()
+	if len(suite) < 5 {
+		t.Fatalf("suite too small: %d", len(suite))
+	}
+	names := map[string]bool{}
+	for _, g := range suite {
+		if names[g.Name()] {
+			t.Errorf("duplicate generator %q", g.Name())
+		}
+		names[g.Name()] = true
+		if v := g.Pattern(nil, 64); v.Len() != 64 {
+			t.Errorf("%s: wrong length", g.Name())
+		}
+	}
+}
+
+func TestExhaustive(t *testing.T) {
+	count, pattern, err := Exhaustive(4)
+	if err != nil || count != 16 {
+		t.Fatalf("count=%d err=%v", count, err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < count; i++ {
+		seen[pattern(i).String()] = true
+	}
+	if len(seen) != 16 {
+		t.Errorf("enumerated %d distinct patterns, want 16", len(seen))
+	}
+	if _, _, err := Exhaustive(30); err == nil {
+		t.Error("accepted infeasible n")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vs := Collect(Bernoulli{Load: 0.5}, rng, 16, 10)
+	if len(vs) != 10 {
+		t.Fatalf("collected %d", len(vs))
+	}
+	for _, v := range vs {
+		if v.Len() != 16 {
+			t.Error("wrong length")
+		}
+	}
+}
