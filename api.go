@@ -11,6 +11,7 @@ import (
 
 	"concentrators/internal/bitvec"
 	"concentrators/internal/core"
+	"concentrators/internal/health"
 	"concentrators/internal/layout"
 	"concentrators/internal/switchsim"
 )
@@ -111,6 +112,71 @@ const (
 // RunSession simulates a multi-round message session under a policy.
 func RunSession(sw Concentrator, cfg SessionConfig) (*SessionStats, error) {
 	return switchsim.RunSession(sw, cfg)
+}
+
+// Chip-level fault injection and the health plane: BIST-style fault
+// detection, localization, and graceful degradation.
+type (
+	// ChipFault addresses one failed chip: (stage, chip, failure mode).
+	ChipFault = core.ChipFault
+	// ChipFaultMode is the chip failure mode.
+	ChipFaultMode = core.ChipFaultMode
+	// FaultPlane is the set of live chip faults threaded through Route.
+	FaultPlane = core.FaultPlane
+	// StageInfo describes one chip stage of a multichip switch.
+	StageInfo = core.StageInfo
+	// FaultInjectable is a multichip switch accepting chip-level fault
+	// injection; RevsortSwitch and ColumnsortSwitch implement it.
+	FaultInjectable = core.FaultInjectable
+	// ScanReport is the outcome of one BIST health scan.
+	ScanReport = health.ScanReport
+	// LocalizedFault is the scan's diagnosis of one failed chip.
+	LocalizedFault = health.LocalizedFault
+	// DegradedSwitch serves traffic after faults under a recomputed,
+	// provably weaker contract.
+	DegradedSwitch = health.DegradedSwitch
+	// ScheduledFault is one arrival of a fault process.
+	ScheduledFault = health.ScheduledFault
+	// FaultSessionConfig drives a fault-aware multi-round session.
+	FaultSessionConfig = health.FaultSessionConfig
+	// FaultSessionStats extends SessionStats with fault observability.
+	FaultSessionStats = health.FaultSessionStats
+	// DetectionEvent records one fault localization and its latency.
+	DetectionEvent = health.DetectionEvent
+)
+
+// The chip failure modes.
+const (
+	ChipDead        = core.ChipDead
+	ChipStuckOutput = core.ChipStuckOutput
+	ChipSwappedPair = core.ChipSwappedPair
+	ChipPassThrough = core.ChipPassThrough
+)
+
+// NewFaultPlane returns an empty fault plane.
+func NewFaultPlane() *FaultPlane { return core.NewFaultPlane() }
+
+// Scan runs a BIST health scan against sw's installed fault plane,
+// localizing diverging chips down to (stage, chip).
+func Scan(sw FaultInjectable) (*ScanReport, error) { return health.Scan(sw) }
+
+// NewDegradedSwitch derives the degraded (n, m−f, 1−ε′/(m−f))
+// configuration covering the localized faults.
+func NewDegradedSwitch(sw FaultInjectable, faults []LocalizedFault) (*DegradedSwitch, error) {
+	return health.NewDegradedSwitch(sw, faults)
+}
+
+// GenerateFaultSchedule draws a deterministic seeded fault arrival
+// process with mean time between failures of mtbf rounds.
+func GenerateFaultSchedule(seed int64, sw FaultInjectable, mtbf float64, rounds, maxFaults int) []ScheduledFault {
+	return health.GenerateFaultSchedule(seed, sw, mtbf, rounds, maxFaults)
+}
+
+// RunFaultAwareSession simulates a session during which chip faults
+// strike mid-stream: online detection, localization, degradation, and
+// recovery are all exercised and reported.
+func RunFaultAwareSession(sw FaultInjectable, cfg FaultSessionConfig) (*FaultSessionStats, error) {
+	return health.RunFaultAwareSession(sw, cfg)
 }
 
 // Packaging reports (Table 1, Figures 3/4/6/7).

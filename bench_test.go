@@ -20,6 +20,7 @@ import (
 	"concentrators/internal/concgraph"
 	"concentrators/internal/core"
 	"concentrators/internal/gatelevel"
+	"concentrators/internal/health"
 	"concentrators/internal/hyper"
 	"concentrators/internal/knockout"
 	"concentrators/internal/layout"
@@ -659,4 +660,92 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// BenchmarkHealthScan times one full BIST scan — the per-scan cost a
+// deployment pays every scan-every rounds — on both multichip designs.
+func BenchmarkHealthScan(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		build func() (core.FaultInjectable, error)
+	}{
+		{"revsort-1024", func() (core.FaultInjectable, error) { return core.NewRevsortSwitch(1024, 512) }},
+		{"columnsort-1024", func() (core.FaultInjectable, error) { return core.NewColumnsortSwitchBeta(1024, 512, 0.75) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			sw, err := tc.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := health.Scan(sw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(tc.name+"-faulty", func(b *testing.B) {
+			sw, err := tc.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			plane := core.NewFaultPlane()
+			plane.Add(core.ChipFault{Stage: 0, Chip: 1, Mode: core.ChipDead})
+			if err := sw.SetFaultPlane(plane); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := health.Scan(sw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDegradedThroughput compares per-round routing cost of a
+// healthy revsort switch against its degraded configuration after a
+// final-stage chip bypass — the most expensive repair (full trace plus
+// repair-tap re-drive).
+func BenchmarkDegradedThroughput(b *testing.B) {
+	sw, err := core.NewRevsortSwitch(1024, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(15))
+	v := randomPattern(rng, 1024)
+	b.Run("healthy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sw.Route(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("degraded", func(b *testing.B) {
+		plane := core.NewFaultPlane()
+		plane.Add(core.ChipFault{Stage: core.RevsortStage3Columns, Chip: 1, Mode: core.ChipDead})
+		if err := sw.SetFaultPlane(plane); err != nil {
+			b.Fatal(err)
+		}
+		defer func() {
+			if err := sw.SetFaultPlane(nil); err != nil {
+				b.Fatal(err)
+			}
+		}()
+		rep, err := health.Scan(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := health.NewDegradedSwitch(sw, rep.Faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Route(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

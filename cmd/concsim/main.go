@@ -7,6 +7,7 @@
 //	concsim -switch columnsort -n 1024 -m 512 -beta 0.75 -load 0.9
 //	concsim -switch perfect -n 256 -m 64 -load 0.5 -payload 64
 //	concsim -switch full-revsort -n 4096 -load 0.7
+//	concsim -switch revsort -n 1024 -m 512 -faults 3 -mtbf 25 -scan-every 10
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"concentrators/internal/bitonic"
 	"concentrators/internal/core"
+	"concentrators/internal/health"
 	"concentrators/internal/switchsim"
 )
 
@@ -32,6 +34,9 @@ func main() {
 	policy := flag.String("policy", "", "run a multi-round congestion session instead: drop | resend | buffer | misroute")
 	ack := flag.Int("ack", 2, "ack round trip for the resend policy")
 	wave := flag.Bool("wave", false, "print the first round's output waveforms")
+	faults := flag.Int("faults", 0, "run a fault-aware session with up to this many scheduled chip faults (revsort/columnsort only)")
+	mtbf := flag.Float64("mtbf", 25, "mean rounds between chip failures for the fault schedule")
+	scanEvery := flag.Int("scan-every", 10, "run a BIST health scan every this many rounds (0 disables periodic scans)")
 	flag.Parse()
 
 	if *m == 0 {
@@ -51,6 +56,10 @@ func main() {
 		sw.Name(), sw.Inputs(), sw.Outputs(), sw.EpsilonBound(), core.LoadRatio(sw),
 		sw.GateDelays(), sw.ChipsTraversed(), sw.ChipCount())
 
+	if *faults > 0 {
+		runFaultSession(sw, *policy, *load, *rounds, *payload, *seed, *ack, *faults, *mtbf, *scanEvery)
+		return
+	}
 	if *policy != "" {
 		runSession(sw, *policy, *load, *rounds, *payload, *seed, *ack)
 		return
@@ -115,22 +124,26 @@ func buildSwitch(kind string, n, m int, beta float64) (core.Concentrator, error)
 	}
 }
 
-// runSession executes the multi-round congestion-control mode.
-func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack int) {
-	var pol switchsim.Policy
+func parsePolicy(policy string) switchsim.Policy {
 	switch policy {
 	case "drop":
-		pol = switchsim.Drop
+		return switchsim.Drop
 	case "resend":
-		pol = switchsim.Resend
+		return switchsim.Resend
 	case "buffer":
-		pol = switchsim.Buffer
+		return switchsim.Buffer
 	case "misroute":
-		pol = switchsim.Misroute
+		return switchsim.Misroute
 	default:
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policy)
 		os.Exit(1)
+		panic("unreachable")
 	}
+}
+
+// runSession executes the multi-round congestion-control mode.
+func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack int) {
+	pol := parsePolicy(policy)
 	stats, err := switchsim.RunSession(sw, switchsim.SessionConfig{
 		Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
 		Seed: seed, AckDelay: ack,
@@ -143,6 +156,51 @@ func runSession(sw core.Concentrator, policy string, load float64, rounds, paylo
 	fmt.Printf("  offered %d, delivered %d, lost %d, refused %d, retries %d\n",
 		stats.Offered, stats.Delivered, stats.Dropped, stats.Refused, stats.Retries)
 	fmt.Printf("  mean latency %.2f rounds, peak backlog %d\n", stats.MeanLatency(), stats.MaxBacklog)
+}
+
+// runFaultSession executes the fault-aware session mode: scheduled
+// chip faults strike the switch mid-stream while BIST scans detect,
+// localize, and degrade around them.
+func runFaultSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack, faults int, mtbf float64, scanEvery int) {
+	fi, ok := sw.(core.FaultInjectable)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "-faults needs a multichip fault-injectable switch (revsort or columnsort), not %s\n", sw.Name())
+		os.Exit(1)
+	}
+	if policy == "" {
+		policy = "resend"
+	}
+	pol := parsePolicy(policy)
+	schedule := health.GenerateFaultSchedule(seed, fi, mtbf, rounds, faults)
+	stats, err := health.RunFaultAwareSession(fi, health.FaultSessionConfig{
+		SessionConfig: switchsim.SessionConfig{
+			Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
+			Seed: seed, AckDelay: ack,
+		},
+		Schedule:        schedule,
+		ScanEvery:       scanEvery,
+		ScanOnViolation: true,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("fault session: policy=%s load=%.2f rounds=%d mtbf=%.1f scan-every=%d\n",
+		pol, load, rounds, mtbf, scanEvery)
+	fmt.Printf("  offered %d, delivered %d, lost %d, refused %d, retries %d\n",
+		stats.Offered, stats.Delivered, stats.Dropped, stats.Refused, stats.Retries)
+	fmt.Printf("  mean latency %.2f rounds, peak backlog %d\n", stats.MeanLatency(), stats.MaxBacklog)
+	fmt.Printf("  faults injected %d, detected %d, contract violations %d\n",
+		stats.FaultsInjected, stats.FaultsDetected, stats.GuaranteeViolations)
+	for _, det := range stats.Detections {
+		fmt.Printf("    round %3d (latency %d): %s\n", det.Round, det.LatencyRounds, det.Fault)
+	}
+	fmt.Printf("  lost before detection %d, after detection %d\n",
+		stats.LostBeforeDetection, stats.LostAfterDetection)
+	fmt.Printf("  scans %d (%d routes, %.2f%% overhead)\n",
+		stats.Scans, stats.ScanRoutes, 100*stats.ScanOverhead)
+	fmt.Printf("  degraded contract: m′=%d threshold=%d α′=%.4f\n",
+		stats.DegradedOutputs, stats.DegradedThreshold, stats.PostDegradationAlpha)
 }
 
 func max(a, b int) int {

@@ -244,6 +244,9 @@ func (s *Crossbar) DataPinsPerChip() int { return s.n + s.m }
 // in row-major order.
 type RevsortSwitch struct {
 	n, m, side int
+	// plane holds the live chip faults injected into the switch (nil
+	// when healthy); see faultplane.go.
+	plane *FaultPlane
 }
 
 // NewRevsortSwitch builds the switch. n must be a perfect square with
@@ -271,8 +274,12 @@ func (s *RevsortSwitch) Outputs() int { return s.m }
 // Side returns √n, the matrix side and hyperconcentrator chip size.
 func (s *RevsortSwitch) Side() int { return s.side }
 
-// Route implements Concentrator.
+// Route implements Concentrator. With a fault plane installed the
+// route reflects the injected chip failures.
 func (s *RevsortSwitch) Route(valid *bitvec.Vector) ([]int, error) {
+	if s.plane.Len() > 0 {
+		return s.RouteWithPlane(valid, s.plane)
+	}
 	if err := checkValid(valid, s.n); err != nil {
 		return nil, err
 	}
@@ -336,6 +343,9 @@ func (s *RevsortSwitch) DataPinsPerChip() int {
 // outputs are the first m matrix positions in row-major order.
 type ColumnsortSwitch struct {
 	n, m, r, s int
+	// plane holds the live chip faults injected into the switch (nil
+	// when healthy); see faultplane.go.
+	plane *FaultPlane
 }
 
 // NewColumnsortSwitch builds the switch for an explicit r×s shape.
@@ -396,8 +406,12 @@ func (c *ColumnsortSwitch) Outputs() int { return c.m }
 // Shape returns the r×s mesh shape.
 func (c *ColumnsortSwitch) Shape() (r, s int) { return c.r, c.s }
 
-// Route implements Concentrator.
+// Route implements Concentrator. With a fault plane installed the
+// route reflects the injected chip failures.
 func (c *ColumnsortSwitch) Route(valid *bitvec.Vector) ([]int, error) {
+	if c.plane.Len() > 0 {
+		return c.RouteWithPlane(valid, c.plane)
+	}
 	if err := checkValid(valid, c.n); err != nil {
 		return nil, err
 	}

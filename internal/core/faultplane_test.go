@@ -1,0 +1,326 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/nearsort"
+)
+
+func loadedValid(rng *rand.Rand, n int, load float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		v.Set(i, rng.Float64() < load)
+	}
+	return v
+}
+
+func revsort64(t *testing.T) *RevsortSwitch {
+	t.Helper()
+	sw, err := NewRevsortSwitch(64, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func columnsort32(t *testing.T) *ColumnsortSwitch {
+	t.Helper()
+	sw, err := NewColumnsortSwitch(8, 4, 16) // n=32, ε=9
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sw
+}
+
+func TestFaultPlaneBasics(t *testing.T) {
+	var nilPlane *FaultPlane
+	if nilPlane.Len() != 0 || nilPlane.Faults() != nil {
+		t.Fatal("nil plane must be empty")
+	}
+	if _, ok := nilPlane.Get(0, 0); ok {
+		t.Fatal("nil plane must hold no faults")
+	}
+	nilPlane.Remove(0, 0) // must not panic
+
+	p := NewFaultPlane()
+	p.Add(ChipFault{Stage: 1, Chip: 2, Mode: ChipDead})
+	p.Add(ChipFault{Stage: 0, Chip: 3, Mode: ChipPassThrough})
+	if p.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", p.Len())
+	}
+	// The newer failure of the same chip dominates.
+	p.Add(ChipFault{Stage: 1, Chip: 2, Mode: ChipStuckOutput, A: 5})
+	if p.Len() != 2 {
+		t.Fatalf("replacing Add changed Len to %d", p.Len())
+	}
+	if f, ok := p.Get(1, 2); !ok || f.Mode != ChipStuckOutput {
+		t.Fatalf("Get(1,2) = %v, %v", f, ok)
+	}
+	fs := p.Faults()
+	if len(fs) != 2 || fs[0].Stage != 0 || fs[1].Stage != 1 {
+		t.Fatalf("Faults not in (stage, chip) order: %v", fs)
+	}
+
+	q := p.Clone()
+	q.Remove(1, 2)
+	if q.Len() != 1 || p.Len() != 2 {
+		t.Fatal("Clone is not independent of the original")
+	}
+}
+
+func TestValidateFaultPlane(t *testing.T) {
+	sw := revsort64(t) // 4 stages, 8 chips of 8 ports each
+	bad := []ChipFault{
+		{Stage: -1, Chip: 0, Mode: ChipDead},
+		{Stage: 4, Chip: 0, Mode: ChipDead},
+		{Stage: 0, Chip: 8, Mode: ChipDead},
+		{Stage: 0, Chip: -1, Mode: ChipDead},
+		{Stage: 0, Chip: 0, Mode: ChipStuckOutput, A: 8},
+		{Stage: 0, Chip: 0, Mode: ChipStuckOutput, A: -1},
+		{Stage: 0, Chip: 0, Mode: ChipSwappedPair, A: 3, B: 3},
+		{Stage: 0, Chip: 0, Mode: ChipSwappedPair, A: 0, B: 8},
+		{Stage: 0, Chip: 0, Mode: ChipFaultMode(99)},
+	}
+	for _, f := range bad {
+		p := NewFaultPlane()
+		p.Add(f)
+		if err := sw.SetFaultPlane(p); err == nil {
+			t.Errorf("SetFaultPlane accepted invalid fault %v", f)
+		}
+	}
+	good := NewFaultPlane()
+	good.Add(ChipFault{Stage: RevsortStage2Shifter, Chip: 7, Mode: ChipSwappedPair, A: 0, B: 7})
+	if err := sw.SetFaultPlane(good); err != nil {
+		t.Fatalf("SetFaultPlane rejected valid fault: %v", err)
+	}
+	if sw.ActiveFaultPlane().Len() != 1 {
+		t.Fatal("installed plane not active")
+	}
+}
+
+func TestRouteWithPlaneMatchesRouteWhenHealthy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sw := range []FaultInjectable{revsort64(t), columnsort32(t)} {
+		for trial := 0; trial < 20; trial++ {
+			v := loadedValid(rng, sw.Inputs(), 0.4)
+			want, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sw.RouteWithPlane(v, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: RouteWithPlane(nil) diverges from Route at input %d", sw.Name(), i)
+				}
+			}
+		}
+	}
+}
+
+func TestDeadChipDestroysMessages(t *testing.T) {
+	sw := columnsort32(t)
+	// Threshold-many messages, all entering on column 0 of the wire
+	// matrix (inputs ≡ 0 mod s).
+	thr := Threshold(sw)
+	v := bitvec.New(32)
+	for i := 0; i < thr; i++ {
+		v.Set(i*4, true)
+	}
+	p := NewFaultPlane()
+	p.Add(ChipFault{Stage: ColumnsortStage1, Chip: 0, Mode: ChipDead})
+	out, err := sw.RouteWithPlane(v, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range out {
+		if o != -1 {
+			t.Fatalf("input %d routed to %d through a dead chip", i, o)
+		}
+	}
+	if err := nearsort.CheckPartialConcentration(v, out, sw.Outputs(), sw.EpsilonBound()); err == nil {
+		t.Fatal("oracle accepted k ≤ threshold with every message destroyed")
+	}
+}
+
+func TestStuckOutputPhantomIsFlagged(t *testing.T) {
+	sw := columnsort32(t)
+	v := bitvec.New(32)
+	for i := 0; i < 8; i++ { // leaves invalid inputs for attribution
+		v.Set(i, true)
+	}
+	p := NewFaultPlane()
+	p.Add(ChipFault{Stage: ColumnsortStage2, Chip: 0, Mode: ChipStuckOutput, A: 0})
+	out, err := sw.RouteWithPlane(v, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nearsort.CheckPartialConcentration(v, out, sw.Outputs(), sw.EpsilonBound()); err == nil {
+		t.Fatal("oracle accepted a phantom-occupied output")
+	}
+}
+
+func TestSwappedPairCrossesPorts(t *testing.T) {
+	sw := columnsort32(t)
+	v := bitvec.New(32)
+	for i := 0; i < 32; i++ {
+		v.Set(i, true)
+	}
+	healthy, err := sw.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewFaultPlane()
+	p.Add(ChipFault{Stage: ColumnsortStage2, Chip: 0, Mode: ChipSwappedPair, A: 0, B: 1})
+	out, err := sw.RouteWithPlane(v, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chip 0's ports 0 and 1 are output wires 0 and s; their occupants
+	// must be exchanged and everything else untouched.
+	changed := 0
+	for i := range out {
+		if out[i] == healthy[i] {
+			continue
+		}
+		changed++
+		switch healthy[i] {
+		case 0:
+			if out[i] != 4 {
+				t.Fatalf("input %d moved %d→%d, want wire 4", i, healthy[i], out[i])
+			}
+		case 4:
+			if out[i] != 0 {
+				t.Fatalf("input %d moved %d→%d, want wire 0", i, healthy[i], out[i])
+			}
+		default:
+			t.Fatalf("input %d moved %d→%d: swap touched a foreign wire", i, healthy[i], out[i])
+		}
+	}
+	if changed != 2 {
+		t.Fatalf("swap changed %d routes, want 2", changed)
+	}
+	// A full-load swap keeps the outputs disjoint and the count intact:
+	// the contract itself survives this fault.
+	if err := nearsort.CheckPartialConcentration(v, out, sw.Outputs(), sw.EpsilonBound()); err != nil {
+		t.Fatalf("swap at full load should not violate the contract: %v", err)
+	}
+}
+
+func TestPassThroughSkipsSorting(t *testing.T) {
+	sw := columnsort32(t)
+	// Column 1 holds messages at rows 2 and 5: unsorted, so a chip that
+	// fails to sort is observable against its golden transform.
+	v := bitvec.New(32)
+	v.Set(2*4+1, true)
+	v.Set(5*4+1, true)
+	p := NewFaultPlane()
+	p.Add(ChipFault{Stage: ColumnsortStage1, Chip: 1, Mode: ChipPassThrough})
+	snaps, _, err := sw.TraceWithPlane(v, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := sw.GoldenStage(ColumnsortStage1, snaps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverged := false
+	for x := range golden.Cell {
+		if snaps[1].Cell[x] != golden.Cell[x] {
+			if x%4 != 1 {
+				t.Fatalf("pass-through on chip 1 disturbed cell %d outside column 1", x)
+			}
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("pass-through chip left no observable divergence")
+	}
+}
+
+func TestTraceSnapshotsAndGoldenStages(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sw := range []FaultInjectable{revsort64(t), columnsort32(t)} {
+		stages := sw.StageChips()
+		v := loadedValid(rng, sw.Inputs(), 0.5)
+		snaps, out, err := sw.TraceWithPlane(v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) != len(stages)+1 {
+			t.Fatalf("%s: %d snapshots for %d stages", sw.Name(), len(snaps), len(stages))
+		}
+		want, err := sw.Route(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if out[i] != want[i] {
+				t.Fatalf("%s: traced route diverges from Route at input %d", sw.Name(), i)
+			}
+		}
+		// Fault-free: every stage's observed output equals its golden
+		// transform of the observed input.
+		for si := range stages {
+			golden, err := sw.GoldenStage(si, snaps[si])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := range golden.Cell {
+				if snaps[si+1].Cell[x] != golden.Cell[x] {
+					t.Fatalf("%s: healthy stage %d diverges from golden at cell %d", sw.Name(), si, x)
+				}
+			}
+		}
+		if _, err := sw.GoldenStage(len(stages), snaps[0]); err == nil {
+			t.Fatalf("%s: GoldenStage accepted out-of-range stage", sw.Name())
+		}
+	}
+}
+
+func TestRouteUsesInstalledPlane(t *testing.T) {
+	sw := revsort64(t)
+	v := bitvec.New(64)
+	for i := 0; i < 64; i++ {
+		v.Set(i, true)
+	}
+	healthy, err := sw.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewFaultPlane()
+	p.Add(ChipFault{Stage: RevsortStage3Columns, Chip: 0, Mode: ChipDead})
+	if err := sw.SetFaultPlane(p); err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := sw.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range healthy {
+		if faulty[i] != healthy[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("installed fault plane had no effect on Route")
+	}
+	if err := sw.SetFaultPlane(nil); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := sw.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range healthy {
+		if restored[i] != healthy[i] {
+			t.Fatal("clearing the fault plane did not restore healthy routing")
+		}
+	}
+}

@@ -5,8 +5,17 @@ import "fmt"
 // Cell contents of the path tracker. Non-negative values are message
 // ids (the switch input index that injected the message).
 const (
-	cellEmpty  = -1 // an invalid input / a 0 valid bit: no electrical path
-	cellPadOne = -2 // a hardwired always-valid dummy input (Columnsort step 6 pads)
+	cellEmpty   = -1 // an invalid input / a 0 valid bit: no electrical path
+	cellPadOne  = -2 // a hardwired always-valid dummy input (Columnsort step 6 pads)
+	cellPhantom = -3 // a stuck-at-1 chip output: asserts valid but carries no message
+)
+
+// Exported cell markers, for consumers of Snapshot cells (the health
+// scanner interprets traced matrices).
+const (
+	CellEmpty   = cellEmpty
+	CellPadOne  = cellPadOne
+	CellPhantom = cellPhantom
 )
 
 // tracker follows every message's electrical path through the stages of
@@ -53,18 +62,24 @@ func (t *tracker) loadRowMajor(validBits func(i int) bool, n int) {
 // hyperconcentrator chips does during setup.
 func (t *tracker) sortColumnsStable() {
 	for j := 0; j < t.cols; j++ {
-		var occ []int
-		for i := 0; i < t.rows; i++ {
-			if v := t.at(i, j); v != cellEmpty {
-				occ = append(occ, v)
-			}
+		t.sortColumnStable(j)
+	}
+}
+
+// sortColumnStable concentrates one column — the work of a single
+// column-assigned hyperconcentrator chip.
+func (t *tracker) sortColumnStable(j int) {
+	var occ []int
+	for i := 0; i < t.rows; i++ {
+		if v := t.at(i, j); v != cellEmpty {
+			occ = append(occ, v)
 		}
-		for i := 0; i < t.rows; i++ {
-			if i < len(occ) {
-				t.set(i, j, occ[i])
-			} else {
-				t.set(i, j, cellEmpty)
-			}
+	}
+	for i := 0; i < t.rows; i++ {
+		if i < len(occ) {
+			t.set(i, j, occ[i])
+		} else {
+			t.set(i, j, cellEmpty)
 		}
 	}
 }

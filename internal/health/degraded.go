@@ -1,0 +1,247 @@
+package health
+
+import (
+	"fmt"
+	"sort"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+)
+
+// RepairDelay is the constant gate-delay cost of the repair layer's
+// hardwired spare-output remapping (its configuration changes only when
+// the degradation is reprogrammed, like the §4 barrel shifters).
+const RepairDelay = 1
+
+// DegradedSwitch keeps a multichip switch serving traffic after faults
+// have been localized, under a recomputed — provably weaker — partial
+// concentration contract. Two repair mechanisms are modelled, both
+// standard spare-resource techniques for multichip packet-switch cores
+// (cf. Tiny Tera's per-chip sparing and MIN reconfiguration around
+// faulty elements):
+//
+//   - Chip bypass: a localized faulty chip is cut out of the signal
+//     path and replaced by unsorted spare feed-through lanes (for a
+//     shifter chip: an unrotated feed-through). Nothing is destroyed
+//     any more, but the chip's sorting work is lost, which costs at
+//     most its port count in nearsortedness: ε′ = ε + Σ ports. When
+//     the bypassed chip is on the final stage, the repair board also
+//     taps the chip's full line so messages stranded beyond the
+//     m-boundary can be re-driven onto spare outputs.
+//
+//   - Output quarantine: a stuck-at final-stage output wire is a bad
+//     switch output pin; its chip keeps sorting (the repair board
+//     re-drives the chip's logic), but the wire is excluded from the
+//     output set and any message concentrated onto it is re-driven
+//     onto a free spare output. Masking f such wires yields an
+//     (n, m−f, 1−ε′/(m−f)) partial concentrator by Lemma 2.
+//
+// Route therefore always satisfies CheckPartialConcentration against
+// the degraded contract (Outputs() = m−f, EpsilonBound() = ε′), and —
+// because bypass and quarantine destroy nothing — faults covered by
+// the degradation cause zero further message loss.
+type DegradedSwitch struct {
+	inner  core.FaultInjectable
+	m, n   int
+	faults []LocalizedFault
+
+	cleared     map[[2]int]bool // final-stage stuck chips: fault re-driven away, wire quarantined
+	bypassed    map[[2]int]int  // bypassed chips -> port count (ε penalty)
+	repairChips map[[2]int]bool // bypassed final-stage chips with full-line repair taps
+
+	quarantined []int // masked inner output wires, ascending
+	qset        map[int]bool
+	remap       []int // inner output -> degraded output (-1 when quarantined)
+	epsPenalty  int
+}
+
+// NewDegradedSwitch derives the degraded configuration for the
+// localized faults (typically ScanReport.Faults).
+func NewDegradedSwitch(sw core.FaultInjectable, faults []LocalizedFault) (*DegradedSwitch, error) {
+	stages := sw.StageChips()
+	final := len(stages) - 1
+	d := &DegradedSwitch{
+		inner:       sw,
+		m:           sw.Outputs(),
+		n:           sw.Inputs(),
+		faults:      append([]LocalizedFault(nil), faults...),
+		cleared:     make(map[[2]int]bool),
+		bypassed:    make(map[[2]int]int),
+		repairChips: make(map[[2]int]bool),
+		qset:        make(map[int]bool),
+	}
+	for _, f := range faults {
+		if f.Stage < 0 || f.Stage >= len(stages) || f.Chip < 0 || f.Chip >= stages[f.Stage].Chips {
+			return nil, fmt.Errorf("health: localized fault %v out of range for %s", f, sw.Name())
+		}
+		st := stages[f.Stage]
+		if f.Stage == final && f.ModeKnown && f.Mode == core.ChipStuckOutput && len(f.Ports) == 1 {
+			d.cleared[f.key()] = true
+			if pos := wirePosition(st, f.Chip, f.Ports[0]); pos < d.m && !d.qset[pos] {
+				d.qset[pos] = true
+				d.quarantined = append(d.quarantined, pos)
+			}
+			continue
+		}
+		if _, dup := d.bypassed[f.key()]; !dup {
+			d.bypassed[f.key()] = st.Ports
+			d.epsPenalty += st.Ports
+		}
+		if f.Stage == final {
+			d.repairChips[f.key()] = true
+		}
+	}
+	sort.Ints(d.quarantined)
+	d.remap = make([]int, d.m)
+	next := 0
+	for o := 0; o < d.m; o++ {
+		if d.qset[o] {
+			d.remap[o] = -1
+		} else {
+			d.remap[o] = next
+			next++
+		}
+	}
+	return d, nil
+}
+
+// effectivePlane is the inner switch's live plane with the degraded
+// repairs applied: cleared faults removed, bypassed chips forced to
+// pass-through spare lanes. Faults injected after this degradation was
+// derived stay active — they keep hurting until the next scan.
+func (d *DegradedSwitch) effectivePlane() *core.FaultPlane {
+	p := d.inner.ActiveFaultPlane().Clone()
+	for key := range d.cleared {
+		p.Remove(key[0], key[1])
+	}
+	for key := range d.bypassed {
+		p.Add(core.ChipFault{Stage: key[0], Chip: key[1], Mode: core.ChipPassThrough})
+	}
+	return p
+}
+
+// Route implements core.Concentrator under the degraded contract.
+func (d *DegradedSwitch) Route(valid *bitvec.Vector) ([]int, error) {
+	plane := d.effectivePlane()
+	var out []int
+	var finalSnap core.Snapshot
+	if len(d.repairChips) > 0 {
+		snaps, o, err := d.inner.TraceWithPlane(valid, plane)
+		if err != nil {
+			return nil, err
+		}
+		out, finalSnap = o, snaps[len(snaps)-1]
+	} else {
+		o, err := d.inner.RouteWithPlane(valid, plane)
+		if err != nil {
+			return nil, err
+		}
+		out = o
+	}
+
+	// Occupancy of the inner output wires.
+	owner := make([]int, d.m)
+	for o := range owner {
+		owner[o] = -1
+	}
+	for i, o := range out {
+		if o >= 0 {
+			owner[o] = i
+		}
+	}
+
+	// Messages needing a spare output: those the inner route placed on
+	// quarantined wires, plus — via the repair taps — live messages
+	// stranded beyond the m-boundary on a bypassed final-stage chip.
+	var stranded []int
+	for i, o := range out {
+		if o >= 0 && d.qset[o] {
+			out[i] = -1
+			owner[o] = -1
+			stranded = append(stranded, i)
+		}
+	}
+	if len(d.repairChips) > 0 {
+		stages := d.inner.StageChips()
+		st := stages[len(stages)-1]
+		for key := range d.repairChips {
+			for _, id := range line(finalSnap, st, key[1]) {
+				if id >= 0 && out[id] == -1 {
+					stranded = append(stranded, id)
+				}
+			}
+		}
+	}
+	sort.Ints(stranded)
+
+	// Re-drive stranded messages onto free, non-quarantined outputs.
+	next := 0
+	for _, i := range stranded {
+		for next < d.m && (d.qset[next] || owner[next] != -1) {
+			next++
+		}
+		if next == d.m {
+			break // no spare left: only possible beyond the degraded threshold
+		}
+		out[i] = next
+		owner[next] = i
+	}
+
+	// Renumber onto the compacted degraded output set.
+	for i, o := range out {
+		if o >= 0 {
+			out[i] = d.remap[o]
+		}
+	}
+	return out, nil
+}
+
+// Name implements core.Concentrator.
+func (d *DegradedSwitch) Name() string {
+	return fmt.Sprintf("degraded %s (quarantined %d, bypassed %d)",
+		d.inner.Name(), len(d.quarantined), len(d.bypassed))
+}
+
+// Inputs implements core.Concentrator.
+func (d *DegradedSwitch) Inputs() int { return d.n }
+
+// Outputs implements core.Concentrator: m′ = m − f.
+func (d *DegradedSwitch) Outputs() int { return d.m - len(d.quarantined) }
+
+// EpsilonBound implements core.Concentrator: ε′ = ε plus the port count
+// of every bypassed chip. By Lemma 2 the degraded switch is an
+// (n, m−f, 1−ε′/(m−f)) partial concentrator.
+func (d *DegradedSwitch) EpsilonBound() int { return d.inner.EpsilonBound() + d.epsPenalty }
+
+// GateDelays implements core.Concentrator: the repair layer adds a
+// constant (its remapping is hardwired once configured).
+func (d *DegradedSwitch) GateDelays() int { return d.inner.GateDelays() + RepairDelay }
+
+// ChipsTraversed implements core.Concentrator: messages cross the
+// repair board.
+func (d *DegradedSwitch) ChipsTraversed() int { return d.inner.ChipsTraversed() + 1 }
+
+// ChipCount implements core.Concentrator: one repair board.
+func (d *DegradedSwitch) ChipCount() int { return d.inner.ChipCount() + 1 }
+
+// DataPinsPerChip implements core.Concentrator.
+func (d *DegradedSwitch) DataPinsPerChip() int { return d.inner.DataPinsPerChip() }
+
+// Quarantined returns the masked inner output wires.
+func (d *DegradedSwitch) Quarantined() []int {
+	return append([]int(nil), d.quarantined...)
+}
+
+// BypassedChips returns the number of chips cut out of the signal path.
+func (d *DegradedSwitch) BypassedChips() int { return len(d.bypassed) }
+
+// EpsilonPenalty returns the nearsortedness cost of the bypasses.
+func (d *DegradedSwitch) EpsilonPenalty() int { return d.epsPenalty }
+
+// Faults returns the localized faults this degradation covers.
+func (d *DegradedSwitch) Faults() []LocalizedFault {
+	return append([]LocalizedFault(nil), d.faults...)
+}
+
+// Inner returns the wrapped switch.
+func (d *DegradedSwitch) Inner() core.FaultInjectable { return d.inner }

@@ -1,0 +1,195 @@
+package health
+
+import (
+	"testing"
+
+	"concentrators/internal/core"
+	"concentrators/internal/switchsim"
+)
+
+func TestGenerateFaultScheduleDeterministic(t *testing.T) {
+	sw := newRevsort1024(t)
+	a := GenerateFaultSchedule(42, sw, 20, 200, 5)
+	b := GenerateFaultSchedule(42, sw, 20, 200, 5)
+	if len(a) == 0 {
+		t.Fatal("mtbf 20 over 200 rounds generated no faults")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d vs %d faults", len(a), len(b))
+	}
+	seen := make(map[[2]int]bool)
+	last := -1
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fault %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i].Round < last || a[i].Round >= 200 {
+			t.Fatalf("fault %d at round %d out of order or range", i, a[i].Round)
+		}
+		last = a[i].Round
+		key := [2]int{a[i].Fault.Stage, a[i].Fault.Chip}
+		if seen[key] {
+			t.Fatalf("chip (%d,%d) failed twice", key[0], key[1])
+		}
+		seen[key] = true
+		if err := core.ValidateFaultPlane(sw, planeOf(a[i].Fault)); err != nil {
+			t.Fatalf("scheduled fault invalid: %v", err)
+		}
+	}
+	if GenerateFaultSchedule(42, sw, 0, 200, 5) != nil {
+		t.Fatal("mtbf 0 must disable the fault process")
+	}
+}
+
+func planeOf(f core.ChipFault) *core.FaultPlane {
+	p := core.NewFaultPlane()
+	p.Add(f)
+	return p
+}
+
+// TestFaultAwareSessionDetectsAndRecovers runs the full loop: traffic,
+// a mid-session chip death, online violation-triggered scan,
+// localization, degradation, and recovery with the Resend policy.
+func TestFaultAwareSessionDetectsAndRecovers(t *testing.T) {
+	sw := newRevsort1024(t)
+	fault := core.ChipFault{Stage: core.RevsortStage3Columns, Chip: 2, Mode: core.ChipDead}
+	cfg := FaultSessionConfig{
+		SessionConfig: switchsim.SessionConfig{
+			Policy:   switchsim.Resend,
+			Load:     0.08,
+			Rounds:   60,
+			Seed:     7,
+			AckDelay: 1,
+		},
+		Schedule:        []ScheduledFault{{Round: 10, Fault: fault}},
+		ScanEvery:       50,
+		ScanOnViolation: true,
+	}
+	stats, err := RunFaultAwareSession(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultsInjected != 1 {
+		t.Fatalf("FaultsInjected = %d, want 1", stats.FaultsInjected)
+	}
+	if stats.FaultsDetected != 1 || len(stats.Detections) != 1 {
+		t.Fatalf("FaultsDetected = %d (%v), want 1", stats.FaultsDetected, stats.Detections)
+	}
+	det := stats.Detections[0]
+	if det.Fault.Stage != fault.Stage || det.Fault.Chip != fault.Chip {
+		t.Fatalf("detected %v, want stage %d chip %d", det.Fault, fault.Stage, fault.Chip)
+	}
+	if det.Round < 10 || det.LatencyRounds < 0 || det.LatencyRounds > 10 {
+		t.Fatalf("detection at round %d with latency %d: online detector too slow", det.Round, det.LatencyRounds)
+	}
+	if stats.GuaranteeViolations == 0 {
+		t.Fatal("a dead final-stage chip under traffic must violate the contract at least once")
+	}
+	if stats.LostBeforeDetection == 0 {
+		t.Fatal("the dead chip destroyed messages before detection; stats must show it")
+	}
+	if stats.LostAfterDetection != 0 {
+		t.Fatalf("LostAfterDetection = %d, want 0: the degradation must stop the bleeding", stats.LostAfterDetection)
+	}
+	if stats.DegradedOutputs != sw.Outputs() {
+		t.Fatalf("bypass degradation keeps all outputs; DegradedOutputs = %d", stats.DegradedOutputs)
+	}
+	wantThr := sw.Outputs() - (sw.EpsilonBound() + 32) // one bypassed 32-port chip
+	if stats.DegradedThreshold != wantThr {
+		t.Fatalf("DegradedThreshold = %d, want %d", stats.DegradedThreshold, wantThr)
+	}
+	if stats.PostDegradationAlpha <= 0 || stats.PostDegradationAlpha >= 1 {
+		t.Fatalf("PostDegradationAlpha = %v out of (0,1)", stats.PostDegradationAlpha)
+	}
+	if stats.Scans < 2 || stats.ScanRoutes == 0 || stats.ScanOverhead <= 0 || stats.ScanOverhead >= 1 {
+		t.Fatalf("scan accounting off: %d scans, %d routes, overhead %v",
+			stats.Scans, stats.ScanRoutes, stats.ScanOverhead)
+	}
+	if stats.Retries == 0 {
+		t.Fatal("Resend must have retried the messages the fault destroyed")
+	}
+	if stats.Delivered == 0 || stats.MaxOffered == 0 {
+		t.Fatal("session carried no traffic")
+	}
+	sum := 0
+	for _, c := range stats.DeliveredPerRound {
+		sum += c
+	}
+	if sum != stats.Delivered {
+		t.Fatalf("DeliveredPerRound sums to %d, Delivered = %d", sum, stats.Delivered)
+	}
+}
+
+// TestFaultAwareSessionPeriodicScan verifies the ScanEvery cadence
+// bounds detection latency for faults too subtle to trip the online
+// contract check.
+func TestFaultAwareSessionPeriodicScan(t *testing.T) {
+	sw := newColumnsort1024(t)
+	fault := core.ChipFault{Stage: core.ColumnsortStage1, Chip: 3, Mode: core.ChipSwappedPair, A: 0, B: 1}
+	cfg := FaultSessionConfig{
+		SessionConfig: switchsim.SessionConfig{
+			Policy: switchsim.Drop,
+			Load:   0.05,
+			Rounds: 25,
+			Seed:   3,
+		},
+		Schedule:  []ScheduledFault{{Round: 5, Fault: fault}},
+		ScanEvery: 10,
+	}
+	stats, err := RunFaultAwareSession(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultsDetected != 1 {
+		t.Fatalf("FaultsDetected = %d (%v), want 1", stats.FaultsDetected, stats.Detections)
+	}
+	det := stats.Detections[0]
+	if det.Round != 10 || det.LatencyRounds != 5 {
+		t.Fatalf("periodic scan detected at round %d latency %d, want round 10 latency 5", det.Round, det.LatencyRounds)
+	}
+	if stats.Scans != 3 { // rounds 0, 10, 20
+		t.Fatalf("Scans = %d, want 3", stats.Scans)
+	}
+}
+
+// TestFaultAwareSessionBackoff drives persistent congestion through a
+// healthy switch under Resend with bounded exponential backoff.
+func TestFaultAwareSessionBackoff(t *testing.T) {
+	sw, err := core.NewColumnsortSwitch(8, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := FaultSessionConfig{
+		SessionConfig: switchsim.SessionConfig{
+			Policy:   switchsim.Resend,
+			Load:     1.0,
+			Rounds:   20,
+			Seed:     5,
+			AckDelay: 1,
+		},
+		ScanEvery:  5,
+		BackoffMax: 4,
+	}
+	stats, err := RunFaultAwareSession(sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FaultsDetected != 0 || stats.GuaranteeViolations != 0 {
+		t.Fatalf("healthy switch reported faults: %d detected, %d violations",
+			stats.FaultsDetected, stats.GuaranteeViolations)
+	}
+	if stats.Scans != 4 { // rounds 0, 5, 10, 15
+		t.Fatalf("Scans = %d, want 4", stats.Scans)
+	}
+	if stats.Retries == 0 || stats.MaxBacklog == 0 {
+		t.Fatalf("full load must build a retry backlog: retries %d, backlog %d",
+			stats.Retries, stats.MaxBacklog)
+	}
+	if stats.Dropped != 0 {
+		t.Fatalf("Resend never drops, Dropped = %d", stats.Dropped)
+	}
+	if stats.LostBeforeDetection != 0 || stats.LostAfterDetection != 0 {
+		t.Fatalf("congestion is not fault loss: before %d after %d",
+			stats.LostBeforeDetection, stats.LostAfterDetection)
+	}
+}

@@ -1,0 +1,342 @@
+// Package health implements the fault-tolerance plane of the multichip
+// switches: BIST-style online fault detection, fault localization down
+// to the (stage, chip) that failed, and graceful degradation that keeps
+// a switch serving traffic under a provably reduced guarantee.
+//
+// Detection is a scan: a small fixed set of diagnostic valid patterns
+// is routed through the switch's per-stage observability port
+// (core.FaultInjectable.TraceWithPlane), and each stage's observed wire
+// matrix is compared against the fault-free transform of its observed
+// inputs (GoldenStage). Because every stage is checked against its own
+// *observed* inputs, a fault never cascades into misattribution: the
+// first diverging stage and chip is the faulty one. The final routing
+// of every pattern is additionally checked against the Lemma 1/Lemma 2
+// oracles (nearsort.CheckPartialConcentration), so the scan also
+// catches contract violations whose stage signature is unrecognized.
+//
+// Degradation follows the partial-concentrator degradation argument:
+// masking f untrustworthy outputs of an (n, m, 1−ε/m) switch yields an
+// (n, m−f, 1−ε/(m−f)) switch by Lemma 2, and bypassing a faulty chip
+// through unsorted spare lanes costs at most its port count in ε. See
+// DegradedSwitch.
+package health
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/nearsort"
+)
+
+// LocalizedFault is the scan's diagnosis of one failed chip.
+type LocalizedFault struct {
+	// Stage and Chip address the chip (see core.FaultInjectable.StageChips).
+	Stage, Chip int
+	// Mode is the inferred failure mode; meaningful only when ModeKnown.
+	Mode core.ChipFaultMode
+	// ModeKnown reports whether the divergence matched a known failure
+	// signature. An unrecognized signature still localizes the chip.
+	ModeKnown bool
+	// Ports lists the affected output ports (stuck: one, swapped: two).
+	Ports []int
+	// Pattern is the index of the diagnostic pattern that exposed the
+	// fault.
+	Pattern int
+}
+
+// String renders the diagnosis.
+func (f LocalizedFault) String() string {
+	mode := "unrecognized"
+	if f.ModeKnown {
+		mode = f.Mode.String()
+	}
+	return fmt.Sprintf("stage %d chip %d: %s (ports %v, pattern %d)", f.Stage, f.Chip, mode, f.Ports, f.Pattern)
+}
+
+func (f LocalizedFault) key() [2]int { return [2]int{f.Stage, f.Chip} }
+
+// ScanReport is the outcome of one BIST scan.
+type ScanReport struct {
+	// Healthy is true when no stage diverged and no oracle fired.
+	Healthy bool
+	// Patterns is the number of diagnostic patterns routed; Routes is
+	// the number of Route-equivalent operations spent (the scan's cost
+	// in switch setup cycles).
+	Patterns, Routes int
+	// Faults lists the localized chips, in (stage, chip) order.
+	Faults []LocalizedFault
+	// SuspectOutputs lists the switch output wires that can no longer
+	// be trusted: the final-stage ports of localized faulty chips that
+	// fall within [0, m).
+	SuspectOutputs []int
+	// Violations records end-to-end oracle failures observed on the
+	// diagnostic patterns.
+	Violations []string
+}
+
+// DiagnosticPatterns builds the fixed BIST pattern set for an n-input
+// switch with guarantee threshold t: full load, alternating load,
+// threshold-sized prefix and suffix bursts, and three seeded
+// pseudo-random loads. The set is deterministic — in hardware it would
+// be baked into the scan controller's ROM.
+func DiagnosticPatterns(n, threshold int) []*bitvec.Vector {
+	if threshold < 0 {
+		threshold = 0
+	}
+	if threshold > n {
+		threshold = n
+	}
+	full := bitvec.New(n)
+	alt := bitvec.New(n)
+	prefix := bitvec.New(n)
+	suffix := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		full.Set(i, true)
+		alt.Set(i, i%2 == 0)
+		prefix.Set(i, i < threshold)
+		suffix.Set(i, i >= n-threshold)
+	}
+	pats := []*bitvec.Vector{full, alt, prefix, suffix}
+	rng := rand.New(rand.NewSource(0xB157))
+	for _, load := range []float64{0.05, 0.3, 0.5, 0.8} {
+		v := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			v.Set(i, rng.Float64() < load)
+		}
+		pats = append(pats, v)
+	}
+	return pats
+}
+
+// staircasePatterns builds two geometry-aware patterns for an
+// rows×cols wire matrix: the upper triangle (column j carries j+1
+// messages) and the strict upper triangle (column j carries j). After
+// the first column sort every matrix row is a ragged right-aligned
+// segment, so a row-assigned chip that fails to sort (or a shifter
+// that fails to rotate) diverges from its golden line on every row —
+// the signature that load-oblivious patterns miss when rows happen to
+// be completely full or empty.
+func staircasePatterns(rows, cols, n int) []*bitvec.Vector {
+	tri := bitvec.New(n)
+	strict := bitvec.New(n)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			x := i*cols + j
+			if x >= n {
+				continue
+			}
+			tri.Set(x, i <= j)
+			strict.Set(x, i < j)
+		}
+	}
+	return []*bitvec.Vector{tri, strict}
+}
+
+// Scan routes the diagnostic patterns through sw (with its installed
+// fault plane active), checks every chip stage against its golden
+// transform, and localizes diverging chips. It returns an error only
+// on mechanical failure of the switch interface, never on detection.
+func Scan(sw core.FaultInjectable) (*ScanReport, error) {
+	stages := sw.StageChips()
+	plane := sw.ActiveFaultPlane()
+	rep := &ScanReport{}
+	found := make(map[[2]int]LocalizedFault)
+	pats := DiagnosticPatterns(sw.Inputs(), core.Threshold(sw))
+	if len(stages) > 0 {
+		st := stages[0]
+		rows, cols := st.Ports, st.Chips
+		if !st.ChipsAreColumns {
+			rows, cols = st.Chips, st.Ports
+		}
+		pats = append(pats, staircasePatterns(rows, cols, sw.Inputs())...)
+	}
+
+	for pi, pat := range pats {
+		snaps, out, err := sw.TraceWithPlane(pat, plane)
+		if err != nil {
+			return nil, fmt.Errorf("health: scan pattern %d: %w", pi, err)
+		}
+		if len(snaps) != len(stages)+1 {
+			return nil, fmt.Errorf("health: switch traced %d snapshots for %d stages", len(snaps), len(stages))
+		}
+		rep.Patterns++
+		rep.Routes++
+		for si, st := range stages {
+			golden, err := sw.GoldenStage(si, snaps[si])
+			if err != nil {
+				return nil, fmt.Errorf("health: golden stage %d: %w", si, err)
+			}
+			for _, chip := range divergingChips(snaps[si+1], golden, st) {
+				lf := classify(line(snaps[si+1], st, chip), line(golden, st, chip))
+				lf.Stage, lf.Chip, lf.Pattern = si, chip, pi
+				old, seen := found[lf.key()]
+				if !seen || (!old.ModeKnown && lf.ModeKnown) {
+					if seen {
+						lf.Pattern = old.Pattern
+					}
+					found[lf.key()] = lf
+				}
+			}
+		}
+		if err := nearsort.CheckPartialConcentration(pat, out, sw.Outputs(), sw.EpsilonBound()); err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("pattern %d: %v", pi, err))
+		}
+	}
+
+	for _, lf := range found {
+		rep.Faults = append(rep.Faults, lf)
+	}
+	sort.Slice(rep.Faults, func(i, j int) bool {
+		if rep.Faults[i].Stage != rep.Faults[j].Stage {
+			return rep.Faults[i].Stage < rep.Faults[j].Stage
+		}
+		return rep.Faults[i].Chip < rep.Faults[j].Chip
+	})
+	rep.SuspectOutputs = suspectOutputs(rep.Faults, stages, sw.Outputs())
+	rep.Healthy = len(rep.Faults) == 0 && len(rep.Violations) == 0
+	return rep, nil
+}
+
+// divergingChips lists the chips of one stage whose observed output
+// line differs from the golden line.
+func divergingChips(observed, golden core.Snapshot, st core.StageInfo) []int {
+	bad := make(map[int]bool)
+	for x := range observed.Cell {
+		if observed.Cell[x] == golden.Cell[x] {
+			continue
+		}
+		i, j := x/observed.Cols, x%observed.Cols
+		if st.ChipsAreColumns {
+			bad[j] = true
+		} else {
+			bad[i] = true
+		}
+	}
+	chips := make([]int, 0, len(bad))
+	for c := range bad {
+		chips = append(chips, c)
+	}
+	sort.Ints(chips)
+	return chips
+}
+
+// line extracts chip c's output line (its column or row of the wire
+// matrix) from a snapshot.
+func line(s core.Snapshot, st core.StageInfo, chip int) []int {
+	if st.ChipsAreColumns {
+		out := make([]int, s.Rows)
+		for i := 0; i < s.Rows; i++ {
+			out[i] = s.Cell[i*s.Cols+chip]
+		}
+		return out
+	}
+	out := make([]int, s.Cols)
+	copy(out, s.Cell[chip*s.Cols:(chip+1)*s.Cols])
+	return out
+}
+
+// classify matches an observed-vs-golden line divergence against the
+// known chip failure signatures.
+func classify(obs, gold []int) LocalizedFault {
+	// Stuck-at-1 output: the phantom marker is directly visible.
+	for idx, v := range obs {
+		if v == core.CellPhantom {
+			return LocalizedFault{Mode: core.ChipStuckOutput, ModeKnown: true, Ports: []int{idx}}
+		}
+	}
+	// Dead chip: every output floats while the golden line is occupied.
+	obsEmpty, goldOccupied := true, false
+	for idx := range obs {
+		if obs[idx] != core.CellEmpty {
+			obsEmpty = false
+		}
+		if gold[idx] != core.CellEmpty {
+			goldOccupied = true
+		}
+	}
+	if obsEmpty && goldOccupied {
+		return LocalizedFault{Mode: core.ChipDead, ModeKnown: true}
+	}
+	// Swapped pair: exactly two positions differ and their values cross.
+	var diffs []int
+	for idx := range obs {
+		if obs[idx] != gold[idx] {
+			diffs = append(diffs, idx)
+		}
+	}
+	if len(diffs) == 2 && obs[diffs[0]] == gold[diffs[1]] && obs[diffs[1]] == gold[diffs[0]] {
+		return LocalizedFault{Mode: core.ChipSwappedPair, ModeKnown: true, Ports: []int{diffs[0], diffs[1]}}
+	}
+	// Pass-through: same contents, wrong arrangement.
+	if sameMultiset(obs, gold) {
+		return LocalizedFault{Mode: core.ChipPassThrough, ModeKnown: true}
+	}
+	return LocalizedFault{}
+}
+
+func sameMultiset(a, b []int) bool {
+	counts := make(map[int]int, len(a))
+	for _, v := range a {
+		counts[v]++
+	}
+	for _, v := range b {
+		counts[v]--
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// suspectOutputs maps final-stage faults to the switch output wires
+// they can corrupt: the faulty chip's ports that land within [0, m).
+// Faults in earlier stages corrupt positions data-dependently and are
+// handled by chip bypass rather than output masking.
+func suspectOutputs(faults []LocalizedFault, stages []core.StageInfo, m int) []int {
+	if len(stages) == 0 {
+		return nil
+	}
+	final := len(stages) - 1
+	st := stages[final]
+	seen := make(map[int]bool)
+	for _, f := range faults {
+		if f.Stage != final {
+			continue
+		}
+		ports := f.Ports
+		if len(ports) == 0 { // whole chip untrustworthy
+			ports = make([]int, st.Ports)
+			for p := range ports {
+				ports[p] = p
+			}
+		}
+		for _, p := range ports {
+			pos := wirePosition(st, f.Chip, p)
+			if pos < m {
+				seen[pos] = true
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for pos := range seen {
+		out = append(out, pos)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// wirePosition converts (chip, port) of the final stage to the
+// row-major wire position of the switch's output matrix.
+func wirePosition(st core.StageInfo, chip, port int) int {
+	if st.ChipsAreColumns {
+		// chips are columns: port = row, matrix has st.Chips columns.
+		return port*st.Chips + chip
+	}
+	// chips are rows: port = column, matrix has st.Ports columns.
+	return chip*st.Ports + port
+}

@@ -84,19 +84,34 @@ func (f *FaultySwitch) Route(valid *bitvec.Vector) ([]int, error) {
 			}
 		}
 	case FaultStuckOutput:
-		// The stuck output asserts valid even with no message; model:
-		// the message on A (if any) is destroyed, and to surface the
-		// phantom we misattribute A to the first invalid input, which
-		// a checker must reject ("invalid input was routed").
-		for i := range out {
-			if out[i] == f.A {
-				out[i] = -1
-			}
-		}
+		// The stuck output asserts valid even with no message. With an
+		// invalid input available, model: the message on A (if any) is
+		// destroyed, and the phantom surfaces by misattributing A to
+		// the first invalid input, which a checker must reject
+		// ("invalid input was routed"). At full load there is no
+		// invalid input to attribute the phantom to; then model the bus
+		// contention instead: the stuck-at-1 driver fights another
+		// established path and both appear on A, which a checker must
+		// reject ("output carries two messages").
+		attributed := false
 		for i := 0; i < valid.Len(); i++ {
 			if !valid.Get(i) {
+				for j := range out {
+					if out[j] == f.A {
+						out[j] = -1
+					}
+				}
 				out[i] = f.A
+				attributed = true
 				break
+			}
+		}
+		if !attributed {
+			for i := range out {
+				if out[i] >= 0 && out[i] != f.A {
+					out[i] = f.A
+					break
+				}
 			}
 		}
 	case FaultSwapOutputs:
@@ -133,10 +148,15 @@ func (f *FaultySwitch) Route(valid *bitvec.Vector) ([]int, error) {
 }
 
 // RandomFault draws a random non-trivial fault configuration for sw.
+// Swap faults need two distinct outputs, so they are excluded when
+// m < 2.
 func RandomFault(rng *rand.Rand, sw core.Concentrator) (*FaultySwitch, error) {
-	kinds := []FaultKind{FaultDropOutput, FaultStuckOutput, FaultSwapOutputs, FaultDuplicate}
-	kind := kinds[rng.Intn(len(kinds))]
+	kinds := []FaultKind{FaultDropOutput, FaultStuckOutput, FaultDuplicate}
 	m := sw.Outputs()
+	if m > 1 {
+		kinds = append(kinds, FaultSwapOutputs)
+	}
+	kind := kinds[rng.Intn(len(kinds))]
 	a := rng.Intn(m)
 	b := a
 	if m > 1 {

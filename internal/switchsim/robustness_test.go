@@ -1,0 +1,180 @@
+package switchsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/nearsort"
+)
+
+// Regression: RandomFault on a single-output switch used to draw
+// FaultSwapOutputs, which needs two distinct outputs and spun forever
+// looking for a second one.
+func TestRandomFaultSingleOutputSwitch(t *testing.T) {
+	sw, err := core.NewCrossbar(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		fs, err := RandomFault(rand.New(rand.NewSource(seed)), sw)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if fs.Kind == FaultSwapOutputs {
+			t.Fatalf("seed %d: drew a swap fault on m=1", seed)
+		}
+		if fs.A != 0 {
+			t.Fatalf("seed %d: fault output %d out of range for m=1", seed, fs.A)
+		}
+	}
+}
+
+// Regression: FaultStuckOutput at full load had no invalid input to
+// attribute the phantom to and silently vanished; the oracle must still
+// see the stuck driver's bus contention.
+func TestStuckOutputObservableAtFullLoad(t *testing.T) {
+	sw, err := core.NewPerfectSwitch(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := NewFaultySwitch(sw, FaultStuckOutput, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bitvec.New(8)
+	for i := 0; i < 8; i++ {
+		v.Set(i, true)
+	}
+	out, err := fs.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nearsort.CheckPartialConcentration(v, out, fs.Outputs(), fs.EpsilonBound()); err == nil {
+		t.Fatal("oracle accepted a stuck output at full load")
+	}
+	// With an invalid input present the phantom is attributed instead.
+	v.Set(7, false)
+	out, err = fs.Route(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nearsort.CheckPartialConcentration(v, out, fs.Outputs(), fs.EpsilonBound()); err == nil {
+		t.Fatal("oracle accepted a stuck output at partial load")
+	}
+}
+
+// MaxBacklog counts messages waiting for a future round, not the peak
+// round offer (which MaxOffered now carries).
+func TestMaxBacklogCountsWaitingMessages(t *testing.T) {
+	sw, err := core.NewPerfectSwitch(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunSession(sw, SessionConfig{
+		Policy: Buffer,
+		Load:   1.0,
+		Rounds: 10,
+		Seed:   1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every round: 2 buffered survivors + 2 new arrivals offered, 2
+	// delivered, 2 re-buffered.
+	if stats.MaxOffered != 4 {
+		t.Fatalf("MaxOffered = %d, want 4", stats.MaxOffered)
+	}
+	if stats.MaxBacklog != 2 {
+		t.Fatalf("MaxBacklog = %d, want 2 (only waiting messages count)", stats.MaxBacklog)
+	}
+}
+
+// Resend with AckDelay 0 retries on the original input the very next
+// round — exactly Buffer's behavior. The two policies must produce
+// identical round-by-round deliveries.
+func TestResendZeroAckDelayEquivalentToBuffer(t *testing.T) {
+	sw, err := core.NewPerfectSwitch(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		for _, load := range []float64{0.3, 0.7, 1.0} {
+			base := SessionConfig{Load: load, Rounds: 40, Seed: seed}
+			cfgR, cfgB := base, base
+			cfgR.Policy, cfgR.AckDelay = Resend, 0
+			cfgB.Policy = Buffer
+			r, err := RunSession(sw, cfgR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := RunSession(sw, cfgB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Offered != b.Offered || r.Delivered != b.Delivered ||
+				r.Retries != b.Retries || r.Refused != b.Refused ||
+				r.MaxBacklog != b.MaxBacklog || r.MaxOffered != b.MaxOffered {
+				t.Fatalf("seed %d load %v: resend/ack0 %+v != buffer %+v", seed, load, r, b)
+			}
+			for round := range r.DeliveredPerRound {
+				if r.DeliveredPerRound[round] != b.DeliveredPerRound[round] {
+					t.Fatalf("seed %d load %v round %d: delivered %d (resend) vs %d (buffer)",
+						seed, load, round, r.DeliveredPerRound[round], b.DeliveredPerRound[round])
+				}
+			}
+		}
+	}
+}
+
+// The Misroute latency histogram must account for exactly the delivered
+// messages, with latencies inside the session horizon.
+func TestMisrouteLatencyHistogramSanity(t *testing.T) {
+	sw, err := core.NewPerfectSwitch(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 30
+	stats, err := RunSession(sw, SessionConfig{
+		Policy: Misroute,
+		Load:   0.8,
+		Rounds: rounds,
+		Seed:   9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, deflected := 0, false
+	for lat, c := range stats.LatencyHistogram {
+		if lat < 0 || lat >= rounds {
+			t.Fatalf("latency %d outside [0,%d)", lat, rounds)
+		}
+		if c <= 0 {
+			t.Fatalf("latency %d has non-positive count %d", lat, c)
+		}
+		if lat > 0 {
+			deflected = true
+		}
+		sum += c
+	}
+	if sum != stats.Delivered {
+		t.Fatalf("latency histogram sums to %d, Delivered = %d", sum, stats.Delivered)
+	}
+	if !deflected {
+		t.Fatal("load 0.8 on m=4 must deflect some messages into latency > 0")
+	}
+	perRound := 0
+	for _, c := range stats.DeliveredPerRound {
+		perRound += c
+	}
+	if perRound != stats.Delivered {
+		t.Fatalf("DeliveredPerRound sums to %d, Delivered = %d", perRound, stats.Delivered)
+	}
+	if stats.Offered < stats.Delivered {
+		t.Fatalf("delivered %d exceeds offered %d", stats.Delivered, stats.Offered)
+	}
+	if stats.MeanLatency() <= 0 {
+		t.Fatal("deflections must push mean latency above 0")
+	}
+}

@@ -79,8 +79,16 @@ type SessionStats struct {
 	// LatencyHistogram[r] counts messages delivered r rounds after
 	// their first offer (0 = same round).
 	LatencyHistogram map[int]int
-	// MaxBacklog is the peak number of waiting messages.
+	// MaxBacklog is the peak number of waiting messages — messages
+	// parked in the retry pool (Resend/Misroute) or held at their input
+	// wires (Buffer) — measured after each round's routing.
 	MaxBacklog int
+	// MaxOffered is the peak number of messages offered to the switch
+	// in any single round (new arrivals plus re-offers).
+	MaxOffered int
+	// DeliveredPerRound[r] is the number of messages delivered in
+	// round r.
+	DeliveredPerRound []int
 }
 
 // MeanLatency returns the average delivery latency in rounds.
@@ -116,7 +124,11 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := sw.Inputs()
-	stats := &SessionStats{Policy: cfg.Policy, LatencyHistogram: map[int]int{}}
+	stats := &SessionStats{
+		Policy:            cfg.Policy,
+		LatencyHistogram:  map[int]int{},
+		DeliveredPerRound: make([]int, cfg.Rounds),
+	}
 
 	// waiting[input] = message occupying that input (Buffer), or the
 	// retry pool (Resend).
@@ -192,10 +204,13 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 			stats.Offered++
 		}
 
-		if len(offered) > stats.MaxBacklog {
-			stats.MaxBacklog = len(offered)
+		if len(offered) > stats.MaxOffered {
+			stats.MaxOffered = len(offered)
 		}
 		if len(offered) == 0 {
+			if w := len(retryPool) + len(buffered); w > stats.MaxBacklog {
+				stats.MaxBacklog = w
+			}
 			continue
 		}
 
@@ -214,6 +229,7 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 		for _, d := range res.Delivered {
 			pm := offered[d.Input]
 			stats.Delivered++
+			stats.DeliveredPerRound[round]++
 			stats.LatencyHistogram[round-pm.firstRound]++
 		}
 		buffered = map[int]*pendingMsg{}
@@ -230,6 +246,9 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 			case Buffer:
 				buffered[in] = pm
 			}
+		}
+		if w := len(retryPool) + len(buffered); w > stats.MaxBacklog {
+			stats.MaxBacklog = w
 		}
 	}
 	return stats, nil
