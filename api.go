@@ -10,9 +10,11 @@ import (
 	"math/rand"
 
 	"concentrators/internal/bitvec"
+	"concentrators/internal/chaos"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
 	"concentrators/internal/layout"
+	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 )
 
@@ -177,6 +179,57 @@ func GenerateFaultSchedule(seed int64, sw FaultInjectable, mtbf float64, rounds,
 // recovery are all exercised and reported.
 func RunFaultAwareSession(sw FaultInjectable, cfg FaultSessionConfig) (*FaultSessionStats, error) {
 	return health.RunFaultAwareSession(sw, cfg)
+}
+
+// Replicated switch pools: health-gated failover, admission control,
+// and the deterministic chaos harness that certifies them.
+type (
+	// SwitchPool fronts N fault-injectable switch replicas (primary +
+	// hot spares) behind a single Route/Run facade with health-gated
+	// failover and ⌊α′m′⌋ admission control.
+	SwitchPool = pool.Pool
+	// PoolConfig tunes the pool's circuit breaker and admission control.
+	PoolConfig = pool.Config
+	// PoolStats is the pool's cumulative observability.
+	PoolStats = pool.Stats
+	// PoolRoundResult reports one pool round: who served, what was
+	// shed, whether the arbiter failed over.
+	PoolRoundResult = pool.RoundResult
+	// ReplicaState is a replica's health-state-machine state.
+	ReplicaState = pool.State
+	// ChaosConfig drives one deterministic chaos replay.
+	ChaosConfig = chaos.Config
+	// ChaosEvent is one scheduled chaos action.
+	ChaosEvent = chaos.Event
+	// ChaosReport is the outcome of one chaos replay.
+	ChaosReport = chaos.Report
+)
+
+// The replica health states.
+const (
+	ReplicaHealthy     = pool.Healthy
+	ReplicaSuspect     = pool.Suspect
+	ReplicaQuarantined = pool.Quarantined
+	ReplicaRepaired    = pool.Repaired
+)
+
+// NewSwitchPool builds a pool over the given replicas (all must share
+// the same n×m geometry); replica 0 starts as the primary.
+func NewSwitchPool(cfg PoolConfig, replicas ...FaultInjectable) (*SwitchPool, error) {
+	return pool.New(cfg, replicas...)
+}
+
+// GenerateChaosSchedule derives a deterministic chaos schedule (chip
+// faults, mid-stream primary kills, scan-latency jitter) from a seed.
+func GenerateChaosSchedule(seed int64, sw FaultInjectable, cfg ChaosConfig) ([]ChaosEvent, error) {
+	return chaos.GenerateSchedule(seed, sw, cfg)
+}
+
+// RunChaos replays a chaos schedule against a fresh pool of
+// cfg.Replicas switches built by build, verifying every round against
+// the live replica set's degraded contract.
+func RunChaos(build func() (FaultInjectable, error), events []ChaosEvent, cfg ChaosConfig) (*ChaosReport, error) {
+	return chaos.Run(build, events, cfg)
 }
 
 // Packaging reports (Table 1, Figures 3/4/6/7).

@@ -92,6 +92,69 @@ func TestPublicAPISession(t *testing.T) {
 	}
 }
 
+// The pool facade end-to-end: build a replicated pool, kill the
+// primary mid-stream, and watch the arbiter fail over without losing
+// the round — then replay a seeded chaos schedule through the public
+// chaos wrappers.
+func TestPublicAPISwitchPool(t *testing.T) {
+	build := func() (FaultInjectable, error) {
+		return NewColumnsortSwitchBeta(64, 32, 0.75)
+	}
+	replicas := make([]FaultInjectable, 2)
+	for i := range replicas {
+		fi, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = fi
+	}
+	p, err := NewSwitchPool(PoolConfig{TripThreshold: 1, ProbeAfter: 1}, replicas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := []Message{NewMessage(0, []byte("a")), NewMessage(1, []byte("b"))}
+	rr, err := p.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.ServedBy != 0 || len(rr.Result.Delivered) != 2 {
+		t.Fatalf("healthy pool round: %+v", rr)
+	}
+	if err := p.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	rr, err = p.Run(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.ServedBy != 1 || rr.Violated || len(rr.Result.Delivered) != 2 {
+		t.Fatalf("failover round: %+v", rr)
+	}
+	if states := p.States(); states[1] != ReplicaHealthy {
+		t.Fatalf("replica 1 state %v after serving", states[1])
+	}
+	if s := p.Stats(); s.Failovers == 0 {
+		t.Fatalf("stats missed the failover: %+v", s)
+	}
+
+	probe, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ChaosConfig{Replicas: 2, Rounds: 40, Load: 0.5, PayloadBits: 4, Seed: 11, Faults: 1, Kills: 1}
+	events, err := GenerateChaosSchedule(cfg.Seed, probe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunChaos(build, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != cfg.Rounds {
+		t.Fatalf("chaos recorded %d rounds, want %d", len(rep.Rounds), cfg.Rounds)
+	}
+}
+
 func TestPublicAPITable1(t *testing.T) {
 	rows, err := Table1(1024, 512)
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"concentrators/internal/mesh"
 	"concentrators/internal/nearsort"
 	"concentrators/internal/optroute"
+	"concentrators/internal/pool"
 	"concentrators/internal/seqhyper"
 	"concentrators/internal/switchsim"
 	"concentrators/internal/workload"
@@ -748,4 +749,85 @@ func BenchmarkDegradedThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPoolFailover times a pool round whose primary violates its
+// contract mid-round: online detection, breaker trip, in-round arbiter
+// retarget to the hot spare, and the replayed setup — the pool's
+// recovery latency, paid entirely within the round.
+func BenchmarkPoolFailover(b *testing.B) {
+	build := func() core.FaultInjectable {
+		sw, err := core.NewColumnsortSwitchBeta(64, 32, 0.75)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sw
+	}
+	primary, spare := build(), build()
+	msgs := make([]switchsim.Message, 0, 16)
+	for i := 0; i < 16; i++ {
+		msgs = append(msgs, switchsim.Message{Input: i, Payload: []byte{1, 0, 1, 1}})
+	}
+	fault := core.ChipFault{Stage: 0, Chip: 1, Mode: core.ChipDead}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pool.New(pool.Config{TripThreshold: 1, ProbeAfter: 4}, primary, spare)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.InjectFault(0, fault); err != nil {
+			b.Fatal(err)
+		}
+		rr, err := p.Run(msgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rr.FailedOver || rr.Violated {
+			b.Fatalf("round did not fail over: %+v", rr)
+		}
+	}
+}
+
+// BenchmarkSingleSwitchMTTR times what the same failure costs without a
+// spare: the violated round, a full BIST scan to localize the fault,
+// deriving the degraded configuration, and the replayed round on it —
+// the single-switch mean time to repair that pool failover replaces.
+func BenchmarkSingleSwitchMTTR(b *testing.B) {
+	sw, err := core.NewColumnsortSwitchBeta(64, 32, 0.75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := make([]switchsim.Message, 0, 16)
+	for i := 0; i < 16; i++ {
+		msgs = append(msgs, switchsim.Message{Input: i, Payload: []byte{1, 0, 1, 1}})
+	}
+	// A final-stage stuck output keeps the degraded threshold positive
+	// (a dead chip's bypass would cost a full 32-port chip of ε here).
+	fault := core.ChipFault{Stage: 1, Chip: 0, Mode: core.ChipStuckOutput, A: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plane := core.NewFaultPlane()
+		plane.Add(fault)
+		if err := sw.SetFaultPlane(plane); err != nil {
+			b.Fatal(err)
+		}
+		res, err := switchsim.Run(sw, msgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if switchsim.CheckGuarantee(sw, msgs, res) == nil {
+			b.Fatal("fault went undetected")
+		}
+		rep, err := health.Scan(sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := health.NewDegradedSwitch(sw, rep.Faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := switchsim.Run(d, msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

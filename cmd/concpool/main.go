@@ -1,0 +1,151 @@
+// Command concpool drives a replicated concentrator pool through a
+// deterministic chaos schedule: seeded chip faults, mid-stream primary
+// kills with later board swaps, and probe-latency injections, while
+// Bernoulli traffic streams and every round is checked against the
+// live replica set's degraded delivery contract ⌊α′m′⌋.
+//
+// Usage examples:
+//
+//	concpool -switch columnsort -n 256 -m 128 -beta 0.75 -replicas 3 -rounds 200 -faults 4 -kills 2
+//	concpool -switch revsort -n 1024 -m 512 -replicas 2 -seed 1987 -kills 1 -verbose
+//	concpool -replicas 4 -faults 6 -kills 3 -scan-latency-jitter
+//
+// Exit status: 0 when the pool survived the schedule, 1 on usage or
+// construction errors, 2 when any round regressed below the degraded
+// contract.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"concentrators/internal/chaos"
+	"concentrators/internal/core"
+	"concentrators/internal/pool"
+)
+
+func main() {
+	kind := flag.String("switch", "columnsort", "switch design: revsort | columnsort")
+	n := flag.Int("n", 256, "number of input wires")
+	m := flag.Int("m", 0, "number of output wires (default n/2)")
+	beta := flag.Float64("beta", 0.75, "columnsort shape parameter β ∈ [1/2, 1]")
+	replicas := flag.Int("replicas", 3, "pool size: primary + hot spares")
+	rounds := flag.Int("rounds", 200, "traffic rounds to replay")
+	load := flag.Float64("load", 0.7, "per-input Bernoulli message probability")
+	payload := flag.Int("payload", 8, "payload length in bits")
+	seed := flag.Int64("seed", 1, "seed for both the schedule and the traffic")
+	faults := flag.Int("faults", 3, "chip faults to schedule across the replicas")
+	kills := flag.Int("kills", 2, "mid-stream primary kills to schedule (each revived later)")
+	jitter := flag.Bool("scan-latency-jitter", false, "inject probe-scan latency changes mid-run")
+	trip := flag.Int("trip", 1, "consecutive violations before the breaker trips")
+	probeAfter := flag.Int("probe-after", 2, "rounds in quarantine before the first half-open probe")
+	backoffMax := flag.Int("backoff-max", 32, "cap on the exponential re-admission backoff")
+	retryCap := flag.Int("retry-cap", 8, "cap on the shed messages' retry-after hint")
+	verbose := flag.Bool("verbose", false, "print every round that fired events or failed over")
+	flag.Parse()
+
+	if *m == 0 {
+		*m = *n / 2
+	}
+	build := func() (core.FaultInjectable, error) {
+		var sw core.Concentrator
+		var err error
+		switch *kind {
+		case "revsort":
+			sw, err = core.NewRevsortSwitch(*n, *m)
+		case "columnsort":
+			sw, err = core.NewColumnsortSwitchBeta(*n, *m, *beta)
+		default:
+			return nil, fmt.Errorf("unknown switch %q (pool needs a multichip fault-injectable design)", *kind)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return sw.(core.FaultInjectable), nil
+	}
+
+	cfg := chaos.Config{
+		Replicas:          *replicas,
+		Rounds:            *rounds,
+		Load:              *load,
+		PayloadBits:       *payload,
+		Seed:              *seed,
+		Faults:            *faults,
+		Kills:             *kills,
+		ScanLatencyJitter: *jitter,
+		Pool: pool.Config{
+			TripThreshold: *trip,
+			ProbeAfter:    *probeAfter,
+			BackoffMax:    *backoffMax,
+			RetryAfterCap: *retryCap,
+		},
+	}
+
+	probe, err := build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("switch: %s  n=%d m=%d ε=%d  threshold %d\n",
+		probe.Name(), probe.Inputs(), probe.Outputs(), probe.EpsilonBound(), core.Threshold(probe))
+
+	events, err := chaos.GenerateSchedule(*seed, probe, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("schedule: seed %d, %d events over %d rounds\n", *seed, len(events), *rounds)
+	for _, ev := range events {
+		fmt.Printf("  %s\n", ev)
+	}
+
+	rep, err := chaos.Run(build, events, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *verbose {
+		for _, rr := range rep.Rounds {
+			if len(rr.Events) == 0 && !rr.FailedOver && !rr.Violated {
+				continue
+			}
+			status := ""
+			if rr.FailedOver {
+				status = "  FAILED OVER"
+			}
+			if rr.Violated {
+				status += "  VIOLATED"
+			}
+			fmt.Printf("  round %3d: served by %d, admitted %d, shed %d, delivered %d (threshold %d)%s\n",
+				rr.Round, rr.ServedBy, rr.Admitted, rr.Shed, rr.Delivered, rr.Threshold, status)
+			for _, ev := range rr.Events {
+				fmt.Printf("    fired: %s\n", ev)
+			}
+		}
+	}
+
+	s := rep.Stats
+	fmt.Printf("replay: %d rounds  offered %d, admitted %d, shed %d, delivered %d\n",
+		s.Rounds, s.Offered, s.Admitted, s.Shed, s.Delivered)
+	fmt.Printf("  failovers %d (max same-round depth %d), breaker trips %d, probes %d, repairs %d\n",
+		s.Failovers, rep.MaxSameRoundFailovers, s.Trips, s.Probes, s.Repairs)
+	for i, rs := range s.Replicas {
+		killed := ""
+		if rs.Killed {
+			killed = " (powered off)"
+		}
+		fmt.Printf("  replica %d: state %s%s, threshold %d, served %d rounds, %d trips, %d repairs\n",
+			i, rs.State, killed, rs.Threshold, rs.RoundsServed, rs.Trips, rs.Repairs)
+	}
+
+	if len(rep.Regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "guarantee regressed on %d rounds:\n", len(rep.Regressions))
+		for _, r := range rep.Regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(2)
+	}
+	fmt.Printf("delivery guarantee held on every round (replay with -seed %d)\n", *seed)
+}

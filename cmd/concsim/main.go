@@ -8,6 +8,10 @@
 //	concsim -switch perfect -n 256 -m 64 -load 0.5 -payload 64
 //	concsim -switch full-revsort -n 4096 -load 0.7
 //	concsim -switch revsort -n 1024 -m 512 -faults 3 -mtbf 25 -scan-every 10
+//	concsim -switch columnsort -n 256 -m 128 -beta 0.75 -replicas 3 -load 0.8
+//
+// Exit status: 0 on success, 1 on usage or construction errors, 2 when
+// the run observed a delivery-guarantee violation.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"concentrators/internal/bitonic"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
+	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 )
 
@@ -37,6 +42,7 @@ func main() {
 	faults := flag.Int("faults", 0, "run a fault-aware session with up to this many scheduled chip faults (revsort/columnsort only)")
 	mtbf := flag.Float64("mtbf", 25, "mean rounds between chip failures for the fault schedule")
 	scanEvery := flag.Int("scan-every", 10, "run a BIST health scan every this many rounds (0 disables periodic scans)")
+	replicas := flag.Int("replicas", 1, "run traffic through a replicated switch pool of this size (revsort/columnsort only)")
 	flag.Parse()
 
 	if *m == 0 {
@@ -56,6 +62,10 @@ func main() {
 		sw.Name(), sw.Inputs(), sw.Outputs(), sw.EpsilonBound(), core.LoadRatio(sw),
 		sw.GateDelays(), sw.ChipsTraversed(), sw.ChipCount())
 
+	if *replicas > 1 {
+		runPool(*kind, *n, *m, *beta, *replicas, *load, *rounds, *payload, *seed)
+		return
+	}
 	if *faults > 0 {
 		runFaultSession(sw, *policy, *load, *rounds, *payload, *seed, *ack, *faults, *mtbf, *scanEvery)
 		return
@@ -79,7 +89,7 @@ func main() {
 		}
 		if err := switchsim.CheckGuarantee(sw, msgs, res); err != nil {
 			fmt.Fprintf(os.Stderr, "guarantee violated: %v\n", err)
-			os.Exit(1)
+			os.Exit(2)
 		}
 		if *wave && round == 0 {
 			if err := res.WriteWaveform(os.Stdout, 64); err != nil {
@@ -201,6 +211,74 @@ func runFaultSession(sw core.Concentrator, policy string, load float64, rounds, 
 		stats.Scans, stats.ScanRoutes, 100*stats.ScanOverhead)
 	fmt.Printf("  degraded contract: m′=%d threshold=%d α′=%.4f\n",
 		stats.DegradedOutputs, stats.DegradedThreshold, stats.PostDegradationAlpha)
+	if stats.LostAfterDetection > 0 {
+		fmt.Fprintf(os.Stderr, "guarantee violated: %d messages lost after degradation should have covered the faults\n",
+			stats.LostAfterDetection)
+		os.Exit(2)
+	}
+}
+
+// runPool drives traffic through a replicated switch pool: the primary
+// serves each round, spares stand by for failover, and admitted load is
+// capped at the live ⌊α′m′⌋ threshold.
+func runPool(kind string, n, m int, beta float64, replicas int, load float64, rounds, payload int, seed int64) {
+	switches := make([]core.FaultInjectable, replicas)
+	for i := range switches {
+		sw, err := buildSwitch(kind, n, m, beta)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fi, ok := sw.(core.FaultInjectable)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-replicas needs a multichip fault-injectable switch (revsort or columnsort), not %s\n", sw.Name())
+			os.Exit(1)
+		}
+		switches[i] = fi
+	}
+	p, err := pool.New(pool.Config{}, switches...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var offered, admitted, shed, delivered, violatedRounds int
+	for round := 0; round < rounds; round++ {
+		msgs := switchsim.RandomMessages(rng, n, load, payload)
+		if len(msgs) == 0 {
+			continue
+		}
+		rr, err := p.Run(msgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		offered += len(msgs)
+		shed += len(rr.Shed)
+		admitted += len(msgs) - len(rr.Shed)
+		if rr.Result != nil {
+			delivered += len(rr.Result.Delivered)
+		}
+		if rr.Violated {
+			violatedRounds++
+		}
+	}
+	s := p.Stats()
+	fmt.Printf("pool: %d replicas, threshold %d\n", replicas, p.Threshold())
+	fmt.Printf("  rounds %d  offered %d, admitted %d, shed %d, delivered %d\n",
+		rounds, offered, admitted, shed, delivered)
+	fmt.Printf("  failovers %d (same-round %d), breaker trips %d, probes %d, repairs %d\n",
+		s.Failovers, s.SameRoundFailovers, s.Trips, s.Probes, s.Repairs)
+	for i, rs := range s.Replicas {
+		fmt.Printf("  replica %d: state %s, threshold %d, served %d rounds, %d violations\n",
+			i, rs.State, rs.Threshold, rs.RoundsServed, rs.Violations)
+	}
+	if violatedRounds > 0 {
+		fmt.Fprintf(os.Stderr, "guarantee violated: %d rounds exhausted every replica\n", violatedRounds)
+		os.Exit(2)
+	}
+	fmt.Printf("delivery guarantee (⌊α′m′⌋ = %d per round) verified on every round\n", p.Threshold())
 }
 
 func max(a, b int) int {

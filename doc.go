@@ -25,6 +25,11 @@
 //   - internal/bitonic, internal/concgraph, internal/adversary,
 //     internal/knockout — baselines, graph concentrators, worst-case
 //     search, and the Knockout-switch application
+//   - internal/health — BIST fault localization and graceful
+//     degradation under a recomputed contract
+//   - internal/pool, internal/chaos — the replicated switch pool
+//     (health-gated failover, admission control) and its deterministic
+//     chaos harness
 //   - internal/bench, internal/workload — experiment harness and
 //     traffic generators
 //

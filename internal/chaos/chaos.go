@@ -1,0 +1,392 @@
+// Package chaos is a deterministic chaos harness for the replicated
+// concentrator pool: it replays seeded schedules of chip faults,
+// mid-stream replica kills and revivals, and scan-latency injections
+// against an internal/pool switch pool while Bernoulli traffic runs,
+// and checks — round by round — that the delivery guarantee never
+// regresses below the degraded contract of the live replica set.
+//
+// Determinism is the point: a Schedule is derived entirely from a seed
+// and the pool geometry, so a guarantee regression found in CI replays
+// bit-for-bit from its seed. Kill events target the replica that is
+// *active when the event fires* (Replica = ActiveReplica), which is
+// what makes them mid-stream primary kills rather than spare kills.
+//
+// The harness spaces destructive events far enough apart for the
+// pool's detect–quarantine–probe–repair loop to complete between
+// failures, so at every round at least one replica serves a contract it
+// actually satisfies; any round the pool flags as violated is therefore
+// a real regression of the failover or degradation machinery, not an
+// artifact of the schedule.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"concentrators/internal/core"
+	"concentrators/internal/pool"
+	"concentrators/internal/switchsim"
+)
+
+// EventKind selects a chaos event type.
+type EventKind int
+
+// The chaos event kinds.
+const (
+	// EventFault injects a chip fault into a replica's fault plane.
+	EventFault EventKind = iota
+	// EventKill powers a replica off mid-stream.
+	EventKill
+	// EventRevive swaps the killed replica's board: clean plane,
+	// re-admission via a half-open probe scan.
+	EventRevive
+	// EventScanLatency changes the pool's probe-scan latency.
+	EventScanLatency
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventFault:
+		return "fault"
+	case EventKill:
+		return "kill"
+	case EventRevive:
+		return "revive"
+	case EventScanLatency:
+		return "scan-latency"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// ActiveReplica as an Event.Replica targets whichever replica is the
+// pool's primary when the event fires.
+const ActiveReplica = -1
+
+// Event is one scheduled chaos action.
+type Event struct {
+	// Round is when the event fires (before the round's traffic).
+	Round int
+	// Kind is the action.
+	Kind EventKind
+	// Replica is the target index, or ActiveReplica.
+	Replica int
+	// Fault is the injected chip fault (EventFault only).
+	Fault core.ChipFault
+	// Latency is the new probe-scan latency (EventScanLatency only).
+	Latency int
+}
+
+// String renders the event.
+func (e Event) String() string {
+	target := fmt.Sprintf("replica %d", e.Replica)
+	if e.Replica == ActiveReplica {
+		target = "active replica"
+	}
+	switch e.Kind {
+	case EventFault:
+		return fmt.Sprintf("round %d: fault %s on %s", e.Round, e.Fault, target)
+	case EventScanLatency:
+		return fmt.Sprintf("round %d: scan latency → %d", e.Round, e.Latency)
+	default:
+		return fmt.Sprintf("round %d: %s %s", e.Round, e.Kind, target)
+	}
+}
+
+// Config drives one chaos run.
+type Config struct {
+	// Replicas is the pool size (≥ 2 for failover coverage).
+	Replicas int
+	// Rounds is the number of traffic rounds to replay.
+	Rounds int
+	// Load is the per-input Bernoulli message probability.
+	Load float64
+	// PayloadBits is the payload length of each message.
+	PayloadBits int
+	// Seed drives both the schedule and the traffic.
+	Seed int64
+	// Faults and Kills bound the destructive events scheduled.
+	Faults, Kills int
+	// ScanLatencyJitter, when true, schedules probe-latency injections.
+	ScanLatencyJitter bool
+	// Pool tunes the pool under test. TripThreshold defaults to 1 in
+	// chaos runs so the detect–repair loop completes between events.
+	Pool pool.Config
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Replicas < 1:
+		return fmt.Errorf("chaos: need ≥ 1 replica, got %d", c.Replicas)
+	case c.Rounds < 1:
+		return fmt.Errorf("chaos: need ≥ 1 round, got %d", c.Rounds)
+	case c.Load < 0 || c.Load > 1 || c.Load != c.Load:
+		return fmt.Errorf("chaos: load %v outside [0,1]", c.Load)
+	case c.PayloadBits < 1:
+		return fmt.Errorf("chaos: payload must be ≥ 1 bit, got %d", c.PayloadBits)
+	case c.Faults < 0 || c.Kills < 0:
+		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills)", c.Faults, c.Kills)
+	}
+	return nil
+}
+
+// GenerateSchedule derives the deterministic chaos schedule for a pool
+// of cfg.Replicas copies of sw: cfg.Kills mid-stream primary kills
+// (each later revived), cfg.Faults chip faults on random live spares or
+// primaries, and optional scan-latency jitter. Destructive events are
+// spaced so the pool's quarantine–probe–repair loop finishes between
+// failures, and a killed replica is never faulted while powered off.
+func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	stages := sw.StageChips()
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("chaos: %s has no chip stages to fault", sw.Name())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	poolCfg, err := normalizePool(cfg.Pool)
+	if err != nil {
+		return nil, err
+	}
+	// gap is the spacing that lets one failure be detected, probed and
+	// repaired (or revived) before the next lands.
+	gap := 2*(poolCfg.ProbeAfter+poolCfg.ScanLatency) + 6
+	reviveAfter := poolCfg.ProbeAfter + poolCfg.ScanLatency + 2
+
+	var events []Event
+	destructive := cfg.Faults + cfg.Kills
+	if destructive == 0 {
+		return events, nil
+	}
+	stride := max((cfg.Rounds-2)/destructive, gap)
+	killEvery := 0
+	if cfg.Kills > 0 {
+		killEvery = max(destructive/cfg.Kills, 1)
+	}
+	killedAt := -1 // round of the unrevived kill, if any
+	kills, faults := 0, 0
+	faultsOn := make([]int, cfg.Replicas)
+	round := 1 + rng.Intn(max(stride/2, 1))
+	for i := 0; i < destructive && round < cfg.Rounds; i++ {
+		isKill := killEvery > 0 && kills < cfg.Kills && (i%killEvery == killEvery-1 || destructive-i <= cfg.Kills-kills)
+		if isKill && killedAt < 0 {
+			// Kill whoever is primary at that round — the mid-stream
+			// kill the acceptance criterion asks for — and swap its
+			// board back in a few rounds later (the runner resolves the
+			// revive to the killed board).
+			events = append(events, Event{Round: round, Kind: EventKill, Replica: ActiveReplica})
+			if r := round + reviveAfter; r < cfg.Rounds {
+				events = append(events, Event{Round: r, Kind: EventRevive, Replica: ActiveReplica})
+			}
+			killedAt = round
+			kills++
+		} else if faults < cfg.Faults {
+			// Spread faults across the replicas (fewest-faulted first,
+			// random among ties) so degradation accumulates evenly and
+			// no single replica is degraded out of service while its
+			// peers stay untouched.
+			target, best := 0, faultsOn[0]*1000+rng.Intn(1000)
+			for r := 1; r < cfg.Replicas; r++ {
+				if score := faultsOn[r]*1000 + rng.Intn(1000); score < best {
+					target, best = r, score
+				}
+			}
+			faultsOn[target]++
+			events = append(events, Event{Round: round, Kind: EventFault, Replica: target, Fault: randomFault(rng, stages)})
+			faults++
+		}
+		if killedAt >= 0 && round-killedAt > reviveAfter {
+			killedAt = -1
+		}
+		round += stride + rng.Intn(max(stride/2, 1))
+	}
+	if cfg.ScanLatencyJitter && cfg.Rounds > 3*gap {
+		events = append(events,
+			Event{Round: gap, Kind: EventScanLatency, Latency: 1},
+			Event{Round: cfg.Rounds - gap, Kind: EventScanLatency, Latency: 0},
+		)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Round < events[j].Round })
+	return events, nil
+}
+
+// randomFault draws one valid chip fault for the given stages.
+func randomFault(rng *rand.Rand, stages []core.StageInfo) core.ChipFault {
+	si := rng.Intn(len(stages))
+	st := stages[si]
+	mode := core.ChipFaultMode(rng.Intn(4))
+	if mode == core.ChipSwappedPair && st.Ports < 2 {
+		mode = core.ChipDead
+	}
+	a := rng.Intn(st.Ports)
+	b := a
+	if st.Ports > 1 {
+		for b == a {
+			b = rng.Intn(st.Ports)
+		}
+	}
+	return core.ChipFault{Stage: si, Chip: rng.Intn(st.Chips), Mode: mode, A: a, B: b}
+}
+
+// normalizePool mirrors the pool's defaulting (chaos needs the
+// effective ProbeAfter/ScanLatency to space its events), with the
+// chaos-specific TripThreshold default of 1.
+func normalizePool(c pool.Config) (pool.Config, error) {
+	if c.TripThreshold == 0 {
+		c.TripThreshold = 1
+	}
+	if c.ProbeAfter == 0 {
+		c.ProbeAfter = 2
+	}
+	if c.TripThreshold < 0 || c.ProbeAfter < 0 || c.ScanLatency < 0 {
+		return c, fmt.Errorf("chaos: negative pool config field: %+v", c)
+	}
+	return c, nil
+}
+
+// RoundRecord is one replayed round's observability.
+type RoundRecord struct {
+	Round                              int
+	Offered, Admitted, Shed, Delivered int
+	Threshold                          int // serving contract's ⌊α′m′⌋
+	ServedBy                           int // replica index, −1 when none
+	FailedOver, Violated               bool
+	Events                             []Event // events fired before this round
+}
+
+// Report is the outcome of one chaos replay.
+type Report struct {
+	Schedule []Event
+	Rounds   []RoundRecord
+	// Regressions lists rounds whose delivery fell below the degraded
+	// contract of the live replica set — the guarantee the harness
+	// enforces. Empty means the pool survived the schedule.
+	Regressions []string
+	// MaxSameRoundFailovers is the most in-round retargets any single
+	// round needed (failover depth, not latency — latency is always
+	// within the round or it is a regression).
+	MaxSameRoundFailovers int
+	Stats                 pool.Stats
+}
+
+// Run replays the schedule against a fresh pool of cfg.Replicas
+// switches built by build, with seeded Bernoulli traffic, and verifies
+// every round against the live replica set's degraded contract.
+func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	poolCfg := cfg.Pool
+	if poolCfg.TripThreshold == 0 {
+		poolCfg.TripThreshold = 1
+	}
+	switches := make([]core.FaultInjectable, cfg.Replicas)
+	for i := range switches {
+		sw, err := build()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: building replica %d: %w", i, err)
+		}
+		switches[i] = sw
+	}
+	p, err := pool.New(poolCfg, switches...)
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := &Report{Schedule: events}
+	n := p.Inputs()
+	next := 0
+	lastFailovers := 0
+	var killedQueue []int // killed, not-yet-revived replicas, oldest first
+	for round := 0; round < cfg.Rounds; round++ {
+		var fired []Event
+		for next < len(events) && events[next].Round <= round {
+			ev := events[next]
+			next++
+			target := ev.Replica
+			if target == ActiveReplica {
+				if ev.Kind == EventRevive {
+					// A revive resolves to the oldest board still
+					// powered off, not to today's primary.
+					if len(killedQueue) == 0 {
+						continue
+					}
+					target = killedQueue[0]
+				} else {
+					target = p.Active()
+				}
+			}
+			switch ev.Kind {
+			case EventFault:
+				err = p.InjectFault(target, ev.Fault)
+			case EventKill:
+				if err = p.Kill(target); err == nil {
+					killedQueue = append(killedQueue, target)
+				}
+			case EventRevive:
+				if err = p.Revive(target); err == nil {
+					for i, k := range killedQueue {
+						if k == target {
+							killedQueue = append(killedQueue[:i], killedQueue[i+1:]...)
+							break
+						}
+					}
+				}
+			case EventScanLatency:
+				err = p.SetScanLatency(ev.Latency)
+			default:
+				err = fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chaos: applying %s: %w", ev, err)
+			}
+			ev.Replica = target
+			fired = append(fired, ev)
+		}
+
+		msgs := switchsim.RandomMessages(rng, n, cfg.Load, cfg.PayloadBits)
+		rr, err := p.Run(msgs)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: round %d: %w", round, err)
+		}
+		rec := RoundRecord{
+			Round: round, Offered: len(msgs), Shed: len(rr.Shed),
+			Admitted: len(msgs) - len(rr.Shed), Threshold: rr.Threshold,
+			ServedBy: rr.ServedBy, FailedOver: rr.FailedOver,
+			Violated: rr.Violated, Events: fired,
+		}
+		if rr.Result != nil {
+			rec.Delivered = len(rr.Result.Delivered)
+		}
+		rep.Rounds = append(rep.Rounds, rec)
+
+		// The invariant: the round must deliver at least
+		// min(admitted, ⌊α′m′⌋) messages for the serving contract of
+		// the live replica set. A round with no servable replica has an
+		// empty live set and threshold 0, which is only acceptable if
+		// the schedule really did take every replica down at once —
+		// the generator never does, so it too is a regression.
+		want := min(rec.Admitted, rec.Threshold)
+		switch {
+		case rr.Violated:
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("round %d: contract violated after exhausting replicas (delivered %d of %d admitted, threshold %d)",
+					round, rec.Delivered, rec.Admitted, rec.Threshold))
+		case rr.ServedBy >= 0 && rec.Delivered < want:
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("round %d: delivered %d < ⌊α′m′⌋ bound %d (replica %d)",
+					round, rec.Delivered, want, rr.ServedBy))
+		}
+		stats := p.Stats()
+		if depth := stats.SameRoundFailovers - lastFailovers; depth > rep.MaxSameRoundFailovers {
+			rep.MaxSameRoundFailovers = depth
+		}
+		lastFailovers = stats.SameRoundFailovers
+	}
+	rep.Stats = p.Stats()
+	return rep, nil
+}

@@ -1,0 +1,217 @@
+package chaos
+
+import (
+	"testing"
+
+	"concentrators/internal/core"
+	"concentrators/internal/pool"
+)
+
+// buildColumnsort is the chaos fixture: 256→128 so that every chip
+// fault class — including dead-chip bypasses, which cost a chip's port
+// count in ε — degrades to a positive guarantee threshold.
+func buildColumnsort() (core.FaultInjectable, error) {
+	return core.NewColumnsortSwitchBeta(256, 128, 0.75)
+}
+
+func baseConfig(seed int64) Config {
+	return Config{
+		Replicas:    3,
+		Rounds:      120,
+		Load:        0.7,
+		PayloadBits: 4,
+		Seed:        seed,
+		Faults:      3,
+		Kills:       2,
+		Pool:        pool.Config{TripThreshold: 1, ProbeAfter: 1},
+	}
+}
+
+func mustSchedule(t *testing.T, cfg Config) []Event {
+	t.Helper()
+	sw, err := buildColumnsort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := GenerateSchedule(cfg.Seed, sw, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestGenerateScheduleDeterministic(t *testing.T) {
+	cfg := baseConfig(42)
+	a := mustSchedule(t, cfg)
+	b := mustSchedule(t, cfg)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	kills, revives, faults := 0, 0, 0
+	for _, ev := range a {
+		switch ev.Kind {
+		case EventKill:
+			kills++
+			if ev.Replica != ActiveReplica {
+				t.Fatalf("kill targets %d, want the active replica", ev.Replica)
+			}
+		case EventRevive:
+			revives++
+		case EventFault:
+			faults++
+		}
+		if ev.Round < 0 || ev.Round >= cfg.Rounds {
+			t.Fatalf("event round %d outside [0,%d)", ev.Round, cfg.Rounds)
+		}
+	}
+	if kills == 0 || faults == 0 {
+		t.Fatalf("schedule has %d kills, %d faults — want both", kills, faults)
+	}
+	if revives > kills {
+		t.Fatalf("%d revives for %d kills", revives, kills)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sw, err := buildColumnsort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero replicas", func(c *Config) { c.Replicas = 0 }},
+		{"zero rounds", func(c *Config) { c.Rounds = 0 }},
+		{"negative load", func(c *Config) { c.Load = -0.1 }},
+		{"load above one", func(c *Config) { c.Load = 1.5 }},
+		{"zero payload", func(c *Config) { c.PayloadBits = 0 }},
+		{"negative kills", func(c *Config) { c.Kills = -1 }},
+	} {
+		cfg := baseConfig(1)
+		tc.mutate(&cfg)
+		if _, err := GenerateSchedule(cfg.Seed, sw, cfg); err == nil {
+			t.Errorf("%s: GenerateSchedule accepted invalid config", tc.name)
+		}
+		if _, err := Run(buildColumnsort, nil, cfg); err == nil {
+			t.Errorf("%s: Run accepted invalid config", tc.name)
+		}
+	}
+}
+
+// TestChaosAcceptance is the PR's acceptance criterion: across ≥ 3
+// seeded schedules with mid-stream primary kills, every round delivers
+// at least ⌊α′m′⌋ messages for the live replica set's degraded
+// contract, and failover completes within the round that exposes the
+// failure.
+func TestChaosAcceptance(t *testing.T) {
+	totalTrips := 0
+	for _, seed := range []int64{7, 1987, 0xC0C0} {
+		cfg := baseConfig(seed)
+		events := mustSchedule(t, cfg)
+		rep, err := Run(buildColumnsort, events, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rep.Regressions) != 0 {
+			t.Fatalf("seed %d: guarantee regressed:\n%v\nschedule: %v",
+				seed, rep.Regressions, events)
+		}
+		if rep.Stats.Violations != 0 {
+			t.Fatalf("seed %d: %d violated rounds", seed, rep.Stats.Violations)
+		}
+		// The schedule kills the primary mid-stream, so the arbiter
+		// must have failed over — and every failover that exposed a
+		// failure completed in-round (otherwise the round would have
+		// been a regression above).
+		if rep.Stats.Failovers == 0 {
+			t.Fatalf("seed %d: no failovers despite kills", seed)
+		}
+		totalTrips += rep.Stats.Trips
+		if len(rep.Rounds) != cfg.Rounds {
+			t.Fatalf("seed %d: %d rounds recorded, want %d", seed, len(rep.Rounds), cfg.Rounds)
+		}
+	}
+	// Not every seeded fault bites while its replica serves, but across
+	// the seeds some must trip the breaker and exercise quarantine.
+	if totalTrips == 0 {
+		t.Fatal("no breaker trips across any seed")
+	}
+}
+
+// TestChaosReplayDeterministic: the same seed replays the exact same
+// per-round outcomes.
+func TestChaosReplayDeterministic(t *testing.T) {
+	cfg := baseConfig(99)
+	events := mustSchedule(t, cfg)
+	a, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if ra.Delivered != rb.Delivered || ra.ServedBy != rb.ServedBy ||
+			ra.Shed != rb.Shed || ra.FailedOver != rb.FailedOver {
+			t.Fatalf("round %d diverged between replays: %+v vs %+v", i, ra, rb)
+		}
+	}
+	if a.Stats.Failovers != b.Stats.Failovers || a.Stats.Delivered != b.Stats.Delivered {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}
+
+// TestScanLatencyInjection: probe-latency jitter delays re-admission
+// but must not break the delivery guarantee (the spares carry it).
+func TestScanLatencyInjection(t *testing.T) {
+	cfg := baseConfig(5)
+	cfg.ScanLatencyJitter = true
+	cfg.Rounds = 160
+	events := mustSchedule(t, cfg)
+	sawLatency := false
+	for _, ev := range events {
+		if ev.Kind == EventScanLatency {
+			sawLatency = true
+		}
+	}
+	if !sawLatency {
+		t.Fatal("no scan-latency events scheduled")
+	}
+	rep, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("guarantee regressed under scan latency:\n%v", rep.Regressions)
+	}
+}
+
+// TestKillWithoutSpares: a 1-replica pool killed mid-stream must flag
+// violated rounds (no spare to fail over to) — the harness reports the
+// regression instead of masking it.
+func TestKillWithoutSpares(t *testing.T) {
+	cfg := baseConfig(3)
+	cfg.Replicas = 1
+	cfg.Faults = 0
+	cfg.Kills = 1
+	cfg.Rounds = 30
+	events := mustSchedule(t, cfg)
+	rep, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) == 0 {
+		t.Fatal("killing the only replica went unreported")
+	}
+}

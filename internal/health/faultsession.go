@@ -88,6 +88,37 @@ type FaultSessionConfig struct {
 	BackoffMax int
 }
 
+// Validate rejects malformed configurations with an error instead of
+// silently clamping: the embedded SessionConfig checks (rounds, load,
+// payload bits, ack delay), negative scan periods or backoff caps, and
+// scheduled faults that fall outside the session or name a chip the
+// switch does not have.
+func (cfg FaultSessionConfig) Validate(sw core.FaultInjectable) error {
+	if err := cfg.SessionConfig.Validate(); err != nil {
+		return err
+	}
+	if cfg.ScanEvery < 0 {
+		return fmt.Errorf("health: negative scan period %d", cfg.ScanEvery)
+	}
+	if cfg.BackoffMax < 0 {
+		return fmt.Errorf("health: negative backoff cap %d", cfg.BackoffMax)
+	}
+	stages := sw.StageChips()
+	for i, sf := range cfg.Schedule {
+		if sf.Round < 0 || sf.Round >= cfg.Rounds {
+			return fmt.Errorf("health: schedule[%d] round %d outside session [0,%d)", i, sf.Round, cfg.Rounds)
+		}
+		f := sf.Fault
+		if f.Stage < 0 || f.Stage >= len(stages) {
+			return fmt.Errorf("health: schedule[%d] stage %d outside [0,%d)", i, f.Stage, len(stages))
+		}
+		if st := stages[f.Stage]; f.Chip < 0 || f.Chip >= st.Chips {
+			return fmt.Errorf("health: schedule[%d] chip %d outside stage %q's %d chips", i, f.Chip, st.Name, st.Chips)
+		}
+	}
+	return nil
+}
+
 // DetectionEvent records one fault localization.
 type DetectionEvent struct {
 	// Round is when the scan localized the fault.
@@ -145,11 +176,8 @@ type faultPending struct {
 // destroyed by an undetected fault surface as losses; under Resend the
 // ack path retries them with bounded exponential backoff.
 func RunFaultAwareSession(sw core.FaultInjectable, cfg FaultSessionConfig) (*FaultSessionStats, error) {
-	if cfg.Rounds < 1 {
-		return nil, fmt.Errorf("health: session needs ≥ 1 round")
-	}
-	if cfg.Load < 0 || cfg.Load > 1 {
-		return nil, fmt.Errorf("health: load %v out of [0,1]", cfg.Load)
+	if err := cfg.Validate(sw); err != nil {
+		return nil, err
 	}
 	backoffMax := cfg.BackoffMax
 	if backoffMax <= 0 {

@@ -47,6 +47,46 @@ func planeOf(f core.ChipFault) *core.FaultPlane {
 	return p
 }
 
+func TestFaultSessionConfigValidate(t *testing.T) {
+	sw := newColumnsort1024(t)
+	valid := FaultSessionConfig{
+		SessionConfig: switchsim.SessionConfig{
+			Policy: switchsim.Drop, Load: 0.5, Rounds: 10, PayloadBits: 1,
+		},
+		Schedule:  []ScheduledFault{{Round: 2, Fault: core.ChipFault{Stage: 0, Chip: 0, Mode: core.ChipDead}}},
+		ScanEvery: 5,
+	}
+	if err := valid.Validate(sw); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*FaultSessionConfig)
+	}{
+		{"negative rounds", func(c *FaultSessionConfig) { c.Rounds = -1 }},
+		{"load out of range", func(c *FaultSessionConfig) { c.Load = 2 }},
+		{"zero payload bits", func(c *FaultSessionConfig) { c.PayloadBits = 0 }},
+		{"negative scan period", func(c *FaultSessionConfig) { c.ScanEvery = -1 }},
+		{"negative backoff cap", func(c *FaultSessionConfig) { c.BackoffMax = -4 }},
+		{"fault before session", func(c *FaultSessionConfig) { c.Schedule[0].Round = -1 }},
+		{"fault after session", func(c *FaultSessionConfig) { c.Schedule[0].Round = c.Rounds }},
+		{"fault stage out of range", func(c *FaultSessionConfig) { c.Schedule[0].Fault.Stage = 99 }},
+		{"fault chip out of range", func(c *FaultSessionConfig) { c.Schedule[0].Fault.Chip = 9999 }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			cfg.Schedule = []ScheduledFault{valid.Schedule[0]}
+			tc.mutate(&cfg)
+			if err := cfg.Validate(sw); err == nil {
+				t.Errorf("Validate accepted %+v", cfg)
+			}
+			if _, err := RunFaultAwareSession(sw, cfg); err == nil {
+				t.Errorf("RunFaultAwareSession accepted %+v", cfg)
+			}
+		})
+	}
+}
+
 // TestFaultAwareSessionDetectsAndRecovers runs the full loop: traffic,
 // a mid-session chip death, online violation-triggered scan,
 // localization, degradation, and recovery with the Resend policy.
@@ -55,11 +95,12 @@ func TestFaultAwareSessionDetectsAndRecovers(t *testing.T) {
 	fault := core.ChipFault{Stage: core.RevsortStage3Columns, Chip: 2, Mode: core.ChipDead}
 	cfg := FaultSessionConfig{
 		SessionConfig: switchsim.SessionConfig{
-			Policy:   switchsim.Resend,
-			Load:     0.08,
-			Rounds:   60,
-			Seed:     7,
-			AckDelay: 1,
+			Policy:      switchsim.Resend,
+			Load:        0.08,
+			Rounds:      60,
+			PayloadBits: 1,
+			Seed:        7,
+			AckDelay:    1,
 		},
 		Schedule:        []ScheduledFault{{Round: 10, Fault: fault}},
 		ScanEvery:       50,
@@ -128,10 +169,11 @@ func TestFaultAwareSessionPeriodicScan(t *testing.T) {
 	fault := core.ChipFault{Stage: core.ColumnsortStage1, Chip: 3, Mode: core.ChipSwappedPair, A: 0, B: 1}
 	cfg := FaultSessionConfig{
 		SessionConfig: switchsim.SessionConfig{
-			Policy: switchsim.Drop,
-			Load:   0.05,
-			Rounds: 25,
-			Seed:   3,
+			Policy:      switchsim.Drop,
+			Load:        0.05,
+			Rounds:      25,
+			PayloadBits: 1,
+			Seed:        3,
 		},
 		Schedule:  []ScheduledFault{{Round: 5, Fault: fault}},
 		ScanEvery: 10,
@@ -161,11 +203,12 @@ func TestFaultAwareSessionBackoff(t *testing.T) {
 	}
 	cfg := FaultSessionConfig{
 		SessionConfig: switchsim.SessionConfig{
-			Policy:   switchsim.Resend,
-			Load:     1.0,
-			Rounds:   20,
-			Seed:     5,
-			AckDelay: 1,
+			Policy:      switchsim.Resend,
+			Load:        1.0,
+			Rounds:      20,
+			PayloadBits: 1,
+			Seed:        5,
+			AckDelay:    1,
 		},
 		ScanEvery:  5,
 		BackoffMax: 4,

@@ -1,0 +1,794 @@
+// Package pool implements a concurrent, replicated concentrator pool:
+// N fault-injectable multichip switches (one primary plus hot spares)
+// behind a single Route/Run facade, in the style of a replicated,
+// hot-swappable switch core behind an arbiter (cf. the Tiny Tera's
+// sliced crossbar behind a central arbiter).
+//
+// Each replica carries a health-state machine driven by the health
+// plane of PR 1 — BIST scans and online delivery-guarantee checks:
+//
+//	Healthy ──violation──▶ Suspect ──trip──▶ Quarantined
+//	   ▲                      │                  │ half-open probe scan
+//	   │  clean serving round │                  ▼
+//	   └──────────────────────┘             Repaired (degraded contract)
+//	   ▲                                         │
+//	   └──────────── probe scan finds no fault ──┘
+//
+// The breaker trips after TripThreshold consecutive contract
+// violations; a tripped replica is quarantined and probed with a BIST
+// scan after an exponentially growing re-admission backoff (half-open
+// circuit). A probe that localizes faults re-admits the replica under
+// its recomputed DegradedSwitch contract (Repaired); a probe that finds
+// the fabric clean re-admits it at full contract (Healthy, backoff
+// reset); a probe that cannot restore a positive guarantee threshold
+// leaves the breaker open and doubles the backoff.
+//
+// The failover arbiter retargets traffic within the round that exposes
+// a failure: when the serving replica's round violates its live
+// contract, the round's setup is replayed on the next-best replica
+// (best surviving ⌊α′m′⌋, preferring Healthy/Repaired over Suspect)
+// until one satisfies its contract. In-flight payload streams drain
+// gracefully — a setup-cycle switch holds its paths until the streamed
+// payloads complete, so the retarget happens between setup cycles and
+// never truncates a delivered stream.
+//
+// Per-round admission control applies Lemma 2 to the *live* replica
+// set: an (n, m′, 1−ε′/m′) partial concentrator guarantees routing only
+// for ⌊α′m′⌋ = m′−ε′ simultaneous messages, so offered load above the
+// serving replica's live threshold is shed at admission (with
+// retry-after accounting) instead of overloading a degraded fabric.
+package pool
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/health"
+	"concentrators/internal/nearsort"
+	"concentrators/internal/switchsim"
+)
+
+// State is the health state of one replica in the pool.
+type State int
+
+// The replica health states.
+const (
+	// Healthy serves under the full (n, m, 1−ε/m) contract.
+	Healthy State = iota
+	// Suspect has violated its contract fewer than TripThreshold
+	// consecutive times; it serves only when nothing better survives.
+	Suspect
+	// Quarantined is out of rotation (breaker open) awaiting its next
+	// half-open probe scan.
+	Quarantined
+	// Repaired serves under a recomputed degraded (n, m′, 1−ε′/m′)
+	// contract derived from its localized faults.
+	Repaired
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Quarantined:
+		return "quarantined"
+	case Repaired:
+		return "repaired"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config tunes the pool's breaker and arbiter.
+type Config struct {
+	// TripThreshold is the number of consecutive contract violations
+	// that trips a replica's circuit breaker. 0 means the default (2).
+	TripThreshold int
+	// ProbeAfter is the base re-admission backoff: rounds between a
+	// trip and the quarantined replica's first half-open probe scan.
+	// The backoff doubles with every successive trip or failed probe.
+	// 0 means the default (2).
+	ProbeAfter int
+	// BackoffMax caps the exponential re-admission backoff, in rounds.
+	// 0 means the default (32).
+	BackoffMax int
+	// ScanLatency is the number of rounds a BIST probe scan takes to
+	// complete (chaos harnesses inject nonzero latencies here). The
+	// probe's verdict lands ScanLatency rounds after it is due.
+	ScanLatency int
+	// RetryAfterCap caps the retry-after rounds advertised to shed
+	// messages. 0 means the default (8).
+	RetryAfterCap int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.TripThreshold < 0 || c.ProbeAfter < 0 || c.BackoffMax < 0 || c.ScanLatency < 0 || c.RetryAfterCap < 0 {
+		return c, fmt.Errorf("pool: negative config field: %+v", c)
+	}
+	if c.TripThreshold == 0 {
+		c.TripThreshold = 2
+	}
+	if c.ProbeAfter == 0 {
+		c.ProbeAfter = 2
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 32
+	}
+	if c.BackoffMax < c.ProbeAfter {
+		return c, fmt.Errorf("pool: BackoffMax %d < ProbeAfter %d", c.BackoffMax, c.ProbeAfter)
+	}
+	if c.RetryAfterCap == 0 {
+		c.RetryAfterCap = 8
+	}
+	return c, nil
+}
+
+// replica is one switch in the pool with its breaker state.
+type replica struct {
+	id       int
+	sw       core.FaultInjectable
+	degraded *health.DegradedSwitch
+	known    map[[2]int]health.LocalizedFault
+
+	state       State
+	killed      bool
+	consecViol  int
+	backoff     int   // current re-admission backoff (0 = never tripped)
+	probeAt     int64 // round of the next half-open probe verdict (−1 none)
+	pendingScan bool  // a probe scan is in flight (half-open)
+
+	// accounting
+	trips, probes, scans, violations, roundsServed, repairs int
+}
+
+// contract returns the replica's live serving contract: the degraded
+// wrapper once faults are localized, the raw switch otherwise.
+func (r *replica) contract() core.Concentrator {
+	if r.degraded != nil {
+		return r.degraded
+	}
+	return r.sw
+}
+
+// threshold is the replica's live guarantee threshold ⌊α′m′⌋.
+func (r *replica) threshold() int { return core.Threshold(r.contract()) }
+
+// servable reports whether the arbiter may target traffic here.
+func (r *replica) servable() bool {
+	if r.killed || r.state == Quarantined {
+		return false
+	}
+	return r.threshold() > 0
+}
+
+// rank orders replicas for election: lower is better.
+func (r *replica) rank() int {
+	if r.state == Suspect {
+		return 1
+	}
+	return 0
+}
+
+// ReplicaStats is one replica's externally visible health.
+type ReplicaStats struct {
+	State      State
+	Killed     bool
+	Outputs    int // live m′
+	Threshold  int // live ⌊α′m′⌋
+	Trips      int
+	Probes     int
+	Scans      int
+	Violations int
+	Repairs    int
+	// RoundsServed counts rounds this replica's routing was accepted.
+	RoundsServed int
+}
+
+// Stats summarizes the pool's lifetime accounting.
+type Stats struct {
+	Rounds int
+	// Offered/Admitted/Shed count messages at the admission gate;
+	// Delivered counts messages routed by the accepted serving round.
+	Offered, Admitted, Shed, Delivered int
+	// RetryAfterTotal sums the retry-after rounds advertised to shed
+	// messages (RetryAfterTotal/Shed is the mean advertised wait).
+	RetryAfterTotal int
+	// Failovers counts arbiter retargets; SameRoundFailovers counts
+	// those completed inside the round that exposed the failure (the
+	// rest happen between rounds, at election time).
+	Failovers, SameRoundFailovers int
+	// Violations counts rounds whose routing violated the serving
+	// contract even after every servable replica was tried.
+	Violations int
+	Trips      int
+	Probes     int
+	Scans      int
+	Repairs    int
+	Replicas   []ReplicaStats
+}
+
+// ShedMessage records one admission-control rejection.
+type ShedMessage struct {
+	// Input is the shed message's input wire.
+	Input int
+	// RetryAfter is the advertised wait before re-offering, in rounds:
+	// it grows exponentially with consecutive shedding rounds (the pool
+	// is persistently over its live threshold) and is capped.
+	RetryAfter int
+}
+
+// RoundResult is the outcome of one pool round.
+type RoundResult struct {
+	// Round is the pool's round counter at execution.
+	Round int64
+	// Result is the serving replica's accepted round (nil when no
+	// replica could serve).
+	Result *switchsim.Result
+	// ServedBy is the serving replica's index, −1 when none.
+	ServedBy int
+	// Threshold is the serving contract's live ⌊α′m′⌋ used at
+	// admission (0 when no replica was servable).
+	Threshold int
+	// Shed lists admission-control rejections, in input order.
+	Shed []ShedMessage
+	// FailedOver reports an in-round arbiter retarget.
+	FailedOver bool
+	// Violated reports that every servable replica violated its
+	// contract this round (Result then holds the last attempt).
+	Violated bool
+}
+
+// Pool is a replicated concentrator switch pool. All methods are safe
+// for concurrent use; each Run or Route executes one atomic round.
+type Pool struct {
+	mu       sync.Mutex
+	cfg      Config
+	replicas []*replica
+	active   int
+	round    int64
+	// shedStreak counts consecutive rounds that shed load, driving the
+	// advertised retry-after backoff.
+	shedStreak int
+	stats      Stats
+	n, m       int
+}
+
+// New builds a pool over the given switches: the first is the initial
+// primary, the rest are hot spares. Every switch must share the same
+// (n, m) geometry; each gets its own fault plane if none is installed.
+func New(cfg Config, switches ...core.FaultInjectable) (*Pool, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if len(switches) == 0 {
+		return nil, fmt.Errorf("pool: need at least one replica")
+	}
+	p := &Pool{cfg: cfg, n: switches[0].Inputs(), m: switches[0].Outputs()}
+	for i, sw := range switches {
+		if sw == nil {
+			return nil, fmt.Errorf("pool: replica %d is nil", i)
+		}
+		if sw.Inputs() != p.n || sw.Outputs() != p.m {
+			return nil, fmt.Errorf("pool: replica %d is %d×%d, want %d×%d",
+				i, sw.Inputs(), sw.Outputs(), p.n, p.m)
+		}
+		if sw.ActiveFaultPlane() == nil {
+			if err := sw.SetFaultPlane(core.NewFaultPlane()); err != nil {
+				return nil, fmt.Errorf("pool: replica %d: %w", i, err)
+			}
+		}
+		p.replicas = append(p.replicas, &replica{
+			id: i, sw: sw, probeAt: -1,
+			known: make(map[[2]int]health.LocalizedFault),
+		})
+	}
+	return p, nil
+}
+
+// Size returns the number of replicas.
+func (p *Pool) Size() int { return len(p.replicas) }
+
+// Active returns the current primary's index.
+func (p *Pool) Active() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.active
+}
+
+// Threshold returns the live admission threshold ⌊α′m′⌋ of the serving
+// replica (0 when no replica is servable).
+func (p *Pool) Threshold() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if best := p.bestLocked(nil); best >= 0 {
+		return p.replicas[best].threshold()
+	}
+	return 0
+}
+
+// Stats returns a snapshot of the pool's accounting.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Replicas = make([]ReplicaStats, len(p.replicas))
+	for i, r := range p.replicas {
+		s.Replicas[i] = ReplicaStats{
+			State: r.state, Killed: r.killed,
+			Outputs: r.contract().Outputs(), Threshold: r.threshold(),
+			Trips: r.trips, Probes: r.probes, Scans: r.scans,
+			Violations: r.violations, Repairs: r.repairs,
+			RoundsServed: r.roundsServed,
+		}
+	}
+	return s
+}
+
+// InjectFault adds a chip fault to replica i's live fault plane — the
+// chaos harness's fault-injection port.
+func (p *Pool) InjectFault(i int, f core.ChipFault) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.replicaLocked(i)
+	if err != nil {
+		return err
+	}
+	plane := r.sw.ActiveFaultPlane().Clone()
+	plane.Add(f)
+	if err := core.ValidateFaultPlane(r.sw, plane); err != nil {
+		return err
+	}
+	r.sw.ActiveFaultPlane().Add(f)
+	return nil
+}
+
+// Kill powers replica i off: it is quarantined immediately and probe
+// scans cannot revive it until Revive. Killing the primary makes the
+// next round elect (or fail over to) the best surviving replica.
+func (p *Pool) Kill(i int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.replicaLocked(i)
+	if err != nil {
+		return err
+	}
+	r.killed = true
+	r.state = Quarantined
+	r.consecViol = 0
+	p.openBreaker(r, p.round)
+	return nil
+}
+
+// Revive powers a killed replica back on with a clean fault plane (the
+// board was swapped). It stays quarantined until a half-open probe
+// scan — scheduled for the next round — confirms its health. Reviving
+// a replica that is not killed is an error: it would needlessly
+// quarantine a serving fabric.
+func (p *Pool) Revive(i int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.replicaLocked(i)
+	if err != nil {
+		return err
+	}
+	if !r.killed {
+		return fmt.Errorf("pool: replica %d is not killed", i)
+	}
+	r.killed = false
+	r.degraded = nil
+	r.known = make(map[[2]int]health.LocalizedFault)
+	if err := r.sw.SetFaultPlane(core.NewFaultPlane()); err != nil {
+		return err
+	}
+	r.state = Quarantined
+	r.probeAt = p.round + 1
+	r.pendingScan = true
+	return nil
+}
+
+// SetScanLatency changes the probe-scan latency mid-run (a chaos
+// harness injection).
+func (p *Pool) SetScanLatency(rounds int) error {
+	if rounds < 0 {
+		return fmt.Errorf("pool: negative scan latency %d", rounds)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cfg.ScanLatency = rounds
+	return nil
+}
+
+func (p *Pool) replicaLocked(i int) (*replica, error) {
+	if i < 0 || i >= len(p.replicas) {
+		return nil, fmt.Errorf("pool: replica %d out of range [0,%d)", i, len(p.replicas))
+	}
+	return p.replicas[i], nil
+}
+
+// openBreaker schedules the replica's next half-open probe with
+// exponential re-admission backoff.
+func (p *Pool) openBreaker(r *replica, round int64) {
+	if r.backoff == 0 {
+		r.backoff = p.cfg.ProbeAfter
+	} else {
+		r.backoff = min(r.backoff*2, p.cfg.BackoffMax)
+	}
+	r.probeAt = round + int64(r.backoff+p.cfg.ScanLatency)
+	r.pendingScan = true
+}
+
+// trip opens replica r's circuit breaker.
+func (p *Pool) trip(r *replica, round int64) {
+	r.trips++
+	p.stats.Trips++
+	r.state = Quarantined
+	r.consecViol = 0
+	p.openBreaker(r, round)
+}
+
+// noteViolation records one contract violation against r and trips the
+// breaker once the consecutive count reaches the threshold.
+func (p *Pool) noteViolation(r *replica, round int64) {
+	r.violations++
+	r.consecViol++
+	if r.state == Healthy || r.state == Repaired {
+		r.state = Suspect
+	}
+	if r.consecViol >= p.cfg.TripThreshold {
+		p.trip(r, round)
+	}
+}
+
+// probeDue completes due half-open probe scans: a BIST scan against the
+// replica's live plane decides re-admission (full or degraded contract)
+// or another quarantine period with doubled backoff.
+func (p *Pool) probeDue(round int64) {
+	for _, r := range p.replicas {
+		if !r.pendingScan || r.probeAt < 0 || round < r.probeAt {
+			continue
+		}
+		r.pendingScan = false
+		r.probeAt = -1
+		r.probes++
+		p.stats.Probes++
+		if r.killed {
+			p.openBreaker(r, round) // power is off: probe fails outright
+			continue
+		}
+		rep, err := health.Scan(r.sw)
+		r.scans++
+		p.stats.Scans++
+		if err != nil {
+			p.openBreaker(r, round)
+			continue
+		}
+		if rep.Healthy {
+			// The fabric is clean (transient fault, or repaired via
+			// Revive): re-admit at the full contract.
+			r.degraded = nil
+			r.known = make(map[[2]int]health.LocalizedFault)
+			r.state = Healthy
+			r.consecViol = 0
+			r.backoff = 0
+			r.repairs++
+			p.stats.Repairs++
+			continue
+		}
+		for _, lf := range rep.Faults {
+			key := [2]int{lf.Stage, lf.Chip}
+			if old, seen := r.known[key]; !seen || (!old.ModeKnown && lf.ModeKnown) {
+				r.known[key] = lf
+			}
+		}
+		if len(rep.Faults) == 0 {
+			// Violations without a localized chip: the scan cannot
+			// derive a degradation that covers them. Keep the breaker
+			// open.
+			p.openBreaker(r, round)
+			continue
+		}
+		all := make([]health.LocalizedFault, 0, len(r.known))
+		for _, lf := range r.known {
+			all = append(all, lf)
+		}
+		d, err := health.NewDegradedSwitch(r.sw, all)
+		if err != nil || core.Threshold(d) <= 0 {
+			p.openBreaker(r, round) // nothing worth serving survives
+			continue
+		}
+		r.degraded = d
+		r.state = Repaired
+		r.consecViol = 0
+		r.repairs++
+		p.stats.Repairs++
+		// backoff is deliberately NOT reset: a repaired replica that
+		// trips again waits longer before its next re-admission.
+	}
+}
+
+// bestLocked elects the best servable replica not in skip: best state
+// rank (Healthy/Repaired before Suspect), then highest live threshold,
+// then — for stability — the current active, then lowest index.
+func (p *Pool) bestLocked(skip map[int]bool) int {
+	best := -1
+	for i, r := range p.replicas {
+		if skip[i] || !r.servable() {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := p.replicas[best]
+		switch {
+		case r.rank() != b.rank():
+			if r.rank() < b.rank() {
+				best = i
+			}
+		case r.threshold() != b.threshold():
+			if r.threshold() > b.threshold() {
+				best = i
+			}
+		case i == p.active && best != p.active:
+			best = i
+		}
+	}
+	return best
+}
+
+// electLocked makes active the best servable replica, counting a
+// between-rounds failover when the primary changes.
+func (p *Pool) electLocked() {
+	best := p.bestLocked(nil)
+	if best >= 0 && best != p.active {
+		p.active = best
+		p.stats.Failovers++
+	}
+}
+
+// admit applies Lemma 2 admission control: at most thr messages enter
+// (in input order); the rest are shed with a retry-after that backs off
+// exponentially over consecutive shedding rounds.
+func (p *Pool) admit(inputs []int, thr int) (admitted []int, shed []ShedMessage) {
+	if len(inputs) <= thr {
+		p.shedStreak = 0
+		return inputs, nil
+	}
+	p.shedStreak++
+	retryAfter := min(1<<min(p.shedStreak-1, 10), p.cfg.RetryAfterCap)
+	for _, in := range inputs[thr:] {
+		shed = append(shed, ShedMessage{Input: in, RetryAfter: retryAfter})
+		p.stats.RetryAfterTotal += retryAfter
+	}
+	return inputs[:thr], shed
+}
+
+// Run executes one pool round over the given messages: half-open
+// probes complete, the arbiter elects a primary, admission control
+// sheds load above the live ⌊α′m′⌋, and the round is routed — failing
+// over within the round if the serving replica violates its contract.
+func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
+	byInput := make(map[int]switchsim.Message, len(msgs))
+	inputs := make([]int, 0, len(msgs))
+	for _, msg := range msgs {
+		if msg.Input < 0 || msg.Input >= p.n {
+			return nil, fmt.Errorf("pool: message input %d out of range [0,%d)", msg.Input, p.n)
+		}
+		if _, dup := byInput[msg.Input]; dup {
+			return nil, fmt.Errorf("pool: two messages on input %d", msg.Input)
+		}
+		byInput[msg.Input] = msg
+		inputs = append(inputs, msg.Input)
+	}
+	sort.Ints(inputs)
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	round := p.round
+	p.round++
+	p.stats.Rounds++
+	p.stats.Offered += len(msgs)
+	p.probeDue(round)
+	p.electLocked()
+
+	rr := &RoundResult{Round: round, ServedBy: -1}
+	if !p.replicas[p.active].servable() {
+		// No servable replica at all: everything is refused.
+		_, rr.Shed = p.admit(inputs, 0)
+		p.stats.Shed += len(rr.Shed)
+		if len(msgs) > 0 {
+			rr.Violated = true
+			p.stats.Violations++
+		}
+		return rr, nil
+	}
+
+	thr := p.replicas[p.active].threshold()
+	admittedInputs, shed := p.admit(inputs, thr)
+	rr.Threshold = thr
+	rr.Shed = shed
+	p.stats.Admitted += len(admittedInputs)
+	p.stats.Shed += len(shed)
+	admitted := make([]switchsim.Message, 0, len(admittedInputs))
+	for _, in := range admittedInputs {
+		admitted = append(admitted, byInput[in])
+	}
+
+	// Route with in-round failover: try the primary, then — on a
+	// contract violation — replay the setup on the next-best replica.
+	tried := make(map[int]bool)
+	for {
+		r := p.replicas[p.active]
+		res, err := switchsim.Run(r.contract(), admitted)
+		if err == nil && switchsim.CheckGuarantee(r.contract(), admitted, res) == nil {
+			r.consecViol = 0
+			if r.state == Suspect {
+				r.state = Healthy // clean round closes the breaker
+			}
+			r.roundsServed++
+			rr.Result = res
+			rr.ServedBy = r.id
+			rr.Threshold = r.threshold()
+			p.stats.Delivered += len(res.Delivered)
+			return rr, nil
+		}
+		p.noteViolation(r, round)
+		tried[r.id] = true
+		next := p.bestLocked(tried)
+		if next < 0 {
+			// Every servable replica violated: best effort, flagged.
+			rr.Violated = true
+			p.stats.Violations++
+			if err == nil {
+				rr.Result = res
+				rr.ServedBy = r.id
+				p.stats.Delivered += len(res.Delivered)
+			}
+			return rr, nil
+		}
+		p.active = next
+		p.stats.Failovers++
+		p.stats.SameRoundFailovers++
+		rr.FailedOver = true
+	}
+}
+
+// Route implements core.Concentrator: one pool round without payload
+// streaming. Shed and unrouted inputs map to −1.
+func (p *Pool) Route(valid *bitvec.Vector) ([]int, error) {
+	if valid.Len() != p.n {
+		return nil, fmt.Errorf("pool: valid vector has %d bits, want %d", valid.Len(), p.n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	round := p.round
+	p.round++
+	p.stats.Rounds++
+	inputs := valid.Ones()
+	p.stats.Offered += len(inputs)
+	p.probeDue(round)
+	p.electLocked()
+
+	if !p.replicas[p.active].servable() {
+		_, shed := p.admit(inputs, 0)
+		p.stats.Shed += len(shed)
+		if len(inputs) > 0 {
+			p.stats.Violations++
+		}
+		out := make([]int, p.n)
+		for i := range out {
+			out[i] = -1
+		}
+		return out, nil
+	}
+
+	thr := p.replicas[p.active].threshold()
+	admittedInputs, shed := p.admit(inputs, thr)
+	p.stats.Admitted += len(admittedInputs)
+	p.stats.Shed += len(shed)
+	admitted := bitvec.New(p.n)
+	for _, in := range admittedInputs {
+		admitted.Set(in, true)
+	}
+
+	tried := make(map[int]bool)
+	for {
+		r := p.replicas[p.active]
+		c := r.contract()
+		out, err := c.Route(admitted)
+		if err == nil && nearsort.CheckPartialConcentration(admitted, out, c.Outputs(), c.EpsilonBound()) == nil {
+			r.consecViol = 0
+			if r.state == Suspect {
+				r.state = Healthy
+			}
+			r.roundsServed++
+			for _, o := range out {
+				if o >= 0 {
+					p.stats.Delivered++
+				}
+			}
+			return out, nil
+		}
+		p.noteViolation(r, round)
+		tried[r.id] = true
+		next := p.bestLocked(tried)
+		if next < 0 {
+			p.stats.Violations++
+			if err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		p.active = next
+		p.stats.Failovers++
+		p.stats.SameRoundFailovers++
+	}
+}
+
+// Name implements core.Concentrator.
+func (p *Pool) Name() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fmt.Sprintf("pool(%d× %s)", len(p.replicas), p.replicas[0].sw.Name())
+}
+
+// Inputs implements core.Concentrator.
+func (p *Pool) Inputs() int { return p.n }
+
+// Outputs implements core.Concentrator: the base geometry m. Degraded
+// replicas compact their routing into [0, m′) ⊂ [0, m), so routed
+// outputs always fit.
+func (p *Pool) Outputs() int { return p.m }
+
+// EpsilonBound implements core.Concentrator: m minus the live serving
+// threshold, so Threshold(pool) = ⌊α′m′⌋ of the serving replica.
+func (p *Pool) EpsilonBound() int { return p.m - p.Threshold() }
+
+// GateDelays implements core.Concentrator: the serving path plus one
+// arbiter delay.
+func (p *Pool) GateDelays() int { return p.activeContract().GateDelays() + 1 }
+
+// ChipsTraversed implements core.Concentrator: messages cross the
+// arbiter board.
+func (p *Pool) ChipsTraversed() int { return p.activeContract().ChipsTraversed() + 1 }
+
+// ChipCount implements core.Concentrator: every replica's chips plus
+// the arbiter.
+func (p *Pool) ChipCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 1
+	for _, r := range p.replicas {
+		total += r.sw.ChipCount()
+	}
+	return total
+}
+
+// DataPinsPerChip implements core.Concentrator.
+func (p *Pool) DataPinsPerChip() int { return p.activeContract().DataPinsPerChip() }
+
+func (p *Pool) activeContract() core.Concentrator {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.replicas[p.active].contract()
+}
+
+// States returns every replica's current health state.
+func (p *Pool) States() []State {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]State, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = r.state
+	}
+	return out
+}

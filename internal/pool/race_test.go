@@ -1,0 +1,133 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"concentrators/internal/core"
+	"concentrators/internal/switchsim"
+)
+
+// TestConcurrentRunDuringFailover hammers the pool with parallel Run
+// callers while a chaos goroutine injects faults, kills and revives
+// replicas — the concurrent-access contract under `go test -race`.
+func TestConcurrentRunDuringFailover(t *testing.T) {
+	p := newPool(t, Config{TripThreshold: 1, ProbeAfter: 1}, 3)
+	thr := p.Threshold()
+
+	const callers = 4
+	const roundsPerCaller = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < roundsPerCaller; i++ {
+				rr, err := p.Run(fullMsgs(thr))
+				if err != nil {
+					errs <- err
+					return
+				}
+				// A served round must honor its serving contract even
+				// while failovers race with other callers.
+				if rr.ServedBy >= 0 && !rr.Violated {
+					if got := len(rr.Result.Delivered); got < min(len(fullMsgs(thr))-len(rr.Shed), rr.Threshold) {
+						t.Errorf("delivered %d below serving threshold %d", got, rr.Threshold)
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Mid-stream chaos: fault the primary, kill a spare, revive it.
+		if err := p.InjectFault(0, core.ChipFault{Stage: 1, Chip: 0, Mode: core.ChipStuckOutput, A: 0}); err != nil {
+			errs <- err
+			return
+		}
+		if err := p.Kill(1); err != nil {
+			errs <- err
+			return
+		}
+		if err := p.Revive(1); err != nil {
+			errs <- err
+			return
+		}
+		_ = p.Stats()
+		_ = p.States()
+		_ = p.Threshold()
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.Rounds != callers*roundsPerCaller {
+		t.Fatalf("rounds %d, want %d", s.Rounds, callers*roundsPerCaller)
+	}
+}
+
+// TestPoolStressParallel is the GOMAXPROCS > 1 stress test: many
+// goroutines mixing Run, Route, observers and chaos mutators.
+func TestPoolStressParallel(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs GOMAXPROCS > 1")
+	}
+	p := newPool(t, Config{TripThreshold: 2, ProbeAfter: 1}, 3)
+	thr := p.Threshold()
+	iters := 30
+	if testing.Short() {
+		iters = 8
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch w % 4 {
+				case 0, 1: // traffic via the Run facade
+					if _, err := p.Run(fullMsgs(1 + (i+w)%thr)); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2: // traffic via the Concentrator facade
+					msgs := fullMsgs(1 + i%thr)
+					if _, err := switchsim.Run(p, msgs); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3: // observers and chaos
+					_ = p.Stats()
+					_ = p.States()
+					switch i % 10 {
+					case 3:
+						_ = p.Kill(2)
+					case 6:
+						_ = p.Revive(2)
+					case 9:
+						_ = p.InjectFault(1, core.ChipFault{Stage: 1, Chip: 1, Mode: core.ChipSwappedPair, A: 0, B: 1})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// The pool must end internally consistent: stats add up and at
+	// least one replica is still accounted for.
+	s := p.Stats()
+	if s.Offered < s.Admitted+s.Shed {
+		t.Fatalf("accounting: offered %d < admitted %d + shed %d", s.Offered, s.Admitted, s.Shed)
+	}
+	if len(s.Replicas) != 3 {
+		t.Fatalf("replica stats lost: %d", len(s.Replicas))
+	}
+}

@@ -1,0 +1,44 @@
+package switchsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePayload round-trips arbitrary data through the message
+// encoding: NewMessage emits an MSB-first bit stream, DecodePayload
+// must reassemble it exactly. A second pass feeds DecodePayload raw
+// arbitrary bit streams (including non-0/1 bytes and trailing partial
+// bytes) and checks it stays total and length-correct.
+func FuzzDecodePayload(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x00, 0xA5})
+	f.Add([]byte("hello, concentrator"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg := NewMessage(0, data)
+		if len(msg.Payload) != 8*len(data) {
+			t.Fatalf("payload %d bits for %d bytes", len(msg.Payload), len(data))
+		}
+		for _, bit := range msg.Payload {
+			if bit > 1 {
+				t.Fatalf("non-binary payload bit %d", bit)
+			}
+		}
+		got := DecodePayload(msg.Payload)
+		if len(data) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("decoded %d bytes from empty payload", len(got))
+			}
+		} else if !bytes.Equal(got, data) {
+			t.Fatalf("round trip: %x → %x", data, got)
+		}
+
+		// Treat the raw input as a bit stream: decoding must ignore any
+		// trailing partial byte and mask non-binary bytes to their LSB.
+		raw := DecodePayload(data)
+		if len(raw) != len(data)/8 {
+			t.Fatalf("decoded %d bytes from %d raw bits", len(raw), len(data))
+		}
+	})
+}

@@ -73,10 +73,11 @@ func TestMaxBacklogCountsWaitingMessages(t *testing.T) {
 		t.Fatal(err)
 	}
 	stats, err := RunSession(sw, SessionConfig{
-		Policy: Buffer,
-		Load:   1.0,
-		Rounds: 10,
-		Seed:   1,
+		Policy:      Buffer,
+		Load:        1.0,
+		Rounds:      10,
+		Seed:        1,
+		PayloadBits: 1,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +102,7 @@ func TestResendZeroAckDelayEquivalentToBuffer(t *testing.T) {
 	}
 	for seed := int64(1); seed <= 5; seed++ {
 		for _, load := range []float64{0.3, 0.7, 1.0} {
-			base := SessionConfig{Load: load, Rounds: 40, Seed: seed}
+			base := SessionConfig{Load: load, Rounds: 40, Seed: seed, PayloadBits: 1}
 			cfgR, cfgB := base, base
 			cfgR.Policy, cfgR.AckDelay = Resend, 0
 			cfgB.Policy = Buffer
@@ -137,10 +138,11 @@ func TestMisrouteLatencyHistogramSanity(t *testing.T) {
 	}
 	const rounds = 30
 	stats, err := RunSession(sw, SessionConfig{
-		Policy: Misroute,
-		Load:   0.8,
-		Rounds: rounds,
-		Seed:   9,
+		Policy:      Misroute,
+		Load:        0.8,
+		Rounds:      rounds,
+		Seed:        9,
+		PayloadBits: 1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -2,6 +2,7 @@ package switchsim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"concentrators/internal/core"
@@ -68,6 +69,26 @@ type SessionConfig struct {
 	AckDelay int
 }
 
+// Validate rejects configurations that would previously have been
+// silently clamped or misbehaved: non-positive rounds, a load outside
+// [0, 1] (including NaN), messages with no payload bits, a negative
+// ack round trip, or an unknown policy.
+func (cfg SessionConfig) Validate() error {
+	switch {
+	case cfg.Rounds < 1:
+		return fmt.Errorf("switchsim: session needs ≥ 1 round, got %d", cfg.Rounds)
+	case math.IsNaN(cfg.Load) || cfg.Load < 0 || cfg.Load > 1:
+		return fmt.Errorf("switchsim: load %v outside [0,1]", cfg.Load)
+	case cfg.PayloadBits < 1:
+		return fmt.Errorf("switchsim: payload must be ≥ 1 bit, got %d", cfg.PayloadBits)
+	case cfg.AckDelay < 0:
+		return fmt.Errorf("switchsim: negative ack delay %d", cfg.AckDelay)
+	case cfg.Policy < Drop || cfg.Policy > Misroute:
+		return fmt.Errorf("switchsim: unknown policy %v", cfg.Policy)
+	}
+	return nil
+}
+
 // SessionStats summarizes a Session run.
 type SessionStats struct {
 	Policy    Policy
@@ -116,11 +137,8 @@ type pendingMsg struct {
 // and newly generated messages are offered (one per input wire), the
 // switch routes, and unrouted messages are handled per policy.
 func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) {
-	if cfg.Rounds < 1 {
-		return nil, fmt.Errorf("switchsim: session needs ≥ 1 round")
-	}
-	if cfg.Load < 0 || cfg.Load > 1 {
-		return nil, fmt.Errorf("switchsim: load %v out of [0,1]", cfg.Load)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := sw.Inputs()

@@ -1,6 +1,7 @@
 package switchsim
 
 import (
+	"math"
 	"testing"
 
 	"concentrators/internal/core"
@@ -15,13 +16,36 @@ func smallSwitch(t *testing.T) core.Concentrator {
 	return sw
 }
 
-func TestRunSessionValidation(t *testing.T) {
-	sw := smallSwitch(t)
-	if _, err := RunSession(sw, SessionConfig{Rounds: 0}); err == nil {
-		t.Error("accepted zero rounds")
+func TestSessionConfigValidate(t *testing.T) {
+	valid := SessionConfig{Policy: Resend, Load: 0.5, Rounds: 10, PayloadBits: 4, AckDelay: 1}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
 	}
-	if _, err := RunSession(sw, SessionConfig{Rounds: 1, Load: 1.5}); err == nil {
-		t.Error("accepted load > 1")
+	for _, tc := range []struct {
+		name   string
+		mutate func(*SessionConfig)
+	}{
+		{"zero rounds", func(c *SessionConfig) { c.Rounds = 0 }},
+		{"negative rounds", func(c *SessionConfig) { c.Rounds = -3 }},
+		{"negative load", func(c *SessionConfig) { c.Load = -0.01 }},
+		{"load above one", func(c *SessionConfig) { c.Load = 1.5 }},
+		{"NaN load", func(c *SessionConfig) { c.Load = math.NaN() }},
+		{"zero payload bits", func(c *SessionConfig) { c.PayloadBits = 0 }},
+		{"negative payload bits", func(c *SessionConfig) { c.PayloadBits = -8 }},
+		{"negative ack delay", func(c *SessionConfig) { c.AckDelay = -1 }},
+		{"unknown policy", func(c *SessionConfig) { c.Policy = Policy(42) }},
+		{"negative policy", func(c *SessionConfig) { c.Policy = Policy(-1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := valid
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", cfg)
+			}
+			if _, err := RunSession(smallSwitch(t), cfg); err == nil {
+				t.Errorf("RunSession accepted %+v", cfg)
+			}
+		})
 	}
 }
 
