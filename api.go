@@ -14,6 +14,7 @@ import (
 	"concentrators/internal/core"
 	"concentrators/internal/health"
 	"concentrators/internal/layout"
+	"concentrators/internal/link"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 )
@@ -179,6 +180,72 @@ func GenerateFaultSchedule(seed int64, sw FaultInjectable, mtbf float64, rounds,
 // recovery are all exercised and reported.
 func RunFaultAwareSession(sw FaultInjectable, cfg FaultSessionConfig) (*FaultSessionStats, error) {
 	return health.RunFaultAwareSession(sw, cfg)
+}
+
+// Wire-level data-plane integrity: seeded wire corruption, CRC-framed
+// payloads, sliding-window ARQ recovery, and link-health escalation
+// into the quarantine machinery.
+type (
+	// WireFault is one wire-level fault (bit flips, bursts, stuck
+	// wires, erasures) on the corruption plane.
+	WireFault = link.WireFault
+	// WireFaultMode is the wire failure mode.
+	WireFaultMode = link.WireFaultMode
+	// CorruptionPlane is a seeded, deterministic set of wire faults —
+	// the data plane's counterpart of FaultPlane.
+	CorruptionPlane = link.CorruptionPlane
+	// LinkAddr addresses one stage-to-stage link of a multichip switch.
+	LinkAddr = link.LinkAddr
+	// LinkHealth is one link's receiver-side corruption history.
+	LinkHealth = link.LinkHealth
+	// LinkMonitorConfig tunes the EWMA corruption monitor.
+	LinkMonitorConfig = link.MonitorConfig
+	// CRCKind selects the frame checksum.
+	CRCKind = link.CRC
+	// IntegrityConfig enables the wire-integrity plane of a session:
+	// CRC framing, sliding-window ARQ, and corruption injection.
+	IntegrityConfig = switchsim.IntegrityConfig
+	// IntegrityStats reports a session's data-plane integrity side.
+	IntegrityStats = switchsim.IntegrityStats
+)
+
+// The wire failure modes and checksum selectors.
+const (
+	WireBitFlip = link.WireBitFlip
+	WireBurst   = link.WireBurst
+	WireStuck   = link.WireStuck
+	WireErasure = link.WireErasure
+
+	CRCNone = link.CRCNone
+	CRC8    = link.CRC8
+	CRC16   = link.CRC16
+
+	// AllWires / AllStages in a WireFault target every wire of a stage
+	// or every stage — ambient noise rather than a single bad trace.
+	AllWires  = link.AllWires
+	AllStages = link.AllStages
+)
+
+// NewCorruptionPlane returns an empty, seeded wire-corruption plane.
+func NewCorruptionPlane(seed int64) *CorruptionPlane { return link.NewCorruptionPlane(seed) }
+
+// FrameOverhead returns the framing cost in bits (sequence number plus
+// checksum) of a CRC selector.
+func FrameOverhead(c CRCKind) int { return link.FrameOverhead(c) }
+
+// EncodeFrame wraps a payload in sequence number and checksum;
+// DecodeFrame validates and unwraps it.
+var (
+	EncodeFrame = link.EncodeFrame
+	DecodeFrame = link.DecodeFrame
+)
+
+// RunIntegritySession simulates a session with the wire-integrity
+// plane enabled and health-plane escalation installed: links whose
+// corruption EWMA stays over threshold are BIST-confirmed and
+// quarantined, recomputing the serving contract.
+func RunIntegritySession(sw FaultInjectable, cfg SessionConfig) (*SessionStats, error) {
+	return health.RunIntegritySession(sw, cfg)
 }
 
 // Replicated switch pools: health-gated failover, admission control,

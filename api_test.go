@@ -80,8 +80,12 @@ func TestPublicAPISession(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, pol := range []Policy{Drop, Resend, Buffer, Misroute} {
+		ack := 0
+		if pol == Resend {
+			ack = 1
+		}
 		stats, err := RunSession(sw, SessionConfig{
-			Policy: pol, Load: 0.5, Rounds: 30, PayloadBits: 4, Seed: 5, AckDelay: 1,
+			Policy: pol, Load: 0.5, Rounds: 30, PayloadBits: 4, Seed: 5, AckDelay: ack,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -152,6 +156,76 @@ func TestPublicAPISwitchPool(t *testing.T) {
 	}
 	if len(rep.Rounds) != cfg.Rounds {
 		t.Fatalf("chaos recorded %d rounds, want %d", len(rep.Rounds), cfg.Rounds)
+	}
+}
+
+// The wire-integrity facade end-to-end: frame round-trip, a corrupted
+// session that recovers every loss through ARQ, and pool-level wire
+// fault injection.
+func TestPublicAPIIntegrity(t *testing.T) {
+	frame := EncodeFrame(CRC16, 7, []byte{1, 0, 1, 1})
+	if len(frame) != 4+FrameOverhead(CRC16) {
+		t.Fatalf("frame length %d", len(frame))
+	}
+	seq, payload, ok, err := DecodeFrame(CRC16, frame)
+	if err != nil || !ok || seq != 7 || len(payload) != 4 {
+		t.Fatalf("frame round-trip: seq=%d ok=%v err=%v", seq, ok, err)
+	}
+
+	sw, err := NewRevsortSwitch(64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := NewCorruptionPlane(9)
+	if err := plane.Add(WireFault{Stage: AllStages, Wire: AllWires, Mode: WireBitFlip, BER: 0.005}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunIntegritySession(sw, SessionConfig{
+		Policy: Resend, Load: 0.4, Rounds: 40, PayloadBits: 8, Seed: 2, AckDelay: 1,
+		Integrity: &IntegrityConfig{
+			CRC: CRC16, Window: 4, Corruption: plane,
+			// Ambient noise: disable link conviction, ARQ carries it.
+			Monitor: LinkMonitorConfig{Threshold: 0.999},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ist := stats.Integrity
+	if ist == nil || ist.CorruptedDetected == 0 {
+		t.Fatalf("corruption never observed: %+v", ist)
+	}
+	if ist.CorruptedDelivered != 0 {
+		t.Fatalf("%d corrupted payloads delivered", ist.CorruptedDelivered)
+	}
+	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + ist.FinalBacklog; got != stats.Offered {
+		t.Fatalf("conservation: %d != offered %d", got, stats.Offered)
+	}
+	if stats.RetriedDelivered == 0 {
+		t.Fatal("ARQ never recovered a loss")
+	}
+
+	// Pool-level wire fault injection through the facade.
+	replicas := make([]FaultInjectable, 2)
+	for i := range replicas {
+		fi, err := NewColumnsortSwitchBeta(64, 32, 0.75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = fi
+	}
+	p, err := NewSwitchPool(PoolConfig{}, replicas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InjectWireFault(0, WireFault{Stage: 0, Wire: 0, Mode: WireStuck}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run([]Message{NewMessage(0, []byte("x"))}); err != nil {
+		t.Fatal(err)
+	}
+	if s := p.Stats(); s.CorruptedDeliveries == 0 && s.Delivered == 0 {
+		t.Fatalf("pool round went nowhere: %+v", s)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"concentrators/internal/gatelevel"
 	"concentrators/internal/health"
 	"concentrators/internal/hyper"
+	"concentrators/internal/link"
 	"concentrators/internal/knockout"
 	"concentrators/internal/layout"
 	"concentrators/internal/mesh"
@@ -784,6 +785,52 @@ func BenchmarkPoolFailover(b *testing.B) {
 		}
 		if !rr.FailedOver || rr.Violated {
 			b.Fatalf("round did not fail over: %+v", rr)
+		}
+	}
+}
+
+// BenchmarkCorruptionQuarantine times the wire-level detection →
+// quarantine path that rides next to the chip-level MTTR below: a
+// stuck board-output wire corrupts deliveries until the replica's link
+// monitor convicts it, the wire joins the fault record as an
+// OutputWireFault, and the serving contract is rebuilt one output
+// smaller. The reported time covers the corrupt rounds spent reaching
+// conviction plus the contract rebuild.
+func BenchmarkCorruptionQuarantine(b *testing.B) {
+	sw, err := core.NewColumnsortSwitchBeta(64, 32, 0.75)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := make([]switchsim.Message, 0, 16)
+	for i := 0; i < 16; i++ {
+		msgs = append(msgs, switchsim.Message{Input: i, Payload: []byte{1, 0, 1, 1}})
+	}
+	outStage := len(sw.StageChips())
+	fault := link.WireFault{Stage: outStage, Wire: 0, Mode: link.WireStuck, StuckValue: 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pool.New(pool.Config{
+			TripThreshold: 8, // conviction, not the breaker, ends the corruption
+			Monitor:       link.MonitorConfig{Alpha: 0.9, Threshold: 0.5, MinFrames: 2},
+		}, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.InjectWireFault(0, fault); err != nil {
+			b.Fatal(err)
+		}
+		quarantined := false
+		for round := 0; round < 8; round++ {
+			if _, err := p.Run(msgs); err != nil {
+				b.Fatal(err)
+			}
+			if p.Stats().LinksQuarantined == 1 {
+				quarantined = true
+				break
+			}
+		}
+		if !quarantined {
+			b.Fatal("wire never quarantined")
 		}
 	}
 }

@@ -9,6 +9,7 @@
 //	concsim -switch full-revsort -n 4096 -load 0.7
 //	concsim -switch revsort -n 1024 -m 512 -faults 3 -mtbf 25 -scan-every 10
 //	concsim -switch columnsort -n 256 -m 128 -beta 0.75 -replicas 3 -load 0.8
+//	concsim -switch revsort -n 1024 -m 512 -ber 1e-3 -crc crc16 -arq-window 8
 //
 // Exit status: 0 on success, 1 on usage or construction errors, 2 when
 // the run observed a delivery-guarantee violation.
@@ -17,12 +18,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 
 	"concentrators/internal/bitonic"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
+	"concentrators/internal/link"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 )
@@ -43,6 +46,9 @@ func main() {
 	mtbf := flag.Float64("mtbf", 25, "mean rounds between chip failures for the fault schedule")
 	scanEvery := flag.Int("scan-every", 10, "run a BIST health scan every this many rounds (0 disables periodic scans)")
 	replicas := flag.Int("replicas", 1, "run traffic through a replicated switch pool of this size (revsort/columnsort only)")
+	ber := flag.Float64("ber", 0, "ambient wire bit-error rate: run a data-plane integrity session (CRC-framed payloads, sliding-window ARQ, link escalation)")
+	crc := flag.String("crc", "crc16", "integrity-session frame checksum: crc8 | crc16 | none")
+	arqWindow := flag.Int("arq-window", 4, "integrity-session ARQ sliding-window size")
 	flag.Parse()
 
 	if *m == 0 {
@@ -64,6 +70,10 @@ func main() {
 
 	if *replicas > 1 {
 		runPool(*kind, *n, *m, *beta, *replicas, *load, *rounds, *payload, *seed)
+		return
+	}
+	if *ber > 0 {
+		runIntegrity(sw, *load, *ber, *crc, *arqWindow, *rounds, *payload, *seed, *ack)
 		return
 	}
 	if *faults > 0 {
@@ -151,12 +161,21 @@ func parsePolicy(policy string) switchsim.Policy {
 	}
 }
 
+// ackFor gates the ack round trip to the one policy that has an
+// acknowledgment protocol; other policies reject a non-zero AckDelay.
+func ackFor(pol switchsim.Policy, ack int) int {
+	if pol != switchsim.Resend {
+		return 0
+	}
+	return ack
+}
+
 // runSession executes the multi-round congestion-control mode.
 func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack int) {
 	pol := parsePolicy(policy)
 	stats, err := switchsim.RunSession(sw, switchsim.SessionConfig{
 		Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
-		Seed: seed, AckDelay: ack,
+		Seed: seed, AckDelay: ackFor(pol, ack),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -185,7 +204,7 @@ func runFaultSession(sw core.Concentrator, policy string, load float64, rounds, 
 	stats, err := health.RunFaultAwareSession(fi, health.FaultSessionConfig{
 		SessionConfig: switchsim.SessionConfig{
 			Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
-			Seed: seed, AckDelay: ack,
+			Seed: seed, AckDelay: ackFor(pol, ack),
 		},
 		Schedule:        schedule,
 		ScanEvery:       scanEvery,
@@ -216,6 +235,87 @@ func runFaultSession(sw core.Concentrator, policy string, load float64, rounds, 
 			stats.LostAfterDetection)
 		os.Exit(2)
 	}
+}
+
+// parseCRC maps the -crc flag to a checksum selector.
+func parseCRC(name string) link.CRC {
+	switch name {
+	case "crc8":
+		return link.CRC8
+	case "crc16":
+		return link.CRC16
+	case "none":
+		return link.CRCNone
+	default:
+		fmt.Fprintf(os.Stderr, "unknown crc %q (want crc8 | crc16 | none)\n", name)
+		os.Exit(1)
+		panic("unreachable")
+	}
+}
+
+// runIntegrity executes the wire-level data-plane integrity mode:
+// ambient bit noise at the given BER on every link, CRC-framed
+// payloads, sliding-window ARQ recovery, and EWMA link escalation into
+// the health plane's quarantine machinery.
+func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, window, rounds, payload int, seed int64, ack int) {
+	fi, ok := sw.(core.FaultInjectable)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "-ber needs a multichip fault-injectable switch (revsort or columnsort), not %s\n", sw.Name())
+		os.Exit(1)
+	}
+	plane := link.NewCorruptionPlane(seed)
+	if err := plane.Add(link.WireFault{
+		Stage: link.AllStages, Wire: link.AllWires, Mode: link.WireBitFlip, BER: ber,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	crcSel := parseCRC(crcName)
+	// Ambient noise touches every link, so the healthy baseline is a
+	// nonzero per-frame corruption rate: 1−(1−BER)^(frame bits × links
+	// crossed). The monitor's conviction threshold sits well above that
+	// baseline so it only convicts links persistently much worse than
+	// the ambient floor — ARQ absorbs the floor — while a genuinely
+	// stuck or near-saturated wire (rate → 1) is still escalated.
+	frameBits := payload + link.FrameOverhead(crcSel)
+	pathLinks := len(fi.StageChips()) + 1
+	baseline := 1 - math.Pow(1-ber, float64(frameBits*pathLinks))
+	threshold := min(0.95, 0.3+4*baseline)
+	stats, err := health.RunIntegritySession(fi, switchsim.SessionConfig{
+		Policy: switchsim.Resend, Load: load, Rounds: rounds, PayloadBits: payload,
+		Seed: seed, AckDelay: max(ack, 1),
+		Integrity: &switchsim.IntegrityConfig{
+			CRC: crcSel, Window: window, Corruption: plane,
+			Monitor: link.MonitorConfig{Threshold: threshold, MinFrames: 32},
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ist := stats.Integrity
+	fmt.Printf("integrity session: ber=%g crc=%s window=%d load=%.2f rounds=%d\n",
+		ber, ist.CRC, ist.Window, load, rounds)
+	fmt.Printf("  offered %d, delivered %d (%d retried), lost %d, corrupted-dropped %d, backlog %d\n",
+		stats.Offered, stats.Delivered, stats.RetriedDelivered, stats.Dropped,
+		stats.CorruptedDropped, ist.FinalBacklog)
+	fmt.Printf("  frames %d (%d retransmits, %d timeouts), crc rejections %d, erasures %d, dups suppressed %d\n",
+		ist.FramesSent, ist.Retransmits, ist.Timeouts, ist.CorruptedDetected, ist.Erasures,
+		ist.DuplicatesSuppressed)
+	fmt.Printf("  mean latency %.2f rounds (first-try vs retried split tracked)\n", stats.MeanLatency())
+	fmt.Printf("  links quarantined %d (inputs %v, scan routes %d), serving contract m′=%d threshold=%d\n",
+		ist.LinksQuarantined, ist.InputsQuarantined, ist.ScanRoutes, ist.LiveOutputs, ist.LiveThreshold)
+	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + ist.FinalBacklog; got != stats.Offered {
+		fmt.Fprintf(os.Stderr, "conservation violated: %d + %d + %d + %d != offered %d\n",
+			stats.Delivered, stats.Dropped, stats.CorruptedDropped, ist.FinalBacklog, stats.Offered)
+		os.Exit(2)
+	}
+	if ist.CorruptedDelivered > 0 {
+		fmt.Fprintf(os.Stderr, "guarantee violated: %d corrupted payloads delivered past the checksum\n",
+			ist.CorruptedDelivered)
+		os.Exit(2)
+	}
+	fmt.Printf("conservation verified: offered = delivered + lost + corrupted-dropped + backlog\n")
 }
 
 // runPool drives traffic through a replicated switch pool: the primary

@@ -35,9 +35,13 @@ func main() {
 		"policy", "load", "delivered", "goodput", "lost", "refused", "latency", "backlog")
 	for _, pol := range policies {
 		for _, load := range loads {
+			ackDelay := 0
+			if pol == switchsim.Resend {
+				ackDelay = *ack
+			}
 			stats, err := switchsim.RunSession(sw, switchsim.SessionConfig{
 				Policy: pol, Load: load, Rounds: *rounds, PayloadBits: 16,
-				Seed: 99, AckDelay: *ack,
+				Seed: 99, AckDelay: ackDelay,
 			})
 			if err != nil {
 				log.Fatal(err)

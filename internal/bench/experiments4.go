@@ -29,9 +29,13 @@ func runCongestionPolicies(w io.Writer) error {
 		"policy", "load", "offered", "delivered", "lost", "refused", "latency")
 	for _, pol := range []switchsim.Policy{switchsim.Drop, switchsim.Resend, switchsim.Buffer, switchsim.Misroute} {
 		for _, load := range []float64{0.1, 0.25, 0.5, 0.9} {
+			ack := 0
+			if pol == switchsim.Resend {
+				ack = 2 // ack round trip before a resend
+			}
 			stats, err := switchsim.RunSession(sw, switchsim.SessionConfig{
 				Policy: pol, Load: load, Rounds: 300, PayloadBits: 8, Seed: 211,
-				AckDelay: 2, // ack round trip before a resend
+				AckDelay: ack,
 			})
 			if err != nil {
 				return err

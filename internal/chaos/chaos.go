@@ -1,9 +1,11 @@
 // Package chaos is a deterministic chaos harness for the replicated
 // concentrator pool: it replays seeded schedules of chip faults,
-// mid-stream replica kills and revivals, and scan-latency injections
-// against an internal/pool switch pool while Bernoulli traffic runs,
-// and checks — round by round — that the delivery guarantee never
-// regresses below the degraded contract of the live replica set.
+// mid-stream replica kills and revivals, bounded wire-corruption
+// bursts, and scan-latency injections against an internal/pool switch
+// pool while Bernoulli traffic runs, and checks — round by round —
+// that the delivery guarantee never regresses below the degraded
+// contract of the live replica set and that no payload the pool counts
+// delivered was corrupted in flight.
 //
 // Determinism is the point: a Schedule is derived entirely from a seed
 // and the pool geometry, so a guarantee regression found in CI replays
@@ -20,11 +22,13 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"concentrators/internal/core"
+	"concentrators/internal/link"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 )
@@ -43,6 +47,10 @@ const (
 	EventRevive
 	// EventScanLatency changes the pool's probe-scan latency.
 	EventScanLatency
+	// EventCorruption injects a bounded wire-corruption burst into a
+	// replica's corruption plane (the fault's From/Until window ends
+	// the burst on its own).
+	EventCorruption
 )
 
 // String names the kind.
@@ -56,6 +64,8 @@ func (k EventKind) String() string {
 		return "revive"
 	case EventScanLatency:
 		return "scan-latency"
+	case EventCorruption:
+		return "corruption"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -75,6 +85,9 @@ type Event struct {
 	Replica int
 	// Fault is the injected chip fault (EventFault only).
 	Fault core.ChipFault
+	// Wire is the injected wire fault (EventCorruption only); its
+	// From/Until round window bounds the burst.
+	Wire link.WireFault
 	// Latency is the new probe-scan latency (EventScanLatency only).
 	Latency int
 }
@@ -88,6 +101,8 @@ func (e Event) String() string {
 	switch e.Kind {
 	case EventFault:
 		return fmt.Sprintf("round %d: fault %s on %s", e.Round, e.Fault, target)
+	case EventCorruption:
+		return fmt.Sprintf("round %d: corruption %s on %s", e.Round, e.Wire, target)
 	case EventScanLatency:
 		return fmt.Sprintf("round %d: scan latency → %d", e.Round, e.Latency)
 	default:
@@ -109,6 +124,13 @@ type Config struct {
 	Seed int64
 	// Faults and Kills bound the destructive events scheduled.
 	Faults, Kills int
+	// Corruptions bounds the wire-corruption bursts scheduled. Each
+	// burst bit-flips the active replica's board-output wires for a
+	// bounded round window, one replica at a time.
+	Corruptions int
+	// MaxBER caps the per-bit flip probability of corruption bursts.
+	// 0 means the default (1e-2, the acceptance criterion's ceiling).
+	MaxBER float64
 	// ScanLatencyJitter, when true, schedules probe-latency injections.
 	ScanLatencyJitter bool
 	// Pool tunes the pool under test. TripThreshold defaults to 1 in
@@ -126,10 +148,21 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: load %v outside [0,1]", c.Load)
 	case c.PayloadBits < 1:
 		return fmt.Errorf("chaos: payload must be ≥ 1 bit, got %d", c.PayloadBits)
-	case c.Faults < 0 || c.Kills < 0:
-		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills)", c.Faults, c.Kills)
+	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0:
+		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions)",
+			c.Faults, c.Kills, c.Corruptions)
+	case c.MaxBER < 0 || c.MaxBER > 1 || c.MaxBER != c.MaxBER:
+		return fmt.Errorf("chaos: MaxBER %v outside [0,1]", c.MaxBER)
 	}
 	return nil
+}
+
+// maxBER resolves the configured corruption-burst BER ceiling.
+func (c Config) maxBER() float64 {
+	if c.MaxBER == 0 {
+		return 1e-2
+	}
+	return c.MaxBER
 }
 
 // GenerateSchedule derives the deterministic chaos schedule for a pool
@@ -157,21 +190,28 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 	reviveAfter := poolCfg.ProbeAfter + poolCfg.ScanLatency + 2
 
 	var events []Event
-	destructive := cfg.Faults + cfg.Kills
+	destructive := cfg.Faults + cfg.Kills + cfg.Corruptions
 	if destructive == 0 {
 		return events, nil
 	}
 	stride := max((cfg.Rounds-2)/destructive, gap)
+	// Corruption bursts are bounded so the detect–failover–probe loop
+	// finishes inside the clean part of the stride: the fault's Until
+	// window ends the burst on its own, no cleanup event needed.
+	burstLen := max(2, gap/3)
 	killEvery := 0
 	if cfg.Kills > 0 {
 		killEvery = max(destructive/cfg.Kills, 1)
 	}
 	killedAt := -1 // round of the unrevived kill, if any
-	kills, faults := 0, 0
+	kills, faults, corruptions := 0, 0, 0
 	faultsOn := make([]int, cfg.Replicas)
 	round := 1 + rng.Intn(max(stride/2, 1))
 	for i := 0; i < destructive && round < cfg.Rounds; i++ {
 		isKill := killEvery > 0 && kills < cfg.Kills && (i%killEvery == killEvery-1 || destructive-i <= cfg.Kills-kills)
+		// Interleave chip faults and corruption bursts proportionally.
+		wantCorruption := cfg.Corruptions > 0 &&
+			(faults >= cfg.Faults || corruptions*max(cfg.Faults, 1) < faults*cfg.Corruptions)
 		if isKill && killedAt < 0 {
 			// Kill whoever is primary at that round — the mid-stream
 			// kill the acceptance criterion asks for — and swap its
@@ -183,6 +223,23 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 			}
 			killedAt = round
 			kills++
+		} else if wantCorruption && corruptions < cfg.Corruptions {
+			// Corrupt the board-output wires of whichever replica is
+			// primary when the burst starts — the mid-stream data-plane
+			// failure the acceptance criterion asks for. The window is
+			// bounded; the arbiter must strip the corrupted deliveries
+			// and fail over in-round, and the probe must re-admit the
+			// replica at full contract once the noise clears.
+			ber := cfg.maxBER() * (0.25 + 0.75*rng.Float64())
+			events = append(events, Event{
+				Round: round, Kind: EventCorruption, Replica: ActiveReplica,
+				Wire: link.WireFault{
+					Stage: len(stages), Wire: link.AllWires,
+					Mode: link.WireBitFlip, BER: ber,
+					From: round, Until: min(round+burstLen, cfg.Rounds),
+				},
+			})
+			corruptions++
 		} else if faults < cfg.Faults {
 			// Spread faults across the replicas (fewest-faulted first,
 			// random among ties) so degradation accumulates evenly and
@@ -251,10 +308,13 @@ func normalizePool(c pool.Config) (pool.Config, error) {
 type RoundRecord struct {
 	Round                              int
 	Offered, Admitted, Shed, Delivered int
-	Threshold                          int // serving contract's ⌊α′m′⌋
-	ServedBy                           int // replica index, −1 when none
-	FailedOver, Violated               bool
-	Events                             []Event // events fired before this round
+	// Corrupted counts deliveries corrupted in flight this round (all
+	// stripped by the pool before delivery accounting).
+	Corrupted            int
+	Threshold            int // serving contract's ⌊α′m′⌋
+	ServedBy             int // replica index, −1 when none
+	FailedOver, Violated bool
+	Events               []Event // events fired before this round
 }
 
 // Report is the outcome of one chaos replay.
@@ -301,6 +361,7 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 	n := p.Inputs()
 	next := 0
 	lastFailovers := 0
+	lastCorrupted := 0
 	var killedQueue []int // killed, not-yet-revived replicas, oldest first
 	for round := 0; round < cfg.Rounds; round++ {
 		var fired []Event
@@ -338,6 +399,8 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				}
 			case EventScanLatency:
 				err = p.SetScanLatency(ev.Latency)
+			case EventCorruption:
+				err = p.InjectWireFault(target, ev.Wire)
 			default:
 				err = fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 			}
@@ -359,8 +422,26 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 			ServedBy: rr.ServedBy, FailedOver: rr.FailedOver,
 			Violated: rr.Violated, Events: fired,
 		}
+		stats := p.Stats()
+		rec.Corrupted = stats.CorruptedDeliveries - lastCorrupted
+		lastCorrupted = stats.CorruptedDeliveries
 		if rr.Result != nil {
 			rec.Delivered = len(rr.Result.Delivered)
+			// Data-plane intactness: whatever the schedule did, every
+			// payload the pool counts delivered must match the offered
+			// bits exactly — a corrupted delivery leaking through is a
+			// regression even in a round flagged violated.
+			offered := make(map[int][]byte, len(msgs))
+			for _, m := range msgs {
+				offered[m.Input] = m.Payload
+			}
+			for _, d := range rr.Result.Delivered {
+				if !bytes.Equal(d.Payload, offered[d.Input]) {
+					rep.Regressions = append(rep.Regressions,
+						fmt.Sprintf("round %d: corrupted payload delivered from input %d (replica %d)",
+							round, d.Input, rr.ServedBy))
+				}
+			}
 		}
 		rep.Rounds = append(rep.Rounds, rec)
 
@@ -381,7 +462,6 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				fmt.Sprintf("round %d: delivered %d < ⌊α′m′⌋ bound %d (replica %d)",
 					round, rec.Delivered, want, rr.ServedBy))
 		}
-		stats := p.Stats()
 		if depth := stats.SameRoundFailovers - lastFailovers; depth > rep.MaxSameRoundFailovers {
 			rep.MaxSameRoundFailovers = depth
 		}

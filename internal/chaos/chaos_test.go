@@ -23,6 +23,8 @@ func baseConfig(seed int64) Config {
 		Seed:        seed,
 		Faults:      3,
 		Kills:       2,
+		Corruptions: 2,
+		MaxBER:      1e-2,
 		Pool:        pool.Config{TripThreshold: 1, ProbeAfter: 1},
 	}
 }
@@ -55,7 +57,7 @@ func TestGenerateScheduleDeterministic(t *testing.T) {
 			t.Fatalf("event %d differs: %v vs %v", i, a[i], b[i])
 		}
 	}
-	kills, revives, faults := 0, 0, 0
+	kills, revives, faults, corruptions := 0, 0, 0, 0
 	for _, ev := range a {
 		switch ev.Kind {
 		case EventKill:
@@ -67,13 +69,22 @@ func TestGenerateScheduleDeterministic(t *testing.T) {
 			revives++
 		case EventFault:
 			faults++
+		case EventCorruption:
+			corruptions++
+			w := ev.Wire
+			if w.Until <= w.From || w.From != ev.Round {
+				t.Fatalf("corruption burst window [%d,%d) not bounded at round %d", w.From, w.Until, ev.Round)
+			}
+			if w.BER <= 0 || w.BER > cfg.MaxBER {
+				t.Fatalf("burst BER %g outside (0,%g]", w.BER, cfg.MaxBER)
+			}
 		}
 		if ev.Round < 0 || ev.Round >= cfg.Rounds {
 			t.Fatalf("event round %d outside [0,%d)", ev.Round, cfg.Rounds)
 		}
 	}
-	if kills == 0 || faults == 0 {
-		t.Fatalf("schedule has %d kills, %d faults — want both", kills, faults)
+	if kills == 0 || faults == 0 || corruptions == 0 {
+		t.Fatalf("schedule has %d kills, %d faults, %d corruptions — want all three", kills, faults, corruptions)
 	}
 	if revives > kills {
 		t.Fatalf("%d revives for %d kills", revives, kills)
@@ -95,6 +106,8 @@ func TestConfigValidation(t *testing.T) {
 		{"load above one", func(c *Config) { c.Load = 1.5 }},
 		{"zero payload", func(c *Config) { c.PayloadBits = 0 }},
 		{"negative kills", func(c *Config) { c.Kills = -1 }},
+		{"negative corruptions", func(c *Config) { c.Corruptions = -1 }},
+		{"BER above one", func(c *Config) { c.MaxBER = 1.5 }},
 	} {
 		cfg := baseConfig(1)
 		tc.mutate(&cfg)
@@ -108,12 +121,13 @@ func TestConfigValidation(t *testing.T) {
 }
 
 // TestChaosAcceptance is the PR's acceptance criterion: across ≥ 3
-// seeded schedules with mid-stream primary kills, every round delivers
-// at least ⌊α′m′⌋ messages for the live replica set's degraded
-// contract, and failover completes within the round that exposes the
-// failure.
+// seeded schedules with chip faults, mid-stream primary kills, and
+// wire-corruption bursts (BER up to 1e-2), every round delivers at
+// least ⌊α′m′⌋ messages for the live replica set's degraded contract,
+// failover completes within the round that exposes the failure, and no
+// corrupted payload is ever counted delivered.
 func TestChaosAcceptance(t *testing.T) {
-	totalTrips := 0
+	totalTrips, totalCorrupted := 0, 0
 	for _, seed := range []int64{7, 1987, 0xC0C0} {
 		cfg := baseConfig(seed)
 		events := mustSchedule(t, cfg)
@@ -136,14 +150,66 @@ func TestChaosAcceptance(t *testing.T) {
 			t.Fatalf("seed %d: no failovers despite kills", seed)
 		}
 		totalTrips += rep.Stats.Trips
+		totalCorrupted += rep.Stats.CorruptedDeliveries
+		if rep.Stats.Delivered+rep.Stats.CorruptedDeliveries < rep.Stats.Delivered {
+			t.Fatalf("seed %d: inconsistent corruption accounting: %+v", seed, rep.Stats)
+		}
 		if len(rep.Rounds) != cfg.Rounds {
 			t.Fatalf("seed %d: %d rounds recorded, want %d", seed, len(rep.Rounds), cfg.Rounds)
 		}
 	}
 	// Not every seeded fault bites while its replica serves, but across
-	// the seeds some must trip the breaker and exercise quarantine.
+	// the seeds some must trip the breaker and exercise quarantine, and
+	// some corruption burst must actually corrupt deliveries (all of
+	// which were stripped, or the regression list would be non-empty).
 	if totalTrips == 0 {
 		t.Fatal("no breaker trips across any seed")
+	}
+	if totalCorrupted == 0 {
+		t.Fatal("no corrupted deliveries across any seed — bursts never bit")
+	}
+}
+
+// TestCorruptionBurstChaos isolates the data-plane failure mode: a
+// corruption-only schedule against a spared pool must keep goodput at
+// the contract bound every round (corrupted deliveries stripped, the
+// round failed over in-round) and leave no wire quarantines behind
+// once the bounded bursts end.
+func TestCorruptionBurstChaos(t *testing.T) {
+	cfg := baseConfig(21)
+	cfg.Faults = 0
+	cfg.Kills = 0
+	cfg.Corruptions = 4
+	events := mustSchedule(t, cfg)
+	if len(events) == 0 {
+		t.Fatal("no corruption events scheduled")
+	}
+	rep, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) != 0 {
+		t.Fatalf("goodput regressed under corruption bursts:\n%v", rep.Regressions)
+	}
+	if rep.Stats.CorruptedDeliveries == 0 {
+		t.Fatal("bursts never corrupted a delivery")
+	}
+	corruptRounds := 0
+	for _, rec := range rep.Rounds {
+		if rec.Corrupted > 0 {
+			corruptRounds++
+			if !rec.FailedOver || rec.ServedBy < 0 {
+				t.Fatalf("round %d corrupted %d deliveries without failing over in-round: %+v",
+					rec.Round, rec.Corrupted, rec)
+			}
+		}
+	}
+	if corruptRounds == 0 {
+		t.Fatal("no round recorded corruption")
+	}
+	// Ambient bursts are transient: no wire should be convicted.
+	if rep.Stats.LinksQuarantined != 0 {
+		t.Errorf("%d wires quarantined by bounded transient bursts", rep.Stats.LinksQuarantined)
 	}
 }
 
@@ -205,6 +271,7 @@ func TestKillWithoutSpares(t *testing.T) {
 	cfg.Replicas = 1
 	cfg.Faults = 0
 	cfg.Kills = 1
+	cfg.Corruptions = 0
 	cfg.Rounds = 30
 	events := mustSchedule(t, cfg)
 	rep, err := Run(buildColumnsort, events, cfg)

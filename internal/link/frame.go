@@ -1,0 +1,81 @@
+package link
+
+import "fmt"
+
+// Frame layout, in stream order (one bit per clock cycle, following
+// §2's valid bit):
+//
+//	[ seq : 8 bits ][ payload : L bits ][ crc : 0/8/16 bits ]
+//
+// The sequence number is the sender's per-input frame counter modulo
+// SeqSpace; the checksum covers the sequence byte and the payload bits
+// packed MSB-first (the trailing partial payload byte zero-padded —
+// unambiguous because the payload length is fixed by the stream
+// length, never carried in the frame).
+
+// SeqBits is the sequence-number field width.
+const SeqBits = 8
+
+// SeqSpace is the sequence-number space; sliding windows must stay
+// at or below SeqSpace/2 so a received sequence number is unambiguous.
+const SeqSpace = 1 << SeqBits
+
+// FrameOverhead returns the framing cost in bits for the checksum.
+func FrameOverhead(c CRC) int { return SeqBits + c.Bits() }
+
+// packFrameBytes packs the sequence byte and the payload bit stream
+// (values 0/1, MSB-first, trailing byte zero-padded) into the byte
+// string the checksum covers.
+func packFrameBytes(seq int, payload []byte) []byte {
+	data := make([]byte, 1+(len(payload)+7)/8)
+	data[0] = byte(seq)
+	for i, bit := range payload {
+		if bit&1 != 0 {
+			data[1+i/8] |= 0x80 >> uint(i%8)
+		}
+	}
+	return data
+}
+
+// EncodeFrame wraps a payload bit stream with the sequence number and
+// checksum, returning the frame's bit stream.
+func EncodeFrame(c CRC, seq int, payload []byte) []byte {
+	seq &= SeqSpace - 1
+	frame := make([]byte, 0, SeqBits+len(payload)+c.Bits())
+	for b := SeqBits - 1; b >= 0; b-- {
+		frame = append(frame, byte(seq>>uint(b))&1)
+	}
+	frame = append(frame, payload...)
+	if bits := c.Bits(); bits > 0 {
+		sum := c.checksum(packFrameBytes(seq, payload))
+		for b := bits - 1; b >= 0; b-- {
+			frame = append(frame, byte(sum>>uint(b))&1)
+		}
+	}
+	return frame
+}
+
+// DecodeFrame splits a received frame bit stream and verifies its
+// checksum. ok reports checksum agreement (always true for CRCNone —
+// no detection); payload aliases the input slice. An error means the
+// stream is too short to even be a frame, which a receiver treats the
+// same as a failed checksum.
+func DecodeFrame(c CRC, bits []byte) (seq int, payload []byte, ok bool, err error) {
+	overhead := FrameOverhead(c)
+	if len(bits) < overhead {
+		return 0, nil, false, fmt.Errorf("link: frame of %d bits is shorter than the %d-bit %s framing", len(bits), overhead, c)
+	}
+	for _, b := range bits[:SeqBits] {
+		seq = seq<<1 | int(b&1)
+	}
+	payload = bits[SeqBits : len(bits)-c.Bits()]
+	if c.Bits() == 0 {
+		return seq, payload, true, nil
+	}
+	var got uint16
+	for _, b := range bits[len(bits)-c.Bits():] {
+		got = got<<1 | uint16(b&1)
+	}
+	want := c.checksum(packFrameBytes(seq, payload))
+	return seq, payload, got == want, nil
+}

@@ -47,6 +47,7 @@ import (
 	"concentrators/internal/bitvec"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
+	"concentrators/internal/link"
 	"concentrators/internal/nearsort"
 	"concentrators/internal/switchsim"
 )
@@ -105,6 +106,10 @@ type Config struct {
 	// RetryAfterCap caps the retry-after rounds advertised to shed
 	// messages. 0 means the default (8).
 	RetryAfterCap int
+	// Monitor tunes each replica's receiver-side link monitor (EWMA
+	// corruption tracking over output wires). Zero fields take the
+	// link package defaults.
+	Monitor link.MonitorConfig
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -136,6 +141,13 @@ type replica struct {
 	degraded *health.DegradedSwitch
 	known    map[[2]int]health.LocalizedFault
 
+	// Data-plane integrity: the board's wire corruption plane (chaos
+	// injection), the receiver's link monitor over its output wires,
+	// and the wires that monitor has quarantined.
+	plane      *link.CorruptionPlane
+	monitor    *link.LinkMonitor
+	wireFaults map[int]health.LocalizedFault
+
 	state       State
 	killed      bool
 	consecViol  int
@@ -145,6 +157,7 @@ type replica struct {
 
 	// accounting
 	trips, probes, scans, violations, roundsServed, repairs int
+	corrupted, linkQuarantines                              int
 }
 
 // contract returns the replica's live serving contract: the degraded
@@ -188,6 +201,12 @@ type ReplicaStats struct {
 	Repairs    int
 	// RoundsServed counts rounds this replica's routing was accepted.
 	RoundsServed int
+	// Corrupted counts deliveries this replica's wires corrupted (all
+	// stripped before delivery accounting).
+	Corrupted int
+	// LinksQuarantined counts output wires the receiver's link monitor
+	// convicted and quarantined on this replica.
+	LinksQuarantined int
 }
 
 // Stats summarizes the pool's lifetime accounting.
@@ -210,7 +229,13 @@ type Stats struct {
 	Probes     int
 	Scans      int
 	Repairs    int
-	Replicas   []ReplicaStats
+	// CorruptedDeliveries counts deliveries corrupted in flight across
+	// every replica; none of them is ever counted in Delivered.
+	CorruptedDeliveries int
+	// LinksQuarantined counts output wires convicted by replica link
+	// monitors and folded into degraded serving contracts.
+	LinksQuarantined int
+	Replicas         []ReplicaStats
 }
 
 // ShedMessage records one admission-control rejection.
@@ -284,9 +309,15 @@ func New(cfg Config, switches ...core.FaultInjectable) (*Pool, error) {
 				return nil, fmt.Errorf("pool: replica %d: %w", i, err)
 			}
 		}
+		monitor, err := link.NewLinkMonitor(cfg.Monitor)
+		if err != nil {
+			return nil, fmt.Errorf("pool: %w", err)
+		}
 		p.replicas = append(p.replicas, &replica{
 			id: i, sw: sw, probeAt: -1,
-			known: make(map[[2]int]health.LocalizedFault),
+			known:      make(map[[2]int]health.LocalizedFault),
+			monitor:    monitor,
+			wireFaults: make(map[int]health.LocalizedFault),
 		})
 	}
 	return p, nil
@@ -326,6 +357,7 @@ func (p *Pool) Stats() Stats {
 			Trips: r.trips, Probes: r.probes, Scans: r.scans,
 			Violations: r.violations, Repairs: r.repairs,
 			RoundsServed: r.roundsServed,
+			Corrupted:    r.corrupted, LinksQuarantined: r.linkQuarantines,
 		}
 	}
 	return s
@@ -384,6 +416,13 @@ func (p *Pool) Revive(i int) error {
 	r.killed = false
 	r.degraded = nil
 	r.known = make(map[[2]int]health.LocalizedFault)
+	// The swapped board brings fresh wires too: corruption plane,
+	// quarantined wires, and link history all reset.
+	r.plane = nil
+	r.wireFaults = make(map[int]health.LocalizedFault)
+	if monitor, err := link.NewLinkMonitor(p.cfg.Monitor); err == nil {
+		r.monitor = monitor
+	}
 	if err := r.sw.SetFaultPlane(core.NewFaultPlane()); err != nil {
 		return err
 	}
@@ -471,12 +510,23 @@ func (p *Pool) probeDue(round int64) {
 		}
 		if rep.Healthy {
 			// The fabric is clean (transient fault, or repaired via
-			// Revive): re-admit at the full contract.
-			r.degraded = nil
+			// Revive). The scan only vouches for the chips: wires the
+			// receiver has quarantined stay quarantined, so the rebuild
+			// keeps the degraded contract when any are on record —
+			// otherwise a clean probe would re-admit at full contract
+			// and the noisy wire would flap the breaker forever.
 			r.known = make(map[[2]int]health.LocalizedFault)
-			r.state = Healthy
+			if err := p.rebuildContractLocked(r); err != nil {
+				p.openBreaker(r, round)
+				continue
+			}
+			if r.degraded != nil {
+				r.state = Repaired
+			} else {
+				r.state = Healthy
+				r.backoff = 0
+			}
 			r.consecViol = 0
-			r.backoff = 0
 			r.repairs++
 			p.stats.Repairs++
 			continue
@@ -487,23 +537,17 @@ func (p *Pool) probeDue(round int64) {
 				r.known[key] = lf
 			}
 		}
-		if len(rep.Faults) == 0 {
-			// Violations without a localized chip: the scan cannot
-			// derive a degradation that covers them. Keep the breaker
-			// open.
+		if len(rep.Faults) == 0 && len(r.wireFaults) == 0 {
+			// Violations without a localized chip or a convicted wire:
+			// the scan cannot derive a degradation that covers them.
+			// Keep the breaker open.
 			p.openBreaker(r, round)
 			continue
 		}
-		all := make([]health.LocalizedFault, 0, len(r.known))
-		for _, lf := range r.known {
-			all = append(all, lf)
-		}
-		d, err := health.NewDegradedSwitch(r.sw, all)
-		if err != nil || core.Threshold(d) <= 0 {
+		if err := p.rebuildContractLocked(r); err != nil || r.degraded == nil {
 			p.openBreaker(r, round) // nothing worth serving survives
 			continue
 		}
-		r.degraded = d
 		r.state = Repaired
 		r.consecViol = 0
 		r.repairs++
@@ -624,14 +668,31 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 
 	// Route with in-round failover: try the primary, then — on a
 	// contract violation — replay the setup on the next-best replica.
+	// Wire corruption counts as a violation: the corrupted deliveries
+	// are stripped (never counted Delivered) and the round retargets.
 	tried := make(map[int]bool)
 	for {
 		r := p.replicas[p.active]
-		res, err := switchsim.Run(r.contract(), admitted)
-		if err == nil && switchsim.CheckGuarantee(r.contract(), admitted, res) == nil {
+		// The contract is captured before wire escalation, which may
+		// rebuild it mid-iteration: the round is judged against the
+		// contract it actually ran under.
+		c := r.contract()
+		res, err := switchsim.Run(c, admitted)
+		corrupt := 0
+		if err == nil {
+			res, corrupt = p.applyWireNoiseLocked(r, round, res)
+			p.escalateLinksLocked(r)
+		}
+		if err == nil && corrupt == 0 && switchsim.CheckGuarantee(c, admitted, res) == nil {
 			r.consecViol = 0
 			if r.state == Suspect {
-				r.state = Healthy // clean round closes the breaker
+				// A clean round closes the breaker — back to the state
+				// the live contract implies.
+				if r.degraded != nil {
+					r.state = Repaired
+				} else {
+					r.state = Healthy
+				}
 			}
 			r.roundsServed++
 			rr.Result = res
@@ -708,7 +769,11 @@ func (p *Pool) Route(valid *bitvec.Vector) ([]int, error) {
 		if err == nil && nearsort.CheckPartialConcentration(admitted, out, c.Outputs(), c.EpsilonBound()) == nil {
 			r.consecViol = 0
 			if r.state == Suspect {
-				r.state = Healthy
+				if r.degraded != nil {
+					r.state = Repaired
+				} else {
+					r.state = Healthy
+				}
 			}
 			r.roundsServed++
 			for _, o := range out {

@@ -1,0 +1,636 @@
+// Wire-level data-plane integrity: CRC-framed payloads and a
+// sliding-window ARQ protocol over the §1 drop-and-resend
+// acknowledgment model, with per-link corruption tracking.
+//
+// The paper's switches stream raw bits over stage-to-stage links and
+// board-level output wires with no checking; this layer is what a real
+// multichip board adds so receivers detect corruption instead of
+// silently consuming garbage (cf. Tiny Tera's CRC-protected cells with
+// per-link retransmission):
+//
+//	sender                    switch                     receiver
+//	  │ frame = [seq|payload|crc]                            │
+//	  ├──────────── setup + stream ───────▶ (wire corruption)│
+//	  │                                        CRC check ────┤
+//	  │ ◀─────────── ack / nack (AckDelay rounds) ───────────┤
+//	  │ retransmit on nack/timeout, exponential backoff      │
+//	  │ + jitter; give up after MaxRetransmits               │
+//
+// Each input wire is one ARQ sender: it may offer one frame per round
+// (the switch's setup constraint) but keeps up to Window frames
+// unacknowledged, so a sender with a deep queue streams continuously
+// instead of stop-and-waiting through every AckDelay round trip.
+// Receivers suppress duplicate sequence numbers (a late ack can cross
+// a timeout retransmit) and re-acknowledge them so the sender's window
+// still slides.
+//
+// The receiver side feeds a link.LinkMonitor: every reception is an
+// observation against the physical output wire it arrived on (and the
+// input-side link it left from, which the receiver knows from the
+// round's setup). A link whose EWMA corruption rate stays over
+// threshold is escalated — input-side links are quarantined locally
+// (arrivals refused, pending frames abandoned), output-side links are
+// handed to the configured LinkEscalator, which the health plane
+// implements as BIST-scan + output-wire quarantine under a recomputed
+// degraded contract.
+package switchsim
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"concentrators/internal/core"
+	"concentrators/internal/link"
+)
+
+// LinkEscalation is an escalator's verdict on one suspect link.
+type LinkEscalation struct {
+	// Serving is the replacement serving contract (nil keeps the
+	// current one — the link could not be quarantined).
+	Serving core.Concentrator
+	// OutputWire maps the new contract's output index to the physical
+	// board wire it drives (nil means identity).
+	OutputWire func(o int) (int, error)
+	// ScanRoutes is the BIST cost spent confirming the fabric, in
+	// Route-equivalent operations.
+	ScanRoutes int
+	// ChipFaults is the number of chip faults the confirming scan
+	// localized alongside the wire fault.
+	ChipFaults int
+}
+
+// LinkEscalator hands a persistently-corrupting output link to a
+// higher layer (internal/health provides the BIST-scan → quarantine
+// implementation). Returning a nil escalation or a nil Serving keeps
+// the current contract; the link is not re-escalated either way.
+type LinkEscalator func(at link.LinkAddr) (*LinkEscalation, error)
+
+// IntegrityConfig switches a Resend session onto the wire-integrity
+// data plane: framed payloads, sliding-window ARQ, link monitoring.
+type IntegrityConfig struct {
+	// CRC selects the frame checksum (CRCNone measures the undetected-
+	// corruption baseline).
+	CRC link.CRC
+	// Window is the per-input sliding window: the number of frames a
+	// sender may have unacknowledged. 0 means 1 (stop-and-wait); the
+	// maximum is link.SeqSpace/2 so received sequence numbers stay
+	// unambiguous.
+	Window int
+	// MaxRetransmits is the per-frame retransmit budget; a frame
+	// needing more is abandoned (Dropped or CorruptedDropped). 0 means
+	// the default (8).
+	MaxRetransmits int
+	// BackoffBase is the base retransmit backoff in rounds, doubling
+	// with every attempt up to BackoffMax. 0 means 1 (and BackoffMax
+	// defaults to 16).
+	BackoffBase, BackoffMax int
+	// Jitter is the maximum extra rounds drawn uniformly and added to
+	// every retransmit delay, desynchronizing competing retries.
+	Jitter int
+	// Corruption is the wire fault plane (nil = clean wires).
+	Corruption *link.CorruptionPlane
+	// Monitor tunes the per-link EWMA corruption tracker.
+	Monitor link.MonitorConfig
+	// Escalate hands suspect output links to the health plane; nil
+	// leaves persistently-corrupting links in service (their frames
+	// keep burning retransmit budget).
+	Escalate LinkEscalator
+}
+
+// withDefaults returns the effective configuration.
+func (c IntegrityConfig) withDefaults() IntegrityConfig {
+	if c.Window == 0 {
+		c.Window = 1
+	}
+	if c.MaxRetransmits == 0 {
+		c.MaxRetransmits = 8
+	}
+	if c.BackoffBase == 0 {
+		c.BackoffBase = 1
+	}
+	if c.BackoffMax == 0 {
+		c.BackoffMax = 16
+	}
+	return c
+}
+
+// Validate rejects malformed integrity configurations.
+func (c IntegrityConfig) Validate() error {
+	eff := c.withDefaults()
+	switch {
+	case !c.CRC.Valid():
+		return fmt.Errorf("switchsim: unknown CRC selector %v", c.CRC)
+	case c.Window < 0 || eff.Window > link.SeqSpace/2:
+		return fmt.Errorf("switchsim: ARQ window %d outside [1,%d]", c.Window, link.SeqSpace/2)
+	case c.MaxRetransmits < 0:
+		return fmt.Errorf("switchsim: negative retransmit budget %d", c.MaxRetransmits)
+	case c.BackoffBase < 0 || c.BackoffMax < 0:
+		return fmt.Errorf("switchsim: negative backoff (base %d, max %d)", c.BackoffBase, c.BackoffMax)
+	case eff.BackoffMax < eff.BackoffBase:
+		return fmt.Errorf("switchsim: BackoffMax %d < BackoffBase %d", eff.BackoffMax, eff.BackoffBase)
+	case c.Jitter < 0:
+		return fmt.Errorf("switchsim: negative retransmit jitter %d", c.Jitter)
+	}
+	if _, err := link.NewLinkMonitor(c.Monitor); err != nil {
+		return err
+	}
+	return nil
+}
+
+// IntegrityStats is the wire-integrity observability of one session.
+type IntegrityStats struct {
+	CRC    link.CRC
+	Window int
+	// FramesSent counts frames offered to the switch (first sends plus
+	// Retransmits).
+	FramesSent, Retransmits int
+	// CorruptedDetected counts receptions whose CRC failed; Erasures
+	// counts frames destroyed outright on the wire. Both recover via
+	// ARQ (nack and timeout respectively).
+	CorruptedDetected, Erasures int
+	// CorruptedDelivered counts deliveries whose payload was corrupted
+	// yet passed the checksum — always possible with CRCNone, and with
+	// a real CRC only beyond its guaranteed Hamming distance.
+	CorruptedDelivered int
+	// DuplicatesSuppressed counts re-deliveries the receiver discarded
+	// by sequence number (and re-acknowledged).
+	DuplicatesSuppressed int
+	// CongestionDrops counts switch-congestion losses (later retried).
+	CongestionDrops int
+	// Timeouts counts retransmissions triggered by RTO expiry rather
+	// than an explicit nack.
+	Timeouts int
+	// FinalBacklog counts frames still queued or awaiting delivery
+	// when the session ended: the session conservation law is
+	// Offered = Delivered + Dropped + CorruptedDropped + FinalBacklog.
+	FinalBacklog int
+	// LinksQuarantined counts links escalated out of service (input-
+	// side quarantines plus health-plane output quarantines);
+	// ScanRoutes is the BIST cost those escalations spent.
+	LinksQuarantined, ScanRoutes int
+	// InputsQuarantined lists input wires taken out of service.
+	InputsQuarantined []int
+	// LiveOutputs and LiveThreshold describe the serving contract at
+	// session end (m′ and ⌊α′m′⌋ of the possibly-degraded switch).
+	LiveOutputs, LiveThreshold int
+	// Links is the final per-link health map.
+	Links map[link.LinkAddr]link.LinkHealth
+}
+
+// arqFrame is one message in the ARQ machinery.
+type arqFrame struct {
+	seq        int
+	payload    []byte // original payload bits
+	firstRound int
+	attempts   int  // send attempts so far
+	lastSent   int  // round of the latest send
+	eligible   int  // next round this frame may be (re)sent; −1 = awaiting ack/nack/timeout
+	deadline   int  // RTO round (meaningful while awaiting)
+	corrupted  bool // a nack, erasure timeout, or input quarantine hit this frame
+	delivered  bool // receiver accepted a copy (counted once)
+	acked      bool
+}
+
+// arqSender is the per-input-wire sender state.
+type arqSender struct {
+	nextSeq     int
+	queue       []*arqFrame // arrivals not yet admitted to the window
+	window      []*arqFrame // sent at least once, not yet acked
+	quarantined bool
+}
+
+// ackKind labels receiver→sender control events.
+type ackKind int
+
+const (
+	ackOK         ackKind = iota // frame accepted (or duplicate re-ack)
+	nackCorrupted                // CRC failure, please retransmit
+	nackDropped                  // switch congestion drop
+)
+
+type ackEvent struct {
+	input, sendRound int
+	kind             ackKind
+}
+
+// runIntegritySession is RunSession's engine when cfg.Integrity is
+// set. cfg is already validated.
+func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) {
+	ic := cfg.Integrity.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	monitor, err := link.NewLinkMonitor(ic.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	n := sw.Inputs()
+	stats := newSessionStats(cfg)
+	ist := &IntegrityStats{CRC: ic.CRC, Window: ic.Window}
+	stats.Integrity = ist
+
+	// stageCount is the number of chip stages for link addressing:
+	// frames cross stage-to-stage links 0..stageCount, the last being
+	// the board-level output wires.
+	stageCount := 1
+	fi, faultInjectable := sw.(core.FaultInjectable)
+	if faultInjectable {
+		stageCount = len(fi.StageChips())
+	}
+	outLinkStage := stageCount
+
+	serving := sw
+	outputWire := func(o int) (int, error) { return o, nil }
+
+	senders := make([]*arqSender, n)
+	for i := range senders {
+		senders[i] = &arqSender{}
+	}
+	// events[r] holds the control-plane traffic arriving at round r.
+	events := make(map[int][]ackEvent)
+	// seen[in] is the receiver's duplicate-suppression window.
+	type seenSet struct {
+		set  map[int]bool
+		fifo []int
+	}
+	seen := make([]seenSet, n)
+	for i := range seen {
+		seen[i] = seenSet{set: make(map[int]bool)}
+	}
+	// partners[a][b] counts corrupt receptions whose path crossed both
+	// links a and b. A corrupt frame is ambiguous — the input-side link
+	// and the output wire are both candidates — so conviction needs
+	// coincidence analysis: a link whose corruption spans several
+	// distinct partners is guilty; one whose corruption always
+	// coincides with a single partner is deferred (and exonerated once
+	// that partner is quarantined). Without this, one bad output wire
+	// convicts every input the concentrator keeps pairing with it.
+	partners := make(map[link.LinkAddr]map[link.LinkAddr]int)
+	recordCorrupt := func(a, b link.LinkAddr) {
+		for _, pair := range [2][2]link.LinkAddr{{a, b}, {b, a}} {
+			if partners[pair[0]] == nil {
+				partners[pair[0]] = make(map[link.LinkAddr]int)
+			}
+			partners[pair[0]][pair[1]]++
+		}
+	}
+	// solePartner returns the one link every corrupt event on at
+	// coincided with, if there is exactly one.
+	solePartner := func(at link.LinkAddr) (link.LinkAddr, bool) {
+		ps := partners[at]
+		if len(ps) != 1 {
+			return link.LinkAddr{}, false
+		}
+		for p := range ps {
+			return p, true
+		}
+		panic("unreachable")
+	}
+	// rate is the link's cumulative corruption fraction.
+	rate := func(h link.LinkHealth) float64 {
+		if h.Frames == 0 {
+			return 0
+		}
+		return float64(h.Corrupted) / float64(h.Frames)
+	}
+
+	backoff := func(attempt int) int {
+		b := ic.BackoffBase
+		for i := 0; i < attempt && b < ic.BackoffMax; i++ {
+			b <<= 1
+		}
+		return min(b, ic.BackoffMax)
+	}
+	jitter := func() int {
+		if ic.Jitter == 0 {
+			return 0
+		}
+		return rng.Intn(ic.Jitter + 1)
+	}
+	removeFromWindow := func(s *arqSender, f *arqFrame) {
+		for i, w := range s.window {
+			if w == f {
+				s.window = append(s.window[:i], s.window[i+1:]...)
+				return
+			}
+		}
+	}
+	// giveUp abandons a frame that exhausted its retransmit budget.
+	giveUp := func(s *arqSender, f *arqFrame) {
+		removeFromWindow(s, f)
+		if f.delivered {
+			return // already counted Delivered; the ack just never landed
+		}
+		if f.corrupted {
+			stats.CorruptedDropped++
+		} else {
+			stats.Dropped++
+		}
+	}
+	// retransmitOrGiveUp schedules the frame's next send, or abandons
+	// it once the budget is spent.
+	retransmitOrGiveUp := func(s *arqSender, f *arqFrame, round int) {
+		if f.attempts > ic.MaxRetransmits {
+			giveUp(s, f)
+			return
+		}
+		f.eligible = round + backoff(f.attempts-1) + jitter()
+	}
+
+	for round := 0; round < cfg.Rounds; round++ {
+		// 1. Control-plane traffic arrives: acks slide windows, nacks
+		// schedule retransmits. Events are matched by send round so a
+		// stale nack for a frame already retransmitted is ignored.
+		evs := events[round]
+		delete(events, round)
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].input != evs[j].input {
+				return evs[i].input < evs[j].input
+			}
+			return evs[i].sendRound < evs[j].sendRound
+		})
+		for _, ev := range evs {
+			s := senders[ev.input]
+			var f *arqFrame
+			for _, w := range s.window {
+				if w.lastSent == ev.sendRound {
+					f = w
+					break
+				}
+			}
+			if f == nil {
+				continue // already resolved (acked, abandoned, or quarantined)
+			}
+			switch ev.kind {
+			case ackOK:
+				f.acked = true
+				if !f.delivered {
+					// The receiver acked but never consumed the frame:
+					// its corrupted sequence number collided with an
+					// already-seen one (possible only when the CRC
+					// missed the corruption), so it was discarded as a
+					// duplicate. The message is lost to corruption.
+					stats.CorruptedDropped++
+				}
+				removeFromWindow(s, f)
+			case nackCorrupted:
+				if f.eligible < 0 { // not already rescheduled
+					f.corrupted = true
+					retransmitOrGiveUp(s, f, round)
+				}
+			case nackDropped:
+				if f.eligible < 0 {
+					retransmitOrGiveUp(s, f, round)
+				}
+			}
+		}
+
+		// 2. RTO expiry: silence past the deadline means the frame (or
+		// its ack) vanished — an erasure. Retransmit with backoff.
+		for in := 0; in < n; in++ {
+			s := senders[in]
+			for _, f := range append([]*arqFrame(nil), s.window...) {
+				if f.eligible < 0 && round >= f.deadline {
+					f.corrupted = true
+					ist.Timeouts++
+					retransmitOrGiveUp(s, f, round)
+				}
+			}
+		}
+
+		// 3. Arrivals join their input's queue (a quarantined input
+		// refuses them: its wire is out of service).
+		for in := 0; in < n; in++ {
+			if rng.Float64() >= cfg.Load {
+				continue
+			}
+			s := senders[in]
+			if s.quarantined {
+				stats.Refused++
+				continue
+			}
+			payload := make([]byte, cfg.PayloadBits)
+			for b := range payload {
+				payload[b] = byte(rng.Intn(2))
+			}
+			s.queue = append(s.queue, &arqFrame{payload: payload, firstRound: round, eligible: -1})
+			stats.Offered++
+		}
+
+		// 4. Each sender offers one frame: the oldest eligible
+		// retransmit first, else a new frame if the window has room.
+		inFlight := make(map[int]*arqFrame)
+		var msgs []Message
+		for in := 0; in < n; in++ {
+			s := senders[in]
+			if s.quarantined {
+				continue
+			}
+			var pick *arqFrame
+			for _, f := range s.window {
+				if f.eligible >= 0 && f.eligible <= round {
+					pick = f
+					break
+				}
+			}
+			if pick == nil && len(s.window) < ic.Window && len(s.queue) > 0 {
+				pick = s.queue[0]
+				s.queue = s.queue[1:]
+				pick.seq = s.nextSeq
+				s.nextSeq = (s.nextSeq + 1) % link.SeqSpace
+				s.window = append(s.window, pick)
+			}
+			if pick == nil {
+				continue
+			}
+			pick.attempts++
+			if pick.attempts > 1 {
+				stats.Retries++
+				ist.Retransmits++
+			}
+			pick.lastSent = round
+			pick.eligible = -1
+			pick.deadline = round + 1 + cfg.AckDelay + backoff(pick.attempts-1)
+			ist.FramesSent++
+			inFlight[in] = pick
+			msgs = append(msgs, Message{Input: in, Payload: link.EncodeFrame(ic.CRC, pick.seq, pick.payload)})
+		}
+		if len(msgs) > stats.MaxOffered {
+			stats.MaxOffered = len(msgs)
+		}
+
+		if len(msgs) > 0 {
+			res, err := Run(serving, msgs)
+			if err != nil {
+				return nil, err
+			}
+
+			// 5. Congestion drops: the ack protocol reports them after
+			// the round trip, exactly the Resend model.
+			for _, in := range res.DroppedInputs {
+				ist.CongestionDrops++
+				arrival := round + 1 + cfg.AckDelay
+				events[arrival] = append(events[arrival], ackEvent{input: in, sendRound: round, kind: nackDropped})
+			}
+
+			// 6. Deliveries cross the wire fault plane, then the
+			// receiver CRC-checks, dedups, and acks or nacks.
+			for _, d := range res.Delivered {
+				f := inFlight[d.Input]
+				phys, err := outputWire(d.Output)
+				if err != nil {
+					return nil, err
+				}
+				bits := append([]byte(nil), d.Payload...)
+				erased := false
+				for _, at := range link.Path(stageCount, d.Input, phys) {
+					if _, er := ic.Corruption.Corrupt(round, at, bits); er {
+						erased = true
+						break
+					}
+				}
+				outLink := link.LinkAddr{Stage: outLinkStage, Wire: phys}
+				inLink := link.LinkAddr{Stage: 0, Wire: d.Input}
+				if erased {
+					// Nothing arrives: the receiver (which knows from
+					// setup that this wire carried a path) charges the
+					// link; the sender recovers by RTO.
+					ist.Erasures++
+					monitor.Observe(outLink, true)
+					monitor.Observe(inLink, true)
+					recordCorrupt(inLink, outLink)
+					continue
+				}
+				seq, payload, ok, derr := link.DecodeFrame(ic.CRC, bits)
+				corrupted := derr != nil || !ok
+				monitor.Observe(outLink, corrupted)
+				monitor.Observe(inLink, corrupted)
+				if corrupted {
+					recordCorrupt(inLink, outLink)
+				}
+				arrival := round + 1 + cfg.AckDelay
+				if corrupted {
+					ist.CorruptedDetected++
+					events[arrival] = append(events[arrival], ackEvent{input: d.Input, sendRound: round, kind: nackCorrupted})
+					continue
+				}
+				// Ack delivery may be jittered past the sender's RTO —
+				// that crossing is what creates duplicates.
+				arrival += jitter()
+				events[arrival] = append(events[arrival], ackEvent{input: d.Input, sendRound: round, kind: ackOK})
+				rs := &seen[d.Input]
+				if rs.set[seq] {
+					ist.DuplicatesSuppressed++
+					continue
+				}
+				rs.set[seq] = true
+				rs.fifo = append(rs.fifo, seq)
+				if len(rs.fifo) > link.SeqSpace/2 {
+					delete(rs.set, rs.fifo[0])
+					rs.fifo = rs.fifo[1:]
+				}
+				if !bytes.Equal(payload, f.payload) {
+					ist.CorruptedDelivered++
+				}
+				f.delivered = true
+				stats.DeliveredPerRound[round]++
+				stats.recordDelivery(round-f.firstRound, f.attempts > 1)
+			}
+		}
+
+		// 7. Escalation: links whose EWMA corruption rate crossed the
+		// threshold leave service. Input-side links are quarantined
+		// locally; output-side links go to the health plane. A suspect
+		// whose corruption always coincided with one partner link is
+		// deferred — and given a fresh trial once that partner is
+		// quarantined, since its evidence died with the culprit.
+		for _, at := range monitor.Suspects() {
+			if p, ok := solePartner(at); ok {
+				// All of at's corruption coincided with one partner.
+				// If that partner has since been quarantined, the
+				// evidence died with it: fresh trial. Otherwise convict
+				// at only when the partner demonstrably carries clean
+				// traffic from elsewhere AND corrupts at a strictly
+				// lower rate — e.g. a statically-paired (input i,
+				// output i) revsort pair, where the clean frames other
+				// inputs push through output i are what pin the blame
+				// on input i. A pure pair with no clean evidence on
+				// either side stays ambiguous: the receiver defers
+				// rather than quarantining on a coin flip (the ARQ
+				// budget contains the damage meanwhile).
+				ah, ph := monitor.Health(at), monitor.Health(p)
+				if ph.Escalated {
+					monitor.Reset(at)
+					delete(partners, at)
+					continue
+				}
+				if ph.Frames-ph.Corrupted == 0 || rate(ah) <= rate(ph) {
+					continue
+				}
+			}
+			switch at.Stage {
+			case 0:
+				s := senders[at.Wire]
+				s.quarantined = true
+				monitor.Escalate(at)
+				ist.LinksQuarantined++
+				ist.InputsQuarantined = append(ist.InputsQuarantined, at.Wire)
+				for _, f := range append([]*arqFrame(nil), s.window...) {
+					f.corrupted = true
+					giveUp(s, f)
+				}
+				stats.CorruptedDropped += len(s.queue)
+				s.window, s.queue = nil, nil
+			case outLinkStage:
+				if ic.Escalate == nil {
+					continue // left in service by configuration
+				}
+				esc, err := ic.Escalate(at)
+				if err != nil {
+					return nil, fmt.Errorf("switchsim: escalating %v: %w", at, err)
+				}
+				monitor.Escalate(at)
+				if esc == nil || esc.Serving == nil {
+					continue
+				}
+				ist.ScanRoutes += esc.ScanRoutes
+				ist.LinksQuarantined++
+				serving = esc.Serving
+				if esc.OutputWire != nil {
+					outputWire = esc.OutputWire
+				} else {
+					outputWire = func(o int) (int, error) { return o, nil }
+				}
+			default:
+				monitor.Escalate(at) // interior link: observable, not maskable
+			}
+		}
+
+		backlog := 0
+		for _, s := range senders {
+			backlog += len(s.queue)
+			for _, f := range s.window {
+				if !f.delivered {
+					backlog++
+				}
+			}
+		}
+		if backlog > stats.MaxBacklog {
+			stats.MaxBacklog = backlog
+		}
+	}
+
+	for _, s := range senders {
+		ist.FinalBacklog += len(s.queue)
+		for _, f := range s.window {
+			if !f.delivered {
+				ist.FinalBacklog++
+			}
+		}
+	}
+	sort.Ints(ist.InputsQuarantined)
+	ist.LiveOutputs = serving.Outputs()
+	ist.LiveThreshold = core.Threshold(serving)
+	ist.Links = monitor.Snapshot()
+	return stats, nil
+}

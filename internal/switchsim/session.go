@@ -67,12 +67,19 @@ type SessionConfig struct {
 	// which makes Resend behave like Buffer; a real ack protocol has
 	// AckDelay ≥ 1.
 	AckDelay int
+	// Integrity, when non-nil, runs the session with wire-level
+	// data-plane integrity: CRC-framed payloads, sliding-window ARQ
+	// over the Resend ack machinery, and per-link corruption tracking.
+	// Requires Policy == Resend (ARQ *is* the resend protocol).
+	Integrity *IntegrityConfig
 }
 
 // Validate rejects configurations that would previously have been
 // silently clamped or misbehaved: non-positive rounds, a load outside
 // [0, 1] (including NaN), messages with no payload bits, a negative
-// ack round trip, or an unknown policy.
+// ack round trip, an unknown policy, an AckDelay on a policy that has
+// no acknowledgment protocol (it would silently be a no-op), or a
+// malformed integrity layer.
 func (cfg SessionConfig) Validate() error {
 	switch {
 	case cfg.Rounds < 1:
@@ -85,6 +92,17 @@ func (cfg SessionConfig) Validate() error {
 		return fmt.Errorf("switchsim: negative ack delay %d", cfg.AckDelay)
 	case cfg.Policy < Drop || cfg.Policy > Misroute:
 		return fmt.Errorf("switchsim: unknown policy %v", cfg.Policy)
+	case cfg.AckDelay > 0 && cfg.Policy != Resend:
+		return fmt.Errorf("switchsim: AckDelay %d is meaningless under the %s policy (only resend has an acknowledgment protocol)",
+			cfg.AckDelay, cfg.Policy)
+	}
+	if cfg.Integrity != nil {
+		if cfg.Policy != Resend {
+			return fmt.Errorf("switchsim: integrity ARQ rides the resend ack protocol; policy %s cannot carry it", cfg.Policy)
+		}
+		if err := cfg.Integrity.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -94,12 +112,26 @@ type SessionStats struct {
 	Policy    Policy
 	Offered   int // messages generated
 	Delivered int
-	Dropped   int // permanently lost (Drop policy only)
-	Refused   int // arrivals refused because the input was occupied (Buffer)
-	Retries   int // re-offered attempts (Resend/Buffer)
+	Dropped   int // permanently lost (Drop policy; exhausted clean retransmit budget)
+	// CorruptedDropped counts messages abandoned after the ARQ
+	// retransmit budget was exhausted with wire corruption involved —
+	// the integrity layer's explicit give-up accounting.
+	CorruptedDropped int
+	Refused          int // arrivals refused because the input was occupied (Buffer)
+	Retries          int // re-offered attempts (Resend/Buffer)
+	// RetriedDelivered counts delivered messages that needed more than
+	// one offer to the switch — the slice of Delivered whose latency
+	// includes retry round trips.
+	RetriedDelivered int
 	// LatencyHistogram[r] counts messages delivered r rounds after
 	// their first offer (0 = same round).
 	LatencyHistogram map[int]int
+	// FirstTryLatencyHistogram and RetriedLatencyHistogram split
+	// LatencyHistogram by whether the delivery needed re-offers, so the
+	// ARQ/retry latency cost is visible separately from queueing delay.
+	// LatencyHistogram remains their exact sum (backward compatible).
+	FirstTryLatencyHistogram map[int]int
+	RetriedLatencyHistogram  map[int]int
 	// MaxBacklog is the peak number of waiting messages — messages
 	// parked in the retry pool (Resend/Misroute) or held at their input
 	// wires (Buffer) — measured after each round's routing.
@@ -110,6 +142,23 @@ type SessionStats struct {
 	// DeliveredPerRound[r] is the number of messages delivered in
 	// round r.
 	DeliveredPerRound []int
+	// Integrity carries the wire-level integrity observability; nil
+	// unless the session ran with SessionConfig.Integrity.
+	Integrity *IntegrityStats
+}
+
+// recordDelivery files one delivery into the combined and split
+// latency histograms. retried marks a message that needed more than
+// one offer to the switch.
+func (s *SessionStats) recordDelivery(latency int, retried bool) {
+	s.Delivered++
+	s.LatencyHistogram[latency]++
+	if retried {
+		s.RetriedDelivered++
+		s.RetriedLatencyHistogram[latency]++
+	} else {
+		s.FirstTryLatencyHistogram[latency]++
+	}
 }
 
 // MeanLatency returns the average delivery latency in rounds.
@@ -130,6 +179,19 @@ type pendingMsg struct {
 	firstRound int
 	// eligible is the first round this message may be (re-)offered.
 	eligible int
+	// offers counts how many times the message entered the switch.
+	offers int
+}
+
+// newSessionStats builds the stats record with every histogram live.
+func newSessionStats(cfg SessionConfig) *SessionStats {
+	return &SessionStats{
+		Policy:                   cfg.Policy,
+		LatencyHistogram:         map[int]int{},
+		FirstTryLatencyHistogram: map[int]int{},
+		RetriedLatencyHistogram:  map[int]int{},
+		DeliveredPerRound:        make([]int, cfg.Rounds),
+	}
 }
 
 // RunSession simulates a multi-round message session through the switch
@@ -140,13 +202,12 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Integrity != nil {
+		return runIntegritySession(sw, cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	n := sw.Inputs()
-	stats := &SessionStats{
-		Policy:            cfg.Policy,
-		LatencyHistogram:  map[int]int{},
-		DeliveredPerRound: make([]int, cfg.Rounds),
-	}
+	stats := newSessionStats(cfg)
 
 	// waiting[input] = message occupying that input (Buffer), or the
 	// retry pool (Resend).
@@ -233,7 +294,8 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 		}
 
 		var msgs []Message
-		for in := range offered {
+		for in, pm := range offered {
+			pm.offers++
 			payload := make([]byte, cfg.PayloadBits)
 			for b := range payload {
 				payload[b] = byte(rng.Intn(2))
@@ -246,9 +308,8 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 		}
 		for _, d := range res.Delivered {
 			pm := offered[d.Input]
-			stats.Delivered++
 			stats.DeliveredPerRound[round]++
-			stats.LatencyHistogram[round-pm.firstRound]++
+			stats.recordDelivery(round-pm.firstRound, pm.offers > 1)
 		}
 		buffered = map[int]*pendingMsg{}
 		for _, in := range res.DroppedInputs {

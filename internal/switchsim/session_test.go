@@ -35,6 +35,11 @@ func TestSessionConfigValidate(t *testing.T) {
 		{"negative ack delay", func(c *SessionConfig) { c.AckDelay = -1 }},
 		{"unknown policy", func(c *SessionConfig) { c.Policy = Policy(42) }},
 		{"negative policy", func(c *SessionConfig) { c.Policy = Policy(-1) }},
+		// AckDelay models the resend protocol's round trip; under any
+		// other policy it would silently be a no-op, so it is rejected.
+		{"ack delay under drop", func(c *SessionConfig) { c.Policy = Drop }},
+		{"ack delay under buffer", func(c *SessionConfig) { c.Policy = Buffer }},
+		{"ack delay under misroute", func(c *SessionConfig) { c.Policy = Misroute }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := valid
