@@ -17,6 +17,7 @@ import (
 	"concentrators/internal/link"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
+	"concentrators/internal/timing"
 )
 
 // Concentrator is the uniform switch interface: Route performs the
@@ -297,6 +298,58 @@ func GenerateChaosSchedule(seed int64, sw FaultInjectable, cfg ChaosConfig) ([]C
 // the live replica set's degraded contract.
 func RunChaos(build func() (FaultInjectable, error), events []ChaosEvent, cfg ChaosConfig) (*ChaosReport, error) {
 	return chaos.Run(build, events, cfg)
+}
+
+// Gray-failure tolerance: seeded timing faults, Jacobson/Karn adaptive
+// retransmit timers, latency histograms, hedged dispatch, slow-replica
+// conviction, and deadline-SLO accounting.
+type (
+	// TimingFault is one gray-failure timing fault: a component that
+	// still routes correctly but late (constant slowdown, heavy-tail
+	// jitter, GC-like pauses, degradation ramps).
+	TimingFault = timing.Fault
+	// TimingMode is the timing fault shape.
+	TimingMode = timing.Mode
+	// TimingPlane is a seeded, deterministic set of timing faults — the
+	// latency counterpart of CorruptionPlane.
+	TimingPlane = timing.Plane
+	// RTTEstimatorConfig tunes the Jacobson/Karn adaptive retransmit
+	// timer (EWMA mean + deviation, Karn's rule, exponential backoff).
+	RTTEstimatorConfig = timing.EstimatorConfig
+	// RTTEstimator adapts ARQ retransmit timeouts to observed latency.
+	RTTEstimator = timing.Estimator
+	// LatencyHistogram is a log-bucketed latency histogram with
+	// witnessed p50/p99/p999 quantile accessors.
+	LatencyHistogram = timing.Histogram
+	// SlowDetectorConfig tunes the relative-percentile slow-replica
+	// detector (no absolute thresholds).
+	SlowDetectorConfig = health.SlowConfig
+	// SlowDetector convicts gray (correct but persistently slow)
+	// replicas on relative peer evidence.
+	SlowDetector = health.SlowDetector
+)
+
+// The timing fault shapes.
+const (
+	TimingConstant = timing.Constant
+	TimingJitter   = timing.Jitter
+	TimingPause    = timing.Pause
+	TimingRamp     = timing.Ramp
+)
+
+// NewTimingPlane returns an empty, seeded timing fault plane.
+func NewTimingPlane(seed int64) *TimingPlane { return timing.NewPlane(seed) }
+
+// NewRTTEstimator builds a Jacobson/Karn estimator; zero config fields
+// take the classic constants (α=1/8, β=1/4, K=4, RTO ∈ [1,64]).
+func NewRTTEstimator(cfg RTTEstimatorConfig) (*RTTEstimator, error) {
+	return timing.NewEstimator(cfg)
+}
+
+// NewSlowDetector builds a relative-percentile slow-replica detector
+// over the given replica count.
+func NewSlowDetector(cfg SlowDetectorConfig, replicas int) (*SlowDetector, error) {
+	return health.NewSlowDetector(cfg, replicas)
 }
 
 // Packaging reports (Table 1, Figures 3/4/6/7).

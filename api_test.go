@@ -269,3 +269,69 @@ func TestPublicAPIAllConstructors(t *testing.T) {
 		}
 	}
 }
+
+// The gray-failure facade end-to-end: a timing fault plane stalls one
+// replica of a hedged pool, the spare absorbs the tail inside the
+// deadline budget, and the estimator/histogram/detector helpers work
+// from root-package identifiers alone.
+func TestPublicAPIGrayFailure(t *testing.T) {
+	replicas := make([]FaultInjectable, 2)
+	for i := range replicas {
+		fi, err := NewColumnsortSwitchBeta(64, 32, 0.75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = fi
+	}
+	p, err := NewSwitchPool(PoolConfig{HedgeQuantile: 0.9, HedgeBudget: 1, Deadline: 5}, replicas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stall := TimingFault{Stage: 0, Wire: AllWires, Mode: TimingConstant, Delay: 10}
+	if err := p.InjectTimingFault(0, stall); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 60; round++ {
+		if _, err := p.Run(RandomMessages(rng, 64, 0.4, 4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Hedges == 0 || s.HedgeWins == 0 {
+		t.Fatalf("stalled pool never hedged: %+v", s)
+	}
+	if s.DeadlineMissed != 0 {
+		t.Fatalf("%d deliveries missed the deadline despite hedging", s.DeadlineMissed)
+	}
+	if s.Latency.P999() > 5 {
+		t.Fatalf("pool p999 %d past the deadline budget", s.Latency.P999())
+	}
+
+	plane := NewTimingPlane(1)
+	if err := plane.Add(stall); err != nil {
+		t.Fatal(err)
+	}
+	if d := plane.RoundDelay(0, len(replicas[1].StageChips())); d != 10 {
+		t.Fatalf("plane round delay %d, want 10", d)
+	}
+	est, err := NewRTTEstimator(RTTEstimatorConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Sample(4, false)
+	if !est.Primed() || est.RTO() < 4 {
+		t.Fatalf("estimator not primed after a clean sample: RTO %d", est.RTO())
+	}
+	det, err := NewSlowDetector(SlowDetectorConfig{MinSamples: 2, Persistence: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		det.Observe(0, 1)
+		det.Observe(1, 20)
+	}
+	if got := det.Sweep(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("detector convicted %v, want [1]", got)
+	}
+}

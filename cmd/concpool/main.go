@@ -1,18 +1,20 @@
 // Command concpool drives a replicated concentrator pool through a
 // deterministic chaos schedule: seeded chip faults, mid-stream primary
-// kills with later board swaps, and probe-latency injections, while
-// Bernoulli traffic streams and every round is checked against the
-// live replica set's degraded delivery contract ⌊α′m′⌋.
+// kills with later board swaps, gray-failure stall bursts, and
+// probe-latency injections, while Bernoulli traffic streams and every
+// round is checked against the live replica set's degraded delivery
+// contract ⌊α′m′⌋ (and, with -deadline, against the deadline SLO).
 //
 // Usage examples:
 //
 //	concpool -switch columnsort -n 256 -m 128 -beta 0.75 -replicas 3 -rounds 200 -faults 4 -kills 2
 //	concpool -switch revsort -n 1024 -m 512 -replicas 2 -seed 1987 -kills 1 -verbose
 //	concpool -replicas 4 -faults 6 -kills 3 -scan-latency-jitter
+//	concpool -replicas 3 -faults 0 -kills 0 -stalls 5 -deadline 5 -hedge-quantile 0.9
 //
 // Exit status: 0 when the pool survived the schedule, 1 on usage or
 // construction errors, 2 when any round regressed below the degraded
-// contract.
+// contract or missed the deadline SLO.
 package main
 
 import (
@@ -38,11 +40,20 @@ func main() {
 	faults := flag.Int("faults", 3, "chip faults to schedule across the replicas")
 	kills := flag.Int("kills", 2, "mid-stream primary kills to schedule (each revived later)")
 	jitter := flag.Bool("scan-latency-jitter", false, "inject probe-scan latency changes mid-run")
+	stalls := flag.Int("stalls", 0, "gray-failure stall bursts to schedule against the active replica (constant / jitter / ramp shapes, bounded windows)")
+	deadline := flag.Int("deadline", 0, "per-round deadline budget in rounds; enables the deadline-SLO regression check (0 disables)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0, "hedge rounds slower than this pool latency quantile onto a spare (0 lets stall schedules pick the 0.9 default)")
+	hedgeBudget := flag.Float64("hedge-budget", 0, "cap hedged rounds at this fraction of all rounds (0 means the default)")
 	trip := flag.Int("trip", 1, "consecutive violations before the breaker trips")
 	probeAfter := flag.Int("probe-after", 2, "rounds in quarantine before the first half-open probe")
 	backoffMax := flag.Int("backoff-max", 32, "cap on the exponential re-admission backoff")
 	retryCap := flag.Int("retry-cap", 8, "cap on the shed messages' retry-after hint")
 	verbose := flag.Bool("verbose", false, "print every round that fired events or failed over")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: concpool [flags]\n\nExit status: 0 when the pool survived the schedule, 1 on usage or\nconstruction errors, 2 when any round regressed below the degraded\ncontract or missed the deadline SLO.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *m == 0 {
@@ -73,12 +84,17 @@ func main() {
 		Seed:              *seed,
 		Faults:            *faults,
 		Kills:             *kills,
+		Stalls:            *stalls,
+		Deadline:          *deadline,
+		CheckSLO:          *deadline > 0,
 		ScanLatencyJitter: *jitter,
 		Pool: pool.Config{
 			TripThreshold: *trip,
 			ProbeAfter:    *probeAfter,
 			BackoffMax:    *backoffMax,
 			RetryAfterCap: *retryCap,
+			HedgeQuantile: *hedgeQuantile,
+			HedgeBudget:   *hedgeBudget,
 		},
 	}
 
@@ -115,6 +131,12 @@ func main() {
 			if rr.FailedOver {
 				status = "  FAILED OVER"
 			}
+			if rr.Hedged {
+				status += "  HEDGED"
+			}
+			if rr.DeadlineMissed > 0 {
+				status += "  DEADLINE MISSED"
+			}
 			if rr.Violated {
 				status += "  VIOLATED"
 			}
@@ -131,6 +153,11 @@ func main() {
 		s.Rounds, s.Offered, s.Admitted, s.Shed, s.Delivered)
 	fmt.Printf("  failovers %d (max same-round depth %d), breaker trips %d, probes %d, repairs %d\n",
 		s.Failovers, rep.MaxSameRoundFailovers, s.Trips, s.Probes, s.Repairs)
+	fmt.Printf("  round latency p50 %d, p99 %d, p999 %d  hedges %d (%d won), slow convictions %d, canaries %d\n",
+		s.Latency.P50(), s.Latency.P99(), s.Latency.P999(), s.Hedges, s.HedgeWins, s.SlowConvictions, s.Canaries)
+	if *deadline > 0 {
+		fmt.Printf("  deadline %d rounds: %d deliveries missed the budget\n", *deadline, s.DeadlineMissed)
+	}
 	for i, rs := range s.Replicas {
 		killed := ""
 		if rs.Killed {

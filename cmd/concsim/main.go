@@ -10,6 +10,8 @@
 //	concsim -switch revsort -n 1024 -m 512 -faults 3 -mtbf 25 -scan-every 10
 //	concsim -switch columnsort -n 256 -m 128 -beta 0.75 -replicas 3 -load 0.8
 //	concsim -switch revsort -n 1024 -m 512 -ber 1e-3 -crc crc16 -arq-window 8
+//	concsim -switch revsort -n 1024 -m 512 -ber 1e-3 -adaptive-rto -deadline 8
+//	concsim -switch columnsort -n 256 -m 128 -replicas 3 -hedge-quantile 0.9 -deadline 5
 //
 // Exit status: 0 on success, 1 on usage or construction errors, 2 when
 // the run observed a delivery-guarantee violation.
@@ -49,6 +51,15 @@ func main() {
 	ber := flag.Float64("ber", 0, "ambient wire bit-error rate: run a data-plane integrity session (CRC-framed payloads, sliding-window ARQ, link escalation)")
 	crc := flag.String("crc", "crc16", "integrity-session frame checksum: crc8 | crc16 | none")
 	arqWindow := flag.Int("arq-window", 4, "integrity-session ARQ sliding-window size")
+	deadline := flag.Int("deadline", 0, "per-message deadline budget in rounds; late deliveries are booked DeadlineMissed (0 disables the SLO ledger)")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0, "pool mode: hedge rounds slower than this latency quantile onto a spare (0 disables hedging)")
+	hedgeBudget := flag.Float64("hedge-budget", 0, "pool mode: cap hedged rounds at this fraction of all rounds (0 means the default 0.25)")
+	adaptiveRTO := flag.Bool("adaptive-rto", false, "integrity session: adapt the ARQ retransmit timer with a Jacobson/Karn RTT estimator instead of the fixed backoff")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: concsim [flags]\n\nExit status: 0 on success, 1 on usage or construction errors,\n2 when the run observed a delivery-guarantee (or conservation) violation.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if *m == 0 {
@@ -69,11 +80,12 @@ func main() {
 		sw.GateDelays(), sw.ChipsTraversed(), sw.ChipCount())
 
 	if *replicas > 1 {
-		runPool(*kind, *n, *m, *beta, *replicas, *load, *rounds, *payload, *seed)
+		runPool(*kind, *n, *m, *beta, *replicas, *load, *rounds, *payload, *seed,
+			*hedgeQuantile, *hedgeBudget, *deadline)
 		return
 	}
 	if *ber > 0 {
-		runIntegrity(sw, *load, *ber, *crc, *arqWindow, *rounds, *payload, *seed, *ack)
+		runIntegrity(sw, *load, *ber, *crc, *arqWindow, *rounds, *payload, *seed, *ack, *deadline, *adaptiveRTO)
 		return
 	}
 	if *faults > 0 {
@@ -81,7 +93,7 @@ func main() {
 		return
 	}
 	if *policy != "" {
-		runSession(sw, *policy, *load, *rounds, *payload, *seed, *ack)
+		runSession(sw, *policy, *load, *rounds, *payload, *seed, *ack, *deadline)
 		return
 	}
 
@@ -171,11 +183,11 @@ func ackFor(pol switchsim.Policy, ack int) int {
 }
 
 // runSession executes the multi-round congestion-control mode.
-func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack int) {
+func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack, deadline int) {
 	pol := parsePolicy(policy)
 	stats, err := switchsim.RunSession(sw, switchsim.SessionConfig{
 		Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
-		Seed: seed, AckDelay: ackFor(pol, ack),
+		Seed: seed, AckDelay: ackFor(pol, ack), Deadline: deadline,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -184,7 +196,11 @@ func runSession(sw core.Concentrator, policy string, load float64, rounds, paylo
 	fmt.Printf("session: policy=%s load=%.2f rounds=%d\n", pol, load, rounds)
 	fmt.Printf("  offered %d, delivered %d, lost %d, refused %d, retries %d\n",
 		stats.Offered, stats.Delivered, stats.Dropped, stats.Refused, stats.Retries)
-	fmt.Printf("  mean latency %.2f rounds, peak backlog %d\n", stats.MeanLatency(), stats.MaxBacklog)
+	fmt.Printf("  mean latency %.2f rounds (p50 %d, p99 %d, p999 %d), peak backlog %d\n",
+		stats.MeanLatency(), stats.P50(), stats.P99(), stats.P999(), stats.MaxBacklog)
+	if deadline > 0 {
+		fmt.Printf("  deadline %d rounds: %d deliveries missed the budget\n", deadline, stats.DeadlineMissed)
+	}
 }
 
 // runFaultSession executes the fault-aware session mode: scheduled
@@ -218,7 +234,8 @@ func runFaultSession(sw core.Concentrator, policy string, load float64, rounds, 
 		pol, load, rounds, mtbf, scanEvery)
 	fmt.Printf("  offered %d, delivered %d, lost %d, refused %d, retries %d\n",
 		stats.Offered, stats.Delivered, stats.Dropped, stats.Refused, stats.Retries)
-	fmt.Printf("  mean latency %.2f rounds, peak backlog %d\n", stats.MeanLatency(), stats.MaxBacklog)
+	fmt.Printf("  mean latency %.2f rounds (p50 %d, p99 %d, p999 %d), peak backlog %d\n",
+		stats.MeanLatency(), stats.P50(), stats.P99(), stats.P999(), stats.MaxBacklog)
 	fmt.Printf("  faults injected %d, detected %d, contract violations %d\n",
 		stats.FaultsInjected, stats.FaultsDetected, stats.GuaranteeViolations)
 	for _, det := range stats.Detections {
@@ -257,7 +274,7 @@ func parseCRC(name string) link.CRC {
 // ambient bit noise at the given BER on every link, CRC-framed
 // payloads, sliding-window ARQ recovery, and EWMA link escalation into
 // the health plane's quarantine machinery.
-func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, window, rounds, payload int, seed int64, ack int) {
+func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, window, rounds, payload int, seed int64, ack, deadline int, adaptiveRTO bool) {
 	fi, ok := sw.(core.FaultInjectable)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "-ber needs a multichip fault-injectable switch (revsort or columnsort), not %s\n", sw.Name())
@@ -283,10 +300,11 @@ func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, windo
 	threshold := min(0.95, 0.3+4*baseline)
 	stats, err := health.RunIntegritySession(fi, switchsim.SessionConfig{
 		Policy: switchsim.Resend, Load: load, Rounds: rounds, PayloadBits: payload,
-		Seed: seed, AckDelay: max(ack, 1),
+		Seed: seed, AckDelay: max(ack, 1), Deadline: deadline,
 		Integrity: &switchsim.IntegrityConfig{
 			CRC: crcSel, Window: window, Corruption: plane,
-			Monitor: link.MonitorConfig{Threshold: threshold, MinFrames: 32},
+			Monitor:     link.MonitorConfig{Threshold: threshold, MinFrames: 32},
+			AdaptiveRTO: adaptiveRTO,
 		},
 	})
 	if err != nil {
@@ -302,12 +320,20 @@ func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, windo
 	fmt.Printf("  frames %d (%d retransmits, %d timeouts), crc rejections %d, erasures %d, dups suppressed %d\n",
 		ist.FramesSent, ist.Retransmits, ist.Timeouts, ist.CorruptedDetected, ist.Erasures,
 		ist.DuplicatesSuppressed)
-	fmt.Printf("  mean latency %.2f rounds (first-try vs retried split tracked)\n", stats.MeanLatency())
+	fmt.Printf("  mean latency %.2f rounds (p50 %d, p99 %d, p999 %d; first-try vs retried split tracked)\n",
+		stats.MeanLatency(), stats.P50(), stats.P99(), stats.P999())
+	if adaptiveRTO {
+		fmt.Printf("  adaptive RTO: %d clean RTT samples, %d Karn-rejected, final timer %d rounds\n",
+			ist.RTTSamples, ist.KarnRejected, ist.FinalRTO)
+	}
+	if deadline > 0 {
+		fmt.Printf("  deadline %d rounds: %d deliveries missed the budget\n", deadline, stats.DeadlineMissed)
+	}
 	fmt.Printf("  links quarantined %d (inputs %v, scan routes %d), serving contract m′=%d threshold=%d\n",
 		ist.LinksQuarantined, ist.InputsQuarantined, ist.ScanRoutes, ist.LiveOutputs, ist.LiveThreshold)
-	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + ist.FinalBacklog; got != stats.Offered {
-		fmt.Fprintf(os.Stderr, "conservation violated: %d + %d + %d + %d != offered %d\n",
-			stats.Delivered, stats.Dropped, stats.CorruptedDropped, ist.FinalBacklog, stats.Offered)
+	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.DeadlineMissed + ist.FinalBacklog; got != stats.Offered {
+		fmt.Fprintf(os.Stderr, "conservation violated: %d + %d + %d + %d + %d != offered %d\n",
+			stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.DeadlineMissed, ist.FinalBacklog, stats.Offered)
 		os.Exit(2)
 	}
 	if ist.CorruptedDelivered > 0 {
@@ -315,13 +341,13 @@ func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, windo
 			ist.CorruptedDelivered)
 		os.Exit(2)
 	}
-	fmt.Printf("conservation verified: offered = delivered + lost + corrupted-dropped + backlog\n")
+	fmt.Printf("conservation verified: offered = delivered + lost + corrupted-dropped + deadline-missed + backlog\n")
 }
 
 // runPool drives traffic through a replicated switch pool: the primary
 // serves each round, spares stand by for failover, and admitted load is
 // capped at the live ⌊α′m′⌋ threshold.
-func runPool(kind string, n, m int, beta float64, replicas int, load float64, rounds, payload int, seed int64) {
+func runPool(kind string, n, m int, beta float64, replicas int, load float64, rounds, payload int, seed int64, hedgeQuantile, hedgeBudget float64, deadline int) {
 	switches := make([]core.FaultInjectable, replicas)
 	for i := range switches {
 		sw, err := buildSwitch(kind, n, m, beta)
@@ -336,7 +362,9 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 		}
 		switches[i] = fi
 	}
-	p, err := pool.New(pool.Config{}, switches...)
+	p, err := pool.New(pool.Config{
+		HedgeQuantile: hedgeQuantile, HedgeBudget: hedgeBudget, Deadline: deadline,
+	}, switches...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -370,9 +398,18 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 		rounds, offered, admitted, shed, delivered)
 	fmt.Printf("  failovers %d (same-round %d), breaker trips %d, probes %d, repairs %d\n",
 		s.Failovers, s.SameRoundFailovers, s.Trips, s.Probes, s.Repairs)
+	fmt.Printf("  round latency p50 %d, p99 %d, p999 %d\n",
+		s.Latency.P50(), s.Latency.P99(), s.Latency.P999())
+	if hedgeQuantile > 0 {
+		fmt.Printf("  hedges %d (%d won), slow convictions %d, canaries %d\n",
+			s.Hedges, s.HedgeWins, s.SlowConvictions, s.Canaries)
+	}
+	if deadline > 0 {
+		fmt.Printf("  deadline %d rounds: %d deliveries missed the budget\n", deadline, s.DeadlineMissed)
+	}
 	for i, rs := range s.Replicas {
-		fmt.Printf("  replica %d: state %s, threshold %d, served %d rounds, %d violations\n",
-			i, rs.State, rs.Threshold, rs.RoundsServed, rs.Violations)
+		fmt.Printf("  replica %d: state %s, threshold %d, served %d rounds, %d violations, latency p50 %d p99 %d\n",
+			i, rs.State, rs.Threshold, rs.RoundsServed, rs.Violations, rs.LatencyP50, rs.LatencyP99)
 	}
 	if violatedRounds > 0 {
 		fmt.Fprintf(os.Stderr, "guarantee violated: %d rounds exhausted every replica\n", violatedRounds)

@@ -1,11 +1,13 @@
 // Package chaos is a deterministic chaos harness for the replicated
 // concentrator pool: it replays seeded schedules of chip faults,
 // mid-stream replica kills and revivals, bounded wire-corruption
-// bursts, and scan-latency injections against an internal/pool switch
-// pool while Bernoulli traffic runs, and checks — round by round —
-// that the delivery guarantee never regresses below the degraded
-// contract of the live replica set and that no payload the pool counts
-// delivered was corrupted in flight.
+// bursts, bounded gray-failure stall bursts, and scan-latency
+// injections against an internal/pool switch pool while Bernoulli
+// traffic runs, and checks — round by round — that the delivery
+// guarantee never regresses below the degraded contract of the live
+// replica set, that no payload the pool counts delivered was corrupted
+// in flight, and (with CheckSLO) that no delivery misses its deadline
+// budget.
 //
 // Determinism is the point: a Schedule is derived entirely from a seed
 // and the pool geometry, so a guarantee regression found in CI replays
@@ -31,6 +33,7 @@ import (
 	"concentrators/internal/link"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
+	"concentrators/internal/timing"
 )
 
 // EventKind selects a chaos event type.
@@ -51,6 +54,13 @@ const (
 	// replica's corruption plane (the fault's From/Until window ends
 	// the burst on its own).
 	EventCorruption
+	// EventTiming injects a bounded gray-failure stall (constant
+	// slowdown, heavy-tail jitter, or degradation ramp) into a replica's
+	// timing plane. Like corruption bursts, the fault's From/Until
+	// window ends the stall on its own; unlike them, the replica stays
+	// functionally perfect throughout — only hedged dispatch and the
+	// deadline-SLO ledger can see it.
+	EventTiming
 )
 
 // String names the kind.
@@ -66,6 +76,8 @@ func (k EventKind) String() string {
 		return "scan-latency"
 	case EventCorruption:
 		return "corruption"
+	case EventTiming:
+		return "timing"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -88,6 +100,9 @@ type Event struct {
 	// Wire is the injected wire fault (EventCorruption only); its
 	// From/Until round window bounds the burst.
 	Wire link.WireFault
+	// Stall is the injected timing fault (EventTiming only); its
+	// From/Until round window bounds the stall.
+	Stall timing.Fault
 	// Latency is the new probe-scan latency (EventScanLatency only).
 	Latency int
 }
@@ -103,6 +118,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("round %d: fault %s on %s", e.Round, e.Fault, target)
 	case EventCorruption:
 		return fmt.Sprintf("round %d: corruption %s on %s", e.Round, e.Wire, target)
+	case EventTiming:
+		return fmt.Sprintf("round %d: stall %s on %s", e.Round, e.Stall, target)
 	case EventScanLatency:
 		return fmt.Sprintf("round %d: scan latency → %d", e.Round, e.Latency)
 	default:
@@ -131,6 +148,20 @@ type Config struct {
 	// MaxBER caps the per-bit flip probability of corruption bursts.
 	// 0 means the default (1e-2, the acceptance criterion's ceiling).
 	MaxBER float64
+	// Stalls bounds the gray-failure stall bursts scheduled. Each burst
+	// slows the active replica's board for a bounded round window,
+	// rotating through the constant / jitter / ramp shapes; the board
+	// stays functionally perfect throughout.
+	Stalls int
+	// CheckSLO, when true, books a regression for every round whose
+	// deliveries missed the Deadline budget — the zero-deadline-SLO-
+	// regression assertion of the straggler schedules. Requires a
+	// positive Deadline.
+	CheckSLO bool
+	// Deadline is the per-round delivery budget in rounds handed to the
+	// pool's SLO ledger. 0 disables deadline accounting (and is invalid
+	// with CheckSLO set).
+	Deadline int
 	// ScanLatencyJitter, when true, schedules probe-latency injections.
 	ScanLatencyJitter bool
 	// Pool tunes the pool under test. TripThreshold defaults to 1 in
@@ -148,11 +179,15 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: load %v outside [0,1]", c.Load)
 	case c.PayloadBits < 1:
 		return fmt.Errorf("chaos: payload must be ≥ 1 bit, got %d", c.PayloadBits)
-	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0:
-		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions)",
-			c.Faults, c.Kills, c.Corruptions)
+	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0 || c.Stalls < 0:
+		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions, %d stalls)",
+			c.Faults, c.Kills, c.Corruptions, c.Stalls)
 	case c.MaxBER < 0 || c.MaxBER > 1 || c.MaxBER != c.MaxBER:
 		return fmt.Errorf("chaos: MaxBER %v outside [0,1]", c.MaxBER)
+	case c.Deadline < 0:
+		return fmt.Errorf("chaos: negative deadline %d", c.Deadline)
+	case c.CheckSLO && c.Deadline == 0:
+		return fmt.Errorf("chaos: CheckSLO requires a positive Deadline — a zero deadline would book every delivery missed")
 	}
 	return nil
 }
@@ -168,7 +203,8 @@ func (c Config) maxBER() float64 {
 // GenerateSchedule derives the deterministic chaos schedule for a pool
 // of cfg.Replicas copies of sw: cfg.Kills mid-stream primary kills
 // (each later revived), cfg.Faults chip faults on random live spares or
-// primaries, and optional scan-latency jitter. Destructive events are
+// primaries, cfg.Stalls bounded gray-failure stall bursts on the active
+// replica, and optional scan-latency jitter. Destructive events are
 // spaced so the pool's quarantine–probe–repair loop finishes between
 // failures, and a killed replica is never faulted while powered off.
 func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event, error) {
@@ -191,10 +227,10 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 
 	var events []Event
 	destructive := cfg.Faults + cfg.Kills + cfg.Corruptions
-	if destructive == 0 {
+	if destructive == 0 && cfg.Stalls == 0 {
 		return events, nil
 	}
-	stride := max((cfg.Rounds-2)/destructive, gap)
+	stride := max((cfg.Rounds-2)/max(destructive, 1), gap)
 	// Corruption bursts are bounded so the detect–failover–probe loop
 	// finishes inside the clean part of the stride: the fault's Until
 	// window ends the burst on its own, no cleanup event needed.
@@ -260,6 +296,35 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 		}
 		round += stride + rng.Intn(max(stride/2, 1))
 	}
+	if cfg.Stalls > 0 {
+		// Stall bursts are gray — the board keeps routing perfectly, so
+		// no quarantine–repair loop has to finish between them — but
+		// hedges are budgeted against rounds served, so the first burst
+		// waits until the pool has banked ≥ gap rounds of history and
+		// every burst stays bounded (≤ burstLen rounds, self-ending).
+		delay := 6
+		if cfg.Deadline > 0 {
+			delay = cfg.Deadline + 5 // an unhedged stalled round must overshoot the SLO
+		}
+		stallStride := max((cfg.Rounds-gap)/cfg.Stalls, gap)
+		sround := gap + rng.Intn(max(stallStride/2, 1))
+		for i := 0; i < cfg.Stalls && sround < cfg.Rounds-1; i++ {
+			f := timing.Fault{
+				Stage: 0, Wire: link.AllWires,
+				From: sround, Until: min(sround+burstLen, cfg.Rounds),
+			}
+			switch i % 3 {
+			case 0: // marginal board: every round in the window is slow
+				f.Mode, f.Delay = timing.Constant, delay
+			case 1: // renegotiating link: most rounds mildly late, some awful
+				f.Mode, f.Prob, f.MaxDelay = timing.Jitter, 0.8, delay
+			case 2: // thermal throttle: degrades toward the full stall
+				f.Mode, f.Delay = timing.Ramp, delay
+			}
+			events = append(events, Event{Round: sround, Kind: EventTiming, Replica: ActiveReplica, Stall: f})
+			sround += stallStride + rng.Intn(max(stallStride/2, 1))
+		}
+	}
 	if cfg.ScanLatencyJitter && cfg.Rounds > 3*gap {
 		events = append(events,
 			Event{Round: gap, Kind: EventScanLatency, Latency: 1},
@@ -310,7 +375,15 @@ type RoundRecord struct {
 	Offered, Admitted, Shed, Delivered int
 	// Corrupted counts deliveries corrupted in flight this round (all
 	// stripped by the pool before delivery accounting).
-	Corrupted            int
+	Corrupted int
+	// Latency is the winning replica's serving latency in rounds;
+	// Hedged marks rounds the arbiter replayed on a spare.
+	Latency int
+	Hedged  bool
+	// DeadlineMissed counts this round's deliveries that landed past
+	// the Deadline budget (they still count Delivered — the fabric met
+	// its ⌊α′m′⌋ contract; the SLO ledger is separate).
+	DeadlineMissed       int
 	Threshold            int // serving contract's ⌊α′m′⌋
 	ServedBy             int // replica index, −1 when none
 	FailedOver, Violated bool
@@ -343,6 +416,18 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 	if poolCfg.TripThreshold == 0 {
 		poolCfg.TripThreshold = 1
 	}
+	if cfg.Deadline > 0 && poolCfg.Deadline == 0 {
+		poolCfg.Deadline = cfg.Deadline
+	}
+	// Stall schedules need hedged dispatch to hold the deadline SLO — a
+	// gray replica never trips any functional check, so the spare replay
+	// is the only thing standing between a stall burst and a missed
+	// deadline. Half the rounds is budget enough: bursts are ≤ gap/3
+	// rounds long and ≥ gap rounds apart.
+	if cfg.Stalls > 0 && cfg.Replicas >= 2 && poolCfg.HedgeQuantile == 0 {
+		poolCfg.HedgeQuantile = 0.9
+		poolCfg.HedgeBudget = 0.5
+	}
 	switches := make([]core.FaultInjectable, cfg.Replicas)
 	for i := range switches {
 		sw, err := build()
@@ -362,6 +447,7 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 	next := 0
 	lastFailovers := 0
 	lastCorrupted := 0
+	lastMissed := 0
 	var killedQueue []int // killed, not-yet-revived replicas, oldest first
 	for round := 0; round < cfg.Rounds; round++ {
 		var fired []Event
@@ -401,6 +487,8 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				err = p.SetScanLatency(ev.Latency)
 			case EventCorruption:
 				err = p.InjectWireFault(target, ev.Wire)
+			case EventTiming:
+				err = p.InjectTimingFault(target, ev.Stall)
 			default:
 				err = fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 			}
@@ -421,10 +509,18 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 			Admitted: len(msgs) - len(rr.Shed), Threshold: rr.Threshold,
 			ServedBy: rr.ServedBy, FailedOver: rr.FailedOver,
 			Violated: rr.Violated, Events: fired,
+			Latency: rr.Latency, Hedged: rr.Hedged,
 		}
 		stats := p.Stats()
 		rec.Corrupted = stats.CorruptedDeliveries - lastCorrupted
 		lastCorrupted = stats.CorruptedDeliveries
+		rec.DeadlineMissed = stats.DeadlineMissed - lastMissed
+		lastMissed = stats.DeadlineMissed
+		if cfg.CheckSLO && rec.DeadlineMissed > 0 {
+			rep.Regressions = append(rep.Regressions,
+				fmt.Sprintf("round %d: %d deliveries missed the %d-round deadline SLO (latency %d, replica %d, hedged %v)",
+					round, rec.DeadlineMissed, cfg.Deadline, rec.Latency, rr.ServedBy, rr.Hedged))
+		}
 		if rr.Result != nil {
 			rec.Delivered = len(rr.Result.Delivered)
 			// Data-plane intactness: whatever the schedule did, every

@@ -213,6 +213,117 @@ func TestCorruptionBurstChaos(t *testing.T) {
 	}
 }
 
+// TestStragglerChaosAcceptance is the gray-failure acceptance
+// criterion: across ≥ 3 seeded schedules of bounded stall bursts
+// (constant slowdown, heavy-tail jitter, degradation ramps) against
+// the active replica, hedged dispatch keeps every round inside the
+// deadline budget — zero per-round deadline-SLO regressions — while
+// the delivery guarantee holds as usual.
+func TestStragglerChaosAcceptance(t *testing.T) {
+	totalStalled := 0
+	for _, seed := range []int64{11, 1987, 0xFADE} {
+		cfg := baseConfig(seed)
+		cfg.Faults = 0
+		cfg.Kills = 0
+		cfg.Corruptions = 0
+		cfg.Stalls = 5
+		cfg.Deadline = 5
+		cfg.CheckSLO = true
+		events := mustSchedule(t, cfg)
+		stalls := 0
+		for _, ev := range events {
+			if ev.Kind != EventTiming {
+				t.Fatalf("seed %d: non-timing event %v in a stall-only schedule", seed, ev)
+			}
+			f := ev.Stall
+			if f.From != ev.Round || f.Until <= f.From || f.Until > cfg.Rounds {
+				t.Fatalf("seed %d: stall window [%d,%d) not bounded at round %d", seed, f.From, f.Until, ev.Round)
+			}
+			stalls++
+		}
+		if stalls < 3 {
+			t.Fatalf("seed %d: only %d stall bursts scheduled", seed, stalls)
+		}
+		rep, err := Run(buildColumnsort, events, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rep.Regressions) != 0 {
+			t.Fatalf("seed %d: deadline SLO regressed:\n%v\nschedule: %v",
+				seed, rep.Regressions, events)
+		}
+		if rep.Stats.DeadlineMissed != 0 {
+			t.Fatalf("seed %d: %d deliveries missed the deadline", seed, rep.Stats.DeadlineMissed)
+		}
+		if rep.Stats.Hedges == 0 || rep.Stats.HedgeWins == 0 {
+			t.Fatalf("seed %d: stalls absorbed without hedging (%d hedges, %d wins) — the scenario did not bite",
+				seed, rep.Stats.Hedges, rep.Stats.HedgeWins)
+		}
+		for _, rec := range rep.Rounds {
+			if rec.Latency > cfg.Deadline {
+				t.Fatalf("seed %d round %d: served at latency %d past the %d-round budget yet unreported",
+					seed, rec.Round, rec.Latency, cfg.Deadline)
+			}
+			totalStalled += rec.DeadlineMissed
+		}
+	}
+	if totalStalled != 0 {
+		t.Fatalf("%d deliveries missed deadlines across seeds", totalStalled)
+	}
+}
+
+// TestStragglerChaosUnhedged: the control for the acceptance test —
+// the same stall schedules against a pool with hedging disabled must
+// report deadline-SLO regressions (proving the bursts actually bite
+// and the harness actually checks).
+func TestStragglerChaosUnhedged(t *testing.T) {
+	cfg := baseConfig(11)
+	cfg.Faults = 0
+	cfg.Kills = 0
+	cfg.Corruptions = 0
+	cfg.Stalls = 5
+	cfg.Deadline = 5
+	cfg.CheckSLO = true
+	// A single replica has no spare to hedge to (the runner only
+	// defaults hedging on for ≥ 2), so every stalled round must miss.
+	cfg.Replicas = 1
+	events := mustSchedule(t, cfg)
+	rep, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Regressions) == 0 || rep.Stats.DeadlineMissed == 0 {
+		t.Fatalf("stall bursts against an unhedged pool missed no deadlines: %+v", rep.Stats)
+	}
+}
+
+// TestChaosConfigSLOValidation: the satellite rejection — a zero
+// deadline with SLO checking enabled is a misconfiguration, not a
+// trivially passing run.
+func TestChaosConfigSLOValidation(t *testing.T) {
+	sw, err := buildColumnsort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero deadline with SLO enabled", func(c *Config) { c.CheckSLO = true }},
+		{"negative deadline", func(c *Config) { c.Deadline = -3 }},
+		{"negative stalls", func(c *Config) { c.Stalls = -1 }},
+	} {
+		cfg := baseConfig(1)
+		tc.mutate(&cfg)
+		if _, err := GenerateSchedule(cfg.Seed, sw, cfg); err == nil {
+			t.Errorf("%s: GenerateSchedule accepted invalid config", tc.name)
+		}
+		if _, err := Run(buildColumnsort, nil, cfg); err == nil {
+			t.Errorf("%s: Run accepted invalid config", tc.name)
+		}
+	}
+}
+
 // TestChaosReplayDeterministic: the same seed replays the exact same
 // per-round outcomes.
 func TestChaosReplayDeterministic(t *testing.T) {

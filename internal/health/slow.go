@@ -1,0 +1,220 @@
+// Slow-replica conviction: relative-percentile outlier detection over
+// per-replica latency windows. A gray-failed replica routes correctly
+// — BIST scans and delivery-guarantee checks see nothing — but 10–100×
+// slower than its peers. The detector convicts on *relative* evidence
+// only (a replica's recent latency quantile persistently above the
+// median of its peers by a calibrated factor), never on absolute
+// thresholds: the pool has no ground truth for "fast", only for
+// "slower than everyone else doing the same work".
+package health
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SlowConfig calibrates a SlowDetector.
+type SlowConfig struct {
+	// Window is the per-replica latency window: the number of recent
+	// round latencies the quantile is computed over. 0 means 32.
+	Window int
+	// Quantile is the per-replica latency quantile compared against the
+	// peer median (the tail the detector watches). 0 means 0.9.
+	Quantile float64
+	// Factor is the conviction multiplier: replica quantile > Factor ×
+	// peer-median quantile convicts (after Persistence sweeps). 0 means
+	// 3.
+	Factor float64
+	// Persistence is the number of consecutive over-the-line sweeps
+	// required to convict, so a single GC-like pause window never trips
+	// the breaker. 0 means 3.
+	Persistence int
+	// MinSamples is the minimum window occupancy before a replica's
+	// quantile is trusted — for the suspect and for the peers it is
+	// judged against. 0 means 8.
+	MinSamples int
+}
+
+func (c SlowConfig) withDefaults() SlowConfig {
+	if c.Window == 0 {
+		c.Window = 32
+	}
+	if c.Quantile == 0 {
+		c.Quantile = 0.9
+	}
+	if c.Factor == 0 {
+		c.Factor = 3
+	}
+	if c.Persistence == 0 {
+		c.Persistence = 3
+	}
+	if c.MinSamples == 0 {
+		c.MinSamples = 8
+	}
+	return c
+}
+
+// Validate rejects malformed detector configurations.
+func (c SlowConfig) Validate() error {
+	eff := c.withDefaults()
+	switch {
+	case c.Window < 0:
+		return fmt.Errorf("health: negative slow-detector window %d", c.Window)
+	case math.IsNaN(c.Quantile) || c.Quantile < 0 || c.Quantile > 1:
+		return fmt.Errorf("health: slow-detector quantile %v outside [0,1]", c.Quantile)
+	case math.IsNaN(c.Factor) || c.Factor < 0:
+		return fmt.Errorf("health: slow-detector factor %v must be positive", c.Factor)
+	case c.Factor != 0 && eff.Factor <= 1:
+		return fmt.Errorf("health: slow-detector factor %v must exceed 1 (anything slower would convict healthy jitter)", c.Factor)
+	case c.Persistence < 0:
+		return fmt.Errorf("health: negative slow-detector persistence %d", c.Persistence)
+	case c.MinSamples < 0:
+		return fmt.Errorf("health: negative slow-detector min samples %d", c.MinSamples)
+	case eff.MinSamples > eff.Window:
+		return fmt.Errorf("health: slow-detector MinSamples %d exceeds window %d", eff.MinSamples, eff.Window)
+	}
+	return nil
+}
+
+// slowWindow is one replica's ring of recent latencies.
+type slowWindow struct {
+	ring   []int
+	filled int
+	next   int
+	streak int // consecutive over-the-line sweeps
+}
+
+// SlowDetector watches per-replica round latencies and convicts gray
+// (functionally correct but persistently slow) replicas by relative
+// percentile. Not safe for concurrent use; the pool serializes access
+// under its own lock.
+type SlowDetector struct {
+	cfg     SlowConfig
+	windows []slowWindow
+}
+
+// NewSlowDetector builds a detector over the given replica count.
+func NewSlowDetector(cfg SlowConfig, replicas int) (*SlowDetector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("health: slow detector needs ≥ 1 replica, got %d", replicas)
+	}
+	d := &SlowDetector{cfg: cfg.withDefaults(), windows: make([]slowWindow, replicas)}
+	for i := range d.windows {
+		d.windows[i].ring = make([]int, d.cfg.Window)
+	}
+	return d, nil
+}
+
+// Observe records one round latency for a replica (negative latencies
+// clamp to 0; out-of-range replicas are ignored).
+func (d *SlowDetector) Observe(replica, latency int) {
+	if replica < 0 || replica >= len(d.windows) {
+		return
+	}
+	if latency < 0 {
+		latency = 0
+	}
+	w := &d.windows[replica]
+	w.ring[w.next] = latency
+	w.next = (w.next + 1) % len(w.ring)
+	if w.filled < len(w.ring) {
+		w.filled++
+	}
+}
+
+// Quantile returns replica's windowed latency quantile; ok is false
+// until the window holds MinSamples.
+func (d *SlowDetector) Quantile(replica int) (lat int, ok bool) {
+	if replica < 0 || replica >= len(d.windows) {
+		return 0, false
+	}
+	w := &d.windows[replica]
+	if w.filled < d.cfg.MinSamples {
+		return 0, false
+	}
+	lats := append([]int(nil), w.ring[:w.filled]...)
+	sort.Ints(lats)
+	rank := int(math.Ceil(d.cfg.Quantile * float64(len(lats))))
+	if rank < 1 {
+		rank = 1
+	}
+	return lats[rank-1], true
+}
+
+// PeerMedian returns the median windowed quantile across every replica
+// except the given one; ok is false unless at least one peer has
+// MinSamples.
+func (d *SlowDetector) PeerMedian(replica int) (lat float64, ok bool) {
+	var peers []int
+	for i := range d.windows {
+		if i == replica {
+			continue
+		}
+		if q, qok := d.Quantile(i); qok {
+			peers = append(peers, q)
+		}
+	}
+	if len(peers) == 0 {
+		return 0, false
+	}
+	sort.Ints(peers)
+	mid := len(peers) / 2
+	if len(peers)%2 == 1 {
+		return float64(peers[mid]), true
+	}
+	return float64(peers[mid-1]+peers[mid]) / 2, true
+}
+
+// overLine reports whether replica's quantile is currently above the
+// conviction line (Factor × peer median, floored at the peer median
+// plus one round so a pool of equally fast replicas never convicts on
+// quantization noise).
+func (d *SlowDetector) overLine(replica int) bool {
+	q, ok := d.Quantile(replica)
+	if !ok {
+		return false
+	}
+	med, ok := d.PeerMedian(replica)
+	if !ok {
+		return false
+	}
+	line := math.Max(d.cfg.Factor*med, med+1)
+	return float64(q) > line
+}
+
+// Sweep advances every replica's persistence streak and returns the
+// replicas newly crossing Persistence consecutive over-the-line sweeps
+// — the convictions. A convicted replica's window is left intact so
+// the pool's canary probe can compare against it; call Reset once the
+// replica is re-admitted.
+func (d *SlowDetector) Sweep() (convicted []int) {
+	for i := range d.windows {
+		w := &d.windows[i]
+		if !d.overLine(i) {
+			w.streak = 0
+			continue
+		}
+		w.streak++
+		if w.streak == d.cfg.Persistence {
+			convicted = append(convicted, i)
+		}
+	}
+	return convicted
+}
+
+// Factor returns the calibrated conviction multiplier.
+func (d *SlowDetector) Factor() float64 { return d.cfg.Factor }
+
+// Reset clears a replica's window and streak (fresh trial after repair
+// or re-admission: its old tail died with the fault).
+func (d *SlowDetector) Reset(replica int) {
+	if replica < 0 || replica >= len(d.windows) {
+		return
+	}
+	w := &d.windows[replica]
+	w.filled, w.next, w.streak = 0, 0, 0
+}

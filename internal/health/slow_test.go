@@ -1,0 +1,148 @@
+package health
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSlowConfigValidate(t *testing.T) {
+	good := []SlowConfig{{}, {Window: 16, Quantile: 0.95, Factor: 2, Persistence: 5, MinSamples: 4}}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("valid config %+v rejected: %v", c, err)
+		}
+	}
+	bad := []SlowConfig{
+		{Window: -1},
+		{Quantile: math.NaN()},
+		{Quantile: -0.1},
+		{Quantile: 1.5},
+		{Factor: math.NaN()},
+		{Factor: -1},
+		{Factor: 0.5}, // would convict healthy jitter
+		{Persistence: -1},
+		{MinSamples: -1},
+		{Window: 4, MinSamples: 8},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config %+v accepted", c)
+		}
+		if _, err := NewSlowDetector(c, 2); err == nil {
+			t.Errorf("NewSlowDetector accepted invalid config %+v", c)
+		}
+	}
+	if _, err := NewSlowDetector(SlowConfig{}, 0); err == nil {
+		t.Error("detector accepted zero replicas")
+	}
+}
+
+// A persistent relative outlier is convicted exactly once — after
+// Persistence consecutive sweeps — while its equally loaded peers
+// never are. No absolute thresholds are involved: both scenarios use
+// the same fast/slow ratio at different absolute scales.
+func TestSlowDetectorConvictsRelativeOutlier(t *testing.T) {
+	for _, scale := range []int{1, 50} {
+		d, err := NewSlowDetector(SlowConfig{MinSamples: 4, Persistence: 3}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		convictedAt := -1
+		for sweep := 0; sweep < 10; sweep++ {
+			d.Observe(0, 1*scale)
+			d.Observe(1, 1*scale)
+			d.Observe(2, 10*scale) // 10× its peers, at any scale
+			if got := d.Sweep(); len(got) > 0 {
+				if len(got) != 1 || got[0] != 2 {
+					t.Fatalf("scale %d: convicted %v, want [2]", scale, got)
+				}
+				if convictedAt >= 0 {
+					t.Fatalf("scale %d: replica 2 convicted twice", scale)
+				}
+				convictedAt = sweep
+			}
+		}
+		if convictedAt < 0 {
+			t.Fatalf("scale %d: persistent 10× outlier never convicted", scale)
+		}
+		// MinSamples=4 gates the first possible over-line sweep;
+		// persistence demands 3 consecutive ones after that.
+		if convictedAt < 5 {
+			t.Fatalf("scale %d: convicted at sweep %d, before persistence could have elapsed", scale, convictedAt)
+		}
+	}
+}
+
+// A single short GC-like pause against warm windows must never
+// convict: the pause's few samples stay inside the watched quantile's
+// tail allowance (1−Quantile of the window), so the replica never even
+// goes over the line — persistence is the second guard, not the first.
+func TestSlowDetectorIgnoresShortPause(t *testing.T) {
+	d, err := NewSlowDetector(SlowConfig{}, 2) // Window 32, Quantile 0.9: 3 pause samples tolerated
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 120; sweep++ {
+		d.Observe(0, 1)
+		lat := 1
+		if sweep >= 60 && sweep < 63 { // one 3-round pause window
+			lat = 30
+		}
+		d.Observe(1, lat)
+		if got := d.Sweep(); len(got) > 0 {
+			t.Fatalf("sweep %d: pause convicted %v", sweep, got)
+		}
+	}
+}
+
+// Equally fast replicas never convict each other, even with integer
+// jitter: the conviction line is floored at the peer median + 1.
+func TestSlowDetectorNoConvictionWhenUniform(t *testing.T) {
+	d, err := NewSlowDetector(SlowConfig{MinSamples: 2, Persistence: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweep := 0; sweep < 50; sweep++ {
+		for r := 0; r < 4; r++ {
+			d.Observe(r, 1+(sweep+r)%2)
+		}
+		if got := d.Sweep(); len(got) > 0 {
+			t.Fatalf("uniform pool convicted %v", got)
+		}
+	}
+}
+
+func TestSlowDetectorResetGivesFreshTrial(t *testing.T) {
+	d, err := NewSlowDetector(SlowConfig{MinSamples: 2, Persistence: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	convict := func() bool {
+		for sweep := 0; sweep < 10; sweep++ {
+			d.Observe(0, 1)
+			d.Observe(1, 20)
+			if got := d.Sweep(); len(got) > 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !convict() {
+		t.Fatal("outlier never convicted")
+	}
+	d.Reset(1)
+	if _, ok := d.Quantile(1); ok {
+		t.Fatal("reset window still produces a quantile")
+	}
+	if _, ok := d.PeerMedian(0); ok {
+		t.Fatal("peer median survives with the only peer reset")
+	}
+	// The repaired replica comes back fast: no re-conviction.
+	for sweep := 0; sweep < 20; sweep++ {
+		d.Observe(0, 1)
+		d.Observe(1, 1)
+		if got := d.Sweep(); len(got) > 0 {
+			t.Fatalf("repaired replica re-convicted: %v", got)
+		}
+	}
+}

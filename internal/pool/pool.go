@@ -41,6 +41,7 @@ package pool
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -50,6 +51,7 @@ import (
 	"concentrators/internal/link"
 	"concentrators/internal/nearsort"
 	"concentrators/internal/switchsim"
+	"concentrators/internal/timing"
 )
 
 // State is the health state of one replica in the pool.
@@ -110,6 +112,24 @@ type Config struct {
 	// corruption tracking over output wires). Zero fields take the
 	// link package defaults.
 	Monitor link.MonitorConfig
+	// HedgeQuantile enables hedged dispatch: a round whose serving
+	// latency exceeds this quantile of the pool's observed latency is
+	// re-offered to the next-ranked healthy replica, first completion
+	// wins, the loser's duplicate deliveries are discarded. Must be in
+	// (0,1); 0 disables hedging. Requires ≥ 2 replicas.
+	HedgeQuantile float64
+	// HedgeBudget caps hedged rounds as a fraction of all rounds, so
+	// tail chasing can never double the pool's routing work. Must be in
+	// (0,1]; 0 means the default (0.25). Ignored unless hedging is on.
+	HedgeBudget float64
+	// Deadline is the per-round latency SLO in rounds: a served round
+	// whose latency exceeds it books its deliveries DeadlineMissed
+	// (they still count Delivered — the fabric met the ⌊α′m′⌋
+	// guarantee; the SLO is a separate ledger). 0 disables.
+	Deadline int
+	// Slow calibrates the relative-percentile slow-replica detector.
+	// Zero fields take the health package defaults.
+	Slow health.SlowConfig
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -131,6 +151,20 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RetryAfterCap == 0 {
 		c.RetryAfterCap = 8
 	}
+	switch {
+	case math.IsNaN(c.HedgeQuantile) || c.HedgeQuantile < 0 || c.HedgeQuantile >= 1:
+		return c, fmt.Errorf("pool: hedge quantile %v outside [0,1)", c.HedgeQuantile)
+	case math.IsNaN(c.HedgeBudget) || c.HedgeBudget < 0 || c.HedgeBudget > 1:
+		return c, fmt.Errorf("pool: hedge budget %v outside [0,1]", c.HedgeBudget)
+	case c.Deadline < 0:
+		return c, fmt.Errorf("pool: negative deadline SLO %d", c.Deadline)
+	}
+	if c.HedgeBudget == 0 {
+		c.HedgeBudget = 0.25
+	}
+	if err := c.Slow.Validate(); err != nil {
+		return c, err
+	}
 	return c, nil
 }
 
@@ -148,6 +182,14 @@ type replica struct {
 	monitor    *link.LinkMonitor
 	wireFaults map[int]health.LocalizedFault
 
+	// Gray-failure plane: the board's timing fault plane (chaos
+	// injection), its observed serving-latency histogram, and whether
+	// the slow detector has convicted it (a conviction gates the next
+	// probe behind a timed canary — BIST cannot see slowness).
+	tplane        *timing.Plane
+	lat           timing.Histogram
+	slowConvicted bool
+
 	state       State
 	killed      bool
 	consecViol  int
@@ -158,6 +200,7 @@ type replica struct {
 	// accounting
 	trips, probes, scans, violations, roundsServed, repairs int
 	corrupted, linkQuarantines                              int
+	slowConvictions, canaries                               int
 }
 
 // contract returns the replica's live serving contract: the degraded
@@ -207,6 +250,13 @@ type ReplicaStats struct {
 	// LinksQuarantined counts output wires the receiver's link monitor
 	// convicted and quarantined on this replica.
 	LinksQuarantined int
+	// SlowConvictions counts times the relative-percentile detector
+	// convicted this replica as a gray straggler; Canaries counts the
+	// timed canary replays its probes ran.
+	SlowConvictions, Canaries int
+	// LatencyP50 and LatencyP99 are witnessed quantiles of this
+	// replica's observed serving latency, in rounds.
+	LatencyP50, LatencyP99 int
 }
 
 // Stats summarizes the pool's lifetime accounting.
@@ -232,6 +282,23 @@ type Stats struct {
 	// CorruptedDeliveries counts deliveries corrupted in flight across
 	// every replica; none of them is ever counted in Delivered.
 	CorruptedDeliveries int
+	// Hedges counts rounds re-offered to a second replica; HedgeWins
+	// counts those the spare finished first (the primary's duplicate
+	// deliveries were discarded).
+	Hedges, HedgeWins int
+	// SlowConvictions counts replicas the relative-percentile detector
+	// tripped as gray stragglers; Canaries counts timed canary replays
+	// run by half-open probes.
+	SlowConvictions, Canaries int
+	// DeadlineMissed counts delivered messages whose round latency was
+	// over the Deadline SLO. Unlike the session-level conservation law,
+	// they remain in Delivered — the fabric met its ⌊α′m′⌋ guarantee;
+	// the SLO is a separate ledger over the same deliveries.
+	DeadlineMissed int
+	// Latency is the pool-wide served-round latency histogram (the
+	// winning replica's latency each round); P50/P99/P999 accessors
+	// give the witnessed tail.
+	Latency timing.Histogram
 	// LinksQuarantined counts output wires convicted by replica link
 	// monitors and folded into degraded serving contracts.
 	LinksQuarantined int
@@ -267,6 +334,15 @@ type RoundResult struct {
 	// Violated reports that every servable replica violated its
 	// contract this round (Result then holds the last attempt).
 	Violated bool
+	// Latency is the winning replica's serving latency in rounds
+	// (1 + its timing-plane delay); 0 when no replica served.
+	Latency int
+	// Hedged reports that the round was re-offered to a spare;
+	// HedgeWon that the spare finished first and its result stands.
+	Hedged, HedgeWon bool
+	// DeadlineMissed reports that the round's latency was over the
+	// pool's Deadline SLO (its deliveries are booked against the SLO).
+	DeadlineMissed bool
 }
 
 // Pool is a replicated concentrator switch pool. All methods are safe
@@ -282,6 +358,11 @@ type Pool struct {
 	shedStreak int
 	stats      Stats
 	n, m       int
+	// lat is the pool-wide served-latency histogram driving the hedge
+	// trigger quantile; slow is the relative-percentile gray-failure
+	// detector over per-replica latencies.
+	lat  timing.Histogram
+	slow *health.SlowDetector
 }
 
 // New builds a pool over the given switches: the first is the initial
@@ -295,7 +376,15 @@ func New(cfg Config, switches ...core.FaultInjectable) (*Pool, error) {
 	if len(switches) == 0 {
 		return nil, fmt.Errorf("pool: need at least one replica")
 	}
+	if cfg.HedgeQuantile > 0 && len(switches) < 2 {
+		return nil, fmt.Errorf("pool: hedged dispatch needs ≥ 2 replicas, got %d", len(switches))
+	}
 	p := &Pool{cfg: cfg, n: switches[0].Inputs(), m: switches[0].Outputs()}
+	slow, err := health.NewSlowDetector(cfg.Slow, len(switches))
+	if err != nil {
+		return nil, fmt.Errorf("pool: %w", err)
+	}
+	p.slow = slow
 	for i, sw := range switches {
 		if sw == nil {
 			return nil, fmt.Errorf("pool: replica %d is nil", i)
@@ -358,8 +447,11 @@ func (p *Pool) Stats() Stats {
 			Violations: r.violations, Repairs: r.repairs,
 			RoundsServed: r.roundsServed,
 			Corrupted:    r.corrupted, LinksQuarantined: r.linkQuarantines,
+			SlowConvictions: r.slowConvictions, Canaries: r.canaries,
+			LatencyP50: r.lat.P50(), LatencyP99: r.lat.P99(),
 		}
 	}
+	s.Latency = p.lat.Snapshot()
 	return s
 }
 
@@ -417,9 +509,14 @@ func (p *Pool) Revive(i int) error {
 	r.degraded = nil
 	r.known = make(map[[2]int]health.LocalizedFault)
 	// The swapped board brings fresh wires too: corruption plane,
-	// quarantined wires, and link history all reset.
+	// quarantined wires, and link history all reset — and fresh
+	// silicon, so the timing plane and latency record reset with them.
 	r.plane = nil
 	r.wireFaults = make(map[int]health.LocalizedFault)
+	r.tplane = nil
+	r.lat.Reset()
+	r.slowConvicted = false
+	p.slow.Reset(i)
 	if monitor, err := link.NewLinkMonitor(p.cfg.Monitor); err == nil {
 		r.monitor = monitor
 	}
@@ -507,6 +604,18 @@ func (p *Pool) probeDue(round int64) {
 		if err != nil {
 			p.openBreaker(r, round)
 			continue
+		}
+		if r.slowConvicted {
+			// A slow conviction gates re-admission behind a timed
+			// canary replay: the BIST scan above only vouches for
+			// correctness, and a gray replica is perfectly correct.
+			if !p.canaryPassLocked(r, round) {
+				p.openBreaker(r, round)
+				continue
+			}
+			r.slowConvicted = false
+			p.slow.Reset(r.id)
+			r.lat.Reset()
 		}
 		if rep.Healthy {
 			// The fabric is clean (transient fault, or repaired via
@@ -694,11 +803,35 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 					r.state = Healthy
 				}
 			}
-			r.roundsServed++
-			rr.Result = res
-			rr.ServedBy = r.id
-			rr.Threshold = r.threshold()
-			p.stats.Delivered += len(res.Delivered)
+			lat := 1 + p.timingDelayLocked(r, round)
+			winner, wlat, wres := r, lat, res
+			if p.shouldHedgeLocked(lat) {
+				if s, sres, slat := p.hedgeLocked(r, tried, admitted, round); s != nil {
+					rr.Hedged = true
+					if slat < wlat {
+						// First completion wins: the straggling
+						// primary's duplicate deliveries are discarded
+						// by the receiver.
+						winner, wlat, wres = s, slat, sres
+						rr.HedgeWon = true
+						p.stats.HedgeWins++
+					}
+				}
+			}
+			r.lat.Observe(lat)
+			p.slow.Observe(r.id, lat)
+			winner.roundsServed++
+			p.lat.Observe(wlat)
+			rr.Latency = wlat
+			rr.Result = wres
+			rr.ServedBy = winner.id
+			rr.Threshold = winner.threshold()
+			p.stats.Delivered += len(wres.Delivered)
+			if p.cfg.Deadline > 0 && wlat > p.cfg.Deadline {
+				rr.DeadlineMissed = true
+				p.stats.DeadlineMissed += len(wres.Delivered)
+			}
+			p.sweepSlowLocked(round)
 			return rr, nil
 		}
 		p.noteViolation(r, round)

@@ -43,6 +43,7 @@ import (
 
 	"concentrators/internal/core"
 	"concentrators/internal/link"
+	"concentrators/internal/timing"
 )
 
 // LinkEscalation is an escalator's verdict on one suspect link.
@@ -91,6 +92,19 @@ type IntegrityConfig struct {
 	Jitter int
 	// Corruption is the wire fault plane (nil = clean wires).
 	Corruption *link.CorruptionPlane
+	// Timing is the gray-failure fault plane (nil = full speed): extra
+	// virtual rounds of delay on a frame's path postpone its arrival
+	// and its ack, so a slow chip shows up as RTO expiries and
+	// duplicate deliveries, not errors.
+	Timing *timing.Plane
+	// AdaptiveRTO replaces the fixed retransmit backoff base with a
+	// per-sender Jacobson/Karn RTT estimator: the RTO tracks
+	// SRTT + 4·RTTVAR, doubles on timeout (Karn's algorithm), and
+	// ignores RTT samples from retransmitted frames (Karn's rule).
+	AdaptiveRTO bool
+	// RTO tunes the adaptive estimator (zero fields = Jacobson's
+	// classic constants); ignored unless AdaptiveRTO is set.
+	RTO timing.EstimatorConfig
 	// Monitor tunes the per-link EWMA corruption tracker.
 	Monitor link.MonitorConfig
 	// Escalate hands suspect output links to the health plane; nil
@@ -133,6 +147,11 @@ func (c IntegrityConfig) Validate() error {
 	case c.Jitter < 0:
 		return fmt.Errorf("switchsim: negative retransmit jitter %d", c.Jitter)
 	}
+	if c.AdaptiveRTO {
+		if err := c.RTO.Validate(); err != nil {
+			return err
+		}
+	}
 	if _, err := link.NewLinkMonitor(c.Monitor); err != nil {
 		return err
 	}
@@ -162,9 +181,22 @@ type IntegrityStats struct {
 	// Timeouts counts retransmissions triggered by RTO expiry rather
 	// than an explicit nack.
 	Timeouts int
+	// AdaptiveRTO reports whether the Jacobson/Karn estimator drove the
+	// retransmit timers; RTTSamples counts the clean RTT samples it
+	// absorbed and KarnRejected the retransmitted-frame samples Karn's
+	// rule discarded. FinalRTO is the largest per-sender RTO at session
+	// end.
+	AdaptiveRTO  bool
+	RTTSamples   int
+	KarnRejected int
+	FinalRTO     int
+	// StallRounds is the total extra virtual rounds of delay the timing
+	// fault plane injected into delivered and acked frames.
+	StallRounds int
 	// FinalBacklog counts frames still queued or awaiting delivery
 	// when the session ended: the session conservation law is
-	// Offered = Delivered + Dropped + CorruptedDropped + FinalBacklog.
+	// Offered = Delivered + Dropped + CorruptedDropped +
+	// DeadlineMissed + FinalBacklog.
 	FinalBacklog int
 	// LinksQuarantined counts links escalated out of service (input-
 	// side quarantines plus health-plane output quarantines);
@@ -245,6 +277,21 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 	senders := make([]*arqSender, n)
 	for i := range senders {
 		senders[i] = &arqSender{}
+	}
+	// ests are the per-sender Jacobson/Karn RTT estimators (adaptive
+	// RTO only): each input wire sees its own path delays, so each
+	// keeps its own SRTT/RTTVAR.
+	var ests []*timing.Estimator
+	if ic.AdaptiveRTO {
+		ist.AdaptiveRTO = true
+		ests = make([]*timing.Estimator, n)
+		for i := range ests {
+			e, err := timing.NewEstimator(ic.RTO)
+			if err != nil {
+				return nil, err
+			}
+			ests[i] = e
+		}
 	}
 	// events[r] holds the control-plane traffic arriving at round r.
 	events := make(map[int][]ackEvent)
@@ -363,6 +410,12 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 			}
 			switch ev.kind {
 			case ackOK:
+				if ic.AdaptiveRTO {
+					// Karn's rule: a retransmitted frame's ack is
+					// ambiguous (it may answer any attempt), so its RTT
+					// never feeds the estimator.
+					ests[ev.input].Sample(round-ev.sendRound, f.attempts > 1)
+				}
 				f.acked = true
 				if !f.delivered {
 					// The receiver acked but never consumed the frame:
@@ -393,6 +446,11 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 				if f.eligible < 0 && round >= f.deadline {
 					f.corrupted = true
 					ist.Timeouts++
+					if ic.AdaptiveRTO {
+						// Karn's algorithm: timeout doubles the timer;
+						// only a clean sample resets it.
+						ests[in].Backoff()
+					}
 					retransmitOrGiveUp(s, f, round)
 				}
 			}
@@ -451,6 +509,22 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 			pick.lastSent = round
 			pick.eligible = -1
 			pick.deadline = round + 1 + cfg.AckDelay + backoff(pick.attempts-1)
+			if ic.AdaptiveRTO {
+				e := ests[in]
+				if e.Primed() {
+					// The estimator's RTO replaces the fixed formula,
+					// floored at the physical round trip so a fast
+					// estimate can never fire before an ack could land.
+					pick.deadline = round + max(e.RTO(), 1+cfg.AckDelay)
+				} else {
+					// Unprimed, the Karn backoff still applies across
+					// frames: a straggler path that times out every
+					// first attempt keeps doubling the timer until one
+					// first attempt survives to deliver the clean sample
+					// that primes the estimator.
+					pick.deadline = round + max(e.RTO(), 1+cfg.AckDelay+backoff(pick.attempts-1))
+				}
+			}
 			ist.FramesSent++
 			inFlight[in] = pick
 			msgs = append(msgs, Message{Input: in, Payload: link.EncodeFrame(ic.CRC, pick.seq, pick.payload)})
@@ -508,7 +582,13 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 				if corrupted {
 					recordCorrupt(inLink, outLink)
 				}
-				arrival := round + 1 + cfg.AckDelay
+				// A gray chip on the path stalls the frame (and so its
+				// ack or nack) by tdelay virtual rounds: the sender sees
+				// a longer RTT, possibly past its RTO — creating the
+				// spurious retransmits the adaptive estimator absorbs.
+				tdelay := ic.Timing.PathDelay(round, stageCount, d.Input, phys)
+				ist.StallRounds += tdelay
+				arrival := round + 1 + cfg.AckDelay + tdelay
 				if corrupted {
 					ist.CorruptedDetected++
 					events[arrival] = append(events[arrival], ackEvent{input: d.Input, sendRound: round, kind: nackCorrupted})
@@ -534,7 +614,7 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 				}
 				f.delivered = true
 				stats.DeliveredPerRound[round]++
-				stats.recordDelivery(round-f.firstRound, f.attempts > 1)
+				stats.bookDelivery(round+tdelay-f.firstRound, f.attempts > 1, cfg.Deadline)
 			}
 		}
 
@@ -626,6 +706,13 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 			if !f.delivered {
 				ist.FinalBacklog++
 			}
+		}
+	}
+	for _, e := range ests {
+		ist.RTTSamples += e.Samples()
+		ist.KarnRejected += e.Rejected()
+		if r := e.RTO(); r > ist.FinalRTO {
+			ist.FinalRTO = r
 		}
 	}
 	sort.Ints(ist.InputsQuarantined)

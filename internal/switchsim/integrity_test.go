@@ -54,10 +54,20 @@ func TestIntegrityConfigValidate(t *testing.T) {
 // is accounted for exactly once.
 func conserve(t *testing.T, stats *SessionStats) {
 	t.Helper()
-	got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.Integrity.FinalBacklog
+	got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.DeadlineMissed + stats.Integrity.FinalBacklog
 	if got != stats.Offered {
-		t.Errorf("conservation broken: Offered %d != Delivered %d + Dropped %d + CorruptedDropped %d + FinalBacklog %d",
-			stats.Offered, stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.Integrity.FinalBacklog)
+		t.Errorf("conservation broken: Offered %d != Delivered %d + Dropped %d + CorruptedDropped %d + DeadlineMissed %d + FinalBacklog %d",
+			stats.Offered, stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.DeadlineMissed, stats.Integrity.FinalBacklog)
+	}
+	missed := 0
+	for lat, c := range stats.MissedLatencyHistogram {
+		missed += c
+		if stats.LatencyHistogram[lat] != 0 && c == 0 {
+			t.Errorf("missed histogram holds empty bucket at %d", lat)
+		}
+	}
+	if missed != stats.DeadlineMissed {
+		t.Errorf("missed histogram sums to %d, want DeadlineMissed %d", missed, stats.DeadlineMissed)
 	}
 	first, retried := 0, 0
 	for _, c := range stats.FirstTryLatencyHistogram {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"concentrators/internal/core"
 )
@@ -67,6 +68,12 @@ type SessionConfig struct {
 	// which makes Resend behave like Buffer; a real ack protocol has
 	// AckDelay ≥ 1.
 	AckDelay int
+	// Deadline is the per-message deadline budget in rounds: a message
+	// delivered with latency above the budget is booked DeadlineMissed
+	// instead of Delivered — it arrived, but past its SLO, which for a
+	// switch core budgeting per-stage latency is a loss. 0 disables
+	// deadline accounting.
+	Deadline int
 	// Integrity, when non-nil, runs the session with wire-level
 	// data-plane integrity: CRC-framed payloads, sliding-window ARQ
 	// over the Resend ack machinery, and per-link corruption tracking.
@@ -90,6 +97,8 @@ func (cfg SessionConfig) Validate() error {
 		return fmt.Errorf("switchsim: payload must be ≥ 1 bit, got %d", cfg.PayloadBits)
 	case cfg.AckDelay < 0:
 		return fmt.Errorf("switchsim: negative ack delay %d", cfg.AckDelay)
+	case cfg.Deadline < 0:
+		return fmt.Errorf("switchsim: negative deadline budget %d", cfg.Deadline)
 	case cfg.Policy < Drop || cfg.Policy > Misroute:
 		return fmt.Errorf("switchsim: unknown policy %v", cfg.Policy)
 	case cfg.AckDelay > 0 && cfg.Policy != Resend:
@@ -117,8 +126,14 @@ type SessionStats struct {
 	// retransmit budget was exhausted with wire corruption involved —
 	// the integrity layer's explicit give-up accounting.
 	CorruptedDropped int
-	Refused          int // arrivals refused because the input was occupied (Buffer)
-	Retries          int // re-offered attempts (Resend/Buffer)
+	// DeadlineMissed counts messages that arrived past the session's
+	// Deadline budget: delivered by the fabric, lost to the SLO. They
+	// are never counted in Delivered; the extended conservation law is
+	// Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed
+	// + FinalBacklog.
+	DeadlineMissed int
+	Refused        int // arrivals refused because the input was occupied (Buffer)
+	Retries        int // re-offered attempts (Resend/Buffer)
 	// RetriedDelivered counts delivered messages that needed more than
 	// one offer to the switch — the slice of Delivered whose latency
 	// includes retry round trips.
@@ -132,6 +147,10 @@ type SessionStats struct {
 	// LatencyHistogram remains their exact sum (backward compatible).
 	FirstTryLatencyHistogram map[int]int
 	RetriedLatencyHistogram  map[int]int
+	// MissedLatencyHistogram[r] counts deadline-missed messages that
+	// arrived r rounds after their first offer — the tail the SLO cut
+	// off. Disjoint from LatencyHistogram.
+	MissedLatencyHistogram map[int]int
 	// MaxBacklog is the peak number of waiting messages — messages
 	// parked in the retry pool (Resend/Misroute) or held at their input
 	// wires (Buffer) — measured after each round's routing.
@@ -160,6 +179,63 @@ func (s *SessionStats) recordDelivery(latency int, retried bool) {
 		s.FirstTryLatencyHistogram[latency]++
 	}
 }
+
+// bookDelivery files one accepted delivery against the deadline
+// budget: on time it is Delivered, late it is DeadlineMissed. Returns
+// whether the deadline was missed.
+func (s *SessionStats) bookDelivery(latency int, retried bool, deadline int) (missed bool) {
+	if deadline > 0 && latency > deadline {
+		s.DeadlineMissed++
+		s.MissedLatencyHistogram[latency]++
+		return true
+	}
+	s.recordDelivery(latency, retried)
+	return false
+}
+
+// Quantile returns a witnessed on-time delivery latency at the
+// q-quantile of LatencyHistogram (the latency of the ⌈q·delivered⌉-th
+// fastest delivery). ok is false when nothing was delivered or q is
+// NaN or outside [0, 1]. Quantile is monotone in q and every returned
+// value is a latency that actually occurred.
+func (s SessionStats) Quantile(q float64) (lat int, ok bool) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, false
+	}
+	total := 0
+	for _, c := range s.LatencyHistogram {
+		total += c
+	}
+	if total == 0 {
+		return 0, false
+	}
+	rank := int(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	lats := make([]int, 0, len(s.LatencyHistogram))
+	for l := range s.LatencyHistogram {
+		lats = append(lats, l)
+	}
+	sort.Ints(lats)
+	seen := 0
+	for _, l := range lats {
+		seen += s.LatencyHistogram[l]
+		if seen >= rank {
+			return l, true
+		}
+	}
+	return lats[len(lats)-1], true
+}
+
+// P50 returns the witnessed median delivery latency (0 when empty).
+func (s SessionStats) P50() int { lat, _ := s.Quantile(0.50); return lat }
+
+// P99 returns the witnessed 99th-percentile latency (0 when empty).
+func (s SessionStats) P99() int { lat, _ := s.Quantile(0.99); return lat }
+
+// P999 returns the witnessed 99.9th-percentile latency (0 when empty).
+func (s SessionStats) P999() int { lat, _ := s.Quantile(0.999); return lat }
 
 // MeanLatency returns the average delivery latency in rounds.
 func (s SessionStats) MeanLatency() float64 {
@@ -190,6 +266,7 @@ func newSessionStats(cfg SessionConfig) *SessionStats {
 		LatencyHistogram:         map[int]int{},
 		FirstTryLatencyHistogram: map[int]int{},
 		RetriedLatencyHistogram:  map[int]int{},
+		MissedLatencyHistogram:   map[int]int{},
 		DeliveredPerRound:        make([]int, cfg.Rounds),
 	}
 }
@@ -308,8 +385,11 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 		}
 		for _, d := range res.Delivered {
 			pm := offered[d.Input]
+			// DeliveredPerRound counts physical deliveries; with a
+			// deadline budget, late ones book DeadlineMissed instead of
+			// Delivered.
 			stats.DeliveredPerRound[round]++
-			stats.recordDelivery(round-pm.firstRound, pm.offers > 1)
+			stats.bookDelivery(round-pm.firstRound, pm.offers > 1, cfg.Deadline)
 		}
 		buffered = map[int]*pendingMsg{}
 		for _, in := range res.DroppedInputs {

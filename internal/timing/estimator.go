@@ -1,0 +1,147 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+)
+
+// EstimatorConfig tunes a Jacobson/Karn round-trip-time estimator.
+type EstimatorConfig struct {
+	// Alpha is the EWMA gain of the smoothed RTT (the weight of the
+	// newest sample). 0 means the classic 1/8.
+	Alpha float64
+	// Beta is the EWMA gain of the mean deviation. 0 means the classic
+	// 1/4.
+	Beta float64
+	// K multiplies the deviation term: RTO = SRTT + K·RTTVAR. 0 means
+	// the classic 4.
+	K float64
+	// MinRTO and MaxRTO clamp the timer, in rounds. Zeros mean 1 and
+	// 64. The backoff applied by Backoff is clamped to MaxRTO too, so a
+	// run of timeouts cannot push the timer past the ceiling.
+	MinRTO, MaxRTO int
+}
+
+func (c EstimatorConfig) withDefaults() EstimatorConfig {
+	if c.Alpha == 0 {
+		c.Alpha = 1.0 / 8
+	}
+	if c.Beta == 0 {
+		c.Beta = 1.0 / 4
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.MinRTO == 0 {
+		c.MinRTO = 1
+	}
+	if c.MaxRTO == 0 {
+		c.MaxRTO = 64
+	}
+	return c
+}
+
+// Validate rejects malformed estimator configurations.
+func (c EstimatorConfig) Validate() error {
+	eff := c.withDefaults()
+	switch {
+	case math.IsNaN(c.Alpha) || c.Alpha < 0 || c.Alpha > 1:
+		return fmt.Errorf("timing: estimator alpha %v outside (0,1]", c.Alpha)
+	case math.IsNaN(c.Beta) || c.Beta < 0 || c.Beta > 1:
+		return fmt.Errorf("timing: estimator beta %v outside (0,1]", c.Beta)
+	case math.IsNaN(c.K) || c.K < 0:
+		return fmt.Errorf("timing: estimator K %v must be positive", c.K)
+	case c.MinRTO < 0 || c.MaxRTO < 0:
+		return fmt.Errorf("timing: negative RTO clamp (min %d, max %d)", c.MinRTO, c.MaxRTO)
+	case eff.MaxRTO < eff.MinRTO:
+		return fmt.Errorf("timing: MaxRTO %d < MinRTO %d", eff.MaxRTO, eff.MinRTO)
+	}
+	return nil
+}
+
+// Estimator is a Jacobson/Karn retransmit-timer estimator over
+// round-counted RTTs: SRTT and RTTVAR EWMAs per RFC 6298, Karn's rule
+// (samples from retransmitted frames are discarded — the ack is
+// ambiguous between the original and the retransmit), and exponential
+// timer backoff on timeout that only a clean sample resets.
+type Estimator struct {
+	cfg          EstimatorConfig
+	srtt, rttvar float64
+	samples      int
+	rejected     int  // Karn-discarded samples
+	shift        uint // current exponential backoff (timer doubles per timeout)
+}
+
+// NewEstimator builds an estimator; zero config fields take the
+// classic Jacobson constants.
+func NewEstimator(cfg EstimatorConfig) (*Estimator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{cfg: cfg.withDefaults()}, nil
+}
+
+// Sample feeds one measured round trip. retransmitted marks a sample
+// taken from a frame that was ever retransmitted: Karn's rule discards
+// it (the ack cannot be matched to a specific transmission), so it
+// never contaminates SRTT/RTTVAR. A clean sample also resets the
+// exponential timeout backoff.
+func (e *Estimator) Sample(rtt int, retransmitted bool) {
+	if retransmitted {
+		e.rejected++
+		return
+	}
+	if rtt < 0 {
+		rtt = 0
+	}
+	r := float64(rtt)
+	if e.samples == 0 {
+		// RFC 6298 initialization: SRTT = R, RTTVAR = R/2.
+		e.srtt = r
+		e.rttvar = r / 2
+	} else {
+		e.rttvar = (1-e.cfg.Beta)*e.rttvar + e.cfg.Beta*math.Abs(e.srtt-r)
+		e.srtt = (1-e.cfg.Alpha)*e.srtt + e.cfg.Alpha*r
+	}
+	e.samples++
+	e.shift = 0
+}
+
+// Backoff doubles the retransmit timer (Karn's algorithm on timeout).
+// The doubling saturates once RTO reaches MaxRTO.
+func (e *Estimator) Backoff() {
+	if e.shift < 16 {
+		e.shift++
+	}
+}
+
+// Primed reports whether at least one clean sample has landed; before
+// that RTO has nothing to stand on and callers should keep their
+// static timer.
+func (e *Estimator) Primed() bool { return e.samples > 0 }
+
+// RTO returns the current retransmission timeout in rounds:
+// (SRTT + K·RTTVAR) · 2^backoff, clamped to [MinRTO, MaxRTO].
+func (e *Estimator) RTO() int {
+	rto := e.srtt + e.cfg.K*e.rttvar
+	if rto < float64(e.cfg.MinRTO) {
+		rto = float64(e.cfg.MinRTO)
+	}
+	scaled := rto * float64(uint64(1)<<e.shift)
+	if scaled > float64(e.cfg.MaxRTO) {
+		return e.cfg.MaxRTO
+	}
+	return int(math.Ceil(scaled))
+}
+
+// SRTT returns the smoothed round-trip estimate.
+func (e *Estimator) SRTT() float64 { return e.srtt }
+
+// Var returns the smoothed mean deviation.
+func (e *Estimator) Var() float64 { return e.rttvar }
+
+// Samples returns the number of clean samples absorbed.
+func (e *Estimator) Samples() int { return e.samples }
+
+// Rejected returns the number of samples Karn's rule discarded.
+func (e *Estimator) Rejected() int { return e.rejected }

@@ -1,0 +1,87 @@
+package timing
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Histogram is a log-bucketed latency histogram: bucket b collects
+// latencies whose bit length is b (0; 1; 2–3; 4–7; …), so memory is
+// O(log max-latency) and a pool can afford one per replica. Each
+// bucket remembers the largest latency it witnessed, so quantiles
+// always return a latency that actually occurred — never an
+// interpolated value a bucket boundary invented. The zero Histogram is
+// ready to use.
+type Histogram struct {
+	counts [65]int
+	maxes  [65]int
+	total  int
+	sum    int
+}
+
+// bucket maps a latency to its log bucket.
+func bucket(v int) int { return bits.Len(uint(v)) }
+
+// Observe records one latency (negative values clamp to 0).
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	b := bucket(v)
+	h.counts[b]++
+	if v > h.maxes[b] {
+		h.maxes[b] = v
+	}
+	h.total++
+	h.sum += v
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Mean returns the average observed latency (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Quantile returns a witnessed latency at or above the q-quantile of
+// the observations (the largest latency of the bucket holding the
+// q-th ranked observation). ok is false when the histogram is empty or
+// q is NaN or outside [0, 1]. Quantile is monotone in q.
+func (h *Histogram) Quantile(q float64) (lat int, ok bool) {
+	if h.total == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, false
+	}
+	rank := int(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	seen := 0
+	for b, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return h.maxes[b], true
+		}
+	}
+	// Unreachable: seen reaches total ≥ rank.
+	return h.maxes[len(h.maxes)-1], true
+}
+
+// P50 returns the witnessed median latency (0 when empty).
+func (h *Histogram) P50() int { lat, _ := h.Quantile(0.50); return lat }
+
+// P99 returns the witnessed 99th-percentile latency (0 when empty).
+func (h *Histogram) P99() int { lat, _ := h.Quantile(0.99); return lat }
+
+// P999 returns the witnessed 99.9th-percentile latency (0 when empty).
+func (h *Histogram) P999() int { lat, _ := h.Quantile(0.999); return lat }
+
+// Snapshot returns an independent copy.
+func (h *Histogram) Snapshot() Histogram { return *h }
+
+// Reset discards all observations (a replica's fresh trial after
+// repair: its old tail died with the fault).
+func (h *Histogram) Reset() { *h = Histogram{} }
