@@ -15,6 +15,7 @@ import (
 	"concentrators/internal/health"
 	"concentrators/internal/layout"
 	"concentrators/internal/link"
+	"concentrators/internal/overload"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 	"concentrators/internal/timing"
@@ -350,6 +351,63 @@ func NewRTTEstimator(cfg RTTEstimatorConfig) (*RTTEstimator, error) {
 // over the given replica count.
 func NewSlowDetector(cfg SlowDetectorConfig, replicas int) (*SlowDetector, error) {
 	return health.NewSlowDetector(cfg, replicas)
+}
+
+// Overload robustness: seeded surge faults, closed-loop AIMD
+// admission, CoDel backlog drains, client retry budgets, and brownout
+// contract degradation.
+type (
+	// SurgeFault is one load fault: a bounded step, ramp, flash-crowd,
+	// or sustained multiplier on the offered load.
+	SurgeFault = overload.Fault
+	// SurgeMode is the surge fault shape.
+	SurgeMode = overload.Mode
+	// SurgePlane is a seeded, deterministic set of surge faults — the
+	// load counterpart of TimingPlane.
+	SurgePlane = overload.Plane
+	// AIMDConfig tunes the closed admission loop's additive-increase /
+	// multiplicative-decrease fraction.
+	AIMDConfig = overload.AIMDConfig
+	// CoDelConfig tunes the sojourn-based backlog drain (target,
+	// interval).
+	CoDelConfig = overload.CoDelConfig
+	// RetryConfig tunes the client retry budget (token bucket plus
+	// full-jitter exponential backoff).
+	RetryConfig = overload.RetryConfig
+	// BrownoutConfig tunes the brownout state machine stepping the
+	// advertised contract down under sustained congestion.
+	BrownoutConfig = overload.BrownoutConfig
+	// OverloadConfig bundles the pool's closed-loop controllers (AIMD,
+	// brownout, congestion waterline).
+	OverloadConfig = overload.Config
+	// OverloadSessionConfig drives a closed-loop client session against
+	// a Pool: surge-multiplied arrivals, budgeted retries, CoDel
+	// drains, and a freshness SLO.
+	OverloadSessionConfig = pool.OverloadSessionConfig
+	// OverloadSessionStats is the overload session's conservation
+	// ledger: Offered = Delivered + DeadlineMissed + Shed +
+	// FinalBacklog.
+	OverloadSessionStats = pool.OverloadSessionStats
+)
+
+// The surge fault shapes.
+const (
+	SurgeStep      = overload.Step
+	SurgeRamp      = overload.Ramp
+	SurgeFlash     = overload.Flash
+	SurgeSustained = overload.Sustained
+)
+
+// NewSurgePlane returns an empty, seeded surge fault plane.
+func NewSurgePlane(seed int64) *SurgePlane { return overload.NewPlane(seed) }
+
+// RunOverloadSession drives closed-loop (or, with a nil RetryConfig,
+// open-loop) client traffic through a replicated pool under a surge
+// plane. It is the API of the PR's collapse/recovery property: on the
+// same seed, the open loop collapses metastably under a sustained 4×
+// surge while the closed loop holds goodput at the live ⌊α′m′⌋.
+func RunOverloadSession(p *SwitchPool, cfg OverloadSessionConfig) (*OverloadSessionStats, error) {
+	return pool.RunOverloadSession(p, cfg)
 }
 
 // Packaging reports (Table 1, Figures 3/4/6/7).

@@ -335,3 +335,56 @@ func TestPublicAPIGrayFailure(t *testing.T) {
 		t.Fatalf("detector convicted %v, want [1]", got)
 	}
 }
+
+// The overload facade end-to-end: a seeded surge plane drives a
+// closed-loop overload session against a pool through root-package
+// identifiers alone, and the session ledger conserves.
+func TestPublicAPIOverload(t *testing.T) {
+	plane := NewSurgePlane(9)
+	for _, f := range []SurgeFault{
+		{Mode: SurgeSustained, Factor: 4, From: 10},
+		{Mode: SurgeFlash, Factor: 6, Prob: 0.25, From: 0},
+	} {
+		if err := plane.Add(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if plane.Len() != 2 {
+		t.Fatalf("plane holds %d faults, want 2", plane.Len())
+	}
+	if got := plane.Multiplier(0); got < 1 {
+		t.Fatalf("pre-surge multiplier %v < 1", got)
+	}
+	if got := plane.Multiplier(20); got < 4 {
+		t.Fatalf("surge multiplier %v < 4", got)
+	}
+	if bad := (SurgeFault{Mode: SurgeStep, Factor: 2}); bad.Validate() == nil {
+		t.Fatal("unbounded step fault accepted")
+	}
+
+	fi, err := NewColumnsortSwitchBeta(64, 16, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewSwitchPool(PoolConfig{Overload: &OverloadConfig{}}, fi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := RunOverloadSession(p, OverloadSessionConfig{
+		Rounds: 80, Load: 0.3, PayloadBits: 4, Seed: 5, Deadline: 6, Surge: plane,
+		Retry: &RetryConfig{Budget: 0.05, BackoffBase: 1, BackoffCap: 4},
+		CoDel: &CoDelConfig{Target: 2, Interval: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Offered == 0 {
+		t.Fatal("overload session offered nothing")
+	}
+	if got := st.Delivered + st.DeadlineMissed + st.Shed + st.FinalBacklog; got != st.Offered {
+		t.Fatalf("conservation violated: offered %d, accounted %d", st.Offered, got)
+	}
+	if st.Pool.AdmitFraction <= 0 || st.Pool.AdmitFraction > 1 {
+		t.Fatalf("admit fraction %v outside (0,1]", st.Pool.AdmitFraction)
+	}
+}

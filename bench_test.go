@@ -28,6 +28,7 @@ import (
 	"concentrators/internal/mesh"
 	"concentrators/internal/nearsort"
 	"concentrators/internal/optroute"
+	"concentrators/internal/overload"
 	"concentrators/internal/pool"
 	"concentrators/internal/seqhyper"
 	"concentrators/internal/switchsim"
@@ -934,4 +935,58 @@ func BenchmarkHedgedTailLatency(b *testing.B) {
 	}
 	b.ReportMetric(float64(up99), "p99-unhedged")
 	b.ReportMetric(float64(hp99), "p99-hedged")
+}
+
+// BenchmarkSurgeShedding times the overload-control experiment: a
+// single-replica pool under a sustained 4× oversubscription serves a
+// client session open loop (synchronized retries at the advertised
+// RetryAfter — the metastable storm) and closed loop (retry budget,
+// CoDel drain, congestion-aware admission). The reported goodput
+// metrics are the experiment's result, and the ≥ 2× goodput improvement
+// is asserted so the benchmark rots loudly if the control loop
+// regresses.
+func BenchmarkSurgeShedding(b *testing.B) {
+	surge := overload.NewPlane(1)
+	if err := surge.Add(overload.Fault{Mode: overload.Sustained, Factor: 4, From: 20}); err != nil {
+		b.Fatal(err)
+	}
+	run := func(closed bool) int {
+		sw, err := core.NewColumnsortSwitchBeta(64, 16, 0.75)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pc pool.Config
+		sc := pool.OverloadSessionConfig{
+			Rounds: 240, Load: 0.25, PayloadBits: 4, Seed: 42, Deadline: 8, Surge: surge,
+		}
+		if closed {
+			pc.Overload = &overload.Config{BacklogFactor: 4}
+			sc.Retry = &overload.RetryConfig{Budget: 0.01, BackoffBase: 1, BackoffCap: 2, Burst: 2}
+			sc.CoDel = &overload.CoDelConfig{Target: 2, Interval: 4}
+		}
+		p, err := pool.New(pc, sw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := pool.RunOverloadSession(p, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		goodput := 0
+		for _, g := range st.GoodputPerRound[120:] {
+			goodput += g
+		}
+		return goodput
+	}
+	var open, closed int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		open = run(false)
+		closed = run(true)
+	}
+	if closed < 2*max(open, 1) {
+		b.Fatalf("closed-loop goodput %d not ≥ 2× open-loop %d", closed, open)
+	}
+	b.ReportMetric(float64(open)/120, "goodput/round-openloop")
+	b.ReportMetric(float64(closed)/120, "goodput/round-closedloop")
 }

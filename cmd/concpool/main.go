@@ -11,6 +11,7 @@
 //	concpool -switch revsort -n 1024 -m 512 -replicas 2 -seed 1987 -kills 1 -verbose
 //	concpool -replicas 4 -faults 6 -kills 3 -scan-latency-jitter
 //	concpool -replicas 3 -faults 0 -kills 0 -stalls 5 -deadline 5 -hedge-quantile 0.9
+//	concpool -replicas 2 -faults 0 -kills 0 -surges 3 -surge-factor 4
 //
 // Exit status: 0 when the pool survived the schedule, 1 on usage or
 // construction errors, 2 when any round regressed below the degraded
@@ -24,6 +25,7 @@ import (
 
 	"concentrators/internal/chaos"
 	"concentrators/internal/core"
+	"concentrators/internal/overload"
 	"concentrators/internal/pool"
 )
 
@@ -41,6 +43,8 @@ func main() {
 	kills := flag.Int("kills", 2, "mid-stream primary kills to schedule (each revived later)")
 	jitter := flag.Bool("scan-latency-jitter", false, "inject probe-scan latency changes mid-run")
 	stalls := flag.Int("stalls", 0, "gray-failure stall bursts to schedule against the active replica (constant / jitter / ramp shapes, bounded windows)")
+	surges := flag.Int("surges", 0, "offered-load surge bursts to schedule (step / ramp / flash-crowd shapes, bounded windows); enables the pool's closed-loop admission control")
+	surgeFactor := flag.Float64("surge-factor", 0, "cap on the surge bursts' load multiplier (0 means the default 4)")
 	deadline := flag.Int("deadline", 0, "per-round deadline budget in rounds; enables the deadline-SLO regression check (0 disables)")
 	hedgeQuantile := flag.Float64("hedge-quantile", 0, "hedge rounds slower than this pool latency quantile onto a spare (0 lets stall schedules pick the 0.9 default)")
 	hedgeBudget := flag.Float64("hedge-budget", 0, "cap hedged rounds at this fraction of all rounds (0 means the default)")
@@ -85,6 +89,8 @@ func main() {
 		Faults:            *faults,
 		Kills:             *kills,
 		Stalls:            *stalls,
+		Surges:            *surges,
+		MaxSurgeFactor:    *surgeFactor,
 		Deadline:          *deadline,
 		CheckSLO:          *deadline > 0,
 		ScanLatencyJitter: *jitter,
@@ -96,6 +102,11 @@ func main() {
 			HedgeQuantile: *hedgeQuantile,
 			HedgeBudget:   *hedgeBudget,
 		},
+	}
+	if *surges > 0 {
+		// Surge schedules run against the closed loop: AIMD admission
+		// plus brownout degradation under sustained congestion.
+		cfg.Pool.Overload = &overload.Config{}
 	}
 
 	probe, err := build()
@@ -151,6 +162,14 @@ func main() {
 	s := rep.Stats
 	fmt.Printf("replay: %d rounds  offered %d, admitted %d, shed %d, delivered %d\n",
 		s.Rounds, s.Offered, s.Admitted, s.Shed, s.Delivered)
+	if s.Shed > 0 {
+		fmt.Printf("  mean advertised retry-after %.2f rounds over %d shed messages\n",
+			s.MeanRetryAfter(), s.Shed)
+	}
+	if *surges > 0 {
+		fmt.Printf("  closed loop: admit fraction %.2f, congested rounds %d, brownout level %d (%d enters, %d exits)\n",
+			s.AdmitFraction, s.CongestedRounds, s.BrownoutLevel, s.BrownoutEnters, s.BrownoutExits)
+	}
 	fmt.Printf("  failovers %d (max same-round depth %d), breaker trips %d, probes %d, repairs %d\n",
 		s.Failovers, rep.MaxSameRoundFailovers, s.Trips, s.Probes, s.Repairs)
 	fmt.Printf("  round latency p50 %d, p99 %d, p999 %d  hedges %d (%d won), slow convictions %d, canaries %d\n",

@@ -12,6 +12,7 @@
 //	concsim -switch revsort -n 1024 -m 512 -ber 1e-3 -crc crc16 -arq-window 8
 //	concsim -switch revsort -n 1024 -m 512 -ber 1e-3 -adaptive-rto -deadline 8
 //	concsim -switch columnsort -n 256 -m 128 -replicas 3 -hedge-quantile 0.9 -deadline 5
+//	concsim -switch columnsort -n 256 -m 128 -policy resend -surge 4 -retry-budget 0.2 -codel-target 3 -codel-interval 6
 //
 // Exit status: 0 on success, 1 on usage or construction errors, 2 when
 // the run observed a delivery-guarantee violation.
@@ -28,6 +29,7 @@ import (
 	"concentrators/internal/core"
 	"concentrators/internal/health"
 	"concentrators/internal/link"
+	"concentrators/internal/overload"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 )
@@ -55,6 +57,11 @@ func main() {
 	hedgeQuantile := flag.Float64("hedge-quantile", 0, "pool mode: hedge rounds slower than this latency quantile onto a spare (0 disables hedging)")
 	hedgeBudget := flag.Float64("hedge-budget", 0, "pool mode: cap hedged rounds at this fraction of all rounds (0 means the default 0.25)")
 	adaptiveRTO := flag.Bool("adaptive-rto", false, "integrity session: adapt the ARQ retransmit timer with a Jacobson/Karn RTT estimator instead of the fixed backoff")
+	surge := flag.Float64("surge", 0, "session mode: multiply the offered load by this factor from one fifth of the way in (0 disables the surge plane)")
+	surgeShape := flag.String("surge-shape", "sustained", "session mode: surge shape — step | ramp | flash | sustained")
+	retryBudget := flag.Float64("retry-budget", 0, "resend sessions: retry-budget tokens earned per fresh offer; denied retries are shed instead of re-queued (0 disables, the open loop)")
+	codelTarget := flag.Int("codel-target", 0, "resend/buffer sessions: CoDel sojourn target in rounds (0 disables the backlog drain)")
+	codelInterval := flag.Int("codel-interval", 0, "resend/buffer sessions: CoDel interval in rounds (default 4× target)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: concsim [flags]\n\nExit status: 0 on success, 1 on usage or construction errors,\n2 when the run observed a delivery-guarantee (or conservation) violation.\n\nFlags:\n")
@@ -93,8 +100,13 @@ func main() {
 		return
 	}
 	if *policy != "" {
-		runSession(sw, *policy, *load, *rounds, *payload, *seed, *ack, *deadline)
+		runSession(sw, *policy, *load, *rounds, *payload, *seed, *ack, *deadline,
+			*surge, *surgeShape, *retryBudget, *codelTarget, *codelInterval)
 		return
+	}
+	if *surge > 0 || *retryBudget > 0 || *codelTarget > 0 {
+		fmt.Fprintln(os.Stderr, "-surge, -retry-budget, and -codel-target drive the session mode: pass -policy (e.g. -policy resend)")
+		os.Exit(1)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -182,25 +194,81 @@ func ackFor(pol switchsim.Policy, ack int) int {
 	return ack
 }
 
+// surgePlane builds the session's surge plane from the -surge flags.
+func surgePlane(factor float64, shape string, rounds int, seed int64) *overload.Plane {
+	if factor == 0 {
+		return nil
+	}
+	f := overload.Fault{Factor: factor, From: rounds / 5}
+	switch shape {
+	case "step":
+		f.Mode, f.Until = overload.Step, rounds-rounds/5
+	case "ramp":
+		f.Mode, f.Until = overload.Ramp, rounds
+	case "flash":
+		f.Mode, f.Prob, f.From = overload.Flash, 0.35, 0
+	case "sustained":
+		f.Mode = overload.Sustained
+	default:
+		fmt.Fprintf(os.Stderr, "unknown surge shape %q (want step | ramp | flash | sustained)\n", shape)
+		os.Exit(1)
+	}
+	p := overload.NewPlane(seed)
+	if err := p.Add(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return p
+}
+
 // runSession executes the multi-round congestion-control mode.
-func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack, deadline int) {
+func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack, deadline int,
+	surge float64, surgeShape string, retryBudget float64, codelTarget, codelInterval int) {
 	pol := parsePolicy(policy)
-	stats, err := switchsim.RunSession(sw, switchsim.SessionConfig{
+	cfg := switchsim.SessionConfig{
 		Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
 		Seed: seed, AckDelay: ackFor(pol, ack), Deadline: deadline,
-	})
+		Surge: surgePlane(surge, surgeShape, rounds, seed),
+	}
+	if retryBudget > 0 {
+		cfg.RetryBudget = &overload.RetryConfig{Budget: retryBudget}
+	}
+	if codelTarget > 0 {
+		if codelInterval == 0 {
+			codelInterval = 4 * codelTarget
+		}
+		cfg.CoDel = &overload.CoDelConfig{Target: codelTarget, Interval: codelInterval}
+	}
+	stats, err := switchsim.RunSession(sw, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Printf("session: policy=%s load=%.2f rounds=%d\n", pol, load, rounds)
+	if cfg.Surge != nil {
+		for _, f := range cfg.Surge.Faults() {
+			fmt.Printf("  surge: %s\n", f)
+		}
+	}
 	fmt.Printf("  offered %d, delivered %d, lost %d, refused %d, retries %d\n",
 		stats.Offered, stats.Delivered, stats.Dropped, stats.Refused, stats.Retries)
 	fmt.Printf("  mean latency %.2f rounds (p50 %d, p99 %d, p999 %d), peak backlog %d\n",
 		stats.MeanLatency(), stats.P50(), stats.P99(), stats.P999(), stats.MaxBacklog)
+	if cfg.RetryBudget != nil || cfg.CoDel != nil {
+		fmt.Printf("  shed %d (retry-budget denials + CoDel drops), final backlog %d\n",
+			stats.Shed, stats.FinalBacklog)
+	}
 	if deadline > 0 {
 		fmt.Printf("  deadline %d rounds: %d deliveries missed the budget\n", deadline, stats.DeadlineMissed)
 	}
+	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.DeadlineMissed +
+		stats.Shed + stats.FinalBacklog; got != stats.Offered {
+		fmt.Fprintf(os.Stderr, "conservation violated: delivered %d + lost %d + corrupted %d + missed %d + shed %d + backlog %d != offered %d\n",
+			stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.DeadlineMissed,
+			stats.Shed, stats.FinalBacklog, stats.Offered)
+		os.Exit(2)
+	}
+	fmt.Printf("conservation verified: offered = delivered + lost + corrupted + missed + shed + backlog\n")
 }
 
 // runFaultSession executes the fault-aware session mode: scheduled

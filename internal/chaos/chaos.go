@@ -31,6 +31,7 @@ import (
 
 	"concentrators/internal/core"
 	"concentrators/internal/link"
+	"concentrators/internal/overload"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 	"concentrators/internal/timing"
@@ -61,6 +62,12 @@ const (
 	// functionally perfect throughout — only hedged dispatch and the
 	// deadline-SLO ledger can see it.
 	EventTiming
+	// EventSurge injects a bounded offered-load surge (step, ramp, or
+	// flash-crowd spike) into the traffic generator: the fabric stays
+	// perfect, the clients misbehave. The fault's From/Until window
+	// ends the surge on its own; admission control and — when
+	// Pool.Overload is set — the closed loop absorb it.
+	EventSurge
 )
 
 // String names the kind.
@@ -78,6 +85,8 @@ func (k EventKind) String() string {
 		return "corruption"
 	case EventTiming:
 		return "timing"
+	case EventSurge:
+		return "surge"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -103,6 +112,9 @@ type Event struct {
 	// Stall is the injected timing fault (EventTiming only); its
 	// From/Until round window bounds the stall.
 	Stall timing.Fault
+	// Surge is the injected load fault (EventSurge only); its
+	// From/Until round window bounds the surge.
+	Surge overload.Fault
 	// Latency is the new probe-scan latency (EventScanLatency only).
 	Latency int
 }
@@ -120,6 +132,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("round %d: corruption %s on %s", e.Round, e.Wire, target)
 	case EventTiming:
 		return fmt.Sprintf("round %d: stall %s on %s", e.Round, e.Stall, target)
+	case EventSurge:
+		return fmt.Sprintf("round %d: surge %s", e.Round, e.Surge)
 	case EventScanLatency:
 		return fmt.Sprintf("round %d: scan latency → %d", e.Round, e.Latency)
 	default:
@@ -153,6 +167,15 @@ type Config struct {
 	// rotating through the constant / jitter / ramp shapes; the board
 	// stays functionally perfect throughout.
 	Stalls int
+	// Surges bounds the offered-load surge bursts scheduled. Each burst
+	// multiplies the traffic load for a bounded round window, rotating
+	// through the step / ramp / flash-crowd shapes; the fabric stays
+	// perfect throughout — admission control absorbs the excess.
+	Surges int
+	// MaxSurgeFactor caps the load multiplier of surge bursts.
+	// 0 means the default (4, the acceptance criterion's
+	// oversubscription). Must be > 1 when set.
+	MaxSurgeFactor float64
 	// CheckSLO, when true, books a regression for every round whose
 	// deliveries missed the Deadline budget — the zero-deadline-SLO-
 	// regression assertion of the straggler schedules. Requires a
@@ -179,9 +202,11 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: load %v outside [0,1]", c.Load)
 	case c.PayloadBits < 1:
 		return fmt.Errorf("chaos: payload must be ≥ 1 bit, got %d", c.PayloadBits)
-	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0 || c.Stalls < 0:
-		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions, %d stalls)",
-			c.Faults, c.Kills, c.Corruptions, c.Stalls)
+	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0 || c.Stalls < 0 || c.Surges < 0:
+		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions, %d stalls, %d surges)",
+			c.Faults, c.Kills, c.Corruptions, c.Stalls, c.Surges)
+	case c.MaxSurgeFactor != 0 && (c.MaxSurgeFactor <= 1 || c.MaxSurgeFactor != c.MaxSurgeFactor):
+		return fmt.Errorf("chaos: MaxSurgeFactor %v must be > 1", c.MaxSurgeFactor)
 	case c.MaxBER < 0 || c.MaxBER > 1 || c.MaxBER != c.MaxBER:
 		return fmt.Errorf("chaos: MaxBER %v outside [0,1]", c.MaxBER)
 	case c.Deadline < 0:
@@ -198,6 +223,14 @@ func (c Config) maxBER() float64 {
 		return 1e-2
 	}
 	return c.MaxBER
+}
+
+// maxSurgeFactor resolves the configured surge-multiplier ceiling.
+func (c Config) maxSurgeFactor() float64 {
+	if c.MaxSurgeFactor == 0 {
+		return 4
+	}
+	return c.MaxSurgeFactor
 }
 
 // GenerateSchedule derives the deterministic chaos schedule for a pool
@@ -227,7 +260,7 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 
 	var events []Event
 	destructive := cfg.Faults + cfg.Kills + cfg.Corruptions
-	if destructive == 0 && cfg.Stalls == 0 {
+	if destructive == 0 && cfg.Stalls == 0 && cfg.Surges == 0 {
 		return events, nil
 	}
 	stride := max((cfg.Rounds-2)/max(destructive, 1), gap)
@@ -323,6 +356,33 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 			}
 			events = append(events, Event{Round: sround, Kind: EventTiming, Replica: ActiveReplica, Stall: f})
 			sround += stallStride + rng.Intn(max(stallStride/2, 1))
+		}
+	}
+	if cfg.Surges > 0 {
+		// Surge bursts are load-plane events: the fabric never degrades,
+		// so they need no repair-loop spacing — only bounded windows so
+		// the backlog they build can drain before the next one. Shapes
+		// rotate step / ramp / flash-crowd; the factor ceiling is the
+		// configured oversubscription.
+		ceiling := cfg.maxSurgeFactor()
+		surgeLen := max(4, gap/2)
+		surgeStride := max((cfg.Rounds-2)/cfg.Surges, surgeLen+2)
+		ground := 1 + rng.Intn(max(surgeStride/2, 1))
+		for i := 0; i < cfg.Surges && ground < cfg.Rounds-1; i++ {
+			f := overload.Fault{
+				Factor: max(2, ceiling*(0.5+0.5*rng.Float64())),
+				From:   ground, Until: min(ground+surgeLen, cfg.Rounds),
+			}
+			switch i % 3 {
+			case 0: // flipped feature flag: instant sustained step
+				f.Mode = overload.Step
+			case 1: // organic pile-on: builds toward the full factor
+				f.Mode = overload.Ramp
+			case 2: // flash crowd: random spikes inside the window
+				f.Mode, f.Prob = overload.Flash, 0.5
+			}
+			events = append(events, Event{Round: ground, Kind: EventSurge, Surge: f})
+			ground += surgeStride + rng.Intn(max(surgeStride/2, 1))
 		}
 	}
 	if cfg.ScanLatencyJitter && cfg.Rounds > 3*gap {
@@ -443,6 +503,7 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{Schedule: events}
+	surgePlane := overload.NewPlane(cfg.Seed)
 	n := p.Inputs()
 	next := 0
 	lastFailovers := 0
@@ -489,6 +550,8 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				err = p.InjectWireFault(target, ev.Wire)
 			case EventTiming:
 				err = p.InjectTimingFault(target, ev.Stall)
+			case EventSurge:
+				err = surgePlane.Add(ev.Surge)
 			default:
 				err = fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 			}
@@ -499,7 +562,7 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 			fired = append(fired, ev)
 		}
 
-		msgs := switchsim.RandomMessages(rng, n, cfg.Load, cfg.PayloadBits)
+		msgs := switchsim.RandomMessages(rng, n, surgePlane.Load(round, cfg.Load), cfg.PayloadBits)
 		rr, err := p.Run(msgs)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: round %d: %w", round, err)

@@ -1,9 +1,11 @@
 package chaos
 
 import (
+	"fmt"
 	"testing"
 
 	"concentrators/internal/core"
+	"concentrators/internal/overload"
 	"concentrators/internal/pool"
 )
 
@@ -392,4 +394,108 @@ func TestKillWithoutSpares(t *testing.T) {
 	if len(rep.Regressions) == 0 {
 		t.Fatal("killing the only replica went unreported")
 	}
+}
+
+// TestSurgeChaosAcceptance replays surge-burst schedules — bounded
+// step / ramp / flash-crowd load multipliers against a closed-loop
+// pool — across 3 seeds × 120 rounds and requires zero per-round
+// goodput regressions: every served round must deliver at least
+// min(admitted, ⌊α′m′⌋) under the effective (browned-out, AIMD-capped)
+// contract. A retry-storm control on the same fabric shows what the
+// closed loop is for: the open loop collapses metastably under a
+// sustained 4× surge.
+func TestSurgeChaosAcceptance(t *testing.T) {
+	for _, seed := range []int64{7, 99, 2026} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := Config{
+				Replicas:    2,
+				Rounds:      120,
+				Load:        0.5,
+				PayloadBits: 4,
+				Seed:        seed,
+				Surges:      3,
+				Pool: pool.Config{
+					TripThreshold: 1, ProbeAfter: 1,
+					Overload: &overload.Config{},
+				},
+			}
+			events := mustSchedule(t, cfg)
+			surges := 0
+			for _, ev := range events {
+				if ev.Kind == EventSurge {
+					surges++
+					if ev.Surge.Until <= ev.Surge.From {
+						t.Errorf("unbounded surge burst: %v", ev)
+					}
+				}
+			}
+			if surges != 3 {
+				t.Fatalf("scheduled %d surge bursts, want 3", surges)
+			}
+			rep, err := Run(buildColumnsort, events, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rep.Regressions {
+				t.Errorf("regression: %s", r)
+			}
+			shed := 0
+			for _, rec := range rep.Rounds {
+				shed += rec.Shed
+			}
+			if shed == 0 {
+				t.Error("surge bursts never exceeded admission — schedule too weak")
+			}
+		})
+	}
+
+	// Retry-storm control: the same seed, the same sustained 4× surge —
+	// the open loop (static gate, synchronized retries) collapses to
+	// zero goodput while the closed loop holds the threshold.
+	t.Run("retry-storm-control", func(t *testing.T) {
+		surge := overload.NewPlane(1)
+		if err := surge.Add(overload.Fault{Mode: overload.Sustained, Factor: 4, From: 20}); err != nil {
+			t.Fatal(err)
+		}
+		session := func(closed bool) *pool.OverloadSessionStats {
+			sw, err := core.NewColumnsortSwitchBeta(64, 16, 0.75)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var pc pool.Config
+			sc := pool.OverloadSessionConfig{
+				Rounds: 240, Load: 0.25, PayloadBits: 4, Seed: 42, Deadline: 8, Surge: surge,
+			}
+			if closed {
+				pc.Overload = &overload.Config{BacklogFactor: 4}
+				sc.Retry = &overload.RetryConfig{Budget: 0.01, BackoffBase: 1, BackoffCap: 2, Burst: 2}
+				sc.CoDel = &overload.CoDelConfig{Target: 2, Interval: 4}
+			}
+			p, err := pool.New(pc, sw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := pool.RunOverloadSession(p, sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}
+		lastHalf := func(st *pool.OverloadSessionStats) int {
+			sum := 0
+			for _, g := range st.GoodputPerRound[120:] {
+				sum += g
+			}
+			return sum
+		}
+		open, closed := lastHalf(session(false)), lastHalf(session(true))
+		const thr = 15
+		if open > thr*120/2 {
+			t.Errorf("open loop did not collapse: %d on-time deliveries in the last 120 rounds", open)
+		}
+		if closed < thr*120*9/10 {
+			t.Errorf("closed loop lost the threshold: %d on-time deliveries in the last 120 rounds", closed)
+		}
+	})
 }

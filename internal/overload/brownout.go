@@ -1,0 +1,122 @@
+package overload
+
+import (
+	"fmt"
+	"math"
+)
+
+// BrownoutConfig tunes the sustained-overload contract stepdown.
+//
+//	Nominal ──EnterAfter congested rounds──▶ Level 1 ── … ──▶ MaxLevel
+//	   ▲                                        │
+//	   └───────ExitAfter consecutive clean──────┘  (one level at a time)
+//
+// Each level multiplies the advertised threshold by Step — the pool
+// deliberately lowers its effective α: it admits less and delivers
+// predictably, instead of advertising a contract it can no longer
+// honor under the offered load. Stepping back up mirrors the breaker's
+// half-open probation: a full ExitAfter window of clean rounds must
+// elapse per level, so a flapping overload cannot oscillate the
+// contract every round.
+type BrownoutConfig struct {
+	// EnterAfter is the consecutive congested rounds before stepping
+	// one level down. 0 means the default (8).
+	EnterAfter int
+	// ExitAfter is the consecutive clean rounds before stepping one
+	// level back up — the probation window. 0 means the default (16).
+	ExitAfter int
+	// Step is the per-level threshold multiplier. 0 means the default
+	// (0.75).
+	Step float64
+	// MaxLevel bounds the descent. 0 means the default (3).
+	MaxLevel int
+}
+
+func (c BrownoutConfig) withDefaults() BrownoutConfig {
+	if c.EnterAfter == 0 {
+		c.EnterAfter = 8
+	}
+	if c.ExitAfter == 0 {
+		c.ExitAfter = 16
+	}
+	if c.Step == 0 {
+		c.Step = 0.75
+	}
+	if c.MaxLevel == 0 {
+		c.MaxLevel = 3
+	}
+	return c
+}
+
+// Validate rejects degenerate brownout parameters.
+func (c BrownoutConfig) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.EnterAfter < 1 || d.ExitAfter < 1:
+		return fmt.Errorf("overload: brownout windows need ≥ 1 round, got enter %d exit %d", c.EnterAfter, c.ExitAfter)
+	case math.IsNaN(d.Step) || d.Step <= 0 || d.Step >= 1:
+		return fmt.Errorf("overload: brownout step %v outside (0,1)", c.Step)
+	case d.MaxLevel < 1:
+		return fmt.Errorf("overload: brownout max level %d must be ≥ 1", c.MaxLevel)
+	}
+	return nil
+}
+
+// Brownout is the degradation state machine. Not safe for concurrent
+// use; the pool drives it under its own lock.
+type Brownout struct {
+	cfg         BrownoutConfig
+	level       int
+	congStreak  int
+	cleanStreak int
+	// transition ledger
+	enters, exits int
+}
+
+// NewBrownout builds the state machine at nominal level 0.
+func NewBrownout(cfg BrownoutConfig) (*Brownout, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Brownout{cfg: cfg.withDefaults()}, nil
+}
+
+// Observe feeds one round's congestion verdict and reports whether the
+// level changed.
+func (b *Brownout) Observe(congested bool) (changed bool) {
+	if congested {
+		b.cleanStreak = 0
+		b.congStreak++
+		if b.congStreak >= b.cfg.EnterAfter && b.level < b.cfg.MaxLevel {
+			b.level++
+			b.enters++
+			b.congStreak = 0
+			return true
+		}
+		return false
+	}
+	b.congStreak = 0
+	b.cleanStreak++
+	if b.cleanStreak >= b.cfg.ExitAfter && b.level > 0 {
+		b.level--
+		b.exits++
+		b.cleanStreak = 0
+		return true
+	}
+	return false
+}
+
+// Level returns the current degradation level (0 = nominal).
+func (b *Brownout) Level() int { return b.level }
+
+// Scale returns the contract multiplier the level implies: Step^level.
+func (b *Brownout) Scale() float64 {
+	return math.Pow(b.cfg.Step, float64(b.level))
+}
+
+// Enters returns the booked step-down transitions; Exits the booked
+// step-ups.
+func (b *Brownout) Enters() int { return b.enters }
+
+// Exits returns the booked step-up transitions.
+func (b *Brownout) Exits() int { return b.exits }

@@ -1,0 +1,119 @@
+package overload
+
+import (
+	"fmt"
+	"math"
+)
+
+// CoDelConfig tunes the controlled-delay backlog drain. Sojourn time
+// is measured in rounds since a message's first offer.
+type CoDelConfig struct {
+	// Target is the acceptable standing sojourn in rounds. 0 means the
+	// default (2).
+	Target int
+	// Interval is how long the sojourn must stay above Target before
+	// the drain opens. Must be strictly greater than Target (a drain
+	// that opens before one target-worth of queueing has been observed
+	// is just a tail drop). 0 means the default (8).
+	Interval int
+}
+
+func (c CoDelConfig) withDefaults() CoDelConfig {
+	if c.Target == 0 {
+		c.Target = 2
+	}
+	if c.Interval == 0 {
+		c.Interval = 8
+	}
+	return c
+}
+
+// Validate rejects degenerate drain parameters — in particular a
+// target at or above the interval.
+func (c CoDelConfig) Validate() error {
+	d := c.withDefaults()
+	switch {
+	case d.Target < 1:
+		return fmt.Errorf("overload: CoDel target %d must be ≥ 1 round", c.Target)
+	case d.Interval <= d.Target:
+		return fmt.Errorf("overload: CoDel target %d ≥ interval %d (the drain needs Target < Interval)", d.Target, d.Interval)
+	}
+	return nil
+}
+
+// CoDel implements the controlled-delay drop-from-queue rule over a
+// round-based backlog: once the head-of-queue sojourn has exceeded
+// Target continuously for Interval rounds, the drain opens and sheds
+// queue heads — at an interval/√count cadence that accelerates while
+// the overload persists — until the sojourn falls back under Target,
+// which closes the episode. Dropping from the queue head (the oldest
+// message) is deliberate: it is the message most likely past its
+// deadline anyway, and shedding it frees capacity for young traffic.
+type CoDel struct {
+	cfg        CoDelConfig
+	firstAbove int // round the sojourn first exceeded Target (−1: not above)
+	dropNext   int // next scheduled drop round while draining
+	draining   bool
+	count      int // drops this episode, drives the √count acceleration
+	episodes   int
+	dropped    int
+}
+
+// NewCoDel builds the drain.
+func NewCoDel(cfg CoDelConfig) (*CoDel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CoDel{cfg: cfg.withDefaults(), firstAbove: -1}, nil
+}
+
+// spacing is the interval/√count control law, floored at one round.
+func (c *CoDel) spacing() int {
+	s := int(math.Round(float64(c.cfg.Interval) / math.Sqrt(float64(c.count))))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// Drop reports whether the current queue head (with the given sojourn
+// in rounds, observed at the given round) should be shed. Callers loop
+// — re-measuring the new head's sojourn after each shed — until Drop
+// returns false; the √count acceleration lets a persistent episode
+// drain multiple heads per round.
+func (c *CoDel) Drop(round, sojourn int) bool {
+	if sojourn < c.cfg.Target {
+		c.firstAbove = -1
+		c.draining = false
+		return false
+	}
+	if c.firstAbove < 0 {
+		// First observation above target: arm the interval timer.
+		c.firstAbove = round
+		return false
+	}
+	if !c.draining {
+		if round-c.firstAbove < c.cfg.Interval {
+			return false
+		}
+		c.draining = true
+		c.episodes++
+		c.count = 1
+		c.dropped++
+		c.dropNext = round + c.spacing()
+		return true
+	}
+	if round >= c.dropNext {
+		c.count++
+		c.dropped++
+		c.dropNext = round + c.spacing()
+		return true
+	}
+	return false
+}
+
+// Episodes returns how many drain episodes have opened.
+func (c *CoDel) Episodes() int { return c.episodes }
+
+// Dropped returns the total queue heads shed by the drain.
+func (c *CoDel) Dropped() int { return c.dropped }

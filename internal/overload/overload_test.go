@@ -1,0 +1,379 @@
+package overload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSurgeFaultValidate(t *testing.T) {
+	bad := []Fault{
+		{Mode: Step, Factor: -2, From: 0, Until: 10},           // negative multiplier
+		{Mode: Sustained, Factor: 0},                           // zero multiplier
+		{Mode: Sustained, Factor: math.NaN()},                  // NaN multiplier
+		{Mode: Sustained, Factor: math.Inf(1)},                 // infinite multiplier
+		{Mode: Step, Factor: 2},                                // step needs a bounded window
+		{Mode: Ramp, Factor: 2, From: 5},                       // ramp needs a bounded window
+		{Mode: Step, Factor: 2, From: 10, Until: 5},            // empty window
+		{Mode: Sustained, Factor: 2, From: -1},                 // negative From
+		{Mode: Flash, Factor: 2, Prob: 0, From: 0, Until: 5},   // zero spike prob
+		{Mode: Flash, Factor: 2, Prob: 1.5, From: 0, Until: 5}, // prob > 1
+		{Mode: Mode(99), Factor: 2},                            // unknown mode
+	}
+	for _, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate accepted %v", f)
+		}
+	}
+	good := []Fault{
+		{Mode: Step, Factor: 4, From: 10, Until: 20},
+		{Mode: Ramp, Factor: 3, From: 0, Until: 30},
+		{Mode: Flash, Factor: 8, Prob: 0.2},
+		{Mode: Sustained, Factor: 4, From: 5},
+		{Mode: Sustained, Factor: 0.5}, // a dip is a legal load fault
+	}
+	for _, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("Validate rejected %v: %v", f, err)
+		}
+	}
+}
+
+func TestSurgePlaneShapes(t *testing.T) {
+	p := NewPlane(1)
+	if err := p.Add(Fault{Mode: Step, Factor: 4, From: 10, Until: 20}); err != nil {
+		t.Fatal(err)
+	}
+	for round, want := range map[int]float64{0: 1, 9: 1, 10: 4, 19: 4, 20: 1} {
+		if got := p.Multiplier(round); got != want {
+			t.Errorf("step: round %d multiplier %v, want %v", round, got, want)
+		}
+	}
+
+	r := NewPlane(1)
+	if err := r.Add(Fault{Mode: Ramp, Factor: 5, From: 0, Until: 10}); err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for round := 0; round < 10; round++ {
+		m := r.Multiplier(round)
+		if m <= prev {
+			t.Fatalf("ramp not increasing at round %d: %v ≤ %v", round, m, prev)
+		}
+		prev = m
+	}
+	if got := r.Multiplier(9); got != 5 {
+		t.Errorf("ramp peak %v, want 5", got)
+	}
+	if got := r.Multiplier(10); got != 1 {
+		t.Errorf("ramp after window %v, want 1", got)
+	}
+
+	s := NewPlane(1)
+	if err := s.Add(Fault{Mode: Sustained, Factor: 4, From: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Multiplier(2); got != 1 {
+		t.Errorf("sustained before From: %v", got)
+	}
+	if got := s.Multiplier(1000); got != 4 {
+		t.Errorf("sustained runs forever: %v, want 4", got)
+	}
+}
+
+// Flash spikes are deterministic in (seed, round) regardless of call
+// order, and hit roughly Prob of the rounds.
+func TestSurgeFlashDeterministic(t *testing.T) {
+	build := func() *Plane {
+		p := NewPlane(42)
+		if err := p.Add(Fault{Mode: Flash, Factor: 8, Prob: 0.25}); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := build(), build()
+	spikes := 0
+	for round := 0; round < 400; round++ {
+		ma := a.Multiplier(round)
+		if mb := b.Multiplier(399 - round); round == 399-round && ma != mb {
+			t.Fatalf("round %d: call order changed the sample", round)
+		}
+		if ma != b.Multiplier(round) {
+			t.Fatalf("round %d: %v vs %v across identical planes", round, ma, b.Multiplier(round))
+		}
+		if ma == 8 {
+			spikes++
+		} else if ma != 1 {
+			t.Fatalf("round %d: flash multiplier %v is neither 1 nor 8", round, ma)
+		}
+	}
+	if spikes < 50 || spikes > 150 {
+		t.Errorf("flash hit %d/400 rounds, want ≈100", spikes)
+	}
+	if got := a.ExpectedMultiplier(7); math.Abs(got-(1+0.25*7)) > 1e-12 {
+		t.Errorf("flash expected multiplier %v, want %v", got, 1+0.25*7)
+	}
+}
+
+func TestSurgeCompoundAndClamp(t *testing.T) {
+	p := NewPlane(3)
+	if err := p.Add(Fault{Mode: Sustained, Factor: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(Fault{Mode: Step, Factor: 3, From: 0, Until: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Multiplier(0); got != 6 {
+		t.Errorf("compound multiplier %v, want 6", got)
+	}
+	if got := p.Load(0, 0.3); got != 1 {
+		t.Errorf("load must clamp to 1, got %v", got)
+	}
+	if got := p.Load(10, 0.3); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("load 0.3×2 = %v, want 0.6", got)
+	}
+	var nilPlane *Plane
+	if nilPlane.Multiplier(5) != 1 || nilPlane.Load(5, 0.3) != 0.3 || nilPlane.Len() != 0 {
+		t.Error("nil plane must be the identity")
+	}
+	if p.Clone().Multiplier(0) != 6 || len(p.Faults()) != 2 {
+		t.Error("clone/faults lost the plane")
+	}
+}
+
+func TestAIMDControlLaw(t *testing.T) {
+	if _, err := NewAIMD(AIMDConfig{Min: 0.9, Max: 0.5}); err == nil {
+		t.Error("accepted Min > Max")
+	}
+	if _, err := NewAIMD(AIMDConfig{Max: 1.5}); err == nil {
+		t.Error("accepted Max > 1")
+	}
+	if _, err := NewAIMD(AIMDConfig{Decrease: math.NaN()}); err == nil {
+		t.Error("accepted NaN decrease")
+	}
+	a, err := NewAIMD(AIMDConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fraction() != 1.0 {
+		t.Fatalf("controller must start at Max, got %v", a.Fraction())
+	}
+	a.OnCongestion()
+	if a.Fraction() != 0.5 {
+		t.Fatalf("multiplicative decrease: %v, want 0.5", a.Fraction())
+	}
+	a.OnClean()
+	if math.Abs(a.Fraction()-0.55) > 1e-12 {
+		t.Fatalf("additive increase: %v, want 0.55", a.Fraction())
+	}
+	for i := 0; i < 100; i++ {
+		a.OnCongestion()
+	}
+	if a.Fraction() != 0.1 {
+		t.Fatalf("decrease must floor at Min, got %v", a.Fraction())
+	}
+	if a.Cap(20) != 2 {
+		t.Fatalf("cap at min fraction: %d, want 2", a.Cap(20))
+	}
+	if a.Cap(1) != 1 {
+		t.Fatal("cap must never starve a live fabric")
+	}
+	if a.Cap(0) != 0 {
+		t.Fatal("cap over a dead fabric must be 0")
+	}
+	for i := 0; i < 100; i++ {
+		a.OnClean()
+	}
+	if a.Fraction() != 1.0 {
+		t.Fatalf("increase must ceil at Max, got %v", a.Fraction())
+	}
+	if a.Decreases() != 101 || a.Increases() != 101 {
+		t.Errorf("ledger %d/%d, want 101/101", a.Decreases(), a.Increases())
+	}
+}
+
+func TestCoDelValidate(t *testing.T) {
+	if err := (CoDelConfig{Target: 8, Interval: 8}).Validate(); err == nil {
+		t.Error("accepted target == interval")
+	}
+	if err := (CoDelConfig{Target: 9, Interval: 8}).Validate(); err == nil {
+		t.Error("accepted target > interval")
+	}
+	if err := (CoDelConfig{Target: -1, Interval: 8}).Validate(); err == nil {
+		t.Error("accepted negative target")
+	}
+	if err := (CoDelConfig{}).Validate(); err != nil {
+		t.Errorf("rejected defaults: %v", err)
+	}
+}
+
+func TestCoDelDrainEpisode(t *testing.T) {
+	c, err := NewCoDel(CoDelConfig{Target: 2, Interval: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sojourn below target: never drops.
+	for round := 0; round < 10; round++ {
+		if c.Drop(round, 1) {
+			t.Fatalf("round %d: dropped under target", round)
+		}
+	}
+	// Sojourn above target: the interval must elapse first.
+	for round := 10; round < 14; round++ {
+		if c.Drop(round, 5) {
+			t.Fatalf("round %d: dropped before the interval elapsed", round)
+		}
+	}
+	if !c.Drop(14, 5) {
+		t.Fatal("drain must open after a full interval above target")
+	}
+	if c.Episodes() != 1 {
+		t.Fatalf("episodes = %d, want 1", c.Episodes())
+	}
+	// While draining, drops recur on the accelerating schedule.
+	dropped := 1
+	for round := 15; round < 40; round++ {
+		for c.Drop(round, 5) {
+			dropped++
+		}
+	}
+	if dropped < 5 {
+		t.Fatalf("persistent overload drained only %d heads", dropped)
+	}
+	// Recovery closes the episode; the next one re-arms from scratch.
+	if c.Drop(40, 1) {
+		t.Fatal("dropped after recovery")
+	}
+	for round := 41; round < 45; round++ {
+		if c.Drop(round, 3) {
+			t.Fatalf("round %d: new episode must re-arm the interval", round)
+		}
+	}
+	if c.Dropped() != dropped {
+		t.Fatalf("ledger %d, want %d", c.Dropped(), dropped)
+	}
+}
+
+func TestRetryBudgetTokens(t *testing.T) {
+	if _, err := NewRetryBudget(RetryConfig{Budget: -1}); err == nil {
+		t.Error("accepted negative budget")
+	}
+	if _, err := NewRetryBudget(RetryConfig{BackoffBase: 8, BackoffCap: 2}); err == nil {
+		t.Error("accepted cap below base")
+	}
+	b, err := NewRetryBudget(RetryConfig{Budget: 0.5, Burst: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn the initial burst.
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("initial burst must allow retries")
+	}
+	if b.Allow() {
+		t.Fatal("empty bucket must fail fast")
+	}
+	// Two fresh offers earn one retry at budget 0.5.
+	b.Earn()
+	if b.Allow() {
+		t.Fatal("half a token is not a retry")
+	}
+	b.Earn()
+	if !b.Allow() {
+		t.Fatal("earned token must admit a retry")
+	}
+	if b.Allowed() != 3 || b.Denied() != 2 {
+		t.Errorf("ledger %d/%d, want 3/2", b.Allowed(), b.Denied())
+	}
+	// Bucket saturates at Burst.
+	for i := 0; i < 100; i++ {
+		b.Earn()
+	}
+	if b.Tokens() != 2 {
+		t.Errorf("bucket %v, want burst cap 2", b.Tokens())
+	}
+}
+
+func TestRetryBackoffJitterBounds(t *testing.T) {
+	b, err := NewRetryBudget(RetryConfig{BackoffBase: 2, BackoffCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		for attempt, window := range map[int]int{1: 2, 2: 4, 3: 8, 4: 16, 5: 16, 40: 16} {
+			d := b.Backoff(attempt, rng)
+			if d < 1 || d > window {
+				t.Fatalf("attempt %d: backoff %d outside [1,%d]", attempt, d, window)
+			}
+			if attempt == 4 {
+				seen[d] = true
+			}
+		}
+	}
+	if len(seen) < 12 {
+		t.Errorf("full jitter must spread the window, saw only %d/16 values", len(seen))
+	}
+}
+
+func TestBrownoutStateMachine(t *testing.T) {
+	if _, err := NewBrownout(BrownoutConfig{Step: 1.5}); err == nil {
+		t.Error("accepted step ≥ 1")
+	}
+	b, err := NewBrownout(BrownoutConfig{EnterAfter: 3, ExitAfter: 4, Step: 0.5, MaxLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two congested rounds then a clean one: streak resets, no entry.
+	b.Observe(true)
+	b.Observe(true)
+	b.Observe(false)
+	if b.Level() != 0 {
+		t.Fatal("entered before EnterAfter consecutive congested rounds")
+	}
+	// Three consecutive congested rounds step down one level.
+	for i := 0; i < 3; i++ {
+		b.Observe(true)
+	}
+	if b.Level() != 1 || b.Scale() != 0.5 {
+		t.Fatalf("level %d scale %v, want 1 and 0.5", b.Level(), b.Scale())
+	}
+	// Descent is bounded by MaxLevel.
+	for i := 0; i < 20; i++ {
+		b.Observe(true)
+	}
+	if b.Level() != 2 || b.Scale() != 0.25 {
+		t.Fatalf("level %d scale %v, want max 2 and 0.25", b.Level(), b.Scale())
+	}
+	// Recovery steps up one level per full clean window.
+	for i := 0; i < 4; i++ {
+		b.Observe(false)
+	}
+	if b.Level() != 1 {
+		t.Fatalf("level %d after one clean window, want 1", b.Level())
+	}
+	for i := 0; i < 4; i++ {
+		b.Observe(false)
+	}
+	if b.Level() != 0 {
+		t.Fatalf("level %d after two clean windows, want 0", b.Level())
+	}
+	if b.Enters() != 2 || b.Exits() != 2 {
+		t.Errorf("transition ledger %d/%d, want 2/2", b.Enters(), b.Exits())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("rejected defaults: %v", err)
+	}
+	if err := (Config{BacklogFactor: 0.5}).Validate(); err == nil {
+		t.Error("accepted backlog factor < 1")
+	}
+	if err := (Config{AIMD: AIMDConfig{Min: 0.9, Max: 0.2}}).Validate(); err == nil {
+		t.Error("accepted bad AIMD bounds")
+	}
+	if err := (Config{Brownout: BrownoutConfig{MaxLevel: -1}}).Validate(); err == nil {
+		t.Error("accepted negative brownout level")
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"concentrators/internal/health"
 	"concentrators/internal/link"
 	"concentrators/internal/nearsort"
+	"concentrators/internal/overload"
 	"concentrators/internal/switchsim"
 	"concentrators/internal/timing"
 )
@@ -130,6 +131,13 @@ type Config struct {
 	// Slow calibrates the relative-percentile slow-replica detector.
 	// Zero fields take the health package defaults.
 	Slow health.SlowConfig
+	// Overload, when non-nil, closes the admission loop: the static
+	// ⌊α′m′⌋ gate becomes AIMD on the admitted fraction (driven by
+	// per-round deadline-miss and client-backlog congestion signals),
+	// and sustained overload steps the advertised contract down through
+	// the brownout state machine (and back up through its probation
+	// window). Nil keeps the open-loop static gate.
+	Overload *overload.Config
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -164,6 +172,13 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if err := c.Slow.Validate(); err != nil {
 		return c, err
+	}
+	if c.Overload != nil {
+		if err := c.Overload.Validate(); err != nil {
+			return c, err
+		}
+		ov := c.Overload.WithDefaults()
+		c.Overload = &ov
 	}
 	return c, nil
 }
@@ -302,7 +317,28 @@ type Stats struct {
 	// LinksQuarantined counts output wires convicted by replica link
 	// monitors and folded into degraded serving contracts.
 	LinksQuarantined int
-	Replicas         []ReplicaStats
+	// AdmitFraction is the closed-loop controller's current admitted
+	// fraction of the live threshold (1 when the controller is off).
+	AdmitFraction float64
+	// BrownoutLevel is the current contract-degradation level (0 =
+	// nominal); BrownoutEnters and BrownoutExits are the booked
+	// step-down and step-up transitions.
+	BrownoutLevel, BrownoutEnters, BrownoutExits int
+	// CongestedRounds counts rounds the overload congestion signal
+	// (deadline miss, contract violation, or client backlog over the
+	// configured factor of the threshold) fired.
+	CongestedRounds int
+	Replicas        []ReplicaStats
+}
+
+// MeanRetryAfter returns the mean retry-after advertised per shed
+// message — RetryAfterTotal spread over Shed — or 0 when nothing was
+// shed.
+func (s Stats) MeanRetryAfter() float64 {
+	if s.Shed == 0 {
+		return 0
+	}
+	return float64(s.RetryAfterTotal) / float64(s.Shed)
 }
 
 // ShedMessage records one admission-control rejection.
@@ -363,6 +399,13 @@ type Pool struct {
 	// detector over per-replica latencies.
 	lat  timing.Histogram
 	slow *health.SlowDetector
+	// Closed-loop overload control (nil when Config.Overload is nil):
+	// aimd caps the admitted fraction, brown steps the advertised
+	// contract down under sustained congestion, and clientBacklog is
+	// the latest queue depth clients reported via NoteBacklog.
+	aimd          *overload.AIMD
+	brown         *overload.Brownout
+	clientBacklog int
 }
 
 // New builds a pool over the given switches: the first is the initial
@@ -385,6 +428,17 @@ func New(cfg Config, switches ...core.FaultInjectable) (*Pool, error) {
 		return nil, fmt.Errorf("pool: %w", err)
 	}
 	p.slow = slow
+	if cfg.Overload != nil {
+		aimd, err := overload.NewAIMD(cfg.Overload.AIMD)
+		if err != nil {
+			return nil, fmt.Errorf("pool: %w", err)
+		}
+		brown, err := overload.NewBrownout(cfg.Overload.Brownout)
+		if err != nil {
+			return nil, fmt.Errorf("pool: %w", err)
+		}
+		p.aimd, p.brown = aimd, brown
+	}
 	for i, sw := range switches {
 		if sw == nil {
 			return nil, fmt.Errorf("pool: replica %d is nil", i)
@@ -428,7 +482,7 @@ func (p *Pool) Threshold() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if best := p.bestLocked(nil); best >= 0 {
-		return p.replicas[best].threshold()
+		return p.effectiveThresholdLocked(p.replicas[best].threshold())
 	}
 	return 0
 }
@@ -452,6 +506,13 @@ func (p *Pool) Stats() Stats {
 		}
 	}
 	s.Latency = p.lat.Snapshot()
+	s.AdmitFraction = 1
+	if p.aimd != nil {
+		s.AdmitFraction = p.aimd.Fraction()
+		s.BrownoutLevel = p.brown.Level()
+		s.BrownoutEnters = p.brown.Enters()
+		s.BrownoutExits = p.brown.Exits()
+	}
 	return s
 }
 
@@ -706,21 +767,73 @@ func (p *Pool) electLocked() {
 	}
 }
 
-// admit applies Lemma 2 admission control: at most thr messages enter
-// (in input order); the rest are shed with a retry-after that backs off
-// exponentially over consecutive shedding rounds.
-func (p *Pool) admit(inputs []int, thr int) (admitted []int, shed []ShedMessage) {
+// admit applies Lemma 2 admission control: at most thr messages enter;
+// the rest are shed with a retry-after that backs off exponentially
+// over consecutive shedding rounds. The admission window rotates with
+// the round (a round-robin arbiter): under persistent overload every
+// input takes its fair turn at being shed, instead of a fixed
+// input-order priority that starves the high wires forever.
+func (p *Pool) admit(inputs []int, thr int, round int64) (admitted []int, shed []ShedMessage) {
 	if len(inputs) <= thr {
 		p.shedStreak = 0
 		return inputs, nil
 	}
 	p.shedStreak++
 	retryAfter := min(1<<min(p.shedStreak-1, 10), p.cfg.RetryAfterCap)
-	for _, in := range inputs[thr:] {
+	offset := int(round % int64(p.n))
+	order := append([]int(nil), inputs...)
+	rot := func(in int) int { return ((in-offset)%p.n + p.n) % p.n }
+	sort.Slice(order, func(i, j int) bool { return rot(order[i]) < rot(order[j]) })
+	admitted = order[:thr]
+	sort.Ints(admitted)
+	for _, in := range order[thr:] {
 		shed = append(shed, ShedMessage{Input: in, RetryAfter: retryAfter})
 		p.stats.RetryAfterTotal += retryAfter
 	}
-	return inputs[:thr], shed
+	sort.Slice(shed, func(i, j int) bool { return shed[i].Input < shed[j].Input })
+	return admitted, shed
+}
+
+// effectiveThresholdLocked applies the closed-loop overload control to
+// a replica's live ⌊α′m′⌋: the brownout scale steps the advertised
+// contract down under sustained congestion, then the AIMD fraction
+// caps what admission may pass this round. Without Config.Overload it
+// is the identity.
+func (p *Pool) effectiveThresholdLocked(thr int) int {
+	if thr <= 0 {
+		return thr
+	}
+	if p.brown != nil {
+		thr = int(math.Floor(float64(thr) * p.brown.Scale()))
+		if thr < 1 {
+			thr = 1
+		}
+	}
+	if p.aimd != nil {
+		thr = p.aimd.Cap(thr)
+	}
+	return thr
+}
+
+// observeOverloadLocked feeds one round's verdict into the closed
+// loop: a congested round (deadline miss, contract violation, or
+// client backlog above the configured factor of the live threshold)
+// decreases the AIMD fraction multiplicatively and advances the
+// brownout entry streak; a clean round increases additively and
+// advances the brownout probation window.
+func (p *Pool) observeOverloadLocked(thr int, deadlineMissed, violated bool) {
+	if p.aimd == nil {
+		return
+	}
+	congested := deadlineMissed || violated ||
+		float64(p.clientBacklog) > p.cfg.Overload.BacklogFactor*float64(thr)
+	if congested {
+		p.stats.CongestedRounds++
+		p.aimd.OnCongestion()
+	} else {
+		p.aimd.OnClean()
+	}
+	p.brown.Observe(congested)
 }
 
 // Run executes one pool round over the given messages: half-open
@@ -755,7 +868,7 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 	rr := &RoundResult{Round: round, ServedBy: -1}
 	if !p.replicas[p.active].servable() {
 		// No servable replica at all: everything is refused.
-		_, rr.Shed = p.admit(inputs, 0)
+		_, rr.Shed = p.admit(inputs, 0, round)
 		p.stats.Shed += len(rr.Shed)
 		if len(msgs) > 0 {
 			rr.Violated = true
@@ -764,8 +877,9 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 		return rr, nil
 	}
 
-	thr := p.replicas[p.active].threshold()
-	admittedInputs, shed := p.admit(inputs, thr)
+	rawThr := p.replicas[p.active].threshold()
+	thr := p.effectiveThresholdLocked(rawThr)
+	admittedInputs, shed := p.admit(inputs, thr, round)
 	rr.Threshold = thr
 	rr.Shed = shed
 	p.stats.Admitted += len(admittedInputs)
@@ -825,13 +939,14 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 			rr.Latency = wlat
 			rr.Result = wres
 			rr.ServedBy = winner.id
-			rr.Threshold = winner.threshold()
+			rr.Threshold = p.effectiveThresholdLocked(winner.threshold())
 			p.stats.Delivered += len(wres.Delivered)
 			if p.cfg.Deadline > 0 && wlat > p.cfg.Deadline {
 				rr.DeadlineMissed = true
 				p.stats.DeadlineMissed += len(wres.Delivered)
 			}
 			p.sweepSlowLocked(round)
+			p.observeOverloadLocked(rawThr, rr.DeadlineMissed, false)
 			return rr, nil
 		}
 		p.noteViolation(r, round)
@@ -846,6 +961,7 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 				rr.ServedBy = r.id
 				p.stats.Delivered += len(res.Delivered)
 			}
+			p.observeOverloadLocked(rawThr, false, true)
 			return rr, nil
 		}
 		p.active = next
@@ -873,7 +989,7 @@ func (p *Pool) Route(valid *bitvec.Vector) ([]int, error) {
 	p.electLocked()
 
 	if !p.replicas[p.active].servable() {
-		_, shed := p.admit(inputs, 0)
+		_, shed := p.admit(inputs, 0, round)
 		p.stats.Shed += len(shed)
 		if len(inputs) > 0 {
 			p.stats.Violations++
@@ -885,8 +1001,9 @@ func (p *Pool) Route(valid *bitvec.Vector) ([]int, error) {
 		return out, nil
 	}
 
-	thr := p.replicas[p.active].threshold()
-	admittedInputs, shed := p.admit(inputs, thr)
+	rawThr := p.replicas[p.active].threshold()
+	thr := p.effectiveThresholdLocked(rawThr)
+	admittedInputs, shed := p.admit(inputs, thr, round)
 	p.stats.Admitted += len(admittedInputs)
 	p.stats.Shed += len(shed)
 	admitted := bitvec.New(p.n)
@@ -914,6 +1031,7 @@ func (p *Pool) Route(valid *bitvec.Vector) ([]int, error) {
 					p.stats.Delivered++
 				}
 			}
+			p.observeOverloadLocked(rawThr, false, false)
 			return out, nil
 		}
 		p.noteViolation(r, round)
@@ -921,6 +1039,7 @@ func (p *Pool) Route(valid *bitvec.Vector) ([]int, error) {
 		next := p.bestLocked(tried)
 		if next < 0 {
 			p.stats.Violations++
+			p.observeOverloadLocked(rawThr, false, true)
 			if err != nil {
 				return nil, err
 			}

@@ -457,9 +457,14 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 		}
 
 		// 3. Arrivals join their input's queue (a quarantined input
-		// refuses them: its wire is out of service).
+		// refuses them: its wire is out of service), at the surge
+		// plane's multiplied load.
+		load := cfg.Load
+		if cfg.Surge != nil {
+			load = cfg.Surge.Load(round, cfg.Load)
+		}
 		for in := 0; in < n; in++ {
-			if rng.Float64() >= cfg.Load {
+			if rng.Float64() >= load {
 				continue
 			}
 			s := senders[in]
@@ -708,6 +713,7 @@ func runIntegritySession(sw core.Concentrator, cfg SessionConfig) (*SessionStats
 			}
 		}
 	}
+	stats.FinalBacklog = ist.FinalBacklog
 	for _, e := range ests {
 		ist.RTTSamples += e.Samples()
 		ist.KarnRejected += e.Rejected()

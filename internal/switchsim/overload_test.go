@@ -1,0 +1,198 @@
+package switchsim
+
+import (
+	"fmt"
+	"testing"
+
+	"concentrators/internal/link"
+	"concentrators/internal/overload"
+)
+
+// surgeShapes builds one plane per overload shape, all oversubscribing
+// a 16-input switch with threshold 4 well past its contract.
+func surgeShapes() map[string]*overload.Plane {
+	shapes := map[string]overload.Fault{
+		"step":      {Mode: overload.Step, Factor: 4, From: 10, Until: 40},
+		"ramp":      {Mode: overload.Ramp, Factor: 4, From: 0, Until: 60},
+		"flash":     {Mode: overload.Flash, Factor: 6, Prob: 0.3},
+		"sustained": {Mode: overload.Sustained, Factor: 4, From: 5},
+	}
+	out := make(map[string]*overload.Plane, len(shapes))
+	for name, f := range shapes {
+		p := overload.NewPlane(int64(len(name)))
+		if err := p.Add(f); err != nil {
+			panic(err)
+		}
+		out[name] = p
+	}
+	return out
+}
+
+// TestSessionValidateOverloadKnobs pins the rejection of every invalid
+// combination the new overload knobs introduce.
+func TestSessionValidateOverloadKnobs(t *testing.T) {
+	base := func() SessionConfig {
+		return SessionConfig{Policy: Resend, Load: 0.5, Rounds: 10, PayloadBits: 4, AckDelay: 1}
+	}
+	retry := &overload.RetryConfig{Budget: 0.5}
+	codel := &overload.CoDelConfig{Target: 2, Interval: 8}
+
+	for _, tc := range []struct {
+		name   string
+		mutate func(*SessionConfig)
+	}{
+		{"retry budget under drop", func(c *SessionConfig) { c.Policy, c.AckDelay, c.RetryBudget = Drop, 0, retry }},
+		{"retry budget under buffer", func(c *SessionConfig) { c.Policy, c.AckDelay, c.RetryBudget = Buffer, 0, retry }},
+		{"retry budget under misroute", func(c *SessionConfig) { c.Policy, c.AckDelay, c.RetryBudget = Misroute, 0, retry }},
+		{"retry budget on integrity session", func(c *SessionConfig) {
+			c.Integrity, c.RetryBudget = &IntegrityConfig{CRC: link.CRC8}, retry
+		}},
+		{"negative retry budget", func(c *SessionConfig) { c.RetryBudget = &overload.RetryConfig{Budget: -1} }},
+		{"backoff cap below base", func(c *SessionConfig) {
+			c.RetryBudget = &overload.RetryConfig{BackoffBase: 8, BackoffCap: 2}
+		}},
+		{"codel under drop", func(c *SessionConfig) { c.Policy, c.AckDelay, c.CoDel = Drop, 0, codel }},
+		{"codel under misroute", func(c *SessionConfig) { c.Policy, c.AckDelay, c.CoDel = Misroute, 0, codel }},
+		{"codel on integrity session", func(c *SessionConfig) {
+			c.Integrity, c.CoDel = &IntegrityConfig{CRC: link.CRC8}, codel
+		}},
+		{"codel target at interval", func(c *SessionConfig) { c.CoDel = &overload.CoDelConfig{Target: 8, Interval: 8} }},
+		{"codel target above interval", func(c *SessionConfig) { c.CoDel = &overload.CoDelConfig{Target: 9, Interval: 4} }},
+	} {
+		cfg := base()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, cfg)
+		}
+	}
+
+	// The valid combinations must still pass.
+	ok := base()
+	ok.Surge = surgeShapes()["sustained"]
+	ok.RetryBudget = retry
+	ok.CoDel = codel
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid overload config rejected: %v", err)
+	}
+	buf := base()
+	buf.Policy, buf.AckDelay = Buffer, 0
+	buf.CoDel = codel
+	if err := buf.Validate(); err != nil {
+		t.Errorf("buffer+codel rejected: %v", err)
+	}
+}
+
+// TestSurgeConservationProperty holds the extended conservation law
+//
+//	Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed
+//	        + Shed + FinalBacklog
+//
+// across every surge shape × policy/knob combination, in parallel so
+// the -race CI run exercises it concurrently.
+func TestSurgeConservationProperty(t *testing.T) {
+	for name, plane := range surgeShapes() {
+		for _, tc := range []struct {
+			label string
+			cfg   SessionConfig
+		}{
+			{"drop", SessionConfig{Policy: Drop, Load: 0.4, Rounds: 120, PayloadBits: 4, Deadline: 6}},
+			{"misroute", SessionConfig{Policy: Misroute, Load: 0.4, Rounds: 120, PayloadBits: 4, Deadline: 6}},
+			{"resend-openloop", SessionConfig{Policy: Resend, Load: 0.4, Rounds: 120, PayloadBits: 4, AckDelay: 2, Deadline: 6}},
+			{"resend-budgeted", SessionConfig{
+				Policy: Resend, Load: 0.4, Rounds: 120, PayloadBits: 4, AckDelay: 2, Deadline: 6,
+				RetryBudget: &overload.RetryConfig{Budget: 0.3, BackoffBase: 1, BackoffCap: 8},
+				CoDel:       &overload.CoDelConfig{Target: 3, Interval: 6},
+			}},
+			{"buffer-codel", SessionConfig{
+				Policy: Buffer, Load: 0.4, Rounds: 120, PayloadBits: 4, Deadline: 6,
+				CoDel: &overload.CoDelConfig{Target: 3, Interval: 6},
+			}},
+		} {
+			cfg := tc.cfg
+			cfg.Seed = int64(41 + len(tc.label))
+			cfg.Surge = plane
+			t.Run(fmt.Sprintf("%s/%s", name, tc.label), func(t *testing.T) {
+				t.Parallel()
+				stats, err := RunSession(smallSwitch(t), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := stats.Delivered + stats.Dropped + stats.CorruptedDropped +
+					stats.DeadlineMissed + stats.Shed + stats.FinalBacklog
+				if got != stats.Offered {
+					t.Fatalf("conservation violated: offered %d != delivered %d + dropped %d + corrupted %d + missed %d + shed %d + backlog %d",
+						stats.Offered, stats.Delivered, stats.Dropped, stats.CorruptedDropped,
+						stats.DeadlineMissed, stats.Shed, stats.FinalBacklog)
+				}
+				if stats.Offered == 0 {
+					t.Fatal("surge session offered nothing")
+				}
+			})
+		}
+	}
+}
+
+// An integrity session under surge keeps the same law (with the
+// CorruptedDropped term live) and mirrors its ARQ backlog into the
+// session-level FinalBacklog.
+func TestSurgeIntegrityConservation(t *testing.T) {
+	plane := surgeShapes()["sustained"]
+	cp := link.NewCorruptionPlane(7)
+	if err := cp.Add(link.WireFault{Stage: link.AllStages, Wire: link.AllWires, Mode: link.WireBitFlip, BER: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := RunSession(smallSwitch(t), SessionConfig{
+		Policy: Resend, Load: 0.4, Rounds: 120, PayloadBits: 16, Seed: 11, AckDelay: 1,
+		Surge: plane,
+		Integrity: &IntegrityConfig{
+			CRC: link.CRC8, Window: 4, MaxRetransmits: 3, Corruption: cp,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stats.Delivered + stats.Dropped + stats.CorruptedDropped +
+		stats.DeadlineMissed + stats.Shed + stats.FinalBacklog
+	if got != stats.Offered {
+		t.Fatalf("integrity conservation violated: offered %d, accounted %d", stats.Offered, got)
+	}
+	if stats.FinalBacklog != stats.Integrity.FinalBacklog {
+		t.Fatalf("session FinalBacklog %d != integrity FinalBacklog %d", stats.FinalBacklog, stats.Integrity.FinalBacklog)
+	}
+	if stats.Shed != 0 {
+		t.Fatalf("integrity sessions have no shed path, got %d", stats.Shed)
+	}
+}
+
+// The budget and drain actually bite: under a sustained 4× surge the
+// budgeted session sheds, keeps its backlog bounded, and never
+// inflates the books.
+func TestRetryBudgetShedsUnderSurge(t *testing.T) {
+	plane := surgeShapes()["sustained"]
+	open, err := RunSession(smallSwitch(t), SessionConfig{
+		Policy: Resend, Load: 0.5, Rounds: 200, PayloadBits: 4, Seed: 3, AckDelay: 1, Surge: plane,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed, err := RunSession(smallSwitch(t), SessionConfig{
+		Policy: Resend, Load: 0.5, Rounds: 200, PayloadBits: 4, Seed: 3, AckDelay: 1, Surge: plane,
+		RetryBudget: &overload.RetryConfig{Budget: 0.2, BackoffBase: 1, BackoffCap: 8},
+		CoDel:       &overload.CoDelConfig{Target: 2, Interval: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Shed != 0 {
+		t.Fatalf("open loop has no shed path, got %d", open.Shed)
+	}
+	if closed.Shed == 0 {
+		t.Fatal("budgeted session under 4× surge never shed")
+	}
+	if closed.MaxBacklog >= open.MaxBacklog {
+		t.Fatalf("closed-loop backlog %d not below open-loop %d", closed.MaxBacklog, open.MaxBacklog)
+	}
+	if closed.Retries >= open.Retries {
+		t.Fatalf("budget did not curb retries: %d vs %d", closed.Retries, open.Retries)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"concentrators/internal/core"
+	"concentrators/internal/overload"
 )
 
 // Policy is a congestion-control discipline for messages that a
@@ -79,6 +80,26 @@ type SessionConfig struct {
 	// over the Resend ack machinery, and per-link corruption tracking.
 	// Requires Policy == Resend (ARQ *is* the resend protocol).
 	Integrity *IntegrityConfig
+	// Surge, when non-nil, is the overload fault plane: each round's
+	// arrival probability is Load multiplied by the plane's (seeded,
+	// deterministic) surge multiplier, clamped to [0, 1]. Composes with
+	// every policy, including Integrity sessions.
+	Surge *overload.Plane
+	// CoDel, when non-nil, drains the Resend/Buffer backlog with the
+	// controlled-delay rule: once backlog age exceeds the target for a
+	// full interval, queue heads are shed (booked Shed) instead of
+	// buffering without bound. Only the Resend and Buffer policies have
+	// a backlog to drain; Integrity sessions have their own ARQ
+	// retransmit budget and cannot carry it.
+	CoDel *overload.CoDelConfig
+	// RetryBudget, when non-nil, puts the Resend clients on a retry
+	// budget with jittered exponential backoff: a congestion drop
+	// re-offers only while the token bucket has credit (earned by
+	// fresh offers) and waits a full-jitter exponential backoff instead
+	// of the fixed ack round trip; over budget, the message is shed.
+	// Requires Policy == Resend (only resend has client retries);
+	// Integrity sessions have their own ARQ budget and cannot carry it.
+	RetryBudget *overload.RetryConfig
 }
 
 // Validate rejects configurations that would previously have been
@@ -113,6 +134,35 @@ func (cfg SessionConfig) Validate() error {
 			return err
 		}
 	}
+	if cfg.Surge != nil {
+		for _, f := range cfg.Surge.Faults() {
+			if err := f.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.CoDel != nil {
+		if cfg.Policy != Resend && cfg.Policy != Buffer {
+			return fmt.Errorf("switchsim: CoDel drains a retry or buffer backlog; policy %s has none", cfg.Policy)
+		}
+		if cfg.Integrity != nil {
+			return fmt.Errorf("switchsim: CoDel cannot ride an integrity session (ARQ has its own retransmit budget)")
+		}
+		if err := cfg.CoDel.Validate(); err != nil {
+			return err
+		}
+	}
+	if cfg.RetryBudget != nil {
+		if cfg.Policy != Resend {
+			return fmt.Errorf("switchsim: a retry budget needs the resend policy's client retries; policy %s has none", cfg.Policy)
+		}
+		if cfg.Integrity != nil {
+			return fmt.Errorf("switchsim: a retry budget cannot ride an integrity session (ARQ has its own retransmit budget)")
+		}
+		if err := cfg.RetryBudget.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -130,10 +180,15 @@ type SessionStats struct {
 	// Deadline budget: delivered by the fabric, lost to the SLO. They
 	// are never counted in Delivered; the extended conservation law is
 	// Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed
-	// + FinalBacklog.
+	// + Shed + FinalBacklog.
 	DeadlineMissed int
-	Refused        int // arrivals refused because the input was occupied (Buffer)
-	Retries        int // re-offered attempts (Resend/Buffer)
+	// Shed counts messages the overload machinery gave up on: retries
+	// denied by the RetryBudget token bucket plus backlog heads drained
+	// by the CoDel sojourn rule. Disjoint from Dropped (the fabric
+	// never permanently lost them — the control plane chose to).
+	Shed    int
+	Refused int // arrivals refused because the input was occupied (Buffer)
+	Retries int // re-offered attempts (Resend/Buffer)
 	// RetriedDelivered counts delivered messages that needed more than
 	// one offer to the switch — the slice of Delivered whose latency
 	// includes retry round trips.
@@ -161,6 +216,10 @@ type SessionStats struct {
 	// DeliveredPerRound[r] is the number of messages delivered in
 	// round r.
 	DeliveredPerRound []int
+	// FinalBacklog counts messages still waiting (retry pool, buffers,
+	// or ARQ queues/windows) when the session ended — the closing term
+	// of the conservation law.
+	FinalBacklog int
 	// Integrity carries the wire-level integrity observability; nil
 	// unless the session ran with SessionConfig.Integrity.
 	Integrity *IntegrityStats
@@ -286,12 +345,67 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 	n := sw.Inputs()
 	stats := newSessionStats(cfg)
 
+	var budget *overload.RetryBudget
+	if cfg.RetryBudget != nil {
+		b, err := overload.NewRetryBudget(*cfg.RetryBudget)
+		if err != nil {
+			return nil, err
+		}
+		budget = b
+	}
+	var codel *overload.CoDel
+	if cfg.CoDel != nil {
+		c, err := overload.NewCoDel(*cfg.CoDel)
+		if err != nil {
+			return nil, err
+		}
+		codel = c
+	}
+
 	// waiting[input] = message occupying that input (Buffer), or the
 	// retry pool (Resend).
 	buffered := make(map[int]*pendingMsg) // Buffer policy: keyed by input
 	var retryPool []*pendingMsg           // Resend policy
 
 	for round := 0; round < cfg.Rounds; round++ {
+		// The CoDel drain runs before this round's offers: queue heads
+		// (oldest first, ties by input) are shed while the sojourn rule
+		// says the backlog has stood above target for a full interval.
+		if codel != nil {
+			switch cfg.Policy {
+			case Resend:
+				for len(retryPool) > 0 {
+					oi := 0
+					for i, pm := range retryPool {
+						o := retryPool[oi]
+						if pm.firstRound < o.firstRound || (pm.firstRound == o.firstRound && pm.input < o.input) {
+							oi = i
+						}
+					}
+					if !codel.Drop(round, round-retryPool[oi].firstRound) {
+						break
+					}
+					retryPool = append(retryPool[:oi], retryPool[oi+1:]...)
+					stats.Shed++
+				}
+			case Buffer:
+				for len(buffered) > 0 {
+					oin := -1
+					for in, pm := range buffered {
+						if oin == -1 || pm.firstRound < buffered[oin].firstRound ||
+							(pm.firstRound == buffered[oin].firstRound && in < oin) {
+							oin = in
+						}
+					}
+					if !codel.Drop(round, round-buffered[oin].firstRound) {
+						break
+					}
+					delete(buffered, oin)
+					stats.Shed++
+				}
+			}
+		}
+
 		offered := map[int]*pendingMsg{}
 		// busy marks inputs whose sender is still blocked on an
 		// unacknowledged message that is not yet eligible to retry.
@@ -347,9 +461,13 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 			retryPool = stillWaiting
 		}
 
-		// New arrivals.
+		// New arrivals, at the surge plane's multiplied load.
+		load := cfg.Load
+		if cfg.Surge != nil {
+			load = cfg.Surge.Load(round, cfg.Load)
+		}
 		for in := 0; in < n; in++ {
-			if rng.Float64() >= cfg.Load {
+			if rng.Float64() >= load {
 				continue
 			}
 			if offered[in] != nil || busy[in] {
@@ -358,6 +476,9 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 			}
 			offered[in] = &pendingMsg{input: in, firstRound: round}
 			stats.Offered++
+			if budget != nil {
+				budget.Earn()
+			}
 		}
 
 		if len(offered) > stats.MaxOffered {
@@ -398,7 +519,18 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 			case Drop:
 				stats.Dropped++
 			case Resend:
+				if budget != nil && !budget.Allow() {
+					// Over the retry budget: fail fast instead of
+					// feeding the storm. The input wire is freed.
+					stats.Shed++
+					continue
+				}
 				pm.eligible = round + 1 + cfg.AckDelay
+				if budget != nil {
+					// Full-jitter exponential backoff desynchronizes
+					// the shed cohort (Backoff ≥ 1 keeps the ack RTT).
+					pm.eligible = round + cfg.AckDelay + budget.Backoff(pm.offers, rng)
+				}
 				retryPool = append(retryPool, pm)
 			case Misroute:
 				retryPool = append(retryPool, pm)
@@ -410,5 +542,6 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 			stats.MaxBacklog = w
 		}
 	}
+	stats.FinalBacklog = len(retryPool) + len(buffered)
 	return stats, nil
 }

@@ -62,13 +62,54 @@ func (f FixedCount) Pattern(rng *rand.Rand, n int) *bitvec.Vector {
 // Bursty produces contiguous runs of valid bits: processors that issue
 // messages in batches. Runs of geometric mean length BurstLen are
 // placed until the target Load fraction is reached.
+//
+// BurstRounds/IdleRounds add an optional temporal phase on top of the
+// spatial bursts: each period of BurstRounds+IdleRounds rounds offers
+// Load for its first BurstRounds rounds and nothing for the rest —
+// the on/off traffic that overload controllers must ride out. Both
+// zero means every round offers Load.
 type Bursty struct {
 	Load     float64
 	BurstLen int
+	// BurstRounds is the length of each period's active phase, in
+	// rounds. 0 with IdleRounds 0 means always active.
+	BurstRounds int
+	// IdleRounds is the length of each period's silent phase.
+	IdleRounds int
 }
 
 // Name implements Generator.
-func (b Bursty) Name() string { return fmt.Sprintf("bursty(%.2f,len=%d)", b.Load, b.BurstLen) }
+func (b Bursty) Name() string {
+	if b.BurstRounds > 0 || b.IdleRounds > 0 {
+		return fmt.Sprintf("bursty(%.2f,len=%d,on=%d,off=%d)", b.Load, b.BurstLen, b.BurstRounds, b.IdleRounds)
+	}
+	return fmt.Sprintf("bursty(%.2f,len=%d)", b.Load, b.BurstLen)
+}
+
+// ExpectedLoad is the load fraction round offers under the temporal
+// phase: Load during the first BurstRounds rounds of each
+// BurstRounds+IdleRounds period, 0 during the idle tail. With no
+// phase configured every round offers Load. The expected offered k on
+// an n-input switch is ExpectedLoad(round) × n.
+func (b Bursty) ExpectedLoad(round int) float64 {
+	period := b.BurstRounds + b.IdleRounds
+	if period <= 0 || round < 0 {
+		return b.Load
+	}
+	if round%period < b.BurstRounds {
+		return b.Load
+	}
+	return 0
+}
+
+// PatternAt is Pattern with the temporal phase applied: an idle-phase
+// round yields the empty pattern.
+func (b Bursty) PatternAt(rng *rand.Rand, n, round int) *bitvec.Vector {
+	if b.ExpectedLoad(round) == 0 {
+		return bitvec.New(n)
+	}
+	return b.Pattern(rng, n)
+}
 
 // Pattern implements Generator.
 func (b Bursty) Pattern(rng *rand.Rand, n int) *bitvec.Vector {

@@ -145,3 +145,48 @@ func TestCollect(t *testing.T) {
 		}
 	}
 }
+
+// TestBurstyExpectedLoadPhases pins the temporal burst-phase
+// boundaries: each BurstRounds+IdleRounds period offers Load for its
+// first BurstRounds rounds and nothing after, starting at round 0.
+func TestBurstyExpectedLoadPhases(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		gen   Bursty
+		round int
+		want  float64
+	}{
+		{"no phase configured", Bursty{Load: 0.6, BurstLen: 2}, 17, 0.6},
+		{"first round of first burst", Bursty{Load: 0.5, BurstRounds: 3, IdleRounds: 2}, 0, 0.5},
+		{"last round of first burst", Bursty{Load: 0.5, BurstRounds: 3, IdleRounds: 2}, 2, 0.5},
+		{"first idle round", Bursty{Load: 0.5, BurstRounds: 3, IdleRounds: 2}, 3, 0},
+		{"last idle round", Bursty{Load: 0.5, BurstRounds: 3, IdleRounds: 2}, 4, 0},
+		{"first round of second burst", Bursty{Load: 0.5, BurstRounds: 3, IdleRounds: 2}, 5, 0.5},
+		{"boundary deep into the session", Bursty{Load: 0.5, BurstRounds: 3, IdleRounds: 2}, 98, 0},
+		{"burst deep into the session", Bursty{Load: 0.5, BurstRounds: 3, IdleRounds: 2}, 100, 0.5},
+		{"all burst no idle", Bursty{Load: 0.4, BurstRounds: 5}, 1234, 0.4},
+		{"all idle still offers during burst phase", Bursty{Load: 0.4, IdleRounds: 4}, 2, 0},
+		{"negative round defaults to load", Bursty{Load: 0.3, BurstRounds: 2, IdleRounds: 2}, -1, 0.3},
+	} {
+		if got := tc.gen.ExpectedLoad(tc.round); got != tc.want {
+			t.Errorf("%s: ExpectedLoad(%d) = %v, want %v", tc.name, tc.round, got, tc.want)
+		}
+	}
+}
+
+// PatternAt honors the phase: idle rounds are empty, burst rounds
+// approximate the spatial target.
+func TestBurstyPatternAtPhases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := Bursty{Load: 0.5, BurstLen: 3, BurstRounds: 2, IdleRounds: 2}
+	const n = 256
+	if got := g.PatternAt(rng, n, 2).Count(); got != 0 {
+		t.Errorf("idle round placed %d bits", got)
+	}
+	if got := g.PatternAt(rng, n, 1).Count(); got == 0 {
+		t.Error("burst round placed nothing")
+	}
+	if name := g.Name(); name != "bursty(0.50,len=3,on=2,off=2)" {
+		t.Errorf("Name() = %q", name)
+	}
+}
