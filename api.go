@@ -13,6 +13,7 @@ import (
 	"concentrators/internal/chaos"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
+	"concentrators/internal/journal"
 	"concentrators/internal/layout"
 	"concentrators/internal/link"
 	"concentrators/internal/overload"
@@ -408,6 +409,94 @@ func NewSurgePlane(seed int64) *SurgePlane { return overload.NewPlane(seed) }
 // surge while the closed loop holds goodput at the live ⌊α′m′⌋.
 func RunOverloadSession(p *SwitchPool, cfg OverloadSessionConfig) (*OverloadSessionStats, error) {
 	return pool.RunOverloadSession(p, cfg)
+}
+
+// Crash-restart durability: the snapshot + write-ahead journal, the
+// seeded crash fault plane that kills the simulated process at
+// (round, phase) points, exactly-once session recovery, and pool
+// control-plane checkpoints for rolling drain/rejoin maintenance.
+type (
+	// JournalConfig enables the durability plane of a session: snapshot
+	// cadence, compaction, the crash schedule, and the unjournaled
+	// control that demonstrates what crashes cost without a journal.
+	JournalConfig = journal.Config
+	// JournalStore is the append-only byte store a journal writes to.
+	JournalStore = journal.Store
+	// JournalMemStore is the in-memory Store used by the simulators.
+	JournalMemStore = journal.MemStore
+	// JournalWriter appends framed, checksummed records to a Store.
+	JournalWriter = journal.Writer
+	// JournalRecord is one replayed record (kind, LSN, payload).
+	JournalRecord = journal.Record
+	// JournalReplayResult reports a replay: the valid record prefix,
+	// the last snapshot's index, and any discarded torn tail.
+	JournalReplayResult = journal.ReplayResult
+	// CrashFault is one scheduled process kill: a (round, phase) point
+	// plus an optional torn fraction of the in-flight record.
+	CrashFault = journal.CrashFault
+	// CrashPhase locates a kill within a round: round-start,
+	// mid-dispatch, or pre-ack.
+	CrashPhase = journal.Phase
+	// CrashPlane is a seeded, deterministic set of crash faults — the
+	// process-death counterpart of SurgePlane.
+	CrashPlane = journal.Plane
+	// RecoveryStats accounts the durability plane's work across
+	// incarnations: crashes, snapshots, replays, torn tails, and the
+	// cross-incarnation conservation witnesses.
+	RecoveryStats = journal.RecoveryStats
+	// PoolCheckpoint is a pool's durable control-plane state: round
+	// cursor, ledger, breaker and fault records, controller snapshots.
+	PoolCheckpoint = pool.Checkpoint
+	// ReplicaCheckpoint is one replica's share of a PoolCheckpoint,
+	// also used standalone for rolling drain/rejoin maintenance.
+	ReplicaCheckpoint = pool.ReplicaCheckpoint
+	// CrashRecord is the chaos harness's crash-plane ledger, with the
+	// conservation law Delivered + DeliveredLost = TrueDelivered.
+	CrashRecord = chaos.CrashRecord
+)
+
+// The crash phases and journal record kinds.
+const (
+	CrashAtRoundStart  = journal.PhaseRoundStart
+	CrashAtMidDispatch = journal.PhaseMidDispatch
+	CrashAtPreAck      = journal.PhasePreAck
+
+	JournalKindSnapshot = journal.KindSnapshot
+	JournalKindDelta    = journal.KindDelta
+)
+
+// NewJournalMemStore returns an empty in-memory journal store.
+func NewJournalMemStore() *JournalMemStore { return journal.NewMemStore() }
+
+// NewJournalWriter opens a writer over a store, resuming the LSN past
+// any existing records and truncating a torn tail.
+func NewJournalWriter(store JournalStore) *JournalWriter { return journal.NewWriter(store) }
+
+// ReplayJournal scans a journal image, returning the valid record
+// prefix and torn-tail accounting. It never fails: a corrupt or torn
+// suffix is reported, not an error.
+func ReplayJournal(data []byte) *JournalReplayResult { return journal.Replay(data) }
+
+// NewCrashPlane returns an empty, seeded crash fault plane.
+func NewCrashPlane(seed int64) *CrashPlane { return journal.NewCrashPlane(seed) }
+
+// GenerateCrashSchedule derives a deterministic crash schedule: kills
+// spread across the run, cycling round-start / mid-dispatch / pre-ack
+// phases, with torn tails on alternating mid-dispatch kills.
+func GenerateCrashSchedule(seed int64, rounds, kills int) *CrashPlane {
+	return journal.GenerateCrashSchedule(seed, rounds, kills)
+}
+
+// RunDurableSession runs a congestion-control session under the
+// durability plane: state snapshots and per-round deltas are
+// journaled, scheduled crashes kill the process mid-round, and each
+// new incarnation recovers by replaying the journal. The returned
+// stats satisfy the cross-incarnation conservation law
+// Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed +
+// Shed + FinalBacklog, and a journaled run's ledger is identical to
+// an uncrashed control's.
+func RunDurableSession(sw Concentrator, cfg SessionConfig, jcfg JournalConfig) (*SessionStats, *RecoveryStats, error) {
+	return switchsim.RunDurableSession(sw, cfg, jcfg)
 }
 
 // Packaging reports (Table 1, Figures 3/4/6/7).

@@ -388,3 +388,83 @@ func TestPublicAPIOverload(t *testing.T) {
 		t.Fatalf("admit fraction %v outside (0,1]", st.Pool.AdmitFraction)
 	}
 }
+
+// The durability facade end-to-end: run a crashing journaled session
+// through the public wrappers and check exactly-once recovery against
+// an uncrashed control, then roll a pool checkpoint through the
+// journal's wire helpers.
+func TestPublicAPIDurability(t *testing.T) {
+	sw, err := NewColumnsortSwitchBeta(64, 32, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionConfig{Policy: Resend, Load: 0.5, Rounds: 40, PayloadBits: 4, Seed: 9, AckDelay: 2}
+
+	control, _, err := RunDurableSession(sw, cfg, JournalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := GenerateCrashSchedule(9, cfg.Rounds, 3)
+	stats, rec, err := RunDurableSession(sw, cfg, JournalConfig{Crash: crash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Crashes != 3 || rec.Incarnations != 4 {
+		t.Fatalf("%d crashes over %d incarnations, want 3 over 4", rec.Crashes, rec.Incarnations)
+	}
+	if stats.Offered != control.Offered || stats.Delivered != control.Delivered {
+		t.Fatalf("recovered ledger (%d offered, %d delivered) != control (%d, %d)",
+			stats.Offered, stats.Delivered, control.Offered, control.Delivered)
+	}
+	accounted := stats.Delivered + stats.Dropped + stats.CorruptedDropped +
+		stats.DeadlineMissed + stats.Shed + stats.FinalBacklog
+	if accounted != stats.Offered {
+		t.Fatalf("conservation violated: offered %d, accounted %d", stats.Offered, accounted)
+	}
+
+	// One explicit crash fault through the plane constructor.
+	plane := NewCrashPlane(1)
+	plane.Add(CrashFault{Round: 5, Phase: CrashAtMidDispatch, TornFrac: 0.5})
+	if _, rec2, err := RunDurableSession(sw, cfg, JournalConfig{Crash: plane}); err != nil {
+		t.Fatal(err)
+	} else if rec2.TornTails != 1 {
+		t.Fatalf("torn mid-dispatch crash produced %d torn tails, want 1", rec2.TornTails)
+	}
+
+	// The journal store helpers round-trip a frame.
+	store := NewJournalMemStore()
+	w := NewJournalWriter(store)
+	w.Append(JournalKindDelta, []byte("round"))
+	res := ReplayJournal(store.Bytes())
+	if len(res.Records) != 1 || res.TornBytes != 0 {
+		t.Fatalf("replay found %d records, %d torn bytes", len(res.Records), res.TornBytes)
+	}
+
+	// Pool checkpoints through the facade: drain, rejoin, restore.
+	var reps []FaultInjectable
+	for i := 0; i < 2; i++ {
+		fi, err := NewColumnsortSwitchBeta(64, 32, 0.75)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, fi)
+	}
+	p, err := NewSwitchPool(PoolConfig{ProbeAfter: 1}, reps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcp, err := p.CheckpointReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rejoin(0, rcp); err != nil {
+		t.Fatal(err)
+	}
+	var cp *PoolCheckpoint = p.Snapshot()
+	if err := p.Restore(cp); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"concentrators/internal/gatelevel"
 	"concentrators/internal/health"
 	"concentrators/internal/hyper"
+	"concentrators/internal/journal"
 	"concentrators/internal/knockout"
 	"concentrators/internal/layout"
 	"concentrators/internal/link"
@@ -989,4 +990,51 @@ func BenchmarkSurgeShedding(b *testing.B) {
 	}
 	b.ReportMetric(float64(open)/120, "goodput/round-openloop")
 	b.ReportMetric(float64(closed)/120, "goodput/round-closedloop")
+}
+
+// BenchmarkCrashRecovery times crash recovery — journal replay plus
+// round re-execution — as a function of the snapshot interval. A
+// tighter interval spends journal bytes to shorten replay; compaction
+// caps the journal at O(state). Every variant must still deliver the
+// exactly-once ledger.
+func BenchmarkCrashRecovery(b *testing.B) {
+	cfg := switchsim.SessionConfig{
+		Policy: switchsim.Resend, Load: 0.5, Rounds: 120, PayloadBits: 8, Seed: 42, AckDelay: 2,
+	}
+	for _, bc := range []struct {
+		name          string
+		snapshotEvery int
+		compact       bool
+	}{
+		{"snapshot-every-4", 4, false},
+		{"snapshot-every-16", 16, false},
+		{"snapshot-every-64", 64, false},
+		{"compacted-16", 16, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sw, err := core.NewColumnsortSwitchBeta(64, 32, 0.75)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rec *journal.RecoveryStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var stats *switchsim.SessionStats
+				stats, rec, err = switchsim.RunDurableSession(sw, cfg, journal.Config{
+					SnapshotEvery: bc.snapshotEvery,
+					Compact:       bc.compact,
+					Crash:         journal.GenerateCrashSchedule(cfg.Seed, cfg.Rounds, 6),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Offered != rec.TrueOffered {
+					b.Fatalf("recovery lost offers: %d != %d", stats.Offered, rec.TrueOffered)
+				}
+			}
+			b.ReportMetric(float64(rec.RecordsReplayed)/float64(rec.Crashes), "records-replayed/crash")
+			b.ReportMetric(float64(rec.RoundsReexecuted)/float64(rec.Crashes), "rounds-reexecuted/crash")
+			b.ReportMetric(float64(rec.JournalBytes), "journal-bytes")
+		})
+	}
 }

@@ -12,13 +12,16 @@
 //	concpool -replicas 4 -faults 6 -kills 3 -scan-latency-jitter
 //	concpool -replicas 3 -faults 0 -kills 0 -stalls 5 -deadline 5 -hedge-quantile 0.9
 //	concpool -replicas 2 -faults 0 -kills 0 -surges 3 -surge-factor 4
+//	concpool -replicas 3 -faults 0 -kills 0 -crashes 4 -drains 2
+//	concpool -replicas 3 -crashes 4 -unjournaled -json
 //
 // Exit status: 0 when the pool survived the schedule, 1 on usage or
 // construction errors, 2 when any round regressed below the degraded
-// contract or missed the deadline SLO.
+// contract, missed the deadline SLO, or broke crash-loss conservation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -52,6 +55,10 @@ func main() {
 	probeAfter := flag.Int("probe-after", 2, "rounds in quarantine before the first half-open probe")
 	backoffMax := flag.Int("backoff-max", 32, "cap on the exponential re-admission backoff")
 	retryCap := flag.Int("retry-cap", 8, "cap on the shed messages' retry-after hint")
+	crashes := flag.Int("crashes", 0, "control-process crash-restarts to schedule; the pool recovers from its per-round checkpoint journal")
+	drains := flag.Int("drains", 0, "rolling checkpoint/drain/rejoin maintenance cycles to schedule")
+	unjournaled := flag.Bool("unjournaled", false, "disable the checkpoint journal so crashes lose ledger and backlog (the experimental control)")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON stats document instead of prose")
 	verbose := flag.Bool("verbose", false, "print every round that fired events or failed over")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -94,6 +101,9 @@ func main() {
 		Deadline:          *deadline,
 		CheckSLO:          *deadline > 0,
 		ScanLatencyJitter: *jitter,
+		Crashes:           *crashes,
+		Drains:            *drains,
+		Unjournaled:       *unjournaled,
 		Pool: pool.Config{
 			TripThreshold: *trip,
 			ProbeAfter:    *probeAfter,
@@ -108,29 +118,67 @@ func main() {
 		// plus brownout degradation under sustained congestion.
 		cfg.Pool.Overload = &overload.Config{}
 	}
+	if *crashes > 0 && cfg.Pool.Overload == nil {
+		// Crash schedules model shed clients that retry, so a crash has
+		// client backlog worth losing; the closed loop admits against it.
+		cfg.Pool.Overload = &overload.Config{BacklogFactor: 1}
+	}
 
 	probe, err := build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("switch: %s  n=%d m=%d ε=%d  threshold %d\n",
-		probe.Name(), probe.Inputs(), probe.Outputs(), probe.EpsilonBound(), core.Threshold(probe))
+	if !*jsonOut {
+		fmt.Printf("switch: %s  n=%d m=%d ε=%d  threshold %d\n",
+			probe.Name(), probe.Inputs(), probe.Outputs(), probe.EpsilonBound(), core.Threshold(probe))
+	}
 
 	events, err := chaos.GenerateSchedule(*seed, probe, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("schedule: seed %d, %d events over %d rounds\n", *seed, len(events), *rounds)
-	for _, ev := range events {
-		fmt.Printf("  %s\n", ev)
+	if !*jsonOut {
+		fmt.Printf("schedule: seed %d, %d events over %d rounds\n", *seed, len(events), *rounds)
+		for _, ev := range events {
+			fmt.Printf("  %s\n", ev)
+		}
 	}
 
 	rep, err := chaos.Run(build, events, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	// Crash-loss conservation: every message the crashing control plane
+	// ever delivered is either in the surviving ledger or booked lost.
+	conserved := true
+	if *crashes > 0 {
+		conserved = rep.Stats.Delivered+rep.Crash.DeliveredLost == rep.Crash.TrueDelivered
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Mode        string `json:"mode"`
+			Switch      string `json:"switch"`
+			Seed        int64
+			Events      int
+			Stats       pool.Stats
+			Crash       chaos.CrashRecord
+			Conserved   bool
+			Regressions []string
+		}{"chaos", probe.Name(), *seed, len(events), rep.Stats, rep.Crash, conserved, rep.Regressions}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(rep.Regressions) > 0 || !conserved {
+			os.Exit(2)
+		}
+		return
 	}
 
 	if *verbose {
@@ -177,6 +225,15 @@ func main() {
 	if *deadline > 0 {
 		fmt.Printf("  deadline %d rounds: %d deliveries missed the budget\n", *deadline, s.DeadlineMissed)
 	}
+	if *crashes > 0 || *drains > 0 {
+		c := rep.Crash
+		fmt.Printf("  crash plane: %d crashes, %d drain/rejoin cycles, journaled=%v\n",
+			c.Crashes, c.DrainCycles, !*unjournaled)
+		fmt.Printf("    snapshots %d written / %d restored, torn tails %d (%d bytes discarded), stale rounds %d, journal %d bytes\n",
+			c.SnapshotsWritten, c.SnapshotsRestored, c.TornTails, c.TornBytesDiscarded, c.StaleRounds, c.JournalBytes)
+		fmt.Printf("    lost to crashes: %d delivered-ledger entries, %d backlogged clients (true delivered %d)\n",
+			c.DeliveredLost, c.BacklogLost, c.TrueDelivered)
+	}
 	for i, rs := range s.Replicas {
 		killed := ""
 		if rs.Killed {
@@ -191,6 +248,11 @@ func main() {
 		for _, r := range rep.Regressions {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
+		os.Exit(2)
+	}
+	if !conserved {
+		fmt.Fprintf(os.Stderr, "crash-loss conservation broken: delivered %d + lost %d != true %d\n",
+			s.Delivered, rep.Crash.DeliveredLost, rep.Crash.TrueDelivered)
 		os.Exit(2)
 	}
 	fmt.Printf("delivery guarantee held on every round (replay with -seed %d)\n", *seed)

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
@@ -28,11 +29,22 @@ import (
 	"concentrators/internal/bitonic"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
+	"concentrators/internal/journal"
 	"concentrators/internal/link"
 	"concentrators/internal/overload"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 )
+
+// emitJSON writes one machine-readable stats document to stdout.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	kind := flag.String("switch", "columnsort", "switch design: perfect | crossbar | revsort | columnsort | full-revsort | full-columnsort | bitonic")
@@ -62,6 +74,11 @@ func main() {
 	retryBudget := flag.Float64("retry-budget", 0, "resend sessions: retry-budget tokens earned per fresh offer; denied retries are shed instead of re-queued (0 disables, the open loop)")
 	codelTarget := flag.Int("codel-target", 0, "resend/buffer sessions: CoDel sojourn target in rounds (0 disables the backlog drain)")
 	codelInterval := flag.Int("codel-interval", 0, "resend/buffer sessions: CoDel interval in rounds (default 4× target)")
+	crashes := flag.Int("crashes", 0, "run a crash-restart durability session: kill and recover the process this many times at seeded (round, phase) points")
+	snapshotEvery := flag.Int("snapshot-every", 0, "durability session: rounds between full journal snapshots (default 16)")
+	unjournaled := flag.Bool("unjournaled", false, "durability session: disable the journal so crashes lose ledger and backlog (the experimental control)")
+	compact := flag.Bool("compact", false, "durability session: truncate the journal to the snapshot on every snapshot append (O(state) journal)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON stats instead of prose (default, session, durability, and pool modes)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: concsim [flags]\n\nExit status: 0 on success, 1 on usage or construction errors,\n2 when the run observed a delivery-guarantee (or conservation) violation.\n\nFlags:\n")
@@ -82,26 +99,42 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("switch: %s  n=%d m=%d ε=%d α=%.4f  delay=%d gate delays across %d chips (%d chips total)\n",
-		sw.Name(), sw.Inputs(), sw.Outputs(), sw.EpsilonBound(), core.LoadRatio(sw),
-		sw.GateDelays(), sw.ChipsTraversed(), sw.ChipCount())
+	if !*jsonOut {
+		fmt.Printf("switch: %s  n=%d m=%d ε=%d α=%.4f  delay=%d gate delays across %d chips (%d chips total)\n",
+			sw.Name(), sw.Inputs(), sw.Outputs(), sw.EpsilonBound(), core.LoadRatio(sw),
+			sw.GateDelays(), sw.ChipsTraversed(), sw.ChipCount())
+	}
 
 	if *replicas > 1 {
 		runPool(*kind, *n, *m, *beta, *replicas, *load, *rounds, *payload, *seed,
-			*hedgeQuantile, *hedgeBudget, *deadline)
+			*hedgeQuantile, *hedgeBudget, *deadline, *jsonOut)
 		return
 	}
 	if *ber > 0 {
+		if *jsonOut {
+			fmt.Fprintln(os.Stderr, "-json is not supported in integrity (-ber) mode")
+			os.Exit(1)
+		}
 		runIntegrity(sw, *load, *ber, *crc, *arqWindow, *rounds, *payload, *seed, *ack, *deadline, *adaptiveRTO)
 		return
 	}
 	if *faults > 0 {
+		if *jsonOut {
+			fmt.Fprintln(os.Stderr, "-json is not supported in fault-session (-faults) mode")
+			os.Exit(1)
+		}
 		runFaultSession(sw, *policy, *load, *rounds, *payload, *seed, *ack, *faults, *mtbf, *scanEvery)
+		return
+	}
+	if *crashes > 0 || *unjournaled || *compact || *snapshotEvery > 0 {
+		runDurable(sw, *policy, *load, *rounds, *payload, *seed, *ack, *deadline,
+			*crashes, *snapshotEvery, *unjournaled, *compact, *jsonOut,
+			*retryBudget, *codelTarget, *codelInterval)
 		return
 	}
 	if *policy != "" {
 		runSession(sw, *policy, *load, *rounds, *payload, *seed, *ack, *deadline,
-			*surge, *surgeShape, *retryBudget, *codelTarget, *codelInterval)
+			*surge, *surgeShape, *retryBudget, *codelTarget, *codelInterval, *jsonOut)
 		return
 	}
 	if *surge > 0 || *retryBudget > 0 || *codelTarget > 0 {
@@ -137,6 +170,20 @@ func main() {
 			droppedRounds++
 		}
 		cycles += res.Cycles
+	}
+	if *jsonOut {
+		emitJSON(struct {
+			Mode       string `json:"mode"`
+			Switch     string `json:"switch"`
+			N, M       int
+			Rounds     int
+			Sent       int
+			Delivered  int
+			DropRounds int
+			Cycles     int
+			Threshold  int
+		}{"run", sw.Name(), sw.Inputs(), sw.Outputs(), *rounds, sent, delivered, droppedRounds, cycles, core.Threshold(sw)})
+		return
 	}
 	fmt.Printf("rounds: %d  messages sent: %d  delivered: %d (%.2f%%)  rounds with drops: %d  total cycles: %d\n",
 		*rounds, sent, delivered, 100*float64(delivered)/float64(max(sent, 1)), droppedRounds, cycles)
@@ -221,15 +268,9 @@ func surgePlane(factor float64, shape string, rounds int, seed int64) *overload.
 	return p
 }
 
-// runSession executes the multi-round congestion-control mode.
-func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack, deadline int,
-	surge float64, surgeShape string, retryBudget float64, codelTarget, codelInterval int) {
-	pol := parsePolicy(policy)
-	cfg := switchsim.SessionConfig{
-		Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
-		Seed: seed, AckDelay: ackFor(pol, ack), Deadline: deadline,
-		Surge: surgePlane(surge, surgeShape, rounds, seed),
-	}
+// sessionOverload assembles the optional retry-budget and CoDel
+// configs shared by the session and durability modes.
+func sessionOverload(cfg *switchsim.SessionConfig, retryBudget float64, codelTarget, codelInterval int) {
 	if retryBudget > 0 {
 		cfg.RetryBudget = &overload.RetryConfig{Budget: retryBudget}
 	}
@@ -239,10 +280,44 @@ func runSession(sw core.Concentrator, policy string, load float64, rounds, paylo
 		}
 		cfg.CoDel = &overload.CoDelConfig{Target: codelTarget, Interval: codelInterval}
 	}
+}
+
+// checkSessionConservation enforces the six-term conservation law,
+// exiting 2 on violation.
+func checkSessionConservation(stats *switchsim.SessionStats) {
+	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.DeadlineMissed +
+		stats.Shed + stats.FinalBacklog; got != stats.Offered {
+		fmt.Fprintf(os.Stderr, "conservation violated: delivered %d + lost %d + corrupted %d + missed %d + shed %d + backlog %d != offered %d\n",
+			stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.DeadlineMissed,
+			stats.Shed, stats.FinalBacklog, stats.Offered)
+		os.Exit(2)
+	}
+}
+
+// runSession executes the multi-round congestion-control mode.
+func runSession(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack, deadline int,
+	surge float64, surgeShape string, retryBudget float64, codelTarget, codelInterval int, jsonOut bool) {
+	pol := parsePolicy(policy)
+	cfg := switchsim.SessionConfig{
+		Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
+		Seed: seed, AckDelay: ackFor(pol, ack), Deadline: deadline,
+		Surge: surgePlane(surge, surgeShape, rounds, seed),
+	}
+	sessionOverload(&cfg, retryBudget, codelTarget, codelInterval)
 	stats, err := switchsim.RunSession(sw, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if jsonOut {
+		checkSessionConservation(stats)
+		emitJSON(struct {
+			Mode   string `json:"mode"`
+			Switch string `json:"switch"`
+			Load   float64
+			Stats  *switchsim.SessionStats
+		}{"session", sw.Name(), load, stats})
+		return
 	}
 	fmt.Printf("session: policy=%s load=%.2f rounds=%d\n", pol, load, rounds)
 	if cfg.Surge != nil {
@@ -261,14 +336,90 @@ func runSession(sw core.Concentrator, policy string, load float64, rounds, paylo
 	if deadline > 0 {
 		fmt.Printf("  deadline %d rounds: %d deliveries missed the budget\n", deadline, stats.DeadlineMissed)
 	}
-	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.DeadlineMissed +
-		stats.Shed + stats.FinalBacklog; got != stats.Offered {
-		fmt.Fprintf(os.Stderr, "conservation violated: delivered %d + lost %d + corrupted %d + missed %d + shed %d + backlog %d != offered %d\n",
-			stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.DeadlineMissed,
-			stats.Shed, stats.FinalBacklog, stats.Offered)
+	checkSessionConservation(stats)
+	fmt.Printf("conservation verified: offered = delivered + lost + corrupted + missed + shed + backlog\n")
+}
+
+// runDurable executes the crash-restart durability mode: a congestion
+// session with a snapshot + write-ahead journal, a seeded crash
+// schedule killing the process at deterministic (round, phase) points,
+// and exactly-once recovery — or, with -unjournaled, the experimental
+// control that demonstrably loses state.
+func runDurable(sw core.Concentrator, policy string, load float64, rounds, payload int, seed int64, ack, deadline int,
+	crashes, snapshotEvery int, unjournaled, compact, jsonOut bool, retryBudget float64, codelTarget, codelInterval int) {
+	if policy == "" {
+		policy = "resend"
+	}
+	pol := parsePolicy(policy)
+	cfg := switchsim.SessionConfig{
+		Policy: pol, Load: load, Rounds: rounds, PayloadBits: payload,
+		Seed: seed, AckDelay: ackFor(pol, ack), Deadline: deadline,
+	}
+	sessionOverload(&cfg, retryBudget, codelTarget, codelInterval)
+	jcfg := journal.Config{
+		SnapshotEvery: snapshotEvery, Compact: compact, Unjournaled: unjournaled,
+		Crash: journal.GenerateCrashSchedule(seed, rounds, crashes),
+	}
+	stats, rec, err := switchsim.RunDurableSession(sw, cfg, jcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		checkDurableLedger(stats, rec, unjournaled)
+		emitJSON(struct {
+			Mode     string `json:"mode"`
+			Switch   string `json:"switch"`
+			Load     float64
+			Stats    *switchsim.SessionStats
+			Recovery *journal.RecoveryStats
+		}{"durable", sw.Name(), load, stats, rec})
+		return
+	}
+	fmt.Printf("durable session: policy=%s load=%.2f rounds=%d crashes=%d journaled=%v\n",
+		pol, load, rounds, crashes, !unjournaled)
+	for _, f := range jcfg.Crash.Faults() {
+		fmt.Printf("  %s\n", f)
+	}
+	fmt.Printf("  offered %d, delivered %d, lost %d, shed %d, final backlog %d\n",
+		stats.Offered, stats.Delivered, stats.Dropped, stats.Shed, stats.FinalBacklog)
+	fmt.Printf("  incarnations %d (%d crashes), snapshots %d, deltas %d, journal %d bytes\n",
+		rec.Incarnations, rec.Crashes, rec.SnapshotsWritten, rec.DeltasWritten, rec.JournalBytes)
+	fmt.Printf("  recovery: %d snapshots restored, %d records replayed, %d rounds re-executed, %d torn tails (%d bytes discarded)\n",
+		rec.SnapshotsRestored, rec.RecordsReplayed, rec.RoundsReexecuted, rec.TornTails, rec.TornBytesDiscarded)
+	if unjournaled {
+		fmt.Printf("  lost to crashes: %d ledger entries, %d backlogged messages\n",
+			rec.LedgerLostAtCrash, rec.BacklogLostAtCrash)
+	}
+	checkDurableLedger(stats, rec, unjournaled)
+	if unjournaled {
+		fmt.Printf("unjournaled control: surviving ledger + crash losses account for the %d true offers\n", rec.TrueOffered)
+	} else {
+		fmt.Printf("exactly-once verified: recovered ledger matches the %d true offers across %d incarnations\n",
+			rec.TrueOffered, rec.Incarnations)
+	}
+}
+
+// checkDurableLedger enforces the cross-incarnation accounting laws,
+// exiting 2 on violation: the six-term conservation law on the
+// recovered ledger, and the ground-truth audit (journaled runs must
+// account for every true offer; unjournaled runs must account for them
+// as surviving ledger plus booked crash losses).
+func checkDurableLedger(stats *switchsim.SessionStats, rec *journal.RecoveryStats, unjournaled bool) {
+	checkSessionConservation(stats)
+	if unjournaled {
+		if stats.Offered+rec.LedgerLostAtCrash != rec.TrueOffered {
+			fmt.Fprintf(os.Stderr, "loss accounting violated: surviving ledger %d + lost %d != true offered %d\n",
+				stats.Offered, rec.LedgerLostAtCrash, rec.TrueOffered)
+			os.Exit(2)
+		}
+		return
+	}
+	if stats.Offered != rec.TrueOffered {
+		fmt.Fprintf(os.Stderr, "exactly-once violated: recovered ledger offered %d != harness ground truth %d\n",
+			stats.Offered, rec.TrueOffered)
 		os.Exit(2)
 	}
-	fmt.Printf("conservation verified: offered = delivered + lost + corrupted + missed + shed + backlog\n")
 }
 
 // runFaultSession executes the fault-aware session mode: scheduled
@@ -415,7 +566,7 @@ func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, windo
 // runPool drives traffic through a replicated switch pool: the primary
 // serves each round, spares stand by for failover, and admitted load is
 // capped at the live ⌊α′m′⌋ threshold.
-func runPool(kind string, n, m int, beta float64, replicas int, load float64, rounds, payload int, seed int64, hedgeQuantile, hedgeBudget float64, deadline int) {
+func runPool(kind string, n, m int, beta float64, replicas int, load float64, rounds, payload int, seed int64, hedgeQuantile, hedgeBudget float64, deadline int, jsonOut bool) {
 	switches := make([]core.FaultInjectable, replicas)
 	for i := range switches {
 		sw, err := buildSwitch(kind, n, m, beta)
@@ -461,6 +612,24 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 		}
 	}
 	s := p.Stats()
+	if jsonOut {
+		emitJSON(struct {
+			Mode           string `json:"mode"`
+			Replicas       int
+			Threshold      int
+			Rounds         int
+			Offered        int
+			Admitted       int
+			Shed           int
+			Delivered      int
+			ViolatedRounds int
+			Stats          pool.Stats
+		}{"pool", replicas, p.Threshold(), rounds, offered, admitted, shed, delivered, violatedRounds, s})
+		if violatedRounds > 0 {
+			os.Exit(2)
+		}
+		return
+	}
 	fmt.Printf("pool: %d replicas, threshold %d\n", replicas, p.Threshold())
 	fmt.Printf("  rounds %d  offered %d, admitted %d, shed %d, delivered %d\n",
 		rounds, offered, admitted, shed, delivered)

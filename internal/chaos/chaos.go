@@ -25,11 +25,13 @@ package chaos
 
 import (
 	"bytes"
+	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"concentrators/internal/core"
+	"concentrators/internal/journal"
 	"concentrators/internal/link"
 	"concentrators/internal/overload"
 	"concentrators/internal/pool"
@@ -68,6 +70,21 @@ const (
 	// ends the surge on its own; admission control and — when
 	// Pool.Overload is set — the closed loop absorb it.
 	EventSurge
+	// EventDrain checkpoints a replica's control plane and takes it out
+	// of rotation for a maintenance restart (the controller-state wipe
+	// pool.Drain models). The paired EventRejoin restores it.
+	EventDrain
+	// EventRejoin restores the drained replica from its checkpoint and
+	// re-admits it through the standard half-open probe path.
+	EventRejoin
+	// EventCrash kills the pool's controller process mid-stream: a new
+	// controller is built over the same silicon and restored from the
+	// round-granular checkpoint journal (events with TornFrac > 0 also
+	// tear the tail of the checkpoint append that was in flight). With
+	// Config.Unjournaled the restart instead comes up stateless and
+	// every ledger and backlog dies with the process — the experimental
+	// control demonstrating that crashes bite.
+	EventCrash
 )
 
 // String names the kind.
@@ -87,6 +104,12 @@ func (k EventKind) String() string {
 		return "timing"
 	case EventSurge:
 		return "surge"
+	case EventDrain:
+		return "drain"
+	case EventRejoin:
+		return "rejoin"
+	case EventCrash:
+		return "crash-restart"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -117,6 +140,10 @@ type Event struct {
 	Surge overload.Fault
 	// Latency is the new probe-scan latency (EventScanLatency only).
 	Latency int
+	// TornFrac, for EventCrash, is the fraction of the in-flight
+	// checkpoint append that reached the journal before the process
+	// died; 0 means the crash fell between appends (clean tail).
+	TornFrac float64
 }
 
 // String renders the event.
@@ -136,6 +163,11 @@ func (e Event) String() string {
 		return fmt.Sprintf("round %d: surge %s", e.Round, e.Surge)
 	case EventScanLatency:
 		return fmt.Sprintf("round %d: scan latency → %d", e.Round, e.Latency)
+	case EventCrash:
+		if e.TornFrac > 0 {
+			return fmt.Sprintf("round %d: crash-restart (torn tail, %.0f%% written)", e.Round, 100*e.TornFrac)
+		}
+		return fmt.Sprintf("round %d: crash-restart (clean tail)", e.Round)
 	default:
 		return fmt.Sprintf("round %d: %s %s", e.Round, e.Kind, target)
 	}
@@ -176,6 +208,22 @@ type Config struct {
 	// 0 means the default (4, the acceptance criterion's
 	// oversubscription). Must be > 1 when set.
 	MaxSurgeFactor float64
+	// Crashes bounds the control-plane crash-restarts scheduled. The
+	// harness journals a full pool checkpoint every round through
+	// internal/journal; each crash kills the controller and rebuilds it
+	// over the same silicon from the last recoverable checkpoint, and
+	// every other crash tears the tail of the in-flight append to
+	// exercise torn-write recovery.
+	Crashes int
+	// Unjournaled disables the checkpoint journal while keeping the
+	// crash events live: every crash then restarts the controller
+	// stateless, losing ledgers and backlog — the experimental control.
+	Unjournaled bool
+	// Drains bounds the rolling drain/rejoin maintenance cycles
+	// scheduled: checkpoint → drain (controller restart) → rejoin from
+	// the checkpoint through the standard probe path, rotating through
+	// the replicas.
+	Drains int
 	// CheckSLO, when true, books a regression for every round whose
 	// deliveries missed the Deadline budget — the zero-deadline-SLO-
 	// regression assertion of the straggler schedules. Requires a
@@ -202,9 +250,11 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: load %v outside [0,1]", c.Load)
 	case c.PayloadBits < 1:
 		return fmt.Errorf("chaos: payload must be ≥ 1 bit, got %d", c.PayloadBits)
-	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0 || c.Stalls < 0 || c.Surges < 0:
-		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions, %d stalls, %d surges)",
-			c.Faults, c.Kills, c.Corruptions, c.Stalls, c.Surges)
+	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0 || c.Stalls < 0 || c.Surges < 0 || c.Crashes < 0 || c.Drains < 0:
+		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions, %d stalls, %d surges, %d crashes, %d drains)",
+			c.Faults, c.Kills, c.Corruptions, c.Stalls, c.Surges, c.Crashes, c.Drains)
+	case c.Unjournaled && c.Crashes == 0:
+		return fmt.Errorf("chaos: Unjournaled without Crashes disables a journal that nothing would read")
 	case c.MaxSurgeFactor != 0 && (c.MaxSurgeFactor <= 1 || c.MaxSurgeFactor != c.MaxSurgeFactor):
 		return fmt.Errorf("chaos: MaxSurgeFactor %v must be > 1", c.MaxSurgeFactor)
 	case c.MaxBER < 0 || c.MaxBER > 1 || c.MaxBER != c.MaxBER:
@@ -260,7 +310,7 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 
 	var events []Event
 	destructive := cfg.Faults + cfg.Kills + cfg.Corruptions
-	if destructive == 0 && cfg.Stalls == 0 && cfg.Surges == 0 {
+	if destructive == 0 && cfg.Stalls == 0 && cfg.Surges == 0 && cfg.Crashes == 0 && cfg.Drains == 0 {
 		return events, nil
 	}
 	stride := max((cfg.Rounds-2)/max(destructive, 1), gap)
@@ -385,6 +435,55 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 			ground += surgeStride + rng.Intn(max(surgeStride/2, 1))
 		}
 	}
+	if cfg.Drains > 0 {
+		// Rolling maintenance: checkpoint/drain replica i, rejoin it from
+		// the checkpoint once the probe machinery could have re-admitted a
+		// revived board — the same spacing kills use. One cycle per slot of
+		// the usable span, jittered within its slot, so exactly cfg.Drains
+		// cycles always fit; targets rotate so a long schedule rolls the
+		// whole fleet. The runner skips a drain whose target happens to be
+		// powered off when the event fires (a kill got there first), and
+		// the matching rejoin with it.
+		// The −2 leaves room for the rejoin probe to fire inside the run.
+		start := gap/2 + 1
+		if span := cfg.Rounds - reviveAfter - 2 - start; span >= cfg.Drains {
+			for i := 0; i < cfg.Drains; i++ {
+				lo := start + i*span/cfg.Drains
+				hi := start + (i+1)*span/cfg.Drains - 1
+				if hi < lo {
+					hi = lo
+				}
+				dround := lo + rng.Intn(hi-lo+1)
+				target := i % cfg.Replicas
+				events = append(events,
+					Event{Round: dround, Kind: EventDrain, Replica: target},
+					Event{Round: dround + reviveAfter, Kind: EventRejoin, Replica: target},
+				)
+			}
+		}
+	}
+	if cfg.Crashes > 0 && cfg.Rounds > 2 {
+		// Control-plane crashes need no repair-loop spacing — the restored
+		// controller serves the very next round — only enough room for the
+		// journal to hold at least one whole checkpoint before the first
+		// kill (round ≥ 2). One crash per slot of the remaining span, so
+		// exactly cfg.Crashes always fire. Even crashes die between
+		// appends; odd ones tear the in-flight checkpoint at a seeded
+		// fraction.
+		span := cfg.Rounds - 2
+		for i := 0; i < cfg.Crashes; i++ {
+			lo := 2 + i*span/cfg.Crashes
+			hi := 2 + (i+1)*span/cfg.Crashes - 1
+			if hi < lo {
+				hi = lo
+			}
+			ev := Event{Round: lo + rng.Intn(hi-lo+1), Kind: EventCrash}
+			if i%2 == 1 {
+				ev.TornFrac = 0.05 + 0.9*rng.Float64()
+			}
+			events = append(events, ev)
+		}
+	}
 	if cfg.ScanLatencyJitter && cfg.Rounds > 3*gap {
 		events = append(events,
 			Event{Round: gap, Kind: EventScanLatency, Latency: 1},
@@ -450,6 +549,40 @@ type RoundRecord struct {
 	Events               []Event // events fired before this round
 }
 
+// CrashRecord is the durability ledger of a chaos run: what the crash
+// and drain events did, what the checkpoint journal cost, and how much
+// state the restarts lost. Its conservation law is
+//
+//	Stats.Delivered + DeliveredLost == TrueDelivered
+//
+// — the harness survives every simulated process kill, so its
+// round-by-round TrueDelivered count is ground truth, and whatever the
+// restored ledgers cannot account for must show up in DeliveredLost
+// (zero for clean-tail journaled crashes, one stale round per torn
+// tail, everything since the last crash when unjournaled).
+type CrashRecord struct {
+	// Crashes counts controller kills fired; DrainCycles counts
+	// completed drain→rejoin maintenance pairs.
+	Crashes, DrainCycles int
+	// SnapshotsWritten counts per-round checkpoint appends across all
+	// incarnations; SnapshotsRestored counts recoveries that found one.
+	SnapshotsWritten, SnapshotsRestored int
+	// TornTails counts recoveries that discarded a torn journal tail;
+	// TornBytesDiscarded sums the bytes thrown away.
+	TornTails, TornBytesDiscarded int
+	// StaleRounds sums the rounds of ledger each torn recovery lost
+	// (the checkpoint it fell back to predates the crash).
+	StaleRounds int
+	// DeliveredLost and BacklogLost are the deliveries and waiting
+	// clients the restarts could not account for.
+	DeliveredLost, BacklogLost int
+	// JournalBytes is the checkpoint journal's final size.
+	JournalBytes int
+	// TrueDelivered is the harness-side delivery count summed over every
+	// round of every incarnation.
+	TrueDelivered int
+}
+
 // Report is the outcome of one chaos replay.
 type Report struct {
 	Schedule []Event
@@ -462,7 +595,9 @@ type Report struct {
 	// round needed (failover depth, not latency — latency is always
 	// within the round or it is a regression).
 	MaxSameRoundFailovers int
-	Stats                 pool.Stats
+	// Crash is the durability ledger (crash/drain schedules only).
+	Crash CrashRecord
+	Stats pool.Stats
 }
 
 // Run replays the schedule against a fresh pool of cfg.Replicas
@@ -510,6 +645,29 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 	lastCorrupted := 0
 	lastMissed := 0
 	var killedQueue []int // killed, not-yet-revived replicas, oldest first
+
+	// Crash durability: the journal is the only structure that survives
+	// a controller kill (the harness itself stands in for the disk), and
+	// the drained map holds maintenance checkpoints on the operator's
+	// side of the process boundary.
+	var (
+		store     *journal.MemStore
+		w         *journal.Writer
+		lastFrame int // framed size of the newest checkpoint append
+		drained   = map[int]pool.ReplicaCheckpoint{}
+	)
+	if cfg.Crashes > 0 && !cfg.Unjournaled {
+		store = journal.NewMemStore()
+		w = journal.NewWriter(store)
+	}
+	// Client-backlog feedback, crash schedules only: shed clients wait
+	// out their retry-after before giving up and report the queue depth
+	// through NoteBacklog — controller state with real loss semantics
+	// when the process dies. Non-crash schedules keep the historical
+	// open-loop client model.
+	clientFeedback := cfg.Crashes > 0
+	waiting := 0
+	expiring := map[int]int{}
 	for round := 0; round < cfg.Rounds; round++ {
 		var fired []Event
 		for next < len(events) && events[next].Round <= round {
@@ -536,12 +694,17 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 					killedQueue = append(killedQueue, target)
 				}
 			case EventRevive:
-				if err = p.Revive(target); err == nil {
-					for i, k := range killedQueue {
-						if k == target {
-							killedQueue = append(killedQueue[:i], killedQueue[i+1:]...)
-							break
-						}
+				// A torn crash-restore can roll the kill itself back (the
+				// surviving checkpoint predates it), leaving the board
+				// already serving; the revive is then a no-op, but it still
+				// consumes the queue entry.
+				if err = p.Revive(target); err != nil {
+					err = nil
+				}
+				for i, k := range killedQueue {
+					if k == target {
+						killedQueue = append(killedQueue[:i], killedQueue[i+1:]...)
+						break
 					}
 				}
 			case EventScanLatency:
@@ -552,6 +715,86 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				err = p.InjectTimingFault(target, ev.Stall)
 			case EventSurge:
 				err = surgePlane.Add(ev.Surge)
+			case EventDrain:
+				// Maintenance does not drain a corpse: when a kill beat the
+				// drain to the board (or it is already drained), skip the
+				// cycle — the matching rejoin finds no checkpoint and skips
+				// itself.
+				if _, already := drained[target]; already {
+					continue
+				}
+				var rcp pool.ReplicaCheckpoint
+				if rcp, err = p.CheckpointReplica(target); err != nil {
+					break
+				}
+				if derr := p.Drain(target); derr != nil {
+					continue
+				}
+				drained[target] = rcp
+			case EventRejoin:
+				rcp, ok := drained[target]
+				if !ok {
+					continue
+				}
+				delete(drained, target)
+				if err = p.Rejoin(target, rcp); err == nil {
+					rep.Crash.DrainCycles++
+				}
+			case EventCrash:
+				// The simulated process kill: everything but the journal
+				// (and the silicon) dies with the controller. The harness
+				// peeks at the dying state first — that is loss accounting
+				// on the far side of the crash, not recovery.
+				dying := p.Snapshot()
+				rep.Crash.Crashes++
+				if w != nil && ev.TornFrac > 0 && lastFrame > 0 {
+					// The checkpoint append in flight at death reached the
+					// store only partially: cut the tail of its frame.
+					store.Truncate(store.Size() - (lastFrame - int(ev.TornFrac*float64(lastFrame))))
+				}
+				var np *pool.Pool
+				if np, err = pool.New(poolCfg, switches...); err != nil {
+					break
+				}
+				if store != nil {
+					res := journal.Replay(store.Bytes())
+					if res.TornBytes > 0 {
+						rep.Crash.TornTails++
+						rep.Crash.TornBytesDiscarded += res.TornBytes
+					}
+					if res.SnapshotIndex >= 0 {
+						restored := new(pool.Checkpoint)
+						if err = gob.NewDecoder(bytes.NewReader(res.Records[res.SnapshotIndex].Payload)).Decode(restored); err != nil {
+							err = fmt.Errorf("decoding checkpoint: %w", err)
+							break
+						}
+						if err = np.Restore(restored); err != nil {
+							break
+						}
+						rep.Crash.SnapshotsRestored++
+						// A torn tail falls back to the previous round's
+						// checkpoint: that round's ledger is gone for good.
+						rep.Crash.DeliveredLost += dying.Ledger.Delivered - restored.Ledger.Delivered
+						rep.Crash.StaleRounds += int(dying.Round - restored.Round)
+						if lost := dying.ClientBacklog - restored.ClientBacklog; lost > 0 {
+							rep.Crash.BacklogLost += lost
+						}
+					} else {
+						rep.Crash.DeliveredLost += dying.Ledger.Delivered
+						rep.Crash.BacklogLost += dying.ClientBacklog
+					}
+					// Reopening drops the torn tail and resumes the LSN.
+					w = journal.NewWriter(store)
+				} else {
+					// Unjournaled control: the new controller knows nothing.
+					rep.Crash.DeliveredLost += dying.Ledger.Delivered
+					rep.Crash.BacklogLost += dying.ClientBacklog
+				}
+				p = np
+				// The restored (or amnesiac) ledgers are the new baseline
+				// for the per-round stat deltas.
+				s := p.Stats()
+				lastFailovers, lastCorrupted, lastMissed = s.SameRoundFailovers, s.CorruptedDeliveries, s.DeadlineMissed
 			default:
 				err = fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 			}
@@ -566,6 +809,15 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 		rr, err := p.Run(msgs)
 		if err != nil {
 			return nil, fmt.Errorf("chaos: round %d: %w", round, err)
+		}
+		if clientFeedback {
+			waiting -= expiring[round]
+			delete(expiring, round)
+			for _, s := range rr.Shed {
+				expiring[round+1+max(s.RetryAfter, 1)]++
+				waiting++
+			}
+			p.NoteBacklog(waiting)
 		}
 		rec := RoundRecord{
 			Round: round, Offered: len(msgs), Shed: len(rr.Shed),
@@ -625,7 +877,24 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 			rep.MaxSameRoundFailovers = depth
 		}
 		lastFailovers = stats.SameRoundFailovers
+
+		rep.Crash.TrueDelivered += rec.Delivered
+		if w != nil {
+			// End-of-round checkpoint append: this record is what the next
+			// incarnation restores, and the one a torn crash next round
+			// would shear.
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(p.Snapshot()); err != nil {
+				return nil, fmt.Errorf("chaos: round %d: encoding checkpoint: %w", round, err)
+			}
+			w.Append(journal.KindSnapshot, buf.Bytes())
+			lastFrame = buf.Len() + journal.FrameOverhead
+			rep.Crash.SnapshotsWritten++
+		}
 	}
 	rep.Stats = p.Stats()
+	if store != nil {
+		rep.Crash.JournalBytes = store.Size()
+	}
 	return rep, nil
 }

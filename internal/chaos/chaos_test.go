@@ -499,3 +499,156 @@ func TestSurgeChaosAcceptance(t *testing.T) {
 		}
 	})
 }
+
+// crashConfig is the crash-restart fixture: control-plane kills (half
+// of them tearing the in-flight checkpoint append) plus rolling
+// drain/rejoin maintenance, with the closed admission loop live so the
+// checkpoints carry AIMD/brownout and client-backlog state worth
+// losing.
+func crashConfig(seed int64) Config {
+	return Config{
+		Replicas:    3,
+		Rounds:      120,
+		Load:        0.7,
+		PayloadBits: 4,
+		Seed:        seed,
+		Crashes:     4,
+		Drains:      3,
+		Pool: pool.Config{
+			TripThreshold: 1, ProbeAfter: 1,
+			Overload: &overload.Config{BacklogFactor: 1},
+		},
+	}
+}
+
+// TestCrashChaosAcceptance is the pool-level durability acceptance
+// run: 3 seeds × 120 rounds of controller crash-restarts (clean and
+// torn tails) interleaved with rolling drain/rejoin maintenance, with
+// zero guarantee regressions and the crash conservation law
+// Stats.Delivered + DeliveredLost == TrueDelivered holding exactly —
+// clean-tail recoveries lose nothing, each torn tail loses exactly the
+// one round its surviving checkpoint predates.
+func TestCrashChaosAcceptance(t *testing.T) {
+	for _, seed := range []int64{7, 1987, 0xC0C0} {
+		cfg := crashConfig(seed)
+		events := mustSchedule(t, cfg)
+		crashes, torn, drains := 0, 0, 0
+		for _, ev := range events {
+			switch ev.Kind {
+			case EventCrash:
+				crashes++
+				if ev.TornFrac > 0 {
+					torn++
+				}
+			case EventDrain:
+				drains++
+			}
+		}
+		if crashes != cfg.Crashes || torn == 0 || drains != cfg.Drains {
+			t.Fatalf("seed %d: schedule has %d crashes (%d torn), %d drains, want %d with torn > 0, %d",
+				seed, crashes, torn, drains, cfg.Crashes, cfg.Drains)
+		}
+		rep, err := Run(buildColumnsort, events, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(rep.Regressions) != 0 {
+			t.Fatalf("seed %d: guarantee regressed across crash-restarts:\n%v\nschedule: %v",
+				seed, rep.Regressions, events)
+		}
+		if rep.Stats.Violations != 0 {
+			t.Fatalf("seed %d: %d violated rounds", seed, rep.Stats.Violations)
+		}
+		cr := rep.Crash
+		if cr.Crashes != crashes || cr.SnapshotsRestored != crashes {
+			t.Fatalf("seed %d: %d crashes, %d restores, want %d each", seed, cr.Crashes, cr.SnapshotsRestored, crashes)
+		}
+		if cr.DrainCycles != drains {
+			t.Fatalf("seed %d: %d drain cycles completed, want %d", seed, cr.DrainCycles, drains)
+		}
+		if cr.SnapshotsWritten != cfg.Rounds {
+			t.Fatalf("seed %d: %d checkpoints journaled over %d rounds", seed, cr.SnapshotsWritten, cfg.Rounds)
+		}
+		if cr.TornTails != torn || cr.TornBytesDiscarded == 0 {
+			t.Fatalf("seed %d: %d torn tails (%d bytes), want %d tails", seed, cr.TornTails, cr.TornBytesDiscarded, torn)
+		}
+		// Exactly-once: each torn tail costs exactly its one stale round;
+		// clean-tail crashes cost nothing.
+		if cr.StaleRounds != cr.TornTails {
+			t.Fatalf("seed %d: %d stale rounds from %d torn tails", seed, cr.StaleRounds, cr.TornTails)
+		}
+		if rep.Stats.Delivered+cr.DeliveredLost != cr.TrueDelivered {
+			t.Fatalf("seed %d: crash conservation violated: delivered %d + lost %d != true %d",
+				seed, rep.Stats.Delivered, cr.DeliveredLost, cr.TrueDelivered)
+		}
+		// Rejoined replicas re-enter through the probe path, never around
+		// the breaker. A torn crash can roll the probe counter back one
+		// round, so allow that much slack and no more.
+		if rep.Stats.Probes < cr.DrainCycles-cr.TornTails {
+			t.Fatalf("seed %d: %d probes for %d drain cycles (%d torn tails) — rejoin bypassed the breaker",
+				seed, rep.Stats.Probes, cr.DrainCycles, cr.TornTails)
+		}
+		if cr.JournalBytes == 0 {
+			t.Fatalf("seed %d: empty checkpoint journal", seed)
+		}
+	}
+}
+
+// TestCrashChaosUnjournaledControl is the experimental control: the
+// identical crash schedules with the journal disabled demonstrably
+// lose ledger (and, with the admission loop backed up, client backlog)
+// — every incarnation restarts amnesiac, and only the harness-side
+// loss accounting can reconcile the final ledger with ground truth.
+func TestCrashChaosUnjournaledControl(t *testing.T) {
+	lostBacklog := 0
+	for _, seed := range []int64{7, 1987, 0xC0C0} {
+		cfg := crashConfig(seed)
+		cfg.Unjournaled = true
+		cfg.Drains = 0
+		events := mustSchedule(t, cfg)
+		rep, err := Run(buildColumnsort, events, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		cr := rep.Crash
+		if cr.Crashes != cfg.Crashes {
+			t.Fatalf("seed %d: fired %d crashes, want %d", seed, cr.Crashes, cfg.Crashes)
+		}
+		if cr.SnapshotsWritten != 0 || cr.JournalBytes != 0 || cr.SnapshotsRestored != 0 {
+			t.Fatalf("seed %d: unjournaled run touched a journal: %+v", seed, cr)
+		}
+		if cr.DeliveredLost == 0 || rep.Stats.Delivered >= cr.TrueDelivered {
+			t.Fatalf("seed %d: unjournaled crashes lost nothing (delivered %d, true %d) — crashes did not bite",
+				seed, rep.Stats.Delivered, cr.TrueDelivered)
+		}
+		if rep.Stats.Delivered+cr.DeliveredLost != cr.TrueDelivered {
+			t.Fatalf("seed %d: loss accounting broken: delivered %d + lost %d != true %d",
+				seed, rep.Stats.Delivered, cr.DeliveredLost, cr.TrueDelivered)
+		}
+		lostBacklog += cr.BacklogLost
+	}
+	if lostBacklog == 0 {
+		t.Error("no seed lost client backlog — the overloaded control never had any to lose")
+	}
+}
+
+// TestCrashChaosReplayDeterministic: a crash schedule replays
+// bit-for-bit, recoveries included.
+func TestCrashChaosReplayDeterministic(t *testing.T) {
+	cfg := crashConfig(99)
+	events := mustSchedule(t, cfg)
+	a, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Crash != b.Crash {
+		t.Fatalf("crash records diverged: %+v vs %+v", a.Crash, b.Crash)
+	}
+	if a.Stats.Delivered != b.Stats.Delivered || a.Stats.Probes != b.Stats.Probes {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats, b.Stats)
+	}
+}

@@ -1,0 +1,196 @@
+package journal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"concentrators/internal/seedrand"
+)
+
+// Phase is the point inside a round at which a crash fault kills the
+// process. The three phases pin the three distinct recovery proofs:
+//
+//	RoundStart  — dies before the round executes: the journal is a
+//	              clean prefix through round−1; recovery re-executes
+//	              the round from the restored RNG cursor.
+//	MidDispatch — dies while appending the round's record: the store
+//	              holds a torn fragment; recovery discards it (CRC)
+//	              and re-executes the round. This is the torn-write
+//	              case the framing exists for.
+//	PreAck      — dies after the record is durable but before the
+//	              in-memory state advances (equivalently, before the
+//	              client is acked): recovery must apply the record
+//	              exactly once and must NOT re-execute the round.
+type Phase int
+
+// The crash phases.
+const (
+	PhaseRoundStart Phase = iota
+	PhaseMidDispatch
+	PhasePreAck
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseRoundStart:
+		return "round-start"
+	case PhaseMidDispatch:
+		return "mid-dispatch"
+	case PhasePreAck:
+		return "pre-ack"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// CrashFault is one scheduled process kill, deterministic in (round,
+// phase) exactly as the other planes' faults are deterministic in
+// their coordinates.
+type CrashFault struct {
+	// Round is the session round the kill fires in.
+	Round int
+	// Phase is where inside the round the process dies.
+	Phase Phase
+	// TornFrac is the fraction of the in-flight record's bytes that
+	// reach the store before a PhaseMidDispatch death (the torn
+	// write). Must be in [0, 1) — a full write is PhasePreAck, not a
+	// tear — and not NaN. Ignored by the other phases.
+	TornFrac float64
+}
+
+// String renders the fault.
+func (f CrashFault) String() string {
+	if f.Phase == PhaseMidDispatch {
+		return fmt.Sprintf("crash@%d %s torn=%.2f", f.Round, f.Phase, f.TornFrac)
+	}
+	return fmt.Sprintf("crash@%d %s", f.Round, f.Phase)
+}
+
+// Validate rejects malformed crash faults.
+func (f CrashFault) Validate() error {
+	switch {
+	case f.Round < 0:
+		return fmt.Errorf("journal: negative crash round in %v", f)
+	case f.Phase < PhaseRoundStart || f.Phase > PhasePreAck:
+		return fmt.Errorf("journal: unknown crash phase in crash@%d Phase(%d)", f.Round, int(f.Phase))
+	case math.IsNaN(f.TornFrac) || f.TornFrac < 0 || f.TornFrac >= 1:
+		return fmt.Errorf("journal: torn-write fraction %v outside [0,1) in %v", f.TornFrac, f)
+	}
+	return nil
+}
+
+// Plane is the seeded set of crash faults. Each fault fires at most
+// once: the re-executed round of the recovered incarnation must not
+// die at the same coordinate again, or no schedule would ever
+// terminate. (A real deployment's "crash loop" is exactly a fault
+// that does re-fire; the plane models independent failures.)
+type Plane struct {
+	seed   int64
+	faults []CrashFault
+	fired  []bool
+}
+
+// NewCrashPlane returns an empty crash plane with the given seed.
+func NewCrashPlane(seed int64) *Plane {
+	return &Plane{seed: seed}
+}
+
+// Add validates and schedules one crash fault.
+func (p *Plane) Add(f CrashFault) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	p.faults = append(p.faults, f)
+	p.fired = append(p.fired, false)
+	return nil
+}
+
+// Seed returns the plane's seed.
+func (p *Plane) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
+}
+
+// Faults lists the scheduled faults in (Round, Phase) order.
+func (p *Plane) Faults() []CrashFault {
+	if p == nil {
+		return nil
+	}
+	out := append([]CrashFault(nil), p.faults...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Round != out[j].Round {
+			return out[i].Round < out[j].Round
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// Len returns the number of scheduled faults.
+func (p *Plane) Len() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.faults)
+}
+
+// Rearm resets every fault to unfired, so the identical schedule can
+// be replayed against a second subject (the unjournaled control).
+func (p *Plane) Rearm() {
+	if p == nil {
+		return
+	}
+	for i := range p.fired {
+		p.fired[i] = false
+	}
+}
+
+// At reports whether an unfired fault kills the process at (round,
+// phase), consuming it. A nil plane never fires.
+func (p *Plane) At(round int, phase Phase) (CrashFault, bool) {
+	if p == nil {
+		return CrashFault{}, false
+	}
+	for i, f := range p.faults {
+		if !p.fired[i] && f.Round == round && f.Phase == phase {
+			p.fired[i] = true
+			return f, true
+		}
+	}
+	return CrashFault{}, false
+}
+
+// GenerateCrashSchedule derives a deterministic crash schedule: kills
+// spread across (2, rounds) with rotating phases — round-start,
+// mid-dispatch (with a seeded torn fraction), pre-ack — so every
+// recovery path is exercised. Deterministic in (seed, rounds, kills).
+func GenerateCrashSchedule(seed int64, rounds, kills int) *Plane {
+	p := NewCrashPlane(seed)
+	if kills <= 0 || rounds < 3 {
+		return p
+	}
+	rng := seedrand.New(seed ^ 0x6A09E667F3BCC908)
+	// One kill per slot of the [2, rounds) span, jittered within its
+	// slot, so exactly `kills` faults always fit the round range.
+	span := rounds - 2
+	for i := 0; i < kills; i++ {
+		lo := 2 + i*span/kills
+		hi := 2 + (i+1)*span/kills - 1
+		if hi < lo {
+			hi = lo
+		}
+		f := CrashFault{Round: lo + rng.Intn(hi-lo+1), Phase: Phase(i % 3)}
+		if f.Phase == PhaseMidDispatch {
+			// Somewhere strictly inside the frame: at least the magic
+			// byte lands, the checksum never does.
+			f.TornFrac = 0.05 + 0.9*rng.Float64()
+		}
+		// Add cannot fail: rounds and fractions are in range.
+		_ = p.Add(f)
+	}
+	return p
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"concentrators/internal/seedrand"
 )
 
 // WireFaultMode selects the failure mode of one wire-level fault.
@@ -205,19 +207,19 @@ func (p *CorruptionPlane) Clone() *CorruptionPlane {
 	return &CorruptionPlane{seed: p.seed, faults: append([]WireFault(nil), p.faults...)}
 }
 
-// mix64 is a splitmix64 finalizer: it decorrelates the per-(round,
-// stage, wire) stream seeds derived from the plane seed.
-func mix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
-	x = (x ^ x>>27) * 0x94D049BB133111EB
-	return x ^ x>>31
+// Seed returns the plane's stream seed (checkpointing needs it to
+// rebuild an identical plane after a crash-restart).
+func (p *CorruptionPlane) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
 }
 
 // rng derives the deterministic bit-noise source for one (round, link)
 // coordinate.
 func (p *CorruptionPlane) rng(round int, at LinkAddr) *rand.Rand {
-	h := mix64(uint64(p.seed) ^ mix64(uint64(round)<<32|uint64(uint32(at.Stage))) ^ mix64(uint64(at.Wire)+0x51ED270B))
+	h := seedrand.Mix64(uint64(p.seed) ^ seedrand.Mix64(uint64(round)<<32|uint64(uint32(at.Stage))) ^ seedrand.Mix64(uint64(at.Wire)+0x51ED270B))
 	return rand.New(rand.NewSource(int64(h)))
 }
 

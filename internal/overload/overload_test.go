@@ -3,6 +3,7 @@ package overload
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 )
 
@@ -363,17 +364,74 @@ func TestBrownoutStateMachine(t *testing.T) {
 	}
 }
 
+// TestConfigValidate pins every error path of the bundled controller
+// config: each AIMD branch, each brownout branch, and the backlog
+// waterline — one table row per distinct rejection.
 func TestConfigValidate(t *testing.T) {
 	if err := (Config{}).Validate(); err != nil {
 		t.Errorf("rejected defaults: %v", err)
 	}
-	if err := (Config{BacklogFactor: 0.5}).Validate(); err == nil {
-		t.Error("accepted backlog factor < 1")
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"NaN AIMD min", func(c *Config) { c.AIMD.Min = math.NaN() }, "AIMD bounds"},
+		{"NaN AIMD max", func(c *Config) { c.AIMD.Max = math.NaN() }, "AIMD bounds"},
+		{"negative AIMD min", func(c *Config) { c.AIMD.Min = -0.1 }, "AIMD bounds"},
+		{"AIMD min above max", func(c *Config) { c.AIMD.Min = 0.9; c.AIMD.Max = 0.2 }, "AIMD bounds"},
+		{"AIMD max above 1", func(c *Config) { c.AIMD.Max = 1.5 }, "AIMD bounds"},
+		{"NaN AIMD increase", func(c *Config) { c.AIMD.Increase = math.NaN() }, "additive increase"},
+		{"negative AIMD increase", func(c *Config) { c.AIMD.Increase = -0.05 }, "additive increase"},
+		{"AIMD increase above 1", func(c *Config) { c.AIMD.Increase = 2 }, "additive increase"},
+		{"NaN AIMD decrease", func(c *Config) { c.AIMD.Decrease = math.NaN() }, "multiplicative decrease"},
+		{"negative AIMD decrease", func(c *Config) { c.AIMD.Decrease = -0.5 }, "multiplicative decrease"},
+		{"AIMD decrease at 1", func(c *Config) { c.AIMD.Decrease = 1 }, "multiplicative decrease"},
+		{"brownout enter window below 1", func(c *Config) { c.Brownout.EnterAfter = -1 }, "brownout windows"},
+		{"brownout exit window below 1", func(c *Config) { c.Brownout.ExitAfter = -1 }, "brownout windows"},
+		{"NaN brownout step", func(c *Config) { c.Brownout.Step = math.NaN() }, "brownout step"},
+		{"negative brownout step", func(c *Config) { c.Brownout.Step = -0.5 }, "brownout step"},
+		{"brownout step at 1", func(c *Config) { c.Brownout.Step = 1 }, "brownout step"},
+		{"negative brownout max level", func(c *Config) { c.Brownout.MaxLevel = -1 }, "brownout max level"},
+		{"NaN backlog factor", func(c *Config) { c.BacklogFactor = math.NaN() }, "backlog factor"},
+		{"backlog factor below 1", func(c *Config) { c.BacklogFactor = 0.5 }, "backlog factor"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var cfg Config
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate on %+v: got %v, want mention of %q", cfg, err, tc.want)
+			}
+		})
 	}
-	if err := (Config{AIMD: AIMDConfig{Min: 0.9, Max: 0.2}}).Validate(); err == nil {
-		t.Error("accepted bad AIMD bounds")
+}
+
+// TestRetryConfigValidate pins every error path of the client retry
+// budget.
+func TestRetryConfigValidate(t *testing.T) {
+	if err := (RetryConfig{}).Validate(); err != nil {
+		t.Errorf("rejected defaults: %v", err)
 	}
-	if err := (Config{Brownout: BrownoutConfig{MaxLevel: -1}}).Validate(); err == nil {
-		t.Error("accepted negative brownout level")
+	for _, tc := range []struct {
+		name   string
+		mutate func(*RetryConfig)
+		want   string
+	}{
+		{"NaN budget", func(c *RetryConfig) { c.Budget = math.NaN() }, "retry budget"},
+		{"negative budget", func(c *RetryConfig) { c.Budget = -1 }, "retry budget"},
+		{"backoff base below 1", func(c *RetryConfig) { c.BackoffBase = -1 }, "backoff base"},
+		{"backoff cap below base", func(c *RetryConfig) { c.BackoffBase = 8; c.BackoffCap = 2 }, "backoff cap"},
+		{"NaN burst", func(c *RetryConfig) { c.Burst = math.NaN() }, "retry burst"},
+		{"burst below 1", func(c *RetryConfig) { c.Burst = 0.5 }, "retry burst"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var cfg RetryConfig
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Validate on %+v: got %v, want mention of %q", cfg, err, tc.want)
+			}
+		})
 	}
 }

@@ -1,0 +1,97 @@
+package overload
+
+// Snapshot/Restore pairs for the overload state machines. The journal
+// plane checkpoints a session or pool by serializing these structs
+// (gob) inside its records; a recovered incarnation rebuilds each
+// machine from its config — which is deterministic — and then restores
+// the snapshot on top. Only mutable state appears here: configs are
+// re-derived from the (journaled) session config, never duplicated in
+// every delta record.
+
+// RetrySnapshot is the serializable mutable state of a RetryBudget.
+type RetrySnapshot struct {
+	Tokens          float64
+	Allowed, Denied int
+}
+
+// Snapshot captures the budget's mutable state.
+func (b *RetryBudget) Snapshot() RetrySnapshot {
+	return RetrySnapshot{Tokens: b.tokens, Allowed: b.allowed, Denied: b.denied}
+}
+
+// Restore overwrites the budget's mutable state from a snapshot.
+func (b *RetryBudget) Restore(s RetrySnapshot) {
+	b.tokens, b.allowed, b.denied = s.Tokens, s.Allowed, s.Denied
+}
+
+// CoDelSnapshot is the serializable mutable state of a CoDel drain.
+type CoDelSnapshot struct {
+	FirstAbove, DropNext     int
+	Draining                 bool
+	Count, Episodes, Dropped int
+}
+
+// Snapshot captures the drain's mutable state.
+func (c *CoDel) Snapshot() CoDelSnapshot {
+	return CoDelSnapshot{
+		FirstAbove: c.firstAbove,
+		DropNext:   c.dropNext,
+		Draining:   c.draining,
+		Count:      c.count,
+		Episodes:   c.episodes,
+		Dropped:    c.dropped,
+	}
+}
+
+// Restore overwrites the drain's mutable state from a snapshot.
+func (c *CoDel) Restore(s CoDelSnapshot) {
+	c.firstAbove = s.FirstAbove
+	c.dropNext = s.DropNext
+	c.draining = s.Draining
+	c.count = s.Count
+	c.episodes = s.Episodes
+	c.dropped = s.Dropped
+}
+
+// AIMDSnapshot is the serializable mutable state of an AIMD controller.
+type AIMDSnapshot struct {
+	Fraction             float64
+	Increases, Decreases int
+}
+
+// Snapshot captures the controller's mutable state.
+func (a *AIMD) Snapshot() AIMDSnapshot {
+	return AIMDSnapshot{Fraction: a.fraction, Increases: a.increases, Decreases: a.decreases}
+}
+
+// Restore overwrites the controller's mutable state from a snapshot.
+func (a *AIMD) Restore(s AIMDSnapshot) {
+	a.fraction, a.increases, a.decreases = s.Fraction, s.Increases, s.Decreases
+}
+
+// BrownoutSnapshot is the serializable mutable state of a Brownout
+// machine.
+type BrownoutSnapshot struct {
+	Level, CongStreak, CleanStreak int
+	Enters, Exits                  int
+}
+
+// Snapshot captures the machine's mutable state.
+func (b *Brownout) Snapshot() BrownoutSnapshot {
+	return BrownoutSnapshot{
+		Level:       b.level,
+		CongStreak:  b.congStreak,
+		CleanStreak: b.cleanStreak,
+		Enters:      b.enters,
+		Exits:       b.exits,
+	}
+}
+
+// Restore overwrites the machine's mutable state from a snapshot.
+func (b *Brownout) Restore(s BrownoutSnapshot) {
+	b.level = s.Level
+	b.congStreak = s.CongStreak
+	b.cleanStreak = s.CleanStreak
+	b.enters = s.Enters
+	b.exits = s.Exits
+}

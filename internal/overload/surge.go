@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"concentrators/internal/seedrand"
 )
 
 // Mode selects the shape of one surge fault.
@@ -202,18 +204,19 @@ func (p *Plane) Clone() *Plane {
 	return &Plane{seed: p.seed, faults: append([]Fault(nil), p.faults...)}
 }
 
-// mix64 is a splitmix64 finalizer decorrelating per-round streams.
-func mix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
-	x = (x ^ x>>27) * 0x94D049BB133111EB
-	return x ^ x>>31
+// Seed returns the plane's stream seed (checkpointing needs it to
+// rebuild an identical plane after a crash-restart).
+func (p *Plane) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
 }
 
 // rng derives the deterministic spike source for one (round, fault)
 // coordinate.
 func (p *Plane) rng(round, idx int) *rand.Rand {
-	h := mix64(uint64(p.seed) ^ mix64(uint64(round)<<20|uint64(uint32(idx))))
+	h := seedrand.Mix64(uint64(p.seed) ^ seedrand.Mix64(uint64(round)<<20|uint64(uint32(idx))))
 	return rand.New(rand.NewSource(int64(h)))
 }
 

@@ -1,0 +1,364 @@
+package pool
+
+import (
+	"fmt"
+	"sort"
+
+	"concentrators/internal/health"
+	"concentrators/internal/link"
+	"concentrators/internal/overload"
+	"concentrators/internal/timing"
+)
+
+// Pool durability: checkpoints of the control plane, and the rolling
+// drain/rejoin maintenance path built on them.
+//
+// What a checkpoint captures is exactly what a controller restart must
+// not forget: the health/breaker state machines, the localized fault
+// record each degraded contract is derived from, the aggregate and
+// per-replica ledgers, the admission state (shed streak, AIMD
+// fraction, brownout level), and the chaos-injected wire/timing fault
+// planes (board wiring — it does not heal when the controller
+// reboots). What it deliberately does NOT capture is monitoring
+// state: latency histograms, EWMA link monitors, and slow-detector
+// windows restart cold. They are estimators over observations, not
+// ledgers — a rebooted controller re-learns them in a few rounds, and
+// journaling every observation would make the checkpoint O(history)
+// instead of O(state).
+//
+// Degraded contracts are not serialized either: they are pure
+// functions of the fault record, so Restore re-derives them through
+// the same rebuildContractLocked path that built them live.
+
+// ReplicaCheckpoint is the serializable control-plane state of one
+// replica.
+type ReplicaCheckpoint struct {
+	ID     int
+	State  State
+	Killed bool
+
+	// Breaker machine.
+	ConsecViol  int
+	Backoff     int
+	ProbeAt     int64
+	PendingScan bool
+
+	// Gray-failure conviction (gates rejoin behind a timed canary).
+	SlowConvicted bool
+
+	// Fault record: scan-localized chip faults plus quarantined output
+	// wires, from which the degraded contract is re-derived.
+	KnownFaults []health.LocalizedFault
+	WireFaults  map[int]health.LocalizedFault
+
+	// Chaos-injected hardware planes (board wiring survives a
+	// controller reboot; a rebuilt pool re-injects them from here).
+	HasWirePlane      bool
+	WirePlaneSeed     int64
+	WirePlaneFaults   []link.WireFault
+	HasTimingPlane    bool
+	TimingPlaneSeed   int64
+	TimingPlaneFaults []timing.Fault
+
+	// Accounting.
+	Trips, Probes, Scans, Violations, RoundsServed, Repairs int
+	Corrupted, LinkQuarantines                              int
+	SlowConvictions, Canaries                               int
+}
+
+// LedgerCheckpoint is the durable slice of the pool's aggregate Stats:
+// every conservation-relevant counter, none of the monitoring state
+// (the latency histogram restarts cold alongside the other monitors).
+type LedgerCheckpoint struct {
+	Rounds                             int
+	Offered, Admitted, Shed, Delivered int
+	RetryAfterTotal                    int
+	Failovers, SameRoundFailovers      int
+	Violations                         int
+	Trips, Probes, Scans, Repairs      int
+	CorruptedDeliveries                int
+	Hedges, HedgeWins                  int
+	SlowConvictions, Canaries          int
+	DeadlineMissed                     int
+	LinksQuarantined                   int
+	CongestedRounds                    int
+}
+
+// Checkpoint is the serializable control-plane state of the whole
+// pool: what a process restart restores via Restore.
+type Checkpoint struct {
+	Round         int64
+	Active        int
+	ShedStreak    int
+	ClientBacklog int
+	Ledger        LedgerCheckpoint
+	// Closed-loop admission state; meaningful only when the pool was
+	// built with Config.Overload.
+	AIMD     overload.AIMDSnapshot
+	Brownout overload.BrownoutSnapshot
+	Replicas []ReplicaCheckpoint
+}
+
+func (r *replica) checkpointLocked() ReplicaCheckpoint {
+	cp := ReplicaCheckpoint{
+		ID: r.id, State: r.state, Killed: r.killed,
+		ConsecViol: r.consecViol, Backoff: r.backoff,
+		ProbeAt: r.probeAt, PendingScan: r.pendingScan,
+		SlowConvicted: r.slowConvicted,
+		WireFaults:    make(map[int]health.LocalizedFault, len(r.wireFaults)),
+		Trips:         r.trips, Probes: r.probes, Scans: r.scans,
+		Violations: r.violations, RoundsServed: r.roundsServed,
+		Repairs: r.repairs, Corrupted: r.corrupted,
+		LinkQuarantines: r.linkQuarantines,
+		SlowConvictions: r.slowConvictions, Canaries: r.canaries,
+	}
+	for _, lf := range r.known {
+		cp.KnownFaults = append(cp.KnownFaults, lf)
+	}
+	sort.Slice(cp.KnownFaults, func(i, j int) bool {
+		a, b := cp.KnownFaults[i], cp.KnownFaults[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Chip < b.Chip
+	})
+	for w, lf := range r.wireFaults {
+		cp.WireFaults[w] = lf
+	}
+	if r.plane != nil {
+		cp.HasWirePlane = true
+		cp.WirePlaneSeed = r.plane.Seed()
+		cp.WirePlaneFaults = r.plane.Faults()
+	}
+	if r.tplane != nil {
+		cp.HasTimingPlane = true
+		cp.TimingPlaneSeed = r.tplane.Seed()
+		cp.TimingPlaneFaults = r.tplane.Faults()
+	}
+	return cp
+}
+
+// restoreReplicaLocked overwrites r's control plane from the
+// checkpoint and re-derives its serving contract. Monitoring state
+// (latency record, link monitor, slow-detector window) restarts cold.
+func (p *Pool) restoreReplicaLocked(r *replica, cp ReplicaCheckpoint) error {
+	r.state = cp.State
+	r.killed = cp.Killed
+	r.consecViol = cp.ConsecViol
+	r.backoff = cp.Backoff
+	r.probeAt = cp.ProbeAt
+	r.pendingScan = cp.PendingScan
+	r.slowConvicted = cp.SlowConvicted
+	r.known = make(map[[2]int]health.LocalizedFault, len(cp.KnownFaults))
+	for _, lf := range cp.KnownFaults {
+		r.known[[2]int{lf.Stage, lf.Chip}] = lf
+	}
+	r.wireFaults = make(map[int]health.LocalizedFault, len(cp.WireFaults))
+	for w, lf := range cp.WireFaults {
+		r.wireFaults[w] = lf
+	}
+	r.plane = nil
+	if cp.HasWirePlane {
+		r.plane = link.NewCorruptionPlane(cp.WirePlaneSeed)
+		for _, f := range cp.WirePlaneFaults {
+			if err := r.plane.Add(f); err != nil {
+				return fmt.Errorf("pool: replica %d checkpoint carries invalid wire fault: %w", r.id, err)
+			}
+		}
+	}
+	r.tplane = nil
+	if cp.HasTimingPlane {
+		r.tplane = timing.NewPlane(cp.TimingPlaneSeed)
+		for _, f := range cp.TimingPlaneFaults {
+			if err := r.tplane.Add(f); err != nil {
+				return fmt.Errorf("pool: replica %d checkpoint carries invalid timing fault: %w", r.id, err)
+			}
+		}
+	}
+	r.trips, r.probes, r.scans = cp.Trips, cp.Probes, cp.Scans
+	r.violations, r.roundsServed, r.repairs = cp.Violations, cp.RoundsServed, cp.Repairs
+	r.corrupted, r.linkQuarantines = cp.Corrupted, cp.LinkQuarantines
+	r.slowConvictions, r.canaries = cp.SlowConvictions, cp.Canaries
+	// Monitors restart cold.
+	r.lat.Reset()
+	p.slow.Reset(r.id)
+	if monitor, err := link.NewLinkMonitor(p.cfg.Monitor); err == nil {
+		r.monitor = monitor
+	}
+	if err := p.rebuildContractLocked(r); err != nil {
+		return fmt.Errorf("pool: replica %d contract does not rebuild from checkpoint: %w", r.id, err)
+	}
+	return nil
+}
+
+// CheckpointReplica captures replica i's control-plane state — the
+// first step of the rolling drain/rejoin maintenance path.
+func (p *Pool) CheckpointReplica(i int) (ReplicaCheckpoint, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.replicaLocked(i)
+	if err != nil {
+		return ReplicaCheckpoint{}, err
+	}
+	return r.checkpointLocked(), nil
+}
+
+// Drain takes replica i gracefully out of rotation for a maintenance
+// restart: it is quarantined with no probe scheduled (it cannot be
+// re-admitted until Rejoin), and its controller state — health record,
+// breaker counters, monitors — is wiped, exactly what rebooting the
+// board's controller does. The silicon and board wiring (chip, wire,
+// and timing fault planes) survive the reboot untouched. Traffic the
+// replica was serving retargets at the next election; nothing
+// in-flight is lost, because a drain happens between rounds by
+// construction (the pool lock serializes it against Run).
+//
+// Drain does not count as a breaker trip: the backoff sequence is
+// untouched and no violation is booked. Checkpoint first — Drain is
+// the restart, and the wipe is the point.
+func (p *Pool) Drain(i int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.replicaLocked(i)
+	if err != nil {
+		return err
+	}
+	if r.killed {
+		return fmt.Errorf("pool: replica %d is killed; revive it instead of draining", i)
+	}
+	r.state = Quarantined
+	r.pendingScan = false
+	r.probeAt = -1
+	r.consecViol = 0
+	r.degraded = nil
+	r.known = make(map[[2]int]health.LocalizedFault)
+	r.wireFaults = make(map[int]health.LocalizedFault)
+	r.slowConvicted = false
+	r.lat.Reset()
+	p.slow.Reset(i)
+	if monitor, err := link.NewLinkMonitor(p.cfg.Monitor); err == nil {
+		r.monitor = monitor
+	}
+	return nil
+}
+
+// Rejoin brings a drained replica back from its checkpoint: the
+// control record (fault record, breaker counters, ledgers) is
+// restored, the serving contract re-derived, and the replica is
+// re-admitted through the standard half-open path — a BIST probe scan
+// next round, gated behind a timed canary if the checkpoint says the
+// replica was slow-convicted. It re-enters rotation only when that
+// probe passes, exactly like a replica coming back from quarantine;
+// rejoin gets no shortcut around the breaker.
+func (p *Pool) Rejoin(i int, cp ReplicaCheckpoint) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, err := p.replicaLocked(i)
+	if err != nil {
+		return err
+	}
+	if r.killed {
+		return fmt.Errorf("pool: replica %d is killed; revive it instead of rejoining", i)
+	}
+	if cp.ID != i {
+		return fmt.Errorf("pool: checkpoint belongs to replica %d, not %d", cp.ID, i)
+	}
+	if err := p.restoreReplicaLocked(r, cp); err != nil {
+		return err
+	}
+	r.killed = false
+	r.state = Quarantined
+	r.probeAt = p.round + 1
+	r.pendingScan = true
+	return nil
+}
+
+// Snapshot captures the pool's complete control-plane state. Pair with
+// Restore on a pool rebuilt over the same switches to model a control
+// process crash-restart.
+func (p *Pool) Snapshot() *Checkpoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	cp := &Checkpoint{
+		Round:         p.round,
+		Active:        p.active,
+		ShedStreak:    p.shedStreak,
+		ClientBacklog: p.clientBacklog,
+		Ledger: LedgerCheckpoint{
+			Rounds: s.Rounds, Offered: s.Offered, Admitted: s.Admitted,
+			Shed: s.Shed, Delivered: s.Delivered,
+			RetryAfterTotal: s.RetryAfterTotal,
+			Failovers:       s.Failovers, SameRoundFailovers: s.SameRoundFailovers,
+			Violations: s.Violations, Trips: s.Trips, Probes: s.Probes,
+			Scans: s.Scans, Repairs: s.Repairs,
+			CorruptedDeliveries: s.CorruptedDeliveries,
+			Hedges:              s.Hedges, HedgeWins: s.HedgeWins,
+			SlowConvictions: s.SlowConvictions, Canaries: s.Canaries,
+			DeadlineMissed:   s.DeadlineMissed,
+			LinksQuarantined: s.LinksQuarantined,
+			CongestedRounds:  s.CongestedRounds,
+		},
+	}
+	if p.aimd != nil {
+		cp.AIMD = p.aimd.Snapshot()
+		cp.Brownout = p.brown.Snapshot()
+	}
+	for _, r := range p.replicas {
+		cp.Replicas = append(cp.Replicas, r.checkpointLocked())
+	}
+	return cp
+}
+
+// Restore overwrites the pool's control plane from a checkpoint taken
+// on a pool with the same replica count and overload configuration —
+// the recovery path of a control process restart. Monitoring state
+// (latency histograms, link monitors, slow-detector windows) restarts
+// cold; everything a ledger or a state machine depends on is restored
+// exactly.
+func (p *Pool) Restore(cp *Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("pool: nil checkpoint")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(cp.Replicas) != len(p.replicas) {
+		return fmt.Errorf("pool: checkpoint has %d replicas, pool has %d", len(cp.Replicas), len(p.replicas))
+	}
+	if cp.Active < 0 || cp.Active >= len(p.replicas) {
+		return fmt.Errorf("pool: checkpoint active replica %d out of range [0,%d)", cp.Active, len(p.replicas))
+	}
+	for idx, rcp := range cp.Replicas {
+		if rcp.ID != idx {
+			return fmt.Errorf("pool: checkpoint replica %d carries id %d", idx, rcp.ID)
+		}
+		if err := p.restoreReplicaLocked(p.replicas[idx], rcp); err != nil {
+			return err
+		}
+	}
+	p.round = cp.Round
+	p.active = cp.Active
+	p.shedStreak = cp.ShedStreak
+	p.clientBacklog = cp.ClientBacklog
+	l := cp.Ledger
+	p.stats = Stats{
+		Rounds: l.Rounds, Offered: l.Offered, Admitted: l.Admitted,
+		Shed: l.Shed, Delivered: l.Delivered,
+		RetryAfterTotal: l.RetryAfterTotal,
+		Failovers:       l.Failovers, SameRoundFailovers: l.SameRoundFailovers,
+		Violations: l.Violations, Trips: l.Trips, Probes: l.Probes,
+		Scans: l.Scans, Repairs: l.Repairs,
+		CorruptedDeliveries: l.CorruptedDeliveries,
+		Hedges:              l.Hedges, HedgeWins: l.HedgeWins,
+		SlowConvictions: l.SlowConvictions, Canaries: l.Canaries,
+		DeadlineMissed:   l.DeadlineMissed,
+		LinksQuarantined: l.LinksQuarantined,
+		CongestedRounds:  l.CongestedRounds,
+	}
+	p.lat.Reset()
+	if p.aimd != nil {
+		p.aimd.Restore(cp.AIMD)
+		p.brown.Restore(cp.Brownout)
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package pool
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"concentrators/internal/core"
+	"concentrators/internal/link"
+	"concentrators/internal/overload"
+)
+
+// TestRollingDrainRejoinZeroRegression is the maintenance property:
+// rolling a checkpoint/drain/restart/rejoin across every replica in
+// turn — including one serving a degraded contract — never costs a
+// round its delivery guarantee, never violates, and re-admits each
+// replica through the standard probe path back to its pre-drain
+// contract.
+func TestRollingDrainRejoinZeroRegression(t *testing.T) {
+	p := newPool(t, Config{TripThreshold: 1, ProbeAfter: 1, BackoffMax: 8}, 3)
+	thr := p.Threshold()
+
+	// Give replica 0 a repairable fault and let the breaker walk it to
+	// Repaired under a degraded contract, so the roll-through covers a
+	// replica whose checkpoint actually carries a fault record.
+	if err := p.InjectFault(0, core.ChipFault{Stage: 1, Chip: 0, Mode: core.ChipStuckOutput, A: 0}); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 6; round++ {
+		if _, err := p.Run(fullMsgs(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.States()[0]; got != Repaired {
+		t.Fatalf("replica 0 state %v before roll, want repaired", got)
+	}
+	degradedThr := p.Stats().Replicas[0].Threshold
+
+	runFull := func(label string, drained int) {
+		t.Helper()
+		rr, err := p.Run(fullMsgs(thr))
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if rr.Violated {
+			t.Fatalf("%s: round violated", label)
+		}
+		want := min(thr, rr.Threshold)
+		if got := len(rr.Result.Delivered); got < want {
+			t.Fatalf("%s: delivered %d < %d — drain/rejoin cost deliveries", label, got, want)
+		}
+		if drained >= 0 && rr.ServedBy == drained {
+			t.Fatalf("%s: drained replica %d served traffic", label, drained)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		preStates := p.States()
+		probesBefore := p.Stats().Replicas[i].Probes
+
+		cp, err := p.CheckpointReplica(i)
+		if err != nil {
+			t.Fatalf("replica %d: checkpoint: %v", i, err)
+		}
+		if cp.ID != i || cp.State != preStates[i] {
+			t.Fatalf("replica %d: checkpoint carries id %d state %v, want %d %v",
+				i, cp.ID, cp.State, i, preStates[i])
+		}
+		if err := p.Drain(i); err != nil {
+			t.Fatalf("replica %d: drain: %v", i, err)
+		}
+		if got := p.States()[i]; got != Quarantined {
+			t.Fatalf("replica %d: state %v while drained, want quarantined", i, got)
+		}
+		// The restart window: the pool keeps serving at full guarantee
+		// from the spares, and no probe sneaks the wiped replica back in.
+		for round := 0; round < 3; round++ {
+			runFull("drained", i)
+			if got := p.States()[i]; got != Quarantined {
+				t.Fatalf("replica %d: re-admitted while drained (state %v)", i, got)
+			}
+		}
+		if err := p.Rejoin(i, cp); err != nil {
+			t.Fatalf("replica %d: rejoin: %v", i, err)
+		}
+		// Re-admission goes through the standard half-open probe.
+		for round := 0; round < 3; round++ {
+			runFull("rejoining", -1)
+		}
+		if got := p.States()[i]; got != preStates[i] && got != Healthy {
+			t.Fatalf("replica %d: state %v after rejoin, want %v", i, got, preStates[i])
+		}
+		if got := p.Stats().Replicas[i].Probes; got <= probesBefore {
+			t.Fatalf("replica %d: no probe fired on rejoin (%d → %d) — re-admission bypassed the breaker",
+				i, probesBefore, got)
+		}
+	}
+
+	// The degraded replica came back at its degraded contract, not at a
+	// fantasy full one and not locked out.
+	if got := p.Stats().Replicas[0].Threshold; got != degradedThr {
+		t.Fatalf("replica 0 threshold %d after roll, want preserved degraded %d", got, degradedThr)
+	}
+	if p.Stats().Violations != 0 {
+		t.Fatalf("roll-through booked %d violations, want 0", p.Stats().Violations)
+	}
+}
+
+// TestPoolSnapshotRestoreRoundTrip models a control-process
+// crash-restart: a pool with chip, wire, and timing faults plus a
+// closed admission loop is snapshotted mid-run, the checkpoint goes
+// through gob (the journal's wire format), a fresh pool is built over
+// the same switches, and Restore must reproduce the control plane
+// exactly — Snapshot of the restored pool equals the checkpoint.
+func TestPoolSnapshotRestoreRoundTrip(t *testing.T) {
+	sws := newReplicas(t, 2)
+	cfg := Config{
+		TripThreshold: 1, ProbeAfter: 1, BackoffMax: 8,
+		Overload: &overload.Config{BacklogFactor: 1},
+	}
+	a, err := New(cfg, sws...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outStage := len(a.replicas[0].sw.StageChips())
+	if err := a.InjectFault(0, core.ChipFault{Stage: 1, Chip: 0, Mode: core.ChipStuckOutput, A: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InjectWireFault(1, link.WireFault{
+		Stage: outStage, Wire: 3, Mode: link.WireStuck, StuckValue: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.InjectTimingFault(1, straggler(2)); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		if _, err := a.Run(fullMsgs(a.Inputs())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp := a.Snapshot()
+	if cp.Round != 20 || cp.Ledger.Rounds != 20 {
+		t.Fatalf("snapshot at round %d / %d ledger rounds, want 20", cp.Round, cp.Ledger.Rounds)
+	}
+	if cp.Ledger.Delivered == 0 || cp.Ledger.Shed == 0 {
+		t.Fatalf("snapshot ledger carries no traffic: %+v", cp.Ledger)
+	}
+	if len(cp.Replicas[0].KnownFaults) == 0 {
+		t.Fatal("snapshot lost replica 0's localized fault record")
+	}
+	if !cp.Replicas[1].HasWirePlane || !cp.Replicas[1].HasTimingPlane {
+		t.Fatal("snapshot lost replica 1's injected hardware planes")
+	}
+
+	// Through the journal's wire format.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		t.Fatalf("checkpoint does not gob-encode: %v", err)
+	}
+	var decoded Checkpoint
+	if err := gob.NewDecoder(&buf).Decode(&decoded); err != nil {
+		t.Fatalf("checkpoint does not gob-decode: %v", err)
+	}
+	if !reflect.DeepEqual(cp, &decoded) {
+		t.Fatalf("gob round-trip altered the checkpoint\n got: %+v\nwant: %+v", &decoded, cp)
+	}
+
+	// The restart: a new pool over the same silicon, state from the
+	// decoded checkpoint.
+	b, err := New(cfg, sws...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(&decoded); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	after := b.Snapshot()
+	if !reflect.DeepEqual(after, cp) {
+		t.Fatalf("restored control plane differs from checkpoint\n got: %+v\nwant: %+v", after, cp)
+	}
+	if !reflect.DeepEqual(b.States(), a.States()) {
+		t.Fatalf("restored states %v, original %v", b.States(), a.States())
+	}
+	if b.Stats().Delivered != a.Stats().Delivered || b.Stats().Shed != a.Stats().Shed {
+		t.Fatalf("restored ledger (%d delivered, %d shed) != original (%d, %d)",
+			b.Stats().Delivered, b.Stats().Shed, a.Stats().Delivered, a.Stats().Shed)
+	}
+	// The restored pool must still serve: contracts were re-derived
+	// from the restored fault record, not lost with the process.
+	rr, err := b.Run(fullMsgs(b.Threshold()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Violated || len(rr.Result.Delivered) < min(b.Threshold(), rr.Threshold) {
+		t.Fatalf("restored pool first round: violated %v, delivered %d", rr.Violated, len(rr.Result.Delivered))
+	}
+}
+
+func TestCheckpointErrorPaths(t *testing.T) {
+	p := newPool(t, Config{ProbeAfter: 1}, 2)
+	if _, err := p.CheckpointReplica(5); err == nil {
+		t.Error("checkpointed out-of-range replica")
+	}
+	if err := p.Drain(5); err == nil {
+		t.Error("drained out-of-range replica")
+	}
+	cp, err := p.CheckpointReplica(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Rejoin(1, cp); err == nil {
+		t.Error("rejoined replica 1 from replica 0's checkpoint")
+	}
+	if err := p.Kill(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Drain(0); err == nil {
+		t.Error("drained a killed replica")
+	}
+	if err := p.Rejoin(0, cp); err == nil {
+		t.Error("rejoined a killed replica")
+	}
+	if err := p.Restore(nil); err == nil {
+		t.Error("restored nil checkpoint")
+	}
+	full := p.Snapshot()
+	full.Replicas = full.Replicas[:1]
+	if err := p.Restore(full); err == nil {
+		t.Error("restored checkpoint with wrong replica count")
+	}
+	full = p.Snapshot()
+	full.Active = 9
+	if err := p.Restore(full); err == nil {
+		t.Error("restored checkpoint with out-of-range active replica")
+	}
+	full = p.Snapshot()
+	full.Replicas[0].ID = 1
+	if err := p.Restore(full); err == nil {
+		t.Error("restored checkpoint with shuffled replica ids")
+	}
+}

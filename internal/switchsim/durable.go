@@ -1,0 +1,498 @@
+package switchsim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+
+	"concentrators/internal/core"
+	"concentrators/internal/journal"
+	"concentrators/internal/overload"
+	"concentrators/internal/seedrand"
+)
+
+// This file is the durable session runner: the same round machine as
+// RunSession, driven under the journal plane. Between rounds the
+// machine's complete state — ledgers, backlog, retry-budget and CoDel
+// machines, and the traffic RNG cursor — is made durable as snapshot
+// and delta records; the crash plane kills the simulated process at
+// (round, phase) coordinates; and each new incarnation rebuilds the
+// machine from the journal before continuing. The exactly-once
+// argument, phase by phase:
+//
+//	round-start   — the journal is a clean prefix through round−1;
+//	                recovery replays it and re-executes the round. The
+//	                round ran zero times before the crash, once after.
+//	mid-dispatch  — the round ran, but its delta tore mid-append.
+//	                Replay discards the fragment (CRC) and recovery
+//	                re-executes from the journaled pre-round cursor:
+//	                identical draws, identical outcome, journaled once.
+//	pre-ack       — the delta is durable but the client was never
+//	                acked. Replay applies it exactly once (strictly
+//	                increasing LSNs) and recovery resumes at the NEXT
+//	                round: the round ran once, and is never re-run.
+//
+// Offers become external — count toward the ground-truth ledger — only
+// when their round's delta commits; a torn round's offers are re-made
+// identically by the re-execution, so they are counted exactly once.
+
+// pendingRec is the serializable form of a pendingMsg.
+type pendingRec struct {
+	Input, FirstRound, Eligible, Offers int
+}
+
+// histDelta is one latency bucket's increment within a round.
+type histDelta struct {
+	Lat, Count int
+}
+
+// statsRec is the serializable core of SessionStats (the Integrity
+// block is excluded: integrity sessions cannot be journaled).
+type statsRec struct {
+	Offered, Delivered, Dropped, DeadlineMissed     int
+	Shed, Refused, Retries, RetriedDelivered        int
+	LatencyHistogram, FirstTryLatencyHistogram      map[int]int
+	RetriedLatencyHistogram, MissedLatencyHistogram map[int]int
+	MaxBacklog, MaxOffered                          int
+	DeliveredPerRound                               []int
+}
+
+// snapshotRec is a full checkpoint: state after rounds [0, Round) with
+// the RNG cursor positioned to execute Round.
+type snapshotRec struct {
+	Round     int
+	Cursor    uint64
+	Stats     statsRec
+	RetryPool []pendingRec
+	Buffered  []pendingRec
+	Budget    overload.RetrySnapshot
+	CoDel     overload.CoDelSnapshot
+}
+
+// deltaRec is one round's commit: the ledger increments the round
+// produced, the complete post-round backlog (bounded by the input
+// count — at most one waiting message per input), the control-machine
+// states, and the post-round RNG cursor.
+type deltaRec struct {
+	Round  int
+	Cursor uint64
+	// Ledger increments.
+	DOffered, DDropped, DShed, DRefused, DRetries int
+	// Delivery events by latency bucket, split exactly as the session
+	// histograms are; Delivered/RetriedDelivered/DeadlineMissed are
+	// implied by the event counts.
+	FirstTry, Retried, Missed []histDelta
+	DeliveredThisRound        int
+	// Watermarks are absolutes (monotone, so idempotent to re-apply).
+	MaxBacklog, MaxOffered int
+	// Post-round backlog and control-machine state.
+	RetryPool []pendingRec
+	Buffered  []pendingRec
+	Budget    overload.RetrySnapshot
+	CoDel     overload.CoDelSnapshot
+}
+
+func encodeRec(v any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, fmt.Errorf("switchsim: journal encode: %w", err)
+	}
+	return b.Bytes(), nil
+}
+
+func decodeRec(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("switchsim: journal decode: %w", err)
+	}
+	return nil
+}
+
+func poolToRecs(pool []*pendingMsg) []pendingRec {
+	out := make([]pendingRec, len(pool))
+	for i, pm := range pool {
+		out[i] = pendingRec{Input: pm.input, FirstRound: pm.firstRound, Eligible: pm.eligible, Offers: pm.offers}
+	}
+	return out
+}
+
+func bufferedToRecs(m map[int]*pendingMsg) []pendingRec {
+	out := make([]pendingRec, 0, len(m))
+	for _, pm := range m {
+		out = append(out, pendingRec{Input: pm.input, FirstRound: pm.firstRound, Eligible: pm.eligible, Offers: pm.offers})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Input < out[j].Input })
+	return out
+}
+
+func recsToPool(recs []pendingRec) []*pendingMsg {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]*pendingMsg, len(recs))
+	for i, r := range recs {
+		out[i] = &pendingMsg{input: r.Input, firstRound: r.FirstRound, eligible: r.Eligible, offers: r.Offers}
+	}
+	return out
+}
+
+func recsToBuffered(recs []pendingRec) map[int]*pendingMsg {
+	out := make(map[int]*pendingMsg, len(recs))
+	for _, r := range recs {
+		out[r.Input] = &pendingMsg{input: r.Input, firstRound: r.FirstRound, eligible: r.Eligible, offers: r.Offers}
+	}
+	return out
+}
+
+func copyHist(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// histIncrements diffs two histogram generations into sorted bucket
+// increments.
+func histIncrements(before, after map[int]int) []histDelta {
+	var out []histDelta
+	for lat, c := range after {
+		if d := c - before[lat]; d > 0 {
+			out = append(out, histDelta{Lat: lat, Count: d})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Lat < out[j].Lat })
+	return out
+}
+
+// statsMark is the pre-round position of every counter a delta
+// increments, taken before step() so the delta can be diffed out.
+type statsMark struct {
+	offered, dropped, shed, refused, retries int
+	firstTry, retried, missed                map[int]int
+}
+
+func (st *sessionState) mark() statsMark {
+	s := st.stats
+	return statsMark{
+		offered: s.Offered, dropped: s.Dropped, shed: s.Shed,
+		refused: s.Refused, retries: s.Retries,
+		firstTry: copyHist(s.FirstTryLatencyHistogram),
+		retried:  copyHist(s.RetriedLatencyHistogram),
+		missed:   copyHist(s.MissedLatencyHistogram),
+	}
+}
+
+// deltaSince builds the commit record for the round just executed
+// (st.round has already advanced past it).
+func (st *sessionState) deltaSince(mk statsMark, cursor uint64) *deltaRec {
+	s := st.stats
+	round := st.round - 1
+	d := &deltaRec{
+		Round:              round,
+		Cursor:             cursor,
+		DOffered:           s.Offered - mk.offered,
+		DDropped:           s.Dropped - mk.dropped,
+		DShed:              s.Shed - mk.shed,
+		DRefused:           s.Refused - mk.refused,
+		DRetries:           s.Retries - mk.retries,
+		FirstTry:           histIncrements(mk.firstTry, s.FirstTryLatencyHistogram),
+		Retried:            histIncrements(mk.retried, s.RetriedLatencyHistogram),
+		Missed:             histIncrements(mk.missed, s.MissedLatencyHistogram),
+		DeliveredThisRound: s.DeliveredPerRound[round],
+		MaxBacklog:         s.MaxBacklog,
+		MaxOffered:         s.MaxOffered,
+		RetryPool:          poolToRecs(st.retryPool),
+		Buffered:           bufferedToRecs(st.buffered),
+	}
+	if st.budget != nil {
+		d.Budget = st.budget.Snapshot()
+	}
+	if st.codel != nil {
+		d.CoDel = st.codel.Snapshot()
+	}
+	return d
+}
+
+// applyDelta replays one committed round onto the recovering state.
+// The round number must be exactly the next round the state expects —
+// the strictly-increasing-LSN replay makes duplicates impossible, and
+// this check makes the exactly-once application explicit.
+func (st *sessionState) applyDelta(d *deltaRec) error {
+	if d.Round != st.round {
+		return fmt.Errorf("switchsim: journal replay expected round %d, found delta for round %d", st.round, d.Round)
+	}
+	if d.Round >= len(st.stats.DeliveredPerRound) {
+		return fmt.Errorf("switchsim: journal delta for round %d beyond session's %d rounds", d.Round, len(st.stats.DeliveredPerRound))
+	}
+	s := st.stats
+	s.Offered += d.DOffered
+	s.Dropped += d.DDropped
+	s.Shed += d.DShed
+	s.Refused += d.DRefused
+	s.Retries += d.DRetries
+	for _, h := range d.FirstTry {
+		s.Delivered += h.Count
+		s.LatencyHistogram[h.Lat] += h.Count
+		s.FirstTryLatencyHistogram[h.Lat] += h.Count
+	}
+	for _, h := range d.Retried {
+		s.Delivered += h.Count
+		s.RetriedDelivered += h.Count
+		s.LatencyHistogram[h.Lat] += h.Count
+		s.RetriedLatencyHistogram[h.Lat] += h.Count
+	}
+	for _, h := range d.Missed {
+		s.DeadlineMissed += h.Count
+		s.MissedLatencyHistogram[h.Lat] += h.Count
+	}
+	s.DeliveredPerRound[d.Round] = d.DeliveredThisRound
+	s.MaxBacklog = d.MaxBacklog
+	s.MaxOffered = d.MaxOffered
+	st.retryPool = recsToPool(d.RetryPool)
+	st.buffered = recsToBuffered(d.Buffered)
+	if st.budget != nil {
+		st.budget.Restore(d.Budget)
+	}
+	if st.codel != nil {
+		st.codel.Restore(d.CoDel)
+	}
+	st.round = d.Round + 1
+	return nil
+}
+
+// snapshot captures the full checkpoint.
+func (st *sessionState) snapshot(cursor uint64) *snapshotRec {
+	s := st.stats
+	sn := &snapshotRec{
+		Round:  st.round,
+		Cursor: cursor,
+		Stats: statsRec{
+			Offered: s.Offered, Delivered: s.Delivered, Dropped: s.Dropped,
+			DeadlineMissed: s.DeadlineMissed, Shed: s.Shed, Refused: s.Refused,
+			Retries: s.Retries, RetriedDelivered: s.RetriedDelivered,
+			LatencyHistogram:         copyHist(s.LatencyHistogram),
+			FirstTryLatencyHistogram: copyHist(s.FirstTryLatencyHistogram),
+			RetriedLatencyHistogram:  copyHist(s.RetriedLatencyHistogram),
+			MissedLatencyHistogram:   copyHist(s.MissedLatencyHistogram),
+			MaxBacklog:               s.MaxBacklog,
+			MaxOffered:               s.MaxOffered,
+			DeliveredPerRound:        append([]int(nil), s.DeliveredPerRound...),
+		},
+		RetryPool: poolToRecs(st.retryPool),
+		Buffered:  bufferedToRecs(st.buffered),
+	}
+	if st.budget != nil {
+		sn.Budget = st.budget.Snapshot()
+	}
+	if st.codel != nil {
+		sn.CoDel = st.codel.Snapshot()
+	}
+	return sn
+}
+
+// restoreSnapshot overwrites the freshly built state with a journaled
+// checkpoint.
+func (st *sessionState) restoreSnapshot(sn *snapshotRec) error {
+	if sn.Round < 0 || sn.Round > len(st.stats.DeliveredPerRound) {
+		return fmt.Errorf("switchsim: journal snapshot at round %d outside session's %d rounds", sn.Round, len(st.stats.DeliveredPerRound))
+	}
+	r := sn.Stats
+	s := st.stats
+	s.Offered, s.Delivered, s.Dropped = r.Offered, r.Delivered, r.Dropped
+	s.DeadlineMissed, s.Shed, s.Refused = r.DeadlineMissed, r.Shed, r.Refused
+	s.Retries, s.RetriedDelivered = r.Retries, r.RetriedDelivered
+	s.LatencyHistogram = copyHist(r.LatencyHistogram)
+	s.FirstTryLatencyHistogram = copyHist(r.FirstTryLatencyHistogram)
+	s.RetriedLatencyHistogram = copyHist(r.RetriedLatencyHistogram)
+	s.MissedLatencyHistogram = copyHist(r.MissedLatencyHistogram)
+	s.MaxBacklog, s.MaxOffered = r.MaxBacklog, r.MaxOffered
+	copy(s.DeliveredPerRound, r.DeliveredPerRound)
+	st.retryPool = recsToPool(sn.RetryPool)
+	st.buffered = recsToBuffered(sn.Buffered)
+	if st.budget != nil {
+		st.budget.Restore(sn.Budget)
+	}
+	if st.codel != nil {
+		st.codel.Restore(sn.CoDel)
+	}
+	st.round = sn.Round
+	return nil
+}
+
+// RunDurableSession runs the session under the durability plane: state
+// journaled between rounds, the crash plane killing the process at its
+// scheduled (round, phase) coordinates, and each restart recovering
+// from the journal. With jcfg.Unjournaled the crash plane stays live
+// but nothing is durable — the experimental control: every kill then
+// forgets the ledger and the backlog, and RecoveryStats reports how
+// much was lost.
+//
+// The journal store lives across incarnations (it models the disk);
+// everything else — state machine, RNG, in-flight round — dies with
+// the process. The returned stats come from the final incarnation;
+// RecoveryStats carries the durability observability, including the
+// harness-side TrueOffered ground truth the ledger is audited against.
+func RunDurableSession(sw core.Concentrator, cfg SessionConfig, jcfg journal.Config) (*SessionStats, *journal.RecoveryStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if cfg.Integrity != nil {
+		return nil, nil, fmt.Errorf("switchsim: integrity sessions cannot be journaled (per-link ARQ window state is not serializable)")
+	}
+	if err := jcfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	jcfg = jcfg.WithDefaults()
+
+	store := journal.NewMemStore()
+	rec := &journal.RecoveryStats{Incarnations: 1}
+	resumeRound := 0 // unjournaled restarts: the wall-clock round keeps ticking
+	incarnation := 0
+
+	for {
+		// ---- boot (or reboot) one incarnation ----
+		st, err := newSessionState(sw, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		var rng *seedrand.RNG
+		var w *journal.Writer
+		if jcfg.Unjournaled {
+			// Stateless restart: ledger and backlog are gone; traffic
+			// resumes at the wall round on a fresh stream (the dead
+			// incarnation's cursor died with it).
+			rng = seedrand.New(cfg.Seed ^ int64(seedrand.Mix64(uint64(incarnation))))
+			st.round = resumeRound
+		} else {
+			rng = seedrand.New(cfg.Seed)
+			res := journal.Replay(store.Bytes())
+			if res.TornBytes > 0 {
+				rec.TornTails++
+				rec.TornBytesDiscarded += res.TornBytes
+			}
+			w = journal.NewWriter(store) // drops the torn tail, resumes the LSN sequence
+			start := 0
+			if res.SnapshotIndex >= 0 {
+				var sn snapshotRec
+				if err := decodeRec(res.Records[res.SnapshotIndex].Payload, &sn); err != nil {
+					return nil, nil, err
+				}
+				if err := st.restoreSnapshot(&sn); err != nil {
+					return nil, nil, err
+				}
+				rng.Restore(sn.Cursor)
+				if incarnation > 0 {
+					rec.SnapshotsRestored++
+				}
+				start = res.SnapshotIndex + 1
+			}
+			for _, r := range res.Records[start:] {
+				if r.Kind != journal.KindDelta {
+					continue
+				}
+				var d deltaRec
+				if err := decodeRec(r.Payload, &d); err != nil {
+					return nil, nil, err
+				}
+				if err := st.applyDelta(&d); err != nil {
+					return nil, nil, err
+				}
+				rng.Restore(d.Cursor)
+				if incarnation > 0 {
+					rec.RecordsReplayed++
+				}
+			}
+		}
+
+		// ---- round loop ----
+		crashed := false
+		for st.round < cfg.Rounds {
+			round := st.round
+
+			if w != nil && round > 0 && round%jcfg.SnapshotEvery == 0 {
+				sn, err := encodeRec(st.snapshot(rng.Cursor()))
+				if err != nil {
+					return nil, nil, err
+				}
+				if jcfg.Compact {
+					// The snapshot subsumes every record before it:
+					// compact the log down to just the checkpoint.
+					store.Truncate(0)
+				}
+				w.Append(journal.KindSnapshot, sn)
+				rec.SnapshotsWritten++
+			}
+
+			if _, ok := jcfg.Crash.At(round, journal.PhaseRoundStart); ok {
+				// Dies before the round executes; nothing external
+				// happened, nothing needs forgetting — except in the
+				// unjournaled control, where the restart loses the
+				// whole in-memory world.
+				crashed = true
+				if jcfg.Unjournaled {
+					rec.BacklogLostAtCrash += st.backlog()
+					rec.LedgerLostAtCrash += st.stats.Offered
+					resumeRound = round
+				}
+				break
+			}
+
+			mk := st.mark()
+			preOffered := st.stats.Offered
+			if err := st.step(sw, rng.Rand); err != nil {
+				return nil, nil, err
+			}
+			freshOffers := st.stats.Offered - preOffered
+
+			if jcfg.Unjournaled {
+				// No commit protocol: the round's effects are external
+				// the moment it runs.
+				rec.TrueOffered += freshOffers
+				_, midKill := jcfg.Crash.At(round, journal.PhaseMidDispatch)
+				_, ackKill := jcfg.Crash.At(round, journal.PhasePreAck)
+				if midKill || ackKill {
+					crashed = true
+					rec.BacklogLostAtCrash += st.backlog()
+					rec.LedgerLostAtCrash += st.stats.Offered
+					resumeRound = st.round
+					break
+				}
+				continue
+			}
+
+			payload, err := encodeRec(st.deltaSince(mk, rng.Cursor()))
+			if err != nil {
+				return nil, nil, err
+			}
+			if f, ok := jcfg.Crash.At(round, journal.PhaseMidDispatch); ok {
+				// Dies mid-append: only TornFrac of the frame reaches
+				// the store. The commit tore, so the round's offers
+				// never became external — the recovered incarnation
+				// re-executes them identically and commits them once.
+				keep := int(f.TornFrac * float64(len(payload)+journal.FrameOverhead))
+				w.AppendTorn(journal.KindDelta, payload, keep)
+				rec.RoundsReexecuted++
+				crashed = true
+				break
+			}
+			w.Append(journal.KindDelta, payload)
+			rec.DeltasWritten++
+			rec.TrueOffered += freshOffers // the commit makes them external
+			if _, ok := jcfg.Crash.At(round, journal.PhasePreAck); ok {
+				// Durable but unacked: recovery must apply the record
+				// exactly once and must not re-execute the round.
+				crashed = true
+				break
+			}
+		}
+
+		if !crashed {
+			rec.JournalBytes = store.Size()
+			return st.finish(), rec, nil
+		}
+		rec.Crashes++
+		rec.Incarnations++
+		incarnation++
+	}
+}

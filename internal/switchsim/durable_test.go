@@ -1,0 +1,266 @@
+package switchsim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"concentrators/internal/journal"
+	"concentrators/internal/overload"
+)
+
+// durableConfigs are the session shapes the crash properties run over:
+// every policy with a backlog, plus the overload machinery the journal
+// must carry (retry budget, CoDel, deadline budget).
+func durableConfigs(seed int64) map[string]SessionConfig {
+	return map[string]SessionConfig{
+		"resend-full": {
+			Policy: Resend, Load: 0.8, Rounds: 60, PayloadBits: 4, Seed: seed,
+			AckDelay: 1, Deadline: 12,
+			RetryBudget: &overload.RetryConfig{Budget: 0.5},
+			CoDel:       &overload.CoDelConfig{Target: 3, Interval: 9},
+		},
+		"buffer-codel": {
+			Policy: Buffer, Load: 0.7, Rounds: 60, PayloadBits: 4, Seed: seed,
+			CoDel: &overload.CoDelConfig{Target: 2, Interval: 8},
+		},
+		"misroute": {
+			Policy: Misroute, Load: 0.6, Rounds: 60, PayloadBits: 4, Seed: seed,
+		},
+		"drop": {
+			Policy: Drop, Load: 0.9, Rounds: 60, PayloadBits: 4, Seed: seed,
+		},
+	}
+}
+
+func checkConservation(t *testing.T, label string, stats *SessionStats) {
+	t.Helper()
+	got := stats.Delivered + stats.Dropped + stats.CorruptedDropped +
+		stats.DeadlineMissed + stats.Shed + stats.FinalBacklog
+	if stats.Offered != got {
+		t.Errorf("%s: conservation violated: offered %d != delivered %d + dropped %d + corrupted %d + missed %d + shed %d + backlog %d",
+			label, stats.Offered, stats.Delivered, stats.Dropped, stats.CorruptedDropped,
+			stats.DeadlineMissed, stats.Shed, stats.FinalBacklog)
+	}
+}
+
+// TestDurableCrashRecoveryMatchesControl is the tentpole property: for
+// every seeded crash schedule — kills at round-start, mid-dispatch
+// (torn journal tails), and pre-ack — the recovered session's ledger
+// is IDENTICAL to an uncrashed control's, the six-term conservation
+// law holds summed across incarnations, and the ledger matches the
+// harness-side TrueOffered ground truth.
+func TestDurableCrashRecoveryMatchesControl(t *testing.T) {
+	sw := smallSwitch(t)
+	for _, seed := range []int64{1, 2, 3} {
+		for name, cfg := range durableConfigs(seed) {
+			crash := journal.GenerateCrashSchedule(seed, cfg.Rounds, 5)
+			if crash.Len() != 5 {
+				t.Fatalf("seed %d: schedule has %d kills, want 5", seed, crash.Len())
+			}
+
+			control, ctlRec, err := RunDurableSession(sw, cfg, journal.Config{})
+			if err != nil {
+				t.Fatalf("seed %d %s: control: %v", seed, name, err)
+			}
+			if ctlRec.Crashes != 0 || ctlRec.Incarnations != 1 {
+				t.Fatalf("seed %d %s: control crashed: %+v", seed, name, ctlRec)
+			}
+
+			stats, rec, err := RunDurableSession(sw, cfg, journal.Config{SnapshotEvery: 16, Crash: crash})
+			if err != nil {
+				t.Fatalf("seed %d %s: crashed run: %v", seed, name, err)
+			}
+			label := name + "/journaled"
+			if rec.Crashes != 5 || rec.Incarnations != 6 {
+				t.Errorf("seed %d %s: %d crashes over %d incarnations, want 5 over 6",
+					seed, label, rec.Crashes, rec.Incarnations)
+			}
+			checkConservation(t, label, stats)
+			if stats.Offered != rec.TrueOffered {
+				t.Errorf("seed %d %s: recovered ledger offered %d != harness ground truth %d",
+					seed, label, stats.Offered, rec.TrueOffered)
+			}
+			if !reflect.DeepEqual(stats, control) {
+				t.Errorf("seed %d %s: recovered stats differ from uncrashed control\n got: %+v\nwant: %+v",
+					seed, label, stats, control)
+			}
+			// The schedule's mid-dispatch kills must actually have torn
+			// the journal, and the tears must have been discarded.
+			tears := 0
+			for _, f := range crash.Faults() {
+				if f.Phase == journal.PhaseMidDispatch {
+					tears++
+				}
+			}
+			if rec.TornTails != tears || rec.RoundsReexecuted != tears {
+				t.Errorf("seed %d %s: %d torn tails and %d re-executions, want %d each",
+					seed, label, rec.TornTails, rec.RoundsReexecuted, tears)
+			}
+			if tears > 0 && rec.TornBytesDiscarded == 0 {
+				t.Errorf("seed %d %s: torn tails discarded zero bytes", seed, label)
+			}
+		}
+	}
+}
+
+// TestDurableEachPhaseExplicit pins the three recovery paths one at a
+// time, so a regression in any single phase is attributed precisely.
+func TestDurableEachPhaseExplicit(t *testing.T) {
+	sw := smallSwitch(t)
+	cfg := durableConfigs(7)["resend-full"]
+	control, _, err := RunDurableSession(sw, cfg, journal.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		fault journal.CrashFault
+	}{
+		{"round-start", journal.CrashFault{Round: 9, Phase: journal.PhaseRoundStart}},
+		{"mid-dispatch-small-tear", journal.CrashFault{Round: 9, Phase: journal.PhaseMidDispatch, TornFrac: 0.05}},
+		{"mid-dispatch-near-whole", journal.CrashFault{Round: 9, Phase: journal.PhaseMidDispatch, TornFrac: 0.99}},
+		{"pre-ack", journal.CrashFault{Round: 9, Phase: journal.PhasePreAck}},
+		{"pre-ack-final-round", journal.CrashFault{Round: cfg.Rounds - 1, Phase: journal.PhasePreAck}},
+		{"round-start-on-snapshot-round", journal.CrashFault{Round: 16, Phase: journal.PhaseRoundStart}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			crash := journal.NewCrashPlane(7)
+			if err := crash.Add(tc.fault); err != nil {
+				t.Fatal(err)
+			}
+			stats, rec, err := RunDurableSession(sw, cfg, journal.Config{SnapshotEvery: 16, Crash: crash})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Crashes != 1 {
+				t.Fatalf("fired %d crashes, want 1", rec.Crashes)
+			}
+			if !reflect.DeepEqual(stats, control) {
+				t.Errorf("recovered stats differ from control\n got: %+v\nwant: %+v", stats, control)
+			}
+			wantReexec := 0
+			if tc.fault.Phase == journal.PhaseMidDispatch {
+				wantReexec = 1
+			}
+			if rec.RoundsReexecuted != wantReexec {
+				t.Errorf("re-executed %d rounds, want %d (phase %v)", rec.RoundsReexecuted, wantReexec, tc.fault.Phase)
+			}
+		})
+	}
+}
+
+// TestDurableCompaction checks that snapshot compaction preserves the
+// ledger exactly while keeping the journal O(state) instead of
+// O(rounds).
+func TestDurableCompaction(t *testing.T) {
+	sw := smallSwitch(t)
+	cfg := durableConfigs(11)["resend-full"]
+	cfg.Rounds = 120
+	crash := journal.GenerateCrashSchedule(11, cfg.Rounds, 4)
+
+	full, fullRec, err := RunDurableSession(sw, cfg, journal.Config{SnapshotEvery: 8, Crash: crash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash.Rearm()
+	compact, compactRec, err := RunDurableSession(sw, cfg, journal.Config{SnapshotEvery: 8, Compact: true, Crash: crash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, compact) {
+		t.Errorf("compaction changed the ledger\n got: %+v\nwant: %+v", compact, full)
+	}
+	if compactRec.JournalBytes >= fullRec.JournalBytes {
+		t.Errorf("compacted journal %d bytes, full journal %d — compaction saved nothing",
+			compactRec.JournalBytes, fullRec.JournalBytes)
+	}
+}
+
+// TestUnjournaledControlLosesState is the experimental control the
+// acceptance criteria demand: with the journal disabled the same crash
+// schedule demonstrably loses backlog and ledger — the recovered run
+// can no longer account for the ground-truth offered count.
+func TestUnjournaledControlLosesState(t *testing.T) {
+	sw := smallSwitch(t)
+	lostSomething := false
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := durableConfigs(seed)["resend-full"]
+		crash := journal.GenerateCrashSchedule(seed, cfg.Rounds, 5)
+		stats, rec, err := RunDurableSession(sw, cfg, journal.Config{Unjournaled: true, Crash: crash})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Crashes != 5 {
+			t.Fatalf("seed %d: fired %d crashes, want 5", seed, rec.Crashes)
+		}
+		if rec.LedgerLostAtCrash > 0 || rec.BacklogLostAtCrash > 0 {
+			lostSomething = true
+		}
+		// The surviving ledger only covers the final incarnation's
+		// window: it must fall short of the ground truth by exactly
+		// what the crashes destroyed.
+		if stats.Offered+rec.LedgerLostAtCrash != rec.TrueOffered {
+			t.Errorf("seed %d: unjournaled ledger %d + lost %d != true offered %d",
+				seed, stats.Offered, rec.LedgerLostAtCrash, rec.TrueOffered)
+		}
+		if stats.Offered >= rec.TrueOffered {
+			t.Errorf("seed %d: unjournaled run lost nothing (offered %d, true %d) — crashes did not bite",
+				seed, stats.Offered, rec.TrueOffered)
+		}
+	}
+	if !lostSomething {
+		t.Error("no seed lost ledger or backlog — the control proves nothing")
+	}
+}
+
+// TestDurableNoCrashMatchesLegacyShape sanity-checks the durable
+// runner against plain RunSession semantics: different RNG streams, so
+// not bit-identical, but the conservation law and per-round delivery
+// bound must hold just the same.
+func TestDurableNoCrashMatchesLegacyShape(t *testing.T) {
+	sw := smallSwitch(t)
+	for name, cfg := range durableConfigs(5) {
+		stats, rec, err := RunDurableSession(sw, cfg, journal.Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkConservation(t, name, stats)
+		if stats.Offered == 0 {
+			t.Errorf("%s: no traffic generated", name)
+		}
+		if rec.DeltasWritten != cfg.Rounds {
+			t.Errorf("%s: %d deltas for %d rounds", name, rec.DeltasWritten, cfg.Rounds)
+		}
+		for r, d := range stats.DeliveredPerRound {
+			if d > sw.Outputs() {
+				t.Errorf("%s: round %d delivered %d > %d outputs", name, r, d, sw.Outputs())
+			}
+		}
+	}
+}
+
+func TestDurableRejectsIntegrity(t *testing.T) {
+	sw := smallSwitch(t)
+	cfg := SessionConfig{
+		Policy: Resend, Load: 0.5, Rounds: 10, PayloadBits: 8, AckDelay: 1,
+		Integrity: &IntegrityConfig{},
+	}
+	_, _, err := RunDurableSession(sw, cfg, journal.Config{})
+	if err == nil || !strings.Contains(err.Error(), "cannot be journaled") {
+		t.Fatalf("integrity session not rejected: %v", err)
+	}
+}
+
+func TestDurableRejectsBadConfigs(t *testing.T) {
+	sw := smallSwitch(t)
+	good := SessionConfig{Policy: Drop, Load: 0.5, Rounds: 10, PayloadBits: 4}
+	if _, _, err := RunDurableSession(sw, good, journal.Config{SnapshotEvery: -2}); err == nil {
+		t.Error("negative snapshot interval accepted")
+	}
+	bad := good
+	bad.Rounds = 0
+	if _, _, err := RunDurableSession(sw, bad, journal.Config{}); err == nil {
+		t.Error("invalid session config accepted")
+	}
+}

@@ -330,6 +330,262 @@ func newSessionStats(cfg SessionConfig) *SessionStats {
 	}
 }
 
+// sessionState is the complete between-rounds state of a basic
+// (non-integrity) session: everything a round's execution reads or
+// writes, extracted so the same machine can be driven two ways —
+// straight through by RunSession, or round-at-a-time by the durable
+// runner, which journals the state between steps and rebuilds it after
+// a crash. The RNG is deliberately NOT part of the state: RunSession
+// feeds math/rand (whose source cannot be serialized) to keep its
+// historical streams bit-identical, while the durable runner feeds a
+// seedrand cursor it can journal.
+type sessionState struct {
+	cfg   SessionConfig
+	n     int // input wires
+	stats *SessionStats
+
+	budget *overload.RetryBudget
+	codel  *overload.CoDel
+
+	// buffered[input] = message occupying that input (Buffer policy);
+	// retryPool holds waiting messages (Resend/Misroute).
+	buffered  map[int]*pendingMsg
+	retryPool []*pendingMsg
+
+	// round is the next round to execute.
+	round int
+}
+
+// newSessionState builds the machine at round 0. The config must
+// already be validated and must not be an integrity session.
+func newSessionState(sw core.Concentrator, cfg SessionConfig) (*sessionState, error) {
+	st := &sessionState{
+		cfg:      cfg,
+		n:        sw.Inputs(),
+		stats:    newSessionStats(cfg),
+		buffered: make(map[int]*pendingMsg),
+	}
+	if cfg.RetryBudget != nil {
+		b, err := overload.NewRetryBudget(*cfg.RetryBudget)
+		if err != nil {
+			return nil, err
+		}
+		st.budget = b
+	}
+	if cfg.CoDel != nil {
+		c, err := overload.NewCoDel(*cfg.CoDel)
+		if err != nil {
+			return nil, err
+		}
+		st.codel = c
+	}
+	return st, nil
+}
+
+// backlog counts the waiting messages (retry pool plus buffers).
+func (st *sessionState) backlog() int { return len(st.retryPool) + len(st.buffered) }
+
+// finish closes the books and returns the stats.
+func (st *sessionState) finish() *SessionStats {
+	st.stats.FinalBacklog = st.backlog()
+	return st.stats
+}
+
+// step executes one round — CoDel drain, re-offers, new arrivals,
+// routing, per-policy disposition — and advances the round counter.
+// Deterministic in (state, rng stream): re-running a step from
+// identical state with an identically positioned rng reproduces it
+// bit for bit, which is what crash recovery's re-execution relies on.
+func (st *sessionState) step(sw core.Concentrator, rng *rand.Rand) error {
+	cfg, stats, round := st.cfg, st.stats, st.round
+	st.round++
+
+	// The CoDel drain runs before this round's offers: queue heads
+	// (oldest first, ties by input) are shed while the sojourn rule
+	// says the backlog has stood above target for a full interval.
+	if st.codel != nil {
+		switch cfg.Policy {
+		case Resend:
+			for len(st.retryPool) > 0 {
+				oi := 0
+				for i, pm := range st.retryPool {
+					o := st.retryPool[oi]
+					if pm.firstRound < o.firstRound || (pm.firstRound == o.firstRound && pm.input < o.input) {
+						oi = i
+					}
+				}
+				if !st.codel.Drop(round, round-st.retryPool[oi].firstRound) {
+					break
+				}
+				st.retryPool = append(st.retryPool[:oi], st.retryPool[oi+1:]...)
+				stats.Shed++
+			}
+		case Buffer:
+			for len(st.buffered) > 0 {
+				oin := -1
+				for in, pm := range st.buffered {
+					if oin == -1 || pm.firstRound < st.buffered[oin].firstRound ||
+						(pm.firstRound == st.buffered[oin].firstRound && in < oin) {
+						oin = in
+					}
+				}
+				if !st.codel.Drop(round, round-st.buffered[oin].firstRound) {
+					break
+				}
+				delete(st.buffered, oin)
+				stats.Shed++
+			}
+		}
+	}
+
+	offered := map[int]*pendingMsg{}
+	// busy marks inputs whose sender is still blocked on an
+	// unacknowledged message that is not yet eligible to retry.
+	busy := map[int]bool{}
+
+	switch cfg.Policy {
+	case Buffer:
+		for in, pm := range st.buffered {
+			offered[in] = pm
+			stats.Retries++
+		}
+	case Misroute:
+		// Deflected messages re-enter at random free inputs; with
+		// every input occupied they keep wandering another round.
+		var wandering []*pendingMsg
+		for _, pm := range st.retryPool {
+			in := -1
+			for _, cand := range rng.Perm(st.n) {
+				if offered[cand] == nil {
+					in = cand
+					break
+				}
+			}
+			if in == -1 {
+				wandering = append(wandering, pm)
+				continue
+			}
+			pm.input = in
+			offered[in] = pm
+			stats.Retries++
+		}
+		st.retryPool = wandering
+
+	case Resend:
+		// Retried messages re-enter on their original inputs once
+		// the ack round trip elapses; if a new arrival also wants
+		// the input, the retry wins (the sender is still blocked).
+		var stillWaiting []*pendingMsg
+		for _, pm := range st.retryPool {
+			if pm.eligible > round {
+				stillWaiting = append(stillWaiting, pm)
+				busy[pm.input] = true
+				continue
+			}
+			if offered[pm.input] != nil {
+				// Two retries for one input cannot happen: the pool
+				// holds at most one per input.
+				return fmt.Errorf("switchsim: duplicate retry for input %d", pm.input)
+			}
+			offered[pm.input] = pm
+			stats.Retries++
+		}
+		st.retryPool = stillWaiting
+	}
+
+	// New arrivals, at the surge plane's multiplied load.
+	load := cfg.Load
+	if cfg.Surge != nil {
+		load = cfg.Surge.Load(round, cfg.Load)
+	}
+	for in := 0; in < st.n; in++ {
+		if rng.Float64() >= load {
+			continue
+		}
+		if offered[in] != nil || busy[in] {
+			stats.Refused++
+			continue
+		}
+		offered[in] = &pendingMsg{input: in, firstRound: round}
+		stats.Offered++
+		if st.budget != nil {
+			st.budget.Earn()
+		}
+	}
+
+	if len(offered) > stats.MaxOffered {
+		stats.MaxOffered = len(offered)
+	}
+	if len(offered) == 0 {
+		if w := st.backlog(); w > stats.MaxBacklog {
+			stats.MaxBacklog = w
+		}
+		return nil
+	}
+
+	// Offers enter the fabric in input order. The fixed order matters:
+	// payload bits and retry backoffs draw from the shared rng stream,
+	// and crash recovery re-executes rounds expecting bit-identical
+	// draws — map iteration order would scramble them.
+	ins := make([]int, 0, len(offered))
+	for in := range offered {
+		ins = append(ins, in)
+	}
+	sort.Ints(ins)
+	msgs := make([]Message, 0, len(ins))
+	for _, in := range ins {
+		pm := offered[in]
+		pm.offers++
+		payload := make([]byte, cfg.PayloadBits)
+		for b := range payload {
+			payload[b] = byte(rng.Intn(2))
+		}
+		msgs = append(msgs, Message{Input: in, Payload: payload})
+	}
+	res, err := Run(sw, msgs)
+	if err != nil {
+		return err
+	}
+	for _, d := range res.Delivered {
+		pm := offered[d.Input]
+		// DeliveredPerRound counts physical deliveries; with a
+		// deadline budget, late ones book DeadlineMissed instead of
+		// Delivered.
+		stats.DeliveredPerRound[round]++
+		stats.bookDelivery(round-pm.firstRound, pm.offers > 1, cfg.Deadline)
+	}
+	st.buffered = map[int]*pendingMsg{}
+	for _, in := range res.DroppedInputs {
+		pm := offered[in]
+		switch cfg.Policy {
+		case Drop:
+			stats.Dropped++
+		case Resend:
+			if st.budget != nil && !st.budget.Allow() {
+				// Over the retry budget: fail fast instead of
+				// feeding the storm. The input wire is freed.
+				stats.Shed++
+				continue
+			}
+			pm.eligible = round + 1 + cfg.AckDelay
+			if st.budget != nil {
+				// Full-jitter exponential backoff desynchronizes
+				// the shed cohort (Backoff ≥ 1 keeps the ack RTT).
+				pm.eligible = round + cfg.AckDelay + st.budget.Backoff(pm.offers, rng)
+			}
+			st.retryPool = append(st.retryPool, pm)
+		case Misroute:
+			st.retryPool = append(st.retryPool, pm)
+		case Buffer:
+			st.buffered[in] = pm
+		}
+	}
+	if w := st.backlog(); w > stats.MaxBacklog {
+		stats.MaxBacklog = w
+	}
+	return nil
+}
+
 // RunSession simulates a multi-round message session through the switch
 // under the configured congestion-control policy. Each round: pending
 // and newly generated messages are offered (one per input wire), the
@@ -342,206 +598,14 @@ func RunSession(sw core.Concentrator, cfg SessionConfig) (*SessionStats, error) 
 		return runIntegritySession(sw, cfg)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	n := sw.Inputs()
-	stats := newSessionStats(cfg)
-
-	var budget *overload.RetryBudget
-	if cfg.RetryBudget != nil {
-		b, err := overload.NewRetryBudget(*cfg.RetryBudget)
-		if err != nil {
+	st, err := newSessionState(sw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for st.round < cfg.Rounds {
+		if err := st.step(sw, rng); err != nil {
 			return nil, err
 		}
-		budget = b
 	}
-	var codel *overload.CoDel
-	if cfg.CoDel != nil {
-		c, err := overload.NewCoDel(*cfg.CoDel)
-		if err != nil {
-			return nil, err
-		}
-		codel = c
-	}
-
-	// waiting[input] = message occupying that input (Buffer), or the
-	// retry pool (Resend).
-	buffered := make(map[int]*pendingMsg) // Buffer policy: keyed by input
-	var retryPool []*pendingMsg           // Resend policy
-
-	for round := 0; round < cfg.Rounds; round++ {
-		// The CoDel drain runs before this round's offers: queue heads
-		// (oldest first, ties by input) are shed while the sojourn rule
-		// says the backlog has stood above target for a full interval.
-		if codel != nil {
-			switch cfg.Policy {
-			case Resend:
-				for len(retryPool) > 0 {
-					oi := 0
-					for i, pm := range retryPool {
-						o := retryPool[oi]
-						if pm.firstRound < o.firstRound || (pm.firstRound == o.firstRound && pm.input < o.input) {
-							oi = i
-						}
-					}
-					if !codel.Drop(round, round-retryPool[oi].firstRound) {
-						break
-					}
-					retryPool = append(retryPool[:oi], retryPool[oi+1:]...)
-					stats.Shed++
-				}
-			case Buffer:
-				for len(buffered) > 0 {
-					oin := -1
-					for in, pm := range buffered {
-						if oin == -1 || pm.firstRound < buffered[oin].firstRound ||
-							(pm.firstRound == buffered[oin].firstRound && in < oin) {
-							oin = in
-						}
-					}
-					if !codel.Drop(round, round-buffered[oin].firstRound) {
-						break
-					}
-					delete(buffered, oin)
-					stats.Shed++
-				}
-			}
-		}
-
-		offered := map[int]*pendingMsg{}
-		// busy marks inputs whose sender is still blocked on an
-		// unacknowledged message that is not yet eligible to retry.
-		busy := map[int]bool{}
-
-		switch cfg.Policy {
-		case Buffer:
-			for in, pm := range buffered {
-				offered[in] = pm
-				stats.Retries++
-			}
-		case Misroute:
-			// Deflected messages re-enter at random free inputs; with
-			// every input occupied they keep wandering another round.
-			var wandering []*pendingMsg
-			for _, pm := range retryPool {
-				in := -1
-				for _, cand := range rng.Perm(n) {
-					if offered[cand] == nil {
-						in = cand
-						break
-					}
-				}
-				if in == -1 {
-					wandering = append(wandering, pm)
-					continue
-				}
-				pm.input = in
-				offered[in] = pm
-				stats.Retries++
-			}
-			retryPool = wandering
-
-		case Resend:
-			// Retried messages re-enter on their original inputs once
-			// the ack round trip elapses; if a new arrival also wants
-			// the input, the retry wins (the sender is still blocked).
-			var stillWaiting []*pendingMsg
-			for _, pm := range retryPool {
-				if pm.eligible > round {
-					stillWaiting = append(stillWaiting, pm)
-					busy[pm.input] = true
-					continue
-				}
-				if offered[pm.input] != nil {
-					// Two retries for one input cannot happen: the pool
-					// holds at most one per input.
-					return nil, fmt.Errorf("switchsim: duplicate retry for input %d", pm.input)
-				}
-				offered[pm.input] = pm
-				stats.Retries++
-			}
-			retryPool = stillWaiting
-		}
-
-		// New arrivals, at the surge plane's multiplied load.
-		load := cfg.Load
-		if cfg.Surge != nil {
-			load = cfg.Surge.Load(round, cfg.Load)
-		}
-		for in := 0; in < n; in++ {
-			if rng.Float64() >= load {
-				continue
-			}
-			if offered[in] != nil || busy[in] {
-				stats.Refused++
-				continue
-			}
-			offered[in] = &pendingMsg{input: in, firstRound: round}
-			stats.Offered++
-			if budget != nil {
-				budget.Earn()
-			}
-		}
-
-		if len(offered) > stats.MaxOffered {
-			stats.MaxOffered = len(offered)
-		}
-		if len(offered) == 0 {
-			if w := len(retryPool) + len(buffered); w > stats.MaxBacklog {
-				stats.MaxBacklog = w
-			}
-			continue
-		}
-
-		var msgs []Message
-		for in, pm := range offered {
-			pm.offers++
-			payload := make([]byte, cfg.PayloadBits)
-			for b := range payload {
-				payload[b] = byte(rng.Intn(2))
-			}
-			msgs = append(msgs, Message{Input: in, Payload: payload})
-		}
-		res, err := Run(sw, msgs)
-		if err != nil {
-			return nil, err
-		}
-		for _, d := range res.Delivered {
-			pm := offered[d.Input]
-			// DeliveredPerRound counts physical deliveries; with a
-			// deadline budget, late ones book DeadlineMissed instead of
-			// Delivered.
-			stats.DeliveredPerRound[round]++
-			stats.bookDelivery(round-pm.firstRound, pm.offers > 1, cfg.Deadline)
-		}
-		buffered = map[int]*pendingMsg{}
-		for _, in := range res.DroppedInputs {
-			pm := offered[in]
-			switch cfg.Policy {
-			case Drop:
-				stats.Dropped++
-			case Resend:
-				if budget != nil && !budget.Allow() {
-					// Over the retry budget: fail fast instead of
-					// feeding the storm. The input wire is freed.
-					stats.Shed++
-					continue
-				}
-				pm.eligible = round + 1 + cfg.AckDelay
-				if budget != nil {
-					// Full-jitter exponential backoff desynchronizes
-					// the shed cohort (Backoff ≥ 1 keeps the ack RTT).
-					pm.eligible = round + cfg.AckDelay + budget.Backoff(pm.offers, rng)
-				}
-				retryPool = append(retryPool, pm)
-			case Misroute:
-				retryPool = append(retryPool, pm)
-			case Buffer:
-				buffered[in] = pm
-			}
-		}
-		if w := len(retryPool) + len(buffered); w > stats.MaxBacklog {
-			stats.MaxBacklog = w
-		}
-	}
-	stats.FinalBacklog = len(retryPool) + len(buffered)
-	return stats, nil
+	return st.finish(), nil
 }

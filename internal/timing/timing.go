@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"concentrators/internal/link"
+	"concentrators/internal/seedrand"
 )
 
 // Mode selects the shape of one timing fault.
@@ -278,18 +279,19 @@ func (p *Plane) Clone() *Plane {
 	return &Plane{seed: p.seed, faults: append([]Fault(nil), p.faults...)}
 }
 
-// mix64 is a splitmix64 finalizer decorrelating per-coordinate streams.
-func mix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ x>>30) * 0xBF58476D1CE4E5B9
-	x = (x ^ x>>27) * 0x94D049BB133111EB
-	return x ^ x>>31
+// Seed returns the plane's stream seed (checkpointing needs it to
+// rebuild an identical plane after a crash-restart).
+func (p *Plane) Seed() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.seed
 }
 
 // rng derives the deterministic jitter source for one (round, link)
 // coordinate.
 func (p *Plane) rng(round int, at link.LinkAddr) *rand.Rand {
-	h := mix64(uint64(p.seed) ^ mix64(uint64(round)<<32|uint64(uint32(at.Stage))) ^ mix64(uint64(at.Wire)+0x7C15F39D))
+	h := seedrand.Mix64(uint64(p.seed) ^ seedrand.Mix64(uint64(round)<<32|uint64(uint32(at.Stage))) ^ seedrand.Mix64(uint64(at.Wire)+0x7C15F39D))
 	return rand.New(rand.NewSource(int64(h)))
 }
 
