@@ -17,6 +17,7 @@ import (
 	"concentrators/internal/layout"
 	"concentrators/internal/link"
 	"concentrators/internal/overload"
+	"concentrators/internal/partition"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 	"concentrators/internal/timing"
@@ -498,6 +499,60 @@ func GenerateCrashSchedule(seed int64, rounds, kills int) *CrashPlane {
 func RunDurableSession(sw Concentrator, cfg SessionConfig, jcfg JournalConfig) (*SessionStats, *RecoveryStats, error) {
 	return switchsim.RunDurableSession(sw, cfg, jcfg)
 }
+
+// Partition tolerance: the seeded control-plane partition fault plane
+// (cuts of arbiter↔replica visibility that the data plane ignores),
+// lease-based primary custody under monotonic fencing tokens, quorum
+// membership, and per-replica suspicion clocks.
+type (
+	// PartitionFault is one bounded control-plane cut: a mode, a target
+	// edge (or AllReplicas), and a [From, Until) window.
+	PartitionFault = partition.Fault
+	// PartitionMode is the cut shape: symmetric, one-way, flapping, or
+	// arbiter isolation.
+	PartitionMode = partition.Mode
+	// PartitionDirection names the severed side of a one-way cut.
+	PartitionDirection = partition.Direction
+	// PartitionPlane is a seeded, deterministic set of partition faults
+	// — the control-visibility counterpart of CrashPlane.
+	PartitionPlane = partition.Plane
+	// LeaseConfig turns on the pool's lease-fenced primary role:
+	// lease duration in rounds, suspicion threshold, and the unfenced
+	// control that disables only the ledger's token check.
+	LeaseConfig = pool.LeaseConfig
+	// PendingAck is a delivery ack buffered behind a cut edge, waiting
+	// for the heal to learn its fencing verdict.
+	PendingAck = pool.PendingAck
+	// SuspicionClock aggregates per-replica silence into suspicion
+	// levels that degrade contracts before convicting a replica.
+	SuspicionClock = health.SuspicionClock
+	// SuspicionSnapshot is a SuspicionClock's durable state.
+	SuspicionSnapshot = health.SuspicionSnapshot
+	// PartitionRecord is the chaos harness's split-brain ledger, with
+	// the conservation law Delivered + Fenced + InFlightAcks +
+	// DeliveredLost = TrueServed.
+	PartitionRecord = chaos.PartitionRecord
+)
+
+// The partition cut shapes, one-way directions, and the whole-pool
+// target for arbiter isolation.
+const (
+	PartitionSymmetricCut     = partition.SymmetricCut
+	PartitionOneWay           = partition.OneWay
+	PartitionFlapping         = partition.Flapping
+	PartitionArbiterIsolation = partition.ArbiterIsolation
+
+	PartitionToReplica   = partition.ToReplica
+	PartitionFromReplica = partition.FromReplica
+
+	PartitionAllReplicas = partition.AllReplicas
+)
+
+// NewPartitionPlane returns an empty, seeded partition fault plane.
+func NewPartitionPlane(seed int64) *PartitionPlane { return partition.NewPlane(seed) }
+
+// NewSuspicionClock returns a suspicion clock over n replicas.
+func NewSuspicionClock(n int) *SuspicionClock { return health.NewSuspicionClock(n) }
 
 // Packaging reports (Table 1, Figures 3/4/6/7).
 type (

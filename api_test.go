@@ -468,3 +468,96 @@ func TestPublicAPIDurability(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// The partition-tolerance facade end-to-end: a lease-fenced pool that
+// survives a symmetric cut with every late delivery fenced, the plane
+// and suspicion-clock constructors, and a chaos run with partitions.
+func TestPublicAPIPartition(t *testing.T) {
+	build := func() (FaultInjectable, error) {
+		return NewColumnsortSwitchBeta(64, 32, 0.75)
+	}
+	replicas := make([]FaultInjectable, 3)
+	for i := range replicas {
+		fi, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = fi
+	}
+	p, err := NewSwitchPool(PoolConfig{
+		TripThreshold: 1, ProbeAfter: 1,
+		Lease: LeaseConfig{Rounds: 4, Seed: 1},
+	}, replicas...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := PartitionFault{Mode: PartitionSymmetricCut, Replica: 0, From: 2, Until: 12}
+	if err := p.InjectPartition(cut); err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]Message, 16)
+	for i := range msgs {
+		msgs[i] = NewMessage(i, []byte{byte(i)})
+	}
+	trueServed := 0
+	for round := 0; round < 20; round++ {
+		rr, err := p.Run(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Violated {
+			t.Fatalf("round %d violated the guarantee: %+v", round, rr)
+		}
+		trueServed += len(rr.Result.Delivered) + rr.ShadowDelivered
+	}
+	if err := p.ClearPartitions(); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Stats()
+	if s.LeaseHandoffs != 1 || s.Fenced == 0 || s.StaleDelivered != 0 {
+		t.Fatalf("cut outliving the lease: %d handoffs, %d fenced, %d stale", s.LeaseHandoffs, s.Fenced, s.StaleDelivered)
+	}
+	if s.Delivered+s.Fenced+s.InFlightAcks != trueServed {
+		t.Fatalf("Fenced conservation: delivered %d + fenced %d + in flight %d != true %d",
+			s.Delivered, s.Fenced, s.InFlightAcks, trueServed)
+	}
+
+	// The plane and suspicion-clock constructors stand alone.
+	plane := NewPartitionPlane(7)
+	if err := plane.Add(PartitionFault{Mode: PartitionOneWay, Replica: 1, Dir: PartitionToReplica, From: 0, Until: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if plane.Visible(1, 1, PartitionToReplica) || !plane.Visible(1, 1, PartitionFromReplica) {
+		t.Fatal("one-way cut severed the wrong direction")
+	}
+	clock := NewSuspicionClock(3)
+	clock.Hear(2, 30)
+	clock.Miss(2)
+	if lkg, ok := clock.LastKnownGood(2); !ok || lkg != 30 || clock.Unheard(2) != 1 {
+		t.Fatalf("suspicion clock: lkg %d ok=%v unheard %d", lkg, ok, clock.Unheard(2))
+	}
+
+	// Chaos with partition windows through the facade.
+	probe, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ChaosConfig{Replicas: 3, Rounds: 60, Load: 0.5, PayloadBits: 4, Seed: 7,
+		Partitions: 2, Pool: PoolConfig{TripThreshold: 1, ProbeAfter: 1}}
+	events, err := GenerateChaosSchedule(cfg.Seed, probe, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunChaos(build, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pr PartitionRecord = rep.Partition
+	if pr.Partitions != 2 || pr.Heals != 2 || len(rep.Regressions) != 0 {
+		t.Fatalf("chaos partitions: %+v, regressions %v", pr, rep.Regressions)
+	}
+	if rep.Stats.StaleDelivered != 0 ||
+		rep.Stats.Delivered+rep.Stats.Fenced+rep.Stats.InFlightAcks != pr.TrueServed {
+		t.Fatalf("chaos Fenced conservation: %+v vs true %d", rep.Stats, pr.TrueServed)
+	}
+}

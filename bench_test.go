@@ -30,6 +30,7 @@ import (
 	"concentrators/internal/nearsort"
 	"concentrators/internal/optroute"
 	"concentrators/internal/overload"
+	"concentrators/internal/partition"
 	"concentrators/internal/pool"
 	"concentrators/internal/seqhyper"
 	"concentrators/internal/switchsim"
@@ -788,6 +789,54 @@ func BenchmarkPoolFailover(b *testing.B) {
 		}
 		if !rr.FailedOver || rr.Violated {
 			b.Fatalf("round did not fail over: %+v", rr)
+		}
+	}
+}
+
+// BenchmarkPartitionFailover times the full lease-fenced failover arc:
+// a symmetric cut darkens the primary, the holder's lease lapses, the
+// arbiter waits out the lease and re-grants under a bumped fencing
+// token, and the dark primary's buffered acks are fenced at the heal.
+// The reported time covers the rounds from cut to completed handoff —
+// the partition-tolerance counterpart of BenchmarkPoolFailover's
+// in-round retarget.
+func BenchmarkPartitionFailover(b *testing.B) {
+	build := func() core.FaultInjectable {
+		sw, err := core.NewColumnsortSwitchBeta(64, 32, 0.75)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sw
+	}
+	msgs := make([]switchsim.Message, 0, 16)
+	for i := 0; i < 16; i++ {
+		msgs = append(msgs, switchsim.Message{Input: i, Payload: []byte{1, 0, 1, 1}})
+	}
+	const lease = 4
+	cut := partition.Fault{Mode: partition.SymmetricCut, Replica: 0, From: 1, Until: 1 + lease + 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := pool.New(pool.Config{
+			TripThreshold: 1, ProbeAfter: 1,
+			Lease: pool.LeaseConfig{Rounds: lease, Seed: 1},
+		}, build(), build(), build())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := p.InjectPartition(cut); err != nil {
+			b.Fatal(err)
+		}
+		for p.Stats().LeaseHandoffs == 0 {
+			rr, err := p.Run(msgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rr.Violated {
+				b.Fatalf("failover round violated the guarantee: %+v", rr)
+			}
+		}
+		if s := p.Stats(); s.StaleDelivered != 0 {
+			b.Fatalf("%d frames delivered under a stale token", s.StaleDelivered)
 		}
 	}
 }

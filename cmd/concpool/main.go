@@ -1,6 +1,7 @@
 // Command concpool drives a replicated concentrator pool through a
 // deterministic chaos schedule: seeded chip faults, mid-stream primary
-// kills with later board swaps, gray-failure stall bursts, and
+// kills with later board swaps, gray-failure stall bursts,
+// control-plane partitions with lease-fenced failover, and
 // probe-latency injections, while Bernoulli traffic streams and every
 // round is checked against the live replica set's degraded delivery
 // contract ⌊α′m′⌋ (and, with -deadline, against the deadline SLO).
@@ -14,18 +15,23 @@
 //	concpool -replicas 2 -faults 0 -kills 0 -surges 3 -surge-factor 4
 //	concpool -replicas 3 -faults 0 -kills 0 -crashes 4 -drains 2
 //	concpool -replicas 3 -crashes 4 -unjournaled -json
+//	concpool -replicas 3 -faults 0 -kills 0 -partitions 4 -lease-rounds 8
+//	concpool -replicas 3 -faults 0 -kills 0 -partitions 4 -asym -crashes 2
+//	concpool -replicas 3 -faults 0 -kills 0 -partitions 4 -unfenced -json
 //
-// Exit status: 0 when the pool survived the schedule, 1 on usage or
-// construction errors, 2 when any round regressed below the degraded
-// contract, missed the deadline SLO, or broke crash-loss conservation.
+// Exit status follows the shared cli contract: 0 when the pool
+// survived the schedule, 1 on usage or construction errors, 2 when any
+// round regressed below the degraded contract, missed the deadline
+// SLO, broke a conservation law, or delivered a frame under a stale
+// fencing token.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"concentrators/cmd/internal/cli"
 	"concentrators/internal/chaos"
 	"concentrators/internal/core"
 	"concentrators/internal/overload"
@@ -58,13 +64,13 @@ func main() {
 	crashes := flag.Int("crashes", 0, "control-process crash-restarts to schedule; the pool recovers from its per-round checkpoint journal")
 	drains := flag.Int("drains", 0, "rolling checkpoint/drain/rejoin maintenance cycles to schedule")
 	unjournaled := flag.Bool("unjournaled", false, "disable the checkpoint journal so crashes lose ledger and backlog (the experimental control)")
+	partitions := flag.Int("partitions", 0, "control-plane partition windows to schedule (symmetric cuts, flapping edges, arbiter isolation); enables lease-fenced failover and needs ≥ 3 replicas")
+	asym := flag.Bool("asym", false, "shape partition windows as one-way cuts (grants vanish, acks keep flowing) instead of flapping edges")
+	leaseRounds := flag.Int("lease-rounds", 0, "primary-lease duration in rounds for partition schedules (0 means the default 8)")
+	unfenced := flag.Bool("unfenced", false, "disable fencing-token checks at the ledger so partitions double-deliver (the split-brain control)")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON stats document instead of prose")
 	verbose := flag.Bool("verbose", false, "print every round that fired events or failed over")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: concpool [flags]\n\nExit status: 0 when the pool survived the schedule, 1 on usage or\nconstruction errors, 2 when any round regressed below the degraded\ncontract or missed the deadline SLO.\n\nFlags:\n")
-		flag.PrintDefaults()
-	}
+	flag.Usage = cli.Usage("concpool")
 	flag.Parse()
 
 	if *m == 0 {
@@ -104,6 +110,10 @@ func main() {
 		Crashes:           *crashes,
 		Drains:            *drains,
 		Unjournaled:       *unjournaled,
+		Partitions:        *partitions,
+		AsymPartitions:    *asym,
+		LeaseRounds:       *leaseRounds,
+		Unfenced:          *unfenced,
 		Pool: pool.Config{
 			TripThreshold: *trip,
 			ProbeAfter:    *probeAfter,
@@ -127,7 +137,7 @@ func main() {
 	probe, err := build()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	if !*jsonOut {
 		fmt.Printf("switch: %s  n=%d m=%d ε=%d  threshold %d\n",
@@ -137,7 +147,7 @@ func main() {
 	events, err := chaos.GenerateSchedule(*seed, probe, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	if !*jsonOut {
 		fmt.Printf("schedule: seed %d, %d events over %d rounds\n", *seed, len(events), *rounds)
@@ -149,34 +159,41 @@ func main() {
 	rep, err := chaos.Run(build, events, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 
 	// Crash-loss conservation: every message the crashing control plane
 	// ever delivered is either in the surviving ledger or booked lost.
 	conserved := true
-	if *crashes > 0 {
+	if *crashes > 0 && *partitions == 0 {
 		conserved = rep.Stats.Delivered+rep.Crash.DeliveredLost == rep.Crash.TrueDelivered
+	}
+	// Fenced conservation: with partitions, every physically served
+	// frame — primary and shadow — is Delivered, Fenced, buffered in
+	// flight, or booked crash-lost. The same formula audits the
+	// unfenced control (Fenced is then 0 and the stale double
+	// deliveries sit inside Delivered).
+	fencingBreach := false
+	if *partitions > 0 {
+		conserved = rep.Stats.Delivered+rep.Stats.Fenced+rep.Stats.InFlightAcks+
+			rep.Crash.DeliveredLost == rep.Partition.TrueServed
+		fencingBreach = !*unfenced && rep.Stats.StaleDelivered > 0
 	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(struct {
+		cli.EmitJSON(struct {
 			Mode        string `json:"mode"`
 			Switch      string `json:"switch"`
 			Seed        int64
 			Events      int
 			Stats       pool.Stats
 			Crash       chaos.CrashRecord
+			Partition   chaos.PartitionRecord
 			Conserved   bool
 			Regressions []string
-		}{"chaos", probe.Name(), *seed, len(events), rep.Stats, rep.Crash, conserved, rep.Regressions}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if len(rep.Regressions) > 0 || !conserved {
-			os.Exit(2)
+		}{"chaos", probe.Name(), *seed, len(events), rep.Stats, rep.Crash, rep.Partition, conserved, rep.Regressions})
+		if len(rep.Regressions) > 0 || !conserved || fencingBreach {
+			os.Exit(cli.ExitViolation)
 		}
 		return
 	}
@@ -234,6 +251,15 @@ func main() {
 		fmt.Printf("    lost to crashes: %d delivered-ledger entries, %d backlogged clients (true delivered %d)\n",
 			c.DeliveredLost, c.BacklogLost, c.TrueDelivered)
 	}
+	if *partitions > 0 {
+		pr := rep.Partition
+		fmt.Printf("  partition plane: %d cuts / %d heals, lease %d rounds, fenced=%v\n",
+			pr.Partitions, pr.Heals, pr.LeaseRounds, !*unfenced)
+		fmt.Printf("    lease handoffs %d (token %d), frozen rounds %d, dual-primary rounds %d\n",
+			pr.LeaseHandoffs, s.FenceToken, pr.FrozenRounds, pr.DualPrimaryRounds)
+		fmt.Printf("    fenced %d, stale delivered %d, shadow served %d, in-flight acks %d (true served %d)\n",
+			s.Fenced, s.StaleDelivered, s.ShadowServed, s.InFlightAcks, pr.TrueServed)
+	}
 	for i, rs := range s.Replicas {
 		killed := ""
 		if rs.Killed {
@@ -248,12 +274,18 @@ func main() {
 		for _, r := range rep.Regressions {
 			fmt.Fprintf(os.Stderr, "  %s\n", r)
 		}
-		os.Exit(2)
+		os.Exit(cli.ExitViolation)
+	}
+	if fencingBreach {
+		cli.Fatal(cli.ExitViolation, "fencing breached: %d frames Delivered under a stale fencing token", s.StaleDelivered)
 	}
 	if !conserved {
-		fmt.Fprintf(os.Stderr, "crash-loss conservation broken: delivered %d + lost %d != true %d\n",
+		if *partitions > 0 {
+			cli.Fatal(cli.ExitViolation, "Fenced conservation broken: delivered %d + fenced %d + in-flight %d + lost %d != true served %d",
+				s.Delivered, s.Fenced, s.InFlightAcks, rep.Crash.DeliveredLost, rep.Partition.TrueServed)
+		}
+		cli.Fatal(cli.ExitViolation, "crash-loss conservation broken: delivered %d + lost %d != true %d",
 			s.Delivered, rep.Crash.DeliveredLost, rep.Crash.TrueDelivered)
-		os.Exit(2)
 	}
 	fmt.Printf("delivery guarantee held on every round (replay with -seed %d)\n", *seed)
 }

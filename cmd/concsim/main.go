@@ -14,18 +14,19 @@
 //	concsim -switch columnsort -n 256 -m 128 -replicas 3 -hedge-quantile 0.9 -deadline 5
 //	concsim -switch columnsort -n 256 -m 128 -policy resend -surge 4 -retry-budget 0.2 -codel-target 3 -codel-interval 6
 //
-// Exit status: 0 on success, 1 on usage or construction errors, 2 when
-// the run observed a delivery-guarantee violation.
+// Exit status follows the shared cli contract: 0 on success, 1 on
+// usage or construction errors, 2 when the run observed a delivery-
+// guarantee (or conservation) violation.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"math/rand"
 	"os"
 
+	"concentrators/cmd/internal/cli"
 	"concentrators/internal/bitonic"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
@@ -35,16 +36,6 @@ import (
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 )
-
-// emitJSON writes one machine-readable stats document to stdout.
-func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-}
 
 func main() {
 	kind := flag.String("switch", "columnsort", "switch design: perfect | crossbar | revsort | columnsort | full-revsort | full-columnsort | bitonic")
@@ -79,11 +70,7 @@ func main() {
 	unjournaled := flag.Bool("unjournaled", false, "durability session: disable the journal so crashes lose ledger and backlog (the experimental control)")
 	compact := flag.Bool("compact", false, "durability session: truncate the journal to the snapshot on every snapshot append (O(state) journal)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON stats instead of prose (default, session, durability, and pool modes)")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: concsim [flags]\n\nExit status: 0 on success, 1 on usage or construction errors,\n2 when the run observed a delivery-guarantee (or conservation) violation.\n\nFlags:\n")
-		flag.PrintDefaults()
-	}
+	flag.Usage = cli.Usage("concsim")
 	flag.Parse()
 
 	if *m == 0 {
@@ -96,7 +83,7 @@ func main() {
 	sw, err := buildSwitch(*kind, *n, *m, *beta)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 
 	if !*jsonOut {
@@ -113,7 +100,7 @@ func main() {
 	if *ber > 0 {
 		if *jsonOut {
 			fmt.Fprintln(os.Stderr, "-json is not supported in integrity (-ber) mode")
-			os.Exit(1)
+			os.Exit(cli.ExitUsage)
 		}
 		runIntegrity(sw, *load, *ber, *crc, *arqWindow, *rounds, *payload, *seed, *ack, *deadline, *adaptiveRTO)
 		return
@@ -121,7 +108,7 @@ func main() {
 	if *faults > 0 {
 		if *jsonOut {
 			fmt.Fprintln(os.Stderr, "-json is not supported in fault-session (-faults) mode")
-			os.Exit(1)
+			os.Exit(cli.ExitUsage)
 		}
 		runFaultSession(sw, *policy, *load, *rounds, *payload, *seed, *ack, *faults, *mtbf, *scanEvery)
 		return
@@ -139,7 +126,7 @@ func main() {
 	}
 	if *surge > 0 || *retryBudget > 0 || *codelTarget > 0 {
 		fmt.Fprintln(os.Stderr, "-surge, -retry-budget, and -codel-target drive the session mode: pass -policy (e.g. -policy resend)")
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -152,16 +139,16 @@ func main() {
 		res, err := switchsim.Run(sw, msgs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(cli.ExitUsage)
 		}
 		if err := switchsim.CheckGuarantee(sw, msgs, res); err != nil {
 			fmt.Fprintf(os.Stderr, "guarantee violated: %v\n", err)
-			os.Exit(2)
+			os.Exit(cli.ExitViolation)
 		}
 		if *wave && round == 0 {
 			if err := res.WriteWaveform(os.Stdout, 64); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				os.Exit(cli.ExitUsage)
 			}
 		}
 		sent += len(msgs)
@@ -172,7 +159,7 @@ func main() {
 		cycles += res.Cycles
 	}
 	if *jsonOut {
-		emitJSON(struct {
+		cli.EmitJSON(struct {
 			Mode       string `json:"mode"`
 			Switch     string `json:"switch"`
 			N, M       int
@@ -227,7 +214,7 @@ func parsePolicy(policy string) switchsim.Policy {
 		return switchsim.Misroute
 	default:
 		fmt.Fprintf(os.Stderr, "unknown policy %q\n", policy)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 		panic("unreachable")
 	}
 }
@@ -258,12 +245,12 @@ func surgePlane(factor float64, shape string, rounds int, seed int64) *overload.
 		f.Mode = overload.Sustained
 	default:
 		fmt.Fprintf(os.Stderr, "unknown surge shape %q (want step | ramp | flash | sustained)\n", shape)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	p := overload.NewPlane(seed)
 	if err := p.Add(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	return p
 }
@@ -282,15 +269,18 @@ func sessionOverload(cfg *switchsim.SessionConfig, retryBudget float64, codelTar
 	}
 }
 
-// checkSessionConservation enforces the six-term conservation law,
-// exiting 2 on violation.
+// checkSessionConservation enforces the seven-term conservation law
+// Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed +
+// Shed + Fenced + FinalBacklog, exiting ExitViolation on breach.
+// Plain sessions never fence (the term is always 0 here); the pool's
+// lease-fenced failover books it.
 func checkSessionConservation(stats *switchsim.SessionStats) {
 	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.DeadlineMissed +
-		stats.Shed + stats.FinalBacklog; got != stats.Offered {
-		fmt.Fprintf(os.Stderr, "conservation violated: delivered %d + lost %d + corrupted %d + missed %d + shed %d + backlog %d != offered %d\n",
+		stats.Shed + stats.Fenced + stats.FinalBacklog; got != stats.Offered {
+		cli.Fatal(cli.ExitViolation,
+			"conservation violated: delivered %d + lost %d + corrupted %d + missed %d + shed %d + fenced %d + backlog %d != offered %d",
 			stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.DeadlineMissed,
-			stats.Shed, stats.FinalBacklog, stats.Offered)
-		os.Exit(2)
+			stats.Shed, stats.Fenced, stats.FinalBacklog, stats.Offered)
 	}
 }
 
@@ -307,11 +297,11 @@ func runSession(sw core.Concentrator, policy string, load float64, rounds, paylo
 	stats, err := switchsim.RunSession(sw, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	if jsonOut {
 		checkSessionConservation(stats)
-		emitJSON(struct {
+		cli.EmitJSON(struct {
 			Mode   string `json:"mode"`
 			Switch string `json:"switch"`
 			Load   float64
@@ -363,11 +353,11 @@ func runDurable(sw core.Concentrator, policy string, load float64, rounds, paylo
 	stats, rec, err := switchsim.RunDurableSession(sw, cfg, jcfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	if jsonOut {
 		checkDurableLedger(stats, rec, unjournaled)
-		emitJSON(struct {
+		cli.EmitJSON(struct {
 			Mode     string `json:"mode"`
 			Switch   string `json:"switch"`
 			Load     float64
@@ -411,14 +401,14 @@ func checkDurableLedger(stats *switchsim.SessionStats, rec *journal.RecoveryStat
 		if stats.Offered+rec.LedgerLostAtCrash != rec.TrueOffered {
 			fmt.Fprintf(os.Stderr, "loss accounting violated: surviving ledger %d + lost %d != true offered %d\n",
 				stats.Offered, rec.LedgerLostAtCrash, rec.TrueOffered)
-			os.Exit(2)
+			os.Exit(cli.ExitViolation)
 		}
 		return
 	}
 	if stats.Offered != rec.TrueOffered {
 		fmt.Fprintf(os.Stderr, "exactly-once violated: recovered ledger offered %d != harness ground truth %d\n",
 			stats.Offered, rec.TrueOffered)
-		os.Exit(2)
+		os.Exit(cli.ExitViolation)
 	}
 }
 
@@ -429,7 +419,7 @@ func runFaultSession(sw core.Concentrator, policy string, load float64, rounds, 
 	fi, ok := sw.(core.FaultInjectable)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "-faults needs a multichip fault-injectable switch (revsort or columnsort), not %s\n", sw.Name())
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	if policy == "" {
 		policy = "resend"
@@ -447,7 +437,7 @@ func runFaultSession(sw core.Concentrator, policy string, load float64, rounds, 
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	fmt.Printf("fault session: policy=%s load=%.2f rounds=%d mtbf=%.1f scan-every=%d\n",
 		pol, load, rounds, mtbf, scanEvery)
@@ -469,7 +459,7 @@ func runFaultSession(sw core.Concentrator, policy string, load float64, rounds, 
 	if stats.LostAfterDetection > 0 {
 		fmt.Fprintf(os.Stderr, "guarantee violated: %d messages lost after degradation should have covered the faults\n",
 			stats.LostAfterDetection)
-		os.Exit(2)
+		os.Exit(cli.ExitViolation)
 	}
 }
 
@@ -484,7 +474,7 @@ func parseCRC(name string) link.CRC {
 		return link.CRCNone
 	default:
 		fmt.Fprintf(os.Stderr, "unknown crc %q (want crc8 | crc16 | none)\n", name)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 		panic("unreachable")
 	}
 }
@@ -497,14 +487,14 @@ func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, windo
 	fi, ok := sw.(core.FaultInjectable)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "-ber needs a multichip fault-injectable switch (revsort or columnsort), not %s\n", sw.Name())
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	plane := link.NewCorruptionPlane(seed)
 	if err := plane.Add(link.WireFault{
 		Stage: link.AllStages, Wire: link.AllWires, Mode: link.WireBitFlip, BER: ber,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	crcSel := parseCRC(crcName)
 	// Ambient noise touches every link, so the healthy baseline is a
@@ -528,7 +518,7 @@ func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, windo
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 	ist := stats.Integrity
 	fmt.Printf("integrity session: ber=%g crc=%s window=%d load=%.2f rounds=%d\n",
@@ -553,12 +543,12 @@ func runIntegrity(sw core.Concentrator, load, ber float64, crcName string, windo
 	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.DeadlineMissed + ist.FinalBacklog; got != stats.Offered {
 		fmt.Fprintf(os.Stderr, "conservation violated: %d + %d + %d + %d + %d != offered %d\n",
 			stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.DeadlineMissed, ist.FinalBacklog, stats.Offered)
-		os.Exit(2)
+		os.Exit(cli.ExitViolation)
 	}
 	if ist.CorruptedDelivered > 0 {
 		fmt.Fprintf(os.Stderr, "guarantee violated: %d corrupted payloads delivered past the checksum\n",
 			ist.CorruptedDelivered)
-		os.Exit(2)
+		os.Exit(cli.ExitViolation)
 	}
 	fmt.Printf("conservation verified: offered = delivered + lost + corrupted-dropped + deadline-missed + backlog\n")
 }
@@ -572,12 +562,12 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 		sw, err := buildSwitch(kind, n, m, beta)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(cli.ExitUsage)
 		}
 		fi, ok := sw.(core.FaultInjectable)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "-replicas needs a multichip fault-injectable switch (revsort or columnsort), not %s\n", sw.Name())
-			os.Exit(1)
+			os.Exit(cli.ExitUsage)
 		}
 		switches[i] = fi
 	}
@@ -586,7 +576,7 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 	}, switches...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(cli.ExitUsage)
 	}
 
 	rng := rand.New(rand.NewSource(seed))
@@ -599,7 +589,7 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 		rr, err := p.Run(msgs)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(cli.ExitUsage)
 		}
 		offered += len(msgs)
 		shed += len(rr.Shed)
@@ -613,7 +603,7 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 	}
 	s := p.Stats()
 	if jsonOut {
-		emitJSON(struct {
+		cli.EmitJSON(struct {
 			Mode           string `json:"mode"`
 			Replicas       int
 			Threshold      int
@@ -626,7 +616,7 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 			Stats          pool.Stats
 		}{"pool", replicas, p.Threshold(), rounds, offered, admitted, shed, delivered, violatedRounds, s})
 		if violatedRounds > 0 {
-			os.Exit(2)
+			os.Exit(cli.ExitViolation)
 		}
 		return
 	}
@@ -650,7 +640,7 @@ func runPool(kind string, n, m int, beta float64, replicas int, load float64, ro
 	}
 	if violatedRounds > 0 {
 		fmt.Fprintf(os.Stderr, "guarantee violated: %d rounds exhausted every replica\n", violatedRounds)
-		os.Exit(2)
+		os.Exit(cli.ExitViolation)
 	}
 	fmt.Printf("delivery guarantee (⌊α′m′⌋ = %d per round) verified on every round\n", p.Threshold())
 }

@@ -1,0 +1,65 @@
+// Package cli holds the exit-code contract and output plumbing shared
+// by the concsim and concpool commands, so the two binaries cannot
+// drift: one exit-code table, printed by both usage texts, and one
+// JSON emitter.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// The shared exit-code contract. Every guarantee the simulators check
+// — delivery contracts, deadline SLOs, conservation laws, fencing —
+// reports a breach the same way, so CI and scripts can gate on the
+// code without knowing which command (or which guarantee) ran.
+const (
+	// ExitOK: the run completed with every checked guarantee intact.
+	ExitOK = 0
+	// ExitUsage: a usage, construction, or configuration error before
+	// (or while) the run could produce a verdict.
+	ExitUsage = 1
+	// ExitViolation: the run completed and observed a breach — a
+	// delivery-guarantee regression, a missed deadline SLO, a broken
+	// conservation law, or a frame delivered under a stale fencing
+	// token.
+	ExitViolation = 2
+)
+
+// ExitCodeTable renders the shared exit-code contract for usage text.
+func ExitCodeTable() string {
+	return fmt.Sprintf(`Exit status:
+  %d  run completed with every checked guarantee intact
+  %d  usage, construction, or configuration error
+  %d  guarantee breach: delivery regression, missed deadline SLO,
+     broken conservation law, or a fencing-token violation`,
+		ExitOK, ExitUsage, ExitViolation)
+}
+
+// Usage builds a flag.Usage func for the named command that prints the
+// shared exit-code table ahead of the flag defaults.
+func Usage(name string) func() {
+	return func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: %s [flags]\n\n%s\n\nFlags:\n", name, ExitCodeTable())
+		flag.PrintDefaults()
+	}
+}
+
+// EmitJSON writes one indented machine-readable document to stdout,
+// exiting ExitUsage if it cannot be encoded.
+func EmitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		Fatal(ExitUsage, "%v", err)
+	}
+}
+
+// Fatal prints one line to stderr and exits with the given code.
+func Fatal(code int, format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(code)
+}

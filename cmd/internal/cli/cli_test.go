@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExitCodeTableListsEveryCode(t *testing.T) {
+	table := ExitCodeTable()
+	for _, code := range []int{ExitOK, ExitUsage, ExitViolation} {
+		if !strings.Contains(table, strconv.Itoa(code)) {
+			t.Errorf("exit-code table does not list code %d:\n%s", code, table)
+		}
+	}
+	for _, phrase := range []string{"guarantee", "conservation", "fencing"} {
+		if !strings.Contains(table, phrase) {
+			t.Errorf("exit-code table does not mention %q", phrase)
+		}
+	}
+}
+
+func TestExitCodesDistinct(t *testing.T) {
+	if ExitOK == ExitUsage || ExitUsage == ExitViolation || ExitOK == ExitViolation {
+		t.Fatalf("exit codes collide: %d %d %d", ExitOK, ExitUsage, ExitViolation)
+	}
+	if ExitOK != 0 {
+		t.Fatalf("ExitOK = %d breaks shell conventions", ExitOK)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"concentrators/internal/journal"
 	"concentrators/internal/link"
 	"concentrators/internal/overload"
+	"concentrators/internal/partition"
 	"concentrators/internal/pool"
 	"concentrators/internal/switchsim"
 	"concentrators/internal/timing"
@@ -85,6 +86,15 @@ const (
 	// every ledger and backlog dies with the process — the experimental
 	// control demonstrating that crashes bite.
 	EventCrash
+	// EventPartition cuts control-plane visibility for a bounded round
+	// window: a symmetric cut, a one-way link, a flapping edge, or full
+	// arbiter isolation (Event.Cut). The data plane keeps delivering —
+	// only what the arbiter and the lease machinery can *see* changes.
+	// Every partition is paired with an EventHeal at its window end.
+	EventPartition
+	// EventHeal restores full control-plane visibility: buffered acks
+	// flush and take their fencing verdict against the current token.
+	EventHeal
 )
 
 // String names the kind.
@@ -110,6 +120,10 @@ func (k EventKind) String() string {
 		return "rejoin"
 	case EventCrash:
 		return "crash-restart"
+	case EventPartition:
+		return "partition"
+	case EventHeal:
+		return "heal"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -138,6 +152,10 @@ type Event struct {
 	// Surge is the injected load fault (EventSurge only); its
 	// From/Until round window bounds the surge.
 	Surge overload.Fault
+	// Cut is the injected control-plane partition (EventPartition
+	// only); its From/Until round window bounds the cut, and the
+	// paired EventHeal fires at Until.
+	Cut partition.Fault
 	// Latency is the new probe-scan latency (EventScanLatency only).
 	Latency int
 	// TornFrac, for EventCrash, is the fraction of the in-flight
@@ -163,6 +181,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("round %d: surge %s", e.Round, e.Surge)
 	case EventScanLatency:
 		return fmt.Sprintf("round %d: scan latency → %d", e.Round, e.Latency)
+	case EventPartition:
+		return fmt.Sprintf("round %d: partition %s", e.Round, e.Cut)
+	case EventHeal:
+		return fmt.Sprintf("round %d: partition heals", e.Round)
 	case EventCrash:
 		if e.TornFrac > 0 {
 			return fmt.Sprintf("round %d: crash-restart (torn tail, %.0f%% written)", e.Round, 100*e.TornFrac)
@@ -224,6 +246,28 @@ type Config struct {
 	// the checkpoint through the standard probe path, rotating through
 	// the replicas.
 	Drains int
+	// Partitions bounds the control-plane partition windows scheduled.
+	// Each window cuts what the arbiter can see — health observations,
+	// probe results, acks — while the data plane keeps delivering; the
+	// windows rotate through lease-outliving symmetric cuts, short
+	// belief-covered cuts, flapping (or one-way, with AsymPartitions)
+	// edges, and arbiter isolation, and every one heals with a paired
+	// EventHeal. Requires ≥ 3 replicas (quorum) and enables the pool's
+	// lease-fenced failover. Combines only with Crashes and Surges.
+	Partitions int
+	// AsymPartitions swaps the flapping window shape for one-way
+	// ToReplica cuts: the arbiter keeps hearing a holder whose grants
+	// vanish, forcing the self-fence + observed-refusal handoff path.
+	AsymPartitions bool
+	// LeaseRounds overrides the lease duration the runner hands to the
+	// pool when Partitions > 0. 0 means the default (8 rounds).
+	LeaseRounds int
+	// Unfenced disables fencing-token checks at the ledger while
+	// keeping the partition schedule live: the eager, suspicion-driven
+	// arbiter then fails over into a genuine split brain and the
+	// ledger double-counts — the experimental control demonstrating
+	// what the fencing tokens prevent.
+	Unfenced bool
 	// CheckSLO, when true, books a regression for every round whose
 	// deliveries missed the Deadline budget — the zero-deadline-SLO-
 	// regression assertion of the straggler schedules. Requires a
@@ -250,11 +294,27 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: load %v outside [0,1]", c.Load)
 	case c.PayloadBits < 1:
 		return fmt.Errorf("chaos: payload must be ≥ 1 bit, got %d", c.PayloadBits)
-	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0 || c.Stalls < 0 || c.Surges < 0 || c.Crashes < 0 || c.Drains < 0:
-		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions, %d stalls, %d surges, %d crashes, %d drains)",
-			c.Faults, c.Kills, c.Corruptions, c.Stalls, c.Surges, c.Crashes, c.Drains)
+	case c.Faults < 0 || c.Kills < 0 || c.Corruptions < 0 || c.Stalls < 0 || c.Surges < 0 || c.Crashes < 0 || c.Drains < 0 || c.Partitions < 0:
+		return fmt.Errorf("chaos: negative event counts (%d faults, %d kills, %d corruptions, %d stalls, %d surges, %d crashes, %d drains, %d partitions)",
+			c.Faults, c.Kills, c.Corruptions, c.Stalls, c.Surges, c.Crashes, c.Drains, c.Partitions)
+	case c.LeaseRounds < 0:
+		return fmt.Errorf("chaos: negative lease duration %d", c.LeaseRounds)
 	case c.Unjournaled && c.Crashes == 0:
 		return fmt.Errorf("chaos: Unjournaled without Crashes disables a journal that nothing would read")
+	case c.Kills > 0 && c.Drains > 0:
+		return fmt.Errorf("chaos: Kills and Drains can schedule two membership events for the same replica in the same round (a mid-stream kill and a maintenance drain both target the primary) — run them in separate schedules")
+	case c.Drains > 1 && c.Replicas == 1:
+		return fmt.Errorf("chaos: %d drain cycles over a single replica can schedule its rejoin and its next drain as two membership events for the same replica in the same round — use more replicas or one cycle", c.Drains)
+	case c.Partitions > 0 && (c.Kills > 0 || c.Drains > 0):
+		return fmt.Errorf("chaos: Partitions cannot combine with Kills or Drains: a kill or drain landing inside a cut window is a second membership event for the same replica in the same round as its lease handoff — partitions combine only with Crashes and Surges")
+	case c.Partitions > 0 && (c.Faults > 0 || c.Corruptions > 0 || c.Stalls > 0):
+		return fmt.Errorf("chaos: a chip fault, corruption burst, or stall behind a partition is invisible to the quarantine machinery (the dark primary serves unchecked) — schedule faults and partitions separately")
+	case c.Partitions > 0 && c.Replicas < 3:
+		return fmt.Errorf("chaos: partitions need ≥ 3 replicas for a quorum majority, got %d", c.Replicas)
+	case c.Unfenced && c.Partitions == 0:
+		return fmt.Errorf("chaos: Unfenced is the split-brain control — it needs Partitions > 0")
+	case c.AsymPartitions && c.Partitions == 0:
+		return fmt.Errorf("chaos: AsymPartitions shapes partition windows — it needs Partitions > 0")
 	case c.MaxSurgeFactor != 0 && (c.MaxSurgeFactor <= 1 || c.MaxSurgeFactor != c.MaxSurgeFactor):
 		return fmt.Errorf("chaos: MaxSurgeFactor %v must be > 1", c.MaxSurgeFactor)
 	case c.MaxBER < 0 || c.MaxBER > 1 || c.MaxBER != c.MaxBER:
@@ -281,6 +341,18 @@ func (c Config) maxSurgeFactor() float64 {
 		return 4
 	}
 	return c.MaxSurgeFactor
+}
+
+// leaseRounds resolves the lease duration partition schedules build
+// their windows around.
+func (c Config) leaseRounds() int {
+	if c.LeaseRounds > 0 {
+		return c.LeaseRounds
+	}
+	if c.Pool.Lease.Rounds > 0 {
+		return c.Pool.Lease.Rounds
+	}
+	return 8
 }
 
 // GenerateSchedule derives the deterministic chaos schedule for a pool
@@ -310,7 +382,7 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 
 	var events []Event
 	destructive := cfg.Faults + cfg.Kills + cfg.Corruptions
-	if destructive == 0 && cfg.Stalls == 0 && cfg.Surges == 0 && cfg.Crashes == 0 && cfg.Drains == 0 {
+	if destructive == 0 && cfg.Stalls == 0 && cfg.Surges == 0 && cfg.Crashes == 0 && cfg.Drains == 0 && cfg.Partitions == 0 {
 		return events, nil
 	}
 	stride := max((cfg.Rounds-2)/max(destructive, 1), gap)
@@ -462,6 +534,59 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 			}
 		}
 	}
+	if cfg.Partitions > 0 {
+		// Partition windows rotate through the four split-brain shapes,
+		// one per slot of the usable span so every window heals strictly
+		// inside the run with clean rounds after it for the buffered-ack
+		// flush. The window lengths are keyed to the lease: a cut that
+		// outlives the lease forces a handoff and fences the dark
+		// primary's late acks; a cut inside the lease is covered by the
+		// holder's belief and must cost nothing; arbiter isolation stays
+		// under the lease so the incumbent coasts while the minority-side
+		// arbiter freezes.
+		L := cfg.leaseRounds()
+		need := L + 5 // longest window (L+3) + heal + one clean round
+		start := gap + 2
+		span := cfg.Rounds - start - 1
+		slots := 0
+		if span >= need {
+			slots = min(cfg.Partitions, span/need)
+		}
+		for i := 0; i < slots; i++ {
+			f := partition.Fault{Replica: ActiveReplica}
+			var winLen int
+			switch i % 4 {
+			case 0: // cut outlives the lease: handoff + fenced late acks
+				f.Mode = partition.SymmetricCut
+				winLen = L + 3
+			case 1: // cut inside the lease: the holder's belief covers it
+				f.Mode = partition.SymmetricCut
+				winLen = max(2, L/2)
+			case 2:
+				if cfg.AsymPartitions {
+					// Grants vanish, acks keep flowing: self-fence + handoff.
+					f.Mode, f.Dir = partition.OneWay, partition.ToReplica
+					winLen = L + 3
+				} else {
+					// Flapping edge shorter than the lease: renewals squeak
+					// through often enough that nothing fences.
+					f.Mode, f.Prob = partition.Flapping, 0.4+0.4*rng.Float64()
+					winLen = max(3, L/2)
+				}
+			case 3: // arbiter loses quorum; the incumbent coasts on belief
+				f.Mode, f.Replica = partition.ArbiterIsolation, partition.AllReplicas
+				winLen = max(1, L-2)
+			}
+			lo := start + i*span/slots
+			slotw := span / slots
+			pround := lo + rng.Intn(max(slotw-winLen-1, 1))
+			f.From, f.Until = pround, pround+winLen
+			events = append(events,
+				Event{Round: pround, Kind: EventPartition, Replica: f.Replica, Cut: f},
+				Event{Round: pround + winLen, Kind: EventHeal, Replica: f.Replica},
+			)
+		}
+	}
 	if cfg.Crashes > 0 && cfg.Rounds > 2 {
 		// Control-plane crashes need no repair-loop spacing — the restored
 		// controller serves the very next round — only enough room for the
@@ -492,6 +617,17 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].Round < events[j].Round })
 	return events, nil
+}
+
+// ledgerTotal is the booked-or-buffered frame total of a checkpoint —
+// Delivered plus Fenced plus acks still in flight behind a cut: the
+// quantity a crash can lose and the loss accounting must diff.
+func ledgerTotal(cp *pool.Checkpoint) int {
+	t := cp.Ledger.Delivered + cp.Ledger.Fenced
+	for _, a := range cp.InFlight {
+		t += a.Frames
+	}
+	return t
 }
 
 // randomFault draws one valid chip fault for the given stages.
@@ -546,7 +682,17 @@ type RoundRecord struct {
 	Threshold            int // serving contract's ⌊α′m′⌋
 	ServedBy             int // replica index, −1 when none
 	FailedOver, Violated bool
-	Events               []Event // events fired before this round
+	// Fenced counts frames whose acks arrived this round under a lapsed
+	// fencing token (rejected at the ledger); StaleDelivered counts
+	// frames the unfenced control let through under a stale token — the
+	// split-brain double deliveries fencing exists to prevent.
+	Fenced, StaleDelivered int
+	// ShadowDelivered counts frames physically served this round by
+	// superseded primaries that still believe their lease; Frozen marks
+	// rounds the arbiter lacked a quorum of heard replicas.
+	ShadowDelivered int
+	Frozen          bool
+	Events          []Event // events fired before this round
 }
 
 // CrashRecord is the durability ledger of a chaos run: what the crash
@@ -583,6 +729,41 @@ type CrashRecord struct {
 	TrueDelivered int
 }
 
+// PartitionRecord is the split-brain ledger of a chaos run: what the
+// partition windows did to lease custody and how every physically
+// served frame was eventually booked. Its conservation law is
+//
+//	Stats.Delivered + Stats.Fenced + Stats.InFlightAcks
+//	    + Crash.DeliveredLost == TrueServed
+//
+// — the harness counts frames on the far side of every cut (primary
+// plus shadow deliveries, round by round, across incarnations), so a
+// frame the ledgers cannot account for as Delivered, Fenced, buffered
+// in flight, or crash-lost is a split-brain leak.
+type PartitionRecord struct {
+	// Partitions and Heals count the cut and heal events fired.
+	Partitions, Heals int
+	// LeaseHandoffs counts fenced primary changes (token bumps after
+	// the initial grant); FrozenRounds counts rounds the arbiter
+	// lacked a quorum and refused to act.
+	LeaseHandoffs, FrozenRounds int
+	// DualPrimaryRounds counts rounds where a superseded holder served
+	// alongside the rightful primary (always 0 with fencing on — the
+	// shadows serve, but their frames never book Delivered).
+	DualPrimaryRounds int
+	// Fenced and StaleDelivered sum the per-round ledger verdicts on
+	// late acks: rejected under a lapsed token, or (unfenced control
+	// only) double-delivered.
+	Fenced, StaleDelivered int
+	// TrueServed is the harness-side count of physically served frames
+	// — primary and shadow — summed over every round of every
+	// incarnation.
+	TrueServed int
+	// LeaseRounds is the effective lease duration the run used (after
+	// defaulting), for display and replay.
+	LeaseRounds int
+}
+
 // Report is the outcome of one chaos replay.
 type Report struct {
 	Schedule []Event
@@ -597,7 +778,9 @@ type Report struct {
 	MaxSameRoundFailovers int
 	// Crash is the durability ledger (crash/drain schedules only).
 	Crash CrashRecord
-	Stats pool.Stats
+	// Partition is the split-brain ledger (partition schedules only).
+	Partition PartitionRecord
+	Stats     pool.Stats
 }
 
 // Run replays the schedule against a fresh pool of cfg.Replicas
@@ -623,6 +806,20 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 		poolCfg.HedgeQuantile = 0.9
 		poolCfg.HedgeBudget = 0.5
 	}
+	// Partition schedules run against the lease-fenced pool: custody of
+	// the primary role is a lease under a monotonic fencing token, and
+	// the schedule's Unfenced control disables only the ledger's token
+	// check (plus the arbiter's patience), not the lease itself.
+	if cfg.Partitions > 0 {
+		if poolCfg.Lease.Rounds == 0 {
+			poolCfg.Lease.Rounds = cfg.leaseRounds()
+			poolCfg.Lease.Seed = cfg.Seed
+		}
+		if cfg.Unfenced {
+			poolCfg.Lease.Unfenced = true
+		}
+	}
+	leaseOn := poolCfg.Lease.Rounds > 0
 	switches := make([]core.FaultInjectable, cfg.Replicas)
 	for i := range switches {
 		sw, err := build()
@@ -638,12 +835,17 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := &Report{Schedule: events}
+	if leaseOn {
+		rep.Partition.LeaseRounds = poolCfg.Lease.Rounds
+	}
 	surgePlane := overload.NewPlane(cfg.Seed)
 	n := p.Inputs()
 	next := 0
 	lastFailovers := 0
 	lastCorrupted := 0
 	lastMissed := 0
+	lastFenced, lastStale := 0, 0
+	lastHandoffs, lastDual := 0, 0
 	var killedQueue []int // killed, not-yet-revived replicas, oldest first
 
 	// Crash durability: the journal is the only structure that survives
@@ -715,6 +917,22 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				err = p.InjectTimingFault(target, ev.Stall)
 			case EventSurge:
 				err = surgePlane.Add(ev.Surge)
+			case EventPartition:
+				// Non-isolation cuts resolve to whoever holds the lease
+				// when the window opens — the mid-stream primary partition
+				// the acceptance criterion asks for.
+				cut := ev.Cut
+				if cut.Mode != partition.ArbiterIsolation {
+					cut.Replica = target
+				}
+				if err = p.InjectPartition(cut); err == nil {
+					ev.Cut = cut
+					rep.Partition.Partitions++
+				}
+			case EventHeal:
+				if err = p.ClearPartitions(); err == nil {
+					rep.Partition.Heals++
+				}
 			case EventDrain:
 				// Maintenance does not drain a corpse: when a kill beat the
 				// drain to the board (or it is already drained), skip the
@@ -774,20 +992,24 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 						rep.Crash.SnapshotsRestored++
 						// A torn tail falls back to the previous round's
 						// checkpoint: that round's ledger is gone for good.
-						rep.Crash.DeliveredLost += dying.Ledger.Delivered - restored.Ledger.Delivered
+						// The diff covers every booked-or-buffered form a
+						// served frame can take — Delivered, Fenced, or an
+						// in-flight ack behind a cut — so the partition
+						// conservation law telescopes across incarnations.
+						rep.Crash.DeliveredLost += ledgerTotal(dying) - ledgerTotal(restored)
 						rep.Crash.StaleRounds += int(dying.Round - restored.Round)
 						if lost := dying.ClientBacklog - restored.ClientBacklog; lost > 0 {
 							rep.Crash.BacklogLost += lost
 						}
 					} else {
-						rep.Crash.DeliveredLost += dying.Ledger.Delivered
+						rep.Crash.DeliveredLost += ledgerTotal(dying)
 						rep.Crash.BacklogLost += dying.ClientBacklog
 					}
 					// Reopening drops the torn tail and resumes the LSN.
 					w = journal.NewWriter(store)
 				} else {
 					// Unjournaled control: the new controller knows nothing.
-					rep.Crash.DeliveredLost += dying.Ledger.Delivered
+					rep.Crash.DeliveredLost += ledgerTotal(dying)
 					rep.Crash.BacklogLost += dying.ClientBacklog
 				}
 				p = np
@@ -795,6 +1017,8 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				// for the per-round stat deltas.
 				s := p.Stats()
 				lastFailovers, lastCorrupted, lastMissed = s.SameRoundFailovers, s.CorruptedDeliveries, s.DeadlineMissed
+				lastFenced, lastStale = s.Fenced, s.StaleDelivered
+				lastHandoffs, lastDual = s.LeaseHandoffs, s.DualPrimaryRounds
 			default:
 				err = fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 			}
@@ -831,6 +1055,29 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 		lastCorrupted = stats.CorruptedDeliveries
 		rec.DeadlineMissed = stats.DeadlineMissed - lastMissed
 		lastMissed = stats.DeadlineMissed
+		if leaseOn {
+			rec.Fenced = stats.Fenced - lastFenced
+			rec.StaleDelivered = stats.StaleDelivered - lastStale
+			rec.ShadowDelivered = rr.ShadowDelivered
+			rec.Frozen = rr.Frozen
+			lastFenced, lastStale = stats.Fenced, stats.StaleDelivered
+			rep.Partition.Fenced += rec.Fenced
+			rep.Partition.StaleDelivered += rec.StaleDelivered
+			rep.Partition.LeaseHandoffs += stats.LeaseHandoffs - lastHandoffs
+			rep.Partition.DualPrimaryRounds += stats.DualPrimaryRounds - lastDual
+			lastHandoffs, lastDual = stats.LeaseHandoffs, stats.DualPrimaryRounds
+			if rec.Frozen {
+				rep.Partition.FrozenRounds++
+			}
+			// A frame Delivered under a stale fencing token is the
+			// split-brain leak the lease exists to prevent — a regression
+			// anywhere but in the unfenced control.
+			if rec.StaleDelivered > 0 && !poolCfg.Lease.Unfenced {
+				rep.Regressions = append(rep.Regressions,
+					fmt.Sprintf("round %d: %d frames Delivered under a stale fencing token (token %d, split-brain leak)",
+						round, rec.StaleDelivered, rr.LeaseToken))
+			}
+		}
 		if cfg.CheckSLO && rec.DeadlineMissed > 0 {
 			rep.Regressions = append(rep.Regressions,
 				fmt.Sprintf("round %d: %d deliveries missed the %d-round deadline SLO (latency %d, replica %d, hedged %v)",
@@ -879,6 +1126,9 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 		lastFailovers = stats.SameRoundFailovers
 
 		rep.Crash.TrueDelivered += rec.Delivered
+		if leaseOn {
+			rep.Partition.TrueServed += rec.Delivered + rr.ShadowDelivered
+		}
 		if w != nil {
 			// End-of-round checkpoint append: this record is what the next
 			// incarnation restores, and the one a torn crash next round

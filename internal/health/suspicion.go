@@ -1,0 +1,94 @@
+package health
+
+// SuspicionClock tracks, per replica, how many consecutive rounds the
+// arbiter has gone without hearing from the board's control plane, and
+// remembers the last contract threshold heard before the silence began.
+// A partition-aware arbiter uses the clock two ways: the unheard count
+// drives suspicion (and, in the unfenced control, eager failover —
+// precisely the split-brain mistake fencing exists to contain), and the
+// last-known-good threshold lets admission degrade gracefully to the
+// most recent real contract instead of guessing while a replica is dark.
+//
+// Failure detection by silence is inherently unreliable under
+// partitions — the clock deliberately reports *suspicion*, never a
+// verdict; only quorum-checked, directly observed evidence (a heard
+// refusal, a heard probe failure) justifies membership changes.
+type SuspicionClock struct {
+	unheard  []int
+	lkg      []int
+	lkgKnown []bool
+}
+
+// NewSuspicionClock tracks n replicas, all initially heard and with no
+// last-known-good contract recorded.
+func NewSuspicionClock(n int) *SuspicionClock {
+	return &SuspicionClock{
+		unheard:  make([]int, n),
+		lkg:      make([]int, n),
+		lkgKnown: make([]bool, n),
+	}
+}
+
+// Hear resets replica i's suspicion and records threshold as its
+// last-known-good contract.
+func (c *SuspicionClock) Hear(i, threshold int) {
+	c.unheard[i] = 0
+	c.lkg[i] = threshold
+	c.lkgKnown[i] = true
+}
+
+// Miss advances replica i's suspicion by one silent round and returns
+// the new consecutive-unheard count.
+func (c *SuspicionClock) Miss(i int) int {
+	c.unheard[i]++
+	return c.unheard[i]
+}
+
+// Unheard returns replica i's consecutive silent-round count.
+func (c *SuspicionClock) Unheard(i int) int { return c.unheard[i] }
+
+// LastKnownGood returns the threshold last heard from replica i and
+// whether one was ever heard.
+func (c *SuspicionClock) LastKnownGood(i int) (int, bool) {
+	return c.lkg[i], c.lkgKnown[i]
+}
+
+// Forget clears replica i entirely — a drained or restarted board's old
+// contract must not outlive its membership.
+func (c *SuspicionClock) Forget(i int) {
+	c.unheard[i] = 0
+	c.lkg[i] = 0
+	c.lkgKnown[i] = false
+}
+
+// SuspicionSnapshot is the checkpointable state of a SuspicionClock.
+type SuspicionSnapshot struct {
+	Unheard  []int
+	LKG      []int
+	LKGKnown []bool
+}
+
+// Snapshot captures the clock for a pool checkpoint.
+func (c *SuspicionClock) Snapshot() SuspicionSnapshot {
+	return SuspicionSnapshot{
+		Unheard:  append([]int(nil), c.unheard...),
+		LKG:      append([]int(nil), c.lkg...),
+		LKGKnown: append([]bool(nil), c.lkgKnown...),
+	}
+}
+
+// RestoreSuspicionClock rebuilds a clock from a checkpoint, padding or
+// truncating to n replicas.
+func RestoreSuspicionClock(n int, s SuspicionSnapshot) *SuspicionClock {
+	c := NewSuspicionClock(n)
+	for i := 0; i < n && i < len(s.Unheard); i++ {
+		c.unheard[i] = s.Unheard[i]
+	}
+	for i := 0; i < n && i < len(s.LKG); i++ {
+		c.lkg[i] = s.LKG[i]
+	}
+	for i := 0; i < n && i < len(s.LKGKnown); i++ {
+		c.lkgKnown[i] = s.LKGKnown[i]
+	}
+	return c
+}

@@ -1,0 +1,67 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSuspicionClock(t *testing.T) {
+	c := NewSuspicionClock(3)
+	if _, ok := c.LastKnownGood(0); ok {
+		t.Fatal("fresh clock claims a last-known-good contract")
+	}
+	c.Hear(0, 12)
+	if n := c.Miss(1); n != 1 {
+		t.Fatalf("first Miss = %d, want 1", n)
+	}
+	if n := c.Miss(1); n != 2 {
+		t.Fatalf("second Miss = %d, want 2", n)
+	}
+	if c.Unheard(0) != 0 || c.Unheard(1) != 2 {
+		t.Fatalf("unheard = (%d,%d), want (0,2)", c.Unheard(0), c.Unheard(1))
+	}
+	if thr, ok := c.LastKnownGood(0); !ok || thr != 12 {
+		t.Fatalf("LastKnownGood(0) = (%d,%v), want (12,true)", thr, ok)
+	}
+	// Hearing again resets suspicion and refreshes the contract.
+	c.Hear(1, 8)
+	if c.Unheard(1) != 0 {
+		t.Fatal("Hear did not reset suspicion")
+	}
+	if thr, _ := c.LastKnownGood(1); thr != 8 {
+		t.Fatalf("LastKnownGood(1) = %d, want 8", thr)
+	}
+	// Forget drops both the clock and the stale contract.
+	c.Forget(1)
+	if _, ok := c.LastKnownGood(1); ok || c.Unheard(1) != 0 {
+		t.Fatal("Forget left state behind")
+	}
+}
+
+func TestSuspicionSnapshotRoundTrip(t *testing.T) {
+	c := NewSuspicionClock(2)
+	c.Hear(0, 9)
+	c.Miss(1)
+	c.Miss(1)
+	snap := c.Snapshot()
+	// Mutating the original must not alias the snapshot.
+	c.Hear(1, 4)
+	restored := RestoreSuspicionClock(2, snap)
+	if restored.Unheard(1) != 2 {
+		t.Fatalf("restored Unheard(1) = %d, want 2", restored.Unheard(1))
+	}
+	if thr, ok := restored.LastKnownGood(0); !ok || thr != 9 {
+		t.Fatalf("restored LastKnownGood(0) = (%d,%v), want (9,true)", thr, ok)
+	}
+	if _, ok := restored.LastKnownGood(1); ok {
+		t.Fatal("restored a last-known-good contract that was never heard")
+	}
+	if !reflect.DeepEqual(restored.Snapshot(), snap) {
+		t.Fatal("snapshot → restore → snapshot is not a fixed point")
+	}
+	// Restore tolerates a size mismatch (membership grew after checkpoint).
+	grown := RestoreSuspicionClock(4, snap)
+	if grown.Unheard(3) != 0 {
+		t.Fatal("padded replica has nonzero suspicion")
+	}
+}

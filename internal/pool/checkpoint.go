@@ -7,6 +7,7 @@ import (
 	"concentrators/internal/health"
 	"concentrators/internal/link"
 	"concentrators/internal/overload"
+	"concentrators/internal/partition"
 	"concentrators/internal/timing"
 )
 
@@ -46,6 +47,12 @@ type ReplicaCheckpoint struct {
 	// Gray-failure conviction (gates rejoin behind a timed canary).
 	SlowConvicted bool
 
+	// Primary-lease belief: the fencing token and horizon of the last
+	// grant the board heard. The belief is durable — a restarted
+	// controller must still fence a board serving on a pre-crash grant.
+	LeaseToken uint64
+	LeaseUntil int64
+
 	// Fault record: scan-localized chip faults plus quarantined output
 	// wires, from which the degraded contract is re-derived.
 	KnownFaults []health.LocalizedFault
@@ -82,6 +89,12 @@ type LedgerCheckpoint struct {
 	DeadlineMissed                     int
 	LinksQuarantined                   int
 	CongestedRounds                    int
+	// Partition-tolerance ledger terms (PR 7): the Fenced conservation
+	// term and its split-brain companions survive a restart like every
+	// other conservation-relevant counter.
+	Fenced, StaleDelivered          int
+	LeaseHandoffs, FrozenRounds     int
+	ShadowServed, DualPrimaryRounds int
 }
 
 // Checkpoint is the serializable control-plane state of the whole
@@ -96,7 +109,22 @@ type Checkpoint struct {
 	// built with Config.Overload.
 	AIMD     overload.AIMDSnapshot
 	Brownout overload.BrownoutSnapshot
-	Replicas []ReplicaCheckpoint
+	// Partition-safe lease state (meaningful when Config.Lease.Rounds >
+	// 0): the monotonic fencing token MUST survive a restart — a reborn
+	// arbiter that reissued token 1 would re-legitimize every fenced
+	// shadow primary. Buffered acks and suspicion clocks ride along so
+	// recovery neither loses nor double-books an in-flight delivery.
+	FenceToken  uint64
+	LeaseHolder int
+	LeaseExpiry int64
+	Suspicion   health.SuspicionSnapshot
+	InFlight    []PendingAck
+	// The control-plane partition plane at checkpoint time: board
+	// visibility does not heal because the controller rebooted.
+	HasPartitionPlane bool
+	PartitionSeed     int64
+	PartitionFaults   []partition.Fault
+	Replicas          []ReplicaCheckpoint
 }
 
 func (r *replica) checkpointLocked() ReplicaCheckpoint {
@@ -105,8 +133,9 @@ func (r *replica) checkpointLocked() ReplicaCheckpoint {
 		ConsecViol: r.consecViol, Backoff: r.backoff,
 		ProbeAt: r.probeAt, PendingScan: r.pendingScan,
 		SlowConvicted: r.slowConvicted,
-		WireFaults:    make(map[int]health.LocalizedFault, len(r.wireFaults)),
-		Trips:         r.trips, Probes: r.probes, Scans: r.scans,
+		LeaseToken:    r.leaseToken, LeaseUntil: r.leaseUntil,
+		WireFaults: make(map[int]health.LocalizedFault, len(r.wireFaults)),
+		Trips:      r.trips, Probes: r.probes, Scans: r.scans,
 		Violations: r.violations, RoundsServed: r.roundsServed,
 		Repairs: r.repairs, Corrupted: r.corrupted,
 		LinkQuarantines: r.linkQuarantines,
@@ -149,6 +178,8 @@ func (p *Pool) restoreReplicaLocked(r *replica, cp ReplicaCheckpoint) error {
 	r.probeAt = cp.ProbeAt
 	r.pendingScan = cp.PendingScan
 	r.slowConvicted = cp.SlowConvicted
+	r.leaseToken = cp.LeaseToken
+	r.leaseUntil = cp.LeaseUntil
 	r.known = make(map[[2]int]health.LocalizedFault, len(cp.KnownFaults))
 	for _, lf := range cp.KnownFaults {
 		r.known[[2]int{lf.Stage, lf.Chip}] = lf
@@ -236,6 +267,10 @@ func (p *Pool) Drain(i int) error {
 	r.slowConvicted = false
 	r.lat.Reset()
 	p.slow.Reset(i)
+	// A rebooting board drops its lease belief (the grant is not
+	// re-heard until after Rejoin) and the arbiter forgets its clock.
+	r.leaseToken, r.leaseUntil = 0, -1
+	p.susp.Forget(i)
 	if monitor, err := link.NewLinkMonitor(p.cfg.Monitor); err == nil {
 		r.monitor = monitor
 	}
@@ -298,7 +333,20 @@ func (p *Pool) Snapshot() *Checkpoint {
 			DeadlineMissed:   s.DeadlineMissed,
 			LinksQuarantined: s.LinksQuarantined,
 			CongestedRounds:  s.CongestedRounds,
+			Fenced:           s.Fenced, StaleDelivered: s.StaleDelivered,
+			LeaseHandoffs: s.LeaseHandoffs, FrozenRounds: s.FrozenRounds,
+			ShadowServed: s.ShadowServed, DualPrimaryRounds: s.DualPrimaryRounds,
 		},
+		FenceToken:  p.fenceToken,
+		LeaseHolder: p.leaseHolder,
+		LeaseExpiry: p.leaseExpiry,
+		Suspicion:   p.susp.Snapshot(),
+		InFlight:    append([]PendingAck(nil), p.inflight...),
+	}
+	if p.pplane != nil {
+		cp.HasPartitionPlane = true
+		cp.PartitionSeed = p.pplane.Seed()
+		cp.PartitionFaults = p.pplane.Faults()
 	}
 	if p.aimd != nil {
 		cp.AIMD = p.aimd.Snapshot()
@@ -354,6 +402,23 @@ func (p *Pool) Restore(cp *Checkpoint) error {
 		DeadlineMissed:   l.DeadlineMissed,
 		LinksQuarantined: l.LinksQuarantined,
 		CongestedRounds:  l.CongestedRounds,
+		Fenced:           l.Fenced, StaleDelivered: l.StaleDelivered,
+		LeaseHandoffs: l.LeaseHandoffs, FrozenRounds: l.FrozenRounds,
+		ShadowServed: l.ShadowServed, DualPrimaryRounds: l.DualPrimaryRounds,
+	}
+	p.fenceToken = cp.FenceToken
+	p.leaseHolder = cp.LeaseHolder
+	p.leaseExpiry = cp.LeaseExpiry
+	p.susp = health.RestoreSuspicionClock(len(p.replicas), cp.Suspicion)
+	p.inflight = append([]PendingAck(nil), cp.InFlight...)
+	p.pplane = nil
+	if cp.HasPartitionPlane {
+		p.pplane = partition.NewPlane(cp.PartitionSeed)
+		for _, f := range cp.PartitionFaults {
+			if err := p.pplane.Add(f); err != nil {
+				return fmt.Errorf("pool: checkpoint carries invalid partition fault: %w", err)
+			}
+		}
 	}
 	p.lat.Reset()
 	if p.aimd != nil {

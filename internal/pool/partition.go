@@ -1,0 +1,462 @@
+package pool
+
+// Partition-safe primary election. With Config.Lease.Rounds > 0 the
+// pool's arbiter stops assuming its view of the replicas is instant and
+// symmetric: a control-plane partition plane (internal/partition)
+// filters which health observations, probe verdicts, and delivery acks
+// it sees each round, while the data plane keeps routing. Safety then
+// rests on three mechanisms instead of on perfect visibility:
+//
+//   - Lease + fencing tokens. The primary role is a time-bounded grant
+//     carrying a monotonically increasing fencing token, renewed every
+//     round the arbiter hears the holder. A holder that misses Rounds
+//     consecutive renewals self-fences (stops serving); the arbiter
+//     waits out the same horizon before re-granting with a bumped
+//     token, so there is never a round where two boards both hold a
+//     *current* grant. Deliveries ack with their grant's token; the
+//     ledger books a stale token as Fenced, never Delivered — a late
+//     ack from a superseded primary cannot double-deliver.
+//
+//   - Quorum-gated membership. A round in which the arbiter hears
+//     fewer than ⌊N/2⌋+1 replicas freezes membership: no breaker
+//     trips, no probe verdicts, no elections. A minority-side arbiter
+//     flapping breakers on a stale view is worse than one that waits.
+//
+//   - Suspicion, not verdicts. Silence advances a per-replica
+//     suspicion clock (health.SuspicionClock) and degrades admission
+//     to the holder's last-known-good contract; only directly observed
+//     evidence (a heard violation, a heard refusal) justifies an early
+//     handoff. The Unfenced control inverts exactly this rule — eager
+//     failover on suspicion with no ledger fencing — to demonstrate
+//     the double-delivery the mechanisms above prevent.
+
+import (
+	"fmt"
+
+	"concentrators/internal/partition"
+	"concentrators/internal/switchsim"
+)
+
+// InjectPartition adds a control-plane partition fault to the pool's
+// plane — the chaos harness's split-brain injection port. It requires
+// the lease machinery: without fencing, a partitioned legacy arbiter
+// has no defined semantics to test.
+func (p *Pool) InjectPartition(f partition.Fault) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cfg.Lease.Rounds == 0 {
+		return fmt.Errorf("pool: partition faults need lease-fenced failover (Config.Lease.Rounds > 0)")
+	}
+	if f.Replica != partition.AllReplicas && f.Replica >= len(p.replicas) {
+		return fmt.Errorf("pool: partition fault replica %d out of range [0,%d)", f.Replica, len(p.replicas))
+	}
+	if p.pplane == nil {
+		p.pplane = partition.NewPlane(p.cfg.Lease.Seed)
+	}
+	return p.pplane.Add(f)
+}
+
+// ClearPartitions drops the partition plane — the heal event. Buffered
+// acks flush on the next round, when every edge is visible again.
+func (p *Pool) ClearPartitions() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pplane = nil
+	return nil
+}
+
+// bookAcksLocked lands one delivery acknowledgement at the ledger: a
+// current fencing token books Delivered; a stale one books Fenced —
+// unless the unfenced control is on, which accepts it (StaleDelivered)
+// to exhibit the split-brain double-delivery fencing prevents.
+func (p *Pool) bookAcksLocked(token uint64, frames int, rr *RoundResult) {
+	if frames == 0 {
+		return
+	}
+	if token == p.fenceToken {
+		p.stats.Delivered += frames
+		return
+	}
+	if p.cfg.Lease.Unfenced {
+		p.stats.Delivered += frames
+		p.stats.StaleDelivered += frames
+		return
+	}
+	p.stats.Fenced += frames
+	rr.Fenced += frames
+}
+
+// flushAcksLocked books every buffered ack whose replica edge is heard
+// again this round. The fencing verdict is taken at flush time — a
+// delivery that waited out its lease arrives with a stale token.
+func (p *Pool) flushAcksLocked(vis []bool, rr *RoundResult) {
+	if len(p.inflight) == 0 {
+		return
+	}
+	kept := p.inflight[:0]
+	for _, ack := range p.inflight {
+		if vis[ack.Replica] {
+			p.bookAcksLocked(ack.Token, ack.Frames, rr)
+		} else {
+			kept = append(kept, ack)
+		}
+	}
+	p.inflight = kept
+}
+
+// probeDueLeasedLocked lands due half-open probe verdicts, gated on
+// quorum and per-replica visibility: a verdict the arbiter cannot hear
+// (or must not act on from a minority view) is deferred one round
+// without touching the backoff — a deferral is not a failed probe.
+func (p *Pool) probeDueLeasedLocked(round int64, vis []bool, frozen bool) {
+	for _, r := range p.replicas {
+		if !r.pendingScan || r.probeAt < 0 || round < r.probeAt {
+			continue
+		}
+		if frozen || !vis[r.id] {
+			r.probeAt = round + 1
+			continue
+		}
+		p.probeOneLocked(r, round)
+	}
+}
+
+// bestVisibleLocked elects the best servable replica the arbiter can
+// currently both hear and reach — same ordering as bestLocked (state
+// rank, live threshold, incumbency, index) over the visible set only:
+// granting a lease to a board that cannot receive it, or whose health
+// is hearsay, is how split brains start.
+func (p *Pool) bestVisibleLocked(skip map[int]bool, vis, reach []bool) int {
+	best := -1
+	for i, r := range p.replicas {
+		if skip[i] || !vis[i] || !reach[i] || !r.servable() {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := p.replicas[best]
+		switch {
+		case r.rank() != b.rank():
+			if r.rank() < b.rank() {
+				best = i
+			}
+		case r.threshold() != b.threshold():
+			if r.threshold() > b.threshold() {
+				best = i
+			}
+		case i == p.leaseHolder && best != p.leaseHolder:
+			best = i
+		}
+	}
+	return best
+}
+
+// grantLocked moves the primary lease to replica next under a bumped
+// fencing token, revoking the old holder's belief when the revocation
+// can reach it. An unreachable old holder keeps believing until its
+// grant lapses — the shadow-primary window fencing tokens exist for.
+func (p *Pool) grantLocked(round int64, next int, reach []bool) {
+	old := p.leaseHolder
+	p.fenceToken++
+	p.leaseHolder = next
+	p.leaseExpiry = round + int64(p.cfg.Lease.Rounds)
+	nr := p.replicas[next]
+	nr.leaseToken = p.fenceToken
+	nr.leaseUntil = p.leaseExpiry
+	p.active = next
+	if old >= 0 && old != next {
+		p.stats.LeaseHandoffs++
+		p.stats.Failovers++
+		if reach[old] {
+			p.replicas[old].leaseToken, p.replicas[old].leaseUntil = 0, -1
+		}
+	}
+}
+
+// leaseMaintainLocked is the per-round lease state machine: renew a
+// heard healthy holder, hand off on directly observed failure or after
+// the lease horizon passes in silence, and never move the role from a
+// minority view.
+func (p *Pool) leaseMaintainLocked(round int64, vis, reach []bool, frozen bool) {
+	if frozen {
+		// Minority-side arbiter: freeze. The incumbent coasts on its
+		// outstanding grant; quorum decisions wait for the heal.
+		return
+	}
+	h := p.leaseHolder
+	if h >= 0 {
+		r := p.replicas[h]
+		switch {
+		case vis[h] && r.servable():
+			// Renew. The grant itself only lands if the to-replica
+			// direction is up; an asymmetric cut lets the arbiter's
+			// horizon advance while the board's belief ages out.
+			p.leaseExpiry = round + int64(p.cfg.Lease.Rounds)
+			if reach[h] {
+				r.leaseToken = p.fenceToken
+				r.leaseUntil = p.leaseExpiry
+			}
+			if round <= r.leaseUntil {
+				return // holder is serving under a live belief
+			}
+			// Heard, willing, self-fenced, and unreachable: the arbiter
+			// watches refusals it cannot repair — hand off.
+		case vis[h] && !r.servable():
+			// Directly observed failure (killed, quarantined, zero
+			// threshold): safe to hand off immediately.
+		default:
+			// Unheard: suspicion only. The fenced arbiter waits out the
+			// lease; the unfenced control fails over eagerly — exactly
+			// the split-brain mistake fencing exists to contain.
+			eager := p.cfg.Lease.Unfenced && p.susp.Unheard(h) >= p.cfg.Lease.SuspectAfter
+			if round <= p.leaseExpiry && !eager {
+				return
+			}
+		}
+	}
+	if next := p.bestVisibleLocked(nil, vis, reach); next >= 0 {
+		p.grantLocked(round, next, reach)
+	}
+	// Nothing electable: the incumbent (if any) keeps coasting on its
+	// belief; the arbiter retries next round.
+}
+
+// shadowServeLocked runs the round's admitted batch on every stale
+// believer — a board serving on a superseded grant still routes what
+// the data plane carries. Its frames are ground truth (ShadowDelivered)
+// and its acks take the fencing verdict like any other delivery.
+func (p *Pool) shadowServeLocked(round int64, admitted []switchsim.Message, rr *RoundResult, vis []bool, primaryFrames int) {
+	if len(admitted) == 0 {
+		return
+	}
+	dual := false
+	for _, s := range p.replicas {
+		if s.killed || s.leaseToken == 0 || s.leaseToken == p.fenceToken ||
+			round > s.leaseUntil || s.id == rr.ServedBy {
+			continue
+		}
+		res, err := switchsim.Run(s.contract(), admitted)
+		if err != nil {
+			continue
+		}
+		res, _ = p.applyWireNoiseLocked(s, round, res)
+		frames := len(res.Delivered)
+		if frames == 0 {
+			continue
+		}
+		rr.ShadowDelivered += frames
+		p.stats.ShadowServed += frames
+		dual = dual || primaryFrames > 0
+		if vis[s.id] {
+			p.bookAcksLocked(s.leaseToken, frames, rr)
+		} else {
+			p.inflight = append(p.inflight, PendingAck{Replica: s.id, Token: s.leaseToken, Frames: frames})
+		}
+	}
+	if dual {
+		p.stats.DualPrimaryRounds++
+	}
+}
+
+// runLeasedLocked executes one pool round under the partition-safe
+// lease arbiter. The caller validated the messages and holds the lock.
+func (p *Pool) runLeasedLocked(byInput map[int]switchsim.Message, inputs []int) *RoundResult {
+	round := p.round
+	p.round++
+	p.stats.Rounds++
+	p.stats.Offered += len(inputs)
+
+	rr := &RoundResult{Round: round, ServedBy: -1}
+
+	// What can the arbiter see this round? vis is the replica→arbiter
+	// direction (observations, acks); reach is arbiter→replica (grants).
+	vis := make([]bool, len(p.replicas))
+	reach := make([]bool, len(p.replicas))
+	heard := 0
+	for i := range p.replicas {
+		vis[i] = p.pplane.Visible(int(round), i, partition.FromReplica)
+		reach[i] = p.pplane.Visible(int(round), i, partition.ToReplica)
+		if vis[i] {
+			heard++
+		}
+	}
+	frozen := heard < len(p.replicas)/2+1
+	if frozen {
+		p.stats.FrozenRounds++
+		rr.Frozen = true
+	}
+
+	// Heal-side bookkeeping first: late acks land before this round's
+	// decisions, so a re-heard replica's history informs them.
+	p.flushAcksLocked(vis, rr)
+	for i, r := range p.replicas {
+		if vis[i] {
+			p.susp.Hear(i, r.threshold())
+		} else {
+			p.susp.Miss(i)
+		}
+	}
+	p.probeDueLeasedLocked(round, vis, frozen)
+	p.leaseMaintainLocked(round, vis, reach, frozen)
+	rr.LeaseToken = p.fenceToken
+
+	// The holder serves only while its own belief is live: a board
+	// whose grant lapsed self-fences even if the arbiter still counts
+	// it as the holder.
+	holder := -1
+	if p.leaseHolder >= 0 {
+		r := p.replicas[p.leaseHolder]
+		if !r.killed && r.leaseToken == p.fenceToken && round <= r.leaseUntil {
+			holder = p.leaseHolder
+		}
+	}
+	if holder < 0 {
+		_, rr.Shed = p.admit(inputs, 0, round)
+		p.stats.Shed += len(rr.Shed)
+		if len(inputs) > 0 {
+			rr.Violated = true
+			p.stats.Violations++
+		}
+		return rr
+	}
+
+	// Admission against the holder's live contract — or, while the
+	// holder is dark, its last-known-good contract: graceful
+	// degradation to the most recent real threshold, not a guess.
+	hr := p.replicas[holder]
+	rawThr := hr.threshold()
+	if !vis[holder] {
+		if lkg, ok := p.susp.LastKnownGood(holder); ok {
+			rawThr = lkg
+		}
+	}
+	thr := p.effectiveThresholdLocked(rawThr)
+	admittedInputs, shed := p.admit(inputs, thr, round)
+	rr.Threshold = thr
+	rr.Shed = shed
+	p.stats.Admitted += len(admittedInputs)
+	p.stats.Shed += len(shed)
+	admitted := make([]switchsim.Message, 0, len(admittedInputs))
+	for _, in := range admittedInputs {
+		admitted = append(admitted, byInput[in])
+	}
+
+	primaryFrames := 0
+	if vis[holder] && !frozen {
+		primaryFrames = p.serveHeardLocked(round, admitted, rr, rawThr, vis, reach)
+	} else {
+		primaryFrames = p.serveDarkLocked(round, admitted, rr, vis)
+	}
+	p.shadowServeLocked(round, admitted, rr, vis, primaryFrames)
+	return rr
+}
+
+// serveHeardLocked routes the round on a fully observed holder: the
+// legacy contract check, breaker, hedging, and SLO machinery all apply,
+// and a directly observed violation hands the lease off within the
+// round under a bumped fencing token.
+func (p *Pool) serveHeardLocked(round int64, admitted []switchsim.Message, rr *RoundResult, rawThr int, vis, reach []bool) int {
+	tried := make(map[int]bool)
+	for {
+		r := p.replicas[p.leaseHolder]
+		c := r.contract()
+		res, err := switchsim.Run(c, admitted)
+		corrupt := 0
+		if err == nil {
+			res, corrupt = p.applyWireNoiseLocked(r, round, res)
+			p.escalateLinksLocked(r)
+		}
+		if err == nil && corrupt == 0 && switchsim.CheckGuarantee(c, admitted, res) == nil {
+			r.consecViol = 0
+			if r.state == Suspect {
+				if r.degraded != nil {
+					r.state = Repaired
+				} else {
+					r.state = Healthy
+				}
+			}
+			lat := 1 + p.timingDelayLocked(r, round)
+			winner, wlat, wres := r, lat, res
+			if p.shouldHedgeLocked(lat) {
+				if s, sres, slat := p.hedgeLocked(r, tried, admitted, round); s != nil {
+					rr.Hedged = true
+					if slat < wlat {
+						winner, wlat, wres = s, slat, sres
+						rr.HedgeWon = true
+						p.stats.HedgeWins++
+					}
+				}
+			}
+			r.lat.Observe(lat)
+			p.slow.Observe(r.id, lat)
+			winner.roundsServed++
+			p.lat.Observe(wlat)
+			rr.Latency = wlat
+			rr.Result = wres
+			rr.ServedBy = winner.id
+			rr.Threshold = p.effectiveThresholdLocked(winner.threshold())
+			p.stats.Delivered += len(wres.Delivered)
+			if p.cfg.Deadline > 0 && wlat > p.cfg.Deadline {
+				rr.DeadlineMissed = true
+				p.stats.DeadlineMissed += len(wres.Delivered)
+			}
+			p.sweepSlowLocked(round)
+			p.observeOverloadLocked(rawThr, rr.DeadlineMissed, false)
+			return len(wres.Delivered)
+		}
+		p.noteViolation(r, round)
+		tried[r.id] = true
+		next := p.bestVisibleLocked(tried, vis, reach)
+		if next < 0 {
+			// Every hearable replica violated: best effort, flagged.
+			rr.Violated = true
+			p.stats.Violations++
+			frames := 0
+			if err == nil {
+				rr.Result = res
+				rr.ServedBy = r.id
+				frames = len(res.Delivered)
+				p.bookAcksLocked(r.leaseToken, frames, rr)
+			}
+			p.observeOverloadLocked(rawThr, false, true)
+			return frames
+		}
+		p.grantLocked(round, next, reach)
+		rr.FailedOver = true
+		p.stats.SameRoundFailovers++
+	}
+}
+
+// serveDarkLocked routes the round on a holder the arbiter cannot hear
+// (or must not judge from a frozen minority view): the board serves
+// under its believed grant, physical wire noise still strips frames,
+// but there is no contract verdict, no breaker, no hedge — and the
+// delivery ack buffers behind the partition to take its fencing
+// verdict when the edge heals.
+func (p *Pool) serveDarkLocked(round int64, admitted []switchsim.Message, rr *RoundResult, vis []bool) int {
+	r := p.replicas[p.leaseHolder]
+	res, err := switchsim.Run(r.contract(), admitted)
+	if err != nil {
+		rr.Violated = true
+		p.stats.Violations++
+		return 0
+	}
+	res, _ = p.applyWireNoiseLocked(r, round, res)
+	r.roundsServed++
+	rr.Latency = 1 + p.timingDelayLocked(r, round)
+	rr.Result = res
+	rr.ServedBy = r.id
+	frames := len(res.Delivered)
+	if vis[r.id] {
+		// Frozen but heard: the ack lands now, under the current token.
+		p.bookAcksLocked(r.leaseToken, frames, rr)
+	} else if frames > 0 {
+		p.inflight = append(p.inflight, PendingAck{Replica: r.id, Token: r.leaseToken, Frames: frames})
+	}
+	return frames
+}

@@ -51,6 +51,7 @@ import (
 	"concentrators/internal/link"
 	"concentrators/internal/nearsort"
 	"concentrators/internal/overload"
+	"concentrators/internal/partition"
 	"concentrators/internal/switchsim"
 	"concentrators/internal/timing"
 )
@@ -138,6 +139,34 @@ type Config struct {
 	// the brownout state machine (and back up through its probation
 	// window). Nil keeps the open-loop static gate.
 	Overload *overload.Config
+	// Lease enables partition-safe primary election: a lease-based
+	// primary role with monotonic fencing tokens, quorum-gated
+	// membership decisions, and suspicion clocks over a control-plane
+	// partition fault plane. Lease.Rounds 0 keeps the legacy
+	// instantly-consistent arbiter.
+	Lease LeaseConfig
+}
+
+// LeaseConfig tunes the pool's partition-safe primary lease.
+type LeaseConfig struct {
+	// Rounds is the lease duration: a primary grant is valid for this
+	// many rounds and renewed every round the arbiter hears the holder.
+	// A holder that misses Rounds consecutive renewals self-fences —
+	// it stops serving rather than risk a dual-primary. 0 disables the
+	// lease machinery entirely (the legacy in-round failover arbiter).
+	Rounds int
+	// Unfenced is the split-brain experimental control: the ledger
+	// accepts deliveries carrying stale fencing tokens, and the arbiter
+	// fails over eagerly on suspicion instead of waiting out the lease
+	// — exactly the double-delivery mistake fencing exists to prevent.
+	Unfenced bool
+	// SuspectAfter is the consecutive-unheard-round count that triggers
+	// the unfenced control's eager failover. 0 means the default (2).
+	// Ignored unless Unfenced.
+	SuspectAfter int
+	// Seed seeds the control-plane partition plane installed by
+	// InjectPartition (flapping-cut draws). 0 means the default (1).
+	Seed int64
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -180,6 +209,20 @@ func (c Config) withDefaults() (Config, error) {
 		ov := c.Overload.WithDefaults()
 		c.Overload = &ov
 	}
+	switch {
+	case c.Lease.Rounds < 0:
+		return c, fmt.Errorf("pool: negative lease duration %d", c.Lease.Rounds)
+	case c.Lease.SuspectAfter < 0:
+		return c, fmt.Errorf("pool: negative lease suspicion threshold %d", c.Lease.SuspectAfter)
+	case c.Lease.Unfenced && c.Lease.Rounds == 0:
+		return c, fmt.Errorf("pool: the unfenced control needs Lease.Rounds > 0")
+	}
+	if c.Lease.SuspectAfter == 0 {
+		c.Lease.SuspectAfter = 2
+	}
+	if c.Lease.Seed == 0 {
+		c.Lease.Seed = 1
+	}
 	return c, nil
 }
 
@@ -204,6 +247,15 @@ type replica struct {
 	tplane        *timing.Plane
 	lat           timing.Histogram
 	slowConvicted bool
+
+	// Primary-lease belief (ground truth of what the board itself
+	// heard): the fencing token of its last received grant and the
+	// round that grant is valid through. A board serving past
+	// leaseUntil has self-fenced; a board serving with leaseToken
+	// behind the arbiter's current token is a stale believer whose
+	// deliveries the ledger fences.
+	leaseToken uint64
+	leaseUntil int64
 
 	state       State
 	killed      bool
@@ -328,7 +380,37 @@ type Stats struct {
 	// (deadline miss, contract violation, or client backlog over the
 	// configured factor of the threshold) fired.
 	CongestedRounds int
-	Replicas        []ReplicaStats
+	// Fenced counts late deliveries rejected at the ledger because the
+	// serving replica's fencing token had gone stale — its lease lapsed
+	// and the primary role moved on. Fenced frames are never counted
+	// Delivered; they are the seventh term of the conservation law.
+	Fenced int
+	// StaleDelivered counts deliveries the *unfenced* control ledger
+	// accepted under a stale fencing token (always 0 with fencing on) —
+	// the split-brain double-delivery that fencing prevents.
+	StaleDelivered int
+	// LeaseHandoffs counts primary-lease transfers: fencing-token bumps
+	// that moved the primary role between replicas.
+	LeaseHandoffs int
+	// FrozenRounds counts rounds the arbiter heard fewer than a quorum
+	// of replicas and froze membership decisions (no trips, no probe
+	// verdicts, no elections) rather than act on a minority view.
+	FrozenRounds int
+	// ShadowServed counts frames physically delivered by stale
+	// believers — replicas serving on a superseded lease grant;
+	// DualPrimaryRounds counts rounds where both the rightful primary
+	// and at least one stale believer delivered frames (split brain;
+	// fencing keeps the stale side out of Delivered).
+	ShadowServed, DualPrimaryRounds int
+	// InFlightAcks counts delivery acks still buffered behind a
+	// control-plane partition; each is booked Delivered or Fenced when
+	// its edge heals.
+	InFlightAcks int
+	// FenceToken is the current primary lease's monotonic fencing
+	// token; LeaseHolder is the replica index holding it (−1 none).
+	FenceToken  uint64
+	LeaseHolder int
+	Replicas    []ReplicaStats
 }
 
 // MeanRetryAfter returns the mean retry-after advertised per shed
@@ -379,6 +461,19 @@ type RoundResult struct {
 	// DeadlineMissed reports that the round's latency was over the
 	// pool's Deadline SLO (its deliveries are booked against the SLO).
 	DeadlineMissed bool
+	// Fenced counts frames rejected at the ledger this round under a
+	// stale fencing token (late acks flushing after a heal included).
+	Fenced int
+	// Frozen reports the arbiter heard fewer than a quorum of replicas
+	// this round and froze membership decisions.
+	Frozen bool
+	// LeaseToken is the fencing token current when the round ran
+	// (0 when the lease machinery is off).
+	LeaseToken uint64
+	// ShadowDelivered counts frames physically delivered this round by
+	// stale believers — the split-brain ground truth the Fenced ledger
+	// is checked against.
+	ShadowDelivered int
 }
 
 // Pool is a replicated concentrator switch pool. All methods are safe
@@ -406,6 +501,29 @@ type Pool struct {
 	aimd          *overload.AIMD
 	brown         *overload.Brownout
 	clientBacklog int
+	// Partition-safe primary lease (active when Config.Lease.Rounds >
+	// 0): pplane filters which control-plane edges the arbiter sees
+	// each round, fenceToken is the monotonic fencing token of the
+	// current grant, leaseHolder/leaseExpiry its holder and horizon,
+	// susp the per-replica suspicion clocks with last-known-good
+	// contracts, and inflight the delivery acks buffered behind cut
+	// edges awaiting their fencing verdict.
+	pplane      *partition.Plane
+	fenceToken  uint64
+	leaseHolder int
+	leaseExpiry int64
+	susp        *health.SuspicionClock
+	inflight    []PendingAck
+}
+
+// PendingAck is one delivery acknowledgement buffered behind a
+// control-plane partition: Frames frames served by Replica under
+// fencing token Token, to be booked Delivered (token still current) or
+// Fenced (lease moved on) when the replica's edge heals.
+type PendingAck struct {
+	Replica int
+	Token   uint64
+	Frames  int
 }
 
 // New builds a pool over the given switches: the first is the initial
@@ -422,7 +540,8 @@ func New(cfg Config, switches ...core.FaultInjectable) (*Pool, error) {
 	if cfg.HedgeQuantile > 0 && len(switches) < 2 {
 		return nil, fmt.Errorf("pool: hedged dispatch needs ≥ 2 replicas, got %d", len(switches))
 	}
-	p := &Pool{cfg: cfg, n: switches[0].Inputs(), m: switches[0].Outputs()}
+	p := &Pool{cfg: cfg, n: switches[0].Inputs(), m: switches[0].Outputs(), leaseHolder: -1}
+	p.susp = health.NewSuspicionClock(len(switches))
 	slow, err := health.NewSlowDetector(cfg.Slow, len(switches))
 	if err != nil {
 		return nil, fmt.Errorf("pool: %w", err)
@@ -506,6 +625,11 @@ func (p *Pool) Stats() Stats {
 		}
 	}
 	s.Latency = p.lat.Snapshot()
+	s.FenceToken = p.fenceToken
+	s.LeaseHolder = p.leaseHolder
+	for _, ack := range p.inflight {
+		s.InFlightAcks += ack.Frames
+	}
 	s.AdmitFraction = 1
 	if p.aimd != nil {
 		s.AdmitFraction = p.aimd.Fraction()
@@ -578,6 +702,10 @@ func (p *Pool) Revive(i int) error {
 	r.lat.Reset()
 	r.slowConvicted = false
 	p.slow.Reset(i)
+	// The swapped board never heard the old grant: any lease belief —
+	// and the arbiter's memory of its old contract — dies with it.
+	r.leaseToken, r.leaseUntil = 0, -1
+	p.susp.Forget(i)
 	if monitor, err := link.NewLinkMonitor(p.cfg.Monitor); err == nil {
 		r.monitor = monitor
 	}
@@ -651,80 +779,85 @@ func (p *Pool) probeDue(round int64) {
 		if !r.pendingScan || r.probeAt < 0 || round < r.probeAt {
 			continue
 		}
-		r.pendingScan = false
-		r.probeAt = -1
-		r.probes++
-		p.stats.Probes++
-		if r.killed {
-			p.openBreaker(r, round) // power is off: probe fails outright
-			continue
-		}
-		rep, err := health.Scan(r.sw)
-		r.scans++
-		p.stats.Scans++
-		if err != nil {
+		p.probeOneLocked(r, round)
+	}
+}
+
+// probeOneLocked lands one due half-open probe verdict on replica r.
+func (p *Pool) probeOneLocked(r *replica, round int64) {
+	r.pendingScan = false
+	r.probeAt = -1
+	r.probes++
+	p.stats.Probes++
+	if r.killed {
+		p.openBreaker(r, round) // power is off: probe fails outright
+		return
+	}
+	rep, err := health.Scan(r.sw)
+	r.scans++
+	p.stats.Scans++
+	if err != nil {
+		p.openBreaker(r, round)
+		return
+	}
+	if r.slowConvicted {
+		// A slow conviction gates re-admission behind a timed
+		// canary replay: the BIST scan above only vouches for
+		// correctness, and a gray replica is perfectly correct.
+		if !p.canaryPassLocked(r, round) {
 			p.openBreaker(r, round)
-			continue
+			return
 		}
-		if r.slowConvicted {
-			// A slow conviction gates re-admission behind a timed
-			// canary replay: the BIST scan above only vouches for
-			// correctness, and a gray replica is perfectly correct.
-			if !p.canaryPassLocked(r, round) {
-				p.openBreaker(r, round)
-				continue
-			}
-			r.slowConvicted = false
-			p.slow.Reset(r.id)
-			r.lat.Reset()
-		}
-		if rep.Healthy {
-			// The fabric is clean (transient fault, or repaired via
-			// Revive). The scan only vouches for the chips: wires the
-			// receiver has quarantined stay quarantined, so the rebuild
-			// keeps the degraded contract when any are on record —
-			// otherwise a clean probe would re-admit at full contract
-			// and the noisy wire would flap the breaker forever.
-			r.known = make(map[[2]int]health.LocalizedFault)
-			if err := p.rebuildContractLocked(r); err != nil {
-				p.openBreaker(r, round)
-				continue
-			}
-			if r.degraded != nil {
-				r.state = Repaired
-			} else {
-				r.state = Healthy
-				r.backoff = 0
-			}
-			r.consecViol = 0
-			r.repairs++
-			p.stats.Repairs++
-			continue
-		}
-		for _, lf := range rep.Faults {
-			key := [2]int{lf.Stage, lf.Chip}
-			if old, seen := r.known[key]; !seen || (!old.ModeKnown && lf.ModeKnown) {
-				r.known[key] = lf
-			}
-		}
-		if len(rep.Faults) == 0 && len(r.wireFaults) == 0 {
-			// Violations without a localized chip or a convicted wire:
-			// the scan cannot derive a degradation that covers them.
-			// Keep the breaker open.
+		r.slowConvicted = false
+		p.slow.Reset(r.id)
+		r.lat.Reset()
+	}
+	if rep.Healthy {
+		// The fabric is clean (transient fault, or repaired via
+		// Revive). The scan only vouches for the chips: wires the
+		// receiver has quarantined stay quarantined, so the rebuild
+		// keeps the degraded contract when any are on record —
+		// otherwise a clean probe would re-admit at full contract
+		// and the noisy wire would flap the breaker forever.
+		r.known = make(map[[2]int]health.LocalizedFault)
+		if err := p.rebuildContractLocked(r); err != nil {
 			p.openBreaker(r, round)
-			continue
+			return
 		}
-		if err := p.rebuildContractLocked(r); err != nil || r.degraded == nil {
-			p.openBreaker(r, round) // nothing worth serving survives
-			continue
+		if r.degraded != nil {
+			r.state = Repaired
+		} else {
+			r.state = Healthy
+			r.backoff = 0
 		}
-		r.state = Repaired
 		r.consecViol = 0
 		r.repairs++
 		p.stats.Repairs++
-		// backoff is deliberately NOT reset: a repaired replica that
-		// trips again waits longer before its next re-admission.
+		return
 	}
+	for _, lf := range rep.Faults {
+		key := [2]int{lf.Stage, lf.Chip}
+		if old, seen := r.known[key]; !seen || (!old.ModeKnown && lf.ModeKnown) {
+			r.known[key] = lf
+		}
+	}
+	if len(rep.Faults) == 0 && len(r.wireFaults) == 0 {
+		// Violations without a localized chip or a convicted wire:
+		// the scan cannot derive a degradation that covers them.
+		// Keep the breaker open.
+		p.openBreaker(r, round)
+		return
+	}
+	if err := p.rebuildContractLocked(r); err != nil || r.degraded == nil {
+		p.openBreaker(r, round) // nothing worth serving survives
+		return
+	}
+	r.state = Repaired
+	r.consecViol = 0
+	r.repairs++
+	p.stats.Repairs++
+	// backoff is deliberately NOT reset: a repaired replica that
+	// trips again waits longer before its next re-admission.
 }
 
 // bestLocked elects the best servable replica not in skip: best state
@@ -857,6 +990,10 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
+
+	if p.cfg.Lease.Rounds > 0 {
+		return p.runLeasedLocked(byInput, inputs), nil
+	}
 
 	round := p.round
 	p.round++

@@ -186,7 +186,16 @@ type SessionStats struct {
 	// denied by the RetryBudget token bucket plus backlog heads drained
 	// by the CoDel sojourn rule. Disjoint from Dropped (the fabric
 	// never permanently lost them — the control plane chose to).
-	Shed    int
+	Shed int
+	// Fenced counts deliveries the ledger rejected because the serving
+	// replica's lease fencing token had gone stale — the primary role
+	// moved on while the ack was in flight. Fenced frames are never
+	// counted Delivered. Plain sessions run a single switch and never
+	// fence (the term is always 0 here); the replicated pool books the
+	// term (pool.Stats.Fenced), and the seven-term conservation law is
+	// Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed
+	// + Shed + Fenced + FinalBacklog.
+	Fenced  int
 	Refused int // arrivals refused because the input was occupied (Buffer)
 	Retries int // re-offered attempts (Resend/Buffer)
 	// RetriedDelivered counts delivered messages that needed more than
