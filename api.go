@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"concentrators/internal/bitvec"
+	"concentrators/internal/byzantine"
 	"concentrators/internal/chaos"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
@@ -553,6 +554,101 @@ func NewPartitionPlane(seed int64) *PartitionPlane { return partition.NewPlane(s
 
 // NewSuspicionClock returns a suspicion clock over n replicas.
 func NewSuspicionClock(n int) *SuspicionClock { return health.NewSuspicionClock(n) }
+
+// Byzantine misbehavior tolerance: the seeded behavior fault plane
+// (lies on the acked claim stream and health reports, never the
+// silicon), per-frame [epoch][seq][keyed checksum] provenance verified
+// at the receiving edge with a sliding dedup window, pool-level
+// witness cross-examination, and the arbiter's equivocation
+// cross-check. The checksum key is seeded, not cryptographic — it
+// models an authenticated channel inside the simulator's threat model,
+// it does not resist an adversary who can read the process memory.
+type (
+	// BehaviorFault is one bounded lie window: a mode, the lying
+	// replica, a per-round intensity, and a [From, Until) round span.
+	BehaviorFault = byzantine.Fault
+	// BehaviorMode is the lie shape: misroute, replay, fabricated ack,
+	// or equivocation.
+	BehaviorMode = byzantine.Mode
+	// BehaviorPlane is a seeded, deterministic set of behavior faults —
+	// the misbehavior counterpart of PartitionPlane.
+	BehaviorPlane = byzantine.Plane
+	// ProvenanceTag is the [epoch][seq][keyed checksum] frame tag the
+	// sending edge stamps and the receiving edge re-derives.
+	ProvenanceTag = byzantine.Tag
+	// ProvenanceStamper is the sending edge: it holds the key and
+	// stamps monotonic sequence numbers.
+	ProvenanceStamper = byzantine.Stamper
+	// ProvenanceVerifier is the receiving edge: it re-derives every
+	// keyed sum and slides the dedup window.
+	ProvenanceVerifier = byzantine.Verifier
+	// ProvenanceVerdict is the receiving edge's booking decision for
+	// one claim: OK, forged, or duplicated.
+	ProvenanceVerdict = byzantine.Verdict
+	// DeliveryClaim is one acked delivery as the serving replica
+	// *claims* it happened, tag included.
+	DeliveryClaim = byzantine.Claim
+	// PoolByzantineConfig arms a pool's edges: verification, witness
+	// audit cadence, dedup window, and the keying seed.
+	PoolByzantineConfig = pool.ByzantineConfig
+	// WitnessVerdict is a cross-examination outcome: agree,
+	// contradicted, or inconclusive.
+	WitnessVerdict = health.WitnessVerdict
+	// WitnessTally converts per-replica contradiction streaks into
+	// convictions (majority contradictions convict immediately).
+	WitnessTally = health.WitnessTally
+	// HealthClaim is a replica's possibly-forked health report: what it
+	// told the arbiter versus what it told its peers.
+	HealthClaim = health.HealthClaim
+	// ByzantineRecord is the chaos harness's misbehavior ledger, with
+	// the conservation law Booked + Forged + Duplicated =
+	// TrueDelivered + Replayed + Fabricated.
+	ByzantineRecord = chaos.ByzantineRecord
+)
+
+// The behavior fault modes, provenance verdicts, witness verdicts, and
+// the per-frame provenance cost in bits.
+const (
+	BehaviorMisroute      = byzantine.Misroute
+	BehaviorReplay        = byzantine.Replay
+	BehaviorFabricatedAck = byzantine.FabricatedAck
+	BehaviorEquivocation  = byzantine.Equivocation
+
+	ProvenanceOK         = byzantine.VerdictOK
+	ProvenanceForged     = byzantine.VerdictForged
+	ProvenanceDuplicated = byzantine.VerdictDuplicated
+
+	WitnessAgree        = health.WitnessAgree
+	WitnessContradicted = health.WitnessContradicted
+	WitnessInconclusive = health.WitnessInconclusive
+
+	ProvenanceTagOverhead = byzantine.TagOverhead
+)
+
+// NewBehaviorPlane returns an empty, seeded behavior fault plane.
+func NewBehaviorPlane(seed int64) *BehaviorPlane { return byzantine.NewPlane(seed) }
+
+// DeriveProvenanceKey derives the edges' shared checksum key from a
+// configuration seed (seeded, not cryptographic).
+func DeriveProvenanceKey(seed int64) uint64 { return byzantine.DeriveKey(seed) }
+
+// NewProvenanceStamper returns a sending edge holding the key.
+func NewProvenanceStamper(key uint64) *ProvenanceStamper { return byzantine.NewStamper(key) }
+
+// NewProvenanceVerifier returns a receiving edge holding the key and a
+// dedup window of the given capacity (0 means the default).
+func NewProvenanceVerifier(key uint64, window int) *ProvenanceVerifier {
+	return byzantine.NewVerifier(key, window)
+}
+
+// CrossExamine renders the majority-of-3 verdict on a claimed output
+// against up to two witness routings (−1 marks an unroutable witness).
+func CrossExamine(claimed int, witnesses []int) WitnessVerdict {
+	return health.CrossExamine(claimed, witnesses)
+}
+
+// NewWitnessTally returns an empty conviction tally over n replicas.
+func NewWitnessTally(n int) *WitnessTally { return health.NewWitnessTally(n) }
 
 // Packaging reports (Table 1, Figures 3/4/6/7).
 type (

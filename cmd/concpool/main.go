@@ -18,12 +18,14 @@
 //	concpool -replicas 3 -faults 0 -kills 0 -partitions 4 -lease-rounds 8
 //	concpool -replicas 3 -faults 0 -kills 0 -partitions 4 -asym -crashes 2
 //	concpool -replicas 3 -faults 0 -kills 0 -partitions 4 -unfenced -json
+//	concpool -replicas 3 -faults 0 -kills 0 -byzantine 4
+//	concpool -replicas 3 -faults 0 -kills 0 -byzantine 4 -unverified -json
 //
 // Exit status follows the shared cli contract: 0 when the pool
 // survived the schedule, 1 on usage or construction errors, 2 when any
 // round regressed below the degraded contract, missed the deadline
-// SLO, broke a conservation law, or delivered a frame under a stale
-// fencing token.
+// SLO, broke a conservation law, delivered a frame under a stale
+// fencing token, or booked a forged or replayed claim as Delivered.
 package main
 
 import (
@@ -68,6 +70,8 @@ func main() {
 	asym := flag.Bool("asym", false, "shape partition windows as one-way cuts (grants vanish, acks keep flowing) instead of flapping edges")
 	leaseRounds := flag.Int("lease-rounds", 0, "primary-lease duration in rounds for partition schedules (0 means the default 8)")
 	unfenced := flag.Bool("unfenced", false, "disable fencing-token checks at the ledger so partitions double-deliver (the split-brain control)")
+	byzantine := flag.Int("byzantine", 0, "byzantine lie windows to schedule on the serving replica (misroute / replay / fabricated-ack / equivocation); arms frame provenance and witness audits and needs ≥ 3 replicas")
+	unverified := flag.Bool("unverified", false, "disable receiving-edge provenance verification so replays and fabrications double-count (the blind-ledger control)")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON stats document instead of prose")
 	verbose := flag.Bool("verbose", false, "print every round that fired events or failed over")
 	flag.Usage = cli.Usage("concpool")
@@ -94,26 +98,28 @@ func main() {
 	}
 
 	cfg := chaos.Config{
-		Replicas:          *replicas,
-		Rounds:            *rounds,
-		Load:              *load,
-		PayloadBits:       *payload,
-		Seed:              *seed,
-		Faults:            *faults,
-		Kills:             *kills,
-		Stalls:            *stalls,
-		Surges:            *surges,
-		MaxSurgeFactor:    *surgeFactor,
-		Deadline:          *deadline,
-		CheckSLO:          *deadline > 0,
-		ScanLatencyJitter: *jitter,
-		Crashes:           *crashes,
-		Drains:            *drains,
-		Unjournaled:       *unjournaled,
-		Partitions:        *partitions,
-		AsymPartitions:    *asym,
-		LeaseRounds:       *leaseRounds,
-		Unfenced:          *unfenced,
+		Replicas:             *replicas,
+		Rounds:               *rounds,
+		Load:                 *load,
+		PayloadBits:          *payload,
+		Seed:                 *seed,
+		Faults:               *faults,
+		Kills:                *kills,
+		Stalls:               *stalls,
+		Surges:               *surges,
+		MaxSurgeFactor:       *surgeFactor,
+		Deadline:             *deadline,
+		CheckSLO:             *deadline > 0,
+		ScanLatencyJitter:    *jitter,
+		Crashes:              *crashes,
+		Drains:               *drains,
+		Unjournaled:          *unjournaled,
+		Partitions:           *partitions,
+		AsymPartitions:       *asym,
+		LeaseRounds:          *leaseRounds,
+		Unfenced:             *unfenced,
+		Byzantine:            *byzantine,
+		UnverifiedProvenance: *unverified,
 		Pool: pool.Config{
 			TripThreshold: *trip,
 			ProbeAfter:    *probeAfter,
@@ -165,7 +171,7 @@ func main() {
 	// Crash-loss conservation: every message the crashing control plane
 	// ever delivered is either in the surviving ledger or booked lost.
 	conserved := true
-	if *crashes > 0 && *partitions == 0 {
+	if *crashes > 0 && *partitions == 0 && *byzantine == 0 {
 		conserved = rep.Stats.Delivered+rep.Crash.DeliveredLost == rep.Crash.TrueDelivered
 	}
 	// Fenced conservation: with partitions, every physically served
@@ -179,6 +185,17 @@ func main() {
 			rep.Crash.DeliveredLost == rep.Partition.TrueServed
 		fencingBreach = !*unfenced && rep.Stats.StaleDelivered > 0
 	}
+	// Claim conservation: with byzantine windows, every claim the liars
+	// emitted is Delivered, Forged, or Duplicated — blind ledgers book
+	// everything into the first term, so the formula audits the
+	// unverified control too. A verified ledger whose bookings exceed
+	// the physical count swallowed a forged or replayed claim.
+	forgeryBreach := false
+	if *byzantine > 0 {
+		b := rep.Byzantine
+		conserved = b.Booked+b.Forged+b.Duplicated == b.TrueDelivered+b.Replayed+b.Fabricated
+		forgeryBreach = !*unverified && b.Booked != b.TrueDelivered
+	}
 
 	if *jsonOut {
 		cli.EmitJSON(struct {
@@ -189,10 +206,11 @@ func main() {
 			Stats       pool.Stats
 			Crash       chaos.CrashRecord
 			Partition   chaos.PartitionRecord
+			Byzantine   chaos.ByzantineRecord
 			Conserved   bool
 			Regressions []string
-		}{"chaos", probe.Name(), *seed, len(events), rep.Stats, rep.Crash, rep.Partition, conserved, rep.Regressions})
-		if len(rep.Regressions) > 0 || !conserved || fencingBreach {
+		}{"chaos", probe.Name(), *seed, len(events), rep.Stats, rep.Crash, rep.Partition, rep.Byzantine, conserved, rep.Regressions})
+		if len(rep.Regressions) > 0 || !conserved || fencingBreach || forgeryBreach {
 			os.Exit(cli.ExitViolation)
 		}
 		return
@@ -260,6 +278,15 @@ func main() {
 		fmt.Printf("    fenced %d, stale delivered %d, shadow served %d, in-flight acks %d (true served %d)\n",
 			s.Fenced, s.StaleDelivered, s.ShadowServed, s.InFlightAcks, pr.TrueServed)
 	}
+	if *byzantine > 0 {
+		b := rep.Byzantine
+		fmt.Printf("  byzantine plane: %d lie windows, verified=%v\n", b.Windows, b.Verified)
+		fmt.Printf("    injected %d misrouted, %d replayed, %d fabricated; edge rejected %d forged, %d duplicated\n",
+			b.Misrouted, b.Replayed, b.Fabricated, b.Forged, b.Duplicated)
+		fmt.Printf("    witness audits %d (%d disagreements, %d convictions), equivocations caught %d\n",
+			b.Audits, b.AuditDisagreements, b.WitnessConvictions, b.Equivocations)
+		fmt.Printf("    ledger booked %d vs %d physically delivered\n", b.Booked, b.TrueDelivered)
+	}
 	for i, rs := range s.Replicas {
 		killed := ""
 		if rs.Killed {
@@ -279,7 +306,16 @@ func main() {
 	if fencingBreach {
 		cli.Fatal(cli.ExitViolation, "fencing breached: %d frames Delivered under a stale fencing token", s.StaleDelivered)
 	}
+	if forgeryBreach {
+		cli.Fatal(cli.ExitViolation, "provenance breached: ledger booked %d frames, %d physically delivered",
+			rep.Byzantine.Booked, rep.Byzantine.TrueDelivered)
+	}
 	if !conserved {
+		if *byzantine > 0 {
+			b := rep.Byzantine
+			cli.Fatal(cli.ExitViolation, "claim conservation broken: booked %d + forged %d + duplicated %d != true %d + replayed %d + fabricated %d",
+				b.Booked, b.Forged, b.Duplicated, b.TrueDelivered, b.Replayed, b.Fabricated)
+		}
 		if *partitions > 0 {
 			cli.Fatal(cli.ExitViolation, "Fenced conservation broken: delivered %d + fenced %d + in-flight %d + lost %d != true served %d",
 				s.Delivered, s.Fenced, s.InFlightAcks, rep.Crash.DeliveredLost, rep.Partition.TrueServed)

@@ -269,18 +269,20 @@ func sessionOverload(cfg *switchsim.SessionConfig, retryBudget float64, codelTar
 	}
 }
 
-// checkSessionConservation enforces the seven-term conservation law
+// checkSessionConservation enforces the eight-term conservation law
 // Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed +
-// Shed + Fenced + FinalBacklog, exiting ExitViolation on breach.
-// Plain sessions never fence (the term is always 0 here); the pool's
-// lease-fenced failover books it.
+// Shed + Fenced + Forged + Duplicated + FinalBacklog, exiting
+// ExitViolation on breach. Plain sessions run a single trusted switch
+// and never fence, forge, or duplicate (those terms are always 0
+// here); the pool's lease-fenced failover and verified byzantine
+// ledger book them.
 func checkSessionConservation(stats *switchsim.SessionStats) {
 	if got := stats.Delivered + stats.Dropped + stats.CorruptedDropped + stats.DeadlineMissed +
-		stats.Shed + stats.Fenced + stats.FinalBacklog; got != stats.Offered {
+		stats.Shed + stats.Fenced + stats.Forged + stats.Duplicated + stats.FinalBacklog; got != stats.Offered {
 		cli.Fatal(cli.ExitViolation,
-			"conservation violated: delivered %d + lost %d + corrupted %d + missed %d + shed %d + fenced %d + backlog %d != offered %d",
+			"conservation violated: delivered %d + lost %d + corrupted %d + missed %d + shed %d + fenced %d + forged %d + duplicated %d + backlog %d != offered %d",
 			stats.Delivered, stats.Dropped, stats.CorruptedDropped, stats.DeadlineMissed,
-			stats.Shed, stats.Fenced, stats.FinalBacklog, stats.Offered)
+			stats.Shed, stats.Fenced, stats.Forged, stats.Duplicated, stats.FinalBacklog, stats.Offered)
 	}
 }
 

@@ -30,12 +30,14 @@ import (
 	"math/rand"
 	"sort"
 
+	"concentrators/internal/byzantine"
 	"concentrators/internal/core"
 	"concentrators/internal/journal"
 	"concentrators/internal/link"
 	"concentrators/internal/overload"
 	"concentrators/internal/partition"
 	"concentrators/internal/pool"
+	"concentrators/internal/seedrand"
 	"concentrators/internal/switchsim"
 	"concentrators/internal/timing"
 )
@@ -95,6 +97,14 @@ const (
 	// EventHeal restores full control-plane visibility: buffered acks
 	// flush and take their fencing verdict against the current token.
 	EventHeal
+	// EventByzantine turns the replica serving when the event fires into
+	// a liar for a bounded round window (Event.Behavior): it misroutes
+	// acks, replays spent frames, fabricates acks it holds no key for,
+	// or equivocates its health report. The silicon stays perfect — only
+	// claims and reports lie — and the pool runs with frame provenance,
+	// witness audits and the arbiter cross-check armed (unless the
+	// UnverifiedProvenance control blinds the receiving edge).
+	EventByzantine
 )
 
 // String names the kind.
@@ -124,6 +134,8 @@ func (k EventKind) String() string {
 		return "partition"
 	case EventHeal:
 		return "heal"
+	case EventByzantine:
+		return "byzantine"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -156,6 +168,9 @@ type Event struct {
 	// only); its From/Until round window bounds the cut, and the
 	// paired EventHeal fires at Until.
 	Cut partition.Fault
+	// Behavior is the injected byzantine behavior fault (EventByzantine
+	// only); its From/Until round window bounds the misbehavior.
+	Behavior byzantine.Fault
 	// Latency is the new probe-scan latency (EventScanLatency only).
 	Latency int
 	// TornFrac, for EventCrash, is the fraction of the in-flight
@@ -185,6 +200,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("round %d: partition %s", e.Round, e.Cut)
 	case EventHeal:
 		return fmt.Sprintf("round %d: partition heals", e.Round)
+	case EventByzantine:
+		return fmt.Sprintf("round %d: byzantine %s on %s", e.Round, e.Behavior.Mode, target)
 	case EventCrash:
 		if e.TornFrac > 0 {
 			return fmt.Sprintf("round %d: crash-restart (torn tail, %.0f%% written)", e.Round, 100*e.TornFrac)
@@ -268,6 +285,23 @@ type Config struct {
 	// ledger double-counts — the experimental control demonstrating
 	// what the fencing tokens prevent.
 	Unfenced bool
+	// Byzantine bounds the byzantine misbehavior windows scheduled. Each
+	// window turns the replica serving at its open into a liar for a
+	// bounded round span, rotating through the four modes (misroute /
+	// replay / fabricated ack / equivocation); the pool runs with frame
+	// provenance, witness cross-examination and the arbiter's
+	// equivocation cross-check armed, and a forged or replayed claim
+	// reaching Delivered is a regression. Requires ≥ 3 replicas (the
+	// witness majority), enables the pool's lease-fenced failover so a
+	// caught equivocator loses the lease, and combines only with
+	// Crashes.
+	Byzantine int
+	// UnverifiedProvenance blinds the receiving edge while keeping the
+	// byzantine schedule live: every claim books Delivered at face
+	// value, so replays and fabrications double-count straight into the
+	// ledger — the experimental control demonstrating what provenance
+	// verification prevents.
+	UnverifiedProvenance bool
 	// CheckSLO, when true, books a regression for every round whose
 	// deliveries missed the Deadline budget — the zero-deadline-SLO-
 	// regression assertion of the straggler schedules. Requires a
@@ -315,6 +349,14 @@ func (c Config) validate() error {
 		return fmt.Errorf("chaos: Unfenced is the split-brain control — it needs Partitions > 0")
 	case c.AsymPartitions && c.Partitions == 0:
 		return fmt.Errorf("chaos: AsymPartitions shapes partition windows — it needs Partitions > 0")
+	case c.Byzantine < 0:
+		return fmt.Errorf("chaos: negative byzantine window count %d", c.Byzantine)
+	case c.Byzantine > 0 && c.Replicas < 3:
+		return fmt.Errorf("chaos: byzantine windows need ≥ 3 replicas for a witness majority, got %d", c.Replicas)
+	case c.Byzantine > 0 && (c.Faults > 0 || c.Kills > 0 || c.Corruptions > 0 || c.Stalls > 0 || c.Surges > 0 || c.Drains > 0 || c.Partitions > 0):
+		return fmt.Errorf("chaos: byzantine windows combine only with Crashes — witness cross-examination compares routings between healthy replicas, and any concurrent fault plane either makes an honest replica's legitimate divergence look like a lie or hides a liar behind a degraded contract")
+	case c.UnverifiedProvenance && c.Byzantine == 0:
+		return fmt.Errorf("chaos: UnverifiedProvenance is the blind-ledger control — it needs Byzantine > 0")
 	case c.MaxSurgeFactor != 0 && (c.MaxSurgeFactor <= 1 || c.MaxSurgeFactor != c.MaxSurgeFactor):
 		return fmt.Errorf("chaos: MaxSurgeFactor %v must be > 1", c.MaxSurgeFactor)
 	case c.MaxBER < 0 || c.MaxBER > 1 || c.MaxBER != c.MaxBER:
@@ -382,7 +424,7 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 
 	var events []Event
 	destructive := cfg.Faults + cfg.Kills + cfg.Corruptions
-	if destructive == 0 && cfg.Stalls == 0 && cfg.Surges == 0 && cfg.Crashes == 0 && cfg.Drains == 0 && cfg.Partitions == 0 {
+	if destructive == 0 && cfg.Stalls == 0 && cfg.Surges == 0 && cfg.Crashes == 0 && cfg.Drains == 0 && cfg.Partitions == 0 && cfg.Byzantine == 0 {
 		return events, nil
 	}
 	stride := max((cfg.Rounds-2)/max(destructive, 1), gap)
@@ -520,12 +562,7 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 		start := gap/2 + 1
 		if span := cfg.Rounds - reviveAfter - 2 - start; span >= cfg.Drains {
 			for i := 0; i < cfg.Drains; i++ {
-				lo := start + i*span/cfg.Drains
-				hi := start + (i+1)*span/cfg.Drains - 1
-				if hi < lo {
-					hi = lo
-				}
-				dround := lo + rng.Intn(hi-lo+1)
+				dround := seedrand.SlotRound(rng, start, span, i, cfg.Drains)
 				target := i % cfg.Replicas
 				events = append(events,
 					Event{Round: dround, Kind: EventDrain, Replica: target},
@@ -577,7 +614,7 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 				f.Mode, f.Replica = partition.ArbiterIsolation, partition.AllReplicas
 				winLen = max(1, L-2)
 			}
-			lo := start + i*span/slots
+			lo, _ := seedrand.Slot(start, span, i, slots)
 			slotw := span / slots
 			pround := lo + rng.Intn(max(slotw-winLen-1, 1))
 			f.From, f.Until = pround, pround+winLen
@@ -585,6 +622,30 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 				Event{Round: pround, Kind: EventPartition, Replica: f.Replica, Cut: f},
 				Event{Round: pround + winLen, Kind: EventHeal, Replica: f.Replica},
 			)
+		}
+	}
+	if cfg.Byzantine > 0 {
+		// Byzantine windows rotate through the four lie modes, one window
+		// per slot of the usable span so every window closes strictly
+		// inside the run. Lies need no repair-loop spacing — the silicon
+		// never degrades — but each window targets whichever replica is
+		// serving when it opens (the runner resolves ActiveReplica), so
+		// the lies are live, and a conviction mid-window simply moves the
+		// lease and leaves the convict lying to nobody.
+		winLen := max(3, gap/2)
+		start := 2
+		if span := cfg.Rounds - start - winLen; span >= cfg.Byzantine {
+			for i := 0; i < cfg.Byzantine; i++ {
+				bround := seedrand.SlotRound(rng, start, span, i, cfg.Byzantine)
+				f := byzantine.Fault{
+					Mode:    byzantine.Mode(i % 4),
+					Replica: ActiveReplica, // rewritten when the event fires
+					Count:   1 + rng.Intn(3),
+					From:    bround,
+					Until:   min(bround+winLen, cfg.Rounds),
+				}
+				events = append(events, Event{Round: bround, Kind: EventByzantine, Replica: ActiveReplica, Behavior: f})
+			}
 		}
 	}
 	if cfg.Crashes > 0 && cfg.Rounds > 2 {
@@ -597,12 +658,7 @@ func GenerateSchedule(seed int64, sw core.FaultInjectable, cfg Config) ([]Event,
 		// fraction.
 		span := cfg.Rounds - 2
 		for i := 0; i < cfg.Crashes; i++ {
-			lo := 2 + i*span/cfg.Crashes
-			hi := 2 + (i+1)*span/cfg.Crashes - 1
-			if hi < lo {
-				hi = lo
-			}
-			ev := Event{Round: lo + rng.Intn(hi-lo+1), Kind: EventCrash}
+			ev := Event{Round: seedrand.SlotRound(rng, 2, span, i, cfg.Crashes), Kind: EventCrash}
 			if i%2 == 1 {
 				ev.TornFrac = 0.05 + 0.9*rng.Float64()
 			}
@@ -692,7 +748,17 @@ type RoundRecord struct {
 	// rounds the arbiter lacked a quorum of heard replicas.
 	ShadowDelivered int
 	Frozen          bool
-	Events          []Event // events fired before this round
+	// Booked is the ledger's Delivered increment this round — equal to
+	// Delivered under provenance verification, inflated by whatever the
+	// unverified control swallowed. Forged and Duplicated are the
+	// receiving edge's rejections; Misrouted, Replayed and Fabricated
+	// count the lies the behavior plane actually injected into the
+	// round's claim stream; Equivocated marks rounds the arbiter caught
+	// a forked health report. All zero unless Config.Byzantine > 0.
+	Booked, Forged, Duplicated      int
+	Misrouted, Replayed, Fabricated int
+	Equivocated                     bool
+	Events                          []Event // events fired before this round
 }
 
 // CrashRecord is the durability ledger of a chaos run: what the crash
@@ -764,6 +830,39 @@ type PartitionRecord struct {
 	LeaseRounds int
 }
 
+// ByzantineRecord is the misbehavior ledger of a chaos run: the lies
+// the behavior plane injected, how the receiving edge booked them, and
+// what the detectors convicted. Its conservation law is
+//
+//	Booked + Forged + Duplicated == TrueDelivered + Replayed + Fabricated
+//
+// — every claim the liars emitted is accounted for, verified or not
+// (the blind control books everything into the first term). The
+// stronger zero-forged-deliveries acceptance holds only under
+// verification: Booked == TrueDelivered, i.e. no fabricated or
+// replayed frame ever reached Delivered.
+type ByzantineRecord struct {
+	// Windows counts behavior-fault windows fired.
+	Windows int
+	// Misrouted, Replayed and Fabricated count the lies actually
+	// injected into claim streams, summed per round — the harness-side
+	// ground truth.
+	Misrouted, Replayed, Fabricated int
+	// Forged and Duplicated sum the receiving edge's rejections (always
+	// 0 in the unverified control — the blind ledger rejects nothing).
+	Forged, Duplicated int
+	// Booked sums the ledger's per-round Delivered increments across
+	// incarnations; TrueDelivered sums the physically delivered frames.
+	// Booked > TrueDelivered is the double counting the control
+	// demonstrates.
+	Booked, TrueDelivered int
+	// Audits, AuditDisagreements, WitnessConvictions and Equivocations
+	// mirror the pool's final detector counters.
+	Audits, AuditDisagreements, WitnessConvictions, Equivocations int
+	// Verified records whether the receiving edge verified provenance.
+	Verified bool
+}
+
 // Report is the outcome of one chaos replay.
 type Report struct {
 	Schedule []Event
@@ -780,6 +879,8 @@ type Report struct {
 	Crash CrashRecord
 	// Partition is the split-brain ledger (partition schedules only).
 	Partition PartitionRecord
+	// Byzantine is the misbehavior ledger (byzantine schedules only).
+	Byzantine ByzantineRecord
 	Stats     pool.Stats
 }
 
@@ -819,6 +920,26 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 			poolCfg.Lease.Unfenced = true
 		}
 	}
+	// Byzantine schedules arm the edges: the sending edge stamps frame
+	// provenance, the receiving edge verifies it (unless the control
+	// blinds it — the stamping still happens, the checking doesn't),
+	// witness audits fire on a fixed cadence, and the lease machinery is
+	// enabled so a caught equivocator loses custody behind a bumped
+	// fencing token rather than merely tripping a breaker.
+	byzOn := cfg.Byzantine > 0
+	if byzOn {
+		if poolCfg.Byzantine.Seed == 0 {
+			poolCfg.Byzantine.Seed = cfg.Seed
+		}
+		poolCfg.Byzantine.Verify = !cfg.UnverifiedProvenance
+		if poolCfg.Byzantine.AuditEvery == 0 {
+			poolCfg.Byzantine.AuditEvery = 2
+		}
+		if poolCfg.Lease.Rounds == 0 {
+			poolCfg.Lease.Rounds = cfg.leaseRounds()
+			poolCfg.Lease.Seed = cfg.Seed
+		}
+	}
 	leaseOn := poolCfg.Lease.Rounds > 0
 	switches := make([]core.FaultInjectable, cfg.Replicas)
 	for i := range switches {
@@ -846,6 +967,7 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 	lastMissed := 0
 	lastFenced, lastStale := 0, 0
 	lastHandoffs, lastDual := 0, 0
+	lastBooked, lastForged, lastDuplicated := 0, 0, 0
 	var killedQueue []int // killed, not-yet-revived replicas, oldest first
 
 	// Crash durability: the journal is the only structure that survives
@@ -933,6 +1055,16 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				if err = p.ClearPartitions(); err == nil {
 					rep.Partition.Heals++
 				}
+			case EventByzantine:
+				// The window targets whoever is serving when it opens —
+				// the mid-stream primary liar the acceptance criterion
+				// asks for.
+				b := ev.Behavior
+				b.Replica = target
+				if err = p.InjectBehavior(b); err == nil {
+					ev.Behavior = b
+					rep.Byzantine.Windows++
+				}
 			case EventDrain:
 				// Maintenance does not drain a corpse: when a kill beat the
 				// drain to the board (or it is already drained), skip the
@@ -1019,6 +1151,7 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				lastFailovers, lastCorrupted, lastMissed = s.SameRoundFailovers, s.CorruptedDeliveries, s.DeadlineMissed
 				lastFenced, lastStale = s.Fenced, s.StaleDelivered
 				lastHandoffs, lastDual = s.LeaseHandoffs, s.DualPrimaryRounds
+				lastBooked, lastForged, lastDuplicated = s.Delivered, s.Forged, s.Duplicated
 			default:
 				err = fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
 			}
@@ -1076,6 +1209,31 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 				rep.Regressions = append(rep.Regressions,
 					fmt.Sprintf("round %d: %d frames Delivered under a stale fencing token (token %d, split-brain leak)",
 						round, rec.StaleDelivered, rr.LeaseToken))
+			}
+		}
+		if byzOn {
+			rec.Booked = stats.Delivered - lastBooked
+			rec.Forged = stats.Forged - lastForged
+			rec.Duplicated = stats.Duplicated - lastDuplicated
+			lastBooked, lastForged, lastDuplicated = stats.Delivered, stats.Forged, stats.Duplicated
+			rec.Misrouted, rec.Replayed, rec.Fabricated = rr.Misrouted, rr.ReplayedInjected, rr.ForgedInjected
+			rec.Equivocated = rr.Equivocated
+			rep.Byzantine.Misrouted += rec.Misrouted
+			rep.Byzantine.Replayed += rec.Replayed
+			rep.Byzantine.Fabricated += rec.Fabricated
+			rep.Byzantine.Forged += rec.Forged
+			rep.Byzantine.Duplicated += rec.Duplicated
+			rep.Byzantine.Booked += rec.Booked
+			rep.Byzantine.TrueDelivered += rr.TrueDelivered
+			// A ledger increment that disagrees with the physical count
+			// under verification means a forged or replayed claim reached
+			// Delivered (or a genuine frame was wrongly rejected) — the
+			// leak the provenance tags exist to prevent, a regression
+			// anywhere but in the unverified control.
+			if !cfg.UnverifiedProvenance && rec.Booked != rr.TrueDelivered {
+				rep.Regressions = append(rep.Regressions,
+					fmt.Sprintf("round %d: ledger booked %d frames against %d physically delivered under provenance verification (replica %d)",
+						round, rec.Booked, rr.TrueDelivered, rr.ServedBy))
 			}
 		}
 		if cfg.CheckSLO && rec.DeadlineMissed > 0 {
@@ -1143,6 +1301,13 @@ func Run(build func() (core.FaultInjectable, error), events []Event, cfg Config)
 		}
 	}
 	rep.Stats = p.Stats()
+	if byzOn {
+		rep.Byzantine.Verified = !cfg.UnverifiedProvenance
+		rep.Byzantine.Audits = rep.Stats.Audits
+		rep.Byzantine.AuditDisagreements = rep.Stats.AuditDisagreements
+		rep.Byzantine.WitnessConvictions = rep.Stats.WitnessConvictions
+		rep.Byzantine.Equivocations = rep.Stats.Equivocations
+	}
 	if store != nil {
 		rep.Crash.JournalBytes = store.Size()
 	}

@@ -1,0 +1,168 @@
+package health
+
+// Witness cross-examination and equivocation evidence — the health
+// plane's answer to replicas that lie rather than fail.
+//
+// Frame provenance (internal/byzantine) catches forged and replayed
+// acks at the receiving edge, but a misrouting replica forges
+// nothing: the frame physically arrives, payload and tag genuine,
+// only the acked input→output association is a lie. No edge check can
+// see that; only comparison against independent evidence can. The
+// pool therefore runs seeded spot-check audits: a sampled claim is
+// re-routed through up to two witness replicas and the three
+// assertions are cross-examined majority-of-3. Likewise an
+// equivocating replica's health reports are lies about *state*; the
+// arbiter cross-checks them against ledger evidence it has verified
+// itself — trust the ledger, not the board.
+//
+// Both mechanisms produce *evidence-backed convictions* that feed the
+// existing breaker→quarantine→canary machinery (and, through it, the
+// lease/fencing machinery): misbehavior is contained by the same
+// paths that contain honest failure.
+
+// WitnessVerdict is the outcome of cross-examining one audited claim.
+type WitnessVerdict int
+
+// The cross-examination outcomes.
+const (
+	// WitnessAgree: every consulted witness routes the sampled input
+	// where the primary's ack claims it landed.
+	WitnessAgree WitnessVerdict = iota
+	// WitnessContradicted: the witnesses agree with each other and
+	// against the claim — the majority convicts the claim.
+	WitnessContradicted
+	// WitnessInconclusive: no witness was available, or the witnesses
+	// disagree among themselves (a degraded witness routes
+	// legitimately differently); no evidence either way.
+	WitnessInconclusive
+)
+
+// String names the verdict.
+func (v WitnessVerdict) String() string {
+	switch v {
+	case WitnessAgree:
+		return "agree"
+	case WitnessContradicted:
+		return "contradicted"
+	case WitnessInconclusive:
+		return "inconclusive"
+	default:
+		return "WitnessVerdict(?)"
+	}
+}
+
+// CrossExamine applies majority-of-3 to one audited claim: the
+// primary asserts the sampled input landed on claimed; each witness
+// reports where its own routing of the same admitted set puts that
+// input (−1: the witness could not route it). Two witnesses that
+// agree with each other outvote the claim; a single witness can only
+// contradict, never convict alone — callers escalate via Tally.
+func CrossExamine(claimed int, witnesses []int) WitnessVerdict {
+	usable := witnesses[:0:0]
+	for _, w := range witnesses {
+		if w >= 0 {
+			usable = append(usable, w)
+		}
+	}
+	switch len(usable) {
+	case 0:
+		return WitnessInconclusive
+	case 1:
+		if usable[0] == claimed {
+			return WitnessAgree
+		}
+		return WitnessContradicted
+	default:
+		if usable[0] != usable[1] {
+			return WitnessInconclusive
+		}
+		if usable[0] == claimed {
+			return WitnessAgree
+		}
+		return WitnessContradicted
+	}
+}
+
+// WitnessTally turns per-audit verdicts into convictions: a
+// contradiction backed by a two-witness majority convicts on the
+// spot; a lone witness's contradiction only advances a per-replica
+// streak, convicting when ConvictStreak consecutive audits disagree —
+// one disagreement could be the witness's own degradation.
+type WitnessTally struct {
+	streak      []int
+	convictions int
+}
+
+// ConvictStreak is the consecutive lone-witness contradictions that
+// convict.
+const ConvictStreak = 2
+
+// NewWitnessTally tracks n replicas with clean records.
+func NewWitnessTally(n int) *WitnessTally {
+	return &WitnessTally{streak: make([]int, n)}
+}
+
+// Observe folds one audit of the given primary into the tally and
+// reports whether the evidence now convicts it. witnesses is how many
+// usable witness routings backed the verdict.
+func (t *WitnessTally) Observe(primary int, v WitnessVerdict, witnesses int) bool {
+	switch v {
+	case WitnessAgree:
+		t.streak[primary] = 0
+		return false
+	case WitnessContradicted:
+		if witnesses >= 2 {
+			t.streak[primary] = 0
+			t.convictions++
+			return true
+		}
+		t.streak[primary]++
+		if t.streak[primary] >= ConvictStreak {
+			t.streak[primary] = 0
+			t.convictions++
+			return true
+		}
+	}
+	return false
+}
+
+// Convictions returns the number of convictions the tally has issued.
+func (t *WitnessTally) Convictions() int { return t.convictions }
+
+// Streaks exposes the per-replica lone-witness disagreement streaks
+// for checkpointing (a mid-audit restart must not forget a pending
+// streak, or a liar could reset its record by crashing the arbiter).
+func (t *WitnessTally) Streaks() []int {
+	return append([]int(nil), t.streak...)
+}
+
+// RestoreWitnessTally rebuilds a tally from checkpointed streaks and
+// conviction count, padding or truncating to n replicas.
+func RestoreWitnessTally(n int, streaks []int, convictions int) *WitnessTally {
+	t := NewWitnessTally(n)
+	copy(t.streak, streaks)
+	t.convictions = convictions
+	return t
+}
+
+// HealthClaim is one replica's self-reported delivery claim for a
+// round, as told to the two audiences a byzantine replica can play
+// against each other: the arbiter (who grants leases) and the peer
+// replicas (who decide failover targets).
+type HealthClaim struct {
+	// ToArbiter is the frames the replica tells the arbiter it
+	// delivered this round.
+	ToArbiter int
+	// ToPeers is the frames it reports to its peers.
+	ToPeers int
+}
+
+// Equivocates cross-checks the claim against ledger evidence — the
+// frames the arbiter's own verified ledger booked for the replica
+// this round. A fork between the audiences, or an arbiter-side claim
+// the ledger cannot back, is equivocation: the report is a lie
+// regardless of which audience got the true copy. Under-reporting to
+// the arbiter is NOT flagged — modesty loses elections, not safety.
+func (c HealthClaim) Equivocates(ledgerEvidence int) bool {
+	return c.ToArbiter != c.ToPeers || c.ToArbiter > ledgerEvidence
+}

@@ -1,0 +1,105 @@
+package health
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCrossExamine(t *testing.T) {
+	cases := []struct {
+		name      string
+		claimed   int
+		witnesses []int
+		want      WitnessVerdict
+	}{
+		{"no witnesses", 3, nil, WitnessInconclusive},
+		{"all unroutable", 3, []int{-1, -1}, WitnessInconclusive},
+		{"lone agree", 3, []int{3}, WitnessAgree},
+		{"lone contradict", 3, []int{5}, WitnessContradicted},
+		{"majority agree", 3, []int{3, 3}, WitnessAgree},
+		{"majority contradict", 3, []int{5, 5}, WitnessContradicted},
+		{"witnesses split", 3, []int{5, 6}, WitnessInconclusive},
+		{"one unroutable one agree", 3, []int{-1, 3}, WitnessAgree},
+		{"one unroutable one contradict", 3, []int{-1, 7}, WitnessContradicted},
+	}
+	for _, tc := range cases {
+		if got := CrossExamine(tc.claimed, tc.witnesses); got != tc.want {
+			t.Errorf("%s: CrossExamine(%d, %v) = %v, want %v", tc.name, tc.claimed, tc.witnesses, got, tc.want)
+		}
+	}
+}
+
+func TestWitnessTallyMajorityConvictsImmediately(t *testing.T) {
+	tally := NewWitnessTally(3)
+	if !tally.Observe(1, WitnessContradicted, 2) {
+		t.Fatal("two-witness contradiction must convict on the spot")
+	}
+	if tally.Convictions() != 1 {
+		t.Fatalf("Convictions = %d, want 1", tally.Convictions())
+	}
+}
+
+func TestWitnessTallyLoneWitnessStreak(t *testing.T) {
+	tally := NewWitnessTally(2)
+	if tally.Observe(0, WitnessContradicted, 1) {
+		t.Fatal("first lone contradiction must not convict")
+	}
+	if !tally.Observe(0, WitnessContradicted, 1) {
+		t.Fatal("second consecutive lone contradiction must convict")
+	}
+	// An agreement in between resets the streak.
+	if tally.Observe(1, WitnessContradicted, 1) {
+		t.Fatal("streaks must be per-replica")
+	}
+	tally.Observe(1, WitnessAgree, 1)
+	if tally.Observe(1, WitnessContradicted, 1) {
+		t.Fatal("agreement must reset the streak")
+	}
+	// Inconclusive audits neither advance nor reset.
+	tally.Observe(1, WitnessInconclusive, 0)
+	if !tally.Observe(1, WitnessContradicted, 1) {
+		t.Fatal("inconclusive must preserve the pending streak")
+	}
+}
+
+func TestWitnessTallySnapshotRestore(t *testing.T) {
+	tally := NewWitnessTally(3)
+	tally.Observe(2, WitnessContradicted, 1)
+	tally.Observe(0, WitnessContradicted, 2)
+	streaks := tally.Streaks()
+	if !reflect.DeepEqual(streaks, []int{0, 0, 1}) {
+		t.Fatalf("Streaks = %v, want [0 0 1]", streaks)
+	}
+	restored := RestoreWitnessTally(3, streaks, tally.Convictions())
+	if restored.Convictions() != 1 {
+		t.Fatalf("restored Convictions = %d, want 1", restored.Convictions())
+	}
+	// The pending streak survives: one more lone contradiction convicts.
+	if !restored.Observe(2, WitnessContradicted, 1) {
+		t.Fatal("restored tally lost the pending streak")
+	}
+	// Padding and truncation are tolerated.
+	if RestoreWitnessTally(5, streaks, 0) == nil || RestoreWitnessTally(1, streaks, 0) == nil {
+		t.Fatal("restore must pad/truncate")
+	}
+}
+
+func TestHealthClaimEquivocates(t *testing.T) {
+	cases := []struct {
+		name     string
+		claim    HealthClaim
+		evidence int
+		want     bool
+	}{
+		{"honest", HealthClaim{ToArbiter: 5, ToPeers: 5}, 5, false},
+		{"modest", HealthClaim{ToArbiter: 4, ToPeers: 4}, 5, false},
+		{"forked", HealthClaim{ToArbiter: 5, ToPeers: 3}, 5, true},
+		{"inflated to arbiter", HealthClaim{ToArbiter: 7, ToPeers: 7}, 5, true},
+		{"forked and inflated", HealthClaim{ToArbiter: 8, ToPeers: 2}, 5, true},
+	}
+	for _, tc := range cases {
+		if got := tc.claim.Equivocates(tc.evidence); got != tc.want {
+			t.Errorf("%s: %+v.Equivocates(%d) = %v, want %v", tc.name, tc.claim, tc.evidence, got, tc.want)
+		}
+	}
+}

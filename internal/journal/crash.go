@@ -178,12 +178,7 @@ func GenerateCrashSchedule(seed int64, rounds, kills int) *Plane {
 	// slot, so exactly `kills` faults always fit the round range.
 	span := rounds - 2
 	for i := 0; i < kills; i++ {
-		lo := 2 + i*span/kills
-		hi := 2 + (i+1)*span/kills - 1
-		if hi < lo {
-			hi = lo
-		}
-		f := CrashFault{Round: lo + rng.Intn(hi-lo+1), Phase: Phase(i % 3)}
+		f := CrashFault{Round: seedrand.SlotRound(rng, 2, span, i, kills), Phase: Phase(i % 3)}
 		if f.Phase == PhaseMidDispatch {
 			// Somewhere strictly inside the frame: at least the magic
 			// byte lands, the checksum never does.

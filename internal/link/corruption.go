@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"concentrators/internal/seedrand"
+	"concentrators/internal/window"
 )
 
 // WireFaultMode selects the failure mode of one wire-level fault.
@@ -117,10 +118,9 @@ func (f WireFault) Validate() error {
 		return fmt.Errorf("link: stage %d in %v (want ≥ 0 or AllStages)", f.Stage, f)
 	case f.Wire < AllWires:
 		return fmt.Errorf("link: wire %d in %v (want ≥ 0 or AllWires)", f.Wire, f)
-	case f.From < 0:
-		return fmt.Errorf("link: negative From round in %v", f)
-	case f.Until > 0 && f.Until <= f.From:
-		return fmt.Errorf("link: empty round window [%d,%d) in %v", f.From, f.Until, f)
+	}
+	if err := window.Check(f.From, f.Until); err != nil {
+		return fmt.Errorf("link: %v in %v", err, f)
 	}
 	switch f.Mode {
 	case WireBitFlip:
@@ -144,7 +144,7 @@ func (f WireFault) Validate() error {
 
 // active reports whether the fault is live in the given round.
 func (f WireFault) active(round int) bool {
-	return round >= f.From && (f.Until <= 0 || round < f.Until)
+	return window.Span{From: f.From, Until: f.Until}.Active(round)
 }
 
 // CorruptionPlane is a seeded set of wire-level faults — the data

@@ -37,20 +37,38 @@ func packFrameBytes(seq int, payload []byte) []byte {
 	return data
 }
 
+// AppendBits appends the low `width` bits of v to a frame bit stream
+// (one byte per bit, values 0/1), MSB-first — the field packing every
+// framed header in the repo uses. It is exported so higher layers
+// (the byzantine plane's provenance tags) can ride the same framing.
+func AppendBits(bits []byte, v uint64, width int) []byte {
+	for b := width - 1; b >= 0; b-- {
+		bits = append(bits, byte(v>>uint(b))&1)
+	}
+	return bits
+}
+
+// FieldBits reads the `width`-bit field starting at bit offset off
+// from a frame bit stream, MSB-first — the inverse of AppendBits. The
+// caller guarantees off+width ≤ len(bits).
+func FieldBits(bits []byte, off, width int) uint64 {
+	var v uint64
+	for _, b := range bits[off : off+width] {
+		v = v<<1 | uint64(b&1)
+	}
+	return v
+}
+
 // EncodeFrame wraps a payload bit stream with the sequence number and
 // checksum, returning the frame's bit stream.
 func EncodeFrame(c CRC, seq int, payload []byte) []byte {
 	seq &= SeqSpace - 1
 	frame := make([]byte, 0, SeqBits+len(payload)+c.Bits())
-	for b := SeqBits - 1; b >= 0; b-- {
-		frame = append(frame, byte(seq>>uint(b))&1)
-	}
+	frame = AppendBits(frame, uint64(seq), SeqBits)
 	frame = append(frame, payload...)
 	if bits := c.Bits(); bits > 0 {
 		sum := c.checksum(packFrameBytes(seq, payload))
-		for b := bits - 1; b >= 0; b-- {
-			frame = append(frame, byte(sum>>uint(b))&1)
-		}
+		frame = AppendBits(frame, uint64(sum), bits)
 	}
 	return frame
 }
@@ -65,17 +83,12 @@ func DecodeFrame(c CRC, bits []byte) (seq int, payload []byte, ok bool, err erro
 	if len(bits) < overhead {
 		return 0, nil, false, fmt.Errorf("link: frame of %d bits is shorter than the %d-bit %s framing", len(bits), overhead, c)
 	}
-	for _, b := range bits[:SeqBits] {
-		seq = seq<<1 | int(b&1)
-	}
+	seq = int(FieldBits(bits, 0, SeqBits))
 	payload = bits[SeqBits : len(bits)-c.Bits()]
 	if c.Bits() == 0 {
 		return seq, payload, true, nil
 	}
-	var got uint16
-	for _, b := range bits[len(bits)-c.Bits():] {
-		got = got<<1 | uint16(b&1)
-	}
+	got := uint16(FieldBits(bits, len(bits)-c.Bits(), c.Bits()))
 	want := c.checksum(packFrameBytes(seq, payload))
 	return seq, payload, got == want, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"concentrators/internal/seedrand"
+	"concentrators/internal/window"
 )
 
 // Mode selects the shape of one surge fault.
@@ -91,15 +92,14 @@ func (f Fault) Validate() error {
 	switch {
 	case math.IsNaN(f.Factor) || math.IsInf(f.Factor, 0) || f.Factor <= 0:
 		return fmt.Errorf("overload: surge multiplier %v must be a positive finite number in %v", f.Factor, f)
-	case f.From < 0:
-		return fmt.Errorf("overload: negative From round in %v", f)
-	case f.Until > 0 && f.Until <= f.From:
-		return fmt.Errorf("overload: empty round window [%d,%d) in %v", f.From, f.Until, f)
+	}
+	if err := window.Check(f.From, f.Until); err != nil {
+		return fmt.Errorf("overload: %v in %v", err, f)
 	}
 	switch f.Mode {
 	case Step, Ramp:
-		if f.Until <= 0 {
-			return fmt.Errorf("overload: %s fault needs a bounded [From,Until) window in %v", f.Mode, f)
+		if err := window.CheckBounded(f.From, f.Until, fmt.Sprintf("%s fault", f.Mode)); err != nil {
+			return fmt.Errorf("overload: %v in %v", err, f)
 		}
 	case Flash:
 		if math.IsNaN(f.Prob) || f.Prob <= 0 || f.Prob > 1 {
@@ -114,7 +114,7 @@ func (f Fault) Validate() error {
 
 // active reports whether the fault is live in the given round.
 func (f Fault) active(round int) bool {
-	return round >= f.From && (f.Until <= 0 || round < f.Until)
+	return window.Span{From: f.From, Until: f.Until}.Active(round)
 }
 
 // sample draws the fault's multiplier for the given round. rng is only

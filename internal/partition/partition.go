@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"concentrators/internal/seedrand"
+	"concentrators/internal/window"
 )
 
 // Mode selects the shape of one partition fault.
@@ -130,13 +131,11 @@ func (f Fault) String() string {
 }
 
 // Validate rejects malformed partition faults — in particular any fault
-// without a bounded heal window.
+// without a bounded heal window (window.CheckBounded: a partition
+// always heals).
 func (f Fault) Validate() error {
-	switch {
-	case f.From < 0:
-		return fmt.Errorf("partition: negative From round in %v", f)
-	case f.Until <= f.From:
-		return fmt.Errorf("partition: fault needs a bounded [From,Until) heal window in %v", f)
+	if err := window.CheckBounded(f.From, f.Until, "fault"); err != nil {
+		return fmt.Errorf("partition: %v in %v", err, f)
 	}
 	switch f.Mode {
 	case SymmetricCut, OneWay, Flapping:
@@ -165,7 +164,7 @@ func (f Fault) Validate() error {
 
 // active reports whether the fault is live in the given round.
 func (f Fault) active(round int) bool {
-	return round >= f.From && round < f.Until
+	return window.Span{From: f.From, Until: f.Until}.Active(round)
 }
 
 // Plane is a seeded set of partition faults. The zero *Plane (nil)

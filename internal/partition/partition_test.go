@@ -17,8 +17,8 @@ func TestFaultValidate(t *testing.T) {
 		{"flapping ok", Fault{Mode: Flapping, Replica: 2, Prob: 0.5, From: 1, Until: 9}, ""},
 		{"isolation ok", Fault{Mode: ArbiterIsolation, Replica: AllReplicas, From: 4, Until: 7}, ""},
 		{"negative from", Fault{Mode: SymmetricCut, Replica: 0, From: -1, Until: 3}, "negative From"},
-		{"unbounded window", Fault{Mode: SymmetricCut, Replica: 0, From: 3, Until: 0}, "bounded [From,Until) heal window"},
-		{"empty window", Fault{Mode: SymmetricCut, Replica: 0, From: 3, Until: 3}, "bounded [From,Until) heal window"},
+		{"unbounded window", Fault{Mode: SymmetricCut, Replica: 0, From: 3, Until: 0}, "bounded [From,Until) window"},
+		{"empty window", Fault{Mode: SymmetricCut, Replica: 0, From: 3, Until: 3}, "empty round window"},
 		{"negative replica", Fault{Mode: SymmetricCut, Replica: -2, From: 0, Until: 2}, "replica target"},
 		{"isolation with single target", Fault{Mode: ArbiterIsolation, Replica: 1, From: 0, Until: 2}, "targets AllReplicas"},
 		{"bad direction", Fault{Mode: OneWay, Replica: 0, Dir: Direction(9), From: 0, Until: 2}, "unknown direction"},

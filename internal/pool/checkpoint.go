@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"concentrators/internal/byzantine"
 	"concentrators/internal/health"
 	"concentrators/internal/link"
 	"concentrators/internal/overload"
@@ -67,6 +68,12 @@ type ReplicaCheckpoint struct {
 	TimingPlaneSeed   int64
 	TimingPlaneFaults []timing.Fault
 
+	// Byzantine replay surface: the ring of recently emitted genuine
+	// claims. It must survive a restart — a Replay fault re-emits these
+	// exact tags, and a receiver that forgot them would book the replay
+	// Delivered instead of Duplicated.
+	Recent []byzantine.Claim
+
 	// Accounting.
 	Trips, Probes, Scans, Violations, RoundsServed, Repairs int
 	Corrupted, LinkQuarantines                              int
@@ -95,6 +102,10 @@ type LedgerCheckpoint struct {
 	Fenced, StaleDelivered          int
 	LeaseHandoffs, FrozenRounds     int
 	ShadowServed, DualPrimaryRounds int
+	// Byzantine ledger terms: the Forged/Duplicated conservation terms
+	// and the audit/equivocation record behind the convictions.
+	Forged, Duplicated                                            int
+	Audits, AuditDisagreements, WitnessConvictions, Equivocations int
 }
 
 // Checkpoint is the serializable control-plane state of the whole
@@ -124,7 +135,23 @@ type Checkpoint struct {
 	HasPartitionPlane bool
 	PartitionSeed     int64
 	PartitionFaults   []partition.Fault
-	Replicas          []ReplicaCheckpoint
+	// Byzantine containment state. The behavior plane survives like its
+	// sibling planes (a lying controller does not repent because the
+	// arbiter rebooted). The verification edges are restored exactly:
+	// the dedup window (or a replay inside the outage books Delivered),
+	// the stamper's sequence counter (or post-restart genuine frames
+	// collide with the window), and the per-replica audit streaks (or a
+	// liar resets its record by crashing the arbiter). The checksum key
+	// is deliberately NOT here — it re-derives from the configured seed,
+	// and a checkpoint that carried it would hand the key to anything
+	// able to read the journal.
+	HasBehaviorPlane bool
+	BehaviorSeed     int64
+	BehaviorFaults   []byzantine.Fault
+	VerifierWindow   []uint64
+	StamperNextSeq   uint32
+	WitnessStreaks   []int
+	Replicas         []ReplicaCheckpoint
 }
 
 func (r *replica) checkpointLocked() ReplicaCheckpoint {
@@ -164,6 +191,7 @@ func (r *replica) checkpointLocked() ReplicaCheckpoint {
 		cp.TimingPlaneSeed = r.tplane.Seed()
 		cp.TimingPlaneFaults = r.tplane.Faults()
 	}
+	cp.Recent = append([]byzantine.Claim(nil), r.recent...)
 	return cp
 }
 
@@ -206,6 +234,7 @@ func (p *Pool) restoreReplicaLocked(r *replica, cp ReplicaCheckpoint) error {
 			}
 		}
 	}
+	r.recent = append([]byzantine.Claim(nil), cp.Recent...)
 	r.trips, r.probes, r.scans = cp.Trips, cp.Probes, cp.Scans
 	r.violations, r.roundsServed, r.repairs = cp.Violations, cp.RoundsServed, cp.Repairs
 	r.corrupted, r.linkQuarantines = cp.Corrupted, cp.LinkQuarantines
@@ -336,6 +365,9 @@ func (p *Pool) Snapshot() *Checkpoint {
 			Fenced:           s.Fenced, StaleDelivered: s.StaleDelivered,
 			LeaseHandoffs: s.LeaseHandoffs, FrozenRounds: s.FrozenRounds,
 			ShadowServed: s.ShadowServed, DualPrimaryRounds: s.DualPrimaryRounds,
+			Forged: s.Forged, Duplicated: s.Duplicated,
+			Audits: s.Audits, AuditDisagreements: s.AuditDisagreements,
+			WitnessConvictions: s.WitnessConvictions, Equivocations: s.Equivocations,
 		},
 		FenceToken:  p.fenceToken,
 		LeaseHolder: p.leaseHolder,
@@ -347,6 +379,18 @@ func (p *Pool) Snapshot() *Checkpoint {
 		cp.HasPartitionPlane = true
 		cp.PartitionSeed = p.pplane.Seed()
 		cp.PartitionFaults = p.pplane.Faults()
+	}
+	if p.bplane != nil {
+		cp.HasBehaviorPlane = true
+		cp.BehaviorSeed = p.bplane.Seed()
+		cp.BehaviorFaults = p.bplane.Faults()
+	}
+	if p.verifier != nil {
+		cp.VerifierWindow = p.verifier.Window()
+		cp.StamperNextSeq = p.stamper.NextSeq()
+	}
+	if p.wtally != nil {
+		cp.WitnessStreaks = p.wtally.Streaks()
 	}
 	if p.aimd != nil {
 		cp.AIMD = p.aimd.Snapshot()
@@ -405,6 +449,9 @@ func (p *Pool) Restore(cp *Checkpoint) error {
 		Fenced:           l.Fenced, StaleDelivered: l.StaleDelivered,
 		LeaseHandoffs: l.LeaseHandoffs, FrozenRounds: l.FrozenRounds,
 		ShadowServed: l.ShadowServed, DualPrimaryRounds: l.DualPrimaryRounds,
+		Forged: l.Forged, Duplicated: l.Duplicated,
+		Audits: l.Audits, AuditDisagreements: l.AuditDisagreements,
+		WitnessConvictions: l.WitnessConvictions, Equivocations: l.Equivocations,
 	}
 	p.fenceToken = cp.FenceToken
 	p.leaseHolder = cp.LeaseHolder
@@ -419,6 +466,26 @@ func (p *Pool) Restore(cp *Checkpoint) error {
 				return fmt.Errorf("pool: checkpoint carries invalid partition fault: %w", err)
 			}
 		}
+	}
+	p.bplane = nil
+	if cp.HasBehaviorPlane {
+		p.bplane = byzantine.NewPlane(cp.BehaviorSeed)
+		for _, f := range cp.BehaviorFaults {
+			if err := p.bplane.Add(f); err != nil {
+				return fmt.Errorf("pool: checkpoint carries invalid behavior fault: %w", err)
+			}
+		}
+	}
+	p.stamper, p.verifier = nil, nil
+	if cp.VerifierWindow != nil || cp.StamperNextSeq > 0 {
+		// The key is not in the checkpoint; it re-derives from config.
+		p.ensureEdgesLocked()
+		p.stamper.RestoreSeq(cp.StamperNextSeq)
+		p.verifier.RestoreWindow(cp.VerifierWindow)
+	}
+	p.wtally = nil
+	if cp.WitnessStreaks != nil {
+		p.wtally = health.RestoreWitnessTally(len(p.replicas), cp.WitnessStreaks, l.WitnessConvictions)
 	}
 	p.lat.Reset()
 	if p.aimd != nil {

@@ -400,7 +400,7 @@ func (p *Pool) serveHeardLocked(round int64, admitted []switchsim.Message, rr *R
 			rr.Result = wres
 			rr.ServedBy = winner.id
 			rr.Threshold = p.effectiveThresholdLocked(winner.threshold())
-			p.stats.Delivered += len(wres.Delivered)
+			p.settleClaimsLocked(winner, round, wres, admitted, rr)
 			if p.cfg.Deadline > 0 && wlat > p.cfg.Deadline {
 				rr.DeadlineMissed = true
 				p.stats.DeadlineMissed += len(wres.Delivered)

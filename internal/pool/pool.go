@@ -46,6 +46,7 @@ import (
 	"sync"
 
 	"concentrators/internal/bitvec"
+	"concentrators/internal/byzantine"
 	"concentrators/internal/core"
 	"concentrators/internal/health"
 	"concentrators/internal/link"
@@ -145,6 +146,38 @@ type Config struct {
 	// partition fault plane. Lease.Rounds 0 keeps the legacy
 	// instantly-consistent arbiter.
 	Lease LeaseConfig
+	// Byzantine arms the ledger against replicas that lie: frame
+	// provenance verification at the receiving edge, seeded witness
+	// cross-examination audits, and arbiter cross-checks of health
+	// reports against ledger evidence. The zero value keeps the legacy
+	// trusting ledger (bit-identical pre-byzantine trajectories).
+	Byzantine ByzantineConfig
+}
+
+// ByzantineConfig tunes the pool's byzantine containment: the verified
+// receiving edge and the witness audit cadence.
+type ByzantineConfig struct {
+	// Verify enables receiving-edge frame provenance: every delivery
+	// claim of an accepted round is stamped [epoch][seq][keyed checksum]
+	// at the sending edge and re-verified at the ledger. A claim whose
+	// keyed sum does not verify books Forged; a valid tag repeating
+	// inside the sliding dedup window books Duplicated; neither is ever
+	// counted Delivered. Off, the ledger takes claims at face value —
+	// the experimental control that double-counts under replay.
+	Verify bool
+	// AuditEvery is the witness cross-examination cadence: every
+	// AuditEvery rounds the pool re-routes one sampled claim through up
+	// to two witness replicas and convicts persistent disagreement
+	// through the standard breaker. 0 disables audits. Ignored unless
+	// Verify.
+	AuditEvery int
+	// Window is the dedup window capacity in accepted (epoch, seq)
+	// pairs. 0 means byzantine.DefaultWindow.
+	Window int
+	// Seed keys the provenance checksum (byzantine.DeriveKey), draws
+	// the audit sampling, and seeds the behavior plane installed by
+	// InjectBehavior. 0 means the default (1).
+	Seed int64
 }
 
 // LeaseConfig tunes the pool's partition-safe primary lease.
@@ -223,6 +256,15 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Lease.Seed == 0 {
 		c.Lease.Seed = 1
 	}
+	switch {
+	case c.Byzantine.AuditEvery < 0:
+		return c, fmt.Errorf("pool: negative witness audit cadence %d", c.Byzantine.AuditEvery)
+	case c.Byzantine.Window < 0:
+		return c, fmt.Errorf("pool: negative dedup window %d", c.Byzantine.Window)
+	}
+	if c.Byzantine.Seed == 0 {
+		c.Byzantine.Seed = 1
+	}
 	return c, nil
 }
 
@@ -256,6 +298,11 @@ type replica struct {
 	// deliveries the ledger fences.
 	leaseToken uint64
 	leaseUntil int64
+
+	// Byzantine replay surface: the ring of this actor's recently
+	// emitted genuine claims — what a Replay fault re-emits verbatim,
+	// original tags and all.
+	recent []byzantine.Claim
 
 	state       State
 	killed      bool
@@ -406,6 +453,18 @@ type Stats struct {
 	// control-plane partition; each is booked Delivered or Fenced when
 	// its edge heals.
 	InFlightAcks int
+	// Forged counts delivery claims whose provenance tag failed the
+	// keyed checksum at the receiving edge; Duplicated counts claims
+	// whose valid tag repeated inside the sliding dedup window. They
+	// are the eighth-law ledger terms — never counted Delivered.
+	Forged, Duplicated int
+	// Audits counts witness cross-examinations run;
+	// AuditDisagreements counts those whose witnesses contradicted the
+	// primary's claimed routing; WitnessConvictions counts replicas
+	// the audit tally convicted (tripped through the standard
+	// breaker). Equivocations counts health reports the arbiter caught
+	// forking against its own ledger evidence.
+	Audits, AuditDisagreements, WitnessConvictions, Equivocations int
 	// FenceToken is the current primary lease's monotonic fencing
 	// token; LeaseHolder is the replica index holding it (−1 none).
 	FenceToken  uint64
@@ -474,6 +533,21 @@ type RoundResult struct {
 	// stale believers — the split-brain ground truth the Fenced ledger
 	// is checked against.
 	ShadowDelivered int
+	// TrueDelivered is the round's physically delivered frame count —
+	// the ground truth the byzantine ledger terms are checked against
+	// (it equals the Delivered increment only when nobody lied).
+	TrueDelivered int
+	// Misrouted counts physically delivered frames whose acked output
+	// was a lie; ReplayedInjected and ForgedInjected count stale
+	// re-emissions and fabricated acks injected into the round's claim
+	// stream. All three are plane ground truth, not ledger verdicts.
+	Misrouted, ReplayedInjected, ForgedInjected int
+	// Forged and Duplicated are the receiving edge's bookings this
+	// round.
+	Forged, Duplicated int
+	// Equivocated reports the arbiter caught the serving replica
+	// forking its health report this round.
+	Equivocated bool
 }
 
 // Pool is a replicated concentrator switch pool. All methods are safe
@@ -514,6 +588,14 @@ type Pool struct {
 	leaseExpiry int64
 	susp        *health.SuspicionClock
 	inflight    []PendingAck
+	// Byzantine containment (armed by Config.Byzantine.Verify or
+	// InjectBehavior): bplane schedules which actors lie, stamper mints
+	// frame provenance at the sending edge, verifier re-derives it at
+	// the ledger, wtally folds witness audits into convictions.
+	bplane   *byzantine.Plane
+	stamper  *byzantine.Stamper
+	verifier *byzantine.Verifier
+	wtally   *health.WitnessTally
 }
 
 // PendingAck is one delivery acknowledgement buffered behind a
@@ -1077,7 +1159,7 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 			rr.Result = wres
 			rr.ServedBy = winner.id
 			rr.Threshold = p.effectiveThresholdLocked(winner.threshold())
-			p.stats.Delivered += len(wres.Delivered)
+			p.settleClaimsLocked(winner, round, wres, admitted, rr)
 			if p.cfg.Deadline > 0 && wlat > p.cfg.Deadline {
 				rr.DeadlineMissed = true
 				p.stats.DeadlineMissed += len(wres.Delivered)

@@ -195,9 +195,19 @@ type SessionStats struct {
 	// term (pool.Stats.Fenced), and the seven-term conservation law is
 	// Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed
 	// + Shed + Fenced + FinalBacklog.
-	Fenced  int
-	Refused int // arrivals refused because the input was occupied (Buffer)
-	Retries int // re-offered attempts (Resend/Buffer)
+	Fenced int
+	// Forged counts delivery claims rejected because their provenance
+	// tag failed the receiving edge's keyed checksum; Duplicated counts
+	// claims whose valid tag repeated inside the sliding dedup window
+	// (a replayed frame). Neither is ever counted Delivered. Plain
+	// sessions run a single trusted switch and book both terms 0; the
+	// replicated pool books them (pool.Stats.Forged/Duplicated), and
+	// the full eight-term conservation law is
+	// Offered = Delivered + Dropped + CorruptedDropped + DeadlineMissed
+	// + Shed + Fenced + Forged + Duplicated + FinalBacklog.
+	Forged, Duplicated int
+	Refused            int // arrivals refused because the input was occupied (Buffer)
+	Retries            int // re-offered attempts (Resend/Buffer)
 	// RetriedDelivered counts delivered messages that needed more than
 	// one offer to the switch — the slice of Delivered whose latency
 	// includes retry round trips.

@@ -31,6 +31,7 @@ import (
 
 	"concentrators/internal/link"
 	"concentrators/internal/seedrand"
+	"concentrators/internal/window"
 )
 
 // Mode selects the shape of one timing fault.
@@ -139,10 +140,9 @@ func (f Fault) Validate() error {
 		return fmt.Errorf("timing: stage %d in %v (want ≥ 0 or AllStages)", f.Stage, f)
 	case f.Wire < link.AllWires:
 		return fmt.Errorf("timing: wire %d in %v (want ≥ 0 or AllWires)", f.Wire, f)
-	case f.From < 0:
-		return fmt.Errorf("timing: negative From round in %v", f)
-	case f.Until > 0 && f.Until <= f.From:
-		return fmt.Errorf("timing: empty round window [%d,%d) in %v", f.From, f.Until, f)
+	}
+	if err := window.Check(f.From, f.Until); err != nil {
+		return fmt.Errorf("timing: %v in %v", err, f)
 	}
 	switch f.Mode {
 	case Constant:
@@ -168,8 +168,8 @@ func (f Fault) Validate() error {
 		if f.Delay < 1 {
 			return fmt.Errorf("timing: ramp fault needs Delay ≥ 1, got %d in %v", f.Delay, f)
 		}
-		if f.Until <= 0 {
-			return fmt.Errorf("timing: ramp fault needs a bounded [From,Until) window in %v", f)
+		if err := window.CheckBounded(f.From, f.Until, "ramp fault"); err != nil {
+			return fmt.Errorf("timing: %v in %v", err, f)
 		}
 	default:
 		return fmt.Errorf("timing: unknown fault mode in %v", f)
@@ -179,7 +179,7 @@ func (f Fault) Validate() error {
 
 // active reports whether the fault is live in the given round.
 func (f Fault) active(round int) bool {
-	return round >= f.From && (f.Until <= 0 || round < f.Until)
+	return window.Span{From: f.From, Until: f.Until}.Active(round)
 }
 
 // sample draws the fault's delay for one crossing in the given round.

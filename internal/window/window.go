@@ -1,0 +1,68 @@
+// Package window is the one shared definition of a fault's [From,
+// Until) round window. Every fault plane — wire corruption, timing,
+// surge, partition, and now byzantine behavior — bounds its faults
+// with the same two integers and the same liveness rule, and before
+// this package each plane carried its own copy of the activation test
+// and the window-shape validation. They are deduplicated here so the
+// planes cannot drift: one activation rule, one set of validation
+// messages.
+//
+// Two window disciplines exist, and both are legitimate:
+//
+//   - Open-ended planes (link, timing, surge) allow Until ≤ 0 to mean
+//     "forever": a stuck wire or a sustained overload does not heal on
+//     its own. They validate with Check.
+//   - Healing planes (partition, byzantine) mandate a bounded window:
+//     a partition that never heals or a liar that never stops would
+//     freeze the harness's verdicts forever, so those planes validate
+//     with CheckBounded. Fault shapes that need a slope (timing ramps,
+//     surge ramps) are bounded for the same reason — the slope is
+//     undefined without an end.
+package window
+
+import "fmt"
+
+// Span is one [From, Until) round window. Until ≤ 0 means forever,
+// for the planes whose validation admits it.
+type Span struct {
+	From, Until int
+}
+
+// Active reports whether the window covers the given round:
+// From ≤ round, and round < Until when the window is bounded.
+func (s Span) Active(round int) bool {
+	return round >= s.From && (s.Until <= 0 || round < s.Until)
+}
+
+// Bounded reports whether the window has a real end.
+func (s Span) Bounded() bool { return s.Until > 0 }
+
+// Check validates the window shape every plane agrees on: From must
+// be non-negative, and a bounded window must be non-empty. The error
+// carries no plane or fault context — callers wrap it, e.g.
+// fmt.Errorf("link: %v in %v", err, f) — so the planes' existing
+// messages stay bit-identical.
+func Check(from, until int) error {
+	switch {
+	case from < 0:
+		return fmt.Errorf("negative From round")
+	case until > 0 && until <= from:
+		return fmt.Errorf("empty round window [%d,%d)", from, until)
+	}
+	return nil
+}
+
+// CheckBounded validates the shared shape and additionally rejects
+// open-ended windows, naming the offender: "%s needs a bounded
+// [From,Until) window". The healing planes (partition, byzantine) and
+// the sloped fault shapes (timing ramps, surge steps and ramps) use
+// it.
+func CheckBounded(from, until int, what string) error {
+	if err := Check(from, until); err != nil {
+		return err
+	}
+	if until <= 0 {
+		return fmt.Errorf("%s needs a bounded [From,Until) window", what)
+	}
+	return nil
+}
