@@ -1,18 +1,27 @@
-// Command concbench regenerates the paper's tables and figures.
+// Command concbench regenerates the paper's tables and figures and
+// runs the data-plane perf suite.
 //
 // Usage:
 //
-//	concbench            # run every experiment
-//	concbench -list      # list experiment ids
-//	concbench -run F3    # run one experiment
+//	concbench                  # run every experiment
+//	concbench -list            # list experiment ids
+//	concbench -run F3          # run one experiment
+//	concbench -bench           # run the perf suite (human table)
+//	concbench -bench -bench-out BENCH_10.json
+//	concbench -bench -baseline BENCH_10.json   # exit 2 on regression
 //
-// Experiment ids follow the per-experiment index in DESIGN.md.
+// Experiment ids follow the per-experiment index in DESIGN.md. The
+// perf suite measures the word-parallel route kernel vs the legacy
+// tracker, the zero-alloc session round, and sequential vs parallel
+// pool dispatch; -baseline gates ns/op within +20% of the committed
+// baseline and forbids allocs/op growth.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"concentrators/internal/bench"
 )
@@ -20,7 +29,15 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiments and exit")
 	run := flag.String("run", "", "run a single experiment by id (default: all)")
+	doBench := flag.Bool("bench", false, "run the data-plane perf suite instead of experiments")
+	benchOut := flag.String("bench-out", "", "write the perf suite report as JSON to this file")
+	baseline := flag.String("baseline", "", "compare the perf suite against this JSON baseline; exit 2 on regression")
+	benchTime := flag.Duration("bench-time", 25*time.Millisecond, "minimum timing window per perf case")
 	flag.Parse()
+
+	if *doBench {
+		os.Exit(runBench(*benchOut, *baseline, *benchTime))
+	}
 
 	if *list {
 		for _, e := range bench.All() {
@@ -53,4 +70,52 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+func runBench(outPath, baselinePath string, benchTime time.Duration) int {
+	rep, err := bench.RunPerfSuite(benchTime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	bench.WritePerf(os.Stdout, rep)
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := bench.EncodePerf(f, rep); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Printf("\nwrote %s (%d cases)\n", outPath, len(rep.Results))
+	}
+	if baselinePath != "" {
+		f, err := os.Open(baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		base, err := bench.DecodePerf(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if regs := bench.ComparePerf(base, rep, 0.2); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "\nperf regressions vs %s:\n", baselinePath)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			return 2
+		}
+		fmt.Printf("no perf regressions vs %s\n", baselinePath)
+	}
+	return 0
 }

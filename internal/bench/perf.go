@@ -1,0 +1,354 @@
+package bench
+
+// The perf suite: machine-readable micro-benchmarks of the data-plane
+// hot paths — the word-parallel route kernel against its legacy per-bit
+// tracker, the zero-alloc session round against the allocating one, and
+// the pool's failover round under sequential vs speculative parallel
+// replica dispatch. cmd/concbench serializes a PerfReport to JSON
+// (BENCH_10.json) and ComparePerf gates CI on regressions against a
+// committed baseline.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+	"concentrators/internal/pool"
+	"concentrators/internal/switchsim"
+)
+
+// PerfResult is one measured hot-path case.
+type PerfResult struct {
+	// Name identifies the case, e.g. "route_kernel/revsort/4096".
+	Name string `json:"name"`
+	// N is the switch width the case ran at.
+	N int `json:"n"`
+	// NsPerOp is wall-clock nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are heap allocation costs per
+	// operation (runtime.MemStats deltas).
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// PerfReport is the machine-readable payload behind BENCH_10.json.
+type PerfReport struct {
+	// GoMaxProcs records the parallelism the suite ran under: the
+	// pool-dispatch speedup is only meaningful with ≥ 2 procs.
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Results    []PerfResult `json:"results"`
+}
+
+// perfSink defeats dead-code elimination of measured loops.
+var perfSink int
+
+// measure times f with a geometrically calibrated loop until one
+// window reaches minTime, keeps the best of three windows (damping GC
+// and scheduler noise), then charges allocations over a short counted
+// run. f must be warm (scratch pools populated) before the timed loop
+// so steady-state cost is what lands in the report.
+func measure(name string, n int, minTime time.Duration, f func()) PerfResult {
+	f()
+	f()
+	iters, el := 1, time.Duration(0)
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		el = time.Since(start)
+		if el >= minTime || iters >= 1<<24 {
+			break
+		}
+		iters *= 2
+	}
+	for w := 0; w < 2; w++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		if e := time.Since(start); e < el {
+			el = e
+		}
+	}
+	const allocRuns = 16
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < allocRuns; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&m1)
+	return PerfResult{
+		Name:        name,
+		N:           n,
+		NsPerOp:     float64(el.Nanoseconds()) / float64(iters),
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / allocRuns,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / allocRuns,
+	}
+}
+
+// perfSizes are the widths every suite family runs at.
+var perfSizes = []int{256, 1024, 4096}
+
+func randomValidPerf(rng *rand.Rand, n int, load float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < load {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// routeCases builds the route-kernel switches per width: the two
+// partial concentrators and the two full-sorting hyperconcentrators.
+func routeCases(n int) (map[string]core.RouterInto, error) {
+	rev, err := core.NewRevsortSwitch(n, n*3/4)
+	if err != nil {
+		return nil, err
+	}
+	col, err := core.NewColumnsortSwitchBeta(n, n*3/4, 0.75)
+	if err != nil {
+		return nil, err
+	}
+	frev, err := core.NewFullRevsortHyper(n, n)
+	if err != nil {
+		return nil, err
+	}
+	// Widest s whose r = n/s still satisfies s | r and r ≥ 2(s−1)².
+	fs := 1
+	for _, s := range []int{16, 8, 4, 2} {
+		if r := n / s; n%s == 0 && r%s == 0 && r >= 2*(s-1)*(s-1) {
+			fs = s
+			break
+		}
+	}
+	fcol, err := core.NewFullColumnsortHyper(n/fs, fs, n)
+	if err != nil {
+		return nil, err
+	}
+	return map[string]core.RouterInto{
+		"revsort":         rev,
+		"columnsort":      col,
+		"full_revsort":    frev,
+		"full_columnsort": fcol,
+	}, nil
+}
+
+// routeKernelPerf measures RouteInto (word kernel) against TrackerRoute
+// (legacy per-bit pipeline) for every switch family and width.
+func routeKernelPerf(minTime time.Duration, out *[]PerfResult) error {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range perfSizes {
+		cases, err := routeCases(n)
+		if err != nil {
+			return err
+		}
+		v := randomValidPerf(rng, n, 0.6)
+		dst := make([]int, n)
+		for _, key := range []string{"revsort", "columnsort", "full_revsort", "full_columnsort"} {
+			sw := cases[key]
+			*out = append(*out, measure(fmt.Sprintf("route_kernel/%s/%d", key, n), n, minTime, func() {
+				if err := sw.RouteInto(dst, v); err != nil {
+					panic(err)
+				}
+				perfSink += dst[0]
+			}))
+			*out = append(*out, measure(fmt.Sprintf("route_legacy/%s/%d", key, n), n, minTime, func() {
+				o, err := core.TrackerRoute(sw, v)
+				if err != nil {
+					panic(err)
+				}
+				perfSink += o[0]
+			}))
+		}
+	}
+	return nil
+}
+
+// sessionRoundPerf measures a steady-state bit-serial session round:
+// the reusable zero-alloc Runner against the allocating package-level
+// switchsim.Run.
+func sessionRoundPerf(minTime time.Duration, out *[]PerfResult) error {
+	rng := rand.New(rand.NewSource(72))
+	for _, n := range perfSizes {
+		sw, err := core.NewRevsortSwitch(n, n*3/4)
+		if err != nil {
+			return err
+		}
+		msgs := switchsim.RandomMessages(rng, n, 0.6, 16)
+		runner := switchsim.NewRunner(sw)
+		*out = append(*out, measure(fmt.Sprintf("session_round/revsort/%d", n), n, minTime, func() {
+			res, err := runner.Run(msgs)
+			if err != nil {
+				panic(err)
+			}
+			perfSink += len(res.Delivered)
+		}))
+		*out = append(*out, measure(fmt.Sprintf("session_legacy/revsort/%d", n), n, minTime, func() {
+			res, err := switchsim.Run(sw, msgs)
+			if err != nil {
+				panic(err)
+			}
+			perfSink += len(res.Delivered)
+		}))
+	}
+	return nil
+}
+
+// failoverPool builds the pool-dispatch fixture: four replicas, each
+// carrying a dead chip behind an effectively infinite trip threshold,
+// so every round sweeps the whole replica set — the workload shape
+// where speculative parallel dispatch pays.
+func failoverPool(n, parallel int) (*pool.Pool, error) {
+	cfg := pool.Config{TripThreshold: 1 << 30, Parallel: parallel}
+	switches := make([]core.FaultInjectable, 4)
+	for i := range switches {
+		sw, err := core.NewColumnsortSwitchBeta(n, n/2, 0.75)
+		if err != nil {
+			return nil, err
+		}
+		switches[i] = sw
+	}
+	p, err := pool.New(cfg, switches...)
+	if err != nil {
+		return nil, err
+	}
+	for i := range switches {
+		if err := p.InjectFault(i, core.ChipFault{Stage: 0, Chip: 0, Mode: core.ChipDead}); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// poolRoundPerf measures one failover-sweep pool round under
+// sequential and speculative parallel replica dispatch.
+func poolRoundPerf(minTime time.Duration, out *[]PerfResult) error {
+	rng := rand.New(rand.NewSource(73))
+	for _, n := range perfSizes {
+		msgs := switchsim.RandomMessages(rng, n, 0.4, 8)
+		for _, mode := range []struct {
+			tag      string
+			parallel int
+		}{{"seq", 0}, {"par", 4}} {
+			p, err := failoverPool(n, mode.parallel)
+			if err != nil {
+				return err
+			}
+			*out = append(*out, measure(fmt.Sprintf("pool_round_%s/%d", mode.tag, n), n, minTime, func() {
+				rr, err := p.Run(msgs)
+				if err != nil {
+					panic(err)
+				}
+				perfSink += rr.ServedBy
+			}))
+		}
+	}
+	return nil
+}
+
+// RunPerfSuite measures every hot-path case with the given minimum
+// timing window per case and returns the machine-readable report.
+func RunPerfSuite(minTime time.Duration) (*PerfReport, error) {
+	if minTime <= 0 {
+		minTime = 25 * time.Millisecond
+	}
+	rep := &PerfReport{GoMaxProcs: runtime.GOMAXPROCS(0)}
+	if err := routeKernelPerf(minTime, &rep.Results); err != nil {
+		return nil, err
+	}
+	if err := sessionRoundPerf(minTime, &rep.Results); err != nil {
+		return nil, err
+	}
+	if err := poolRoundPerf(minTime, &rep.Results); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// WritePerf renders the report: a human table to w with the
+// kernel-vs-legacy and parallel-vs-sequential ratios called out.
+func WritePerf(w io.Writer, rep *PerfReport) {
+	fmt.Fprintf(w, "perf suite (GOMAXPROCS=%d)\n", rep.GoMaxProcs)
+	fmt.Fprintf(w, "%-36s %14s %14s %12s\n", "case", "ns/op", "B/op", "allocs/op")
+	byName := make(map[string]PerfResult, len(rep.Results))
+	for _, r := range rep.Results {
+		byName[r.Name] = r
+		fmt.Fprintf(w, "%-36s %14.0f %14.0f %12.2f\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rep.Results {
+		var base string
+		switch {
+		case len(r.Name) > len("route_kernel/") && r.Name[:len("route_kernel/")] == "route_kernel/":
+			base = "route_legacy/" + r.Name[len("route_kernel/"):]
+		case len(r.Name) > len("session_round/") && r.Name[:len("session_round/")] == "session_round/":
+			base = "session_legacy/" + r.Name[len("session_round/"):]
+		case len(r.Name) > len("pool_round_par/") && r.Name[:len("pool_round_par/")] == "pool_round_par/":
+			base = "pool_round_seq/" + r.Name[len("pool_round_par/"):]
+		default:
+			continue
+		}
+		if b, ok := byName[base]; ok && r.NsPerOp > 0 {
+			fmt.Fprintf(w, "%-36s %6.2fx vs %s\n", r.Name, b.NsPerOp/r.NsPerOp, base)
+		}
+	}
+}
+
+// EncodePerf writes the report as indented JSON.
+func EncodePerf(w io.Writer, rep *PerfReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// DecodePerf reads a report written by EncodePerf.
+func DecodePerf(r io.Reader) (*PerfReport, error) {
+	var rep PerfReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench: decoding perf baseline: %w", err)
+	}
+	return &rep, nil
+}
+
+// ComparePerf gates the current report against a committed baseline:
+// a case regresses when its ns/op exceeds the baseline by more than
+// maxSlowdown (e.g. 0.2 = +20%) or its allocs/op grew beyond rounding
+// noise. Cases missing from either side are skipped — the suite may
+// gain cases between baselines. Timing gates only fire when both runs
+// saw the same GOMAXPROCS, and never for the *_legacy reference cases
+// (the allocating before side is GC-noisy and not a protected path);
+// allocation gates always fire.
+func ComparePerf(baseline, cur *PerfReport, maxSlowdown float64) []string {
+	base := make(map[string]PerfResult, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[r.Name] = r
+	}
+	timingComparable := baseline.GoMaxProcs == cur.GoMaxProcs
+	var regressions []string
+	for _, r := range cur.Results {
+		b, ok := base[r.Name]
+		if !ok {
+			continue
+		}
+		timingGated := timingComparable && !strings.Contains(r.Name, "_legacy/")
+		if timingGated && b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+maxSlowdown) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f (+%.0f%%, gate +%.0f%%)",
+				r.Name, r.NsPerOp, b.NsPerOp, 100*(r.NsPerOp/b.NsPerOp-1), 100*maxSlowdown))
+		}
+		if r.AllocsPerOp > b.AllocsPerOp+0.5 {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.2f allocs/op vs baseline %.2f",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return regressions
+}

@@ -111,6 +111,38 @@ func (v *Vector) check(i int) {
 	}
 }
 
+// Words exposes the vector's backing words for word-parallel kernels.
+// Bit i of the vector is bit i&63 of word i>>6. Bits at positions ≥
+// Len() in the last word are always zero; callers that write through
+// the returned slice must preserve that invariant.
+func (v *Vector) Words() []uint64 { return v.words }
+
+// WordLen returns the number of backing words, ⌈Len()/64⌉.
+func (v *Vector) WordLen() int { return len(v.words) }
+
+// OnesInWord returns the number of 1 bits in backing word w — the
+// word-parallel building block for rank and scatter kernels. It panics
+// if w is out of range.
+func (v *Vector) OnesInWord(w int) int {
+	return bits.OnesCount64(v.words[w])
+}
+
+// CopyFrom copies src's bits into v in place, without allocating. The
+// two vectors must have the same length; it panics otherwise.
+func (v *Vector) CopyFrom(src *Vector) {
+	if v.n != src.n {
+		panic(fmt.Sprintf("bitvec: CopyFrom length mismatch %d != %d", src.n, v.n))
+	}
+	copy(v.words, src.words)
+}
+
+// Reset clears every bit in place.
+func (v *Vector) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
 // Count returns the number of 1 bits (the k of the paper's lemmas).
 func (v *Vector) Count() int {
 	c := 0
@@ -156,13 +188,24 @@ func (v *Vector) PrefixCounts() []int {
 
 // Ones returns the positions of the 1 bits in increasing order.
 func (v *Vector) Ones() []int {
-	ps := make([]int, 0, v.Count())
-	for i := 0; i < v.n; i++ {
-		if v.Get(i) {
-			ps = append(ps, i)
+	return v.OnesInto(make([]int, 0, v.Count()))
+}
+
+// OnesInto appends the positions of the 1 bits, in increasing order, to
+// dst[:0] and returns the extended slice. It allocates only when dst's
+// capacity is insufficient, so a reused buffer makes repeated calls
+// allocation-free. The scan is word-parallel: zero words cost one
+// comparison each.
+func (v *Vector) OnesInto(dst []int) []int {
+	dst = dst[:0]
+	for wi, w := range v.words {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
 		}
 	}
-	return ps
+	return dst
 }
 
 // Clone returns a copy of v.
@@ -287,11 +330,29 @@ func Concat(vs ...*Vector) *Vector {
 // Sorted returns the fully sorted (nonincreasing) rearrangement of v:
 // Count() ones followed by zeros.
 func (v *Vector) Sorted() *Vector {
-	out := New(v.n)
-	for i, k := 0, v.Count(); i < k; i++ {
-		out.Set(i, true)
+	return v.SortedInto(New(v.n))
+}
+
+// SortedInto writes the fully sorted rearrangement of v into dst (same
+// length, in place, no allocation) and returns dst. The write is
+// word-parallel: one prefix-mask store per word.
+func (v *Vector) SortedInto(dst *Vector) *Vector {
+	if dst.n != v.n {
+		panic(fmt.Sprintf("bitvec: SortedInto length mismatch %d != %d", dst.n, v.n))
 	}
-	return out
+	k := v.Count()
+	for w := range dst.words {
+		lo := w << 6
+		switch {
+		case k >= lo+64:
+			dst.words[w] = ^uint64(0)
+		case k > lo:
+			dst.words[w] = 1<<uint(k-lo) - 1
+		default:
+			dst.words[w] = 0
+		}
+	}
+	return dst
 }
 
 // Permute returns the vector w with w[perm[i]] = v[i]. perm must be a

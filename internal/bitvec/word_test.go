@@ -1,0 +1,184 @@
+package bitvec
+
+import (
+	"math/bits"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestWordsLayout(t *testing.T) {
+	cases := []struct {
+		s     string
+		words []uint64
+	}{
+		{"", []uint64{}},
+		{"1", []uint64{1}},
+		{"01", []uint64{2}},
+		{"10000000", []uint64{1}},
+		{"0000000000000000000000000000000000000000000000000000000000000001", []uint64{1 << 63}},
+		{"00000000000000000000000000000000000000000000000000000000000000001", []uint64{0, 1}},
+	}
+	for _, c := range cases {
+		v := MustParse(c.s)
+		got := v.Words()
+		if len(got) != len(c.words) {
+			t.Fatalf("Words(%q): %d words, want %d", c.s, len(got), len(c.words))
+		}
+		for i := range got {
+			if got[i] != c.words[i] {
+				t.Errorf("Words(%q)[%d] = %#x, want %#x", c.s, i, got[i], c.words[i])
+			}
+		}
+		if v.WordLen() != len(c.words) {
+			t.Errorf("WordLen(%q) = %d, want %d", c.s, v.WordLen(), len(c.words))
+		}
+	}
+}
+
+// TestWordsSpareBitsStayZero checks the documented invariant that bits
+// beyond Len() in the last backing word are zero after any Set churn.
+func TestWordsSpareBitsStayZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 5, 63, 64, 65, 100, 127, 130} {
+		v := New(n)
+		for op := 0; op < 200; op++ {
+			v.Set(rng.Intn(n), rng.Intn(2) == 0)
+		}
+		last := v.Words()[v.WordLen()-1]
+		if rem := n & 63; rem != 0 && last>>uint(rem) != 0 {
+			t.Errorf("n=%d: spare bits set in last word %#x", n, last)
+		}
+	}
+}
+
+func TestOnesInWordMatchesPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 64, 65, 200, 1024} {
+		v := randomVector(rng, n, 0.5)
+		for w := 0; w < v.WordLen(); w++ {
+			want := 0
+			for i := w * 64; i < (w+1)*64 && i < n; i++ {
+				if v.Get(i) {
+					want++
+				}
+			}
+			if got := v.OnesInWord(w); got != want {
+				t.Errorf("n=%d OnesInWord(%d) = %d, want %d", n, w, got, want)
+			}
+		}
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	src := MustParse("1011001110001")
+	dst := New(src.Len())
+	dst.Set(1, true)
+	dst.CopyFrom(src)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyFrom: got %s, want %s", dst, src)
+	}
+	// In place: mutating src afterwards must not affect dst.
+	src.Set(0, false)
+	if !dst.Get(0) {
+		t.Fatal("CopyFrom aliased the source words")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CopyFrom length mismatch did not panic")
+		}
+	}()
+	dst.CopyFrom(New(dst.Len() + 1))
+}
+
+func TestReset(t *testing.T) {
+	v := MustParse("111111")
+	v.Reset()
+	if v.Count() != 0 || v.Len() != 6 {
+		t.Fatalf("Reset: count %d len %d", v.Count(), v.Len())
+	}
+}
+
+func TestOnesIntoReusesBuffer(t *testing.T) {
+	v := MustParse("10100101")
+	buf := make([]int, 0, v.Len())
+	got := v.OnesInto(buf)
+	want := []int{0, 2, 5, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("OnesInto = %v, want %v", got, want)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { buf = v.OnesInto(buf) }); allocs != 0 {
+		t.Errorf("OnesInto with sufficient capacity allocated %v times", allocs)
+	}
+}
+
+// onesPerBit is the legacy bit-at-a-time reference for the fuzz parity
+// checks below.
+func onesPerBit(v *Vector) []int {
+	var ps []int
+	for i := 0; i < v.Len(); i++ {
+		if v.Get(i) {
+			ps = append(ps, i)
+		}
+	}
+	return ps
+}
+
+func randomVector(rng *rand.Rand, n int, load float64) *Vector {
+	v := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < load {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// FuzzWordParity drives the word-level accessors against the
+// bit-at-a-time path on arbitrary bit strings.
+func FuzzWordParity(f *testing.F) {
+	f.Add("")
+	f.Add("1")
+	f.Add("10100101")
+	f.Add("0000000000000000000000000000000000000000000000000000000000000000110")
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := Parse(s)
+		if err != nil {
+			t.Skip()
+		}
+		// Words reconstructs the exact bit pattern.
+		total := 0
+		for w, word := range v.Words() {
+			for b := 0; b < 64; b++ {
+				i := w*64 + b
+				bit := word&(1<<uint(b)) != 0
+				if i < v.Len() {
+					if bit != v.Get(i) {
+						t.Fatalf("word %d bit %d disagrees with Get(%d)", w, b, i)
+					}
+				} else if bit {
+					t.Fatalf("spare bit %d set beyond Len %d", i, v.Len())
+				}
+			}
+			if v.OnesInWord(w) != bits.OnesCount64(word) {
+				t.Fatalf("OnesInWord(%d) mismatch", w)
+			}
+			total += v.OnesInWord(w)
+		}
+		if total != v.Count() {
+			t.Fatalf("sum of OnesInWord %d != Count %d", total, v.Count())
+		}
+		if got, want := v.OnesInto(nil), onesPerBit(v); !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("OnesInto %v != per-bit ones %v", got, want)
+		}
+		// CopyFrom round-trips through a dirty destination.
+		dst := New(v.Len())
+		for i := 0; i < dst.Len(); i += 2 {
+			dst.Set(i, true)
+		}
+		dst.CopyFrom(v)
+		if !dst.Equal(v) {
+			t.Fatalf("CopyFrom: %s != %s", dst, v)
+		}
+	})
+}

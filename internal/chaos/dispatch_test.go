@@ -1,0 +1,43 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelPoolDispatchBitIdentical runs one seeded chaos schedule
+// twice — sequential data plane vs speculative parallel replica
+// dispatch — and requires bit-identical reports: same round records,
+// same ledger, same regressions. Parallelism must only change
+// wall-clock time, never a trajectory.
+func TestParallelPoolDispatchBitIdentical(t *testing.T) {
+	cfg := baseConfig(2026)
+	events := mustSchedule(t, cfg)
+
+	seq, err := Run(buildColumnsort, events, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pcfg := cfg
+	pcfg.Pool.Parallel = 4
+	par, err := Run(buildColumnsort, events, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(par.Rounds) != len(seq.Rounds) {
+		t.Fatalf("%d rounds vs %d", len(par.Rounds), len(seq.Rounds))
+	}
+	for i := range seq.Rounds {
+		if !reflect.DeepEqual(par.Rounds[i], seq.Rounds[i]) {
+			t.Fatalf("round %d diverges:\npar %+v\nseq %+v", i, par.Rounds[i], seq.Rounds[i])
+		}
+	}
+	if !reflect.DeepEqual(par.Regressions, seq.Regressions) {
+		t.Fatalf("regressions diverge:\npar %+v\nseq %+v", par.Regressions, seq.Regressions)
+	}
+	if !reflect.DeepEqual(par.Schedule, seq.Schedule) {
+		t.Fatal("schedules diverge")
+	}
+}

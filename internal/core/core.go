@@ -148,10 +148,11 @@ func (s *PerfectSwitch) Outputs() int { return s.m }
 
 // Route implements Concentrator.
 func (s *PerfectSwitch) Route(valid *bitvec.Vector) ([]int, error) {
-	if err := checkValid(valid, s.n); err != nil {
+	out := make([]int, s.n)
+	if err := s.RouteInto(out, valid); err != nil {
 		return nil, err
 	}
-	return s.p.Setup(valid)
+	return out, nil
 }
 
 // EpsilonBound implements Concentrator: a hyperconcentrator fully sorts
@@ -201,18 +202,9 @@ func (s *Crossbar) Outputs() int { return s.m }
 // Route implements Concentrator: greedy crosspoint assignment, which
 // for concentration equals the stable hyperconcentrator route.
 func (s *Crossbar) Route(valid *bitvec.Vector) ([]int, error) {
-	if err := checkValid(valid, s.n); err != nil {
-		return nil, err
-	}
 	out := make([]int, s.n)
-	next := 0
-	for i := 0; i < s.n; i++ {
-		if valid.Get(i) && next < s.m {
-			out[i] = next
-			next++
-		} else {
-			out[i] = -1
-		}
+	if err := s.RouteInto(out, valid); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -247,6 +239,8 @@ type RevsortSwitch struct {
 	// plane holds the live chip faults injected into the switch (nil
 	// when healthy); see faultplane.go.
 	plane *FaultPlane
+	// scratch pools the word-parallel kernel state (kernel.go).
+	scratch routeScratch
 }
 
 // NewRevsortSwitch builds the switch. n must be a perfect square with
@@ -277,9 +271,16 @@ func (s *RevsortSwitch) Side() int { return s.side }
 // Route implements Concentrator. With a fault plane installed the
 // route reflects the injected chip failures.
 func (s *RevsortSwitch) Route(valid *bitvec.Vector) ([]int, error) {
-	if s.plane.Len() > 0 {
-		return s.RouteWithPlane(valid, s.plane)
+	out := make([]int, s.n)
+	if err := s.RouteInto(out, valid); err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// routeTracker is the legacy per-bit tracker pipeline, retained as the
+// reference implementation for the kernel's equivalence tests.
+func (s *RevsortSwitch) routeTracker(valid *bitvec.Vector) ([]int, error) {
 	if err := checkValid(valid, s.n); err != nil {
 		return nil, err
 	}
@@ -346,6 +347,8 @@ type ColumnsortSwitch struct {
 	// plane holds the live chip faults injected into the switch (nil
 	// when healthy); see faultplane.go.
 	plane *FaultPlane
+	// scratch pools the word-parallel kernel state (kernel.go).
+	scratch routeScratch
 }
 
 // NewColumnsortSwitch builds the switch for an explicit r×s shape.
@@ -409,9 +412,16 @@ func (c *ColumnsortSwitch) Shape() (r, s int) { return c.r, c.s }
 // Route implements Concentrator. With a fault plane installed the
 // route reflects the injected chip failures.
 func (c *ColumnsortSwitch) Route(valid *bitvec.Vector) ([]int, error) {
-	if c.plane.Len() > 0 {
-		return c.RouteWithPlane(valid, c.plane)
+	out := make([]int, c.n)
+	if err := c.RouteInto(out, valid); err != nil {
+		return nil, err
 	}
+	return out, nil
+}
+
+// routeTracker is the legacy per-bit tracker pipeline, retained as the
+// reference implementation for the kernel's equivalence tests.
+func (c *ColumnsortSwitch) routeTracker(valid *bitvec.Vector) ([]int, error) {
 	if err := checkValid(valid, c.n); err != nil {
 		return nil, err
 	}

@@ -21,6 +21,8 @@ import (
 type FullRevsortHyper struct {
 	n, m, side int
 	lastStages int
+	// scratch pools the word-parallel kernel state (kernel.go).
+	scratch routeScratch
 }
 
 // NewFullRevsortHyper builds the switch; n must be a perfect square
@@ -49,6 +51,16 @@ func (s *FullRevsortHyper) Outputs() int { return s.m }
 // Route implements Concentrator: it fully sorts the valid bits, so the
 // k messages exit on the first k row-major outputs.
 func (s *FullRevsortHyper) Route(valid *bitvec.Vector) ([]int, error) {
+	out := make([]int, s.n)
+	if err := s.RouteInto(out, valid); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// routeTracker is the legacy per-bit tracker pipeline, retained as the
+// reference implementation for the kernel's equivalence tests.
+func (s *FullRevsortHyper) routeTracker(valid *bitvec.Vector) ([]int, error) {
 	if err := checkValid(valid, s.n); err != nil {
 		return nil, err
 	}
@@ -159,6 +171,8 @@ func (s *FullRevsortHyper) DataPinsPerChip() int {
 // sorts column-major).
 type FullColumnsortHyper struct {
 	n, m, r, s int
+	// scratch pools the word-parallel kernel state (kernel.go).
+	scratch routeScratch
 }
 
 // NewFullColumnsortHyper builds the switch. Requires s | r and
@@ -189,6 +203,16 @@ func (c *FullColumnsortHyper) Outputs() int { return c.m }
 // Route implements Concentrator: the k valid messages exit on the first
 // k column-major outputs.
 func (c *FullColumnsortHyper) Route(valid *bitvec.Vector) ([]int, error) {
+	out := make([]int, c.n)
+	if err := c.RouteInto(out, valid); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// routeTracker is the legacy per-bit tracker pipeline, retained as the
+// reference implementation for the kernel's equivalence tests.
+func (c *FullColumnsortHyper) routeTracker(valid *bitvec.Vector) ([]int, error) {
 	if err := checkValid(valid, c.n); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,662 @@
+package core
+
+// kernel.go is the word-parallel routing kernel. The legacy tracker
+// (tracker.go) simulates a stage by scanning every matrix cell one at a
+// time and allocating per stage; the kernel instead tracks only the k
+// live messages' coordinates and reconstructs each stage's 0/1 matrix
+// as packed words (mesh.BitMatrix). A hyperconcentrator stage then
+// costs one word-parallel plane rebuild plus a TrailingZeros64 sweep
+// that hands out ranks in port order — O(n/64 + k) per stage instead of
+// O(n) cell scans — and the whole Route path performs zero heap
+// allocations in steady state (scratch is pooled per switch).
+//
+// Scratch-buffer ownership rules (see DESIGN.md §14): a kscratch is
+// owned by exactly one Route call between get and put; switches hand
+// them out through a sync.Pool so concurrent Route calls on one switch
+// remain safe; dst is caller-owned and only written.
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/mesh"
+)
+
+// RouterInto is implemented by every switch in this package: RouteInto
+// is Route writing into a caller-owned dst of length Inputs(),
+// performing no heap allocations in steady state (healthy switch, no
+// fault plane).
+type RouterInto interface {
+	Concentrator
+	RouteInto(dst []int, valid *bitvec.Vector) error
+}
+
+func checkDst(dst []int, n int) error {
+	if len(dst) != n {
+		return fmt.Errorf("core: RouteInto dst length %d on an %d-input switch", len(dst), n)
+	}
+	return nil
+}
+
+// copyRouting copies a fault-plane route into dst (the plane path keeps
+// the allocating tracker pipeline; only the healthy path is hot).
+func copyRouting(dst, src []int, n int) error {
+	if err := checkDst(dst, n); err != nil {
+		return err
+	}
+	copy(dst, src)
+	return nil
+}
+
+// kscratch is the reusable state of one in-flight kernel route: the
+// tracked messages, the cell→message index map, and the packed bit
+// planes for column- and row-oriented stages.
+type kscratch struct {
+	rows, cols int
+	colSh      int             // log2(cols) when cols is a power of two, else −1
+	rowSh      int             // log2(rows) when rows is a power of two, else −1
+	ids        []int32         // ids[t] = switch input that injected message t
+	pos        []int32         // pos[t] = current row-major cell of message t
+	cell       []int32         // cell index → t; valid only where a plane bit is set
+	rev        []int32         // cached Rev(i, q) per row (Revsort rotations)
+	cnt        []int32         // per-column scratch: heights after colSort, cursors in colSortSorted
+	neg        []int           // len n, all −1: memcpy'd into dst to reset the scatter
+	planeT     *mesh.BitMatrix // transposed plane (cols×rows): column ops
+	planeR     *mesh.BitMatrix // row-major plane (rows×cols): row ops, snake checks
+	planeP     *mesh.BitMatrix // padded transposed plane ((s+1)×r), Columnsort steps 6–8
+	k          int
+}
+
+// pow2Shift returns log2(v) when v > 0 is a power of two, else −1. The
+// stage loops run a divide per live message per stage; every Revsort
+// side and beta Columnsort shape is a power of two, so the shift/mask
+// fast paths carry essentially all real traffic.
+func pow2Shift(v int) int {
+	if v&(v-1) == 0 {
+		return bits.TrailingZeros(uint(v))
+	}
+	return -1
+}
+
+func newKscratch(rows, cols, padCols int) *kscratch {
+	n := rows * cols
+	cellLen := n
+	if padCols > 0 {
+		cellLen = rows * padCols
+	}
+	ks := &kscratch{
+		rows: rows, cols: cols,
+		colSh:  pow2Shift(cols),
+		rowSh:  pow2Shift(rows),
+		ids:    make([]int32, n),
+		pos:    make([]int32, n),
+		cell:   make([]int32, cellLen),
+		rev:    make([]int32, rows),
+		cnt:    make([]int32, cols),
+		neg:    make([]int, n),
+		planeT: mesh.NewBitMatrix(cols, rows),
+		planeR: mesh.NewBitMatrix(rows, cols),
+	}
+	for i := range ks.neg {
+		ks.neg[i] = -1
+	}
+	if padCols > 0 {
+		ks.planeP = mesh.NewBitMatrix(padCols, rows)
+	}
+	return ks
+}
+
+// splitCols splits a row-major index into (row, col).
+func (ks *kscratch) splitCols(x int) (int, int) {
+	if sh := ks.colSh; sh >= 0 {
+		return x >> sh, x & (ks.cols - 1)
+	}
+	return x / ks.cols, x % ks.cols
+}
+
+// splitRows returns (x%rows, x/rows) — the column-major coordinates of
+// linear index x.
+func (ks *kscratch) splitRows(x int) (int, int) {
+	if sh := ks.rowSh; sh >= 0 {
+		return x & (ks.rows - 1), x >> sh
+	}
+	return x % ks.rows, x / ks.rows
+}
+
+// routeScratch pools kscratch instances for one switch shape. The zero
+// value is ready for use as a struct field.
+type routeScratch struct {
+	pool sync.Pool
+}
+
+func (rs *routeScratch) get(rows, cols, padCols int) *kscratch {
+	if v := rs.pool.Get(); v != nil {
+		return v.(*kscratch)
+	}
+	return newKscratch(rows, cols, padCols)
+}
+
+func (rs *routeScratch) put(ks *kscratch) { rs.pool.Put(ks) }
+
+// load captures the valid messages: message t's id is the t-th set
+// input, its starting cell the row-major cell with that index.
+func (ks *kscratch) load(valid *bitvec.Vector) {
+	t := 0
+	for wi, w := range valid.Words() {
+		base := wi << 6
+		for w != 0 {
+			x := int32(base + bits.TrailingZeros64(w))
+			w &= w - 1
+			ks.ids[t] = x
+			ks.pos[t] = x
+			t++
+		}
+	}
+	ks.k = t
+}
+
+// colSort runs one stage of column-assigned hyperconcentrator chips:
+// every message's new row is its port-order rank within its column.
+// The transposed plane makes each column a contiguous word run.
+func (ks *kscratch) colSort() {
+	rows, cols, k := ks.rows, ks.cols, ks.k
+	pt := ks.planeT
+	pt.Reset()
+	words, wpr := pt.Words(), pt.WordsPerRow()
+	cell, pos := ks.cell, ks.pos
+	if sh := ks.colSh; sh >= 0 {
+		mask := cols - 1
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			i, j := x>>sh, x&mask
+			words[j*wpr+i>>6] |= 1 << uint(i&63)
+			cell[j*rows+i] = int32(t)
+		}
+	} else {
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			i, j := x/cols, x%cols
+			words[j*wpr+i>>6] |= 1 << uint(i&63)
+			cell[j*rows+i] = int32(t)
+		}
+	}
+	c32 := int32(cols)
+	cnt := ks.cnt
+	for j := 0; j < cols; j++ {
+		cbase := j * rows
+		p := int32(j)
+		c := int32(0)
+		for w, word := range words[j*wpr : j*wpr+wpr] {
+			base := w << 6
+			c += int32(bits.OnesCount64(word))
+			for word != 0 {
+				i := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				pos[cell[cbase+i]] = p
+				p += c32
+			}
+		}
+		cnt[j] = c // column height, read by snakeSortedColumns
+	}
+}
+
+// colSortSorted is colSort for the first stage after load, where pos is
+// strictly increasing in t: within each column the messages already
+// appear in port order, so ranks are running per-column cursors and no
+// plane build or rank sweep is needed. Unlike colSort it leaves ks.cnt
+// holding position cursors, not heights — snakeSortedColumns must not
+// follow it directly.
+func (ks *kscratch) colSortSorted() {
+	cols, k := ks.cols, ks.k
+	pos, cnt := ks.pos, ks.cnt
+	c32 := int32(cols)
+	for j := 0; j < cols; j++ {
+		cnt[j] = int32(j)
+	}
+	if sh := ks.colSh; sh >= 0 {
+		mask := cols - 1
+		for t := 0; t < k; t++ {
+			j := int(pos[t]) & mask
+			pos[t] = cnt[j]
+			cnt[j] += c32
+		}
+	} else {
+		for t := 0; t < k; t++ {
+			j := int(pos[t]) % cols
+			pos[t] = cnt[j]
+			cnt[j] += c32
+		}
+	}
+}
+
+// rowSort runs one stage of row-assigned chips. With snake set, odd
+// rows concentrate rightward (their port wiring mirrored), as in the
+// Shearsort stacks of §6.
+func (ks *kscratch) rowSort(snake bool) {
+	rows, cols, k := ks.rows, ks.cols, ks.k
+	pr := ks.planeR
+	pr.Reset()
+	words, wpr := pr.Words(), pr.WordsPerRow()
+	cell, pos := ks.cell, ks.pos
+	if sh := ks.colSh; sh >= 0 {
+		mask := cols - 1
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			j := x & mask
+			words[(x>>sh)*wpr+j>>6] |= 1 << uint(j&63)
+			cell[x] = int32(t)
+		}
+	} else {
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			j := x % cols
+			words[(x/cols)*wpr+j>>6] |= 1 << uint(j&63)
+			cell[x] = int32(t)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		shift := 0
+		if snake && i%2 == 1 {
+			shift = cols - pr.RowOnes(i)
+		}
+		rbase := i * cols
+		p := int32(rbase + shift)
+		for w, word := range words[i*wpr : i*wpr+wpr] {
+			base := w << 6
+			for word != 0 {
+				j := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				pos[cell[rbase+j]] = p
+				p++
+			}
+		}
+	}
+}
+
+// rotateRev applies the hardwired stage-2 barrel shifters: row i
+// rotates right by Rev(i, q) places — pure position arithmetic.
+func (ks *kscratch) rotateRev(q int) {
+	cols, k := ks.cols, ks.k
+	rev, pos := ks.rev, ks.pos
+	for i := 0; i < ks.rows; i++ {
+		rev[i] = int32(mesh.Rev(i, q))
+	}
+	if sh := ks.colSh; sh >= 0 {
+		// cols is a power of two, so the row base i·cols survives the
+		// mask untouched: new pos = (x &^ mask) | (x + rev[i]) & mask.
+		mask := cols - 1
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			pos[t] = int32(x&^mask | (x+int(rev[x>>sh]))&mask)
+		}
+	} else {
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			i, j := x/cols, x%cols
+			j += int(rev[i])
+			if j >= cols {
+				j -= cols
+			}
+			pos[t] = int32(i*cols + j)
+		}
+	}
+}
+
+// colSortSortedCM fuses colSortSorted with the Columnsort CM→RM
+// rewiring that always follows it (step 1 + step 2): the message with
+// in-column rank c in column j has column-major index c·cols + j, which
+// the rewiring sends to row-major index rows·j + c — so the per-column
+// cursor simply starts at rows·j and counts up by one.
+func (ks *kscratch) colSortSortedCM() {
+	rows, cols, k := ks.rows, ks.cols, ks.k
+	pos, cnt := ks.pos, ks.cnt
+	for j := 0; j < cols; j++ {
+		cnt[j] = int32(rows * j)
+	}
+	if sh := ks.colSh; sh >= 0 {
+		mask := cols - 1
+		for t := 0; t < k; t++ {
+			j := int(pos[t]) & mask
+			pos[t] = cnt[j]
+			cnt[j]++
+		}
+	} else {
+		for t := 0; t < k; t++ {
+			j := int(pos[t]) % cols
+			pos[t] = cnt[j]
+			cnt[j]++
+		}
+	}
+}
+
+// reshapeCMtoRM applies the Columnsort step-2 wiring: the element with
+// column-major index x moves to row-major index x.
+func (ks *kscratch) reshapeCMtoRM() {
+	rows, cols, k := ks.rows, ks.cols, ks.k
+	pos := ks.pos
+	if sh := ks.colSh; sh >= 0 {
+		mask := cols - 1
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			pos[t] = int32(rows*(x&mask) + x>>sh)
+		}
+	} else {
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			pos[t] = int32(rows*(x%cols) + x/cols)
+		}
+	}
+}
+
+// reshapeRMtoCM is the inverse wiring (Columnsort step 4).
+func (ks *kscratch) reshapeRMtoCM() {
+	rows, cols, k := ks.rows, ks.cols, ks.k
+	pos := ks.pos
+	if sh := ks.rowSh; sh >= 0 {
+		mask := rows - 1
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			pos[t] = int32((x&mask)*cols + x>>sh)
+		}
+	} else {
+		for t := 0; t < k; t++ {
+			x := int(pos[t])
+			pos[t] = int32((x%rows)*cols + x/rows)
+		}
+	}
+}
+
+// snakeSortedColumns is the Shearsort termination test (are the valid
+// bits sorted in snake order?) evaluated in O(cols) from the column
+// heights the immediately preceding colSort recorded in ks.cnt. A
+// column-sorted plane is top-justified, so it is snake-sorted iff the
+// heights differ by at most one and the tall columns run contiguously
+// from the single mixed row's traversal origin (left end for an even
+// row, right end for an odd row). Valid only directly after colSort.
+func (ks *kscratch) snakeSortedColumns() bool {
+	cols, cnt := ks.cols, ks.cnt
+	hmin, hmax := cnt[0], cnt[0]
+	for j := 1; j < cols; j++ {
+		c := cnt[j]
+		if c < hmin {
+			hmin = c
+		}
+		if c > hmax {
+			hmax = c
+		}
+	}
+	switch {
+	case hmax == hmin:
+		return true
+	case hmax-hmin > 1:
+		return false
+	}
+	// One mixed row at i = hmin holds 1s exactly in the tall columns.
+	if hmin%2 == 0 {
+		j := 0
+		for ; j < cols && cnt[j] == hmax; j++ {
+		}
+		for ; j < cols; j++ {
+			if cnt[j] == hmax {
+				return false
+			}
+		}
+	} else {
+		j := cols - 1
+		for ; j >= 0 && cnt[j] == hmax; j-- {
+		}
+		for ; j >= 0; j-- {
+			if cnt[j] == hmax {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sortedPrefix reports whether the k messages occupy exactly the first
+// k row-major cells (the hyperconcentrator postcondition). Positions
+// are distinct, so max(pos) < k is equivalent.
+func (ks *kscratch) sortedPrefix() bool {
+	for t := 0; t < ks.k; t++ {
+		if int(ks.pos[t]) >= ks.k {
+			return false
+		}
+	}
+	return true
+}
+
+// scatter writes the routing: dst[id] = final position if < m, else −1
+// (the message fell off the first-m output prefix).
+func (ks *kscratch) scatter(dst []int, m int) {
+	copy(dst, ks.neg) // one memmove beats a −1 fill loop
+	for t := 0; t < ks.k; t++ {
+		if x := int(ks.pos[t]); x < m {
+			dst[ks.ids[t]] = x
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Per-switch kernels.
+
+// RouteInto implements RouterInto: the single chip's word-parallel
+// setup kernel.
+func (s *PerfectSwitch) RouteInto(dst []int, valid *bitvec.Vector) error {
+	if err := checkValid(valid, s.n); err != nil {
+		return err
+	}
+	if err := checkDst(dst, s.n); err != nil {
+		return err
+	}
+	return s.p.SetupInto(dst, valid)
+}
+
+// RouteInto implements RouterInto: greedy crosspoint assignment, which
+// for concentration equals the stable rank scatter capped at m.
+func (s *Crossbar) RouteInto(dst []int, valid *bitvec.Vector) error {
+	if err := checkValid(valid, s.n); err != nil {
+		return err
+	}
+	if err := checkDst(dst, s.n); err != nil {
+		return err
+	}
+	for i := range dst {
+		dst[i] = -1
+	}
+	next := 0
+	for wi, w := range valid.Words() {
+		base := wi << 6
+		for w != 0 && next < s.m {
+			dst[base+bits.TrailingZeros64(w)] = next
+			next++
+			w &= w - 1
+		}
+		if next >= s.m {
+			break
+		}
+	}
+	return nil
+}
+
+// RouteInto implements RouterInto with the word-parallel kernel
+// (Algorithm 1's three chip stages plus the barrel shifters). With a
+// fault plane installed it falls back to the tracker pipeline.
+func (s *RevsortSwitch) RouteInto(dst []int, valid *bitvec.Vector) error {
+	if s.plane.Len() > 0 {
+		out, err := s.RouteWithPlane(valid, s.plane)
+		if err != nil {
+			return err
+		}
+		return copyRouting(dst, out, s.n)
+	}
+	if err := checkValid(valid, s.n); err != nil {
+		return err
+	}
+	if err := checkDst(dst, s.n); err != nil {
+		return err
+	}
+	ks := s.scratch.get(s.side, s.side, 0)
+	defer s.scratch.put(ks)
+	ks.load(valid)
+	ks.colSortSorted()           // stage 1 chips (input is in port order)
+	ks.rowSort(false)            // stage 2 chips
+	ks.rotateRev(ceilLg(s.side)) // stage 2 barrel shifters (hardwired)
+	ks.colSort()                 // stage 3 chips
+	ks.scatter(dst, s.m)
+	return nil
+}
+
+// RouteInto implements RouterInto with the word-parallel kernel
+// (Algorithm 2's two chip stages and the interstage wiring). With a
+// fault plane installed it falls back to the tracker pipeline.
+func (c *ColumnsortSwitch) RouteInto(dst []int, valid *bitvec.Vector) error {
+	if c.plane.Len() > 0 {
+		out, err := c.RouteWithPlane(valid, c.plane)
+		if err != nil {
+			return err
+		}
+		return copyRouting(dst, out, c.n)
+	}
+	if err := checkValid(valid, c.n); err != nil {
+		return err
+	}
+	if err := checkDst(dst, c.n); err != nil {
+		return err
+	}
+	ks := c.scratch.get(c.r, c.s, 0)
+	defer c.scratch.put(ks)
+	ks.load(valid)
+	ks.colSortSortedCM() // stage 1 chips + interstage wiring (RM⁻¹ ∘ CM)
+	ks.colSort()         // stage 2 chips
+	ks.scatter(dst, c.m)
+	return nil
+}
+
+// RouteInto implements RouterInto: the full Revsort phases, Shearsort
+// cleanup, and final row sort, all on the word kernel.
+func (s *FullRevsortHyper) RouteInto(dst []int, valid *bitvec.Vector) error {
+	if err := checkValid(valid, s.n); err != nil {
+		return err
+	}
+	if err := checkDst(dst, s.n); err != nil {
+		return err
+	}
+	ks := s.scratch.get(s.side, s.side, 0)
+	defer s.scratch.put(ks)
+	ks.load(valid)
+	q := ceilLg(s.side)
+	stages := 0
+	phases := mesh.RevsortPhaseCount(s.side)
+	for p := 0; p < phases; p++ {
+		if p == 0 {
+			ks.colSortSorted() // input is in port order
+		} else {
+			ks.colSort()
+		}
+		ks.rowSort(false)
+		ks.rotateRev(q)
+		stages += 2
+	}
+	ks.colSort()
+	stages++
+	// Every snake check directly follows a colSort, so the O(cols)
+	// column-heights test applies.
+	for iter := 0; iter < s.side+3 && !ks.snakeSortedColumns(); iter++ {
+		ks.rowSort(true)
+		ks.colSort()
+		stages += 2
+	}
+	ks.rowSort(false)
+	stages++
+	s.lastStages = stages
+	// Hyperconcentrator postcondition: the valid bits are fully sorted.
+	if !ks.sortedPrefix() {
+		return fmt.Errorf("core: full Revsort did not fully sort (internal error)")
+	}
+	ks.scatter(dst, s.m)
+	return nil
+}
+
+// RouteInto implements RouterInto: all eight Columnsort steps on the
+// word kernel. The steps 6–8 pads never enter the plane — because the
+// r/2 always-valid dummies occupy the lowest ports of padded column 0,
+// a stable chip gives them ranks [0, r/2) and every real message in
+// that column simply starts ranking at r/2.
+func (c *FullColumnsortHyper) RouteInto(dst []int, valid *bitvec.Vector) error {
+	if err := checkValid(valid, c.n); err != nil {
+		return err
+	}
+	if err := checkDst(dst, c.n); err != nil {
+		return err
+	}
+	r, s := c.r, c.s
+	ks := c.scratch.get(r, s, s+1)
+	defer c.scratch.put(ks)
+	ks.load(valid)
+	// Steps 1–5 (1+2 fused: the input is in port order).
+	ks.colSortSortedCM()
+	ks.colSort()
+	ks.reshapeRMtoCM()
+	ks.colSort()
+	// Steps 6–8: shift by h = r/2 in column-major order, sort the
+	// padded r×(s+1) mesh's columns, unshift.
+	h := r / 2
+	pp := ks.planeP
+	pp.Reset()
+	words, wpr := pp.Words(), pp.WordsPerRow()
+	for t := 0; t < ks.k; t++ {
+		x := int(ks.pos[t])
+		i, j := ks.splitCols(x) // r×s row-major coordinates
+		u := h + (r*j + i)      // padded column-major index
+		pi, pj := ks.splitRows(u)
+		words[pj*wpr+pi>>6] |= 1 << uint(pi&63)
+		ks.cell[pj*r+pi] = int32(t)
+	}
+	for pj := 0; pj <= s; pj++ {
+		cbase := pj * r
+		// Positions run pj·r + rank − h with rank starting at h for the
+		// padded column 0 (the dummies hold its first h output ports).
+		p := int32(cbase - h)
+		if pj == 0 {
+			p = 0
+		}
+		for w, word := range words[pj*wpr : pj*wpr+wpr] {
+			base := w << 6
+			for word != 0 {
+				pi := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				// Unshift: padded CM index back to data CM index.
+				ks.pos[ks.cell[cbase+pi]] = p
+				p++
+			}
+		}
+	}
+	// Internal check: the valid bits are fully sorted column-major.
+	if !ks.sortedPrefix() {
+		return fmt.Errorf("core: full Columnsort did not fully sort (internal error)")
+	}
+	// pos now holds column-major output indices; scatter directly.
+	ks.scatter(dst, c.m)
+	return nil
+}
+
+// TrackerRoute routes via the legacy per-bit tracker pipeline — the
+// word kernel's reference implementation — kept exported for
+// equivalence testing and before/after benchmarking. Switch types
+// without a tracker pipeline fall back to Route.
+func TrackerRoute(sw Concentrator, valid *bitvec.Vector) ([]int, error) {
+	switch s := sw.(type) {
+	case *RevsortSwitch:
+		return s.routeTracker(valid)
+	case *ColumnsortSwitch:
+		return s.routeTracker(valid)
+	case *FullRevsortHyper:
+		return s.routeTracker(valid)
+	case *FullColumnsortHyper:
+		return s.routeTracker(valid)
+	}
+	return sw.Route(valid)
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+)
+
+func randomValidVec(rng *rand.Rand, n int, load float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < load {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func requireSameRoute(t *testing.T, tag string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d != %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: route[%d] = %d, want %d\ngot  %v\nwant %v", tag, i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestKernelEquivalenceRevsort drives the word-parallel kernel against
+// the legacy tracker pipeline over random valid vectors.
+func TestKernelEquivalenceRevsort(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{4, 16, 64, 256, 1024} {
+		for trial := 0; trial < 30; trial++ {
+			m := 1 + rng.Intn(n)
+			sw, err := NewRevsortSwitch(n, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := randomValidVec(rng, n, rng.Float64())
+			want, err := sw.routeTracker(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]int, n)
+			if err := sw.RouteInto(got, v); err != nil {
+				t.Fatal(err)
+			}
+			requireSameRoute(t, "revsort", got, want)
+		}
+	}
+}
+
+func TestKernelEquivalenceColumnsort(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	shapes := []struct{ r, s int }{{2, 1}, {4, 2}, {8, 2}, {16, 4}, {9, 3}, {64, 8}, {100, 10}}
+	for _, sh := range shapes {
+		n := sh.r * sh.s
+		for trial := 0; trial < 30; trial++ {
+			m := 1 + rng.Intn(n)
+			sw, err := NewColumnsortSwitch(sh.r, sh.s, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := randomValidVec(rng, n, rng.Float64())
+			want, err := sw.routeTracker(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]int, n)
+			if err := sw.RouteInto(got, v); err != nil {
+				t.Fatal(err)
+			}
+			requireSameRoute(t, "columnsort", got, want)
+		}
+	}
+}
+
+func TestKernelEquivalenceFullRevsort(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for _, n := range []int{4, 16, 64, 256} {
+		for trial := 0; trial < 20; trial++ {
+			m := 1 + rng.Intn(n)
+			sw, err := NewFullRevsortHyper(n, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := randomValidVec(rng, n, rng.Float64())
+			want, err := sw.routeTracker(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantStages := sw.StagesLastRoute()
+			got := make([]int, n)
+			if err := sw.RouteInto(got, v); err != nil {
+				t.Fatal(err)
+			}
+			requireSameRoute(t, "full-revsort", got, want)
+			if sw.StagesLastRoute() != wantStages {
+				t.Fatalf("kernel used %d stages, tracker %d", sw.StagesLastRoute(), wantStages)
+			}
+		}
+	}
+}
+
+func TestKernelEquivalenceFullColumnsort(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	shapes := []struct{ r, s int }{{2, 1}, {4, 2}, {8, 2}, {32, 4}, {64, 4}, {50, 5}}
+	for _, sh := range shapes {
+		n := sh.r * sh.s
+		for trial := 0; trial < 20; trial++ {
+			m := 1 + rng.Intn(n)
+			sw, err := NewFullColumnsortHyper(sh.r, sh.s, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := randomValidVec(rng, n, rng.Float64())
+			want, err := sw.routeTracker(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]int, n)
+			if err := sw.RouteInto(got, v); err != nil {
+				t.Fatal(err)
+			}
+			requireSameRoute(t, "full-columnsort", got, want)
+		}
+	}
+}
+
+func TestKernelEquivalencePerfectAndCrossbar(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(200)
+		m := 1 + rng.Intn(n)
+		v := randomValidVec(rng, n, rng.Float64())
+
+		// Per-bit reference: rank order with the first m outputs kept.
+		want := make([]int, n)
+		rank := 0
+		for i := 0; i < n; i++ {
+			want[i] = -1
+			if v.Get(i) {
+				if rank < m {
+					want[i] = rank
+				}
+				rank++
+			}
+		}
+
+		ps, err := NewPerfectSwitch(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int, n)
+		if err := ps.RouteInto(got, v); err != nil {
+			t.Fatal(err)
+		}
+		requireSameRoute(t, "perfect", got, want)
+
+		cb, err := NewCrossbar(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cb.RouteInto(got, v); err != nil {
+			t.Fatal(err)
+		}
+		requireSameRoute(t, "crossbar", got, want)
+	}
+}
+
+// TestRouteMatchesRouteInto pins that the allocating Route facade and
+// RouteInto agree for every switch type behind the RouterInto interface.
+func TestRouteMatchesRouteInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	switches := []RouterInto{
+		mustSwitch(NewPerfectSwitch(64, 48)),
+		mustSwitch(NewCrossbar(64, 48)),
+		mustSwitch(NewRevsortSwitch(64, 48)),
+		mustSwitch(NewColumnsortSwitch(16, 4, 48)),
+		mustSwitch(NewFullRevsortHyper(64, 64)),
+		mustSwitch(NewFullColumnsortHyper(32, 2, 64)),
+	}
+	for _, sw := range switches {
+		for trial := 0; trial < 10; trial++ {
+			v := randomValidVec(rng, sw.Inputs(), rng.Float64())
+			want, err := sw.Route(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make([]int, sw.Inputs())
+			if err := sw.RouteInto(got, v); err != nil {
+				t.Fatal(err)
+			}
+			requireSameRoute(t, sw.Name(), got, want)
+		}
+	}
+}
+
+func mustSwitch[T RouterInto](sw T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return sw
+}
+
+// TestRouteIntoPlaneFallback pins that RouteInto with an installed
+// fault plane routes exactly like RouteWithPlane.
+func TestRouteIntoPlaneFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	sw, err := NewRevsortSwitch(64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := NewFaultPlane()
+	plane.Add(ChipFault{Stage: 1, Chip: 3, Mode: ChipDead})
+	sw.SetFaultPlane(plane)
+	defer sw.SetFaultPlane(nil)
+	for trial := 0; trial < 10; trial++ {
+		v := randomValidVec(rng, 64, 0.6)
+		want, err := sw.RouteWithPlane(v, plane)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]int, 64)
+		if err := sw.RouteInto(got, v); err != nil {
+			t.Fatal(err)
+		}
+		requireSameRoute(t, "revsort+plane", got, want)
+	}
+}
+
+// TestRouteIntoZeroAlloc is the allocation-regression satellite for the
+// kernel: healthy-switch RouteInto performs zero heap allocations at
+// n = 4096 for every multichip switch type.
+func TestRouteIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; steady-state allocs are not zero")
+	}
+	rng := rand.New(rand.NewSource(108))
+	switches := []RouterInto{
+		mustSwitch(NewPerfectSwitch(4096, 3072)),
+		mustSwitch(NewCrossbar(4096, 3072)),
+		mustSwitch(NewRevsortSwitch(4096, 3072)),
+		mustSwitch(NewColumnsortSwitchBeta(4096, 3072, 0.75)),
+		mustSwitch(NewFullRevsortHyper(4096, 4096)),
+		mustSwitch(NewFullColumnsortHyper(512, 8, 4096)),
+	}
+	for _, sw := range switches {
+		v := randomValidVec(rng, sw.Inputs(), 0.6)
+		dst := make([]int, sw.Inputs())
+		// Warm the scratch pool before measuring.
+		if err := sw.RouteInto(dst, v); err != nil {
+			t.Fatal(err)
+		}
+		if a := testing.AllocsPerRun(20, func() {
+			if err := sw.RouteInto(dst, v); err != nil {
+				t.Fatal(err)
+			}
+		}); a != 0 {
+			t.Errorf("%s: RouteInto allocated %v times per run", sw.Name(), a)
+		}
+	}
+}
+
+// TestKernelConcurrentRoute checks the sync.Pool scratch keeps
+// concurrent Route calls on one switch safe (run with -race).
+func TestKernelConcurrentRoute(t *testing.T) {
+	sw, err := NewRevsortSwitch(256, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sw.Route(randomValidVec(rand.New(rand.NewSource(9)), 256, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			rng := rand.New(rand.NewSource(9))
+			v := randomValidVec(rng, 256, 0.5)
+			dst := make([]int, 256)
+			for it := 0; it < 50; it++ {
+				if err := sw.RouteInto(dst, v); err != nil {
+					done <- err
+					return
+				}
+			}
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Errorf("concurrent route diverged at %d", i)
+					break
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool deliberately drops items — so
+// zero-allocation assertions over pooled scratch do not hold.
+const raceEnabled = true

@@ -20,6 +20,7 @@ package hyper
 
 import (
 	"fmt"
+	"math/bits"
 
 	"concentrators/internal/banyan"
 	"concentrators/internal/bitvec"
@@ -57,20 +58,38 @@ func (c *Chip) Size() int { return c.n }
 // electrical path is established, or −1 for invalid inputs. The j-th
 // valid input maps to output j−1 (stable concentration).
 func (c *Chip) Setup(valid *bitvec.Vector) ([]int, error) {
-	if valid.Len() != c.n {
-		return nil, fmt.Errorf("hyper: %d valid bits on a %d-input chip", valid.Len(), c.n)
-	}
 	out := make([]int, c.n)
-	rank := 0
-	for i := 0; i < c.n; i++ {
-		if valid.Get(i) {
-			out[i] = rank
-			rank++
-		} else {
-			out[i] = -1
-		}
+	if err := c.SetupInto(out, valid); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// SetupInto is Setup writing into a caller-owned dst of length Size(),
+// with no allocations. The kernel is word-parallel: it walks the valid
+// vector 64 inputs at a time, pays one comparison per all-invalid word,
+// and scatters consecutive ranks onto the set bits of the rest
+// (popcount + prefix-sum per word, then a single scatter pass).
+func (c *Chip) SetupInto(dst []int, valid *bitvec.Vector) error {
+	if valid.Len() != c.n {
+		return fmt.Errorf("hyper: %d valid bits on a %d-input chip", valid.Len(), c.n)
+	}
+	if len(dst) != c.n {
+		return fmt.Errorf("hyper: SetupInto dst length %d on a %d-input chip", len(dst), c.n)
+	}
+	for i := range dst {
+		dst[i] = -1
+	}
+	rank := 0
+	for wi, w := range valid.Words() {
+		base := wi << 6
+		for w != 0 {
+			dst[base+bits.TrailingZeros64(w)] = rank
+			rank++
+			w &= w - 1
+		}
+	}
+	return nil
 }
 
 // SortValidBits returns the valid bits as they appear on the output
@@ -82,6 +101,20 @@ func (c *Chip) SortValidBits(valid *bitvec.Vector) (*bitvec.Vector, error) {
 		return nil, fmt.Errorf("hyper: %d valid bits on a %d-input chip", valid.Len(), c.n)
 	}
 	return valid.Sorted(), nil
+}
+
+// SortValidBitsInto is SortValidBits writing into a caller-owned
+// vector of length Size(), with no allocations: one word-parallel
+// popcount pass and one prefix-mask write.
+func (c *Chip) SortValidBitsInto(dst, valid *bitvec.Vector) error {
+	if valid.Len() != c.n {
+		return fmt.Errorf("hyper: %d valid bits on a %d-input chip", valid.Len(), c.n)
+	}
+	if dst.Len() != c.n {
+		return fmt.Errorf("hyper: SortValidBitsInto dst length %d on a %d-input chip", dst.Len(), c.n)
+	}
+	valid.SortedInto(dst)
+	return nil
 }
 
 // GateDelays returns the number of gate delays a signal incurs through
@@ -124,6 +157,13 @@ func ceilPow2(n int) int {
 type Netlist struct {
 	Net *logic.Net
 	N   int
+
+	// Evaluation scratch, hoisted so steady-state Eval does not
+	// allocate: in holds the 2N input values, raw the 2N raw outputs,
+	// outValid/outPayload the decoded per-call results returned to the
+	// caller.
+	in, raw, outPayload []bool
+	outValid            *bitvec.Vector
 }
 
 // BuildNetlist emits a gate-level n-input hyperconcentrator: a
@@ -179,24 +219,33 @@ func BuildNetlist(n int) (*Netlist, error) {
 // Eval runs the netlist for one cycle: valid bits (held from setup) and
 // the current payload bits go in; the output valid bits and payload
 // bits come out.
+//
+// The returned vector and slice are scratch owned by the Netlist,
+// valid until the next Eval call; callers that retain results across
+// cycles must copy them. Steady-state evaluation performs no heap
+// allocations.
 func (nl *Netlist) Eval(valid *bitvec.Vector, payload []bool) (outValid *bitvec.Vector, outPayload []bool, err error) {
 	if valid.Len() != nl.N || len(payload) != nl.N {
 		return nil, nil, fmt.Errorf("hyper: netlist eval arity mismatch (valid %d, payload %d, want %d)",
 			valid.Len(), len(payload), nl.N)
 	}
-	in := make([]bool, 2*nl.N)
+	if nl.in == nil {
+		nl.in = make([]bool, 2*nl.N)
+		nl.raw = make([]bool, nl.Net.NumOutputs())
+		nl.outPayload = make([]bool, nl.N)
+		nl.outValid = bitvec.New(nl.N)
+	}
+	in := nl.in
 	for i := 0; i < nl.N; i++ {
 		in[i] = valid.Get(i)
 		in[nl.N+i] = payload[i]
 	}
-	raw := nl.Net.Eval(in)
-	outValid = bitvec.New(nl.N)
-	outPayload = make([]bool, nl.N)
+	raw := nl.Net.EvalInto(nl.raw, in)
 	for i := 0; i < nl.N; i++ {
-		outValid.Set(i, raw[2*i])
-		outPayload[i] = raw[2*i+1]
+		nl.outValid.Set(i, raw[2*i])
+		nl.outPayload[i] = raw[2*i+1]
 	}
-	return outValid, outPayload, nil
+	return nl.outValid, nl.outPayload, nil
 }
 
 // Perfect is an n-by-m perfect concentrator switch built, as in §1 of
@@ -230,14 +279,23 @@ func (p *Perfect) Outputs() int { return p.m }
 // if input i is invalid or dropped (when k > m, the excess lowest-
 // priority messages are dropped — they fall off outputs ≥ m).
 func (p *Perfect) Setup(valid *bitvec.Vector) ([]int, error) {
-	out, err := p.chip.Setup(valid)
-	if err != nil {
+	out := make([]int, p.chip.n)
+	if err := p.SetupInto(out, valid); err != nil {
 		return nil, err
 	}
-	for i := range out {
-		if out[i] >= p.m {
-			out[i] = -1
+	return out, nil
+}
+
+// SetupInto is Setup writing into a caller-owned dst of length
+// Inputs(), with no allocations, via the chip's word-parallel kernel.
+func (p *Perfect) SetupInto(dst []int, valid *bitvec.Vector) error {
+	if err := p.chip.SetupInto(dst, valid); err != nil {
+		return err
+	}
+	for i := range dst {
+		if dst[i] >= p.m {
+			dst[i] = -1
 		}
 	}
-	return out, nil
+	return nil
 }

@@ -1,0 +1,179 @@
+package hyper
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+)
+
+// setupPerBit is the legacy bit-at-a-time reference for the word
+// kernel's parity tests.
+func setupPerBit(n int, valid *bitvec.Vector) []int {
+	out := make([]int, n)
+	rank := 0
+	for i := 0; i < n; i++ {
+		if valid.Get(i) {
+			out[i] = rank
+			rank++
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+func randomValid(rng *rand.Rand, n int, load float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < load {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+func TestSetupIntoMatchesPerBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 2, 63, 64, 65, 128, 1000} {
+		c := MustChip(n)
+		dst := make([]int, n)
+		for _, load := range []float64{0, 0.1, 0.5, 0.9, 1} {
+			v := randomValid(rng, n, load)
+			if err := c.SetupInto(dst, v); err != nil {
+				t.Fatal(err)
+			}
+			want := setupPerBit(n, v)
+			for i := range dst {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d load=%v: SetupInto[%d]=%d, want %d", n, load, i, dst[i], want[i])
+				}
+			}
+			// Setup must agree with SetupInto.
+			got, err := c.Setup(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("Setup diverged from per-bit reference at %d", i)
+				}
+			}
+		}
+	}
+	// Arity errors.
+	c := MustChip(8)
+	if err := c.SetupInto(make([]int, 8), bitvec.New(7)); err == nil {
+		t.Fatal("short valid vector not rejected")
+	}
+	if err := c.SetupInto(make([]int, 7), bitvec.New(8)); err == nil {
+		t.Fatal("short dst not rejected")
+	}
+}
+
+func TestPerfectSetupIntoMatchesSetup(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	p, err := NewPerfect(100, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, 100)
+	for trial := 0; trial < 50; trial++ {
+		v := randomValid(rng, 100, rng.Float64())
+		if err := p.SetupInto(dst, v); err != nil {
+			t.Fatal(err)
+		}
+		want, err := p.Setup(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: SetupInto[%d]=%d, want %d", trial, i, dst[i], want[i])
+			}
+			if dst[i] >= 17 {
+				t.Fatalf("output %d ≥ m not clamped", dst[i])
+			}
+		}
+	}
+}
+
+func TestSortValidBitsInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := MustChip(200)
+	dst := bitvec.New(200)
+	for trial := 0; trial < 20; trial++ {
+		v := randomValid(rng, 200, rng.Float64())
+		if err := c.SortValidBitsInto(dst, v); err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.SortValidBits(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dst.Equal(want) {
+			t.Fatalf("trial %d: SortValidBitsInto %s != %s", trial, dst, want)
+		}
+	}
+	if err := c.SortValidBitsInto(bitvec.New(5), bitvec.New(200)); err == nil {
+		t.Fatal("short dst not rejected")
+	}
+}
+
+// TestSetupIntoZeroAlloc pins the tentpole property: the word-parallel
+// setup kernel performs no heap allocations.
+func TestSetupIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	c := MustChip(4096)
+	v := randomValid(rng, 4096, 0.6)
+	dst := make([]int, 4096)
+	if a := testing.AllocsPerRun(50, func() {
+		if err := c.SetupInto(dst, v); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("SetupInto allocated %v times per run", a)
+	}
+	sorted := bitvec.New(4096)
+	if a := testing.AllocsPerRun(50, func() {
+		if err := c.SortValidBitsInto(sorted, v); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("SortValidBitsInto allocated %v times per run", a)
+	}
+}
+
+// TestNetlistEvalReusesScratch is the satellite reuse test: after the
+// first call, Netlist.Eval performs no heap allocations, and the
+// returned scratch is overwritten in place by the next call.
+func TestNetlistEvalReusesScratch(t *testing.T) {
+	nl, err := BuildNetlist(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := bitvec.MustParse("10110100")
+	payload := []bool{true, false, true, true, false, false, true, false}
+	ov1, op1, err := nl.Eval(v, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if _, _, err := nl.Eval(v, payload); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("steady-state Netlist.Eval allocated %v times per run", a)
+	}
+	// The second call must hand back the same scratch, overwritten.
+	ov2, op2, err := nl.Eval(bitvec.MustParse("11111111"), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov1 != ov2 || &op1[0] != &op2[0] {
+		t.Fatal("Eval did not reuse its hoisted scratch buffers")
+	}
+	if ov2.Count() != 8 {
+		t.Fatalf("reused scratch not overwritten: %d valid outputs, want 8", ov2.Count())
+	}
+}

@@ -71,6 +71,11 @@ type Net struct {
 	// memoized structural constants
 	constTrue, constFalse Signal
 	haveTrue, haveFalse   bool
+
+	// vals is the per-gate evaluation scratch, hoisted out of the
+	// evaluation loop so steady-state simulation does not allocate. It
+	// is (re)sized lazily on the first EvalInto after construction.
+	vals []bool
 }
 
 // New returns an empty netlist.
@@ -205,12 +210,27 @@ func (n *Net) OutputNames() []string { return append([]string(nil), n.outName...
 
 // Eval evaluates the netlist on the given input values, which must be
 // in input creation order, and returns the output values in output
-// registration order.
+// registration order. The returned slice is freshly allocated; use
+// EvalInto on hot paths.
 func (n *Net) Eval(in []bool) []bool {
+	return n.EvalInto(make([]bool, len(n.outputs)), in)
+}
+
+// EvalInto is Eval writing the output values into out, which must have
+// length NumOutputs(). The per-gate scratch lives on the Net, so
+// steady-state evaluation performs no allocations. Not safe for
+// concurrent use on one Net.
+func (n *Net) EvalInto(out, in []bool) []bool {
 	if len(in) != len(n.inputs) {
 		panic(fmt.Sprintf("logic: Eval got %d inputs, netlist has %d", len(in), len(n.inputs)))
 	}
-	vals := make([]bool, len(n.gates))
+	if len(out) != len(n.outputs) {
+		panic(fmt.Sprintf("logic: EvalInto got %d output slots, netlist has %d", len(out), len(n.outputs)))
+	}
+	if cap(n.vals) < len(n.gates) {
+		n.vals = make([]bool, len(n.gates))
+	}
+	vals := n.vals[:len(n.gates)]
 	nextIn := 0
 	for i, g := range n.gates {
 		switch g.kind {
@@ -233,7 +253,6 @@ func (n *Net) Eval(in []bool) []bool {
 			panic("logic: unknown gate kind")
 		}
 	}
-	out := make([]bool, len(n.outputs))
 	for i, s := range n.outputs {
 		out[i] = vals[s]
 	}

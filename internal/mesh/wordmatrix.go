@@ -1,0 +1,478 @@
+package mesh
+
+import (
+	"fmt"
+	"math/bits"
+
+	"concentrators/internal/bitvec"
+)
+
+// BitMatrix is a word-packed r×c 0/1 matrix: each row is a run of
+// 64-bit words, so the row/column sorting stages of Revsort and
+// Columnsort run word-parallel (popcount + mask writes) instead of one
+// bit at a time. It mirrors Matrix semantically — "sorted" is
+// NONINCREASING per §2 — and is the routing kernels' scratch substrate:
+// all scratch is preallocated at construction, so the stage operations
+// never allocate.
+//
+// A BitMatrix is not safe for concurrent use; the stage operations
+// share internal scratch buffers.
+type BitMatrix struct {
+	rows, cols int
+	wpr        int      // words per row: ⌈cols/64⌉
+	words      []uint64 // row-major, rows×wpr; bits ≥ cols in a row's last word are zero
+	cnt        []int    // per-column counts scratch (len cols)
+	rowTmp     []uint64 // one-row scratch (len wpr)
+	cellTmp    []uint64 // full-matrix scratch (len rows×wpr)
+}
+
+// NewBitMatrix returns an all-zero rows×cols word-packed matrix.
+// Dimensions must be positive.
+func NewBitMatrix(rows, cols int) *BitMatrix {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("mesh: invalid matrix dimensions %d×%d", rows, cols))
+	}
+	wpr := (cols + 63) / 64
+	return &BitMatrix{
+		rows: rows, cols: cols, wpr: wpr,
+		words:   make([]uint64, rows*wpr),
+		cnt:     make([]int, cols),
+		rowTmp:  make([]uint64, wpr),
+		cellTmp: make([]uint64, rows*wpr),
+	}
+}
+
+// BitMatrixFromMatrix packs a byte-backed Matrix into a BitMatrix.
+func BitMatrixFromMatrix(m *Matrix) *BitMatrix {
+	b := NewBitMatrix(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if m.bits[i*m.cols+j] != 0 {
+				b.Set(i, j, true)
+			}
+		}
+	}
+	return b
+}
+
+// ToMatrix unpacks into a byte-backed Matrix (for parity tests and
+// rendering).
+func (b *BitMatrix) ToMatrix() *Matrix {
+	m := NewMatrix(b.rows, b.cols)
+	for i := 0; i < b.rows; i++ {
+		for j := 0; j < b.cols; j++ {
+			if b.Get(i, j) {
+				m.bits[i*b.cols+j] = 1
+			}
+		}
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (b *BitMatrix) Rows() int { return b.rows }
+
+// Cols returns the number of columns.
+func (b *BitMatrix) Cols() int { return b.cols }
+
+// Row exposes row i's backing words for word-at-a-time consumers (the
+// routing kernels iterate set bits with TrailingZeros64). Callers that
+// write must keep bits ≥ Cols() zero.
+func (b *BitMatrix) Row(i int) []uint64 {
+	return b.words[i*b.wpr : (i+1)*b.wpr]
+}
+
+// Words exposes the full backing array, row-major with WordsPerRow()
+// words per row, so the routing kernels' innermost loops can index it
+// directly instead of paying a bounds-checked method call per bit.
+// Callers that write must keep bits ≥ Cols() in a row's last word zero.
+func (b *BitMatrix) Words() []uint64 { return b.words }
+
+// WordsPerRow returns the backing stride in words: ⌈Cols()/64⌉.
+func (b *BitMatrix) WordsPerRow() int { return b.wpr }
+
+// Get returns the bit at row i, column j.
+func (b *BitMatrix) Get(i, j int) bool {
+	b.check(i, j)
+	return b.words[i*b.wpr+j>>6]&(1<<uint(j&63)) != 0
+}
+
+// Set stores v at row i, column j.
+func (b *BitMatrix) Set(i, j int, v bool) {
+	b.check(i, j)
+	if v {
+		b.words[i*b.wpr+j>>6] |= 1 << uint(j&63)
+	} else {
+		b.words[i*b.wpr+j>>6] &^= 1 << uint(j&63)
+	}
+}
+
+func (b *BitMatrix) check(i, j int) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("mesh: index (%d,%d) out of range %d×%d", i, j, b.rows, b.cols))
+	}
+}
+
+// Reset clears the matrix in place (one memclr, no allocation).
+func (b *BitMatrix) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// LoadRowMajor resets the matrix and sets the bits of v read row-major.
+func (b *BitMatrix) LoadRowMajor(v *bitvec.Vector) error {
+	if v.Len() != b.rows*b.cols {
+		return fmt.Errorf("mesh: vector length %d != %d×%d", v.Len(), b.rows, b.cols)
+	}
+	b.Reset()
+	for wi, w := range v.Words() {
+		base := wi << 6
+		for w != 0 {
+			x := base + bits.TrailingZeros64(w)
+			w &= w - 1
+			b.Set(x/b.cols, x%b.cols, true)
+		}
+	}
+	return nil
+}
+
+// Count returns the number of 1s (word-parallel popcount).
+func (b *BitMatrix) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// RowOnes returns the number of 1s in row i.
+func (b *BitMatrix) RowOnes(i int) int {
+	c := 0
+	for _, w := range b.Row(i) {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Equal reports whether b and o have identical shape and contents.
+func (b *BitMatrix) Equal(o *BitMatrix) bool {
+	if b.rows != o.rows || b.cols != o.cols {
+		return false
+	}
+	for i := range b.words {
+		if b.words[i] != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// writePrefixRow overwrites row i with ones 1s at the left (columns
+// [0, ones)) — the word-parallel form of a nonincreasing row sort.
+func (b *BitMatrix) writePrefixRow(i, ones int) {
+	row := b.Row(i)
+	for w := range row {
+		lo := w << 6
+		switch {
+		case ones >= lo+64:
+			row[w] = ^uint64(0)
+		case ones > lo:
+			row[w] = (1 << uint(ones-lo)) - 1
+		default:
+			row[w] = 0
+		}
+	}
+}
+
+// writeSuffixRow overwrites row i with ones 1s at the right (columns
+// [cols−ones, cols)) — a nondecreasing row sort.
+func (b *BitMatrix) writeSuffixRow(i, ones int) {
+	start := b.cols - ones
+	row := b.Row(i)
+	for w := range row {
+		lo := w << 6
+		hi := lo + 64
+		if hi > b.cols {
+			hi = b.cols
+		}
+		switch {
+		case start <= lo:
+			row[w] = (uint64(1)<<uint(hi-lo) - 1)
+			if hi-lo == 64 {
+				row[w] = ^uint64(0)
+			}
+		case start < hi:
+			var m uint64 = ^uint64(0)
+			if hi-lo < 64 {
+				m = 1<<uint(hi-lo) - 1
+			}
+			row[w] = m &^ (1<<uint(start-lo) - 1)
+		default:
+			row[w] = 0
+		}
+	}
+}
+
+// SortRow sorts row i nonincreasing (1s to the left): one popcount pass
+// and one mask write.
+func (b *BitMatrix) SortRow(i int) { b.writePrefixRow(i, b.RowOnes(i)) }
+
+// SortRowAscending sorts row i nondecreasing (1s to the right).
+func (b *BitMatrix) SortRowAscending(i int) { b.writeSuffixRow(i, b.RowOnes(i)) }
+
+// SortRows sorts every row nonincreasing.
+func (b *BitMatrix) SortRows() {
+	for i := 0; i < b.rows; i++ {
+		b.SortRow(i)
+	}
+}
+
+// SortRowsSnake sorts rows in alternating directions (even rows
+// nonincreasing, odd rows nondecreasing) — one Shearsort row phase.
+func (b *BitMatrix) SortRowsSnake() {
+	for i := 0; i < b.rows; i++ {
+		if i%2 == 0 {
+			b.SortRow(i)
+		} else {
+			b.SortRowAscending(i)
+		}
+	}
+}
+
+// SortColumns sorts every column nonincreasing in one word-parallel
+// sweep: a TrailingZeros64 scan accumulates per-column counts, the
+// matrix is cleared, and each column's leading run is written back.
+// Cost is O(rows·cols/64 + ones), not O(rows·cols).
+func (b *BitMatrix) SortColumns() {
+	cnt := b.cnt
+	for j := range cnt {
+		cnt[j] = 0
+	}
+	for i := 0; i < b.rows; i++ {
+		for w, word := range b.Row(i) {
+			base := w << 6
+			for word != 0 {
+				cnt[base+bits.TrailingZeros64(word)]++
+				word &= word - 1
+			}
+		}
+	}
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	for j, c := range cnt {
+		wo, bit := j>>6, uint64(1)<<uint(j&63)
+		for i := 0; i < c; i++ {
+			b.words[i*b.wpr+wo] |= bit
+		}
+	}
+}
+
+// SortColumn sorts a single column j nonincreasing.
+func (b *BitMatrix) SortColumn(j int) {
+	b.check(0, j)
+	wo, bit := j>>6, uint64(1)<<uint(j&63)
+	ones := 0
+	for i := 0; i < b.rows; i++ {
+		if b.words[i*b.wpr+wo]&bit != 0 {
+			ones++
+		}
+	}
+	for i := 0; i < b.rows; i++ {
+		if i < ones {
+			b.words[i*b.wpr+wo] |= bit
+		} else {
+			b.words[i*b.wpr+wo] &^= bit
+		}
+	}
+}
+
+// RotateRowRight cyclically rotates row i by k places to the right
+// using word shifts: the row, read as a cols-bit field, becomes
+// (row ≪ k) | (row ≫ (cols−k)).
+func (b *BitMatrix) RotateRowRight(i, k int) {
+	c := b.cols
+	k = ((k % c) + c) % c
+	if k == 0 {
+		return
+	}
+	row := b.Row(i)
+	tmp := b.rowTmp
+	for w := range tmp {
+		tmp[w] = 0
+	}
+	orShiftedLeft(tmp, row, k)
+	orShiftedRight(tmp, row, c-k)
+	// Mask the bits pushed past column cols−1 by the left shift.
+	if rem := c & 63; rem != 0 {
+		tmp[len(tmp)-1] &= 1<<uint(rem) - 1
+	}
+	copy(row, tmp)
+}
+
+// orShiftedLeft ORs src, shifted left by sh ≥ 0 bits, into dst (equal
+// lengths; overflow words are dropped). Go shifts by ≥ 64 yield 0, so
+// the word-boundary case needs no special-casing.
+func orShiftedLeft(dst, src []uint64, sh int) {
+	q, r := sh>>6, uint(sh&63)
+	for w := len(src) - 1; w >= 0; w-- {
+		if src[w] == 0 {
+			continue
+		}
+		if d := w + q; d < len(dst) {
+			dst[d] |= src[w] << r
+		}
+		if d := w + q + 1; r != 0 && d < len(dst) {
+			dst[d] |= src[w] >> (64 - r)
+		}
+	}
+}
+
+// orShiftedRight ORs src, shifted right by sh ≥ 0 bits, into dst.
+func orShiftedRight(dst, src []uint64, sh int) {
+	q, r := sh>>6, uint(sh&63)
+	for w := range src {
+		if src[w] == 0 {
+			continue
+		}
+		if d := w - q; d >= 0 {
+			dst[d] |= src[w] >> r
+		}
+		if d := w - q - 1; r != 0 && d >= 0 {
+			dst[d] |= src[w] << (64 - r)
+		}
+	}
+}
+
+// RevRotateBits performs step 3 of Algorithm 1 on a word-packed square
+// matrix: rotate row i right by Rev(i) places.
+func RevRotateBits(b *BitMatrix) error {
+	if b.rows != b.cols {
+		return fmt.Errorf("mesh: RevRotate requires a square matrix, got %d×%d", b.rows, b.cols)
+	}
+	q, err := sideLg(b.rows)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < b.rows; i++ {
+		b.RotateRowRight(i, Rev(i, q))
+	}
+	return nil
+}
+
+// permuteInto moves every set bit x (row-major) of b to position f(x)
+// via the preallocated full-matrix scratch, then swaps the scratch in.
+// The word scan skips zero words.
+func (b *BitMatrix) permuteInto(f func(x int) int) {
+	for i := range b.cellTmp {
+		b.cellTmp[i] = 0
+	}
+	for i := 0; i < b.rows; i++ {
+		for w, word := range b.Row(i) {
+			base := i*b.cols + w<<6
+			for word != 0 {
+				x := f(base + bits.TrailingZeros64(word))
+				word &= word - 1
+				b.cellTmp[(x/b.cols)*b.wpr+(x%b.cols)>>6] |= 1 << uint((x%b.cols)&63)
+			}
+		}
+	}
+	b.words, b.cellTmp = b.cellTmp, b.words
+}
+
+// ReshapeCMtoRMBits performs Columnsort step 2 on a word-packed matrix:
+// the element with column-major index x moves to row-major index x.
+func ReshapeCMtoRMBits(b *BitMatrix) {
+	r := b.rows
+	b.permuteInto(func(x int) int {
+		i, j := x/b.cols, x%b.cols
+		return r*j + i // column-major index becomes the row-major index
+	})
+}
+
+// ReshapeRMtoCMBits is the inverse wiring (Columnsort step 4).
+func ReshapeRMtoCMBits(b *BitMatrix) {
+	r := b.rows
+	b.permuteInto(func(x int) int {
+		i, j := x%r, x/r // column-major coordinates of linear index x
+		return i*b.cols + j
+	})
+}
+
+// Algorithm1Bits runs the paper's Algorithm 1 (1½ Revsort iterations)
+// word-parallel, mirroring Algorithm1.
+func Algorithm1Bits(b *BitMatrix) error {
+	if b.rows != b.cols {
+		return fmt.Errorf("mesh: Algorithm 1 requires a square matrix, got %d×%d", b.rows, b.cols)
+	}
+	if _, err := sideLg(b.rows); err != nil {
+		return err
+	}
+	b.SortColumns()
+	b.SortRows()
+	if err := RevRotateBits(b); err != nil {
+		return err
+	}
+	b.SortColumns()
+	return nil
+}
+
+// Algorithm2Bits runs the paper's Algorithm 2 (Columnsort steps 1–3)
+// word-parallel, mirroring Algorithm2.
+func Algorithm2Bits(b *BitMatrix) error {
+	if b.cols > b.rows || b.rows%b.cols != 0 {
+		return fmt.Errorf("mesh: Columnsort requires s | r with r ≥ s, got %d×%d", b.rows, b.cols)
+	}
+	b.SortColumns()
+	ReshapeCMtoRMBits(b)
+	b.SortColumns()
+	return nil
+}
+
+// SnakeSorted reports whether the matrix is sorted in snake (boustro-
+// phedon) order: traversing even rows left-to-right and odd rows
+// right-to-left yields a nonincreasing 0/1 sequence. Word-parallel: the
+// matrix must be a run of full rows, at most one mixed row sorted in
+// its traversal direction, then empty rows.
+func (b *BitMatrix) SnakeSorted() bool {
+	i := 0
+	for ; i < b.rows && b.RowOnes(i) == b.cols; i++ {
+	}
+	if i < b.rows {
+		// At most one mixed row, sorted toward its traversal origin.
+		if c := b.RowOnes(i); c > 0 {
+			if !b.rowIsDirectedPrefix(i, c) {
+				return false
+			}
+			i++
+		}
+	}
+	for ; i < b.rows; i++ {
+		if b.RowOnes(i) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// rowIsDirectedPrefix reports whether row i holds exactly a run of c 1s
+// at its traversal origin: the left end for even rows, the right end
+// for odd rows.
+func (b *BitMatrix) rowIsDirectedPrefix(i, c int) bool {
+	row := b.Row(i)
+	copy(b.rowTmp, row)
+	if i%2 == 0 {
+		b.writePrefixRow(i, c)
+	} else {
+		b.writeSuffixRow(i, c)
+	}
+	match := true
+	for w := range row {
+		if row[w] != b.rowTmp[w] {
+			match = false
+		}
+	}
+	copy(row, b.rowTmp)
+	return match
+}

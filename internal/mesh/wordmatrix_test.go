@@ -1,0 +1,193 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+
+	"concentrators/internal/bitvec"
+)
+
+func randomMatrixLoad(rng *rand.Rand, rows, cols int, load float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if rng.Float64() < load {
+				m.Set(i, j, 1)
+			}
+		}
+	}
+	return m
+}
+
+func requireEqual(t *testing.T, tag string, b *BitMatrix, m *Matrix) {
+	t.Helper()
+	if !b.ToMatrix().Equal(m) {
+		t.Fatalf("%s diverged:\nword:\n%s\nbyte:\n%s", tag, b.ToMatrix(), m)
+	}
+}
+
+// TestBitMatrixStageParity drives every word-parallel stage operation
+// against the byte-backed Matrix reference on random inputs.
+func TestBitMatrixStageParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct{ rows, cols int }{
+		{1, 1}, {2, 2}, {4, 4}, {8, 8}, {64, 64}, {128, 128},
+		{3, 3}, {16, 4}, {100, 10}, {70, 65}, {8, 130},
+	}
+	for _, sh := range shapes {
+		for trial := 0; trial < 4; trial++ {
+			load := []float64{0, 0.25, 0.5, 1}[trial]
+			m := randomMatrixLoad(rng, sh.rows, sh.cols, load)
+			b := BitMatrixFromMatrix(m)
+			requireEqual(t, "round-trip", b, m)
+			if b.Count() != m.Count() {
+				t.Fatalf("Count %d != %d", b.Count(), m.Count())
+			}
+
+			b.SortRows()
+			m.SortRows()
+			requireEqual(t, "SortRows", b, m)
+
+			b.SortColumns()
+			m.SortColumns()
+			requireEqual(t, "SortColumns", b, m)
+
+			// Snake phase: even rows descending, odd ascending.
+			m2 := randomMatrixLoad(rng, sh.rows, sh.cols, 0.5)
+			b2 := BitMatrixFromMatrix(m2)
+			b2.SortRowsSnake()
+			for i := 0; i < sh.rows; i++ {
+				if i%2 == 0 {
+					m2.SortRow(i)
+				} else {
+					m2.SortRowAscending(i)
+				}
+			}
+			requireEqual(t, "SortRowsSnake", b2, m2)
+
+			for i := 0; i < sh.rows; i++ {
+				k := rng.Intn(3*sh.cols) - sh.cols
+				b2.RotateRowRight(i, k)
+				m2.RotateRowRight(i, k)
+			}
+			requireEqual(t, "RotateRowRight", b2, m2)
+		}
+	}
+}
+
+func TestBitMatrixSortColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomMatrixLoad(rng, 9, 70, 0.4)
+	b := BitMatrixFromMatrix(m)
+	for j := 0; j < 70; j += 7 {
+		b.SortColumn(j)
+		m.SortColumn(j)
+	}
+	requireEqual(t, "SortColumn", b, m)
+}
+
+func TestBitMatrixAlgorithmParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Algorithm 1 on square power-of-two sides.
+	for _, side := range []int{2, 4, 8, 16, 64} {
+		m := randomMatrixLoad(rng, side, side, 0.5)
+		b := BitMatrixFromMatrix(m)
+		if err := Algorithm1Bits(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := Algorithm1(m); err != nil {
+			t.Fatal(err)
+		}
+		requireEqual(t, "Algorithm1", b, m)
+	}
+	// Algorithm 2 on r×s with s | r.
+	for _, sh := range []struct{ r, s int }{{4, 2}, {16, 4}, {64, 8}, {9, 3}} {
+		m := randomMatrixLoad(rng, sh.r, sh.s, 0.5)
+		b := BitMatrixFromMatrix(m)
+		if err := Algorithm2Bits(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := Algorithm2(m); err != nil {
+			t.Fatal(err)
+		}
+		requireEqual(t, "Algorithm2", b, m)
+	}
+	// Reshapes are inverses.
+	m := randomMatrixLoad(rng, 12, 4, 0.5)
+	b := BitMatrixFromMatrix(m)
+	ReshapeCMtoRMBits(b)
+	ReshapeCMtoRM(m)
+	requireEqual(t, "ReshapeCMtoRM", b, m)
+	ReshapeRMtoCMBits(b)
+	ReshapeRMtoCM(m)
+	requireEqual(t, "ReshapeRMtoCM", b, m)
+}
+
+func TestBitMatrixSnakeSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, side := range []int{2, 4, 8, 16, 64, 66} {
+		for trial := 0; trial < 40; trial++ {
+			b := BitMatrixFromMatrix(randomMatrixLoad(rng, side, side, rng.Float64()))
+			// Reference: walk the snake per-bit.
+			want := true
+			prev := true
+			for i := 0; i < side && want; i++ {
+				for jj := 0; jj < side; jj++ {
+					j := jj
+					if i%2 == 1 {
+						j = side - 1 - jj
+					}
+					v := b.Get(i, j)
+					if v && !prev {
+						want = false
+						break
+					}
+					prev = v
+				}
+			}
+			if got := b.SnakeSorted(); got != want {
+				t.Fatalf("side=%d trial=%d SnakeSorted=%v want %v\n%s", side, trial, got, want, b.ToMatrix())
+			}
+		}
+	}
+}
+
+func TestBitMatrixLoadRowMajor(t *testing.T) {
+	v := bitvec.MustParse("101101")
+	b := NewBitMatrix(2, 3)
+	b.Set(1, 1, true) // must be cleared by the load
+	if err := b.LoadRowMajor(v); err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 0}, {0, 2}, {1, 0}, {1, 2}}
+	if b.Count() != len(want) {
+		t.Fatalf("count %d want %d", b.Count(), len(want))
+	}
+	for _, ij := range want {
+		if !b.Get(ij[0], ij[1]) {
+			t.Errorf("bit (%d,%d) not set", ij[0], ij[1])
+		}
+	}
+	if err := b.LoadRowMajor(bitvec.New(5)); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+// TestBitMatrixStagesNoAlloc pins the zero-allocation property of the
+// stage operations used inside routing kernels.
+func TestBitMatrixStagesNoAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	b := BitMatrixFromMatrix(randomMatrixLoad(rng, 64, 64, 0.5))
+	if a := testing.AllocsPerRun(20, func() {
+		b.SortColumns()
+		b.SortRows()
+		b.SortRowsSnake()
+		b.RotateRowRight(5, 17)
+		ReshapeCMtoRMBits(b)
+		ReshapeRMtoCMBits(b)
+		b.SnakeSorted()
+		b.Reset()
+	}); a != 0 {
+		t.Fatalf("stage operations allocated %v times per run", a)
+	}
+}

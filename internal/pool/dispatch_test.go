@@ -1,0 +1,120 @@
+package pool
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"concentrators/internal/core"
+	"concentrators/internal/link"
+	"concentrators/internal/switchsim"
+	"concentrators/internal/timing"
+)
+
+// runScenario drives one pool through a fixed chaos-like schedule —
+// chip faults, wire noise, stragglers, a kill/revive cycle, hedging,
+// deadlines — and records every RoundResult plus the final Stats. The
+// schedule and traffic derive from the seed only, so two runs differing
+// only in Config.Parallel must produce identical transcripts.
+func runScenario(t *testing.T, cfg Config, seed int64, rounds int) ([]RoundResult, Stats) {
+	t.Helper()
+	p := newPool(t, cfg, 4)
+	rng := rand.New(rand.NewSource(seed))
+	var rrs []RoundResult
+	for round := 0; round < rounds; round++ {
+		switch round {
+		case 5:
+			if err := p.InjectFault(0, core.ChipFault{Stage: 0, Chip: 1, Mode: core.ChipDead}); err != nil {
+				t.Fatal(err)
+			}
+		case 15:
+			if err := p.InjectWireFault(1, link.WireFault{
+				Stage: link.AllStages, Wire: 3,
+				Mode: link.WireStuck, StuckValue: 0, From: 15, Until: 30,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		case 25:
+			if err := p.InjectTimingFault(0, timing.Fault{
+				Stage: link.AllStages, Wire: link.AllWires,
+				Mode: timing.Constant, Delay: 4, From: 25, Until: 60,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		case 40:
+			if err := p.Kill(2); err != nil {
+				t.Fatal(err)
+			}
+		case 60:
+			if err := p.Revive(2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		msgs := switchsim.RandomMessages(rng, p.Inputs(), 0.6, 8)
+		rr, err := p.Run(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rrs = append(rrs, *rr)
+	}
+	return rrs, p.Stats()
+}
+
+// TestParallelDispatchEquivalence is the determinism satellite for the
+// concurrent data plane: a pool with speculative parallel dispatch must
+// produce transcripts bit-identical to the sequential pool across
+// faults, corruption, stragglers, hedging, and a kill/revive cycle.
+func TestParallelDispatchEquivalence(t *testing.T) {
+	base := Config{TripThreshold: 2, ProbeAfter: 1, HedgeQuantile: 0.9, Deadline: 3}
+	for _, seed := range []int64{1, 7, 1234} {
+		seq, seqStats := runScenario(t, base, seed, 80)
+		par := base
+		par.Parallel = 4
+		got, gotStats := runScenario(t, par, seed, 80)
+		if len(got) != len(seq) {
+			t.Fatalf("seed %d: %d rounds vs %d", seed, len(got), len(seq))
+		}
+		for i := range seq {
+			if !reflect.DeepEqual(got[i], seq[i]) {
+				t.Fatalf("seed %d round %d diverges:\npar %+v\nseq %+v", seed, i, got[i], seq[i])
+			}
+		}
+		if !reflect.DeepEqual(gotStats, seqStats) {
+			t.Fatalf("seed %d: final stats diverge:\npar %+v\nseq %+v", seed, gotStats, seqStats)
+		}
+	}
+}
+
+// TestParallelDispatchEquivalenceLeased repeats the transcript check
+// under the lease-fenced arbiter, whose serving paths (heard, dark,
+// shadow believers) also consume speculative attempts.
+func TestParallelDispatchEquivalenceLeased(t *testing.T) {
+	base := Config{TripThreshold: 2, ProbeAfter: 1, Lease: LeaseConfig{Rounds: 4}}
+	seq, seqStats := runScenario(t, base, 99, 80)
+	par := base
+	par.Parallel = 3
+	got, gotStats := runScenario(t, par, 99, 80)
+	for i := range seq {
+		if !reflect.DeepEqual(got[i], seq[i]) {
+			t.Fatalf("round %d diverges:\npar %+v\nseq %+v", i, got[i], seq[i])
+		}
+	}
+	if !reflect.DeepEqual(gotStats, seqStats) {
+		t.Fatalf("final stats diverge:\npar %+v\nseq %+v", gotStats, seqStats)
+	}
+}
+
+func TestParallelConfigValidation(t *testing.T) {
+	if _, err := New(Config{Parallel: -1}, newReplicas(t, 1)...); err == nil {
+		t.Error("accepted negative Parallel")
+	}
+	p, err := New(Config{Parallel: 8}, newReplicas(t, 1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single replica degenerates to sequential dispatch but must
+	// still serve.
+	if _, err := p.Run(fullMsgs(4)); err != nil {
+		t.Fatal(err)
+	}
+}

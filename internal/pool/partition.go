@@ -240,7 +240,7 @@ func (p *Pool) shadowServeLocked(round int64, admitted []switchsim.Message, rr *
 			round > s.leaseUntil || s.id == rr.ServedBy {
 			continue
 		}
-		res, err := switchsim.Run(s.contract(), admitted)
+		_, res, err := p.attemptLocked(s, admitted)
 		if err != nil {
 			continue
 		}
@@ -345,6 +345,7 @@ func (p *Pool) runLeasedLocked(byInput map[int]switchsim.Message, inputs []int) 
 	for _, in := range admittedInputs {
 		admitted = append(admitted, byInput[in])
 	}
+	p.spec = p.dispatchLocked(admitted)
 
 	primaryFrames := 0
 	if vis[holder] && !frozen {
@@ -364,8 +365,7 @@ func (p *Pool) serveHeardLocked(round int64, admitted []switchsim.Message, rr *R
 	tried := make(map[int]bool)
 	for {
 		r := p.replicas[p.leaseHolder]
-		c := r.contract()
-		res, err := switchsim.Run(c, admitted)
+		c, res, err := p.attemptLocked(r, admitted)
 		corrupt := 0
 		if err == nil {
 			res, corrupt = p.applyWireNoiseLocked(r, round, res)
@@ -440,7 +440,7 @@ func (p *Pool) serveHeardLocked(round int64, admitted []switchsim.Message, rr *R
 // verdict when the edge heals.
 func (p *Pool) serveDarkLocked(round int64, admitted []switchsim.Message, rr *RoundResult, vis []bool) int {
 	r := p.replicas[p.leaseHolder]
-	res, err := switchsim.Run(r.contract(), admitted)
+	_, res, err := p.attemptLocked(r, admitted)
 	if err != nil {
 		rr.Violated = true
 		p.stats.Violations++

@@ -146,6 +146,14 @@ type Config struct {
 	// partition fault plane. Lease.Rounds 0 keeps the legacy
 	// instantly-consistent arbiter.
 	Lease LeaseConfig
+	// Parallel enables speculative concurrent replica dispatch: each
+	// round's admitted batch is routed through every live replica's
+	// contract on up to Parallel worker goroutines before the arbiter
+	// consumes the results in its usual deterministic order (see
+	// dispatch.go). 0 or 1 keeps the sequential data plane. Rounds are
+	// bit-identical either way — parallelism only changes wall-clock
+	// time.
+	Parallel int
 	// Byzantine arms the ledger against replicas that lie: frame
 	// provenance verification at the receiving edge, seeded witness
 	// cross-examination audits, and arbiter cross-checks of health
@@ -203,7 +211,7 @@ type LeaseConfig struct {
 }
 
 func (c Config) withDefaults() (Config, error) {
-	if c.TripThreshold < 0 || c.ProbeAfter < 0 || c.BackoffMax < 0 || c.ScanLatency < 0 || c.RetryAfterCap < 0 {
+	if c.TripThreshold < 0 || c.ProbeAfter < 0 || c.BackoffMax < 0 || c.ScanLatency < 0 || c.RetryAfterCap < 0 || c.Parallel < 0 {
 		return c, fmt.Errorf("pool: negative config field: %+v", c)
 	}
 	if c.TripThreshold == 0 {
@@ -596,6 +604,9 @@ type Pool struct {
 	stamper  *byzantine.Stamper
 	verifier *byzantine.Verifier
 	wtally   *health.WitnessTally
+	// spec holds the current round's speculative route attempts
+	// (dispatch.go), valid only while Run holds mu for that round.
+	spec []routeAttempt
 }
 
 // PendingAck is one delivery acknowledgement buffered behind a
@@ -1072,6 +1083,7 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	defer func() { p.spec = nil }()
 
 	if p.cfg.Lease.Rounds > 0 {
 		return p.runLeasedLocked(byInput, inputs), nil
@@ -1107,6 +1119,7 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 	for _, in := range admittedInputs {
 		admitted = append(admitted, byInput[in])
 	}
+	p.spec = p.dispatchLocked(admitted)
 
 	// Route with in-round failover: try the primary, then — on a
 	// contract violation — replay the setup on the next-best replica.
@@ -1117,9 +1130,9 @@ func (p *Pool) Run(msgs []switchsim.Message) (*RoundResult, error) {
 		r := p.replicas[p.active]
 		// The contract is captured before wire escalation, which may
 		// rebuild it mid-iteration: the round is judged against the
-		// contract it actually ran under.
-		c := r.contract()
-		res, err := switchsim.Run(c, admitted)
+		// contract it actually ran under (attemptLocked reroutes a
+		// speculative attempt whose contract went stale).
+		c, res, err := p.attemptLocked(r, admitted)
 		corrupt := 0
 		if err == nil {
 			res, corrupt = p.applyWireNoiseLocked(r, round, res)

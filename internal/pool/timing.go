@@ -107,8 +107,7 @@ func (p *Pool) hedgeLocked(primary *replica, tried map[int]bool, admitted []swit
 	}
 	s := p.replicas[si]
 	p.stats.Hedges++
-	sc := s.contract()
-	sres, err := switchsim.Run(sc, admitted)
+	sc, sres, err := p.attemptLocked(s, admitted)
 	corrupt := 0
 	if err == nil {
 		sres, corrupt = p.applyWireNoiseLocked(s, round, sres)

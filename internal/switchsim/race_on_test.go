@@ -1,0 +1,9 @@
+//go:build race
+
+package switchsim
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool (used by the switches' route
+// scratch) deliberately drops items — so zero-allocation assertions
+// do not hold.
+const raceEnabled = true

@@ -1,0 +1,120 @@
+package switchsim
+
+import (
+	"fmt"
+
+	"concentrators/internal/bitvec"
+	"concentrators/internal/core"
+)
+
+// Runner simulates repeated setup-and-stream rounds through one switch
+// with every buffer reused across rounds. After a warm-up round on a
+// switch implementing core.RouterInto, a steady-state Run performs zero
+// heap allocations, making it the session-serving hot path.
+//
+// The Result returned by Run — and everything it references (output
+// streams, routing, delivered payload slices, valid vector) — is owned
+// by the Runner and is overwritten by the next Run call. Callers that
+// need the data across rounds must copy it out.
+//
+// A Runner is not safe for concurrent use; give each goroutine its own.
+type Runner struct {
+	sw core.Concentrator
+	ri core.RouterInto // non-nil when sw supports in-place routing
+
+	valid   *bitvec.Vector
+	routing []int
+	msgAt   []*Message // duplicate-input detection, cleared per round
+
+	res     Result
+	backing []byte   // flat storage behind res.OutputStream
+	streams [][]byte // reused slice headers into backing
+}
+
+// NewRunner builds a Runner for the given switch.
+func NewRunner(sw core.Concentrator) *Runner {
+	n, m := sw.Inputs(), sw.Outputs()
+	r := &Runner{
+		sw:      sw,
+		valid:   bitvec.New(n),
+		routing: make([]int, n),
+		msgAt:   make([]*Message, n),
+		streams: make([][]byte, m),
+	}
+	r.ri, _ = sw.(core.RouterInto)
+	return r
+}
+
+// Switch returns the underlying concentrator.
+func (r *Runner) Switch() core.Concentrator { return r.sw }
+
+// Run simulates one round: a setup cycle establishes paths, then
+// payload bits stream along them. Semantics are identical to the
+// package-level Run; only buffer ownership differs (see type comment).
+func (r *Runner) Run(msgs []Message) (*Result, error) {
+	n, m := r.sw.Inputs(), r.sw.Outputs()
+	r.valid.Reset()
+	clear(r.msgAt)
+	maxLen := 0
+	for i := range msgs {
+		msg := &msgs[i]
+		if msg.Input < 0 || msg.Input >= n {
+			return nil, fmt.Errorf("switchsim: message input %d out of range [0,%d)", msg.Input, n)
+		}
+		if r.msgAt[msg.Input] != nil {
+			return nil, fmt.Errorf("switchsim: two messages on input %d", msg.Input)
+		}
+		r.msgAt[msg.Input] = msg
+		r.valid.Set(msg.Input, true)
+		if len(msg.Payload) > maxLen {
+			maxLen = len(msg.Payload)
+		}
+	}
+
+	if r.ri != nil {
+		if err := r.ri.RouteInto(r.routing, r.valid); err != nil {
+			return nil, err
+		}
+	} else {
+		routing, err := r.sw.Route(r.valid)
+		if err != nil {
+			return nil, err
+		}
+		copy(r.routing, routing)
+	}
+
+	need := m * maxLen
+	if cap(r.backing) < need {
+		r.backing = make([]byte, need)
+	}
+	r.backing = r.backing[:need]
+	clear(r.backing)
+	for o := 0; o < m; o++ {
+		r.streams[o] = r.backing[o*maxLen : (o+1)*maxLen]
+	}
+
+	r.res.Delivered = r.res.Delivered[:0]
+	r.res.DroppedInputs = r.res.DroppedInputs[:0]
+	r.res.Cycles = 1 + maxLen
+	r.res.OutputStream = r.streams
+	r.res.Valid = r.valid
+	r.res.Routing = r.routing
+
+	for i := range msgs {
+		msg := &msgs[i]
+		o := r.routing[msg.Input]
+		if o < 0 {
+			r.res.DroppedInputs = append(r.res.DroppedInputs, msg.Input)
+			continue
+		}
+		for c := 0; c < len(msg.Payload); c++ {
+			r.streams[o][c] = msg.Payload[c] & 1
+		}
+		r.res.Delivered = append(r.res.Delivered, Delivery{
+			Input:   msg.Input,
+			Output:  o,
+			Payload: r.streams[o][:len(msg.Payload)],
+		})
+	}
+	return &r.res, nil
+}

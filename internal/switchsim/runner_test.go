@@ -1,0 +1,113 @@
+package switchsim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"concentrators/internal/core"
+)
+
+// TestRunnerMatchesRun pins that the zero-alloc Runner produces results
+// identical to the allocating package-level Run.
+func TestRunnerMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	sw, err := core.NewRevsortSwitch(64, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(sw)
+	for trial := 0; trial < 25; trial++ {
+		msgs := RandomMessages(rng, 64, rng.Float64(), 16)
+		want, err := Run(sw, msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.Run(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Cycles != want.Cycles {
+			t.Fatalf("trial %d: cycles %d != %d", trial, got.Cycles, want.Cycles)
+		}
+		if !reflect.DeepEqual(normDeliveries(got.Delivered), normDeliveries(want.Delivered)) {
+			t.Fatalf("trial %d: deliveries diverge", trial)
+		}
+		if !reflect.DeepEqual(normInts(got.DroppedInputs), normInts(want.DroppedInputs)) {
+			t.Fatalf("trial %d: drops diverge: %v vs %v", trial, got.DroppedInputs, want.DroppedInputs)
+		}
+		if !reflect.DeepEqual(normInts(got.Routing), normInts(want.Routing)) {
+			t.Fatalf("trial %d: routing diverges", trial)
+		}
+		if !got.Valid.Equal(want.Valid) {
+			t.Fatalf("trial %d: valid diverges", trial)
+		}
+		for o := range want.OutputStream {
+			if string(got.OutputStream[o]) != string(want.OutputStream[o]) {
+				t.Fatalf("trial %d: output %d stream diverges", trial, o)
+			}
+		}
+		if err := CheckGuarantee(sw, msgs, got); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func normDeliveries(ds []Delivery) []Delivery {
+	out := make([]Delivery, len(ds))
+	for i, d := range ds {
+		out[i] = Delivery{Input: d.Input, Output: d.Output, Payload: append([]byte(nil), d.Payload...)}
+	}
+	return out
+}
+
+func normInts(xs []int) []int {
+	return append([]int{}, xs...)
+}
+
+func TestRunnerRejectsBadInput(t *testing.T) {
+	sw, err := core.NewPerfectSwitch(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(sw)
+	if _, err := r.Run([]Message{{Input: 9}}); err == nil {
+		t.Fatal("out-of-range input not rejected")
+	}
+	if _, err := r.Run([]Message{{Input: 3}, {Input: 3}}); err == nil {
+		t.Fatal("duplicate input not rejected")
+	}
+	// The runner must still work after an error round.
+	if _, err := r.Run([]Message{{Input: 3, Payload: []byte{1}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunnerZeroAlloc is the allocation-regression satellite for the
+// session hot path: a steady-state round through a RouterInto switch
+// performs zero heap allocations.
+func TestRunnerZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; steady-state allocs are not zero")
+	}
+	rng := rand.New(rand.NewSource(32))
+	sw, err := core.NewRevsortSwitch(4096, 3072)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(sw)
+	msgs := RandomMessages(rng, 4096, 0.6, 32)
+	// Warm up buffers (and the kernel's scratch pool).
+	for i := 0; i < 2; i++ {
+		if _, err := r.Run(msgs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a := testing.AllocsPerRun(10, func() {
+		if _, err := r.Run(msgs); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("steady-state Runner.Run allocated %v times per run", a)
+	}
+}

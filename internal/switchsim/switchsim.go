@@ -103,7 +103,14 @@ func Run(sw core.Concentrator, msgs []Message) (*Result, error) {
 		}
 	}
 
-	routing, err := sw.Route(valid)
+	var routing []int
+	var err error
+	if ri, ok := sw.(core.RouterInto); ok {
+		routing = make([]int, n)
+		err = ri.RouteInto(routing, valid)
+	} else {
+		routing, err = sw.Route(valid)
+	}
 	if err != nil {
 		return nil, err
 	}
